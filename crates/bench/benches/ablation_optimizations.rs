@@ -1,0 +1,56 @@
+//! Criterion bench: framework cost of InPlaceTP under each §4.2.5
+//! optimization configuration (the *simulated-time* ablation lives in the
+//! `exp_ablation` binary; this measures the engine itself).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypertp_core::{HypervisorKind, InPlaceTransplant, Optimizations, VmConfig};
+use hypertp_machine::{Machine, MachineSpec};
+
+fn run(opts: Optimizations) {
+    let registry = hypertp_bench::registry();
+    let mut machine = Machine::new(MachineSpec::m1());
+    let mut hv = registry
+        .create(HypervisorKind::Xen, &mut machine)
+        .expect("boot");
+    for i in 0..4 {
+        hv.create_vm(&mut machine, &VmConfig::small(format!("vm{i}")))
+            .expect("create");
+    }
+    let engine = InPlaceTransplant::new(&registry).with_optimizations(opts);
+    let out = engine
+        .run(&mut machine, hv, HypervisorKind::Kvm)
+        .expect("transplant");
+    std::hint::black_box(out);
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_optimizations");
+    g.sample_size(10);
+    let configs: [(&str, Optimizations); 4] = [
+        ("all", Optimizations::default()),
+        (
+            "no_prepare",
+            Optimizations {
+                prepare_before_pause: false,
+                ..Optimizations::default()
+            },
+        ),
+        (
+            "no_parallel",
+            Optimizations {
+                parallel: false,
+                ..Optimizations::default()
+            },
+        ),
+        ("none", Optimizations::none()),
+    ];
+    for (name, opts) in configs {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, &opts| {
+            b.iter(|| run(opts));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench: wall-clock cost of a full InPlaceTP transplant in the
+//! framework (the Fig. 6 scenario), per direction and per VM count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypertp_core::{HypervisorKind, InPlaceTransplant, VmConfig};
+use hypertp_machine::{Machine, MachineSpec};
+
+fn transplant(n_vms: u32, source: HypervisorKind, target: HypervisorKind) {
+    let registry = hypertp_bench::registry();
+    let mut machine = Machine::new(MachineSpec::m1());
+    let mut hv = registry.create(source, &mut machine).expect("boot");
+    for i in 0..n_vms {
+        hv.create_vm(&mut machine, &VmConfig::small(format!("vm{i}")))
+            .expect("create");
+    }
+    let engine = InPlaceTransplant::new(&registry);
+    let (hv, report) = engine.run(&mut machine, hv, target).expect("transplant");
+    assert_eq!(report.vm_count as u32, n_vms);
+    std::hint::black_box(hv);
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inplace_transplant");
+    g.sample_size(10);
+    for n in [1u32, 4, 12] {
+        g.bench_with_input(BenchmarkId::new("xen_to_kvm", n), &n, |b, &n| {
+            b.iter(|| transplant(n, HypervisorKind::Xen, HypervisorKind::Kvm));
+        });
+    }
+    g.bench_with_input(BenchmarkId::new("kvm_to_xen", 1), &1u32, |b, &n| {
+        b.iter(|| transplant(n, HypervisorKind::Kvm, HypervisorKind::Xen));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench: the UISR binary codec against the JSON debug codec
+//! (the codec-choice ablation — MigrationTP ships these bytes in its
+//! downtime window).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hypertp_uisr::{DeviceState, MemoryRegion, MsrEntry, UisrVm, VcpuState};
+
+fn sample_vm(vcpus: u32) -> UisrVm {
+    let mut vm = UisrVm::new("bench-vm");
+    for i in 0..vcpus {
+        let mut v = VcpuState::reset(i);
+        v.regs.rip = 0xffff_8000_0000_0000 + i as u64;
+        v.msrs = (0..40)
+            .map(|k| MsrEntry {
+                index: 0xc000_0080 + k,
+                data: k as u64,
+            })
+            .collect();
+        vm.vcpus.push(v);
+    }
+    vm.devices.push(DeviceState::Network {
+        mac: [2, 0, 0, 0, 0, 1],
+        unplugged: false,
+    });
+    vm.memory.regions.push(MemoryRegion {
+        gfn_start: 0,
+        pages: 262_144,
+    });
+    vm
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uisr_codec");
+    for vcpus in [1u32, 10] {
+        let vm = sample_vm(vcpus);
+        let bin = hypertp_uisr::encode(&vm);
+        let json = hypertp_uisr::codec::to_json(&vm);
+        g.throughput(Throughput::Bytes(bin.len() as u64));
+        g.bench_with_input(BenchmarkId::new("encode_binary", vcpus), &vm, |b, vm| {
+            b.iter(|| hypertp_uisr::encode(vm));
+        });
+        g.bench_with_input(BenchmarkId::new("decode_binary", vcpus), &bin, |b, bin| {
+            b.iter(|| hypertp_uisr::decode(bin).expect("decode"));
+        });
+        g.bench_with_input(BenchmarkId::new("encode_json", vcpus), &vm, |b, vm| {
+            b.iter(|| hypertp_uisr::codec::to_json(vm));
+        });
+        g.bench_with_input(BenchmarkId::new("decode_json", vcpus), &json, |b, json| {
+            b.iter(|| hypertp_uisr::codec::from_json(json).expect("decode"));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

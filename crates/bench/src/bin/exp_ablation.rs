@@ -1,0 +1,5 @@
+//! Runs the §4.2.5 optimization ablation on its own.
+
+fn main() {
+    print!("{}", hypertp_bench::experiments::ablation::run());
+}

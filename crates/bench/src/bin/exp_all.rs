@@ -1,0 +1,6 @@
+//! Runs every experiment in paper order (tables 1-6, figures 6-14, and
+//! the optimization ablation).
+
+fn main() {
+    print!("{}", hypertp_bench::experiments::run_all());
+}

@@ -1,0 +1,5 @@
+//! Runs the dirty-rate and migration-concurrency sensitivity studies.
+
+fn main() {
+    print!("{}", hypertp_bench::experiments::sensitivity::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig10 (see DESIGN.md experiment index).
+
+fn main() {
+    print!("{}", hypertp_bench::experiments::fig7_10::fig10());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig11 (see DESIGN.md experiment index).
+
+fn main() {
+    print!("{}", hypertp_bench::experiments::fig11_12::fig11());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig13 (see DESIGN.md experiment index).
+
+fn main() {
+    print!("{}", hypertp_bench::experiments::fig13::run());
+}

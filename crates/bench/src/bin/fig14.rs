@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig14 (see DESIGN.md experiment index).
+
+fn main() {
+    print!("{}", hypertp_bench::experiments::fig14::run());
+}

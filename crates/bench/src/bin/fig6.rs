@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig6 (see DESIGN.md experiment index).
+
+fn main() {
+    print!("{}", hypertp_bench::experiments::fig6::run());
+}

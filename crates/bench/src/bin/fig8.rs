@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig8 (see DESIGN.md experiment index).
+
+fn main() {
+    print!("{}", hypertp_bench::experiments::fig8_9::fig8());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table3 (see DESIGN.md experiment index).
+
+fn main() {
+    print!("{}", hypertp_bench::experiments::table1_2_3::table3());
+}

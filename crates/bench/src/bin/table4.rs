@@ -1,0 +1,5 @@
+//! Regenerates the paper's table4 (see DESIGN.md experiment index).
+
+fn main() {
+    print!("{}", hypertp_bench::experiments::table4::run());
+}

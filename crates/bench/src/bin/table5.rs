@@ -1,0 +1,5 @@
+//! Regenerates the paper's table5 (see DESIGN.md experiment index).
+
+fn main() {
+    print!("{}", hypertp_bench::experiments::table5_6::table5());
+}

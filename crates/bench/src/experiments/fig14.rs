@@ -1,0 +1,106 @@
+//! Fig. 14: memory overhead of PRAM structures and UISR formats, measured
+//! from the real encodings.
+
+use hypertp_core::{HypervisorKind, VmConfig};
+use hypertp_machine::{Machine, MachineSpec};
+use hypertp_pram::PramBuilder;
+
+use crate::registry;
+use crate::table;
+
+fn uisr_bytes(vcpus: u32, memory_gb: u64) -> u64 {
+    let reg = registry();
+    let mut machine = Machine::new(MachineSpec::m2());
+    let mut hv = reg
+        .create(HypervisorKind::Xen, &mut machine)
+        .expect("pool has Xen");
+    let cfg = VmConfig::small("probe")
+        .with_vcpus(vcpus)
+        .with_memory_gb(memory_gb);
+    let id = hv.create_vm(&mut machine, &cfg).expect("capacity");
+    hv.pause_vm(id).expect("pause");
+    let uisr = hv.save_uisr(&machine, id).expect("save");
+    hypertp_uisr::encode(&uisr).len() as u64
+}
+
+fn pram_bytes(vms: &[(u32, u64)]) -> u64 {
+    // (count, memory_gb) pairs.
+    let total_gb: u64 = vms.iter().map(|&(n, gb)| n as u64 * gb).sum();
+    let mut machine = Machine::new({
+        let mut s = MachineSpec::m2();
+        s.ram_gb = total_gb + 8;
+        s
+    });
+    let reg = registry();
+    let mut hv = reg
+        .create(HypervisorKind::Xen, &mut machine)
+        .expect("pool has Xen");
+    let mut builder = PramBuilder::new();
+    let mut idx = 0;
+    for &(n, gb) in vms {
+        for _ in 0..n {
+            let cfg = VmConfig::small(format!("vm{idx}")).with_memory_gb(gb);
+            idx += 1;
+            let id = hv.create_vm(&mut machine, &cfg).expect("capacity");
+            builder.add_file(
+                cfg.name.clone(),
+                0o600,
+                hv.guest_memory_map(id).expect("map"),
+            );
+        }
+    }
+    let handle = builder.write(machine.ram_mut()).expect("encode");
+    handle.stats().metadata_bytes()
+}
+
+/// Runs the measurements.
+pub fn run() -> String {
+    let mut rows = Vec::new();
+    for vcpus in [1u32, 2, 4, 6, 8, 10] {
+        rows.push(vec![
+            format!("vcpus={vcpus}"),
+            "-".into(),
+            format!("{:.1}", uisr_bytes(vcpus, 1) as f64 / 1024.0),
+        ]);
+    }
+    for mem in [2u64, 4, 6, 8, 10, 12] {
+        rows.push(vec![
+            format!("mem={mem}GB"),
+            format!("{:.1}", pram_bytes(&[(1, mem)]) as f64 / 1024.0),
+            format!("{:.1}", uisr_bytes(1, mem) as f64 / 1024.0),
+        ]);
+    }
+    for n in [2u32, 4, 6, 8, 10, 12] {
+        rows.push(vec![
+            format!("vms={n}"),
+            format!("{:.1}", pram_bytes(&[(n, 1)]) as f64 / 1024.0),
+            format!("{:.1}", n as f64 * uisr_bytes(1, 1) as f64 / 1024.0),
+        ]);
+    }
+    let mut out = table::render(
+        "Fig. 14 — memory overhead (KiB): PRAM structures and UISR formats",
+        &["point", "PRAM (KiB)", "UISR (KiB)"],
+        &rows,
+    );
+    out.push_str(
+        "paper: PRAM 16 KB (1 GB VM) -> 60 KB (12 GB); 148 KB for 12x1 GB VMs; \
+         UISR 5 KB (1 vCPU) -> 38 KB (10 vCPUs)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn overheads_match_paper_scale() {
+        // Direct checks of the two headline numbers.
+        let one_gb = super::pram_bytes(&[(1, 1)]);
+        assert_eq!(one_gb, 16 * 1024);
+        let twelve_vms = super::pram_bytes(&[(12, 1)]);
+        assert_eq!(twelve_vms, 148 * 1024);
+        let u1 = super::uisr_bytes(1, 1);
+        assert!((3_800..6_500).contains(&u1), "UISR 1 vCPU = {u1}");
+        let u10 = super::uisr_bytes(10, 1);
+        assert!((28_000..48_000).contains(&u10), "UISR 10 vCPUs = {u10}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Fig. 6: InPlaceTP time breakdown, Xen→KVM, one 1 vCPU / 1 GB idle VM,
+//! on M1 and M2.
+
+use hypertp_core::{HypervisorKind, Optimizations};
+use hypertp_machine::MachineSpec;
+
+use super::common::{run_inplace, s2};
+use crate::table;
+
+/// Paper reference values (seconds): (machine, pram, translation, reboot,
+/// restoration, downtime, network-inclusive downtime).
+const PAPER: [(&str, f64, f64, f64, f64, f64, f64); 2] = [
+    ("M1", 0.45, 0.08, 1.52, 0.12, 1.70, 8.1),
+    ("M2", 0.50, 0.24, 2.40, 0.34, 3.01, 5.9),
+];
+
+/// Runs the experiment and renders the breakdown table.
+pub fn run() -> String {
+    let mut rows = Vec::new();
+    for (spec, paper) in [(MachineSpec::m1(), PAPER[0]), (MachineSpec::m2(), PAPER[1])] {
+        let name = spec.name.clone();
+        let r = run_inplace(
+            spec,
+            HypervisorKind::Xen,
+            HypervisorKind::Kvm,
+            1,
+            1,
+            1,
+            Optimizations::default(),
+        );
+        rows.push(vec![
+            name,
+            s2(r.pram),
+            s2(r.translation),
+            s2(r.reboot),
+            s2(r.restoration),
+            s2(r.downtime()),
+            s2(r.downtime_with_network()),
+            format!(
+                "{:.2}/{:.2}/{:.2}/{:.2}/{:.2}/{:.1}",
+                paper.1, paper.2, paper.3, paper.4, paper.5, paper.6
+            ),
+        ]);
+    }
+    table::render(
+        "Fig. 6 — InPlaceTP time breakdown (Xen→KVM, 1 vCPU / 1 GB, seconds)",
+        &[
+            "machine",
+            "PRAM",
+            "Translation",
+            "Reboot",
+            "Restoration",
+            "downtime",
+            "w/ network",
+            "paper (P/T/R/Re/down/net)",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn output_contains_both_machines() {
+        let out = super::run();
+        assert!(out.contains("M1"));
+        assert!(out.contains("M2"));
+        assert!(out.contains("Reboot"));
+    }
+}

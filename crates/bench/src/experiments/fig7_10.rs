@@ -1,0 +1,103 @@
+//! Figs. 7 and 10: InPlaceTP scalability sweeps (vCPUs, memory size,
+//! number of VMs) on M1 and M2, for both transplant directions.
+
+use hypertp_core::{HypervisorKind, Optimizations};
+use hypertp_machine::MachineSpec;
+
+use super::common::{run_inplace, s2};
+use crate::table;
+
+fn sweep(source: HypervisorKind, target: HypervisorKind) -> String {
+    let mut out = String::new();
+    for spec in [MachineSpec::m1(), MachineSpec::m2()] {
+        let mut rows = Vec::new();
+        for vcpus in [1u32, 2, 4, 6, 8, 10] {
+            let r = run_inplace(
+                spec.clone(),
+                source,
+                target,
+                1,
+                vcpus,
+                1,
+                Optimizations::default(),
+            );
+            rows.push(row(format!("vcpus={vcpus}"), &r));
+        }
+        for mem in [2u64, 4, 6, 8, 10, 12] {
+            let r = run_inplace(
+                spec.clone(),
+                source,
+                target,
+                1,
+                1,
+                mem,
+                Optimizations::default(),
+            );
+            rows.push(row(format!("mem={mem}GB"), &r));
+        }
+        for n in [2u32, 4, 6, 8, 10, 12] {
+            let r = run_inplace(
+                spec.clone(),
+                source,
+                target,
+                n,
+                1,
+                1,
+                Optimizations::default(),
+            );
+            rows.push(row(format!("vms={n}"), &r));
+        }
+        out.push_str(&table::render(
+            &format!(
+                "InPlaceTP scalability {source}→{target} on {} (seconds)",
+                spec.name
+            ),
+            &[
+                "point",
+                "PRAM",
+                "Translation",
+                "Reboot",
+                "Restoration",
+                "downtime",
+            ],
+            &rows,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+fn row(point: String, r: &hypertp_core::InPlaceReport) -> Vec<String> {
+    vec![
+        point,
+        s2(r.pram),
+        s2(r.translation),
+        s2(r.reboot),
+        s2(r.restoration),
+        s2(r.downtime()),
+    ]
+}
+
+/// Fig. 7: Xen→KVM.
+pub fn fig7() -> String {
+    sweep(HypervisorKind::Xen, HypervisorKind::Kvm)
+}
+
+/// Fig. 10: KVM→Xen.
+pub fn fig10() -> String {
+    sweep(HypervisorKind::Kvm, HypervisorKind::Xen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "runs the full 36-transplant sweep; use `--ignored` or the fig7 binary"]
+    fn fig7_has_all_sweep_points() {
+        let out = fig7();
+        for p in ["vcpus=10", "mem=12GB", "vms=12"] {
+            assert_eq!(out.matches(p).count(), 2, "{p} on both machines");
+        }
+    }
+}

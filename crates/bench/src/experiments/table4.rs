@@ -1,0 +1,43 @@
+//! Table 4: MigrationTP vs Xen→Xen live migration (1 vCPU / 1 GB over
+//! 1 Gbps).
+
+use hypertp_core::HypervisorKind;
+use hypertp_machine::MachineSpec;
+
+use super::common::{ms2, run_migration, s2};
+use crate::table;
+
+/// Runs the comparison.
+pub fn run() -> String {
+    let xen = run_migration(MachineSpec::m1(), HypervisorKind::Xen, 1, 1, 1.0);
+    let tp = run_migration(MachineSpec::m1(), HypervisorKind::Kvm, 1, 1, 1.0);
+    let rows = vec![
+        vec![
+            "Downtime (ms)".to_string(),
+            ms2(xen.downtime),
+            ms2(tp.downtime),
+            "133.59 / 4.96".to_string(),
+        ],
+        vec![
+            "Migration time (s)".to_string(),
+            s2(xen.total),
+            s2(tp.total),
+            "9.564 / 9.63".to_string(),
+        ],
+    ];
+    table::render(
+        "Table 4 — MigrationTP (Xen→KVM) vs Xen→Xen live migration",
+        &["metric", "Xen→Xen", "MigrationTP", "paper (Xen/TP)"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders() {
+        let out = super::run();
+        assert!(out.contains("Downtime"));
+        assert!(out.contains("Migration time"));
+    }
+}

@@ -1,0 +1,26 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (§5).
+//!
+//! Each experiment lives in [`experiments`] as a function returning the
+//! formatted rows/series the paper reports; the `src/bin/*` binaries are
+//! thin wrappers (`cargo run -p hypertp-bench --bin fig6`), and
+//! `--bin exp_all` runs the full suite in order. DESIGN.md carries the
+//! experiment index mapping each id to the modules it exercises.
+
+pub mod experiments;
+pub mod table;
+
+use hypertp_core::{HypervisorKind, HypervisorRegistry};
+
+/// The standard two-hypervisor pool used by every experiment.
+pub fn registry() -> HypervisorRegistry {
+    let mut registry = HypervisorRegistry::new();
+    registry.register(HypervisorKind::Xen, |machine| {
+        Box::new(hypertp_xen::XenHypervisor::new(machine))
+    });
+    registry.register(HypervisorKind::Kvm, |machine| {
+        Box::new(hypertp_kvm::KvmHypervisor::new(machine))
+    });
+    registry.register_validator(HypervisorKind::Kvm, hypertp_kvm::xlate::preflight_validate);
+    registry
+}

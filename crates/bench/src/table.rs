@@ -1,0 +1,68 @@
+//! Plain-text table rendering for experiment output.
+
+/// Renders an aligned text table with a title, header row and data rows.
+pub fn render(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            let w = widths.get(i).copied().unwrap_or(cell.len());
+            line.push_str(&format!("{cell:>w$}  "));
+        }
+        line.trim_end().to_string()
+    };
+    out.push_str(&fmt_row(
+        headers.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
+    out.push('\n');
+    let total: usize = widths.iter().map(|w| w + 2).sum();
+    out.push_str(&"-".repeat(total.saturating_sub(2)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.clone(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with the given number of decimals.
+pub fn f(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let out = render(
+            "T",
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1.0".into()],
+                vec!["longer".into(), "2.25".into()],
+            ],
+        );
+        assert!(out.contains("== T =="));
+        assert!(out.contains("longer"));
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(f(2.0, 3), "2.000");
+    }
+}

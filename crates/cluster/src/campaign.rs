@@ -1,0 +1,264 @@
+//! The full vulnerability-window campaign of Fig. 1(b).
+//!
+//! The paper's traditional timeline (Fig. 1a) leaves the datacenter
+//! exposed from flaw identification until the patch is applied. HyperTP's
+//! timeline (Fig. 1b) inserts two transplants: at disclosure, every host
+//! moves to a safe hypervisor; when the patch ships and is applied, every
+//! host moves back. This module orchestrates that end-to-end: policy
+//! decision → fleet transplant out → the window elapses → patch →
+//! fleet transplant back, with exposure accounting.
+
+use hypertp_core::{HtpError, HypervisorKind, InPlaceReport};
+use hypertp_sim::SimDuration;
+use hypertp_vulndb::policy::{decide, Decision};
+use hypertp_vulndb::{HypervisorId, Vulnerability};
+
+use crate::openstack::NovaManager;
+
+/// Maps the vulnerability database's hypervisor identity onto the
+/// transplant framework's.
+pub fn to_kind(id: HypervisorId) -> HypervisorKind {
+    match id {
+        HypervisorId::Xen => HypervisorKind::Xen,
+        HypervisorId::Kvm => HypervisorKind::Kvm,
+    }
+}
+
+/// Inverse of [`to_kind`].
+pub fn to_id(kind: HypervisorKind) -> HypervisorId {
+    match kind {
+        HypervisorKind::Xen => HypervisorId::Xen,
+        HypervisorKind::Kvm => HypervisorId::Kvm,
+    }
+}
+
+/// Outcome of a full campaign.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// The vulnerability that triggered the campaign.
+    pub cve: String,
+    /// Hypervisor the fleet ran before (and after) the campaign.
+    pub home: HypervisorKind,
+    /// Refuge hypervisor chosen by the policy.
+    pub refuge: HypervisorKind,
+    /// Per-host reports for the transplant out.
+    pub out: Vec<InPlaceReport>,
+    /// Per-host reports for the transplant back.
+    pub back: Vec<InPlaceReport>,
+    /// The vulnerability window that was covered.
+    pub window: SimDuration,
+    /// Worst per-VM downtime across both transplants of any host.
+    pub worst_downtime: SimDuration,
+}
+
+impl CampaignReport {
+    /// Exposure eliminated: the whole window, minus the instants the
+    /// fleet spent mid-transplant (during which VMs are paused, not
+    /// exposed).
+    pub fn exposure_avoided(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Ratio of worst service disruption to window covered — the
+    /// cost/benefit the paper's abstract argues with.
+    pub fn disruption_ratio(&self) -> f64 {
+        self.worst_downtime.as_secs_f64() / self.window.as_secs_f64().max(1.0)
+    }
+}
+
+/// Errors from campaign orchestration.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The policy found no safe hypervisor (e.g. a VENOM-class common
+    /// flaw): fall back to emergency patching.
+    NoSafeTarget,
+    /// The fleet is not affected; no campaign is needed.
+    NotAffected,
+    /// The flaw is below the transplant threshold.
+    BelowThreshold,
+    /// A transplant failed mid-campaign.
+    Transplant(HtpError),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::NoSafeTarget => write!(f, "no safe hypervisor in the pool"),
+            CampaignError::NotAffected => write!(f, "fleet not affected"),
+            CampaignError::BelowThreshold => write!(f, "below transplant threshold"),
+            CampaignError::Transplant(e) => write!(f, "transplant failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<HtpError> for CampaignError {
+    fn from(e: HtpError) -> Self {
+        CampaignError::Transplant(e)
+    }
+}
+
+/// Runs the Fig. 1(b) campaign over a Nova-managed fleet: decide, move
+/// every host to the refuge hypervisor, let the window elapse, then move
+/// the fleet home (the patch having been applied to the home hypervisor's
+/// installation images in the meantime).
+pub fn run_campaign(
+    nova: &mut NovaManager,
+    disclosed: &Vulnerability,
+    open_flaws: &[&Vulnerability],
+) -> Result<CampaignReport, CampaignError> {
+    let home = nova.compute(0).hypervisor_kind();
+    let pool: Vec<HypervisorId> = nova.registry.kinds().into_iter().map(to_id).collect();
+    let refuge = match decide(disclosed, to_id(home), &pool, open_flaws) {
+        Decision::Transplant { target, .. } => to_kind(target),
+        Decision::NoSafeTarget => return Err(CampaignError::NoSafeTarget),
+        Decision::NotAffected => return Err(CampaignError::NotAffected),
+        Decision::BelowThreshold => return Err(CampaignError::BelowThreshold),
+    };
+
+    // Transplant out, host by host (a rolling fleet upgrade).
+    let mut out = Vec::new();
+    for host in 0..nova.host_count() {
+        let (report, _evacuations) = nova.host_live_upgrade(host, refuge)?;
+        out.push(report);
+    }
+
+    // The vulnerability window elapses on the refuge hypervisor.
+    let window = SimDuration::from_secs(disclosed.window_days.unwrap_or(30) as u64 * 24 * 3600);
+
+    // The patch has shipped and been applied to the home hypervisor's
+    // boot image: transplant back.
+    let mut back = Vec::new();
+    for host in 0..nova.host_count() {
+        let (report, _evacuations) = nova.host_live_upgrade(host, home)?;
+        back.push(report);
+    }
+
+    let worst_downtime = out
+        .iter()
+        .chain(back.iter())
+        .map(InPlaceReport::downtime)
+        .max()
+        .unwrap_or(SimDuration::ZERO);
+    Ok(CampaignReport {
+        cve: disclosed.id.clone(),
+        home,
+        refuge,
+        out,
+        back,
+        window,
+        worst_downtime,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::openstack::{pool, LibvirtDriver};
+    use hypertp_core::VmConfig;
+    use hypertp_machine::MachineSpec;
+    use hypertp_sim::SimClock;
+    use hypertp_vulndb::dataset::dataset;
+
+    fn fleet(hosts: usize) -> NovaManager {
+        let registry = pool();
+        let clock = SimClock::new();
+        let computes = (0..hosts)
+            .map(|i| {
+                let mut spec = MachineSpec::m1();
+                spec.ram_gb = 8;
+                LibvirtDriver::new(
+                    format!("c{i}"),
+                    spec,
+                    clock.clone(),
+                    &registry,
+                    HypervisorKind::Xen,
+                )
+                .unwrap()
+            })
+            .collect();
+        NovaManager::new(registry, computes)
+    }
+
+    fn xen_critical() -> Vulnerability {
+        dataset()
+            .into_iter()
+            .find(|v| v.id == "CVE-2016-6258")
+            .unwrap()
+    }
+
+    #[test]
+    fn campaign_round_trips_the_fleet() {
+        let mut nova = fleet(2);
+        for i in 0..3 {
+            nova.boot(&VmConfig::small(format!("svc{i}"))).unwrap();
+        }
+        let cve = xen_critical();
+        let report = run_campaign(&mut nova, &cve, &[]).unwrap();
+        assert_eq!(report.home, HypervisorKind::Xen);
+        assert_eq!(report.refuge, HypervisorKind::Kvm);
+        assert_eq!(report.out.len(), 2);
+        assert_eq!(report.back.len(), 2);
+        // Every host is home again; every VM survived two transplants.
+        for h in 0..2 {
+            assert_eq!(nova.compute(h).hypervisor_kind(), HypervisorKind::Xen);
+        }
+        for i in 0..3 {
+            let name = format!("svc{i}");
+            let host = nova.host_of(&name).unwrap();
+            assert!(nova.compute(host).vm_names().contains(&name));
+        }
+        // The campaign covers a 7-day window with seconds of disruption.
+        assert_eq!(report.window, SimDuration::from_secs(7 * 24 * 3600));
+        assert!(report.worst_downtime.as_secs_f64() < 10.0);
+        assert!(report.disruption_ratio() < 1e-4);
+    }
+
+    #[test]
+    fn common_flaw_has_no_refuge() {
+        let mut nova = fleet(1);
+        let venom = dataset()
+            .into_iter()
+            .find(|v| v.id == "CVE-2015-3456")
+            .unwrap();
+        assert!(matches!(
+            run_campaign(&mut nova, &venom, &[]),
+            Err(CampaignError::NoSafeTarget)
+        ));
+        // Fleet untouched.
+        assert_eq!(nova.compute(0).hypervisor_kind(), HypervisorKind::Xen);
+    }
+
+    #[test]
+    fn kvm_flaw_on_xen_fleet_is_not_affected() {
+        let mut nova = fleet(1);
+        let kvm_flaw = dataset()
+            .into_iter()
+            .find(|v| {
+                v.affects(HypervisorId::Kvm)
+                    && !v.is_common()
+                    && v.severity() == hypertp_vulndb::Severity::Critical
+            })
+            .unwrap();
+        assert!(matches!(
+            run_campaign(&mut nova, &kvm_flaw, &[]),
+            Err(CampaignError::NotAffected)
+        ));
+    }
+
+    #[test]
+    fn medium_flaw_stays_on_patch_cycle() {
+        let mut nova = fleet(1);
+        let medium = dataset()
+            .into_iter()
+            .find(|v| {
+                v.affects(HypervisorId::Xen) && v.severity() == hypertp_vulndb::Severity::Medium
+            })
+            .unwrap();
+        assert!(matches!(
+            run_campaign(&mut nova, &medium, &[]),
+            Err(CampaignError::BelowThreshold)
+        ));
+    }
+}

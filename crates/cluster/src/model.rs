@@ -1,0 +1,167 @@
+//! The cluster model: hosts and placed VMs.
+
+use hypertp_core::{HypervisorKind, VmConfig};
+use hypertp_machine::MachineSpec;
+use hypertp_sim::SimRng;
+use hypertp_workloads::WorkloadProfile;
+
+/// A VM placed somewhere in the cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterVm {
+    /// Unique name.
+    pub name: String,
+    /// Configuration (size, InPlaceTP compatibility).
+    pub config: VmConfig,
+    /// Workload profile (drives migration dirty rates).
+    pub profile: WorkloadProfile,
+    /// Current host index.
+    pub host: usize,
+}
+
+/// One host's state.
+#[derive(Debug, Clone)]
+pub struct HostState {
+    /// Hardware description.
+    pub spec: MachineSpec,
+    /// Hypervisor currently running.
+    pub hypervisor: HypervisorKind,
+    /// True once the host has been upgraded to the target hypervisor.
+    pub upgraded: bool,
+}
+
+/// The cluster: hosts plus VM placement.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// Hosts by index.
+    pub hosts: Vec<HostState>,
+    /// All VMs.
+    pub vms: Vec<ClusterVm>,
+    /// GiB reserved per host for the administration OS.
+    pub host_reserve_gb: u64,
+}
+
+impl Cluster {
+    /// Builds the §5.4 testbed: 10 hosts (2× E5-2630 v3, 96 GB, 10 Gbps),
+    /// 10 VMs each (1 vCPU / 4 GB) with the paper's mix — 30% video
+    /// streaming, 30% CPU+memory intensive, 40% idle — and
+    /// `compat_percent` of the VMs marked InPlaceTP-compatible (assigned
+    /// deterministically from `seed`).
+    pub fn paper_testbed(compat_percent: u32, seed: u64) -> Cluster {
+        let mut rng = SimRng::new(seed);
+        let hosts = (0..10)
+            .map(|_| HostState {
+                spec: MachineSpec::cluster_node(),
+                hypervisor: HypervisorKind::Xen,
+                upgraded: false,
+            })
+            .collect();
+        let mut vms = Vec::new();
+        let total = 100usize;
+        // Deterministic compatibility assignment: choose exactly
+        // compat_percent% of the VM indices.
+        let compat_count = (total as u64 * compat_percent as u64 / 100) as usize;
+        let compat_idx = rng.sample_indices(total, compat_count);
+        let is_compat = {
+            let mut v = vec![false; total];
+            for &i in &compat_idx {
+                v[i] = true;
+            }
+            v
+        };
+        for host in 0..10 {
+            for slot in 0..10 {
+                let idx = host * 10 + slot;
+                let profile = match slot % 10 {
+                    0..=2 => WorkloadProfile::video_stream(),
+                    3..=5 => WorkloadProfile::cpu_mem(),
+                    _ => WorkloadProfile::idle(),
+                };
+                let config = VmConfig::small(format!("vm-{host}-{slot}"))
+                    .with_memory_gb(4)
+                    .with_inplace_compatible(is_compat[idx]);
+                vms.push(ClusterVm {
+                    name: config.name.clone(),
+                    config,
+                    profile,
+                    host,
+                });
+            }
+        }
+        Cluster {
+            hosts,
+            vms,
+            host_reserve_gb: 8,
+        }
+    }
+
+    /// VM slots (by GiB) available on a host.
+    pub fn host_capacity_gb(&self, host: usize) -> u64 {
+        self.hosts[host].spec.ram_gb - self.host_reserve_gb
+    }
+
+    /// GiB currently used by VMs on a host.
+    pub fn host_used_gb(&self, host: usize) -> u64 {
+        self.vms
+            .iter()
+            .filter(|v| v.host == host)
+            .map(|v| v.config.memory_gb)
+            .sum()
+    }
+
+    /// Free GiB on a host.
+    pub fn host_free_gb(&self, host: usize) -> u64 {
+        self.host_capacity_gb(host)
+            .saturating_sub(self.host_used_gb(host))
+    }
+
+    /// Indices of the VMs on a host.
+    pub fn vms_on(&self, host: usize) -> Vec<usize> {
+        (0..self.vms.len())
+            .filter(|&i| self.vms[i].host == host)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_shape() {
+        let c = Cluster::paper_testbed(0, 1);
+        assert_eq!(c.hosts.len(), 10);
+        assert_eq!(c.vms.len(), 100);
+        for h in 0..10 {
+            assert_eq!(c.vms_on(h).len(), 10);
+            assert_eq!(c.host_used_gb(h), 40);
+            assert_eq!(c.host_capacity_gb(h), 88);
+        }
+        // Mix: 30 streaming, 30 cpu, 40 idle.
+        let streaming = c
+            .vms
+            .iter()
+            .filter(|v| v.profile.name == "video-stream")
+            .count();
+        let cpu = c.vms.iter().filter(|v| v.profile.name == "cpu-mem").count();
+        let idle = c.vms.iter().filter(|v| v.profile.name == "idle").count();
+        assert_eq!((streaming, cpu, idle), (30, 30, 40));
+    }
+
+    #[test]
+    fn compat_percent_is_exact() {
+        for pct in [0u32, 20, 40, 60, 80] {
+            let c = Cluster::paper_testbed(pct, 7);
+            let n = c.vms.iter().filter(|v| v.config.inplace_compatible).count();
+            assert_eq!(n as u32, pct, "compat at {pct}%");
+        }
+    }
+
+    #[test]
+    fn deterministic_assignment() {
+        let a = Cluster::paper_testbed(40, 9);
+        let b = Cluster::paper_testbed(40, 9);
+        let fa: Vec<bool> = a.vms.iter().map(|v| v.config.inplace_compatible).collect();
+        let fb: Vec<bool> = b.vms.iter().map(|v| v.config.inplace_compatible).collect();
+        assert_eq!(fa, fb);
+    }
+}

@@ -1,0 +1,129 @@
+//! Unified error type for transplant operations.
+
+use hypertp_machine::machine::KexecError;
+use hypertp_machine::MemError;
+use hypertp_pram::PramError;
+use hypertp_uisr::CodecError;
+
+use crate::vm::VmId;
+
+/// Errors surfaced by the HyperTP framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HtpError {
+    /// Physical memory error.
+    Mem(MemError),
+    /// PRAM encode/parse error.
+    Pram(PramError),
+    /// UISR codec error.
+    Codec(CodecError),
+    /// Kexec failure.
+    Kexec(KexecError),
+    /// Unknown VM id.
+    UnknownVm(VmId),
+    /// A VM was in the wrong state for the requested operation.
+    WrongVmState {
+        /// The VM concerned.
+        vm: VmId,
+        /// What the operation needed.
+        expected: &'static str,
+        /// What it found.
+        found: &'static str,
+    },
+    /// The hypervisor pool has no registered factory for the target.
+    UnknownHypervisor(String),
+    /// A UISR section could not be applied by the target hypervisor.
+    IncompatibleState {
+        /// The UISR section concerned.
+        section: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Guest memory integrity check failed after transplant.
+    IntegrityViolation {
+        /// The VM whose memory changed.
+        vm_name: String,
+    },
+    /// The operation is not supported by this hypervisor.
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for HtpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HtpError::Mem(e) => write!(f, "memory: {e}"),
+            HtpError::Pram(e) => write!(f, "pram: {e}"),
+            HtpError::Codec(e) => write!(f, "uisr codec: {e}"),
+            HtpError::Kexec(e) => write!(f, "kexec: {e}"),
+            HtpError::UnknownVm(id) => write!(f, "unknown VM {id}"),
+            HtpError::WrongVmState {
+                vm,
+                expected,
+                found,
+            } => write!(f, "VM {vm} is {found}, expected {expected}"),
+            HtpError::UnknownHypervisor(name) => {
+                write!(f, "no hypervisor '{name}' in the pool")
+            }
+            HtpError::IncompatibleState { section, detail } => {
+                write!(f, "cannot apply UISR section {section}: {detail}")
+            }
+            HtpError::IntegrityViolation { vm_name } => {
+                write!(f, "guest memory of '{vm_name}' changed across transplant")
+            }
+            HtpError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for HtpError {}
+
+impl From<MemError> for HtpError {
+    fn from(e: MemError) -> Self {
+        HtpError::Mem(e)
+    }
+}
+
+impl From<PramError> for HtpError {
+    fn from(e: PramError) -> Self {
+        HtpError::Pram(e)
+    }
+}
+
+impl From<CodecError> for HtpError {
+    fn from(e: CodecError) -> Self {
+        HtpError::Codec(e)
+    }
+}
+
+impl From<KexecError> for HtpError {
+    fn from(e: KexecError) -> Self {
+        HtpError::Kexec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = HtpError::UnknownHypervisor("esxi".into());
+        assert!(e.to_string().contains("esxi"));
+        let e = HtpError::WrongVmState {
+            vm: VmId(3),
+            expected: "paused",
+            found: "running",
+        };
+        assert!(e.to_string().contains("paused"));
+    }
+
+    #[test]
+    fn conversions() {
+        let m: HtpError = MemError::OutOfRange {
+            mfn: hypertp_machine::Mfn(1),
+        }
+        .into();
+        assert!(matches!(m, HtpError::Mem(_)));
+        let c: HtpError = CodecError::BadMagic.into();
+        assert!(matches!(c, HtpError::Codec(_)));
+    }
+}

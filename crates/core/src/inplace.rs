@@ -1,0 +1,581 @@
+//! InPlaceTP: in-place, micro-reboot-based hypervisor transplant (Fig. 3).
+//!
+//! Workflow: ❶ stage the target kernel, ❷ pause all VMs, ❸ translate each
+//! VM's VMi State to UISR (saved in RAM via PRAM files), ❹ micro-reboot
+//! into the target with the PRAM pointer on the command line, ❺ parse PRAM,
+//! rebuild VM management state, ❻ adopt the in-place guest memory and apply
+//! the UISR, ❼ resume guests and free ephemeral metadata.
+//!
+//! The §4.2.5 optimizations are individually toggleable through
+//! [`Optimizations`]; the ablation bench measures each one's contribution.
+
+use hypertp_machine::Machine;
+use hypertp_pram::{PramBuilder, PramImage, PramStats};
+use hypertp_sim::cost::MachinePerf;
+use hypertp_sim::{CostModel, SimDuration};
+
+use crate::error::HtpError;
+use crate::hypervisor::{Hypervisor, HypervisorKind};
+use crate::registry::HypervisorRegistry;
+use crate::uisr_store;
+
+/// The §4.2.5 optimization toggles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Optimizations {
+    /// "Preparation work without pausing the guest": build PRAM structures
+    /// before pausing VMs, so only finalization lands in the downtime.
+    pub prepare_before_pause: bool,
+    /// "Parallelization": translate/restore each VM on its own worker
+    /// thread. When off, all per-VM work is serialized on one core.
+    pub parallel: bool,
+    /// "Early restoration": start VM restoration as soon as KVM's services
+    /// are up instead of waiting for full userspace boot.
+    pub early_restoration: bool,
+    /// Strict pre-flight: run the target hypervisor's compatibility
+    /// validator over every VM's UISR before the micro-reboot and abort
+    /// (resuming the VMs on the source) if any translation would be lossy
+    /// — the compatible-IOAPIC direction the paper sketches as future
+    /// work in §4.2.1. Off by default: the paper's prototype applies the
+    /// lossy fixes and reports them.
+    pub strict_preflight: bool,
+}
+
+impl Default for Optimizations {
+    fn default() -> Self {
+        Optimizations {
+            prepare_before_pause: true,
+            parallel: true,
+            early_restoration: true,
+            strict_preflight: false,
+        }
+    }
+}
+
+impl Optimizations {
+    /// All optimizations disabled (baseline for the ablation).
+    pub fn none() -> Self {
+        Optimizations {
+            prepare_before_pause: false,
+            parallel: false,
+            early_restoration: false,
+            strict_preflight: false,
+        }
+    }
+}
+
+/// Timing breakdown and bookkeeping of one InPlaceTP run (the Fig. 6 bars).
+#[derive(Debug, Clone)]
+pub struct InPlaceReport {
+    /// Number of VMs transplanted.
+    pub vm_count: usize,
+    /// Device quiescing time (§4.2.3: guest notification, queue draining,
+    /// network unplug). Pre-pause, like PRAM construction.
+    pub device_prepare: SimDuration,
+    /// PRAM structure construction time. Below the time axis in Fig. 6
+    /// when `prepare_before_pause` is on (it does not count as downtime).
+    pub pram: SimDuration,
+    /// UISR translation time (plus PRAM construction when preparation is
+    /// disabled).
+    pub translation: SimDuration,
+    /// Micro-reboot time: kexec + target kernel boot + early-boot PRAM
+    /// parse.
+    pub reboot: SimDuration,
+    /// UISR restoration time.
+    pub restoration: SimDuration,
+    /// Network re-initialization time (reported separately, as in Fig. 6:
+    /// it only affects network-dependent applications).
+    pub network: SimDuration,
+    /// Size statistics of the PRAM metadata that was built.
+    pub pram_stats: PramStats,
+    /// Total encoded UISR bytes saved across the reboot.
+    pub uisr_bytes: u64,
+    /// Frames scrubbed by the target's boot (unreserved leftovers).
+    pub scrubbed_frames: u64,
+    /// Compatibility warnings from the target's `from_uisr` translations.
+    pub warnings: Vec<String>,
+}
+
+impl InPlaceReport {
+    /// VM downtime: Translation + Reboot + Restoration (§5.2).
+    pub fn downtime(&self) -> SimDuration {
+        self.translation + self.reboot + self.restoration
+    }
+
+    /// Total transplant time including pre-pause preparation.
+    pub fn total(&self) -> SimDuration {
+        self.device_prepare + self.pram + self.downtime()
+    }
+
+    /// Downtime observed by network-dependent applications: the NIC comes
+    /// back after the reboot, concurrently with restoration but typically
+    /// much slower (6.6 s on M1).
+    pub fn downtime_with_network(&self) -> SimDuration {
+        self.downtime()
+            .max(self.translation + self.reboot + self.network)
+    }
+}
+
+/// The InPlaceTP engine.
+pub struct InPlaceTransplant<'r> {
+    registry: &'r HypervisorRegistry,
+    cost: CostModel,
+    opts: Optimizations,
+}
+
+impl<'r> InPlaceTransplant<'r> {
+    /// Creates an engine over a hypervisor pool with default cost model and
+    /// all optimizations enabled.
+    pub fn new(registry: &'r HypervisorRegistry) -> Self {
+        InPlaceTransplant {
+            registry,
+            cost: CostModel::paper_calibrated(),
+            opts: Optimizations::default(),
+        }
+    }
+
+    /// Replaces the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Replaces the optimization toggles.
+    pub fn with_optimizations(mut self, opts: Optimizations) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Worker-pool view of the machine: a single worker when the
+    /// parallelization optimization is off.
+    fn pool_perf(&self, perf: MachinePerf) -> MachinePerf {
+        if self.opts.parallel {
+            perf
+        } else {
+            MachinePerf {
+                threads: perf.reserved_threads + 1,
+                ..perf
+            }
+        }
+    }
+
+    /// Runs the full InPlaceTP workflow on `machine`, transplanting every
+    /// VM from `source` onto a freshly booted `target` hypervisor.
+    ///
+    /// Returns the new hypervisor (with all VMs adopted and running) and
+    /// the timing report.
+    pub fn run(
+        &self,
+        machine: &mut Machine,
+        mut source: Box<dyn Hypervisor>,
+        target: HypervisorKind,
+    ) -> Result<(Box<dyn Hypervisor>, InPlaceReport), HtpError> {
+        if !self.registry.contains(target) {
+            return Err(HtpError::UnknownHypervisor(target.name().to_string()));
+        }
+        let perf = machine.spec().perf();
+        let pool = self.pool_perf(perf);
+        let clock = machine.clock().clone();
+
+        // Gather per-VM parameters.
+        let ids = source.vm_ids();
+        let mut build_list = Vec::new(); // (gb, entries)
+        let mut xlate_list = Vec::new(); // (gb, vcpus, entries)
+        let mut restore_list = Vec::new(); // (gb, vcpus)
+        let mut total_gb = 0.0f64;
+        for &id in &ids {
+            let c = source.vm_config(id)?;
+            build_list.push((c.memory_gb as f64, c.pram_entries()));
+            xlate_list.push((c.memory_gb as f64, c.vcpus, c.pram_entries()));
+            restore_list.push((c.memory_gb as f64, c.vcpus));
+            total_gb += c.memory_gb as f64;
+        }
+
+        // ❶ Stage the target kernel ahead of time (cost-free: done in the
+        // background during normal operation) — the image is completed with
+        // the PRAM pointer below, before the reboot.
+
+        // §4.2.3: ask every guest to quiesce its devices before anything
+        // else pauses (notifications go out in parallel; the slowest guest
+        // bounds the phase).
+        let mut device_prepare = SimDuration::ZERO;
+        for &id in &ids {
+            device_prepare = device_prepare.max(source.notify_prepare_transplant(machine, id)?);
+        }
+        clock.advance(device_prepare);
+
+        // Pre-pause PRAM construction.
+        let pram_cost = self.cost.pram_build(&pool, &build_list);
+        let mut pram_span = SimDuration::ZERO;
+        if self.opts.prepare_before_pause {
+            clock.advance(pram_cost);
+            pram_span = pram_cost;
+        }
+
+        // ❷ Pause all VMs.
+        for &id in &ids {
+            source.pause_vm(id)?;
+        }
+        clock.advance(perf.cpu(self.cost.pause_ghz_s_per_vm * ids.len() as f64));
+        let t_pause = clock.now();
+
+        // Integrity baseline: guest memory contents at pause time.
+        let mut baselines = Vec::new();
+        for &id in &ids {
+            let map = source.guest_memory_map(id)?;
+            let extents: Vec<_> = map.iter().map(|(_, e)| *e).collect();
+            let sum = machine.ram().checksum(&extents);
+            baselines.push((source.vm_config(id)?.name.clone(), sum));
+        }
+
+        // ❸ Translate VMi State to UISR.
+        let mut saved = Vec::new();
+        for &id in &ids {
+            let name = source.vm_config(id)?.name.clone();
+            let map = source.guest_memory_map(id)?;
+            let uisr = source.save_uisr(machine, id)?;
+            saved.push((name, map, uisr));
+        }
+
+        // Strict pre-flight: before the micro-reboot's point of no return,
+        // ask the target's validator whether any translation would be
+        // lossy. On rejection the transplant aborts cleanly — the VMs
+        // simply resume on the source hypervisor.
+        if self.opts.strict_preflight {
+            let mut issues = Vec::new();
+            for (name, _, uisr) in &saved {
+                for issue in self.registry.validate(target, uisr) {
+                    issues.push(format!("{name}: {issue}"));
+                }
+            }
+            if !issues.is_empty() {
+                for &id in &ids {
+                    source.resume_vm(id)?;
+                }
+                return Err(HtpError::IncompatibleState {
+                    section: "preflight",
+                    detail: issues.join("; "),
+                });
+            }
+        }
+
+        // Persist everything in RAM across the reboot.
+        let mut builder = PramBuilder::new();
+        let mut uisr_bytes = 0u64;
+        for (name, map, uisr) in &saved {
+            builder.add_file(name.clone(), 0o600, map.clone());
+            let blob = hypertp_uisr::encode(uisr);
+            uisr_bytes += blob.len() as u64;
+            uisr_store::store_blob(machine.ram_mut(), &mut builder, name, &blob)?;
+        }
+        let handle = builder.write(machine.ram_mut())?;
+        let translate_cost = self.cost.translate(&pool, &xlate_list);
+        clock.advance(translate_cost);
+        let translation_span = if self.opts.prepare_before_pause {
+            translate_cost
+        } else {
+            // PRAM construction lands inside the downtime.
+            clock.advance(pram_cost);
+            pram_span = SimDuration::ZERO;
+            translate_cost + pram_cost
+        };
+
+        // ❹ Micro-reboot into the target.
+        machine.kexec_load(hypertp_machine::KexecImage {
+            target: target.boot_target(),
+            cmdline: format!("hypertp {}", handle.cmdline_arg()),
+        });
+        drop(source); // HV State dies with the old kernel.
+        machine.kexec()?;
+        let total_entries = handle.stats().entries;
+        let reboot_cost = self
+            .cost
+            .reboot(&perf, target.boot_target(), total_gb, total_entries);
+        clock.advance(reboot_cost);
+
+        // Early boot of the target: parse PRAM from the command line,
+        // reserve every recorded frame, then let boot scrubbing run.
+        let pram_ptr = hypertp_pram::fs::pram_ptr_from_cmdline(machine.booted_cmdline()).ok_or(
+            HtpError::Pram(hypertp_pram::PramError::BadMagic {
+                mfn: hypertp_machine::Mfn(0),
+            }),
+        )?;
+        let image = PramImage::parse(machine.ram(), pram_ptr)?;
+        image.reserve_all(machine.ram_mut())?;
+        let scrubbed = machine.ram_mut().scrub_unreserved();
+
+        // ❺ Boot the target hypervisor (rebuilds VM Management State).
+        let mut target_hv = self.registry.create(target, machine)?;
+
+        // ❻ Adopt each VM: decode its UISR blob and link the in-place
+        // guest memory.
+        let mut warnings = Vec::new();
+        let mut adopted = Vec::new();
+        for file in image.files.iter().filter(|f| !uisr_store::is_uisr_file(f)) {
+            let blob_file = image
+                .file(&uisr_store::uisr_file_name(&file.name))
+                .ok_or_else(|| HtpError::IncompatibleState {
+                    section: "UISR",
+                    detail: format!("no UISR blob for VM '{}'", file.name),
+                })?;
+            let blob = uisr_store::load_blob(machine.ram(), blob_file)?;
+            let uisr = hypertp_uisr::decode(&blob)?;
+            let restored = target_hv.adopt_vm(machine, &uisr, &file.mappings)?;
+            warnings.extend(restored.warnings.iter().cloned());
+            adopted.push((file.name.clone(), restored.id));
+        }
+        let restore_cost = self
+            .cost
+            .restore(&perf, &restore_list, self.opts.early_restoration);
+        clock.advance(restore_cost);
+
+        // Integrity check: guest memory must be byte-identical.
+        for (name, expected) in &baselines {
+            let id = target_hv
+                .find_vm(name)
+                .ok_or_else(|| HtpError::IntegrityViolation {
+                    vm_name: name.clone(),
+                })?;
+            let map = target_hv.guest_memory_map(id)?;
+            let extents: Vec<_> = map.iter().map(|(_, e)| *e).collect();
+            if machine.ram().checksum(&extents) != *expected {
+                return Err(HtpError::IntegrityViolation {
+                    vm_name: name.clone(),
+                });
+            }
+            // The target must have re-owned every guest frame; otherwise
+            // dropping the PRAM reservations below would let the allocator
+            // recycle live guest memory.
+            if !extents.iter().all(|e| machine.ram().is_allocated(e.base)) {
+                return Err(HtpError::IntegrityViolation {
+                    vm_name: name.clone(),
+                });
+            }
+        }
+
+        // ❼ Resume guests and free ephemeral metadata.
+        for (_, id) in &adopted {
+            target_hv.resume_vm(*id)?;
+        }
+        clock.advance(perf.cpu(self.cost.resume_ghz_s_per_vm * adopted.len() as f64));
+        let t_resumed = clock.now();
+        for file in image.files.iter().filter(|f| uisr_store::is_uisr_file(f)) {
+            uisr_store::release_blob(machine.ram_mut(), file)?;
+        }
+        image.release_metadata(machine.ram_mut())?;
+        // Guest frames stay allocated (adopted); drop their reservations.
+        for file in image.files.iter().filter(|f| !uisr_store::is_uisr_file(f)) {
+            for (_, e) in &file.mappings {
+                machine.ram_mut().unreserve_and_free(e.base, e.pages())?;
+            }
+        }
+
+        // NIC re-initialization, reported separately (Fig. 6 "Network").
+        let network = machine.bring_up_nic();
+
+        // Attribute the pause→resume distance to the three downtime phases
+        // (pause/resume costs fold into translation/restoration).
+        let measured_downtime = t_resumed.duration_since(t_pause);
+        debug_assert!(measured_downtime >= translation_span + reboot_cost + restore_cost);
+
+        let report = InPlaceReport {
+            vm_count: ids.len(),
+            device_prepare,
+            pram: pram_span,
+            translation: translation_span,
+            reboot: reboot_cost,
+            restoration: measured_downtime - translation_span - reboot_cost,
+            network,
+            pram_stats: handle.stats(),
+            uisr_bytes,
+            scrubbed_frames: scrubbed,
+            warnings,
+        };
+        Ok((target_hv, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::SimpleHv;
+    use crate::vm::VmConfig;
+    use hypertp_machine::MachineSpec;
+
+    fn registry() -> HypervisorRegistry {
+        let mut r = HypervisorRegistry::new();
+        r.register(HypervisorKind::Xen, |_m| {
+            Box::new(SimpleHv::new(HypervisorKind::Xen))
+        });
+        r.register(HypervisorKind::Kvm, |_m| {
+            Box::new(SimpleHv::new(HypervisorKind::Kvm))
+        });
+        r
+    }
+
+    fn machine_gb(gb: u64) -> Machine {
+        let mut spec = MachineSpec::m1();
+        spec.ram_gb = gb;
+        Machine::new(spec)
+    }
+
+    #[test]
+    fn transplant_preserves_guest_memory_and_state() {
+        let reg = registry();
+        let mut m = machine_gb(4);
+        let mut src: Box<dyn Hypervisor> = Box::new(SimpleHv::new(HypervisorKind::Xen));
+        let cfg = VmConfig::small("vm0");
+        let id = src.create_vm(&mut m, &cfg).unwrap();
+        src.write_guest(&mut m, id, hypertp_machine::Gfn(1234), 0xfeed)
+            .unwrap();
+        let pre_rip = {
+            let s = src.as_mut();
+            s.guest_tick(&mut m, id, 5).unwrap();
+            s.pause_vm(id).unwrap();
+            let u = s.save_uisr(&m, id).unwrap();
+            s.resume_vm(id).unwrap();
+            u.vcpus[0].regs.rip
+        };
+
+        let engine = InPlaceTransplant::new(&reg);
+        let (hv, report) = engine.run(&mut m, src, HypervisorKind::Kvm).unwrap();
+        assert_eq!(hv.kind(), HypervisorKind::Kvm);
+        assert_eq!(report.vm_count, 1);
+        let new_id = hv.find_vm("vm0").unwrap();
+        assert_eq!(
+            hv.read_guest(&m, new_id, hypertp_machine::Gfn(1234))
+                .unwrap(),
+            0xfeed
+        );
+        assert_eq!(hv.vm_state(new_id).unwrap(), crate::vm::VmState::Running);
+        // vCPU architectural state carried over.
+        let mut hv = hv;
+        hv.pause_vm(new_id).unwrap();
+        let u2 = hv.save_uisr(&m, new_id).unwrap();
+        assert_eq!(u2.vcpus[0].regs.rip, pre_rip);
+        assert_eq!(m.boot_count(), 2);
+    }
+
+    #[test]
+    fn fig6_shape_on_m1() {
+        // Downtime ≈ 1.7 s for a 1 vCPU / 1 GB VM on M1 (Xen→KVM), with
+        // Reboot the dominant phase (~71% of total transplant time).
+        let reg = registry();
+        let mut m = Machine::new(MachineSpec::m1());
+        let mut src: Box<dyn Hypervisor> = Box::new(SimpleHv::new(HypervisorKind::Xen));
+        src.create_vm(&mut m, &VmConfig::small("vm0")).unwrap();
+        let engine = InPlaceTransplant::new(&reg);
+        let (_hv, r) = engine.run(&mut m, src, HypervisorKind::Kvm).unwrap();
+        let downtime = r.downtime().as_secs_f64();
+        assert!((1.4..2.1).contains(&downtime), "downtime = {downtime}");
+        let frac = r.reboot.as_secs_f64() / r.total().as_secs_f64();
+        assert!((0.6..0.8).contains(&frac), "reboot fraction = {frac}");
+        // Network bring-up dominates for network apps: ≈ 6.6 s extra.
+        assert!(r.downtime_with_network().as_secs_f64() > 7.0);
+    }
+
+    #[test]
+    fn kvm_to_xen_is_slower() {
+        let reg = registry();
+        let mut m = Machine::new(MachineSpec::m1());
+        let mut src: Box<dyn Hypervisor> = Box::new(SimpleHv::new(HypervisorKind::Kvm));
+        src.create_vm(&mut m, &VmConfig::small("vm0")).unwrap();
+        let engine = InPlaceTransplant::new(&reg);
+        let (_hv, r) = engine.run(&mut m, src, HypervisorKind::Xen).unwrap();
+        // ≈7.8 s downtime for KVM→Xen on M1 (§5.2.2).
+        let downtime = r.downtime().as_secs_f64();
+        assert!((6.5..9.0).contains(&downtime), "downtime = {downtime}");
+    }
+
+    #[test]
+    fn unknown_target_fails_before_pausing() {
+        let mut reg = HypervisorRegistry::new();
+        reg.register(HypervisorKind::Xen, |_m| {
+            Box::new(SimpleHv::new(HypervisorKind::Xen))
+        });
+        let mut m = machine_gb(4);
+        let mut src: Box<dyn Hypervisor> = Box::new(SimpleHv::new(HypervisorKind::Xen));
+        let id = src.create_vm(&mut m, &VmConfig::small("vm0")).unwrap();
+        let engine = InPlaceTransplant::new(&reg);
+        let src_state = src.vm_state(id).unwrap();
+        match engine.run(&mut m, src, HypervisorKind::Kvm) {
+            Err(HtpError::UnknownHypervisor(_)) => {}
+            Err(other) => panic!("unexpected error {other}"),
+            Ok(_) => panic!("transplant to unregistered target must fail"),
+        }
+        assert_eq!(src_state, crate::vm::VmState::Running);
+    }
+
+    #[test]
+    fn optimizations_change_downtime() {
+        let reg = registry();
+        let run = |opts: Optimizations| {
+            let mut m = Machine::new(MachineSpec::m1());
+            let mut src: Box<dyn Hypervisor> = Box::new(SimpleHv::new(HypervisorKind::Xen));
+            for i in 0..4 {
+                src.create_vm(&mut m, &VmConfig::small(format!("vm{i}")))
+                    .unwrap();
+            }
+            let engine = InPlaceTransplant::new(&reg).with_optimizations(opts);
+            let (_hv, r) = engine.run(&mut m, src, HypervisorKind::Kvm).unwrap();
+            r
+        };
+        let all = run(Optimizations::default());
+        let none = run(Optimizations::none());
+        assert!(none.downtime() > all.downtime());
+        // Without preparation, PRAM construction lands in the downtime.
+        assert_eq!(none.pram, SimDuration::ZERO);
+        assert!(none.translation > all.translation + all.pram.saturating_sub(all.translation));
+
+        let no_early = run(Optimizations {
+            early_restoration: false,
+            ..Optimizations::default()
+        });
+        assert!(no_early.restoration > all.restoration + SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn multiple_vms_all_adopted() {
+        let reg = registry();
+        let mut m = machine_gb(16);
+        let mut src: Box<dyn Hypervisor> = Box::new(SimpleHv::new(HypervisorKind::Xen));
+        for i in 0..8 {
+            let id = src
+                .create_vm(&mut m, &VmConfig::small(format!("vm{i}")))
+                .unwrap();
+            src.write_guest(&mut m, id, hypertp_machine::Gfn(i), 0x1000 + i)
+                .unwrap();
+        }
+        let engine = InPlaceTransplant::new(&reg);
+        let (hv, r) = engine.run(&mut m, src, HypervisorKind::Kvm).unwrap();
+        assert_eq!(r.vm_count, 8);
+        for i in 0..8u64 {
+            let id = hv.find_vm(&format!("vm{i}")).unwrap();
+            assert_eq!(
+                hv.read_guest(&m, id, hypertp_machine::Gfn(i)).unwrap(),
+                0x1000 + i
+            );
+        }
+        // Metadata released: allocated frames ≈ guest frames only.
+        assert_eq!(r.pram_stats.files, 16); // 8 guest + 8 UISR files.
+    }
+
+    #[test]
+    fn roundtrip_back_to_original_kind() {
+        // Transplant Xen→KVM→Xen; guest memory must survive both hops.
+        let reg = registry();
+        let mut m = machine_gb(4);
+        let mut src: Box<dyn Hypervisor> = Box::new(SimpleHv::new(HypervisorKind::Xen));
+        let id = src.create_vm(&mut m, &VmConfig::small("vm0")).unwrap();
+        src.write_guest(&mut m, id, hypertp_machine::Gfn(77), 0xabcd)
+            .unwrap();
+        let engine = InPlaceTransplant::new(&reg);
+        let (kvm, _) = engine.run(&mut m, src, HypervisorKind::Kvm).unwrap();
+        let (xen, _) = engine.run(&mut m, kvm, HypervisorKind::Xen).unwrap();
+        let id2 = xen.find_vm("vm0").unwrap();
+        assert_eq!(
+            xen.read_guest(&m, id2, hypertp_machine::Gfn(77)).unwrap(),
+            0xabcd
+        );
+        assert_eq!(m.boot_count(), 3);
+    }
+}

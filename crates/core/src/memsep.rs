@@ -1,0 +1,145 @@
+//! Memory separation: the four-way classification of RAM contents (§3.1,
+//! Fig. 2).
+//!
+//! HyperTP's downtime depends on translating as little as possible. The
+//! paper classifies every byte of RAM a virtualized system uses into four
+//! categories with different transplant treatment:
+//!
+//! | Category | Treatment under InPlaceTP |
+//! |---|---|
+//! | Guest State | kept untouched, in place |
+//! | VMi State | translated through UISR |
+//! | VM Management State | discarded; rebuilt from the VMi States |
+//! | HV State | discarded; reinitialized by the micro-reboot |
+//!
+//! Hypervisor models report their footprint per category via
+//! [`MemSepReport`]; the engine and the test suite use the report to check
+//! the treatment invariants (e.g. only VMi State bytes flow through the
+//! UISR codec).
+
+/// The four categories of Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StateCategory {
+    /// The guest's own address space: OS + applications. Hypervisor-
+    /// independent.
+    GuestState,
+    /// Per-VM hypervisor structures (NPT, vCPU contexts, device emulation
+    /// state). Hypervisor-dependent; translated via UISR.
+    VmiState,
+    /// Management structures referencing VMi State (scheduler queues,
+    /// domain/VM lists). Rebuilt, never translated.
+    VmMgmtState,
+    /// Hypervisor-global state with no VM linkage. Reinitialized by the
+    /// micro-reboot.
+    HvState,
+}
+
+impl StateCategory {
+    /// All categories, in Fig. 2 order.
+    pub const ALL: [StateCategory; 4] = [
+        StateCategory::GuestState,
+        StateCategory::VmiState,
+        StateCategory::VmMgmtState,
+        StateCategory::HvState,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StateCategory::GuestState => "Guest State",
+            StateCategory::VmiState => "VMi State",
+            StateCategory::VmMgmtState => "VM Management State",
+            StateCategory::HvState => "HV State",
+        }
+    }
+
+    /// True if the category must be translated through UISR during a
+    /// transplant.
+    pub fn needs_translation(self) -> bool {
+        matches!(self, StateCategory::VmiState)
+    }
+
+    /// True if the category survives the micro-reboot in place.
+    pub fn survives_reboot(self) -> bool {
+        matches!(self, StateCategory::GuestState)
+    }
+}
+
+/// A hypervisor's memory footprint broken down by category, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemSepReport {
+    /// Guest State bytes (guest RAM).
+    pub guest_state: u64,
+    /// VMi State bytes (NPTs, vCPU contexts, device state).
+    pub vmi_state: u64,
+    /// VM Management State bytes (run queues, domain tables).
+    pub vm_mgmt_state: u64,
+    /// HV State bytes (heap, free-page bookkeeping, consoles...).
+    pub hv_state: u64,
+}
+
+impl MemSepReport {
+    /// Bytes in a given category.
+    pub fn of(&self, cat: StateCategory) -> u64 {
+        match cat {
+            StateCategory::GuestState => self.guest_state,
+            StateCategory::VmiState => self.vmi_state,
+            StateCategory::VmMgmtState => self.vm_mgmt_state,
+            StateCategory::HvState => self.hv_state,
+        }
+    }
+
+    /// Total bytes across all categories.
+    pub fn total(&self) -> u64 {
+        self.guest_state + self.vmi_state + self.vm_mgmt_state + self.hv_state
+    }
+
+    /// Bytes that must be translated during transplant (VMi State only) —
+    /// the quantity memory separation minimizes.
+    pub fn translated_bytes(&self) -> u64 {
+        self.vmi_state
+    }
+
+    /// Fraction of total state that needs translation. The paper's central
+    /// efficiency claim is that this is tiny (guest state dominates).
+    pub fn translation_ratio(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.translated_bytes() as f64 / self.total() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_properties() {
+        assert!(StateCategory::VmiState.needs_translation());
+        assert!(!StateCategory::GuestState.needs_translation());
+        assert!(StateCategory::GuestState.survives_reboot());
+        assert!(!StateCategory::HvState.survives_reboot());
+        assert_eq!(StateCategory::ALL.len(), 4);
+    }
+
+    #[test]
+    fn report_accounting() {
+        let r = MemSepReport {
+            guest_state: 1 << 30,
+            vmi_state: 2 << 20,
+            vm_mgmt_state: 1 << 20,
+            hv_state: 64 << 20,
+        };
+        assert_eq!(r.of(StateCategory::VmiState), 2 << 20);
+        assert_eq!(r.total(), (1u64 << 30) + (2 << 20) + (1 << 20) + (64 << 20));
+        assert_eq!(r.translated_bytes(), 2 << 20);
+        assert!(r.translation_ratio() < 0.01);
+    }
+
+    #[test]
+    fn empty_report_ratio_is_zero() {
+        assert_eq!(MemSepReport::default().translation_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Persisting encoded UISR blobs in RAM across the micro-reboot.
+//!
+//! InPlaceTP "translates VM states into the UISR neutral format, followed by
+//! the saving of the latter in RAM" (§4.2). We persist each VM's encoded
+//! UISR as an extra PRAM file named `uisr/<vm>`: the blob is chunked into
+//! freshly allocated frames whose byte contents carry the encoding, and the
+//! PRAM reservation machinery then protects them across the kexec exactly
+//! like guest memory.
+//!
+//! Blob file layout: the first page starts with an 8-byte little-endian
+//! length, followed by the blob bytes; subsequent pages are raw
+//! continuation bytes. File GFNs are the sequential chunk index (the blob
+//! is a file, not guest-physical memory).
+
+use hypertp_machine::{Gfn, PageOrder, PhysicalMemory, PAGE_SIZE};
+use hypertp_pram::{PramBuilder, PramFile};
+
+use crate::error::HtpError;
+
+/// Name prefix distinguishing UISR blob files from guest-memory files
+/// inside the same PRAM directory.
+pub const UISR_FILE_PREFIX: &str = "uisr/";
+
+/// Returns the PRAM file name for a VM's UISR blob.
+pub fn uisr_file_name(vm_name: &str) -> String {
+    format!("{UISR_FILE_PREFIX}{vm_name}")
+}
+
+/// True if a PRAM file carries a UISR blob rather than guest memory.
+pub fn is_uisr_file(file: &PramFile) -> bool {
+    file.name.starts_with(UISR_FILE_PREFIX)
+}
+
+/// Stores `blob` into freshly allocated frames and records them as a PRAM
+/// file on `builder`.
+pub fn store_blob(
+    ram: &mut PhysicalMemory,
+    builder: &mut PramBuilder,
+    vm_name: &str,
+    blob: &[u8],
+) -> Result<(), HtpError> {
+    let total = 8 + blob.len();
+    let pages = total.div_ceil(PAGE_SIZE as usize);
+    let mut mappings = Vec::with_capacity(pages);
+    let mut cursor = 0usize;
+    for chunk_idx in 0..pages {
+        let extent = ram.alloc(PageOrder(0))?;
+        let mut page = vec![0u8; PAGE_SIZE as usize];
+        let mut off = 0usize;
+        if chunk_idx == 0 {
+            page[0..8].copy_from_slice(&(blob.len() as u64).to_le_bytes());
+            off = 8;
+        }
+        let n = (PAGE_SIZE as usize - off).min(blob.len() - cursor);
+        page[off..off + n].copy_from_slice(&blob[cursor..cursor + n]);
+        cursor += n;
+        ram.write_bytes(extent.base, &page)?;
+        mappings.push((Gfn(chunk_idx as u64), extent));
+    }
+    builder.add_file(uisr_file_name(vm_name), 0o400, mappings);
+    Ok(())
+}
+
+/// Loads a blob back from a parsed PRAM file.
+pub fn load_blob(ram: &PhysicalMemory, file: &PramFile) -> Result<Vec<u8>, HtpError> {
+    let mut pages = file.mappings.clone();
+    pages.sort_by_key(|(g, _)| *g);
+    let mut raw = Vec::with_capacity(pages.len() * PAGE_SIZE as usize);
+    for (_, e) in &pages {
+        for mfn in e.frames() {
+            let bytes = ram
+                .read_bytes(mfn)
+                .ok_or(HtpError::Pram(hypertp_pram::PramError::BadMagic { mfn }))?;
+            raw.extend_from_slice(bytes);
+        }
+    }
+    if raw.len() < 8 {
+        return Err(HtpError::Codec(hypertp_uisr::CodecError::Truncated));
+    }
+    let len = u64::from_le_bytes(raw[0..8].try_into().expect("len 8")) as usize;
+    if raw.len() < 8 + len {
+        return Err(HtpError::Codec(hypertp_uisr::CodecError::Truncated));
+    }
+    Ok(raw[8..8 + len].to_vec())
+}
+
+/// Frees a UISR blob file's frames (cleanup step ❼).
+pub fn release_blob(ram: &mut PhysicalMemory, file: &PramFile) -> Result<(), HtpError> {
+    for (_, e) in &file.mappings {
+        ram.unreserve_and_free(e.base, e.pages())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypertp_pram::PramImage;
+
+    #[test]
+    fn blob_roundtrip_through_kexec() {
+        let mut ram = PhysicalMemory::new(4096);
+        let blob: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let mut builder = PramBuilder::new();
+        store_blob(&mut ram, &mut builder, "vm0", &blob).unwrap();
+        let handle = builder.write(&mut ram).unwrap();
+
+        // Simulate the micro-reboot.
+        ram.forget_ownership();
+        let img = PramImage::parse(&ram, handle.pram_ptr).unwrap();
+        img.reserve_all(&mut ram).unwrap();
+        ram.scrub_unreserved();
+
+        let file = img.file(&uisr_file_name("vm0")).unwrap();
+        assert!(is_uisr_file(file));
+        let back = load_blob(&ram, file).unwrap();
+        assert_eq!(back, blob);
+
+        // Cleanup returns frames to the allocator.
+        let free_before = ram.free_frames();
+        release_blob(&mut ram, file).unwrap();
+        assert!(ram.free_frames() > free_before);
+    }
+
+    #[test]
+    fn empty_blob() {
+        let mut ram = PhysicalMemory::new(64);
+        let mut builder = PramBuilder::new();
+        store_blob(&mut ram, &mut builder, "vm0", &[]).unwrap();
+        let handle = builder.write(&mut ram).unwrap();
+        let img = PramImage::parse(&ram, handle.pram_ptr).unwrap();
+        let back = load_blob(&ram, img.file("uisr/vm0").unwrap()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn page_boundary_blob_sizes() {
+        for len in [4087usize, 4088, 4089, 8184, 8192] {
+            let mut ram = PhysicalMemory::new(4096);
+            let blob: Vec<u8> = (0..len).map(|i| (i * 7 % 256) as u8).collect();
+            let mut builder = PramBuilder::new();
+            store_blob(&mut ram, &mut builder, "vm0", &blob).unwrap();
+            let handle = builder.write(&mut ram).unwrap();
+            let img = PramImage::parse(&ram, handle.pram_ptr).unwrap();
+            let back = load_blob(&ram, img.file("uisr/vm0").unwrap()).unwrap();
+            assert_eq!(back, blob, "len {len}");
+        }
+    }
+
+    #[test]
+    fn scrubbed_blob_fails_cleanly() {
+        let mut ram = PhysicalMemory::new(64);
+        let mut builder = PramBuilder::new();
+        store_blob(&mut ram, &mut builder, "vm0", b"hello").unwrap();
+        let handle = builder.write(&mut ram).unwrap();
+        let img = PramImage::parse(&ram, handle.pram_ptr).unwrap();
+        ram.forget_ownership();
+        ram.scrub_unreserved(); // No reservation -> blob destroyed.
+        assert!(load_blob(&ram, img.file("uisr/vm0").unwrap()).is_err());
+    }
+}

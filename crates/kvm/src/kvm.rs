@@ -1,0 +1,541 @@
+//! The KVM kernel-module state and ioctl dispatch surface.
+//!
+//! Userspace (kvmtool) interacts with KVM exclusively through file
+//! descriptors and ioctls: a system fd creates VM fds, a VM fd creates
+//! vCPU fds and registers memory slots, and state moves through the
+//! containers in [`crate::ioctl`]. §2.1 attributes 27% of KVM's critical
+//! vulnerabilities to exactly this ioctl surface.
+//!
+//! Guest memory: each memory slot covers a contiguous guest-physical
+//! range backed by a list of machine extents (the VMM's mmap'ed backing).
+//! Dirty tracking is per-slot bitmaps with `KVM_GET_DIRTY_LOG`
+//! read-and-clear semantics — a different design from Xen's P2M log-dirty,
+//! though UISR never needs to know.
+
+use std::collections::BTreeMap;
+
+use hypertp_machine::{Extent, Gfn, Mfn};
+
+use crate::ioctl::{
+    Errno, KvmFpu, KvmIoapicState, KvmLapicState, KvmMsrEntry, KvmPitState2, KvmRegs, KvmSregs,
+    KvmXcrs, KvmXsave,
+};
+
+/// A guest memory slot (`kvm_userspace_memory_region`).
+#[derive(Debug, Clone)]
+pub struct MemSlot {
+    /// Slot number.
+    pub slot: u32,
+    /// First guest-physical byte address.
+    pub guest_phys_addr: u64,
+    /// Length in bytes.
+    pub memory_size: u64,
+    /// Backing machine extents, covering the slot contiguously (the model
+    /// of the VMM's mmap'ed anonymous memory).
+    pub backing: Vec<Extent>,
+    /// Dirty bitmap (one bit per 4 KiB page), present when dirty logging
+    /// is enabled for the slot.
+    pub dirty_bitmap: Option<Vec<u64>>,
+}
+
+impl MemSlot {
+    fn pages(&self) -> u64 {
+        self.memory_size / 4096
+    }
+
+    /// Translates a page offset within the slot to a machine frame.
+    fn frame_at(&self, page_offset: u64) -> Option<Mfn> {
+        let mut remaining = page_offset;
+        for e in &self.backing {
+            if remaining < e.pages() {
+                return Some(e.base + remaining);
+            }
+            remaining -= e.pages();
+        }
+        None
+    }
+}
+
+/// Per-vCPU state held by the kernel module.
+#[derive(Debug, Clone, Default)]
+pub struct VcpuState {
+    /// General-purpose registers.
+    pub regs: KvmRegs,
+    /// Special registers.
+    pub sregs: KvmSregs,
+    /// FPU state.
+    pub fpu: KvmFpu,
+    /// MSR store.
+    pub msrs: BTreeMap<u32, u64>,
+    /// XSAVE region.
+    pub xsave: KvmXsave,
+    /// Extended control registers.
+    pub xcrs: KvmXcrs,
+    /// LAPIC register page.
+    pub lapic: KvmLapicState,
+}
+
+/// Per-VM state held by the kernel module.
+#[derive(Debug, Default)]
+pub struct VmState {
+    /// Registered memory slots.
+    pub slots: BTreeMap<u32, MemSlot>,
+    /// vCPU states by vCPU fd.
+    pub vcpus: BTreeMap<u32, VcpuState>,
+    /// In-kernel IOAPIC, present after `KVM_CREATE_IRQCHIP`.
+    pub irqchip: Option<KvmIoapicState>,
+    /// In-kernel PIT, present after `KVM_CREATE_PIT2`.
+    pub pit: Option<KvmPitState2>,
+}
+
+/// The KVM kernel module (the `/dev/kvm` side of the ioctl interface).
+#[derive(Debug, Default)]
+pub struct Kvm {
+    vms: BTreeMap<u32, VmState>,
+    next_fd: u32,
+}
+
+impl Kvm {
+    /// Loads the module.
+    pub fn new() -> Self {
+        Kvm {
+            vms: BTreeMap::new(),
+            next_fd: 3, // fds 0-2 are stdio, naturally.
+        }
+    }
+
+    fn vm(&self, vm_fd: u32) -> Result<&VmState, Errno> {
+        self.vms.get(&vm_fd).ok_or(Errno::EBADF)
+    }
+
+    fn vm_mut(&mut self, vm_fd: u32) -> Result<&mut VmState, Errno> {
+        self.vms.get_mut(&vm_fd).ok_or(Errno::EBADF)
+    }
+
+    fn vcpu(&self, vm_fd: u32, vcpu_fd: u32) -> Result<&VcpuState, Errno> {
+        self.vm(vm_fd)?.vcpus.get(&vcpu_fd).ok_or(Errno::EBADF)
+    }
+
+    fn vcpu_mut(&mut self, vm_fd: u32, vcpu_fd: u32) -> Result<&mut VcpuState, Errno> {
+        self.vm_mut(vm_fd)?
+            .vcpus
+            .get_mut(&vcpu_fd)
+            .ok_or(Errno::EBADF)
+    }
+
+    /// `KVM_CREATE_VM`.
+    pub fn create_vm(&mut self) -> u32 {
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        self.vms.insert(fd, VmState::default());
+        fd
+    }
+
+    /// Destroys a VM (closing its fd). Returns its backing extents so the
+    /// VMM can unmap them.
+    pub fn destroy_vm(&mut self, vm_fd: u32) -> Result<Vec<Extent>, Errno> {
+        let vm = self.vms.remove(&vm_fd).ok_or(Errno::EBADF)?;
+        Ok(vm
+            .slots
+            .into_values()
+            .flat_map(|s| s.backing.into_iter())
+            .collect())
+    }
+
+    /// `KVM_CREATE_VCPU`.
+    pub fn create_vcpu(&mut self, vm_fd: u32) -> Result<u32, Errno> {
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        self.vm_mut(vm_fd)?.vcpus.insert(fd, VcpuState::default());
+        Ok(fd)
+    }
+
+    /// `KVM_SET_USER_MEMORY_REGION`.
+    pub fn set_user_memory_region(
+        &mut self,
+        vm_fd: u32,
+        slot: u32,
+        guest_phys_addr: u64,
+        backing: Vec<Extent>,
+    ) -> Result<(), Errno> {
+        if !guest_phys_addr.is_multiple_of(4096) {
+            return Err(Errno::EINVAL);
+        }
+        let memory_size: u64 = backing.iter().map(|e| e.bytes()).sum();
+        let vm = self.vm_mut(vm_fd)?;
+        // Reject overlap with existing slots.
+        for s in vm.slots.values() {
+            if s.slot != slot
+                && guest_phys_addr < s.guest_phys_addr + s.memory_size
+                && s.guest_phys_addr < guest_phys_addr + memory_size
+            {
+                return Err(Errno::EEXIST);
+            }
+        }
+        vm.slots.insert(
+            slot,
+            MemSlot {
+                slot,
+                guest_phys_addr,
+                memory_size,
+                backing,
+                dirty_bitmap: None,
+            },
+        );
+        Ok(())
+    }
+
+    /// Translates a guest frame to a machine frame (the NPT walk).
+    pub fn gfn_to_mfn(&self, vm_fd: u32, gfn: Gfn) -> Result<Mfn, Errno> {
+        let vm = self.vm(vm_fd)?;
+        let addr = gfn.addr();
+        for s in vm.slots.values() {
+            if addr >= s.guest_phys_addr && addr < s.guest_phys_addr + s.memory_size {
+                let off = (addr - s.guest_phys_addr) / 4096;
+                return s.frame_at(off).ok_or(Errno::EFAULT);
+            }
+        }
+        Err(Errno::EFAULT)
+    }
+
+    /// Marks a guest page dirty (a write fault with dirty logging on).
+    pub fn mark_dirty(&mut self, vm_fd: u32, gfn: Gfn) -> Result<(), Errno> {
+        let vm = self.vm_mut(vm_fd)?;
+        let addr = gfn.addr();
+        for s in vm.slots.values_mut() {
+            if addr >= s.guest_phys_addr && addr < s.guest_phys_addr + s.memory_size {
+                if let Some(bm) = &mut s.dirty_bitmap {
+                    let bit = (addr - s.guest_phys_addr) / 4096;
+                    bm[(bit / 64) as usize] |= 1 << (bit % 64);
+                }
+                return Ok(());
+            }
+        }
+        Err(Errno::EFAULT)
+    }
+
+    /// Enables dirty logging on every slot (`KVM_MEM_LOG_DIRTY_PAGES`).
+    pub fn enable_dirty_log(&mut self, vm_fd: u32) -> Result<(), Errno> {
+        let vm = self.vm_mut(vm_fd)?;
+        for s in vm.slots.values_mut() {
+            let words = s.pages().div_ceil(64) as usize;
+            s.dirty_bitmap = Some(vec![0; words]);
+        }
+        Ok(())
+    }
+
+    /// `KVM_GET_DIRTY_LOG` over all slots: returns dirty GFNs and clears
+    /// the bitmaps.
+    pub fn get_dirty_log(&mut self, vm_fd: u32) -> Result<Vec<Gfn>, Errno> {
+        let vm = self.vm_mut(vm_fd)?;
+        let mut out = Vec::new();
+        for s in vm.slots.values_mut() {
+            if let Some(bm) = &mut s.dirty_bitmap {
+                for (w, word) in bm.iter_mut().enumerate() {
+                    let mut v = std::mem::take(word);
+                    while v != 0 {
+                        let b = v.trailing_zeros() as u64;
+                        v &= v - 1;
+                        out.push(Gfn(s.guest_phys_addr / 4096 + w as u64 * 64 + b));
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// `KVM_CREATE_IRQCHIP`.
+    pub fn create_irqchip(&mut self, vm_fd: u32) -> Result<(), Errno> {
+        let vm = self.vm_mut(vm_fd)?;
+        if vm.irqchip.is_some() {
+            return Err(Errno::EEXIST);
+        }
+        vm.irqchip = Some(KvmIoapicState::default());
+        Ok(())
+    }
+
+    /// `KVM_GET_IRQCHIP`.
+    pub fn get_irqchip(&self, vm_fd: u32) -> Result<KvmIoapicState, Errno> {
+        self.vm(vm_fd)?.irqchip.clone().ok_or(Errno::ENODEV)
+    }
+
+    /// `KVM_SET_IRQCHIP`.
+    pub fn set_irqchip(&mut self, vm_fd: u32, state: KvmIoapicState) -> Result<(), Errno> {
+        let vm = self.vm_mut(vm_fd)?;
+        if vm.irqchip.is_none() {
+            return Err(Errno::ENODEV);
+        }
+        vm.irqchip = Some(state);
+        Ok(())
+    }
+
+    /// `KVM_CREATE_PIT2`.
+    pub fn create_pit2(&mut self, vm_fd: u32) -> Result<(), Errno> {
+        let vm = self.vm_mut(vm_fd)?;
+        if vm.pit.is_some() {
+            return Err(Errno::EEXIST);
+        }
+        vm.pit = Some(KvmPitState2::default());
+        Ok(())
+    }
+
+    /// `KVM_GET_PIT2`.
+    pub fn get_pit2(&self, vm_fd: u32) -> Result<KvmPitState2, Errno> {
+        self.vm(vm_fd)?.pit.ok_or(Errno::ENODEV)
+    }
+
+    /// `KVM_SET_PIT2`.
+    pub fn set_pit2(&mut self, vm_fd: u32, state: KvmPitState2) -> Result<(), Errno> {
+        let vm = self.vm_mut(vm_fd)?;
+        if vm.pit.is_none() {
+            return Err(Errno::ENODEV);
+        }
+        vm.pit = Some(state);
+        Ok(())
+    }
+
+    /// `KVM_GET_REGS` / `KVM_SET_REGS`.
+    pub fn get_regs(&self, vm_fd: u32, vcpu_fd: u32) -> Result<KvmRegs, Errno> {
+        Ok(self.vcpu(vm_fd, vcpu_fd)?.regs)
+    }
+
+    /// Sets general-purpose registers.
+    pub fn set_regs(&mut self, vm_fd: u32, vcpu_fd: u32, regs: KvmRegs) -> Result<(), Errno> {
+        self.vcpu_mut(vm_fd, vcpu_fd)?.regs = regs;
+        Ok(())
+    }
+
+    /// `KVM_GET_SREGS` / `KVM_SET_SREGS`.
+    pub fn get_sregs(&self, vm_fd: u32, vcpu_fd: u32) -> Result<KvmSregs, Errno> {
+        Ok(self.vcpu(vm_fd, vcpu_fd)?.sregs)
+    }
+
+    /// Sets special registers.
+    pub fn set_sregs(&mut self, vm_fd: u32, vcpu_fd: u32, sregs: KvmSregs) -> Result<(), Errno> {
+        self.vcpu_mut(vm_fd, vcpu_fd)?.sregs = sregs;
+        Ok(())
+    }
+
+    /// `KVM_SET_MSRS`; returns the number of MSRs set (KVM semantics).
+    pub fn set_msrs(
+        &mut self,
+        vm_fd: u32,
+        vcpu_fd: u32,
+        msrs: &[KvmMsrEntry],
+    ) -> Result<usize, Errno> {
+        let v = self.vcpu_mut(vm_fd, vcpu_fd)?;
+        for m in msrs {
+            v.msrs.insert(m.index, m.data);
+        }
+        Ok(msrs.len())
+    }
+
+    /// `KVM_GET_MSRS` for the requested indices; unknown MSRs read as 0.
+    pub fn get_msrs(
+        &self,
+        vm_fd: u32,
+        vcpu_fd: u32,
+        indices: &[u32],
+    ) -> Result<Vec<KvmMsrEntry>, Errno> {
+        let v = self.vcpu(vm_fd, vcpu_fd)?;
+        Ok(indices
+            .iter()
+            .map(|&index| KvmMsrEntry {
+                index,
+                data: v.msrs.get(&index).copied().unwrap_or(0),
+            })
+            .collect())
+    }
+
+    /// `KVM_GET_FPU` / `KVM_SET_FPU`.
+    pub fn get_fpu(&self, vm_fd: u32, vcpu_fd: u32) -> Result<KvmFpu, Errno> {
+        Ok(self.vcpu(vm_fd, vcpu_fd)?.fpu.clone())
+    }
+
+    /// Sets FPU state.
+    pub fn set_fpu(&mut self, vm_fd: u32, vcpu_fd: u32, fpu: KvmFpu) -> Result<(), Errno> {
+        self.vcpu_mut(vm_fd, vcpu_fd)?.fpu = fpu;
+        Ok(())
+    }
+
+    /// `KVM_GET_XSAVE` / `KVM_SET_XSAVE`.
+    pub fn get_xsave(&self, vm_fd: u32, vcpu_fd: u32) -> Result<KvmXsave, Errno> {
+        Ok(self.vcpu(vm_fd, vcpu_fd)?.xsave.clone())
+    }
+
+    /// Sets the XSAVE region.
+    pub fn set_xsave(&mut self, vm_fd: u32, vcpu_fd: u32, x: KvmXsave) -> Result<(), Errno> {
+        self.vcpu_mut(vm_fd, vcpu_fd)?.xsave = x;
+        Ok(())
+    }
+
+    /// `KVM_GET_XCRS` / `KVM_SET_XCRS`.
+    pub fn get_xcrs(&self, vm_fd: u32, vcpu_fd: u32) -> Result<KvmXcrs, Errno> {
+        Ok(self.vcpu(vm_fd, vcpu_fd)?.xcrs.clone())
+    }
+
+    /// Sets extended control registers.
+    pub fn set_xcrs(&mut self, vm_fd: u32, vcpu_fd: u32, x: KvmXcrs) -> Result<(), Errno> {
+        self.vcpu_mut(vm_fd, vcpu_fd)?.xcrs = x;
+        Ok(())
+    }
+
+    /// `KVM_GET_LAPIC` / `KVM_SET_LAPIC`.
+    pub fn get_lapic(&self, vm_fd: u32, vcpu_fd: u32) -> Result<KvmLapicState, Errno> {
+        Ok(self.vcpu(vm_fd, vcpu_fd)?.lapic.clone())
+    }
+
+    /// Sets the LAPIC register page.
+    pub fn set_lapic(&mut self, vm_fd: u32, vcpu_fd: u32, l: KvmLapicState) -> Result<(), Errno> {
+        if l.regs.len() != 1024 {
+            return Err(Errno::EINVAL);
+        }
+        self.vcpu_mut(vm_fd, vcpu_fd)?.lapic = l;
+        Ok(())
+    }
+
+    /// vCPU fds of a VM, in creation order.
+    pub fn vcpu_fds(&self, vm_fd: u32) -> Result<Vec<u32>, Errno> {
+        Ok(self.vm(vm_fd)?.vcpus.keys().copied().collect())
+    }
+
+    /// Memory-slot view (for accounting and tests).
+    pub fn slots(&self, vm_fd: u32) -> Result<Vec<&MemSlot>, Errno> {
+        Ok(self.vm(vm_fd)?.slots.values().collect())
+    }
+
+    /// Number of live VMs.
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypertp_machine::PageOrder;
+
+    fn ext(base: u64, order: u8) -> Extent {
+        Extent::new(Mfn(base), PageOrder(order))
+    }
+
+    #[test]
+    fn vm_and_vcpu_lifecycle() {
+        let mut k = Kvm::new();
+        let vm = k.create_vm();
+        let v0 = k.create_vcpu(vm).unwrap();
+        let v1 = k.create_vcpu(vm).unwrap();
+        assert_ne!(v0, v1);
+        assert_eq!(k.vcpu_fds(vm).unwrap(), vec![v0, v1]);
+        assert_eq!(k.create_vcpu(999), Err(Errno::EBADF));
+        k.destroy_vm(vm).unwrap();
+        assert_eq!(k.get_regs(vm, v0), Err(Errno::EBADF));
+    }
+
+    #[test]
+    fn memslots_translate() {
+        let mut k = Kvm::new();
+        let vm = k.create_vm();
+        k.set_user_memory_region(vm, 0, 0, vec![ext(512, 9), ext(2048, 9)])
+            .unwrap();
+        assert_eq!(k.gfn_to_mfn(vm, Gfn(0)).unwrap(), Mfn(512));
+        assert_eq!(k.gfn_to_mfn(vm, Gfn(511)).unwrap(), Mfn(1023));
+        assert_eq!(k.gfn_to_mfn(vm, Gfn(512)).unwrap(), Mfn(2048));
+        assert_eq!(k.gfn_to_mfn(vm, Gfn(1024)), Err(Errno::EFAULT));
+    }
+
+    #[test]
+    fn overlapping_slots_rejected() {
+        let mut k = Kvm::new();
+        let vm = k.create_vm();
+        k.set_user_memory_region(vm, 0, 0, vec![ext(0, 9)]).unwrap();
+        assert_eq!(
+            k.set_user_memory_region(vm, 1, 4096, vec![ext(512, 9)]),
+            Err(Errno::EEXIST)
+        );
+        // Replacing the same slot is fine.
+        k.set_user_memory_region(vm, 0, 0, vec![ext(1024, 9)])
+            .unwrap();
+    }
+
+    #[test]
+    fn unaligned_gpa_rejected() {
+        let mut k = Kvm::new();
+        let vm = k.create_vm();
+        assert_eq!(
+            k.set_user_memory_region(vm, 0, 17, vec![ext(0, 0)]),
+            Err(Errno::EINVAL)
+        );
+    }
+
+    #[test]
+    fn dirty_log_read_and_clear() {
+        let mut k = Kvm::new();
+        let vm = k.create_vm();
+        k.set_user_memory_region(vm, 0, 0, vec![ext(0, 9)]).unwrap();
+        k.enable_dirty_log(vm).unwrap();
+        k.mark_dirty(vm, Gfn(5)).unwrap();
+        k.mark_dirty(vm, Gfn(200)).unwrap();
+        k.mark_dirty(vm, Gfn(5)).unwrap();
+        assert_eq!(k.get_dirty_log(vm).unwrap(), vec![Gfn(5), Gfn(200)]);
+        assert!(k.get_dirty_log(vm).unwrap().is_empty());
+    }
+
+    #[test]
+    fn irqchip_and_pit_lifecycle() {
+        let mut k = Kvm::new();
+        let vm = k.create_vm();
+        assert_eq!(k.get_irqchip(vm), Err(Errno::ENODEV));
+        k.create_irqchip(vm).unwrap();
+        assert_eq!(k.create_irqchip(vm), Err(Errno::EEXIST));
+        let mut io = k.get_irqchip(vm).unwrap();
+        io.redirtbl[3] = 0x31;
+        k.set_irqchip(vm, io.clone()).unwrap();
+        assert_eq!(k.get_irqchip(vm).unwrap(), io);
+        k.create_pit2(vm).unwrap();
+        let mut pit = k.get_pit2(vm).unwrap();
+        pit.channels[0].count = 0x1234;
+        k.set_pit2(vm, pit).unwrap();
+        assert_eq!(k.get_pit2(vm).unwrap().channels[0].count, 0x1234);
+    }
+
+    #[test]
+    fn msr_store() {
+        let mut k = Kvm::new();
+        let vm = k.create_vm();
+        let v = k.create_vcpu(vm).unwrap();
+        let n = k
+            .set_msrs(
+                vm,
+                v,
+                &[
+                    KvmMsrEntry {
+                        index: 0xc000_0080,
+                        data: 0xd01,
+                    },
+                    KvmMsrEntry {
+                        index: 0x10,
+                        data: 999,
+                    },
+                ],
+            )
+            .unwrap();
+        assert_eq!(n, 2);
+        let got = k.get_msrs(vm, v, &[0x10, 0xc000_0080, 0x1b]).unwrap();
+        assert_eq!(got[0].data, 999);
+        assert_eq!(got[1].data, 0xd01);
+        assert_eq!(got[2].data, 0, "unknown MSR reads as zero");
+    }
+
+    #[test]
+    fn lapic_size_validated() {
+        let mut k = Kvm::new();
+        let vm = k.create_vm();
+        let v = k.create_vcpu(vm).unwrap();
+        assert_eq!(
+            k.set_lapic(vm, v, KvmLapicState { regs: vec![0; 100] }),
+            Err(Errno::EINVAL)
+        );
+    }
+}

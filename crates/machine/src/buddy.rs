@@ -1,0 +1,409 @@
+//! A binary buddy frame allocator.
+//!
+//! Hypervisors manage host frames with buddy allocators (Xen's page
+//! allocator, Linux's zoned buddy system); the transplant path depends on
+//! their behaviour in two ways: guest memory ends up *scattered* across the
+//! host (motivating PRAM, §4.2.2), and huge pages require order-9 aligned
+//! runs. This is a faithful power-of-two buddy system with per-order free
+//! lists, block splitting on allocation and buddy coalescing on free.
+
+use std::collections::BTreeSet;
+
+use crate::addr::{Extent, Mfn, PageOrder};
+
+/// Errors returned by the buddy allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuddyError {
+    /// No contiguous run of the requested order is available.
+    OutOfMemory {
+        /// The order that could not be satisfied.
+        order: PageOrder,
+    },
+    /// The freed block was not allocated (double free or bad address).
+    BadFree {
+        /// Base frame of the rejected free.
+        base: Mfn,
+    },
+}
+
+impl std::fmt::Display for BuddyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuddyError::OutOfMemory { order } => {
+                write!(f, "out of memory for order-{} allocation", order.0)
+            }
+            BuddyError::BadFree { base } => write!(f, "bad free at {base}"),
+        }
+    }
+}
+
+impl std::error::Error for BuddyError {}
+
+/// A binary buddy allocator over the frame range `0..total_frames`.
+#[derive(Debug, Clone)]
+pub struct BuddyAllocator {
+    /// Free blocks per order, kept sorted so allocation is deterministic
+    /// (lowest address first).
+    free: Vec<BTreeSet<u64>>,
+    total_frames: u64,
+    free_frames: u64,
+}
+
+impl BuddyAllocator {
+    /// Creates an allocator managing `total_frames` base frames, all free.
+    ///
+    /// A non-power-of-two total is handled by greedily covering the range
+    /// with maximal aligned blocks.
+    pub fn new(total_frames: u64) -> Self {
+        let max = PageOrder::MAX.0 as usize;
+        let mut a = BuddyAllocator {
+            free: vec![BTreeSet::new(); max + 1],
+            total_frames,
+            free_frames: 0,
+        };
+        let mut base = 0u64;
+        while base < total_frames {
+            // The largest order both aligned at `base` and fitting the
+            // remaining range.
+            let align_order = if base == 0 {
+                PageOrder::MAX.0
+            } else {
+                (base.trailing_zeros() as u8).min(PageOrder::MAX.0)
+            };
+            let mut order = align_order;
+            while (1u64 << order) > total_frames - base {
+                order -= 1;
+            }
+            a.free[order as usize].insert(base);
+            a.free_frames += 1 << order;
+            base += 1 << order;
+        }
+        a
+    }
+
+    /// Total frames managed.
+    pub fn total_frames(&self) -> u64 {
+        self.total_frames
+    }
+
+    /// Frames currently free.
+    pub fn free_frames(&self) -> u64 {
+        self.free_frames
+    }
+
+    /// Frames currently allocated.
+    pub fn allocated_frames(&self) -> u64 {
+        self.total_frames - self.free_frames
+    }
+
+    /// Allocates a `2^order` aligned run of frames.
+    pub fn alloc(&mut self, order: PageOrder) -> Result<Extent, BuddyError> {
+        assert!(order <= PageOrder::MAX, "order above maximum");
+        // Find the smallest order with a free block.
+        let mut from = order.0 as usize;
+        while from < self.free.len() && self.free[from].is_empty() {
+            from += 1;
+        }
+        if from >= self.free.len() {
+            return Err(BuddyError::OutOfMemory { order });
+        }
+        let base = *self.free[from]
+            .iter()
+            .next()
+            .expect("non-empty free list has a first element");
+        self.free[from].remove(&base);
+        // Split down to the requested order, returning upper halves to the
+        // free lists.
+        let mut cur = from;
+        while cur > order.0 as usize {
+            cur -= 1;
+            let buddy = base + (1u64 << cur);
+            self.free[cur].insert(buddy);
+        }
+        self.free_frames -= order.pages();
+        Ok(Extent::new(Mfn(base), order))
+    }
+
+    /// Frees a previously allocated extent, coalescing with free buddies.
+    pub fn free(&mut self, extent: Extent) -> Result<(), BuddyError> {
+        let mut base = extent.base.0;
+        let mut order = extent.order.0 as usize;
+        if base + extent.pages() > self.total_frames {
+            return Err(BuddyError::BadFree { base: extent.base });
+        }
+        // Reject frees of blocks that overlap a free block (double free).
+        if self.overlaps_free(base, extent.pages()) {
+            return Err(BuddyError::BadFree { base: extent.base });
+        }
+        while order < PageOrder::MAX.0 as usize {
+            let buddy = base ^ (1u64 << order);
+            if buddy + (1 << order) > self.total_frames || !self.free[order].remove(&buddy) {
+                break;
+            }
+            base = base.min(buddy);
+            order += 1;
+        }
+        self.free[order].insert(base);
+        self.free_frames += extent.pages();
+        Ok(())
+    }
+
+    /// Returns true if any free block overlaps `[base, base+len)`.
+    fn overlaps_free(&self, base: u64, len: u64) -> bool {
+        for (order, list) in self.free.iter().enumerate() {
+            let block = 1u64 << order;
+            // A free block [b, b+block) overlaps iff b < base+len and
+            // b+block > base; candidates have b > base - block.
+            let lo = base.saturating_sub(block - 1);
+            for &b in list.range(lo..base + len) {
+                if b + block > base {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Removes a specific frame range from the free pool (used at boot to
+    /// reserve PRAM-protected memory). The range need not be aligned; it is
+    /// carved out block by block. Returns the number of frames newly
+    /// reserved (frames already allocated are skipped — the caller decides
+    /// whether that is an error).
+    pub fn reserve_range(&mut self, base: Mfn, pages: u64) -> u64 {
+        let mut reserved = 0;
+        let mut pending: Vec<(u64, usize)> = Vec::new();
+        for (order, list) in self.free.iter().enumerate() {
+            let block = 1u64 << order;
+            let lo = base.0.saturating_sub(block - 1);
+            for &b in list.range(lo..base.0 + pages) {
+                if b + block > base.0 {
+                    pending.push((b, order));
+                }
+            }
+        }
+        for (b, order) in pending {
+            self.free[order].remove(&b);
+            self.free_frames -= 1u64 << order;
+            let block = 1u64 << order;
+            // Re-free the parts of the block outside the reserved range.
+            for f in b..b + block {
+                if f >= base.0 && f < base.0 + pages {
+                    reserved += 1;
+                } else {
+                    self.free[0].insert(f);
+                    self.free_frames += 1;
+                }
+            }
+        }
+        reserved
+    }
+
+    /// Returns true if the frame is currently free.
+    pub fn is_free(&self, mfn: Mfn) -> bool {
+        self.overlaps_free(mfn.0, 1)
+    }
+
+    /// Checks internal invariants (free lists aligned, within range,
+    /// non-overlapping, count consistent). Intended for tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut seen = BTreeSet::new();
+        let mut count = 0u64;
+        for (order, list) in self.free.iter().enumerate() {
+            let block = 1u64 << order;
+            for &b in list {
+                if b % block != 0 {
+                    return Err(format!("block {b} misaligned at order {order}"));
+                }
+                if b + block > self.total_frames {
+                    return Err(format!("block {b} out of range at order {order}"));
+                }
+                for f in b..b + block {
+                    if !seen.insert(f) {
+                        return Err(format!("frame {f} on two free lists"));
+                    }
+                }
+                count += block;
+            }
+        }
+        if count != self.free_frames {
+            return Err(format!(
+                "free count mismatch: lists say {count}, counter says {}",
+                self.free_frames
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_range_starts_free() {
+        let a = BuddyAllocator::new(1024);
+        assert_eq!(a.free_frames(), 1024);
+        assert_eq!(a.allocated_frames(), 0);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn non_power_of_two_total() {
+        let a = BuddyAllocator::new(1000);
+        assert_eq!(a.free_frames(), 1000);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn alloc_and_free_roundtrip() {
+        let mut a = BuddyAllocator::new(1024);
+        let e = a.alloc(PageOrder(3)).unwrap();
+        assert_eq!(e.pages(), 8);
+        assert!(e.base.is_aligned(PageOrder(3)));
+        assert_eq!(a.free_frames(), 1016);
+        a.free(e).unwrap();
+        assert_eq!(a.free_frames(), 1024);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn coalescing_restores_huge_block() {
+        let mut a = BuddyAllocator::new(512);
+        let mut extents = Vec::new();
+        for _ in 0..512 {
+            extents.push(a.alloc(PageOrder(0)).unwrap());
+        }
+        assert_eq!(a.free_frames(), 0);
+        assert!(a.alloc(PageOrder(0)).is_err());
+        for e in extents {
+            a.free(e).unwrap();
+        }
+        a.check_invariants().unwrap();
+        // After coalescing a full order-9 block must be allocatable again.
+        let huge = a.alloc(PageOrder(9)).unwrap();
+        assert_eq!(huge.pages(), 512);
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let mut a = BuddyAllocator::new(64);
+        let e = a.alloc(PageOrder(1)).unwrap();
+        a.free(e).unwrap();
+        assert!(matches!(a.free(e), Err(BuddyError::BadFree { .. })));
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn out_of_range_free_detected() {
+        let mut a = BuddyAllocator::new(64);
+        let bogus = Extent::new(Mfn(128), PageOrder(0));
+        assert!(matches!(a.free(bogus), Err(BuddyError::BadFree { .. })));
+    }
+
+    #[test]
+    fn huge_alloc_fails_when_fragmented() {
+        let mut a = BuddyAllocator::new(512);
+        // Allocate all, free all but one frame in the middle.
+        let extents: Vec<_> = (0..512).map(|_| a.alloc(PageOrder(0)).unwrap()).collect();
+        for (i, e) in extents.iter().enumerate() {
+            if i != 256 {
+                a.free(*e).unwrap();
+            }
+        }
+        assert!(a.alloc(PageOrder(9)).is_err());
+        assert!(a.alloc(PageOrder(7)).is_ok());
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reserve_range_removes_frames() {
+        let mut a = BuddyAllocator::new(1024);
+        let got = a.reserve_range(Mfn(100), 50);
+        assert_eq!(got, 50);
+        assert_eq!(a.free_frames(), 974);
+        assert!(!a.is_free(Mfn(120)));
+        assert!(a.is_free(Mfn(99)));
+        assert!(a.is_free(Mfn(150)));
+        a.check_invariants().unwrap();
+        // Allocations never land in the reserved range.
+        while let Ok(e) = a.alloc(PageOrder(0)) {
+            assert!(!(100..150).contains(&e.base.0));
+        }
+    }
+
+    #[test]
+    fn reserve_skips_already_allocated() {
+        let mut a = BuddyAllocator::new(64);
+        let e = a.alloc(PageOrder(9).min(PageOrder(5))).unwrap();
+        assert_eq!(e.base.0, 0);
+        let got = a.reserve_range(Mfn(0), 32);
+        assert_eq!(got, 0, "allocated frames are not re-reserved");
+    }
+
+    #[test]
+    fn deterministic_allocation_order() {
+        let mut a = BuddyAllocator::new(256);
+        let mut b = BuddyAllocator::new(256);
+        for _ in 0..50 {
+            assert_eq!(
+                a.alloc(PageOrder(0)).unwrap(),
+                b.alloc(PageOrder(0)).unwrap()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Random interleavings of allocs and frees keep every allocator
+        /// invariant: aligned free lists, disjoint blocks, exact counters,
+        /// and full recovery after freeing everything.
+        #[test]
+        fn random_alloc_free_maintains_invariants(
+            total in 64u64..2048,
+            ops in proptest::collection::vec((0u8..10, any::<u16>()), 1..200),
+        ) {
+            let mut a = BuddyAllocator::new(total);
+            let mut live: Vec<Extent> = Vec::new();
+            for (op, sel) in ops {
+                if op < 6 || live.is_empty() {
+                    let order = PageOrder(op % 4);
+                    if let Ok(e) = a.alloc(order) {
+                        prop_assert!(e.base.is_aligned(order));
+                        prop_assert!(e.base.0 + e.pages() <= total);
+                        // No overlap with any live extent.
+                        for other in &live {
+                            prop_assert!(
+                                e.base.0 + e.pages() <= other.base.0
+                                    || other.base.0 + other.pages() <= e.base.0
+                            );
+                        }
+                        live.push(e);
+                    }
+                } else {
+                    let idx = sel as usize % live.len();
+                    let e = live.swap_remove(idx);
+                    prop_assert!(a.free(e).is_ok());
+                }
+                a.check_invariants().map_err(|e| {
+                    proptest::test_runner::TestCaseError::fail(e)
+                })?;
+                let held: u64 = live.iter().map(|e| e.pages()).sum();
+                prop_assert_eq!(a.allocated_frames(), held);
+            }
+            for e in live.drain(..) {
+                prop_assert!(a.free(e).is_ok());
+            }
+            prop_assert_eq!(a.free_frames(), total);
+            a.check_invariants().map_err(|e| {
+                proptest::test_runner::TestCaseError::fail(e)
+            })?;
+        }
+    }
+}

@@ -1,0 +1,416 @@
+//! Physical RAM: frame contents, ownership and kexec survival.
+//!
+//! Frame contents are modelled as 64-bit *content words* — an opaque value
+//! that changes whenever the owner writes the frame. This is sufficient for
+//! every property the transplant path must preserve (guest memory is kept
+//! byte-identical in place across InPlaceTP; migrated memory equals the
+//! source at pause time) while letting experiments instantiate multi-GiB
+//! machines cheaply. Small tests that need real bytes can attach a byte
+//! buffer to a frame; its content word is then a hash of the bytes, so the
+//! two views stay consistent.
+
+use std::collections::HashMap;
+
+use crate::addr::{Extent, Mfn, PageOrder, PAGE_SIZE};
+use crate::buddy::{BuddyAllocator, BuddyError};
+
+/// Errors from physical memory operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// Frame number beyond the end of RAM.
+    OutOfRange {
+        /// The offending frame.
+        mfn: Mfn,
+    },
+    /// Allocation failed.
+    Buddy(BuddyError),
+    /// Access to a frame that is not allocated.
+    NotAllocated {
+        /// The offending frame.
+        mfn: Mfn,
+    },
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::OutOfRange { mfn } => write!(f, "{mfn} out of range"),
+            MemError::Buddy(e) => write!(f, "allocator: {e}"),
+            MemError::NotAllocated { mfn } => write!(f, "{mfn} not allocated"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+impl From<BuddyError> for MemError {
+    fn from(e: BuddyError) -> Self {
+        MemError::Buddy(e)
+    }
+}
+
+/// Per-frame state, packed into 16 bytes so multi-GiB machines stay cheap.
+#[derive(Debug, Clone, Copy, Default)]
+struct Frame {
+    /// Opaque content word. 0 means scrubbed/zeroed.
+    content: u64,
+    /// True while some owner holds the frame (cleared by kexec).
+    allocated: bool,
+    /// True if the frame is protected by a parsed PRAM reservation.
+    reserved: bool,
+}
+
+/// The machine's physical RAM.
+#[derive(Debug)]
+pub struct PhysicalMemory {
+    frames: Vec<Frame>,
+    buddy: BuddyAllocator,
+    /// Optional byte-level backing for frames that tests want to inspect.
+    bytes: HashMap<u64, Box<[u8]>>,
+}
+
+impl PhysicalMemory {
+    /// Creates RAM with `total_frames` zeroed frames.
+    pub fn new(total_frames: u64) -> Self {
+        PhysicalMemory {
+            frames: vec![Frame::default(); total_frames as usize],
+            buddy: BuddyAllocator::new(total_frames),
+            bytes: HashMap::new(),
+        }
+    }
+
+    /// Creates RAM of the given size in GiB.
+    pub fn with_gib(gib: u64) -> Self {
+        PhysicalMemory::new(gib * (1 << 30) / PAGE_SIZE)
+    }
+
+    /// Total number of frames.
+    pub fn total_frames(&self) -> u64 {
+        self.buddy.total_frames()
+    }
+
+    /// Number of free frames.
+    pub fn free_frames(&self) -> u64 {
+        self.buddy.free_frames()
+    }
+
+    /// Number of allocated frames.
+    pub fn allocated_frames(&self) -> u64 {
+        self.buddy.allocated_frames()
+    }
+
+    /// Allocates a `2^order` run of frames and marks it owned.
+    pub fn alloc(&mut self, order: PageOrder) -> Result<Extent, MemError> {
+        let e = self.buddy.alloc(order)?;
+        for mfn in e.frames() {
+            self.frames[mfn.0 as usize].allocated = true;
+        }
+        Ok(e)
+    }
+
+    /// Frees a run of frames. Contents are left in place (freeing does not
+    /// scrub — exactly the property InPlaceTP exploits and the paper's
+    /// "logic to ensure VM memory regions are not accidentally erased"
+    /// guards).
+    pub fn free(&mut self, extent: Extent) -> Result<(), MemError> {
+        self.buddy.free(extent)?;
+        for mfn in extent.frames() {
+            self.frames[mfn.0 as usize].allocated = false;
+        }
+        Ok(())
+    }
+
+    fn frame(&self, mfn: Mfn) -> Result<&Frame, MemError> {
+        self.frames
+            .get(mfn.0 as usize)
+            .ok_or(MemError::OutOfRange { mfn })
+    }
+
+    fn frame_mut(&mut self, mfn: Mfn) -> Result<&mut Frame, MemError> {
+        self.frames
+            .get_mut(mfn.0 as usize)
+            .ok_or(MemError::OutOfRange { mfn })
+    }
+
+    /// Writes a content word to an allocated frame.
+    pub fn write(&mut self, mfn: Mfn, content: u64) -> Result<(), MemError> {
+        let f = self.frame_mut(mfn)?;
+        if !f.allocated {
+            return Err(MemError::NotAllocated { mfn });
+        }
+        f.content = content;
+        self.bytes.remove(&mfn.0);
+        Ok(())
+    }
+
+    /// Reads a frame's content word. Reading free frames is allowed (the
+    /// transplant path reads guest frames after kexec has cleared
+    /// ownership).
+    pub fn read(&self, mfn: Mfn) -> Result<u64, MemError> {
+        Ok(self.frame(mfn)?.content)
+    }
+
+    /// Attaches a full 4 KiB byte buffer to an allocated frame. The content
+    /// word becomes a hash of the bytes.
+    pub fn write_bytes(&mut self, mfn: Mfn, data: &[u8]) -> Result<(), MemError> {
+        assert_eq!(data.len() as u64, PAGE_SIZE, "frame writes are page-sized");
+        let hash = fnv1a(data);
+        {
+            let f = self.frame_mut(mfn)?;
+            if !f.allocated {
+                return Err(MemError::NotAllocated { mfn });
+            }
+            f.content = hash;
+        }
+        self.bytes.insert(mfn.0, data.to_vec().into_boxed_slice());
+        Ok(())
+    }
+
+    /// Reads the byte buffer attached to a frame, if any.
+    pub fn read_bytes(&self, mfn: Mfn) -> Option<&[u8]> {
+        self.bytes.get(&mfn.0).map(|b| &b[..])
+    }
+
+    /// Marks a frame range as reserved (PRAM-protected): the buddy allocator
+    /// will never hand these frames out and boot scrubbing skips them.
+    pub fn reserve_range(&mut self, base: Mfn, pages: u64) -> Result<u64, MemError> {
+        if base.0 + pages > self.total_frames() {
+            return Err(MemError::OutOfRange {
+                mfn: Mfn(base.0 + pages - 1),
+            });
+        }
+        let got = self.buddy.reserve_range(base, pages);
+        for i in base.0..base.0 + pages {
+            self.frames[i as usize].reserved = true;
+        }
+        Ok(got)
+    }
+
+    /// Returns true if the frame is reserved.
+    pub fn is_reserved(&self, mfn: Mfn) -> bool {
+        self.frame(mfn).map(|f| f.reserved).unwrap_or(false)
+    }
+
+    /// Returns true if the frame is allocated.
+    pub fn is_allocated(&self, mfn: Mfn) -> bool {
+        self.frame(mfn).map(|f| f.allocated).unwrap_or(false)
+    }
+
+    /// Kexec semantics: all ownership and reservations are forgotten (the
+    /// new kernel starts with a fresh allocator), but contents survive.
+    pub fn forget_ownership(&mut self) {
+        for f in &mut self.frames {
+            f.allocated = false;
+            f.reserved = false;
+        }
+        self.buddy = BuddyAllocator::new(self.total_frames());
+    }
+
+    /// Boot-time scrubbing: zeroes the contents of every frame that is
+    /// neither reserved nor allocated. A hypervisor that boots without
+    /// parsing PRAM destroys all pre-existing guest memory here — the
+    /// failure mode the paper's PRAM reservations exist to prevent.
+    ///
+    /// Returns the number of frames scrubbed.
+    pub fn scrub_unreserved(&mut self) -> u64 {
+        let mut scrubbed = 0;
+        for (i, f) in self.frames.iter_mut().enumerate() {
+            if !f.reserved && !f.allocated && f.content != 0 {
+                f.content = 0;
+                self.bytes.remove(&(i as u64));
+                scrubbed += 1;
+            }
+        }
+        scrubbed
+    }
+
+    /// Re-adopts a reserved frame range as an allocated extent without
+    /// touching contents (the PRAM filesystem handing guest memory to the
+    /// new hypervisor). The range keeps its reserved marking.
+    pub fn adopt_reserved(&mut self, base: Mfn, pages: u64) -> Result<(), MemError> {
+        for i in base.0..base.0 + pages {
+            let f = self
+                .frames
+                .get_mut(i as usize)
+                .ok_or(MemError::OutOfRange { mfn: Mfn(i) })?;
+            if !f.reserved {
+                return Err(MemError::NotAllocated { mfn: Mfn(i) });
+            }
+            f.allocated = true;
+        }
+        Ok(())
+    }
+
+    /// Releases a reservation (cleanup step ❼ of Fig. 3 frees ephemeral
+    /// PRAM metadata back to the allocator).
+    pub fn unreserve_and_free(&mut self, base: Mfn, pages: u64) -> Result<(), MemError> {
+        for i in base.0..base.0 + pages {
+            let f = self
+                .frames
+                .get_mut(i as usize)
+                .ok_or(MemError::OutOfRange { mfn: Mfn(i) })?;
+            f.reserved = false;
+            if !f.allocated {
+                // Return to the allocator frame by frame.
+                self.buddy.free(Extent::new(Mfn(i), PageOrder(0))).ok();
+            }
+        }
+        Ok(())
+    }
+
+    /// Sums a simple checksum over an extent's content words (used by tests
+    /// to verify guest memory integrity end to end).
+    pub fn checksum(&self, extents: &[Extent]) -> u64 {
+        let mut acc = 0xcbf2_9ce4_8422_2325u64;
+        for e in extents {
+            for mfn in e.frames() {
+                let c = self.frames[mfn.0 as usize].content;
+                acc = acc.rotate_left(5) ^ c.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+        acc
+    }
+}
+
+/// FNV-1a hash of a byte slice (content word for byte-backed frames).
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_write_read() {
+        let mut ram = PhysicalMemory::new(256);
+        let e = ram.alloc(PageOrder(1)).unwrap();
+        ram.write(e.base, 0xdead).unwrap();
+        assert_eq!(ram.read(e.base).unwrap(), 0xdead);
+        assert!(ram.is_allocated(e.base));
+    }
+
+    #[test]
+    fn write_unallocated_rejected() {
+        let mut ram = PhysicalMemory::new(16);
+        assert_eq!(
+            ram.write(Mfn(3), 1),
+            Err(MemError::NotAllocated { mfn: Mfn(3) })
+        );
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let ram = PhysicalMemory::new(16);
+        assert!(matches!(
+            ram.read(Mfn(99)),
+            Err(MemError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn byte_backed_frames_hash_consistently() {
+        let mut ram = PhysicalMemory::new(16);
+        let e = ram.alloc(PageOrder(0)).unwrap();
+        let page = vec![7u8; PAGE_SIZE as usize];
+        ram.write_bytes(e.base, &page).unwrap();
+        assert_eq!(ram.read(e.base).unwrap(), fnv1a(&page));
+        assert_eq!(ram.read_bytes(e.base).unwrap(), &page[..]);
+        // A word write invalidates the byte view.
+        ram.write(e.base, 5).unwrap();
+        assert!(ram.read_bytes(e.base).is_none());
+    }
+
+    #[test]
+    fn contents_survive_free_and_kexec() {
+        let mut ram = PhysicalMemory::new(256);
+        let e = ram.alloc(PageOrder(2)).unwrap();
+        for (i, mfn) in e.frames().enumerate() {
+            ram.write(mfn, 100 + i as u64).unwrap();
+        }
+        ram.forget_ownership();
+        for (i, mfn) in e.frames().enumerate() {
+            assert_eq!(ram.read(mfn).unwrap(), 100 + i as u64);
+        }
+    }
+
+    #[test]
+    fn scrub_destroys_unreserved_contents() {
+        let mut ram = PhysicalMemory::new(256);
+        let keep = ram.alloc(PageOrder(0)).unwrap();
+        let lose = ram.alloc(PageOrder(0)).unwrap();
+        ram.write(keep.base, 111).unwrap();
+        ram.write(lose.base, 222).unwrap();
+        ram.forget_ownership();
+        // Only `keep` gets a PRAM reservation.
+        ram.reserve_range(keep.base, 1).unwrap();
+        let scrubbed = ram.scrub_unreserved();
+        assert!(scrubbed >= 1);
+        assert_eq!(ram.read(keep.base).unwrap(), 111);
+        assert_eq!(ram.read(lose.base).unwrap(), 0);
+    }
+
+    #[test]
+    fn reserved_frames_not_reallocated() {
+        let mut ram = PhysicalMemory::new(64);
+        let e = ram.alloc(PageOrder(0)).unwrap();
+        let target = e.base;
+        ram.write(target, 42).unwrap();
+        ram.forget_ownership();
+        ram.reserve_range(target, 1).unwrap();
+        // Exhaust the allocator; the reserved frame must never come back.
+        while let Ok(got) = ram.alloc(PageOrder(0)) {
+            assert_ne!(got.base, target);
+        }
+        assert_eq!(ram.read(target).unwrap(), 42);
+    }
+
+    #[test]
+    fn adopt_reserved_roundtrip() {
+        let mut ram = PhysicalMemory::new(64);
+        let e = ram.alloc(PageOrder(3)).unwrap();
+        ram.write(e.base, 9).unwrap();
+        ram.forget_ownership();
+        ram.reserve_range(e.base, e.pages()).unwrap();
+        ram.adopt_reserved(e.base, e.pages()).unwrap();
+        assert!(ram.is_allocated(e.base));
+        assert_eq!(ram.read(e.base).unwrap(), 9);
+        // Adoption of a non-reserved range fails.
+        assert!(ram.adopt_reserved(Mfn(60), 2).is_err());
+    }
+
+    #[test]
+    fn unreserve_returns_frames_to_pool() {
+        let mut ram = PhysicalMemory::new(64);
+        ram.forget_ownership();
+        ram.reserve_range(Mfn(10), 4).unwrap();
+        let before = ram.free_frames();
+        ram.unreserve_and_free(Mfn(10), 4).unwrap();
+        assert_eq!(ram.free_frames(), before + 4);
+        assert!(!ram.is_reserved(Mfn(10)));
+    }
+
+    #[test]
+    fn checksum_detects_change() {
+        let mut ram = PhysicalMemory::new(64);
+        let e = ram.alloc(PageOrder(2)).unwrap();
+        for mfn in e.frames() {
+            ram.write(mfn, mfn.0 * 3).unwrap();
+        }
+        let c1 = ram.checksum(&[e]);
+        ram.write(e.base + 1, 999).unwrap();
+        let c2 = ram.checksum(&[e]);
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn with_gib_sizes() {
+        let ram = PhysicalMemory::with_gib(1);
+        assert_eq!(ram.total_frames(), 262_144);
+    }
+}

@@ -1,0 +1,126 @@
+//! Machine specifications for the paper's testbed (Table 3).
+
+use hypertp_sim::cost::MachinePerf;
+use hypertp_sim::SimDuration;
+
+/// Hardware description of a physical server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSpec {
+    /// Human-readable name ("M1", "M2", ...).
+    pub name: String,
+    /// CPU model string (documentation only).
+    pub cpu_model: String,
+    /// Physical cores.
+    pub cores: usize,
+    /// Hardware threads.
+    pub threads: usize,
+    /// Base clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// Physical RAM in GiB.
+    pub ram_gb: u64,
+    /// NIC line rate in Gbit/s.
+    pub nic_gbps: f64,
+    /// NIC bring-up time after a reboot.
+    pub nic_init: SimDuration,
+    /// Threads reserved for the administration OS (dom0 / host Linux) —
+    /// §5.1 reserves 2 CPUs.
+    pub reserved_threads: usize,
+}
+
+impl MachineSpec {
+    /// M1 from Table 3: Intel i5-8400H, 4 cores / 8 threads @ 2.5 GHz,
+    /// 16 GB RAM, 1 Gbps Ethernet. NIC bring-up 6.6 s (§5.2.1).
+    pub fn m1() -> Self {
+        MachineSpec {
+            name: "M1".to_string(),
+            cpu_model: "Intel(R) i5-8400H".to_string(),
+            cores: 4,
+            threads: 8,
+            freq_ghz: 2.5,
+            ram_gb: 16,
+            nic_gbps: 1.0,
+            nic_init: SimDuration::from_millis(6600),
+            reserved_threads: 2,
+        }
+    }
+
+    /// M2 from Table 3: 2× Intel Xeon E5-2650L v4, 14 cores / 28 threads @
+    /// 1.7 GHz, 64 GB RAM, 1 Gbps Ethernet. NIC bring-up 2.3 s (§5.2.1).
+    pub fn m2() -> Self {
+        MachineSpec {
+            name: "M2".to_string(),
+            cpu_model: "2x Intel(R) Xeon(R) E5-2650L v4".to_string(),
+            cores: 28,
+            threads: 28,
+            freq_ghz: 1.7,
+            ram_gb: 64,
+            nic_gbps: 1.0,
+            nic_init: SimDuration::from_millis(2300),
+            reserved_threads: 2,
+        }
+    }
+
+    /// A cluster node from §5.1: 2× Intel Xeon E5-2630 v3, 96 GB RAM,
+    /// 10 Gbps network (the public research infrastructure used for the
+    /// cluster-scale evaluation).
+    pub fn cluster_node() -> Self {
+        MachineSpec {
+            name: "G5K".to_string(),
+            cpu_model: "2x Intel(R) Xeon(R) E5-2630 v3".to_string(),
+            cores: 16,
+            threads: 32,
+            freq_ghz: 2.4,
+            ram_gb: 96,
+            nic_gbps: 10.0,
+            nic_init: SimDuration::from_millis(2500),
+            reserved_threads: 2,
+        }
+    }
+
+    /// Converts the spec into the cost model's performance description.
+    pub fn perf(&self) -> MachinePerf {
+        MachinePerf {
+            freq_ghz: self.freq_ghz,
+            threads: self.threads,
+            reserved_threads: self.reserved_threads,
+            host_ram_gb: self.ram_gb as f64,
+            nic_gbps: self.nic_gbps,
+            nic_init: self.nic_init,
+        }
+    }
+
+    /// Number of VMs of `vm_gb` GiB each the machine can host, leaving
+    /// `reserve_gb` for the administration OS.
+    pub fn vm_capacity(&self, vm_gb: u64, reserve_gb: u64) -> u64 {
+        self.ram_gb.saturating_sub(reserve_gb) / vm_gb.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_specs() {
+        let m1 = MachineSpec::m1();
+        assert_eq!(m1.threads, 8);
+        assert_eq!(m1.ram_gb, 16);
+        let m2 = MachineSpec::m2();
+        assert_eq!(m2.threads, 28);
+        assert_eq!(m2.ram_gb, 64);
+    }
+
+    #[test]
+    fn m1_hosts_12_one_gb_vms() {
+        // §5.2.1: "With this VM size, our smallest machine (M1) can host up
+        // to 12 VMs" (1 GB VMs, ~4 GB kept for dom0).
+        assert_eq!(MachineSpec::m1().vm_capacity(1, 4), 12);
+    }
+
+    #[test]
+    fn perf_conversion() {
+        let p = MachineSpec::m2().perf();
+        assert_eq!(p.freq_ghz, 1.7);
+        assert_eq!(p.worker_threads(), 26);
+    }
+}

@@ -1,0 +1,492 @@
+//! The pre-copy migration engine with UISR proxies.
+
+use hypertp_core::{HtpError, Hypervisor, HypervisorKind, VmId};
+use hypertp_machine::{Gfn, Machine, PAGE_SIZE};
+use hypertp_sim::{CostModel, SimDuration, SimTime};
+
+use crate::network::Link;
+
+/// Pre-copy tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationConfig {
+    /// The link between source and destination.
+    pub link: Link,
+    /// Maximum pre-copy rounds before forcing stop-and-copy.
+    pub max_rounds: u32,
+    /// Go to stop-and-copy once a round's dirty set is at most this many
+    /// pages.
+    pub stop_threshold_pages: u64,
+    /// Guest write rate while migrating, in pages/second (drives pre-copy
+    /// convergence; idle VMs in §5.2 have a near-zero rate).
+    pub dirty_rate_pages_per_sec: f64,
+    /// Verify that destination guest memory equals the source at pause
+    /// time (tests; costs a full extra pass).
+    pub verify_contents: bool,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        MigrationConfig {
+            link: Link::gigabit(),
+            max_rounds: 30,
+            stop_threshold_pages: 64,
+            dirty_rate_pages_per_sec: 10.0,
+            verify_contents: false,
+        }
+    }
+}
+
+/// Statistics of one pre-copy round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundStats {
+    /// Round number (0 = full copy).
+    pub round: u32,
+    /// Pages transferred.
+    pub pages: u64,
+    /// Simulated duration of the round.
+    pub duration: SimDuration,
+}
+
+/// Result of one VM migration.
+#[derive(Debug, Clone)]
+pub struct MigrationReport {
+    /// Migrated VM's name.
+    pub vm_name: String,
+    /// Instant the migration started.
+    pub start: SimTime,
+    /// Per-round statistics.
+    pub rounds: Vec<RoundStats>,
+    /// VM downtime (pause on source → resume on destination, including
+    /// any destination queueing).
+    pub downtime: SimDuration,
+    /// Total migration time.
+    pub total: SimDuration,
+    /// Guest page bytes sent.
+    pub bytes_sent: u64,
+    /// Encoded UISR bytes sent through the proxies.
+    pub uisr_bytes: u64,
+    /// Compatibility warnings from the destination proxy.
+    pub warnings: Vec<String>,
+}
+
+/// Outcome of the data phase, before scheduling adjustments.
+struct DataPhase {
+    report: MigrationReport,
+    precopy: SimDuration,
+    stop_copy: SimDuration,
+    dst_id: VmId,
+}
+
+/// The MigrationTP engine.
+#[derive(Debug, Clone, Default)]
+pub struct MigrationTp {
+    /// Cost model for CPU-side costs and activation.
+    pub cost: CostModel,
+    /// Pre-copy configuration.
+    pub config: MigrationConfig,
+}
+
+impl MigrationTp {
+    /// Creates an engine with defaults.
+    pub fn new() -> Self {
+        MigrationTp::default()
+    }
+
+    /// Replaces the configuration.
+    pub fn with_config(mut self, config: MigrationConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Migrates one VM from `src_hv` on `src_machine` to `dst_hv` on
+    /// `dst_machine`, advancing the source clock through the whole
+    /// migration. The source VM is destroyed on success, as in a normal
+    /// live migration.
+    #[allow(clippy::too_many_arguments)]
+    pub fn migrate(
+        &self,
+        src_machine: &mut Machine,
+        src_hv: &mut dyn Hypervisor,
+        src_id: VmId,
+        dst_machine: &mut Machine,
+        dst_hv: &mut dyn Hypervisor,
+    ) -> Result<MigrationReport, HtpError> {
+        let phase = self.migrate_data(
+            src_machine,
+            src_hv,
+            src_id,
+            dst_machine,
+            dst_hv,
+            1,
+            SimDuration::ZERO,
+        )?;
+        // Critical path: pre-copy then stop-and-copy.
+        src_machine.clock().advance(phase.precopy + phase.stop_copy);
+        dst_machine.clock().advance_to(src_machine.clock().now());
+        dst_hv.resume_vm(phase.dst_id)?;
+        src_hv.destroy_vm(src_machine, src_id)?;
+        Ok(phase.report)
+    }
+
+    /// The data phase: performs every page and state transfer and computes
+    /// durations, without advancing machine clocks (the caller schedules).
+    ///
+    /// `sharers` models concurrent migrations dividing the link;
+    /// `receiver_queue_wait` is added to the downtime before destination
+    /// activation (Xen's sequential receive side, §5.2.2).
+    #[allow(clippy::too_many_arguments)]
+    fn migrate_data(
+        &self,
+        src_machine: &mut Machine,
+        src_hv: &mut dyn Hypervisor,
+        src_id: VmId,
+        dst_machine: &mut Machine,
+        dst_hv: &mut dyn Hypervisor,
+        sharers: u32,
+        receiver_queue_wait: SimDuration,
+    ) -> Result<DataPhase, HtpError> {
+        let cfg = src_hv.vm_config(src_id)?.clone();
+        let start = src_machine.clock().now();
+        let perf = src_machine.spec().perf();
+        let dst_id = dst_hv.prepare_incoming(dst_machine, &cfg)?;
+        src_hv.enable_dirty_log(src_id)?;
+
+        let mut rounds = Vec::new();
+        let mut bytes_sent = 0u64;
+        let mut precopy = SimDuration::ZERO;
+
+        // Round 0: full copy of every mapped page.
+        let map = src_hv.guest_memory_map(src_id)?;
+        let all_gfns: Vec<Gfn> = map
+            .iter()
+            .flat_map(|(gfn, e)| (gfn.0..gfn.0 + e.pages()).map(Gfn))
+            .collect();
+        let mut round = 0u32;
+        let mut to_send: Vec<Gfn> = all_gfns;
+        let stop_set;
+        loop {
+            let pages = to_send.len() as u64;
+            let bytes = pages * PAGE_SIZE;
+            let duration = self.config.link.transfer(bytes, sharers)
+                + perf.cpu(self.cost.migrate_ghz_s_per_page * pages as f64)
+                + SimDuration::from_secs_f64(self.cost.migrate_round_overhead_s);
+            self.copy_pages(
+                src_machine,
+                src_hv,
+                src_id,
+                dst_machine,
+                dst_hv,
+                dst_id,
+                &to_send,
+            )?;
+            bytes_sent += bytes;
+            precopy += duration;
+            rounds.push(RoundStats {
+                round,
+                pages,
+                duration,
+            });
+            // The guest keeps running and dirtying pages during the round.
+            // A guest cannot dirty more distinct pages than it has.
+            let dirtied = ((self.config.dirty_rate_pages_per_sec * duration.as_secs_f64()) as u64)
+                .min(cfg.pages());
+            if dirtied > 0 {
+                src_hv.guest_tick(src_machine, src_id, dirtied)?;
+            }
+            round += 1;
+            let dirty = src_hv.collect_dirty(src_id)?;
+            if dirty.len() as u64 <= self.config.stop_threshold_pages
+                || round >= self.config.max_rounds
+            {
+                stop_set = dirty;
+                break;
+            }
+            to_send = dirty;
+        }
+
+        // Stop-and-copy: quiesce devices (§4.2.3 — the guest is still
+        // running, so this extends pre-copy, not downtime), then pause and
+        // send the residual dirty set, translate the VMi State through the
+        // UISR proxies, and activate on the destination.
+        precopy += src_hv.notify_prepare_transplant(src_machine, src_id)?;
+        src_hv.pause_vm(src_id)?;
+        self.copy_pages(
+            src_machine,
+            src_hv,
+            src_id,
+            dst_machine,
+            dst_hv,
+            dst_id,
+            &stop_set,
+        )?;
+        let final_bytes = stop_set.len() as u64 * PAGE_SIZE;
+        bytes_sent += final_bytes;
+
+        let uisr = src_hv.save_uisr(src_machine, src_id)?; // Source proxy.
+        let blob = hypertp_uisr::encode(&uisr);
+        let uisr_vm = hypertp_uisr::decode(&blob)?; // Destination proxy.
+        let restored = dst_hv.restore_uisr(dst_machine, dst_id, &uisr_vm)?;
+
+        let stop_copy = self.config.link.transfer(final_bytes, sharers)
+            + self.config.link.transfer(blob.len() as u64, sharers)
+            + receiver_queue_wait
+            + self.cost.activate(dst_hv.kind().boot_target(), cfg.vcpus);
+
+        if self.config.verify_contents {
+            for (gfn, e) in &map {
+                for off in 0..e.pages() {
+                    let g = Gfn(gfn.0 + off);
+                    if src_hv.read_guest(src_machine, src_id, g)?
+                        != dst_hv.read_guest(dst_machine, dst_id, g)?
+                    {
+                        return Err(HtpError::IntegrityViolation {
+                            vm_name: cfg.name.clone(),
+                        });
+                    }
+                }
+            }
+        }
+
+        let report = MigrationReport {
+            vm_name: cfg.name.clone(),
+            start,
+            rounds,
+            downtime: stop_copy,
+            total: precopy + stop_copy,
+            bytes_sent,
+            uisr_bytes: blob.len() as u64,
+            warnings: restored.warnings,
+        };
+        Ok(DataPhase {
+            report,
+            precopy,
+            stop_copy,
+            dst_id,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn copy_pages(
+        &self,
+        src_machine: &Machine,
+        src_hv: &dyn Hypervisor,
+        src_id: VmId,
+        dst_machine: &mut Machine,
+        dst_hv: &mut dyn Hypervisor,
+        dst_id: VmId,
+        gfns: &[Gfn],
+    ) -> Result<(), HtpError> {
+        for &g in gfns {
+            let v = src_hv.read_guest(src_machine, src_id, g)?;
+            dst_hv.write_guest(dst_machine, dst_id, g, v)?;
+        }
+        Ok(())
+    }
+}
+
+/// Migrates several VMs from one host to another, reproducing §5.2.2's
+/// multi-VM behaviour: sends run in parallel and share the link; the
+/// receive side is **sequential** when the destination is Xen (each VM's
+/// stop-and-copy queues behind the previous one, inflating later VMs'
+/// downtime) and parallel when it is kvmtool.
+pub fn migrate_many(
+    tp: &MigrationTp,
+    src_machine: &mut Machine,
+    src_hv: &mut dyn Hypervisor,
+    vm_ids: &[VmId],
+    dst_machine: &mut Machine,
+    dst_hv: &mut dyn Hypervisor,
+) -> Result<Vec<MigrationReport>, HtpError> {
+    let sharers = vm_ids.len() as u32;
+    let sequential_receive = dst_hv.kind() == HypervisorKind::Xen;
+    let mut phases = Vec::new();
+    for &id in vm_ids {
+        let phase = tp.migrate_data(
+            src_machine,
+            src_hv,
+            id,
+            dst_machine,
+            dst_hv,
+            sharers,
+            SimDuration::ZERO,
+        )?;
+        phases.push((id, phase));
+    }
+    // Schedule: all pre-copies start together; stop-and-copies queue on a
+    // sequential receiver in pre-copy completion order.
+    let mut order: Vec<usize> = (0..phases.len()).collect();
+    order.sort_by_key(|&i| phases[i].1.precopy);
+    let mut receiver_free = SimDuration::ZERO;
+    let mut makespan = SimDuration::ZERO;
+    let mut out: Vec<Option<MigrationReport>> = (0..phases.len()).map(|_| None).collect();
+    for &i in &order {
+        let (_, phase) = &phases[i];
+        let (finish, downtime) = if sequential_receive {
+            let begin = phase.precopy.max(receiver_free);
+            let finish = begin + phase.stop_copy;
+            receiver_free = finish;
+            (finish, finish - phase.precopy)
+        } else {
+            (phase.precopy + phase.stop_copy, phase.stop_copy)
+        };
+        makespan = makespan.max(finish);
+        let mut report = phase.report.clone();
+        report.downtime = downtime;
+        report.total = finish;
+        out[i] = Some(report);
+    }
+    src_machine.clock().advance(makespan);
+    dst_machine.clock().advance_to(src_machine.clock().now());
+    for (id, phase) in &phases {
+        dst_hv.resume_vm(phase.dst_id)?;
+        src_hv.destroy_vm(src_machine, *id)?;
+    }
+    Ok(out.into_iter().map(|r| r.expect("all scheduled")).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypertp_core::testing::SimpleHv;
+    use hypertp_core::VmConfig;
+    use hypertp_machine::MachineSpec;
+    use hypertp_sim::SimClock;
+
+    fn pair() -> (Machine, Machine) {
+        let clock = SimClock::new();
+        let mut spec = MachineSpec::m1();
+        spec.ram_gb = 4;
+        (
+            Machine::with_clock(spec.clone(), clock.clone()),
+            Machine::with_clock(spec, clock),
+        )
+    }
+
+    #[test]
+    fn migration_preserves_memory_and_state() {
+        let (mut src_m, mut dst_m) = pair();
+        let mut src = SimpleHv::new(HypervisorKind::Xen);
+        let mut dst = SimpleHv::new(HypervisorKind::Kvm);
+        let id = src.create_vm(&mut src_m, &VmConfig::small("vm0")).unwrap();
+        src.write_guest(&mut src_m, id, Gfn(777), 0xfeed).unwrap();
+        src.guest_tick(&mut src_m, id, 100).unwrap();
+        let tp = MigrationTp::new().with_config(MigrationConfig {
+            verify_contents: true,
+            ..MigrationConfig::default()
+        });
+        let report = tp
+            .migrate(&mut src_m, &mut src, id, &mut dst_m, &mut dst)
+            .unwrap();
+        assert!(src.vm_ids().is_empty(), "source VM destroyed");
+        let new_id = dst.find_vm("vm0").unwrap();
+        assert_eq!(dst.read_guest(&dst_m, new_id, Gfn(777)).unwrap(), 0xfeed);
+        assert_eq!(
+            dst.vm_state(new_id).unwrap(),
+            hypertp_core::VmState::Running
+        );
+        assert!(report.rounds[0].pages == 262_144, "full first round");
+        assert!(report.bytes_sent >= 1 << 30);
+    }
+
+    #[test]
+    fn table4_downtime_and_total() {
+        // 1 vCPU / 1 GB idle VM over 1 Gbps: total ≈ 9.6 s; downtime
+        // ≈ 5 ms to kvmtool, ≈ 134 ms to Xen (27× more).
+        let run = |dst_kind: HypervisorKind| {
+            let (mut src_m, mut dst_m) = pair();
+            let mut src = SimpleHv::new(HypervisorKind::Xen);
+            let mut dst = SimpleHv::new(dst_kind);
+            let id = src.create_vm(&mut src_m, &VmConfig::small("vm0")).unwrap();
+            let tp = MigrationTp::new().with_config(MigrationConfig {
+                dirty_rate_pages_per_sec: 1.0, // idle
+                ..MigrationConfig::default()
+            });
+            tp.migrate(&mut src_m, &mut src, id, &mut dst_m, &mut dst)
+                .unwrap()
+        };
+        let to_kvm = run(HypervisorKind::Kvm);
+        let total = to_kvm.total.as_secs_f64();
+        assert!((9.0..10.5).contains(&total), "total = {total}");
+        let dt = to_kvm.downtime.as_millis_f64();
+        assert!((3.0..10.0).contains(&dt), "downtime = {dt} ms");
+
+        let to_xen = run(HypervisorKind::Xen);
+        let ratio = to_xen.downtime.as_secs_f64() / to_kvm.downtime.as_secs_f64();
+        assert!((15.0..35.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn dirty_rate_extends_migration() {
+        let run = |rate: f64| {
+            let (mut src_m, mut dst_m) = pair();
+            let mut src = SimpleHv::new(HypervisorKind::Xen);
+            let mut dst = SimpleHv::new(HypervisorKind::Kvm);
+            let id = src.create_vm(&mut src_m, &VmConfig::small("vm0")).unwrap();
+            let tp = MigrationTp::new().with_config(MigrationConfig {
+                dirty_rate_pages_per_sec: rate,
+                ..MigrationConfig::default()
+            });
+            tp.migrate(&mut src_m, &mut src, id, &mut dst_m, &mut dst)
+                .unwrap()
+        };
+        let idle = run(1.0);
+        let busy = run(2000.0);
+        assert!(busy.rounds.len() > idle.rounds.len());
+        assert!(busy.total > idle.total);
+        assert!(busy.bytes_sent > idle.bytes_sent);
+    }
+
+    #[test]
+    fn nonconvergent_guest_hits_round_cap() {
+        let (mut src_m, mut dst_m) = pair();
+        let mut src = SimpleHv::new(HypervisorKind::Xen);
+        let mut dst = SimpleHv::new(HypervisorKind::Kvm);
+        let id = src.create_vm(&mut src_m, &VmConfig::small("vm0")).unwrap();
+        let tp = MigrationTp::new().with_config(MigrationConfig {
+            dirty_rate_pages_per_sec: 1e7, // Dirties faster than the link.
+            max_rounds: 6,
+            ..MigrationConfig::default()
+        });
+        let r = tp
+            .migrate(&mut src_m, &mut src, id, &mut dst_m, &mut dst)
+            .unwrap();
+        assert_eq!(r.rounds.len(), 6);
+        // Forced stop-and-copy carries a large residual set.
+        assert!(r.downtime.as_secs_f64() > 1.0);
+    }
+
+    #[test]
+    fn migrate_many_xen_receive_serializes() {
+        let run = |dst_kind: HypervisorKind| {
+            let (mut src_m, mut dst_m) = pair();
+            let mut src = SimpleHv::new(HypervisorKind::Xen);
+            let mut dst = SimpleHv::new(dst_kind);
+            let ids: Vec<VmId> = (0..4)
+                .map(|i| {
+                    src.create_vm(&mut src_m, &VmConfig::small(format!("vm{i}")))
+                        .unwrap()
+                })
+                .collect();
+            let tp = MigrationTp::new().with_config(MigrationConfig {
+                dirty_rate_pages_per_sec: 1.0,
+                ..MigrationConfig::default()
+            });
+            migrate_many(&tp, &mut src_m, &mut src, &ids, &mut dst_m, &mut dst).unwrap()
+        };
+        let to_xen = run(HypervisorKind::Xen);
+        let to_kvm = run(HypervisorKind::Kvm);
+        let spread = |rs: &[MigrationReport]| {
+            let ds: Vec<f64> = rs.iter().map(|r| r.downtime.as_secs_f64()).collect();
+            ds.iter().cloned().fold(f64::MIN, f64::max)
+                - ds.iter().cloned().fold(f64::MAX, f64::min)
+        };
+        assert!(
+            spread(&to_xen) > 10.0 * spread(&to_kvm).max(1e-9),
+            "xen spread {} vs kvm spread {}",
+            spread(&to_xen),
+            spread(&to_kvm)
+        );
+        // All four guests actually arrived.
+        assert_eq!(to_kvm.len(), 4);
+    }
+}

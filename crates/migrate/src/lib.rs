@@ -1,0 +1,20 @@
+//! MigrationTP: live-migration-based hypervisor transplant (§3.3, §4.3).
+//!
+//! MigrationTP follows a normal pre-copy live migration — a copy loop while
+//! the VM runs, then a stop-and-copy — with one addition: *proxies* on both
+//! machines translate the VM's VMi State through UISR, so the destination
+//! can run a different hypervisor. Guest pages are not translated (they are
+//! hypervisor-independent), and PRAM is unnecessary because memory maps are
+//! implicitly rebuilt on the destination (§4.3).
+//!
+//! * [`network`] — the link model carrying pages and UISR blobs.
+//! * [`engine`] — [`engine::MigrationTp`]: single-VM migration, plus
+//!   [`engine::migrate_many`] reproducing the multi-VM behaviour of §5.2.2
+//!   (parallel sends sharing the link, with Xen's sequential receive side
+//!   producing high downtime variance while kvmtool's stays constant).
+
+pub mod engine;
+pub mod network;
+
+pub use engine::{migrate_many, MigrationConfig, MigrationReport, MigrationTp, RoundStats};
+pub use network::Link;

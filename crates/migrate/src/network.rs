@@ -1,0 +1,68 @@
+//! The network link between migration source and destination.
+
+use hypertp_sim::SimDuration;
+
+/// A point-to-point link with a line rate, a streaming efficiency and a
+/// fixed per-message latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// Line rate in Gbit/s.
+    pub gbps: f64,
+    /// Fraction of line rate achievable for bulk streaming.
+    pub efficiency: f64,
+    /// One-way latency per message.
+    pub latency: SimDuration,
+}
+
+impl Link {
+    /// The paper's M1↔M1 link: 1 Gbps Ethernet.
+    pub fn gigabit() -> Self {
+        Link {
+            gbps: 1.0,
+            efficiency: 0.93,
+            latency: SimDuration::from_micros(200),
+        }
+    }
+
+    /// The cluster testbed's 10 Gbps network (§5.1).
+    pub fn ten_gigabit() -> Self {
+        Link {
+            gbps: 10.0,
+            efficiency: 0.93,
+            latency: SimDuration::from_micros(50),
+        }
+    }
+
+    /// Time to transfer `bytes` when `sharers` flows share the link.
+    pub fn transfer(&self, bytes: u64, sharers: u32) -> SimDuration {
+        let rate = self.gbps * self.efficiency / sharers.max(1) as f64;
+        self.latency + SimDuration::from_secs_f64(bytes as f64 * 8.0 / (rate * 1e9))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gigabit_copies_1gb_in_about_9s() {
+        let l = Link::gigabit();
+        let t = l.transfer(1 << 30, 1).as_secs_f64();
+        assert!((9.0..9.5).contains(&t), "t = {t}");
+    }
+
+    #[test]
+    fn sharing_divides_bandwidth() {
+        let l = Link::gigabit();
+        let solo = l.transfer(1 << 20, 1);
+        let shared = l.transfer(1 << 20, 4);
+        assert!(shared.as_secs_f64() > 3.5 * solo.as_secs_f64());
+    }
+
+    #[test]
+    fn ten_gig_is_ten_times_faster() {
+        let a = Link::gigabit().transfer(1 << 30, 1).as_secs_f64();
+        let b = Link::ten_gigabit().transfer(1 << 30, 1).as_secs_f64();
+        assert!((a / b) > 9.0 && (a / b) < 11.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Packed 8-byte PRAM page entries.
+//!
+//! §5.5: "PRAM structures consist of 8-byte records for every VM's memory
+//! page (which can be 4K or 2M in size)". An entry packs the machine frame
+//! number and the allocation order; the guest frame number is implicit from
+//! the entry's position after the node's base GFN (nodes are
+//! GFN-contiguous).
+//!
+//! Layout of the 64-bit word:
+//!
+//! ```text
+//!  63      58 57      52 51                                   0
+//! +----------+----------+--------------------------------------+
+//! |  flags   |  order   |                 mfn                  |
+//! +----------+----------+--------------------------------------+
+//! ```
+
+use hypertp_machine::{Mfn, PageOrder};
+
+/// A packed page entry as stored in a node page.
+pub type PackedEntry = u64;
+
+/// Number of bits reserved for the MFN (52 bits covers 2^52 frames —
+/// 16 EiB of physical memory, same headroom as x86-64 page tables).
+const MFN_BITS: u32 = 52;
+const MFN_MASK: u64 = (1 << MFN_BITS) - 1;
+const ORDER_SHIFT: u32 = MFN_BITS;
+const ORDER_BITS: u32 = 6;
+const ORDER_MASK: u64 = (1 << ORDER_BITS) - 1;
+const FLAGS_SHIFT: u32 = ORDER_SHIFT + ORDER_BITS;
+const FLAGS_MASK: u64 = (1 << 6) - 1;
+
+/// Entry flag: the frame run holds guest memory (as opposed to reserved
+/// scratch used during restoration).
+pub const FLAG_GUEST: u8 = 1 << 0;
+
+/// Packs an (mfn, order, flags) triple into an 8-byte entry.
+///
+/// # Panics
+///
+/// Panics if the MFN exceeds 52 bits, the order exceeds 6 bits, or the
+/// flags exceed the 6-bit flag field.
+pub fn pack_entry(mfn: Mfn, order: PageOrder, flags: u8) -> PackedEntry {
+    assert!(mfn.0 <= MFN_MASK, "mfn {mfn} exceeds 52 bits");
+    assert!((order.0 as u64) <= ORDER_MASK, "order exceeds 6 bits");
+    assert!((flags as u64) <= FLAGS_MASK, "flags exceed 6 bits");
+    mfn.0 | ((order.0 as u64) << ORDER_SHIFT) | ((flags as u64) << FLAGS_SHIFT)
+}
+
+/// Unpacks an 8-byte entry into (mfn, order, flags).
+pub fn unpack_entry(e: PackedEntry) -> (Mfn, PageOrder, u8) {
+    let mfn = Mfn(e & MFN_MASK);
+    let order = PageOrder(((e >> ORDER_SHIFT) & ORDER_MASK) as u8);
+    let flags = (e >> FLAGS_SHIFT) as u8;
+    (mfn, order, flags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let e = pack_entry(Mfn(0xdead_beef), PageOrder(9), FLAG_GUEST);
+        let (m, o, f) = unpack_entry(e);
+        assert_eq!(m, Mfn(0xdead_beef));
+        assert_eq!(o, PageOrder(9));
+        assert_eq!(f, FLAG_GUEST);
+    }
+
+    #[test]
+    fn entry_is_eight_bytes() {
+        assert_eq!(std::mem::size_of::<PackedEntry>(), 8);
+    }
+
+    #[test]
+    fn max_mfn_roundtrips() {
+        let e = pack_entry(Mfn(MFN_MASK), PageOrder(0), 0);
+        assert_eq!(unpack_entry(e).0, Mfn(MFN_MASK));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 52 bits")]
+    fn oversized_mfn_panics() {
+        pack_entry(Mfn(1 << 52), PageOrder(0), 0);
+    }
+
+    #[test]
+    fn proptest_roundtrip() {
+        use proptest::prelude::*;
+        proptest!(|(mfn in 0u64..(1 << 52), order in 0u8..10, flags in 0u8..64)| {
+            let e = pack_entry(Mfn(mfn), PageOrder(order), flags);
+            let (m, o, f) = unpack_entry(e);
+            prop_assert_eq!(m, Mfn(mfn));
+            prop_assert_eq!(o, PageOrder(order));
+            prop_assert_eq!(f, flags);
+        });
+    }
+}

@@ -1,0 +1,703 @@
+//! The PRAM filesystem: builder (source side) and parser (target side).
+//!
+//! The builder runs in the source hypervisor's userspace *before* VMs are
+//! paused (the §4.2.5 "preparation work" optimization); it encodes each VM's
+//! guest memory map into metadata pages and returns the PRAM pointer that
+//! InPlaceTP passes on the kexec command line. The parser runs in the target
+//! hypervisor's early boot: it walks the structure, reconstructs every VM's
+//! memory map, and reserves the frames before the allocator or boot
+//! scrubber can recycle them.
+
+use hypertp_machine::{Extent, Gfn, MemError, Mfn, PageOrder, PhysicalMemory, PAGE_SIZE};
+
+use crate::entry::{pack_entry, unpack_entry, PackedEntry, FLAG_GUEST};
+
+const MAGIC: u32 = 0x4D41_5250; // "PRAM" little-endian.
+const VERSION: u8 = 1;
+
+const KIND_ROOT: u8 = 1;
+const KIND_FILE: u8 = 2;
+const KIND_NODE: u8 = 3;
+
+const ROOT_CAPACITY: usize = (PAGE_SIZE as usize - 24) / 8;
+const NODE_CAPACITY: usize = (PAGE_SIZE as usize - 32) / 8;
+const NAME_MAX: usize = 64;
+
+/// Errors from PRAM encoding or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PramError {
+    /// Underlying memory error (allocation failure, out-of-range frame).
+    Mem(MemError),
+    /// A metadata page did not carry the PRAM magic — it was scrubbed,
+    /// overwritten, or the pointer is wrong.
+    BadMagic {
+        /// The frame that failed validation.
+        mfn: Mfn,
+    },
+    /// A metadata page had an unexpected kind or version.
+    BadKind {
+        /// The frame that failed validation.
+        mfn: Mfn,
+        /// Expected kind.
+        expected: u8,
+        /// Found kind.
+        found: u8,
+    },
+    /// File name longer than the 64-byte field.
+    NameTooLong,
+    /// Guest mappings overlap in GFN space.
+    OverlappingMappings {
+        /// The GFN where the overlap was detected.
+        gfn: Gfn,
+    },
+    /// A pointer inside a metadata page is not page-aligned.
+    UnalignedPointer {
+        /// The offending byte address.
+        addr: u64,
+    },
+}
+
+impl std::fmt::Display for PramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PramError::Mem(e) => write!(f, "memory error: {e}"),
+            PramError::BadMagic { mfn } => write!(f, "bad PRAM magic at {mfn}"),
+            PramError::BadKind {
+                mfn,
+                expected,
+                found,
+            } => write!(
+                f,
+                "bad PRAM page kind at {mfn}: want {expected}, got {found}"
+            ),
+            PramError::NameTooLong => write!(f, "file name exceeds 64 bytes"),
+            PramError::OverlappingMappings { gfn } => {
+                write!(f, "overlapping guest mappings at {gfn}")
+            }
+            PramError::UnalignedPointer { addr } => {
+                write!(f, "unaligned metadata pointer {addr:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PramError {}
+
+impl From<MemError> for PramError {
+    fn from(e: MemError) -> Self {
+        PramError::Mem(e)
+    }
+}
+
+/// One VM's memory map, as recorded in (or recovered from) PRAM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PramFile {
+    /// File name (the VM identifier).
+    pub name: String,
+    /// File mode bits (kept for fidelity with the patchset's API).
+    pub mode: u32,
+    /// The guest memory map: `(gfn, extent)` pairs sorted by GFN.
+    pub mappings: Vec<(Gfn, Extent)>,
+}
+
+impl PramFile {
+    /// Total guest pages covered by the file.
+    pub fn total_pages(&self) -> u64 {
+        self.mappings.iter().map(|(_, e)| e.pages()).sum()
+    }
+
+    /// Total number of 8-byte page entries the file encodes to.
+    pub fn total_entries(&self) -> u64 {
+        self.mappings.len() as u64
+    }
+
+    /// Total guest bytes covered.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_pages() * PAGE_SIZE
+    }
+}
+
+/// Size statistics of an encoded PRAM structure (drives Fig. 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PramStats {
+    /// Number of files (VMs).
+    pub files: u64,
+    /// Total 8-byte page entries across all files.
+    pub entries: u64,
+    /// Metadata pages allocated (root + file-info + node pages).
+    pub metadata_pages: u64,
+}
+
+impl PramStats {
+    /// Metadata footprint in bytes.
+    pub fn metadata_bytes(&self) -> u64 {
+        self.metadata_pages * PAGE_SIZE
+    }
+}
+
+/// Result of building a PRAM structure: the pointer to pass on the kexec
+/// command line plus bookkeeping for cleanup.
+#[derive(Debug, Clone)]
+pub struct PramHandle {
+    /// Physical byte address of the first root directory page — the "PRAM
+    /// pointer" of Fig. 4.
+    pub pram_ptr: u64,
+    /// All metadata frames, for the cleanup step.
+    pub meta_frames: Vec<Mfn>,
+    stats: PramStats,
+}
+
+impl PramHandle {
+    /// Size statistics of the encoded structure.
+    pub fn stats(&self) -> PramStats {
+        self.stats
+    }
+
+    /// Renders the PRAM pointer as the kernel command-line argument used by
+    /// the micro-reboot.
+    pub fn cmdline_arg(&self) -> String {
+        format!("pram={:#x}", self.pram_ptr)
+    }
+}
+
+/// Parses `pram=<addr>` from a kernel command line.
+pub fn pram_ptr_from_cmdline(cmdline: &str) -> Option<u64> {
+    for tok in cmdline.split_whitespace() {
+        if let Some(v) = tok.strip_prefix("pram=") {
+            let v = v.strip_prefix("0x").unwrap_or(v);
+            if let Ok(addr) = u64::from_str_radix(v, 16) {
+                return Some(addr);
+            }
+        }
+    }
+    None
+}
+
+/// Builds PRAM structures into physical memory.
+#[derive(Debug, Default)]
+pub struct PramBuilder {
+    files: Vec<PramFile>,
+}
+
+impl PramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        PramBuilder::default()
+    }
+
+    /// Adds a VM's memory map as a file.
+    ///
+    /// Mappings may be given in any order; they are sorted by GFN and
+    /// validated for overlap at [`PramBuilder::write`] time.
+    pub fn add_file(
+        &mut self,
+        name: impl Into<String>,
+        mode: u32,
+        mappings: Vec<(Gfn, Extent)>,
+    ) -> &mut Self {
+        self.files.push(PramFile {
+            name: name.into(),
+            mode,
+            mappings,
+        });
+        self
+    }
+
+    /// Number of files added so far.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Encodes the structure into metadata pages allocated from `ram` and
+    /// returns the handle carrying the PRAM pointer.
+    pub fn write(mut self, ram: &mut PhysicalMemory) -> Result<PramHandle, PramError> {
+        let mut meta_frames: Vec<Mfn> = Vec::new();
+        let mut stats = PramStats {
+            files: self.files.len() as u64,
+            ..PramStats::default()
+        };
+
+        let alloc_page =
+            |ram: &mut PhysicalMemory, meta: &mut Vec<Mfn>| -> Result<Mfn, PramError> {
+                let e = ram.alloc(PageOrder(0))?;
+                meta.push(e.base);
+                Ok(e.base)
+            };
+
+        // Encode each file: node chain first, then the file-info page.
+        let mut file_ptrs: Vec<u64> = Vec::new();
+        for file in &mut self.files {
+            file.mappings.sort_by_key(|(g, _)| *g);
+            // Validate for overlap.
+            let mut prev_end: Option<u64> = None;
+            for (g, e) in &file.mappings {
+                if let Some(end) = prev_end {
+                    if g.0 < end {
+                        return Err(PramError::OverlappingMappings { gfn: *g });
+                    }
+                }
+                prev_end = Some(g.0 + e.pages());
+            }
+            if file.name.len() > NAME_MAX {
+                return Err(PramError::NameTooLong);
+            }
+
+            // Split into GFN-contiguous runs, then into capacity-bounded
+            // node pages.
+            let mut nodes: Vec<(Gfn, Vec<PackedEntry>)> = Vec::new();
+            let mut cur: Option<(Gfn, u64, Vec<PackedEntry>)> = None; // (base, next_gfn, entries)
+            for (g, e) in &file.mappings {
+                let entry = pack_entry(e.base, e.order, FLAG_GUEST);
+                match &mut cur {
+                    Some((base, next, entries))
+                        if *next == g.0 && entries.len() < NODE_CAPACITY =>
+                    {
+                        entries.push(entry);
+                        *next += e.pages();
+                        let _ = base;
+                    }
+                    _ => {
+                        if let Some((base, _, entries)) = cur.take() {
+                            nodes.push((base, entries));
+                        }
+                        cur = Some((*g, g.0 + e.pages(), vec![entry]));
+                    }
+                }
+            }
+            if let Some((base, _, entries)) = cur.take() {
+                nodes.push((base, entries));
+            }
+
+            // Write node pages back-to-front so each can point at the next.
+            let mut next_ptr = 0u64;
+            for (base, entries) in nodes.iter().rev() {
+                let mfn = alloc_page(ram, &mut meta_frames)?;
+                let mut page = vec![0u8; PAGE_SIZE as usize];
+                write_header(&mut page, KIND_NODE, next_ptr);
+                page[16..24].copy_from_slice(&base.0.to_le_bytes());
+                page[24..32].copy_from_slice(&(entries.len() as u64).to_le_bytes());
+                for (i, e) in entries.iter().enumerate() {
+                    let off = 32 + i * 8;
+                    page[off..off + 8].copy_from_slice(&e.to_le_bytes());
+                }
+                ram.write_bytes(mfn, &page)?;
+                next_ptr = mfn.addr();
+                stats.entries += entries.len() as u64;
+            }
+
+            // File-info page.
+            let mfn = alloc_page(ram, &mut meta_frames)?;
+            let mut page = vec![0u8; PAGE_SIZE as usize];
+            write_header(&mut page, KIND_FILE, 0);
+            page[16..24].copy_from_slice(&next_ptr.to_le_bytes());
+            page[24..32].copy_from_slice(&file.total_pages().to_le_bytes());
+            page[32..36].copy_from_slice(&file.mode.to_le_bytes());
+            page[36..40].copy_from_slice(&(file.name.len() as u32).to_le_bytes());
+            page[40..40 + file.name.len()].copy_from_slice(file.name.as_bytes());
+            ram.write_bytes(mfn, &page)?;
+            file_ptrs.push(mfn.addr());
+        }
+
+        // Root directory pages, back-to-front.
+        let mut root_ptr = 0u64;
+        for chunk in file_ptrs.chunks(ROOT_CAPACITY).rev() {
+            let mfn = alloc_page(ram, &mut meta_frames)?;
+            let mut page = vec![0u8; PAGE_SIZE as usize];
+            write_header(&mut page, KIND_ROOT, root_ptr);
+            page[16..24].copy_from_slice(&(chunk.len() as u64).to_le_bytes());
+            for (i, p) in chunk.iter().enumerate() {
+                let off = 24 + i * 8;
+                page[off..off + 8].copy_from_slice(&p.to_le_bytes());
+            }
+            ram.write_bytes(mfn, &page)?;
+            root_ptr = mfn.addr();
+        }
+        // An empty builder still produces one (empty) root page so the
+        // pointer is always valid.
+        if root_ptr == 0 {
+            let mfn = alloc_page(ram, &mut meta_frames)?;
+            let mut page = vec![0u8; PAGE_SIZE as usize];
+            write_header(&mut page, KIND_ROOT, 0);
+            ram.write_bytes(mfn, &page)?;
+            root_ptr = mfn.addr();
+        }
+
+        stats.metadata_pages = meta_frames.len() as u64;
+        Ok(PramHandle {
+            pram_ptr: root_ptr,
+            meta_frames,
+            stats,
+        })
+    }
+}
+
+fn write_header(page: &mut [u8], kind: u8, next: u64) {
+    page[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+    page[4] = VERSION;
+    page[5] = kind;
+    page[8..16].copy_from_slice(&next.to_le_bytes());
+}
+
+fn read_page(ram: &PhysicalMemory, addr: u64) -> Result<(&[u8], Mfn), PramError> {
+    if !addr.is_multiple_of(PAGE_SIZE) {
+        return Err(PramError::UnalignedPointer { addr });
+    }
+    let mfn = Mfn(addr / PAGE_SIZE);
+    let bytes = ram.read_bytes(mfn).ok_or(PramError::BadMagic { mfn })?;
+    Ok((bytes, mfn))
+}
+
+fn check_header(page: &[u8], mfn: Mfn, kind: u8) -> Result<u64, PramError> {
+    let magic = u32::from_le_bytes(page[0..4].try_into().expect("page is 4 KiB"));
+    if magic != MAGIC || page[4] != VERSION {
+        return Err(PramError::BadMagic { mfn });
+    }
+    if page[5] != kind {
+        return Err(PramError::BadKind {
+            mfn,
+            expected: kind,
+            found: page[5],
+        });
+    }
+    Ok(u64::from_le_bytes(
+        page[8..16].try_into().expect("page is 4 KiB"),
+    ))
+}
+
+/// A parsed PRAM structure, as seen by the target hypervisor at early boot.
+#[derive(Debug, Clone)]
+pub struct PramImage {
+    /// Recovered files, in directory order.
+    pub files: Vec<PramFile>,
+    /// Frames holding the metadata itself.
+    pub meta_frames: Vec<Mfn>,
+}
+
+impl PramImage {
+    /// Parses the structure rooted at `pram_ptr` out of physical memory.
+    pub fn parse(ram: &PhysicalMemory, pram_ptr: u64) -> Result<PramImage, PramError> {
+        let mut files = Vec::new();
+        let mut meta_frames = Vec::new();
+        let mut root_addr = pram_ptr;
+        while root_addr != 0 {
+            let (root, root_mfn) = read_page(ram, root_addr)?;
+            let next_root = check_header(root, root_mfn, KIND_ROOT)?;
+            meta_frames.push(root_mfn);
+            let count = u64::from_le_bytes(root[16..24].try_into().expect("page"));
+            for i in 0..count as usize {
+                let off = 24 + i * 8;
+                let faddr = u64::from_le_bytes(root[off..off + 8].try_into().expect("page"));
+                let (fpage, fmfn) = read_page(ram, faddr)?;
+                check_header(fpage, fmfn, KIND_FILE)?;
+                meta_frames.push(fmfn);
+                let mut node_addr = u64::from_le_bytes(fpage[16..24].try_into().expect("page"));
+                let mode = u32::from_le_bytes(fpage[32..36].try_into().expect("page"));
+                let name_len = u32::from_le_bytes(fpage[36..40].try_into().expect("page")) as usize;
+                let name =
+                    String::from_utf8_lossy(&fpage[40..40 + name_len.min(NAME_MAX)]).into_owned();
+                let mut mappings = Vec::new();
+                while node_addr != 0 {
+                    let (node, nmfn) = read_page(ram, node_addr)?;
+                    let next = check_header(node, nmfn, KIND_NODE)?;
+                    meta_frames.push(nmfn);
+                    let base = u64::from_le_bytes(node[16..24].try_into().expect("page"));
+                    let n = u64::from_le_bytes(node[24..32].try_into().expect("page"));
+                    let mut gfn = base;
+                    for i in 0..n as usize {
+                        let off = 32 + i * 8;
+                        let e = u64::from_le_bytes(node[off..off + 8].try_into().expect("page"));
+                        let (mfn, order, _flags) = unpack_entry(e);
+                        mappings.push((Gfn(gfn), Extent::new(mfn, order)));
+                        gfn += order.pages();
+                    }
+                    node_addr = next;
+                }
+                files.push(PramFile {
+                    name,
+                    mode,
+                    mappings,
+                });
+            }
+            root_addr = next_root;
+        }
+        Ok(PramImage { files, meta_frames })
+    }
+
+    /// Reserves every guest frame and metadata frame so the booting
+    /// hypervisor cannot recycle them (Fig. 3 step between ❹ and ❺).
+    pub fn reserve_all(&self, ram: &mut PhysicalMemory) -> Result<u64, PramError> {
+        let mut reserved = 0;
+        for f in &self.files {
+            for (_, e) in &f.mappings {
+                reserved += ram.reserve_range(e.base, e.pages())?;
+            }
+        }
+        for &m in &self.meta_frames {
+            reserved += ram.reserve_range(m, 1)?;
+        }
+        Ok(reserved)
+    }
+
+    /// Releases the metadata pages back to the allocator (Fig. 3 step ❼:
+    /// "the portions of the RAM which were used to store ephemeral data are
+    /// freed"). Guest frames stay reserved until the hypervisor adopts them.
+    pub fn release_metadata(&self, ram: &mut PhysicalMemory) -> Result<(), PramError> {
+        for &m in &self.meta_frames {
+            ram.unreserve_and_free(m, 1)?;
+        }
+        Ok(())
+    }
+
+    /// Total 8-byte entries across all files.
+    pub fn total_entries(&self) -> u64 {
+        self.files.iter().map(PramFile::total_entries).sum()
+    }
+
+    /// Total guest bytes covered by all files.
+    pub fn total_guest_bytes(&self) -> u64 {
+        self.files.iter().map(PramFile::total_bytes).sum()
+    }
+
+    /// Looks up a file by name.
+    pub fn file(&self, name: &str) -> Option<&PramFile> {
+        self.files.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypertp_machine::HUGE_PAGE_SIZE;
+
+    fn ram_mb(mb: u64) -> PhysicalMemory {
+        PhysicalMemory::new(mb * 256)
+    }
+
+    /// Allocates `n` huge-page extents for a fake guest and returns the
+    /// (gfn, extent) map.
+    fn alloc_guest(ram: &mut PhysicalMemory, n: u64) -> Vec<(Gfn, Extent)> {
+        (0..n)
+            .map(|i| {
+                let e = ram.alloc(PageOrder(9)).unwrap();
+                (Gfn(i * 512), e)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_single_file() {
+        let mut ram = ram_mb(64);
+        let map = alloc_guest(&mut ram, 8);
+        let mut b = PramBuilder::new();
+        b.add_file("vm0", 0o600, map.clone());
+        let h = b.write(&mut ram).unwrap();
+        let img = PramImage::parse(&ram, h.pram_ptr).unwrap();
+        assert_eq!(img.files.len(), 1);
+        assert_eq!(img.files[0].name, "vm0");
+        assert_eq!(img.files[0].mode, 0o600);
+        assert_eq!(img.files[0].mappings, map);
+        assert_eq!(img.total_entries(), 8);
+        assert_eq!(img.total_guest_bytes(), 8 * HUGE_PAGE_SIZE);
+    }
+
+    #[test]
+    fn roundtrip_many_files_and_holes() {
+        let mut ram = ram_mb(64);
+        let mut b = PramBuilder::new();
+        let mut maps = Vec::new();
+        for v in 0..5 {
+            let mut map = Vec::new();
+            for i in 0..6u64 {
+                let e = ram.alloc(PageOrder(0)).unwrap();
+                // Introduce GFN holes every 3 pages.
+                let gfn = i + (i / 3) * 100;
+                map.push((Gfn(gfn), e));
+            }
+            b.add_file(format!("vm{v}"), 0, map.clone());
+            maps.push(map);
+        }
+        let h = b.write(&mut ram).unwrap();
+        let img = PramImage::parse(&ram, h.pram_ptr).unwrap();
+        assert_eq!(img.files.len(), 5);
+        for (v, map) in maps.iter().enumerate() {
+            assert_eq!(&img.files[v].mappings, map, "vm{v}");
+        }
+    }
+
+    #[test]
+    fn node_capacity_spill() {
+        let mut ram = ram_mb(64);
+        // 1200 contiguous entries > 2 * NODE_CAPACITY forces 3 node pages.
+        let map: Vec<(Gfn, Extent)> = (0..1200u64)
+            .map(|i| (Gfn(i), ram.alloc(PageOrder(0)).unwrap()))
+            .collect();
+        let mut b = PramBuilder::new();
+        b.add_file("big", 0, map.clone());
+        let h = b.write(&mut ram).unwrap();
+        // 3 nodes + 1 file info + 1 root.
+        assert_eq!(h.stats().metadata_pages, 5);
+        let img = PramImage::parse(&ram, h.pram_ptr).unwrap();
+        assert_eq!(img.files[0].mappings, map);
+    }
+
+    #[test]
+    fn fig14_metadata_sizes_match_paper() {
+        // A 1 GB VM with 2 MiB pages -> 512 entries -> 16 KB of metadata;
+        // a 12 GB VM -> 6144 entries -> 60 KB (Fig. 14).
+        for (gb, want_kb) in [(1u64, 16u64), (12, 60)] {
+            let mut ram = PhysicalMemory::with_gib(gb + 1);
+            let map = alloc_guest(&mut ram, gb * 512);
+            let mut b = PramBuilder::new();
+            b.add_file("vm", 0, map);
+            let h = b.write(&mut ram).unwrap();
+            assert_eq!(
+                h.stats().metadata_bytes(),
+                want_kb * 1024,
+                "{gb} GB VM metadata"
+            );
+        }
+    }
+
+    #[test]
+    fn fig14_twelve_vms_metadata() {
+        // 12 × 1 GB VMs -> 148 KB of metadata (Fig. 14).
+        let mut ram = PhysicalMemory::with_gib(14);
+        let mut b = PramBuilder::new();
+        for v in 0..12 {
+            let map: Vec<(Gfn, Extent)> = (0..512u64)
+                .map(|i| (Gfn(i * 512), ram.alloc(PageOrder(9)).unwrap()))
+                .collect();
+            b.add_file(format!("vm{v}"), 0, map);
+        }
+        let h = b.write(&mut ram).unwrap();
+        assert_eq!(h.stats().metadata_bytes(), 148 * 1024);
+    }
+
+    #[test]
+    fn overlap_detected() {
+        let mut ram = ram_mb(16);
+        let e1 = ram.alloc(PageOrder(1)).unwrap();
+        let e2 = ram.alloc(PageOrder(1)).unwrap();
+        let mut b = PramBuilder::new();
+        b.add_file("vm", 0, vec![(Gfn(0), e1), (Gfn(1), e2)]);
+        assert!(matches!(
+            b.write(&mut ram),
+            Err(PramError::OverlappingMappings { .. })
+        ));
+    }
+
+    #[test]
+    fn name_too_long_detected() {
+        let mut ram = ram_mb(16);
+        let mut b = PramBuilder::new();
+        b.add_file("x".repeat(65), 0, vec![]);
+        assert!(matches!(b.write(&mut ram), Err(PramError::NameTooLong)));
+    }
+
+    #[test]
+    fn scrubbed_metadata_fails_parse() {
+        let mut ram = ram_mb(16);
+        let map = alloc_guest(&mut ram, 1);
+        let mut b = PramBuilder::new();
+        b.add_file("vm", 0, map);
+        let h = b.write(&mut ram).unwrap();
+        ram.forget_ownership();
+        // No reservation: scrubbing destroys the metadata.
+        ram.scrub_unreserved();
+        assert!(matches!(
+            PramImage::parse(&ram, h.pram_ptr),
+            Err(PramError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn survives_kexec_with_reservation() {
+        let mut ram = ram_mb(64);
+        let map = alloc_guest(&mut ram, 4);
+        for (_, e) in &map {
+            ram.write(e.base, 0x1234).unwrap();
+        }
+        let mut b = PramBuilder::new();
+        b.add_file("vm", 0, map.clone());
+        let h = b.write(&mut ram).unwrap();
+        // Simulated kexec: ownership forgotten, then the new kernel parses
+        // PRAM, reserves and scrubs the rest.
+        ram.forget_ownership();
+        let img = PramImage::parse(&ram, h.pram_ptr).unwrap();
+        img.reserve_all(&mut ram).unwrap();
+        ram.scrub_unreserved();
+        // Guest contents intact.
+        for (_, e) in &map {
+            assert_eq!(ram.read(e.base).unwrap(), 0x1234);
+        }
+        // Metadata can be released after restoration.
+        img.release_metadata(&mut ram).unwrap();
+    }
+
+    #[test]
+    fn cmdline_roundtrip() {
+        let mut ram = ram_mb(16);
+        let b = PramBuilder::new();
+        let h = b.write(&mut ram).unwrap();
+        let arg = h.cmdline_arg();
+        assert_eq!(pram_ptr_from_cmdline(&arg), Some(h.pram_ptr));
+        assert_eq!(
+            pram_ptr_from_cmdline(&format!("console=ttyS0 {arg} quiet")),
+            Some(h.pram_ptr)
+        );
+        assert_eq!(pram_ptr_from_cmdline("console=ttyS0"), None);
+    }
+
+    #[test]
+    fn empty_builder_produces_empty_image() {
+        let mut ram = ram_mb(16);
+        let h = PramBuilder::new().write(&mut ram).unwrap();
+        assert_eq!(h.stats().metadata_pages, 1);
+        let img = PramImage::parse(&ram, h.pram_ptr).unwrap();
+        assert!(img.files.is_empty());
+        assert_eq!(img.total_entries(), 0);
+    }
+
+    #[test]
+    fn unaligned_pointer_rejected() {
+        let ram = ram_mb(16);
+        assert!(matches!(
+            PramImage::parse(&ram, 0x1001),
+            Err(PramError::UnalignedPointer { .. })
+        ));
+    }
+
+    #[test]
+    fn proptest_roundtrip_random_layouts() {
+        use proptest::prelude::*;
+        proptest!(proptest::test_runner::Config::with_cases(64), |(
+            seed in 0u64..u64::MAX,
+            n_files in 1usize..4,
+            per_file in 1usize..40,
+        )| {
+            let mut ram = PhysicalMemory::new(64 * 256);
+            let mut rng = hypertp_sim::SimRng::new(seed);
+            let mut b = PramBuilder::new();
+            let mut maps = Vec::new();
+            for v in 0..n_files {
+                let mut map = Vec::new();
+                let mut gfn = 0u64;
+                for _ in 0..per_file {
+                    let order = PageOrder(if rng.gen_bool(0.3) { 2 } else { 0 });
+                    let Ok(e) = ram.alloc(order) else { break };
+                    gfn += rng.gen_range(4); // Random holes (0 = contiguous).
+                    map.push((Gfn(gfn), e));
+                    gfn += e.pages();
+                }
+                b.add_file(format!("vm{v}"), 0, map.clone());
+                maps.push(map);
+            }
+            let h = b.write(&mut ram).unwrap();
+            let img = PramImage::parse(&ram, h.pram_ptr).unwrap();
+            prop_assert_eq!(img.files.len(), n_files);
+            for (v, map) in maps.iter().enumerate() {
+                prop_assert_eq!(&img.files[v].mappings, map);
+            }
+        });
+    }
+}

@@ -1,0 +1,39 @@
+//! Deterministic simulation kernel for the HyperTP reproduction.
+//!
+//! The original HyperTP artifact measures wall-clock time on bare-metal
+//! servers. This reproduction replaces the hardware with a deterministic
+//! discrete-event simulation: every operation performed by the hypervisor
+//! models, the PRAM encoder, the transplant engine and the migration engine
+//! reports its cost to a [`clock::SimClock`], and experiments read elapsed
+//! simulated time instead of wall-clock time.
+//!
+//! The crate provides:
+//!
+//! * [`time`] — nanosecond-resolution simulated instants and durations.
+//! * [`clock`] — a shareable monotonic simulated clock.
+//! * [`events`] — a deterministic discrete-event queue.
+//! * [`rng`] — a small deterministic random number generator (SplitMix64)
+//!   so experiments are reproducible without external crates.
+//! * [`par`] — a model of parallel work execution (LPT makespan) used to
+//!   simulate the worker pools of the paper's "Parallelization" optimization.
+//! * [`cost`] — the calibrated cost model mapping operations to simulated
+//!   time (constants documented against the paper's reported numbers).
+//! * [`series`] — time-series recording for workload metrics (QPS, latency).
+//! * [`stats`] — summary statistics (mean, stddev, percentiles, box plots).
+
+pub mod clock;
+pub mod cost;
+pub mod events;
+pub mod par;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+
+pub use clock::SimClock;
+pub use cost::CostModel;
+pub use events::EventQueue;
+pub use par::makespan;
+pub use rng::SimRng;
+pub use series::TimeSeries;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,136 @@
+//! A model of parallel work execution.
+//!
+//! The paper's §4.2.5 "Parallelization" optimization translates each VM's
+//! state on a separate thread. On the simulated machine we model the elapsed
+//! time of such a pool as the makespan of a longest-processing-time (LPT)
+//! greedy schedule over the available worker cores: each task is assigned to
+//! the currently least-loaded worker, in decreasing task-size order. LPT is
+//! within 4/3 of the optimal makespan and matches how a work-stealing pool
+//! behaves on coarse tasks, which is what the prototype uses.
+
+use crate::time::SimDuration;
+
+/// Computes the elapsed (makespan) time of running `tasks` on `workers`
+/// parallel workers using an LPT greedy schedule.
+///
+/// With a single worker this degenerates to the sum of all task durations;
+/// with at least as many workers as tasks it is the maximum task duration.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use hypertp_sim::{makespan, SimDuration};
+///
+/// let tasks = vec![SimDuration::from_secs(3), SimDuration::from_secs(1)];
+/// assert_eq!(makespan(&tasks, 1), SimDuration::from_secs(4));
+/// assert_eq!(makespan(&tasks, 2), SimDuration::from_secs(3));
+/// ```
+pub fn makespan(tasks: &[SimDuration], workers: usize) -> SimDuration {
+    assert!(workers > 0, "makespan requires at least one worker");
+    if tasks.is_empty() {
+        return SimDuration::ZERO;
+    }
+    let mut sorted: Vec<SimDuration> = tasks.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let mut loads = vec![SimDuration::ZERO; workers.min(sorted.len())];
+    for t in sorted {
+        // Assign to the least-loaded worker.
+        let min = loads
+            .iter_mut()
+            .min()
+            .expect("loads is non-empty because tasks is non-empty");
+        *min += t;
+    }
+    loads.into_iter().max().unwrap_or(SimDuration::ZERO)
+}
+
+/// Computes the makespan of `n` identical tasks of duration `each` over
+/// `workers` workers: `ceil(n / workers) * each`.
+pub fn makespan_uniform(n: usize, each: SimDuration, workers: usize) -> SimDuration {
+    assert!(workers > 0, "makespan requires at least one worker");
+    let rounds = n.div_ceil(workers) as u64;
+    each * rounds
+}
+
+/// Models the speedup of a partially parallel job (Amdahl's law): a fraction
+/// `serial` of `total` cannot be parallelized, the rest divides over
+/// `workers` workers.
+pub fn amdahl(total: SimDuration, serial: f64, workers: usize) -> SimDuration {
+    assert!(workers > 0, "amdahl requires at least one worker");
+    let serial = serial.clamp(0.0, 1.0);
+    let s = total.as_secs_f64() * serial;
+    let p = total.as_secs_f64() * (1.0 - serial) / workers as f64;
+    SimDuration::from_secs_f64(s + p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(xs: &[u64]) -> Vec<SimDuration> {
+        xs.iter().copied().map(SimDuration::from_secs).collect()
+    }
+
+    #[test]
+    fn single_worker_sums() {
+        assert_eq!(makespan(&secs(&[1, 2, 3]), 1), SimDuration::from_secs(6));
+    }
+
+    #[test]
+    fn many_workers_take_max() {
+        assert_eq!(makespan(&secs(&[1, 2, 3]), 8), SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn lpt_balances() {
+        // Tasks 4,3,3,2 on 2 workers: LPT gives {4,2} and {3,3} -> 6.
+        assert_eq!(makespan(&secs(&[4, 3, 3, 2]), 2), SimDuration::from_secs(6));
+    }
+
+    #[test]
+    fn empty_tasks_zero() {
+        assert_eq!(makespan(&[], 4), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        makespan(&secs(&[1]), 0);
+    }
+
+    #[test]
+    fn makespan_never_below_max_or_average() {
+        let tasks = secs(&[5, 1, 1, 1, 1, 1]);
+        for w in 1..=8 {
+            let m = makespan(&tasks, w);
+            assert!(m >= SimDuration::from_secs(5));
+            let total = SimDuration::from_secs(10);
+            assert!(m.as_secs_f64() >= total.as_secs_f64() / w as f64 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn uniform_rounds() {
+        assert_eq!(
+            makespan_uniform(10, SimDuration::from_secs(1), 4),
+            SimDuration::from_secs(3)
+        );
+        assert_eq!(
+            makespan_uniform(0, SimDuration::from_secs(1), 4),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn amdahl_limits() {
+        let t = SimDuration::from_secs(10);
+        assert_eq!(amdahl(t, 0.0, 1), t);
+        assert_eq!(amdahl(t, 1.0, 64), t);
+        // 20% serial, 8 workers: 2 + 1 = 3s.
+        assert_eq!(amdahl(t, 0.2, 8), SimDuration::from_secs(3));
+    }
+}

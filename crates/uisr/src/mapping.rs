@@ -1,0 +1,93 @@
+//! The Xen ↔ UISR ↔ KVM state-mapping registry (Table 2).
+//!
+//! Each row names the hypervisor-native containers a UISR section is
+//! translated from and to. The `table2` experiment binary prints this
+//! registry; the hypervisor crates use it to assert they cover every
+//! section.
+
+/// One row of Table 2: how a piece of Xen HVM state maps through UISR into
+/// KVM's ioctl-level state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MappingRow {
+    /// Xen HVM context record type(s) (as saved by
+    /// `xc_domain_hvm_getcontext`).
+    pub xen_state: &'static str,
+    /// UISR section name.
+    pub uisr: &'static str,
+    /// KVM state container(s) (the ioctls kvmtool issues on restore).
+    pub kvm_state: &'static str,
+}
+
+/// Returns the full Table 2 mapping.
+pub fn state_mapping() -> &'static [MappingRow] {
+    &[
+        MappingRow {
+            xen_state: "CPU regs",
+            uisr: "CPU",
+            kvm_state: "(S)REGS, MSRS, FPU",
+        },
+        MappingRow {
+            xen_state: "LAPIC",
+            uisr: "LAPIC",
+            kvm_state: "MSRS",
+        },
+        MappingRow {
+            xen_state: "LAPIC regs",
+            uisr: "LAPIC_REGS",
+            kvm_state: "LAPIC_REGS",
+        },
+        MappingRow {
+            xen_state: "MTRR",
+            uisr: "MTRR",
+            kvm_state: "MSRS",
+        },
+        MappingRow {
+            xen_state: "XSAVE",
+            uisr: "XSAVE",
+            kvm_state: "XCRS, XSAVE",
+        },
+        MappingRow {
+            xen_state: "IOAPIC",
+            uisr: "IOAPIC",
+            kvm_state: "IRQCHIP",
+        },
+        MappingRow {
+            xen_state: "PIT",
+            uisr: "PIT",
+            kvm_state: "PIT2",
+        },
+    ]
+}
+
+/// Returns the UISR section names, in table order.
+pub fn uisr_sections() -> Vec<&'static str> {
+    state_mapping().iter().map(|r| r.uisr).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_seven_rows() {
+        assert_eq!(state_mapping().len(), 7);
+    }
+
+    #[test]
+    fn table2_exact_contents() {
+        let rows = state_mapping();
+        assert_eq!(rows[0].xen_state, "CPU regs");
+        assert_eq!(rows[0].kvm_state, "(S)REGS, MSRS, FPU");
+        assert_eq!(rows[5].uisr, "IOAPIC");
+        assert_eq!(rows[5].kvm_state, "IRQCHIP");
+        assert_eq!(rows[6].kvm_state, "PIT2");
+    }
+
+    #[test]
+    fn sections_are_unique() {
+        let mut s = uisr_sections();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), state_mapping().len());
+    }
+}

@@ -1,0 +1,81 @@
+//! Architectural MSR indices shared by the translation layers.
+//!
+//! Xen keeps the syscall MSRs inline in its `hvm_hw_cpu` record while KVM
+//! exchanges them through `KVM_GET/SET_MSRS` lists; UISR uses the list form
+//! (Table 2 maps "CPU regs" to "(S)REGS, **MSRS**, FPU"). These constants
+//! name the indices both sides agree on.
+
+/// IA32_TIME_STAMP_COUNTER.
+pub const IA32_TSC: u32 = 0x10;
+/// IA32_APIC_BASE.
+pub const IA32_APIC_BASE: u32 = 0x1b;
+/// IA32_SYSENTER_CS.
+pub const IA32_SYSENTER_CS: u32 = 0x174;
+/// IA32_SYSENTER_ESP.
+pub const IA32_SYSENTER_ESP: u32 = 0x175;
+/// IA32_SYSENTER_EIP.
+pub const IA32_SYSENTER_EIP: u32 = 0x176;
+/// IA32_PAT.
+pub const IA32_PAT: u32 = 0x277;
+/// IA32_EFER.
+pub const IA32_EFER: u32 = 0xc000_0080;
+/// STAR (legacy syscall target).
+pub const STAR: u32 = 0xc000_0081;
+/// LSTAR (64-bit syscall target).
+pub const LSTAR: u32 = 0xc000_0082;
+/// CSTAR (compat syscall target).
+pub const CSTAR: u32 = 0xc000_0083;
+/// SFMASK (syscall flag mask).
+pub const SFMASK: u32 = 0xc000_0084;
+/// KERNEL_GS_BASE (shadow GS).
+pub const KERNEL_GS_BASE: u32 = 0xc000_0102;
+/// TSC_AUX.
+pub const TSC_AUX: u32 = 0xc000_0103;
+
+/// MTRRcap.
+pub const MTRR_CAP: u32 = 0xfe;
+/// MTRRdefType.
+pub const MTRR_DEF_TYPE: u32 = 0x2ff;
+/// First variable-range MTRR base (PHYSBASE0); bases and masks interleave
+/// upward from here.
+pub const MTRR_PHYS_BASE0: u32 = 0x200;
+/// Fixed-range MTRR indices, in Xen's `msr_mtrr_fixed` array order.
+pub const MTRR_FIXED: [u32; 11] = [
+    0x250, 0x258, 0x259, 0x268, 0x269, 0x26a, 0x26b, 0x26c, 0x26d, 0x26e, 0x26f,
+];
+
+/// Looks up an MSR in a UISR MSR list.
+pub fn find(msrs: &[crate::MsrEntry], index: u32) -> Option<u64> {
+    msrs.iter().find(|m| m.index == index).map(|m| m.data)
+}
+
+/// Inserts or updates an MSR in a UISR MSR list.
+pub fn set(msrs: &mut Vec<crate::MsrEntry>, index: u32, data: u64) {
+    if let Some(m) = msrs.iter_mut().find(|m| m.index == index) {
+        m.data = data;
+    } else {
+        msrs.push(crate::MsrEntry { index, data });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MsrEntry;
+
+    #[test]
+    fn find_and_set() {
+        let mut msrs: Vec<MsrEntry> = Vec::new();
+        assert_eq!(find(&msrs, IA32_EFER), None);
+        set(&mut msrs, IA32_EFER, 0xd01);
+        assert_eq!(find(&msrs, IA32_EFER), Some(0xd01));
+        set(&mut msrs, IA32_EFER, 0x500);
+        assert_eq!(find(&msrs, IA32_EFER), Some(0x500));
+        assert_eq!(msrs.len(), 1);
+    }
+
+    #[test]
+    fn fixed_mtrr_count() {
+        assert_eq!(MTRR_FIXED.len(), 11);
+    }
+}

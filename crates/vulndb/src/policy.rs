@@ -1,0 +1,178 @@
+//! The transplant decision policy (§1's two beneficial cases).
+//!
+//! When a vulnerability is disclosed against the datacenter's current
+//! hypervisor, HyperTP helps if (i) another hypervisor in the pool is not
+//! known to be vulnerable to any current flaw, or (ii) an alternate
+//! hypervisor can be patched sooner. The paper reserves transplant for
+//! *critical* flaws so the number of transplants per year stays low.
+
+use crate::cvss::Severity;
+use crate::dataset::{HypervisorId, Vulnerability};
+
+/// The policy's verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decision {
+    /// Transplant onto the named safe hypervisor during the window.
+    Transplant {
+        /// The chosen target.
+        target: HypervisorId,
+        /// Why the target is considered safe.
+        rationale: String,
+    },
+    /// Stay: the flaw does not affect the current hypervisor.
+    NotAffected,
+    /// Stay: severity below the transplant threshold — follow the normal
+    /// patch cycle.
+    BelowThreshold,
+    /// No safe alternative exists (e.g. a common flaw like VENOM):
+    /// emergency patching is the only option.
+    NoSafeTarget,
+}
+
+/// Decides the response to `disclosed` given the `current` hypervisor, the
+/// candidate `pool`, and every other unpatched vulnerability still open
+/// (`open_flaws`).
+pub fn decide(
+    disclosed: &Vulnerability,
+    current: HypervisorId,
+    pool: &[HypervisorId],
+    open_flaws: &[&Vulnerability],
+) -> Decision {
+    if !disclosed.affects(current) {
+        return Decision::NotAffected;
+    }
+    if disclosed.severity() != Severity::Critical {
+        return Decision::BelowThreshold;
+    }
+    // A candidate is safe if neither the disclosed flaw nor any open flaw
+    // affects it.
+    for &candidate in pool {
+        if candidate == current {
+            continue;
+        }
+        if disclosed.affects(candidate) {
+            continue;
+        }
+        if open_flaws
+            .iter()
+            .any(|f| f.severity() == Severity::Critical && f.affects(candidate))
+        {
+            continue;
+        }
+        return Decision::Transplant {
+            target: candidate,
+            rationale: format!(
+                "{:?} is not affected by {} nor by any open critical flaw",
+                candidate, disclosed.id
+            ),
+        };
+    }
+    Decision::NoSafeTarget
+}
+
+/// Expected transplants per year if the policy is applied to a dataset:
+/// the number of (year, current-hypervisor) critical disclosures with a
+/// safe alternative. Supports the paper's claim that transplants stay
+/// rare enough to be practical.
+pub fn transplants_per_year(
+    ds: &[Vulnerability],
+    current: HypervisorId,
+    pool: &[HypervisorId],
+) -> Vec<(u16, u32)> {
+    let mut by_year: std::collections::BTreeMap<u16, u32> = std::collections::BTreeMap::new();
+    for v in ds {
+        by_year.entry(v.year).or_insert(0);
+        if let Decision::Transplant { .. } = decide(v, current, pool, &[]) {
+            *by_year.entry(v.year).or_insert(0) += 1;
+        }
+    }
+    by_year.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cvss::CvssV2;
+    use crate::dataset::{dataset, Component};
+
+    fn pool() -> Vec<HypervisorId> {
+        vec![HypervisorId::Xen, HypervisorId::Kvm]
+    }
+
+    fn make(id: &str, affects: Vec<HypervisorId>, vector: &str) -> Vulnerability {
+        Vulnerability {
+            id: id.into(),
+            year: 2019,
+            affects,
+            component: Component::PvInterface,
+            cvss: CvssV2::parse(vector).unwrap(),
+            window_days: None,
+            description: String::new(),
+        }
+    }
+
+    #[test]
+    fn critical_xen_flaw_transplants_to_kvm() {
+        let v = make("X-1", vec![HypervisorId::Xen], "AV:L/AC:L/Au:N/C:C/I:C/A:C");
+        match decide(&v, HypervisorId::Xen, &pool(), &[]) {
+            Decision::Transplant { target, .. } => assert_eq!(target, HypervisorId::Kvm),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn medium_flaw_stays_on_patch_cycle() {
+        let v = make("X-2", vec![HypervisorId::Xen], "AV:L/AC:L/Au:N/C:N/I:N/A:C");
+        assert_eq!(
+            decide(&v, HypervisorId::Xen, &pool(), &[]),
+            Decision::BelowThreshold
+        );
+    }
+
+    #[test]
+    fn unaffected_hypervisor_does_nothing() {
+        let v = make("K-1", vec![HypervisorId::Kvm], "AV:L/AC:L/Au:N/C:C/I:C/A:C");
+        assert_eq!(
+            decide(&v, HypervisorId::Xen, &pool(), &[]),
+            Decision::NotAffected
+        );
+    }
+
+    #[test]
+    fn venom_has_no_safe_target() {
+        let ds = dataset();
+        let venom = ds.iter().find(|v| v.id == "CVE-2015-3456").unwrap();
+        assert_eq!(
+            decide(venom, HypervisorId::Xen, &pool(), &[]),
+            Decision::NoSafeTarget
+        );
+    }
+
+    #[test]
+    fn open_flaw_on_candidate_blocks_it() {
+        let disclosed = make("X-3", vec![HypervisorId::Xen], "AV:L/AC:L/Au:N/C:C/I:C/A:C");
+        let open = make("K-2", vec![HypervisorId::Kvm], "AV:L/AC:L/Au:N/C:C/I:C/A:C");
+        assert_eq!(
+            decide(&disclosed, HypervisorId::Xen, &pool(), &[&open]),
+            Decision::NoSafeTarget
+        );
+        // A merely-medium open flaw does not block the candidate.
+        let open_med = make("K-3", vec![HypervisorId::Kvm], "AV:L/AC:L/Au:N/C:N/I:N/A:C");
+        assert!(matches!(
+            decide(&disclosed, HypervisorId::Xen, &pool(), &[&open_med]),
+            Decision::Transplant { .. }
+        ));
+    }
+
+    #[test]
+    fn transplant_rate_is_low_but_nonzero() {
+        // The §2 takeaway: a Xen shop would transplant for critical Xen
+        // flaws (≈8/year on average over 2013–2019), which is rare enough
+        // to be operationally viable.
+        let ds = dataset();
+        let per_year = transplants_per_year(&ds, HypervisorId::Xen, &pool());
+        assert_eq!(per_year.len(), 7);
+        let total: u32 = per_year.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 54, "55 Xen criticals minus the 1 common");
+    }
+}

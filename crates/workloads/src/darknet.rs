@@ -1,0 +1,162 @@
+//! The Darknet training-iteration model (Table 6).
+//!
+//! Darknet trains a network on MNIST for 100 iterations of ≈2.044 s each.
+//! A transplant or migration hits exactly one iteration: InPlaceTP extends
+//! it by the whole downtime (≈4.97 s total), MigrationTP by its
+//! sub-second downtime plus the pre-copy slowdown spread over the copy
+//! window (longest iteration ≈2.244 s), and a homogeneous Xen→Xen
+//! migration by its larger downtime (≈2.672 s).
+
+use hypertp_sim::{SimDuration, SimRng};
+
+use crate::profiles::WorkloadProfile;
+
+/// Result of a 100-iteration training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingRun {
+    /// Per-iteration durations, seconds.
+    pub iterations: Vec<f64>,
+}
+
+impl TrainingRun {
+    /// Mean iteration time.
+    pub fn mean(&self) -> f64 {
+        self.iterations.iter().sum::<f64>() / self.iterations.len() as f64
+    }
+
+    /// Longest iteration (the one the disruption hit).
+    pub fn longest(&self) -> f64 {
+        self.iterations.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+/// How the training run is disrupted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrainingDisruption {
+    /// Uninterrupted run (Table 6 "Default").
+    None,
+    /// InPlaceTP: `downtime` lands inside one iteration.
+    InPlace {
+        /// Transplant downtime.
+        downtime: SimDuration,
+    },
+    /// MigrationTP or homogeneous migration: pre-copy slows `copy_secs`
+    /// seconds of iterations by the profile's degradation; `downtime`
+    /// lands inside one iteration.
+    Migration {
+        /// Stop-and-copy downtime.
+        downtime: SimDuration,
+        /// Pre-copy window length (s).
+        copy_secs: f64,
+    },
+}
+
+/// Runs the 100-iteration training model.
+pub fn train(profile: &WorkloadProfile, disruption: TrainingDisruption, seed: u64) -> TrainingRun {
+    let mut rng = SimRng::new(seed);
+    let n = 100;
+    let hit = 50usize; // Disruption triggered mid-run (§5.3).
+    let base = profile.baseline_xen;
+    let mut iterations = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut t = base * (1.0 + rng.gen_normal() * profile.jitter);
+        match disruption {
+            TrainingDisruption::None => {}
+            TrainingDisruption::InPlace { downtime } => {
+                if i == hit {
+                    t += downtime.as_secs_f64();
+                }
+            }
+            TrainingDisruption::Migration {
+                downtime,
+                copy_secs,
+            } => {
+                let affected = (copy_secs / base).ceil() as usize;
+                if i >= hit && i < hit + affected {
+                    t *= 1.0 + profile.migration_degradation;
+                }
+                if i == hit + affected.saturating_sub(1) {
+                    t += downtime.as_secs_f64();
+                }
+            }
+        }
+        iterations.push(t);
+    }
+    TrainingRun { iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_shapes() {
+        let p = WorkloadProfile::darknet();
+        let default = train(&p, TrainingDisruption::None, 1);
+        assert!(
+            (default.mean() - 2.044).abs() < 0.02,
+            "mean = {}",
+            default.mean()
+        );
+
+        let inplace = train(
+            &p,
+            TrainingDisruption::InPlace {
+                downtime: SimDuration::from_millis(2930),
+            },
+            1,
+        );
+        assert!(
+            (4.6..5.4).contains(&inplace.longest()),
+            "inplace longest = {}",
+            inplace.longest()
+        );
+
+        let migration = train(
+            &p,
+            TrainingDisruption::Migration {
+                downtime: SimDuration::from_millis(5),
+                copy_secs: 74.0,
+            },
+            1,
+        );
+        assert!(
+            (2.1..2.5).contains(&migration.longest()),
+            "migrationtp longest = {}",
+            migration.longest()
+        );
+
+        let xen_xen = train(
+            &p,
+            TrainingDisruption::Migration {
+                downtime: SimDuration::from_millis(134),
+                copy_secs: 74.0,
+            },
+            1,
+        );
+        // Xen→Xen's longer downtime makes its worst iteration worse than
+        // MigrationTP's but far better than InPlaceTP's.
+        assert!(xen_xen.longest() > migration.longest());
+        assert!(xen_xen.longest() < inplace.longest());
+    }
+
+    #[test]
+    fn hundred_iterations() {
+        let p = WorkloadProfile::darknet();
+        assert_eq!(train(&p, TrainingDisruption::None, 9).iterations.len(), 100);
+    }
+
+    #[test]
+    fn only_one_iteration_absorbs_inplace_downtime() {
+        let p = WorkloadProfile::darknet();
+        let run = train(
+            &p,
+            TrainingDisruption::InPlace {
+                downtime: SimDuration::from_secs(3),
+            },
+            5,
+        );
+        let slow: Vec<_> = run.iterations.iter().filter(|&&t| t > 4.0).collect();
+        assert_eq!(slow.len(), 1);
+    }
+}

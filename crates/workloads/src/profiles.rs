@@ -1,0 +1,173 @@
+//! Per-workload parameters.
+
+use hypertp_core::HypervisorKind;
+
+/// Metric direction: whether larger values are better.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Throughput-like (QPS): larger is better; drops to 0 when the VM is
+    /// down.
+    Throughput,
+    /// Latency-like (ms): smaller is better; spikes while disrupted.
+    Latency,
+}
+
+/// A workload's observable behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// Workload name.
+    pub name: String,
+    /// What the primary metric measures.
+    pub metric: MetricKind,
+    /// Metric baseline when hosted on Xen.
+    pub baseline_xen: f64,
+    /// Metric baseline when hosted on KVM.
+    pub baseline_kvm: f64,
+    /// Relative sample jitter (standard deviation as a fraction of the
+    /// baseline).
+    pub jitter: f64,
+    /// Pages dirtied per second of guest execution.
+    pub dirty_rate_pages_per_sec: f64,
+    /// Fractional throughput loss (or latency inflation) while a pre-copy
+    /// migration is streaming memory.
+    pub migration_degradation: f64,
+    /// Whether this workload tolerates InPlaceTP's seconds-scale downtime
+    /// (§5.4's cluster mix flips this per VM).
+    pub inplace_compatible: bool,
+}
+
+impl WorkloadProfile {
+    /// The metric baseline under a given hypervisor.
+    pub fn baseline(&self, hv: HypervisorKind) -> f64 {
+        match hv {
+            HypervisorKind::Xen => self.baseline_xen,
+            HypervisorKind::Kvm => self.baseline_kvm,
+        }
+    }
+
+    /// Redis + redis-benchmark (Fig. 11): ≈28 kQPS on Xen, ≈37% faster on
+    /// KVM for this configuration (§5.3).
+    pub fn redis() -> Self {
+        WorkloadProfile {
+            name: "redis".into(),
+            metric: MetricKind::Throughput,
+            baseline_xen: 28_000.0,
+            baseline_kvm: 38_300.0,
+            jitter: 0.04,
+            dirty_rate_pages_per_sec: 2_500.0,
+            migration_degradation: 0.35,
+            inplace_compatible: true,
+        }
+    }
+
+    /// MySQL + Sysbench throughput (Fig. 12): ≈1.5 kQPS, −68% during
+    /// migration.
+    pub fn mysql() -> Self {
+        WorkloadProfile {
+            name: "mysql".into(),
+            metric: MetricKind::Throughput,
+            baseline_xen: 1_500.0,
+            baseline_kvm: 1_540.0,
+            jitter: 0.05,
+            dirty_rate_pages_per_sec: 3_500.0,
+            migration_degradation: 0.68,
+            inplace_compatible: true,
+        }
+    }
+
+    /// MySQL request latency in milliseconds (Fig. 12): ≈5 ms, +252%
+    /// during migration.
+    pub fn mysql_latency() -> Self {
+        WorkloadProfile {
+            name: "mysql-latency".into(),
+            metric: MetricKind::Latency,
+            baseline_xen: 5.0,
+            baseline_kvm: 4.9,
+            jitter: 0.08,
+            dirty_rate_pages_per_sec: 3_500.0,
+            migration_degradation: 2.52,
+            inplace_compatible: true,
+        }
+    }
+
+    /// Darknet MNIST training (Table 6): ≈2.044 s per iteration,
+    /// CPU-bound, modest dirty rate, ≈10% slowdown during migration.
+    pub fn darknet() -> Self {
+        WorkloadProfile {
+            name: "darknet".into(),
+            metric: MetricKind::Latency,
+            baseline_xen: 2.044,
+            baseline_kvm: 2.040,
+            jitter: 0.01,
+            dirty_rate_pages_per_sec: 1_200.0,
+            migration_degradation: 0.08,
+            inplace_compatible: true,
+        }
+    }
+
+    /// A video streaming server (the §5.4 cluster mix): latency-sensitive,
+    /// hence marked incompatible with InPlaceTP downtime by default.
+    pub fn video_stream() -> Self {
+        WorkloadProfile {
+            name: "video-stream".into(),
+            metric: MetricKind::Throughput,
+            baseline_xen: 4_000.0,
+            baseline_kvm: 4_100.0,
+            jitter: 0.02,
+            dirty_rate_pages_per_sec: 5_000.0,
+            migration_degradation: 0.2,
+            inplace_compatible: false,
+        }
+    }
+
+    /// A CPU- and memory-intensive batch job (the §5.4 cluster mix).
+    pub fn cpu_mem() -> Self {
+        WorkloadProfile {
+            name: "cpu-mem".into(),
+            metric: MetricKind::Latency,
+            baseline_xen: 100.0,
+            baseline_kvm: 99.0,
+            jitter: 0.02,
+            dirty_rate_pages_per_sec: 8_000.0,
+            migration_degradation: 0.1,
+            inplace_compatible: true,
+        }
+    }
+
+    /// An idle VM (§5.2 uses idle VMs for the time-breakdown runs).
+    pub fn idle() -> Self {
+        WorkloadProfile {
+            name: "idle".into(),
+            metric: MetricKind::Throughput,
+            baseline_xen: 0.0,
+            baseline_kvm: 0.0,
+            jitter: 0.0,
+            dirty_rate_pages_per_sec: 5.0,
+            migration_degradation: 0.0,
+            inplace_compatible: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redis_kvm_advantage_is_37_percent() {
+        let p = WorkloadProfile::redis();
+        let gain = p.baseline(HypervisorKind::Kvm) / p.baseline(HypervisorKind::Xen) - 1.0;
+        assert!((0.35..0.40).contains(&gain), "gain = {gain}");
+    }
+
+    #[test]
+    fn idle_dirty_rate_is_negligible() {
+        assert!(WorkloadProfile::idle().dirty_rate_pages_per_sec < 10.0);
+    }
+
+    #[test]
+    fn video_stream_not_inplace_compatible() {
+        assert!(!WorkloadProfile::video_stream().inplace_compatible);
+        assert!(WorkloadProfile::cpu_mem().inplace_compatible);
+    }
+}

@@ -1,0 +1,238 @@
+//! Experiment runner: drives a real transplant or migration on the
+//! simulated machines with a workload VM, and assembles the Fig. 11/12
+//! timelines around the measured disruption window.
+
+use hypertp_core::{
+    HtpError, Hypervisor, HypervisorKind, HypervisorRegistry, InPlaceReport, InPlaceTransplant,
+    VmConfig,
+};
+use hypertp_machine::{Machine, MachineSpec};
+use hypertp_migrate::{MigrationConfig, MigrationReport, MigrationTp};
+use hypertp_sim::{SimClock, SimDuration, SimTime, TimeSeries};
+
+use crate::profiles::{MetricKind, WorkloadProfile};
+use crate::timeline::{latency_series, qps_series, Disruption};
+
+/// Result of an application-impact experiment.
+#[derive(Debug, Clone)]
+pub struct AppImpact {
+    /// The metric timeline (QPS or latency depending on the profile).
+    pub series: TimeSeries,
+    /// The disruption window applied to the timeline.
+    pub disruption: Disruption,
+    /// Service interruption observed by the workload.
+    pub interruption: SimDuration,
+}
+
+/// Advances the workload by one-second ticks for `duration`, dirtying
+/// pages at the profile's rate.
+fn run_workload(
+    machine: &mut Machine,
+    hv: &mut dyn Hypervisor,
+    id: hypertp_core::VmId,
+    profile: &WorkloadProfile,
+    duration: SimDuration,
+) -> Result<(), HtpError> {
+    let seconds = duration.as_secs_f64() as u64;
+    let per_tick = profile.dirty_rate_pages_per_sec as u64;
+    for _ in 0..seconds {
+        hv.guest_tick(machine, id, per_tick.min(hv.vm_config(id)?.pages()))?;
+        machine.clock().advance(SimDuration::from_secs(1));
+    }
+    Ok(())
+}
+
+/// Runs the InPlaceTP application-impact experiment (§5.3): the workload
+/// runs on Xen, the transplant fires after `warmup`, and the workload
+/// continues on the target hypervisor.
+#[allow(clippy::too_many_arguments)]
+pub fn inplace_impact(
+    registry: &HypervisorRegistry,
+    spec: MachineSpec,
+    profile: &WorkloadProfile,
+    vm_config: &VmConfig,
+    warmup: SimDuration,
+    total: SimDuration,
+    target: HypervisorKind,
+    seed: u64,
+) -> Result<(InPlaceReport, AppImpact), HtpError> {
+    let mut machine = Machine::new(spec);
+    let mut hv = registry.create(HypervisorKind::Xen, &mut machine)?;
+    let id = hv.create_vm(&mut machine, vm_config)?;
+    run_workload(&mut machine, hv.as_mut(), id, profile, warmup)?;
+
+    let pause = machine.clock().now() + SimDuration::ZERO.max(SimDuration::ZERO); // Pause happens after PRAM prep.
+    let engine = InPlaceTransplant::new(registry);
+    let (mut new_hv, report) = engine.run(&mut machine, hv, target)?;
+    // A served workload sees the network-visible downtime.
+    let interruption = if vm_config.has_network {
+        report.downtime_with_network()
+    } else {
+        report.downtime()
+    };
+    let pause = pause + report.pram;
+    let resume = pause + interruption;
+
+    let new_id = new_hv
+        .find_vm(&vm_config.name)
+        .ok_or(HtpError::UnknownVm(id))?;
+    let remaining = total.saturating_sub(machine.clock().now().duration_since(SimTime::ZERO));
+    run_workload(&mut machine, new_hv.as_mut(), new_id, profile, remaining)?;
+
+    let disruption = Disruption::InPlace { pause, resume };
+    let series = build_series(profile, target, total, disruption, seed);
+    Ok((
+        report,
+        AppImpact {
+            series,
+            disruption,
+            interruption,
+        },
+    ))
+}
+
+/// Runs the MigrationTP application-impact experiment: pre-copy starts
+/// after `warmup`; the destination runs `target`.
+#[allow(clippy::too_many_arguments)]
+pub fn migration_impact(
+    registry: &HypervisorRegistry,
+    spec: MachineSpec,
+    profile: &WorkloadProfile,
+    vm_config: &VmConfig,
+    warmup: SimDuration,
+    total: SimDuration,
+    target: HypervisorKind,
+    seed: u64,
+) -> Result<(MigrationReport, AppImpact), HtpError> {
+    let clock = SimClock::new();
+    let mut src_machine = Machine::with_clock(spec.clone(), clock.clone());
+    let mut dst_machine = Machine::with_clock(spec, clock);
+    let mut src = registry.create(HypervisorKind::Xen, &mut src_machine)?;
+    let mut dst = registry.create(target, &mut dst_machine)?;
+    let id = src.create_vm(&mut src_machine, vm_config)?;
+    run_workload(&mut src_machine, src.as_mut(), id, profile, warmup)?;
+
+    let tp = MigrationTp::new().with_config(MigrationConfig {
+        dirty_rate_pages_per_sec: profile.dirty_rate_pages_per_sec,
+        ..MigrationConfig::default()
+    });
+    let report = tp.migrate(
+        &mut src_machine,
+        src.as_mut(),
+        id,
+        &mut dst_machine,
+        dst.as_mut(),
+    )?;
+
+    let new_id = dst
+        .find_vm(&vm_config.name)
+        .ok_or(HtpError::UnknownVm(id))?;
+    let remaining = total.saturating_sub(dst_machine.clock().now().duration_since(SimTime::ZERO));
+    run_workload(&mut dst_machine, dst.as_mut(), new_id, profile, remaining)?;
+
+    let disruption = Disruption::Migration {
+        start: report.start,
+        end: report.start + report.total,
+        downtime: report.downtime,
+    };
+    let interruption = report.downtime;
+    let series = build_series(profile, target, total, disruption, seed);
+    Ok((
+        report,
+        AppImpact {
+            series,
+            disruption,
+            interruption,
+        },
+    ))
+}
+
+fn build_series(
+    profile: &WorkloadProfile,
+    target: HypervisorKind,
+    total: SimDuration,
+    disruption: Disruption,
+    seed: u64,
+) -> TimeSeries {
+    match profile.metric {
+        MetricKind::Throughput => qps_series(
+            profile,
+            HypervisorKind::Xen,
+            target,
+            total,
+            disruption,
+            seed,
+        ),
+        MetricKind::Latency => latency_series(
+            profile,
+            HypervisorKind::Xen,
+            target,
+            total,
+            disruption,
+            seed,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypertp_core::testing::SimpleHv;
+
+    fn registry() -> HypervisorRegistry {
+        let mut r = HypervisorRegistry::new();
+        r.register(HypervisorKind::Xen, |_m| {
+            Box::new(SimpleHv::new(HypervisorKind::Xen))
+        });
+        r.register(HypervisorKind::Kvm, |_m| {
+            Box::new(SimpleHv::new(HypervisorKind::Kvm))
+        });
+        r
+    }
+
+    fn redis_vm() -> VmConfig {
+        VmConfig::small("redis-vm").with_vcpus(2).with_memory_gb(8)
+    }
+
+    #[test]
+    fn fig11_left_inplace_redis() {
+        let (report, impact) = inplace_impact(
+            &registry(),
+            MachineSpec::m1(),
+            &WorkloadProfile::redis(),
+            &redis_vm(),
+            SimDuration::from_secs(50),
+            SimDuration::from_secs(200),
+            HypervisorKind::Kvm,
+            1,
+        )
+        .unwrap();
+        // ≈9 s of service interruption, network included (§5.3).
+        let gap = impact.interruption.as_secs_f64();
+        assert!((7.0..11.0).contains(&gap), "interruption = {gap}");
+        assert!(report.downtime().as_secs_f64() < 4.0);
+        // The series shows the gap and the post-transplant gain.
+        assert!(impact.series.longest_run_below(1.0).as_secs_f64() >= 6.0);
+    }
+
+    #[test]
+    fn fig11_right_migration_redis() {
+        let (report, impact) = migration_impact(
+            &registry(),
+            MachineSpec::m1(),
+            &WorkloadProfile::redis(),
+            &redis_vm(),
+            SimDuration::from_secs(46),
+            SimDuration::from_secs(250),
+            HypervisorKind::Kvm,
+            2,
+        )
+        .unwrap();
+        // ≈78 s copy phase for an 8 GB VM over 1 Gbps.
+        let copy = report.total.as_secs_f64();
+        assert!((70.0..95.0).contains(&copy), "copy = {copy}");
+        assert!(report.downtime.as_millis_f64() < 50.0);
+        // No seconds-scale blackout in the timeline.
+        assert!(impact.series.longest_run_below(1.0) < SimDuration::from_secs(3));
+    }
+}

@@ -1,0 +1,254 @@
+//! The per-domain physical-to-machine (P2M) table.
+//!
+//! Xen tracks HVM guest memory in a per-domain P2M with superpage (2 MiB)
+//! entries and a log-dirty mode used by live migration. The P2M is *VMi
+//! State* in the memory-separation taxonomy: its contents (the guest
+//! frame map) are what PRAM records, while the table structure itself is
+//! rebuilt by the target hypervisor.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use hypertp_machine::{Extent, Gfn, Mfn};
+
+/// Errors from P2M manipulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum P2mError {
+    /// The new mapping overlaps an existing one.
+    Overlap {
+        /// Base GFN of the rejected mapping.
+        gfn: Gfn,
+    },
+    /// No mapping covers the GFN.
+    NotMapped {
+        /// The unmapped GFN.
+        gfn: Gfn,
+    },
+}
+
+impl std::fmt::Display for P2mError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            P2mError::Overlap { gfn } => write!(f, "p2m overlap at {gfn}"),
+            P2mError::NotMapped { gfn } => write!(f, "{gfn} not mapped"),
+        }
+    }
+}
+
+impl std::error::Error for P2mError {}
+
+/// A physical-to-machine table.
+#[derive(Debug, Clone, Default)]
+pub struct P2m {
+    /// Base GFN -> machine extent, non-overlapping.
+    entries: BTreeMap<u64, Extent>,
+    /// Dirty GFNs when log-dirty mode is active.
+    dirty: Option<BTreeSet<u64>>,
+}
+
+impl P2m {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        P2m::default()
+    }
+
+    /// Maps `2^order` pages at `gfn` to `extent`.
+    pub fn map(&mut self, gfn: Gfn, extent: Extent) -> Result<(), P2mError> {
+        let end = gfn.0 + extent.pages();
+        // Check the predecessor and any successor starting before `end`.
+        if let Some((&base, e)) = self.entries.range(..=gfn.0).next_back() {
+            if base + e.pages() > gfn.0 {
+                return Err(P2mError::Overlap { gfn });
+            }
+        }
+        if self.entries.range(gfn.0..end).next().is_some() {
+            return Err(P2mError::Overlap { gfn });
+        }
+        self.entries.insert(gfn.0, extent);
+        Ok(())
+    }
+
+    /// Translates a GFN to its machine frame.
+    pub fn translate(&self, gfn: Gfn) -> Result<Mfn, P2mError> {
+        let (&base, e) = self
+            .entries
+            .range(..=gfn.0)
+            .next_back()
+            .ok_or(P2mError::NotMapped { gfn })?;
+        if gfn.0 < base + e.pages() {
+            Ok(e.base + (gfn.0 - base))
+        } else {
+            Err(P2mError::NotMapped { gfn })
+        }
+    }
+
+    /// Returns all mappings sorted by GFN — the input to PRAM construction.
+    pub fn mappings(&self) -> Vec<(Gfn, Extent)> {
+        self.entries.iter().map(|(&g, &e)| (Gfn(g), e)).collect()
+    }
+
+    /// Total mapped guest pages.
+    pub fn total_pages(&self) -> u64 {
+        self.entries.values().map(|e| e.pages()).sum()
+    }
+
+    /// Number of P2M entries (PRAM page entries this P2M will produce).
+    pub fn entry_count(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Enables log-dirty mode (migration pre-copy).
+    pub fn enable_log_dirty(&mut self) {
+        self.dirty = Some(BTreeSet::new());
+    }
+
+    /// Disables log-dirty mode.
+    pub fn disable_log_dirty(&mut self) {
+        self.dirty = None;
+    }
+
+    /// True if log-dirty mode is active.
+    pub fn log_dirty_enabled(&self) -> bool {
+        self.dirty.is_some()
+    }
+
+    /// Records a write to `gfn` if log-dirty mode is active.
+    pub fn mark_dirty(&mut self, gfn: Gfn) {
+        if let Some(d) = &mut self.dirty {
+            d.insert(gfn.0);
+        }
+    }
+
+    /// Returns and clears the dirty set (Xen's `XEN_DOMCTL_SHADOW_OP_CLEAN`).
+    pub fn read_and_clear_dirty(&mut self) -> Vec<Gfn> {
+        match &mut self.dirty {
+            Some(d) => std::mem::take(d).into_iter().map(Gfn).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Estimated metadata footprint of the table itself, in bytes (8 bytes
+    /// per entry plus one 4 KiB page per 512 entries of directory).
+    pub fn metadata_bytes(&self) -> u64 {
+        let n = self.entries.len() as u64;
+        n * 8 + n.div_ceil(512) * 4096
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypertp_machine::PageOrder;
+
+    fn ext(base: u64, order: u8) -> Extent {
+        Extent::new(Mfn(base), PageOrder(order))
+    }
+
+    #[test]
+    fn map_and_translate() {
+        let mut p = P2m::new();
+        p.map(Gfn(0), ext(512, 9)).unwrap();
+        p.map(Gfn(512), ext(2048, 9)).unwrap();
+        assert_eq!(p.translate(Gfn(0)).unwrap(), Mfn(512));
+        assert_eq!(p.translate(Gfn(511)).unwrap(), Mfn(1023));
+        assert_eq!(p.translate(Gfn(512)).unwrap(), Mfn(2048));
+        assert_eq!(p.translate(Gfn(700)).unwrap(), Mfn(2048 + 188));
+        assert!(p.translate(Gfn(1024)).is_err());
+        assert_eq!(p.total_pages(), 1024);
+        assert_eq!(p.entry_count(), 2);
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut p = P2m::new();
+        p.map(Gfn(100), ext(0, 2)).unwrap(); // covers 100..104
+        assert!(matches!(
+            p.map(Gfn(103), ext(16, 0)),
+            Err(P2mError::Overlap { .. })
+        ));
+        assert!(matches!(
+            p.map(Gfn(98), ext(8, 2)),
+            Err(P2mError::Overlap { .. })
+        ));
+        p.map(Gfn(104), ext(32, 0)).unwrap();
+    }
+
+    #[test]
+    fn log_dirty_cycle() {
+        let mut p = P2m::new();
+        p.map(Gfn(0), ext(0, 9)).unwrap();
+        p.mark_dirty(Gfn(5)); // Not enabled: dropped.
+        p.enable_log_dirty();
+        p.mark_dirty(Gfn(1));
+        p.mark_dirty(Gfn(2));
+        p.mark_dirty(Gfn(1));
+        assert_eq!(p.read_and_clear_dirty(), vec![Gfn(1), Gfn(2)]);
+        assert!(p.read_and_clear_dirty().is_empty());
+        p.disable_log_dirty();
+        assert!(!p.log_dirty_enabled());
+    }
+
+    #[test]
+    fn mappings_sorted() {
+        let mut p = P2m::new();
+        p.map(Gfn(512), ext(0, 9)).unwrap();
+        p.map(Gfn(0), ext(512, 9)).unwrap();
+        let m = p.mappings();
+        assert_eq!(m[0].0, Gfn(0));
+        assert_eq!(m[1].0, Gfn(512));
+    }
+
+    #[test]
+    fn metadata_footprint() {
+        let mut p = P2m::new();
+        for i in 0..1024u64 {
+            p.map(Gfn(i), ext(1024 + i, 0)).unwrap();
+        }
+        assert_eq!(p.metadata_bytes(), 1024 * 8 + 2 * 4096);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use hypertp_machine::PageOrder;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Random non-overlapping maps translate every covered GFN to the
+        /// right frame and reject every uncovered GFN.
+        #[test]
+        fn translate_matches_construction(
+            layout in proptest::collection::vec((0u64..4, 0u64..8), 1..30),
+        ) {
+            let mut p = P2m::new();
+            let mut truth: Vec<(u64, u64, u64)> = Vec::new(); // (gfn, mfn, pages)
+            let mut gfn = 0u64;
+            let mut mfn = 0u64;
+            for (order, gap) in layout {
+                gfn += gap;
+                let order = PageOrder(order as u8);
+                // Align the machine side as the allocator would.
+                mfn = mfn.next_multiple_of(order.pages());
+                let e = Extent::new(Mfn(mfn), order);
+                p.map(Gfn(gfn), e).expect("construction is overlap-free");
+                truth.push((gfn, mfn, order.pages()));
+                gfn += order.pages();
+                mfn += order.pages();
+            }
+            for &(g, m, n) in &truth {
+                for off in 0..n {
+                    prop_assert_eq!(p.translate(Gfn(g + off)).unwrap(), Mfn(m + off));
+                }
+            }
+            // A GFN beyond the layout fails.
+            prop_assert!(p.translate(Gfn(gfn + 1)).is_err());
+            // Re-mapping anything inside an existing run fails.
+            if let Some(&(g, _, _)) = truth.first() {
+                prop_assert!(p.map(Gfn(g), Extent::new(Mfn(1 << 20), PageOrder(0))).is_err());
+            }
+            prop_assert_eq!(p.total_pages(), truth.iter().map(|&(_, _, n)| n).sum::<u64>());
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! An `xl`-style toolstack facade.
+//!
+//! Fig. 5 shows two paths to the hypervisor: generic libraries (libvirt —
+//! the `(G2)` path every surveyed cloud uses) and the vendor toolstack
+//! (`xl`, the `(G1)` path the paper found *no* sysadmin using). The
+//! facade exists for completeness of the architecture and for debugging;
+//! cluster orchestration goes through the libvirt-style driver in
+//! `hypertp-cluster`.
+
+use hypertp_core::{HtpError, Hypervisor, VmConfig, VmId, VmState};
+use hypertp_machine::Machine;
+
+use crate::hypervisor::XenHypervisor;
+
+/// One row of `xl list`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XlDomain {
+    /// Domain name.
+    pub name: String,
+    /// Domain id.
+    pub domid: u32,
+    /// Memory in MiB.
+    pub mem_mib: u64,
+    /// vCPU count.
+    pub vcpus: u32,
+    /// State string in `xl` format: `r-----` running, `--p---` paused.
+    pub state: String,
+}
+
+/// The `xl` command surface over a Xen host.
+pub struct Xl<'h> {
+    hv: &'h mut XenHypervisor,
+    machine: &'h mut Machine,
+}
+
+impl<'h> Xl<'h> {
+    /// Attaches to a running Xen host.
+    pub fn new(hv: &'h mut XenHypervisor, machine: &'h mut Machine) -> Self {
+        Xl { hv, machine }
+    }
+
+    /// `xl create`: boots a domain from a config.
+    pub fn create(&mut self, config: &VmConfig) -> Result<u32, HtpError> {
+        Ok(self.hv.create_vm(self.machine, config)?.0)
+    }
+
+    /// `xl destroy <name>`.
+    pub fn destroy(&mut self, name: &str) -> Result<(), HtpError> {
+        let id = self.lookup(name)?;
+        self.hv.destroy_vm(self.machine, id)
+    }
+
+    /// `xl pause <name>`.
+    pub fn pause(&mut self, name: &str) -> Result<(), HtpError> {
+        let id = self.lookup(name)?;
+        self.hv.pause_vm(id)
+    }
+
+    /// `xl unpause <name>`.
+    pub fn unpause(&mut self, name: &str) -> Result<(), HtpError> {
+        let id = self.lookup(name)?;
+        self.hv.resume_vm(id)
+    }
+
+    /// `xl save <name>`: returns the HVM context byte stream, as
+    /// `xc_domain_hvm_getcontext` hands it to the toolstack.
+    pub fn save(&mut self, name: &str) -> Result<Vec<u8>, HtpError> {
+        let id = self.lookup(name)?;
+        // Quiesce first — a paused guest cannot acknowledge the device
+        // notifications — then pause and save through the public UISR
+        // path, which enforces the same rules as a transplant.
+        self.hv.notify_prepare_transplant(self.machine, id)?;
+        self.hv.pause_vm(id)?;
+        let uisr = self.hv.save_uisr(self.machine, id)?;
+        Ok(hypertp_uisr::encode(&uisr))
+    }
+
+    /// `xl list`: all domains (dom0 excluded, as it is not a `Domain` in
+    /// the model).
+    pub fn list(&self) -> Vec<XlDomain> {
+        self.hv
+            .vm_ids()
+            .into_iter()
+            .filter_map(|id| {
+                let c = self.hv.vm_config(id).ok()?;
+                let state = match self.hv.vm_state(id).ok()? {
+                    VmState::Running => "r-----",
+                    VmState::Paused => "--p---",
+                };
+                Some(XlDomain {
+                    name: c.name.clone(),
+                    domid: id.0,
+                    mem_mib: c.memory_gb * 1024,
+                    vcpus: c.vcpus,
+                    state: state.to_string(),
+                })
+            })
+            .collect()
+    }
+
+    /// Renders `xl list` as the familiar table.
+    pub fn list_text(&self) -> String {
+        let mut out = String::from("Name          ID   Mem VCPUs\tState\n");
+        for d in self.list() {
+            out.push_str(&format!(
+                "{:<12} {:>3} {:>5} {:>5}\t{}\n",
+                d.name, d.domid, d.mem_mib, d.vcpus, d.state
+            ));
+        }
+        out
+    }
+
+    fn lookup(&self, name: &str) -> Result<VmId, HtpError> {
+        self.hv
+            .find_vm(name)
+            .ok_or(HtpError::UnknownVm(VmId(u32::MAX)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypertp_machine::MachineSpec;
+
+    fn setup() -> (Machine, XenHypervisor) {
+        let mut spec = MachineSpec::m1();
+        spec.ram_gb = 4;
+        let mut m = Machine::new(spec);
+        let hv = XenHypervisor::new(&mut m);
+        (m, hv)
+    }
+
+    #[test]
+    fn create_list_pause_destroy() {
+        let (mut m, mut hv) = setup();
+        let mut xl = Xl::new(&mut hv, &mut m);
+        let domid = xl.create(&VmConfig::small("guest1").with_vcpus(2)).unwrap();
+        let rows = xl.list();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].domid, domid);
+        assert_eq!(rows[0].mem_mib, 1024);
+        assert_eq!(rows[0].vcpus, 2);
+        assert_eq!(rows[0].state, "r-----");
+        xl.pause("guest1").unwrap();
+        assert_eq!(xl.list()[0].state, "--p---");
+        xl.unpause("guest1").unwrap();
+        xl.destroy("guest1").unwrap();
+        assert!(xl.list().is_empty());
+    }
+
+    #[test]
+    fn save_produces_decodable_stream() {
+        let (mut m, mut hv) = setup();
+        let mut xl = Xl::new(&mut hv, &mut m);
+        xl.create(&VmConfig::small("guest1")).unwrap();
+        let blob = xl.save("guest1").unwrap();
+        let vm = hypertp_uisr::decode(&blob).unwrap();
+        assert_eq!(vm.name, "guest1");
+        assert_eq!(vm.vcpus.len(), 1);
+    }
+
+    #[test]
+    fn unknown_domain_errors() {
+        let (mut m, mut hv) = setup();
+        let mut xl = Xl::new(&mut hv, &mut m);
+        assert!(xl.pause("nope").is_err());
+        assert!(xl.destroy("nope").is_err());
+    }
+
+    #[test]
+    fn list_text_formats() {
+        let (mut m, mut hv) = setup();
+        let mut xl = Xl::new(&mut hv, &mut m);
+        xl.create(&VmConfig::small("web")).unwrap();
+        let text = xl.list_text();
+        assert!(text.contains("Name"));
+        assert!(text.contains("web"));
+    }
+}

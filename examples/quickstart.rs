@@ -1,0 +1,55 @@
+//! Quickstart: transplant a Xen host onto KVM in place.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use hypertp::prelude::*;
+
+fn main() {
+    // A server (the paper's M1: 4C/8T @2.5 GHz, 16 GB RAM) running Xen
+    // with one small VM.
+    let mut machine = Machine::new(MachineSpec::m1());
+    let mut xen: Box<dyn Hypervisor> = Box::new(XenHypervisor::new(&mut machine));
+    let vm = xen
+        .create_vm(&mut machine, &VmConfig::small("web-1"))
+        .expect("create VM");
+    xen.write_guest(&mut machine, vm, Gfn(100), 0xC0FFEE)
+        .expect("guest write");
+    println!(
+        "running {} {} with VM 'web-1' ({} vCPU, {} GiB)",
+        xen.kind(),
+        xen.version(),
+        1,
+        1
+    );
+
+    // A critical Xen CVE drops. Transplant the host onto KVM without
+    // rebooting the VM.
+    let registry = hypertp::default_registry();
+    let engine = InPlaceTransplant::new(&registry);
+    let (kvm, report) = engine
+        .run(&mut machine, xen, HypervisorKind::Kvm)
+        .expect("transplant");
+
+    println!("transplanted onto {} {}", kvm.kind(), kvm.version());
+    println!(
+        "  phases: PRAM {:.2}s (pre-pause) | translation {:.2}s | reboot {:.2}s | restoration {:.2}s",
+        report.pram.as_secs_f64(),
+        report.translation.as_secs_f64(),
+        report.reboot.as_secs_f64(),
+        report.restoration.as_secs_f64(),
+    );
+    println!(
+        "  VM downtime: {:.2}s ({:.2}s for networked apps)",
+        report.downtime().as_secs_f64(),
+        report.downtime_with_network().as_secs_f64()
+    );
+    for w in &report.warnings {
+        println!("  compatibility: {w}");
+    }
+
+    // Guest memory survived byte-for-byte.
+    let vm = kvm.find_vm("web-1").expect("VM adopted");
+    let value = kvm.read_guest(&machine, vm, Gfn(100)).expect("guest read");
+    assert_eq!(value, 0xC0FFEE);
+    println!("guest memory intact (gfn 100 = {value:#x}); VM is running again");
+}

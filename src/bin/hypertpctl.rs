@@ -1,0 +1,25 @@
+//! `hypertpctl`: the operator CLI over the HyperTP library (simulated).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match hypertp::cli::parse(&args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{}", hypertp::cli::help());
+            return ExitCode::FAILURE;
+        }
+    };
+    match hypertp::cli::run(&cmd) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

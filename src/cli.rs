@@ -1,0 +1,487 @@
+//! The `hypertpctl` command-line interface.
+//!
+//! A small operator-facing front end over the library: inspect the
+//! vulnerability study, ask the policy for a decision, and run simulated
+//! transplants, migrations, cluster upgrades and full campaigns. Parsing
+//! is hand-rolled (no CLI dependency) and lives here so it is unit-testable;
+//! the `hypertpctl` binary is a thin wrapper.
+
+use std::collections::HashMap;
+
+use hypertp_core::{HypervisorKind, InPlaceTransplant, Optimizations, VmConfig};
+use hypertp_machine::{Machine, MachineSpec};
+use hypertp_migrate::{MigrationConfig, MigrationTp};
+use hypertp_sim::SimClock;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Command {
+    /// Subcommand name.
+    pub name: String,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    /// `--key value` and `--flag` options (flags map to "true").
+    pub options: HashMap<String, String>,
+}
+
+/// Errors from CLI parsing or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// No subcommand given.
+    NoCommand,
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// A required option is missing.
+    MissingOption(&'static str),
+    /// An option value could not be parsed.
+    BadValue {
+        /// Option name.
+        option: String,
+        /// Offending value.
+        value: String,
+    },
+    /// Execution failed.
+    Failed(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::NoCommand => write!(f, "no subcommand; try `hypertpctl help`"),
+            CliError::UnknownCommand(c) => write!(f, "unknown subcommand '{c}'"),
+            CliError::MissingOption(o) => write!(f, "missing required option --{o}"),
+            CliError::BadValue { option, value } => {
+                write!(f, "bad value '{value}' for --{option}")
+            }
+            CliError::Failed(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parses raw arguments (without argv[0]) into a [`Command`].
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let name = it.next().ok_or(CliError::NoCommand)?.clone();
+    let mut positional = Vec::new();
+    let mut options = HashMap::new();
+    let rest: Vec<&String> = it.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let a = rest[i];
+        if let Some(key) = a.strip_prefix("--") {
+            let next_is_value = rest
+                .get(i + 1)
+                .map(|n| !n.starts_with("--"))
+                .unwrap_or(false);
+            if next_is_value {
+                options.insert(key.to_string(), rest[i + 1].clone());
+                i += 2;
+            } else {
+                options.insert(key.to_string(), "true".to_string());
+                i += 1;
+            }
+        } else {
+            positional.push(a.clone());
+            i += 1;
+        }
+    }
+    Ok(Command {
+        name,
+        positional,
+        options,
+    })
+}
+
+fn opt_u64(cmd: &Command, key: &str, default: u64) -> Result<u64, CliError> {
+    match cmd.options.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| CliError::BadValue {
+            option: key.to_string(),
+            value: v.clone(),
+        }),
+    }
+}
+
+fn opt_f64(cmd: &Command, key: &str, default: f64) -> Result<f64, CliError> {
+    match cmd.options.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| CliError::BadValue {
+            option: key.to_string(),
+            value: v.clone(),
+        }),
+    }
+}
+
+fn opt_hv(cmd: &Command, key: &str, default: HypervisorKind) -> Result<HypervisorKind, CliError> {
+    match cmd.options.get(key).map(String::as_str) {
+        None => Ok(default),
+        Some("xen") | Some("Xen") => Ok(HypervisorKind::Xen),
+        Some("kvm") | Some("KVM") | Some("Kvm") => Ok(HypervisorKind::Kvm),
+        Some(v) => Err(CliError::BadValue {
+            option: key.to_string(),
+            value: v.to_string(),
+        }),
+    }
+}
+
+fn opt_spec(cmd: &Command, key: &str) -> Result<MachineSpec, CliError> {
+    match cmd.options.get(key).map(String::as_str) {
+        None | Some("m1") | Some("M1") => Ok(MachineSpec::m1()),
+        Some("m2") | Some("M2") => Ok(MachineSpec::m2()),
+        Some("g5k") | Some("G5K") => Ok(MachineSpec::cluster_node()),
+        Some(v) => Err(CliError::BadValue {
+            option: key.to_string(),
+            value: v.to_string(),
+        }),
+    }
+}
+
+/// The help text.
+pub fn help() -> String {
+    "hypertpctl — hypervisor transplant control (simulated)\n\
+     \n\
+     subcommands:\n\
+       analyze                         regenerate the vulnerability study (Table 1)\n\
+       decide <CVE-ID> [--running HV]  policy decision for a disclosed CVE\n\
+       transplant [--machine m1|m2] [--vms N] [--vcpus N] [--mem GB]\n\
+                  [--from HV] [--to HV] [--no-prepare] [--no-parallel]\n\
+                  [--no-early-restore]  run InPlaceTP and print the breakdown\n\
+       migrate    [--machine m1|m2] [--mem GB] [--dirty-rate P/S] [--to HV]\n\
+                                        run MigrationTP and print the report\n\
+       cluster    [--compat PCT] [--group N]   plan+execute a rolling upgrade\n\
+       campaign   <CVE-ID> [--hosts N] [--vms N]  full Fig. 1(b) campaign\n\
+       help                             this text\n"
+        .to_string()
+}
+
+/// Executes a parsed command, returning its printable output.
+pub fn run(cmd: &Command) -> Result<String, CliError> {
+    match cmd.name.as_str() {
+        "help" => Ok(help()),
+        "analyze" => run_analyze(),
+        "decide" => run_decide(cmd),
+        "transplant" => run_transplant(cmd),
+        "migrate" => run_migrate(cmd),
+        "cluster" => run_cluster(cmd),
+        "campaign" => run_campaign_cmd(cmd),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+fn run_analyze() -> Result<String, CliError> {
+    let ds = hypertp_vulndb::dataset::dataset();
+    let rows = hypertp_vulndb::analysis::table1(&ds);
+    let mut out = String::from("year  xen-crit  xen-med  kvm-crit  kvm-med  common\n");
+    for r in &rows {
+        out.push_str(&format!(
+            "{}  {:>8}  {:>7}  {:>8}  {:>7}  {}/{}\n",
+            r.year, r.xen_crit, r.xen_med, r.kvm_crit, r.kvm_med, r.common_crit, r.common_med
+        ));
+    }
+    if let Some(w) = hypertp_vulndb::analysis::window_stats(&ds, hypertp_vulndb::HypervisorId::Kvm)
+    {
+        out.push_str(&format!(
+            "KVM windows: mean {:.0} days, {:.0}% > 60 days, max {} ({} d), min {} ({} d)\n",
+            w.mean_days,
+            w.frac_over_60 * 100.0,
+            w.max.0,
+            w.max.1,
+            w.min.0,
+            w.min.1
+        ));
+    }
+    Ok(out)
+}
+
+fn run_decide(cmd: &Command) -> Result<String, CliError> {
+    let cve_id = cmd
+        .positional
+        .first()
+        .ok_or(CliError::MissingOption("<CVE-ID>"))?;
+    let running = match opt_hv(cmd, "running", HypervisorKind::Xen)? {
+        HypervisorKind::Xen => hypertp_vulndb::HypervisorId::Xen,
+        HypervisorKind::Kvm => hypertp_vulndb::HypervisorId::Kvm,
+    };
+    let ds = hypertp_vulndb::dataset::dataset();
+    let cve = ds
+        .iter()
+        .find(|v| v.id == *cve_id)
+        .ok_or_else(|| CliError::Failed(format!("{cve_id} not in the dataset")))?;
+    let pool = [
+        hypertp_vulndb::HypervisorId::Xen,
+        hypertp_vulndb::HypervisorId::Kvm,
+    ];
+    let decision = hypertp_vulndb::policy::decide(cve, running, &pool, &[]);
+    Ok(format!(
+        "{} — CVSS {:.1} ({:?}), affects {:?}\ndecision: {:?}\n",
+        cve.id,
+        cve.cvss.base_score(),
+        cve.severity(),
+        cve.affects,
+        decision
+    ))
+}
+
+fn run_transplant(cmd: &Command) -> Result<String, CliError> {
+    let spec = opt_spec(cmd, "machine")?;
+    let n_vms = opt_u64(cmd, "vms", 1)? as u32;
+    let vcpus = opt_u64(cmd, "vcpus", 1)? as u32;
+    let mem = opt_u64(cmd, "mem", 1)?;
+    let from = opt_hv(cmd, "from", HypervisorKind::Xen)?;
+    let to = opt_hv(cmd, "to", HypervisorKind::Kvm)?;
+    let opts = Optimizations {
+        prepare_before_pause: !cmd.options.contains_key("no-prepare"),
+        parallel: !cmd.options.contains_key("no-parallel"),
+        early_restoration: !cmd.options.contains_key("no-early-restore"),
+        strict_preflight: cmd.options.contains_key("strict"),
+    };
+    let registry = crate::default_registry();
+    let mut machine = Machine::new(spec);
+    let mut hv = registry
+        .create(from, &mut machine)
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    for i in 0..n_vms {
+        hv.create_vm(
+            &mut machine,
+            &VmConfig::small(format!("vm{i}"))
+                .with_vcpus(vcpus)
+                .with_memory_gb(mem),
+        )
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    }
+    let engine = InPlaceTransplant::new(&registry).with_optimizations(opts);
+    let (hv2, r) = engine
+        .run(&mut machine, hv, to)
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let mut out = format!(
+        "InPlaceTP {from}→{to}: {} VM(s) of {vcpus} vCPU / {mem} GiB on {}\n",
+        r.vm_count,
+        machine.spec().name
+    );
+    out.push_str(&format!(
+        "  PRAM {:.2}s | translation {:.2}s | reboot {:.2}s | restoration {:.2}s\n",
+        r.pram.as_secs_f64(),
+        r.translation.as_secs_f64(),
+        r.reboot.as_secs_f64(),
+        r.restoration.as_secs_f64()
+    ));
+    out.push_str(&format!(
+        "  downtime {:.2}s ({:.2}s with network), PRAM metadata {} KiB, UISR {} KiB\n",
+        r.downtime().as_secs_f64(),
+        r.downtime_with_network().as_secs_f64(),
+        r.pram_stats.metadata_bytes() / 1024,
+        r.uisr_bytes / 1024
+    ));
+    for w in &r.warnings {
+        out.push_str(&format!("  compatibility: {w}\n"));
+    }
+    out.push_str(&format!("now running: {} {}\n", hv2.kind(), hv2.version()));
+    Ok(out)
+}
+
+fn run_migrate(cmd: &Command) -> Result<String, CliError> {
+    let spec = opt_spec(cmd, "machine")?;
+    let mem = opt_u64(cmd, "mem", 1)?;
+    let rate = opt_f64(cmd, "dirty-rate", 10.0)?;
+    let to = opt_hv(cmd, "to", HypervisorKind::Kvm)?;
+    let registry = crate::default_registry();
+    let clock = SimClock::new();
+    let mut src_m = Machine::with_clock(spec.clone(), clock.clone());
+    let mut dst_m = Machine::with_clock(spec, clock);
+    let mut src = registry
+        .create(HypervisorKind::Xen, &mut src_m)
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let mut dst = registry
+        .create(to, &mut dst_m)
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let id = src
+        .create_vm(&mut src_m, &VmConfig::small("vm0").with_memory_gb(mem))
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let tp = MigrationTp::new().with_config(MigrationConfig {
+        dirty_rate_pages_per_sec: rate,
+        ..MigrationConfig::default()
+    });
+    let r = tp
+        .migrate(&mut src_m, src.as_mut(), id, &mut dst_m, dst.as_mut())
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    Ok(format!(
+        "MigrationTP Xen→{to}: {} GiB VM, dirty rate {rate} pages/s\n  {} rounds, \
+         {:.2} GiB sent, total {:.2}s, downtime {:.2} ms, UISR {} B\n",
+        mem,
+        r.rounds.len(),
+        r.bytes_sent as f64 / (1u64 << 30) as f64,
+        r.total.as_secs_f64(),
+        r.downtime.as_millis_f64(),
+        r.uisr_bytes
+    ))
+}
+
+fn run_cluster(cmd: &Command) -> Result<String, CliError> {
+    let compat = opt_u64(cmd, "compat", 80)? as u32;
+    let group = opt_u64(cmd, "group", 2)? as usize;
+    let cluster = hypertp_cluster::Cluster::paper_testbed(compat, 42);
+    let plan = hypertp_cluster::plan_upgrade(&cluster, group)
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let report = hypertp_cluster::execute(
+        &cluster,
+        &plan,
+        &hypertp_cluster::exec::ExecConfig::default(),
+    );
+    Ok(format!(
+        "cluster upgrade ({compat}% InPlaceTP-compatible, groups of {group}):\n  \
+         {} migrations + {} in-place upgrades in {:.1} min \
+         (migration {:.1} min, in-place {:.1} min)\n",
+        report.migrations,
+        report.inplace_upgrades,
+        report.total.as_secs_f64() / 60.0,
+        report.migration_time.as_secs_f64() / 60.0,
+        report.inplace_time.as_secs_f64() / 60.0
+    ))
+}
+
+fn run_campaign_cmd(cmd: &Command) -> Result<String, CliError> {
+    let cve_id = cmd
+        .positional
+        .first()
+        .ok_or(CliError::MissingOption("<CVE-ID>"))?;
+    let hosts = opt_u64(cmd, "hosts", 2)? as usize;
+    let vms = opt_u64(cmd, "vms", 4)? as u32;
+    let ds = hypertp_vulndb::dataset::dataset();
+    let cve = ds
+        .iter()
+        .find(|v| v.id == *cve_id)
+        .ok_or_else(|| CliError::Failed(format!("{cve_id} not in the dataset")))?;
+    let registry = hypertp_cluster::openstack::pool();
+    let clock = SimClock::new();
+    let computes = (0..hosts)
+        .map(|i| {
+            let mut spec = MachineSpec::m1();
+            spec.ram_gb = 8;
+            hypertp_cluster::openstack::LibvirtDriver::new(
+                format!("compute-{i}"),
+                spec,
+                clock.clone(),
+                &registry,
+                HypervisorKind::Xen,
+            )
+        })
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let mut nova = hypertp_cluster::openstack::NovaManager::new(registry, computes);
+    for i in 0..vms {
+        nova.boot(&VmConfig::small(format!("svc{i}")))
+            .map_err(|e| CliError::Failed(e.to_string()))?;
+    }
+    let report = hypertp_cluster::campaign::run_campaign(&mut nova, cve, &[])
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    Ok(format!(
+        "campaign {}: {} → {} → {}\n  covered {:.0}-day window, worst VM downtime \
+         {:.2}s across {} host(s) out + back\n",
+        report.cve,
+        report.home,
+        report.refuge,
+        report.home,
+        report.window.as_secs_f64() / 86_400.0,
+        report.worst_downtime.as_secs_f64(),
+        hosts
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_options_and_positionals() {
+        let c = parse(&argv("decide CVE-2016-6258 --running xen --verbose")).unwrap();
+        assert_eq!(c.name, "decide");
+        assert_eq!(c.positional, vec!["CVE-2016-6258"]);
+        assert_eq!(c.options.get("running").map(String::as_str), Some("xen"));
+        assert_eq!(c.options.get("verbose").map(String::as_str), Some("true"));
+    }
+
+    #[test]
+    fn empty_argv_errors() {
+        assert_eq!(parse(&[]), Err(CliError::NoCommand));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let c = parse(&argv("frobnicate")).unwrap();
+        assert!(matches!(run(&c), Err(CliError::UnknownCommand(_))));
+    }
+
+    #[test]
+    fn analyze_prints_table() {
+        let out = run(&parse(&argv("analyze")).unwrap()).unwrap();
+        assert!(out.contains("2015"));
+        assert!(out.contains("KVM windows"));
+    }
+
+    #[test]
+    fn decide_known_cve() {
+        let out = run(&parse(&argv("decide CVE-2016-6258 --running xen")).unwrap()).unwrap();
+        assert!(out.contains("Transplant"));
+        let out = run(&parse(&argv("decide CVE-2015-3456 --running xen")).unwrap()).unwrap();
+        assert!(out.contains("NoSafeTarget"));
+    }
+
+    #[test]
+    fn decide_unknown_cve_fails() {
+        let r = run(&parse(&argv("decide CVE-0000-0000")).unwrap());
+        assert!(matches!(r, Err(CliError::Failed(_))));
+    }
+
+    #[test]
+    fn transplant_end_to_end() {
+        let out = run(&parse(&argv("transplant --vms 2 --mem 1")).unwrap()).unwrap();
+        assert!(out.contains("downtime"), "{out}");
+        assert!(out.contains("now running: KVM"));
+    }
+
+    #[test]
+    fn transplant_bad_machine_rejected() {
+        let r = run(&parse(&argv("transplant --machine m9")).unwrap());
+        assert!(matches!(r, Err(CliError::BadValue { .. })));
+    }
+
+    #[test]
+    fn migrate_end_to_end() {
+        let out = run(&parse(&argv("migrate --mem 1 --dirty-rate 5")).unwrap()).unwrap();
+        assert!(out.contains("MigrationTP"));
+        assert!(out.contains("downtime"));
+    }
+
+    #[test]
+    fn cluster_end_to_end() {
+        let out = run(&parse(&argv("cluster --compat 80")).unwrap()).unwrap();
+        assert!(out.contains("in-place upgrades"));
+    }
+
+    #[test]
+    fn campaign_end_to_end() {
+        let out = run(&parse(&argv("campaign CVE-2016-6258 --hosts 1 --vms 1")).unwrap()).unwrap();
+        assert!(out.contains("Xen → KVM → Xen"));
+    }
+
+    #[test]
+    fn help_lists_subcommands() {
+        let out = run(&parse(&argv("help")).unwrap()).unwrap();
+        for sub in [
+            "analyze",
+            "decide",
+            "transplant",
+            "migrate",
+            "cluster",
+            "campaign",
+        ] {
+            assert!(out.contains(sub), "{sub}");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! HyperTP: mitigating hypervisor vulnerability windows with hypervisor
+//! transplant.
+//!
+//! This crate is the user-facing facade of the HyperTP reproduction
+//! (EuroSys 2021). It re-exports the component crates and provides the
+//! standard two-hypervisor pool (Xen ⇄ KVM) used throughout the paper.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hypertp::prelude::*;
+//!
+//! // A machine running Xen with one small VM.
+//! let mut machine = Machine::new(MachineSpec::m1());
+//! let mut xen: Box<dyn Hypervisor> = Box::new(XenHypervisor::new(&mut machine));
+//! xen.create_vm(&mut machine, &VmConfig::small("web-1")).unwrap();
+//!
+//! // A critical Xen CVE drops: transplant in place onto KVM.
+//! let registry = hypertp::default_registry();
+//! let engine = InPlaceTransplant::new(&registry);
+//! let (kvm, report) = engine.run(&mut machine, xen, HypervisorKind::Kvm).unwrap();
+//! assert_eq!(kvm.kind(), HypervisorKind::Kvm);
+//! assert!(report.downtime().as_secs_f64() < 3.0);
+//! ```
+
+pub mod cli;
+
+pub use hypertp_cluster as cluster;
+pub use hypertp_core as core;
+pub use hypertp_kvm as kvm;
+pub use hypertp_machine as machine;
+pub use hypertp_migrate as migrate;
+pub use hypertp_pram as pram;
+pub use hypertp_sim as sim;
+pub use hypertp_uisr as uisr;
+pub use hypertp_vulndb as vulndb;
+pub use hypertp_workloads as workloads;
+pub use hypertp_xen as xen;
+
+use hypertp_core::{HypervisorKind, HypervisorRegistry};
+
+/// Builds the paper's hypervisor pool: Xen 4.12-style and Linux 5.3/KVM +
+/// kvmtool, both HyperTP-compliant.
+pub fn default_registry() -> HypervisorRegistry {
+    let mut registry = HypervisorRegistry::new();
+    registry.register(HypervisorKind::Xen, |machine| {
+        Box::new(hypertp_xen::XenHypervisor::new(machine))
+    });
+    registry.register(HypervisorKind::Kvm, |machine| {
+        Box::new(hypertp_kvm::KvmHypervisor::new(machine))
+    });
+    registry.register_validator(HypervisorKind::Kvm, hypertp_kvm::xlate::preflight_validate);
+    registry
+}
+
+/// Common imports for examples and downstream users.
+pub mod prelude {
+    pub use hypertp_core::{
+        Hypervisor, HypervisorKind, HypervisorRegistry, InPlaceReport, InPlaceTransplant,
+        Optimizations, VmConfig, VmId, VmState,
+    };
+    pub use hypertp_kvm::KvmHypervisor;
+    pub use hypertp_machine::{Gfn, Machine, MachineSpec};
+    pub use hypertp_migrate::{migrate_many, MigrationConfig, MigrationTp};
+    pub use hypertp_sim::{SimClock, SimDuration, SimTime};
+    pub use hypertp_xen::XenHypervisor;
+
+    pub use crate::default_registry;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_registry_has_both_hypervisors() {
+        let r = default_registry();
+        assert!(r.contains(HypervisorKind::Xen));
+        assert!(r.contains(HypervisorKind::Kvm));
+        assert_eq!(r.kinds().len(), 2);
+    }
+}

@@ -1,0 +1,97 @@
+//! Memory-separation invariants (§3.1, Fig. 2), checked end to end on the
+//! real hypervisor models.
+
+use hypertp::prelude::*;
+use hypertp_core::Hypervisor;
+
+#[test]
+fn vmi_state_is_a_tiny_fraction_of_guest_state() {
+    // Memory separation's payoff: only VMi State is translated, and it is
+    // orders of magnitude smaller than the guest memory it describes.
+    let mut m = Machine::new(MachineSpec::m1());
+    let mut xen: Box<dyn Hypervisor> = Box::new(XenHypervisor::new(&mut m));
+    for i in 0..4 {
+        xen.create_vm(&mut m, &VmConfig::small(format!("vm{i}")))
+            .unwrap();
+    }
+    let r = xen.memsep_report(&m);
+    assert_eq!(r.guest_state, 4 << 30);
+    assert!(
+        r.translation_ratio() < 0.005,
+        "translated fraction = {}",
+        r.translation_ratio()
+    );
+}
+
+#[test]
+fn both_hypervisors_report_all_four_categories() {
+    let registry = default_registry();
+    for kind in [HypervisorKind::Xen, HypervisorKind::Kvm] {
+        let mut m = Machine::new(MachineSpec::m1());
+        let mut hv = registry.create(kind, &mut m).unwrap();
+        hv.create_vm(&mut m, &VmConfig::small("vm0")).unwrap();
+        let r = hv.memsep_report(&m);
+        assert!(r.guest_state > 0, "{kind}: guest state");
+        assert!(r.vmi_state > 0, "{kind}: vmi state");
+        assert!(r.vm_mgmt_state > 0, "{kind}: mgmt state");
+        assert!(r.hv_state > 0, "{kind}: hv state");
+    }
+}
+
+#[test]
+fn guest_state_is_never_copied_by_inplace_transplant() {
+    // InPlaceTP keeps guest frames at the same machine addresses: the
+    // MFN→content mapping is bit-identical before and after.
+    let mut m = Machine::new(MachineSpec::m1());
+    let registry = default_registry();
+    let mut xen: Box<dyn Hypervisor> = Box::new(XenHypervisor::new(&mut m));
+    let id = xen.create_vm(&mut m, &VmConfig::small("vm0")).unwrap();
+    let map_before = xen.guest_memory_map(id).unwrap();
+    let engine = InPlaceTransplant::new(&registry);
+    let (kvm, _) = engine.run(&mut m, xen, HypervisorKind::Kvm).unwrap();
+    let new_id = kvm.find_vm("vm0").unwrap();
+    let map_after = kvm.guest_memory_map(new_id).unwrap();
+    assert_eq!(
+        map_before, map_after,
+        "guest frames stayed exactly in place"
+    );
+}
+
+#[test]
+fn vm_mgmt_state_is_rebuilt_not_translated() {
+    // The scheduler's queues on the target contain the same vCPU set that
+    // the source managed, even though no scheduler state went through
+    // UISR (UISR carries no run-queue section at all).
+    let mut m = Machine::new(MachineSpec::m1());
+    let registry = default_registry();
+    let mut kvm_src = registry.create(HypervisorKind::Kvm, &mut m).unwrap();
+    for i in 0..3 {
+        kvm_src
+            .create_vm(&mut m, &VmConfig::small(format!("vm{i}")).with_vcpus(2))
+            .unwrap();
+    }
+    let engine = InPlaceTransplant::new(&registry);
+    let (xen, _) = engine.run(&mut m, kvm_src, HypervisorKind::Xen).unwrap();
+    // Count vCPUs across adopted VMs: 3 VMs × 2 vCPUs.
+    let total: u32 = xen
+        .vm_ids()
+        .iter()
+        .map(|&id| xen.vm_config(id).unwrap().vcpus)
+        .sum();
+    assert_eq!(total, 6);
+}
+
+#[test]
+fn hv_state_grows_with_neither_guests_nor_transplants() {
+    // HV State is per-hypervisor-global: creating VMs must grow VMi/guest
+    // accounting but not the hypervisor heap.
+    let mut m = Machine::new(MachineSpec::m1());
+    let mut xen: Box<dyn Hypervisor> = Box::new(XenHypervisor::new(&mut m));
+    let before = xen.memsep_report(&m).hv_state;
+    for i in 0..4 {
+        xen.create_vm(&mut m, &VmConfig::small(format!("vm{i}")))
+            .unwrap();
+    }
+    let after = xen.memsep_report(&m).hv_state;
+    assert_eq!(before, after);
+}

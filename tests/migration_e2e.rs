@@ -1,0 +1,130 @@
+//! End-to-end MigrationTP integration tests with the real Xen and KVM
+//! models.
+
+use hypertp::prelude::*;
+
+fn pair() -> (Machine, Machine) {
+    let clock = SimClock::new();
+    (
+        Machine::with_clock(MachineSpec::m1(), clock.clone()),
+        Machine::with_clock(MachineSpec::m1(), clock),
+    )
+}
+
+#[test]
+fn migrationtp_xen_to_kvm_full_fidelity() {
+    let registry = default_registry();
+    let (mut src_m, mut dst_m) = pair();
+    let mut xen = registry.create(HypervisorKind::Xen, &mut src_m).unwrap();
+    let mut kvm = registry.create(HypervisorKind::Kvm, &mut dst_m).unwrap();
+
+    let id = xen
+        .create_vm(&mut src_m, &VmConfig::small("pg-1").with_vcpus(2))
+        .unwrap();
+    for i in 0..50u64 {
+        xen.write_guest(&mut src_m, id, Gfn(i * 977), 0xD000 + i)
+            .unwrap();
+    }
+    xen.guest_tick(&mut src_m, id, 40).unwrap();
+    // Capture the architectural state that must arrive on the other side.
+    xen.pause_vm(id).unwrap();
+    let before = xen.save_uisr(&src_m, id).unwrap();
+    xen.resume_vm(id).unwrap();
+
+    let tp = MigrationTp::new().with_config(MigrationConfig {
+        verify_contents: true,
+        dirty_rate_pages_per_sec: 500.0,
+        ..MigrationConfig::default()
+    });
+    let report = tp
+        .migrate(&mut src_m, xen.as_mut(), id, &mut dst_m, kvm.as_mut())
+        .unwrap();
+
+    // The destination runs the guest with identical memory and registers.
+    let new_id = kvm.find_vm("pg-1").unwrap();
+    assert_eq!(kvm.vm_state(new_id).unwrap(), VmState::Running);
+    for i in 0..50u64 {
+        assert_eq!(
+            kvm.read_guest(&dst_m, new_id, Gfn(i * 977)).unwrap(),
+            0xD000 + i
+        );
+    }
+    kvm.pause_vm(new_id).unwrap();
+    let after = kvm.save_uisr(&dst_m, new_id).unwrap();
+    assert_eq!(after.vcpus.len(), 2);
+    // rip advanced beyond `before` because the guest ran during pre-copy.
+    assert!(after.vcpus[0].regs.rip >= before.vcpus[0].regs.rip);
+    assert_eq!(after.vcpus[0].sregs.efer, before.vcpus[0].sregs.efer);
+    // Proxies translated the 48-pin Xen IOAPIC to KVM's 24.
+    assert_eq!(after.ioapic.pins(), 24);
+    assert!(report.warnings.iter().any(|w| w.contains("IOAPIC")));
+    // No PRAM is involved in MigrationTP (§4.3).
+    assert!(report.uisr_bytes > 0);
+    assert!(report.total.as_secs_f64() < 15.0);
+    // Source was cleaned up.
+    assert!(xen.find_vm("pg-1").is_none());
+}
+
+#[test]
+fn migrationtp_kvm_to_xen_direction() {
+    let registry = default_registry();
+    let (mut src_m, mut dst_m) = pair();
+    let mut kvm = registry.create(HypervisorKind::Kvm, &mut src_m).unwrap();
+    let mut xen = registry.create(HypervisorKind::Xen, &mut dst_m).unwrap();
+    let id = kvm.create_vm(&mut src_m, &VmConfig::small("w-1")).unwrap();
+    kvm.write_guest(&mut src_m, id, Gfn(31337), 0xBEEF).unwrap();
+    let tp = MigrationTp::new().with_config(MigrationConfig {
+        verify_contents: true,
+        ..MigrationConfig::default()
+    });
+    let report = tp
+        .migrate(&mut src_m, kvm.as_mut(), id, &mut dst_m, xen.as_mut())
+        .unwrap();
+    let new_id = xen.find_vm("w-1").unwrap();
+    assert_eq!(xen.read_guest(&dst_m, new_id, Gfn(31337)).unwrap(), 0xBEEF);
+    // Destination Xen means the slow activation path: downtime well above
+    // the kvmtool direction but still sub-second for an idle VM.
+    assert!(report.downtime.as_millis_f64() > 100.0);
+    assert!(report.downtime.as_secs_f64() < 1.0);
+}
+
+#[test]
+fn busy_guest_converges_with_more_rounds_than_idle() {
+    let registry = default_registry();
+    let run = |rate: f64| {
+        let (mut src_m, mut dst_m) = pair();
+        let mut xen = registry.create(HypervisorKind::Xen, &mut src_m).unwrap();
+        let mut kvm = registry.create(HypervisorKind::Kvm, &mut dst_m).unwrap();
+        let id = xen.create_vm(&mut src_m, &VmConfig::small("b-1")).unwrap();
+        let tp = MigrationTp::new().with_config(MigrationConfig {
+            dirty_rate_pages_per_sec: rate,
+            ..MigrationConfig::default()
+        });
+        tp.migrate(&mut src_m, xen.as_mut(), id, &mut dst_m, kvm.as_mut())
+            .unwrap()
+    };
+    let idle = run(1.0);
+    let busy = run(3_000.0);
+    assert!(busy.rounds.len() > idle.rounds.len());
+    assert!(busy.total > idle.total);
+}
+
+#[test]
+fn migrationtp_matches_homogeneous_migration_time() {
+    // §5.2: "MigrationTP offers similar performance to traditional
+    // homogeneous VM live migration" — total times within 5%.
+    let registry = default_registry();
+    let run = |dst_kind: HypervisorKind| {
+        let (mut src_m, mut dst_m) = pair();
+        let mut src = registry.create(HypervisorKind::Xen, &mut src_m).unwrap();
+        let mut dst = registry.create(dst_kind, &mut dst_m).unwrap();
+        let id = src.create_vm(&mut src_m, &VmConfig::small("m-1")).unwrap();
+        let tp = MigrationTp::new();
+        tp.migrate(&mut src_m, src.as_mut(), id, &mut dst_m, dst.as_mut())
+            .unwrap()
+    };
+    let heterogeneous = run(HypervisorKind::Kvm);
+    let homogeneous = run(HypervisorKind::Xen);
+    let ratio = heterogeneous.total.as_secs_f64() / homogeneous.total.as_secs_f64();
+    assert!((0.95..1.05).contains(&ratio), "ratio = {ratio}");
+}

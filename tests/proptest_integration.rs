@@ -1,0 +1,92 @@
+//! Property-based integration tests over the transplant and migration
+//! engines: for randomized VM shapes, guest activity and dirty rates, the
+//! end-to-end invariants must hold.
+
+use hypertp::prelude::*;
+use proptest::prelude::*;
+
+fn small_spec(ram_gb: u64) -> MachineSpec {
+    let mut spec = MachineSpec::m1();
+    spec.ram_gb = ram_gb;
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any mix of VM shapes and guest writes, InPlaceTP preserves all
+    /// guest memory and all VMs, in both directions.
+    #[test]
+    fn inplace_preserves_random_guests(
+        n_vms in 1u32..4,
+        vcpus in 1u32..4,
+        writes in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..40),
+        to_xen: bool,
+    ) {
+        let registry = default_registry();
+        let mut m = Machine::new(small_spec(8));
+        let (source, target) = if to_xen {
+            (HypervisorKind::Kvm, HypervisorKind::Xen)
+        } else {
+            (HypervisorKind::Xen, HypervisorKind::Kvm)
+        };
+        let mut hv = registry.create(source, &mut m).unwrap();
+        let mut expected = Vec::new();
+        for i in 0..n_vms {
+            let cfg = VmConfig::small(format!("vm{i}")).with_vcpus(vcpus);
+            let id = hv.create_vm(&mut m, &cfg).unwrap();
+            for (k, (gfn, val)) in writes.iter().enumerate() {
+                if k as u32 % n_vms == i {
+                    let g = Gfn(gfn % cfg.pages());
+                    hv.write_guest(&mut m, id, g, *val).unwrap();
+                    expected.push((cfg.name.clone(), g, *val));
+                }
+            }
+        }
+        // Writes to the same gfn overwrite; keep only the last per key.
+        let mut last = std::collections::HashMap::new();
+        for (name, g, v) in expected {
+            last.insert((name, g), v);
+        }
+
+        let engine = InPlaceTransplant::new(&registry);
+        let (hv2, report) = engine.run(&mut m, hv, target).unwrap();
+        prop_assert_eq!(report.vm_count as u32, n_vms);
+        for ((name, gfn), val) in last {
+            let id = hv2.find_vm(&name).unwrap();
+            prop_assert_eq!(hv2.read_guest(&m, id, gfn).unwrap(), val);
+            prop_assert_eq!(hv2.vm_state(id).unwrap(), VmState::Running);
+        }
+    }
+
+    /// For any dirty rate, migration converges (or force-stops) and the
+    /// destination equals the source at pause time.
+    #[test]
+    fn migration_always_converges_and_matches(
+        dirty_rate in 0.0f64..50_000.0,
+        threshold in 1u64..512,
+        max_rounds in 2u32..12,
+    ) {
+        let registry = default_registry();
+        let clock = SimClock::new();
+        let mut src_m = Machine::with_clock(small_spec(4), clock.clone());
+        let mut dst_m = Machine::with_clock(small_spec(4), clock);
+        let mut src = registry.create(HypervisorKind::Xen, &mut src_m).unwrap();
+        let mut dst = registry.create(HypervisorKind::Kvm, &mut dst_m).unwrap();
+        let id = src.create_vm(&mut src_m, &VmConfig::small("vm0")).unwrap();
+        let tp = MigrationTp::new().with_config(MigrationConfig {
+            dirty_rate_pages_per_sec: dirty_rate,
+            stop_threshold_pages: threshold,
+            max_rounds,
+            verify_contents: true, // The engine itself checks equality.
+        ..MigrationConfig::default()
+        });
+        let report = tp
+            .migrate(&mut src_m, src.as_mut(), id, &mut dst_m, dst.as_mut())
+            .unwrap();
+        prop_assert!(report.rounds.len() as u32 <= max_rounds);
+        prop_assert!(report.downtime < report.total);
+        let new_id = dst.find_vm("vm0").unwrap();
+        prop_assert_eq!(dst.vm_state(new_id).unwrap(), VmState::Running);
+    }
+}

@@ -1,0 +1,269 @@
+//! End-to-end InPlaceTP integration tests with the real Xen and KVM
+//! models: guest memory, vCPU architectural state, device state and the
+//! documented compatibility fixes must all survive heterogeneous
+//! transplant in both directions.
+
+use hypertp::prelude::*;
+use hypertp_core::Hypervisor;
+use hypertp_uisr::{lapic_page, msr, DeviceState};
+
+fn machine() -> Machine {
+    Machine::new(MachineSpec::m1())
+}
+
+/// Writes recognizable state into a running VM and returns what was
+/// written: (gfn, content) pairs plus the rip after activity.
+fn exercise_guest(
+    hv: &mut Box<dyn Hypervisor>,
+    m: &mut Machine,
+    id: VmId,
+) -> (Vec<(u64, u64)>, u64) {
+    let writes: Vec<(u64, u64)> = (0..64)
+        .map(|i| (i * 1000 + 7, 0xAAAA_0000 + i * 3))
+        .collect();
+    for &(gfn, val) in &writes {
+        hv.write_guest(m, id, Gfn(gfn), val).unwrap();
+    }
+    hv.guest_tick(m, id, 20).unwrap();
+    hv.pause_vm(id).unwrap();
+    let u = hv.save_uisr(m, id).unwrap();
+    hv.resume_vm(id).unwrap();
+    (writes, u.vcpus[0].regs.rip)
+}
+
+#[test]
+fn xen_to_kvm_preserves_everything() {
+    let mut m = machine();
+    let registry = default_registry();
+    let mut xen: Box<dyn Hypervisor> = Box::new(XenHypervisor::new(&mut m));
+    let id = xen
+        .create_vm(&mut m, &VmConfig::small("prod-db").with_vcpus(2))
+        .unwrap();
+    let (writes, rip) = exercise_guest(&mut xen, &mut m, id);
+
+    let engine = InPlaceTransplant::new(&registry);
+    let (mut kvm, report) = engine.run(&mut m, xen, HypervisorKind::Kvm).unwrap();
+
+    assert_eq!(kvm.kind(), HypervisorKind::Kvm);
+    assert_eq!(report.vm_count, 1);
+    // The §4.2.1 IOAPIC fix fires on the Xen→KVM direction.
+    assert!(
+        report.warnings.iter().any(|w| w.contains("IOAPIC")),
+        "warnings: {:?}",
+        report.warnings
+    );
+
+    let new_id = kvm.find_vm("prod-db").unwrap();
+    assert_eq!(kvm.vm_state(new_id).unwrap(), VmState::Running);
+    for &(gfn, val) in &writes {
+        assert_eq!(kvm.read_guest(&m, new_id, Gfn(gfn)).unwrap(), val);
+    }
+    // Architectural state survived the format change.
+    kvm.pause_vm(new_id).unwrap();
+    let u = kvm.save_uisr(&m, new_id).unwrap();
+    assert_eq!(u.vcpus.len(), 2);
+    assert_eq!(u.vcpus[0].regs.rip, rip);
+    assert_eq!(u.vcpus[0].sregs.efer, 0xd01);
+    assert_eq!(msr::find(&u.vcpus[0].msrs, msr::IA32_EFER), Some(0xd01));
+    assert_eq!(u.ioapic.pins(), 24, "KVM runs its native 24-pin IOAPIC");
+    // Network device re-plugged after restoration.
+    assert!(u
+        .devices
+        .iter()
+        .any(|d| matches!(d, DeviceState::Network { .. })));
+}
+
+#[test]
+fn kvm_to_xen_preserves_everything() {
+    let mut m = machine();
+    let registry = default_registry();
+    let mut kvm: Box<dyn Hypervisor> = Box::new(KvmHypervisor::new(&mut m));
+    let id = kvm.create_vm(&mut m, &VmConfig::small("cache-1")).unwrap();
+    let (writes, rip) = exercise_guest(&mut kvm, &mut m, id);
+
+    let engine = InPlaceTransplant::new(&registry);
+    let (mut xen, report) = engine.run(&mut m, kvm, HypervisorKind::Xen).unwrap();
+    assert_eq!(xen.kind(), HypervisorKind::Xen);
+    // KVM→Xen expands the IOAPIC back to 48 pins.
+    assert!(report.warnings.iter().any(|w| w.contains("IOAPIC")));
+
+    let new_id = xen.find_vm("cache-1").unwrap();
+    for &(gfn, val) in &writes {
+        assert_eq!(xen.read_guest(&m, new_id, Gfn(gfn)).unwrap(), val);
+    }
+    xen.pause_vm(new_id).unwrap();
+    let u = xen.save_uisr(&m, new_id).unwrap();
+    assert_eq!(u.vcpus[0].regs.rip, rip);
+    assert_eq!(u.ioapic.pins(), 48);
+}
+
+#[test]
+fn full_roundtrip_xen_kvm_xen_is_lossless_for_guest_state() {
+    let mut m = machine();
+    let registry = default_registry();
+    let mut xen: Box<dyn Hypervisor> = Box::new(XenHypervisor::new(&mut m));
+    let id = xen.create_vm(&mut m, &VmConfig::small("vm0")).unwrap();
+    xen.write_guest(&mut m, id, Gfn(4242), 0xC0FFEE).unwrap();
+    xen.guest_tick(&mut m, id, 30).unwrap();
+
+    // Capture the full UISR before the double transplant.
+    xen.pause_vm(id).unwrap();
+    let before = xen.save_uisr(&m, id).unwrap();
+    xen.resume_vm(id).unwrap();
+
+    let engine = InPlaceTransplant::new(&registry);
+    let (kvm, _) = engine.run(&mut m, xen, HypervisorKind::Kvm).unwrap();
+    let (mut xen2, _) = engine.run(&mut m, kvm, HypervisorKind::Xen).unwrap();
+
+    let id2 = xen2.find_vm("vm0").unwrap();
+    assert_eq!(xen2.read_guest(&m, id2, Gfn(4242)).unwrap(), 0xC0FFEE);
+    xen2.pause_vm(id2).unwrap();
+    let after = xen2.save_uisr(&m, id2).unwrap();
+
+    // CPU state: identical.
+    assert_eq!(after.vcpus[0].regs, before.vcpus[0].regs);
+    assert_eq!(after.vcpus[0].sregs, before.vcpus[0].sregs);
+    assert_eq!(after.vcpus[0].fpu, before.vcpus[0].fpu);
+    assert_eq!(after.vcpus[0].xsave, before.vcpus[0].xsave);
+    assert_eq!(after.vcpus[0].mtrr, before.vcpus[0].mtrr);
+    assert_eq!(
+        lapic_page::summarize(&after.vcpus[0].lapic_regs, 0),
+        lapic_page::summarize(&before.vcpus[0].lapic_regs, 0),
+    );
+    // The only documented loss: IOAPIC pins 24–47 were disconnected on
+    // the KVM hop and come back masked.
+    assert_eq!(after.ioapic.pins(), 48);
+    assert_eq!(
+        &after.ioapic.redirection[..24],
+        &before.ioapic.redirection[..24]
+    );
+    assert!(after.ioapic.redirection[24..].iter().all(|e| e.masked));
+
+    // Three kernels booted on this machine in total.
+    assert_eq!(m.boot_count(), 3);
+}
+
+#[test]
+fn twelve_small_vms_transplant_together() {
+    // §5.2.1: M1 hosts up to 12 × 1 GB VMs; all must survive one
+    // transplant.
+    let mut m = machine();
+    let registry = default_registry();
+    let mut xen: Box<dyn Hypervisor> = Box::new(XenHypervisor::new(&mut m));
+    let mut ids = Vec::new();
+    for i in 0..12 {
+        let id = xen
+            .create_vm(&mut m, &VmConfig::small(format!("vm{i}")))
+            .unwrap();
+        xen.write_guest(&mut m, id, Gfn(i), 0x6000 + i).unwrap();
+        ids.push(id);
+    }
+    let engine = InPlaceTransplant::new(&registry);
+    let (kvm, report) = engine.run(&mut m, xen, HypervisorKind::Kvm).unwrap();
+    assert_eq!(report.vm_count, 12);
+    // Fig. 14: 12 × 1 GB VMs -> 148 KB of PRAM metadata (plus the UISR
+    // blob files we persist alongside).
+    assert!(report.pram_stats.metadata_bytes() >= 148 * 1024);
+    for i in 0..12u64 {
+        let id = kvm.find_vm(&format!("vm{i}")).unwrap();
+        assert_eq!(kvm.read_guest(&m, id, Gfn(i)).unwrap(), 0x6000 + i);
+        assert_eq!(kvm.vm_state(id).unwrap(), VmState::Running);
+    }
+}
+
+#[test]
+fn downtime_matches_paper_shape_on_m1_and_m2() {
+    for (spec, lo, hi) in [(MachineSpec::m1(), 1.4, 2.1), (MachineSpec::m2(), 2.5, 3.6)] {
+        let mut m = Machine::new(spec.clone());
+        let registry = default_registry();
+        let mut xen: Box<dyn Hypervisor> = Box::new(XenHypervisor::new(&mut m));
+        xen.create_vm(&mut m, &VmConfig::small("vm0")).unwrap();
+        let engine = InPlaceTransplant::new(&registry);
+        let (_kvm, report) = engine.run(&mut m, xen, HypervisorKind::Kvm).unwrap();
+        let downtime = report.downtime().as_secs_f64();
+        assert!(
+            (lo..hi).contains(&downtime),
+            "{}: downtime = {downtime}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn hv_state_never_survives_transplant() {
+    // HV State frames written by the source hypervisor must be scrubbed
+    // or recycled after the micro-reboot (memory-separation invariant).
+    let mut m = machine();
+    let registry = default_registry();
+    let mut xen: Box<dyn Hypervisor> = Box::new(XenHypervisor::new(&mut m));
+    xen.create_vm(&mut m, &VmConfig::small("vm0")).unwrap();
+    let hv_state_before = xen.memsep_report(&m).hv_state;
+    assert!(hv_state_before > 0);
+    let engine = InPlaceTransplant::new(&registry);
+    let (_kvm, report) = engine.run(&mut m, xen, HypervisorKind::Kvm).unwrap();
+    // The scrub pass destroyed the old hypervisor's heap contents.
+    assert!(
+        report.scrubbed_frames > 0,
+        "boot scrub must reclaim the old HV State"
+    );
+}
+
+#[test]
+fn strict_preflight_aborts_before_reboot_when_lossy() {
+    // The §4.2.1 future-work direction: with strict pre-flight on, a VM
+    // driving an IOAPIC pin KVM doesn't have aborts the transplant
+    // *before* the micro-reboot, leaving everything running on Xen.
+    use hypertp_core::{HtpError, Optimizations};
+
+    let mut m = machine();
+    let registry = default_registry();
+    let mut xen_hv = XenHypervisor::new(&mut m);
+    let id = {
+        use hypertp_core::Hypervisor as _;
+        xen_hv
+            .create_vm(&mut m, &VmConfig::small("edge-router"))
+            .unwrap()
+    };
+    // The guest programs IOAPIC pin 40 — beyond KVM's 24 pins.
+    {
+        let d = xen_hv.domain_mut(id).unwrap();
+        d.ioapic.redirtbl[40] = 0x31; // Unmasked, vector 0x31.
+    }
+    let xen: Box<dyn Hypervisor> = Box::new(xen_hv);
+    let engine = InPlaceTransplant::new(&registry).with_optimizations(Optimizations {
+        strict_preflight: true,
+        ..Optimizations::default()
+    });
+    match engine.run(&mut m, xen, HypervisorKind::Kvm) {
+        Err(HtpError::IncompatibleState { section, detail }) => {
+            assert_eq!(section, "preflight");
+            assert!(detail.contains("IOAPIC"), "{detail}");
+        }
+        Err(other) => panic!("expected preflight abort, got {other}"),
+        Ok(_) => panic!("expected preflight abort, got success"),
+    }
+    // The machine never rebooted: the abort happened before the point of
+    // no return.
+    assert_eq!(m.boot_count(), 1);
+}
+
+#[test]
+fn strict_preflight_passes_clean_guests() {
+    use hypertp_core::Optimizations;
+
+    let mut m = machine();
+    let registry = default_registry();
+    let mut xen: Box<dyn Hypervisor> = Box::new(XenHypervisor::new(&mut m));
+    xen.create_vm(&mut m, &VmConfig::small("clean")).unwrap();
+    let engine = InPlaceTransplant::new(&registry).with_optimizations(Optimizations {
+        strict_preflight: true,
+        ..Optimizations::default()
+    });
+    let (kvm, report) = engine.run(&mut m, xen, HypervisorKind::Kvm).unwrap();
+    assert_eq!(kvm.kind(), HypervisorKind::Kvm);
+    // The default (masked) high pins still warn but do not block.
+    assert!(report
+        .warnings
+        .iter()
+        .any(|w| w.contains("0 were unmasked")));
+}
