@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI entry point: formatting, lints, release build, full test suite.
+# Everything runs offline — the workspace has no external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release --workspace --offline
+
+echo "== cargo test =="
+cargo test -q --workspace --offline
+
+echo "CI OK"

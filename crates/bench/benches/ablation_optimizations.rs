@@ -1,8 +1,12 @@
-//! Criterion bench: framework cost of InPlaceTP under each §4.2.5
-//! optimization configuration (the *simulated-time* ablation lives in the
+//! Bench: framework cost of InPlaceTP under each §4.2.5 optimization
+//! configuration (the *simulated-time* ablation lives in the
 //! `exp_ablation` binary; this measures the engine itself).
+//!
+//! Runs on the in-tree timing harness (`hypertp_bench::harness`) so the
+//! workspace builds offline; same group/bench ids as the old Criterion
+//! bench.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypertp_bench::harness::{self, Group};
 use hypertp_core::{HypervisorKind, InPlaceTransplant, Optimizations, VmConfig};
 use hypertp_machine::{Machine, MachineSpec};
 
@@ -23,8 +27,9 @@ fn run(opts: Optimizations) {
     std::hint::black_box(out);
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_optimizations");
+fn main() {
+    harness::header();
+    let mut g = Group::new("ablation_optimizations");
     g.sample_size(10);
     let configs: [(&str, Optimizations); 4] = [
         ("all", Optimizations::default()),
@@ -45,12 +50,7 @@ fn bench(c: &mut Criterion) {
         ("none", Optimizations::none()),
     ];
     for (name, opts) in configs {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, &opts| {
-            b.iter(|| run(opts));
-        });
+        g.bench(name, || run(opts));
     }
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,7 +1,11 @@
-//! Criterion bench: wall-clock cost of a full InPlaceTP transplant in the
+//! Bench: wall-clock cost of a full InPlaceTP transplant in the
 //! framework (the Fig. 6 scenario), per direction and per VM count.
+//!
+//! Runs on the in-tree timing harness (`hypertp_bench::harness`) so the
+//! workspace builds offline; same group/bench ids as the old Criterion
+//! bench.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypertp_bench::harness::{self, Group};
 use hypertp_core::{HypervisorKind, InPlaceTransplant, VmConfig};
 use hypertp_machine::{Machine, MachineSpec};
 
@@ -19,19 +23,17 @@ fn transplant(n_vms: u32, source: HypervisorKind, target: HypervisorKind) {
     std::hint::black_box(hv);
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("inplace_transplant");
+fn main() {
+    harness::header();
+    let mut g = Group::new("inplace_transplant");
     g.sample_size(10);
     for n in [1u32, 4, 12] {
-        g.bench_with_input(BenchmarkId::new("xen_to_kvm", n), &n, |b, &n| {
-            b.iter(|| transplant(n, HypervisorKind::Xen, HypervisorKind::Kvm));
+        g.bench(format!("xen_to_kvm/{n}"), || {
+            transplant(n, HypervisorKind::Xen, HypervisorKind::Kvm)
         });
     }
-    g.bench_with_input(BenchmarkId::new("kvm_to_xen", 1), &1u32, |b, &n| {
-        b.iter(|| transplant(n, HypervisorKind::Kvm, HypervisorKind::Xen));
+    g.bench("kvm_to_xen/1", || {
+        transplant(1, HypervisorKind::Kvm, HypervisorKind::Xen)
     });
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,7 +1,11 @@
-//! Criterion bench: PRAM encode and parse throughput, with and without
-//! huge pages (the 2 MiB-page optimization's 512× entry-count effect).
+//! Bench: PRAM encode and parse throughput, with and without huge pages
+//! (the 2 MiB-page optimization's 512× entry-count effect).
+//!
+//! Runs on the in-tree timing harness (`hypertp_bench::harness`) so the
+//! workspace builds offline; same group/bench ids as the old Criterion
+//! bench.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypertp_bench::harness::{self, Group};
 use hypertp_machine::{Gfn, PageOrder, PhysicalMemory};
 use hypertp_pram::{PramBuilder, PramImage};
 
@@ -17,39 +21,36 @@ fn build_map(
         .collect()
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pram");
+fn main() {
+    harness::header();
+    let mut g = Group::new("pram");
+    g.sample_size(10);
     for (label, gib, huge) in [
         ("1GiB_huge", 1u64, true),
         ("1GiB_4k", 1, false),
         ("12GiB_huge", 12, true),
     ] {
-        g.bench_with_input(BenchmarkId::new("encode", label), &(), |b, _| {
-            b.iter_batched(
-                || {
-                    let mut ram = PhysicalMemory::with_gib(gib + 1);
-                    let map = build_map(&mut ram, gib, huge);
-                    (ram, map)
-                },
-                |(mut ram, map)| {
-                    let mut builder = PramBuilder::new();
-                    builder.add_file("vm", 0, map);
-                    builder.write(&mut ram).expect("encode")
-                },
-                criterion::BatchSize::LargeInput,
-            );
-        });
-        g.bench_with_input(BenchmarkId::new("parse", label), &(), |b, _| {
-            let mut ram = PhysicalMemory::with_gib(gib + 1);
-            let map = build_map(&mut ram, gib, huge);
-            let mut builder = PramBuilder::new();
-            builder.add_file("vm", 0, map);
-            let handle = builder.write(&mut ram).expect("encode");
-            b.iter(|| PramImage::parse(&ram, handle.pram_ptr).expect("parse"));
+        g.bench_with_setup(
+            format!("encode/{label}"),
+            || {
+                let mut ram = PhysicalMemory::with_gib(gib + 1);
+                let map = build_map(&mut ram, gib, huge);
+                (ram, map)
+            },
+            |(mut ram, map)| {
+                let mut builder = PramBuilder::new();
+                builder.add_file("vm", 0, map);
+                std::hint::black_box(builder.write(&mut ram).expect("encode"));
+            },
+        );
+        let mut ram = PhysicalMemory::with_gib(gib + 1);
+        let map = build_map(&mut ram, gib, huge);
+        let mut builder = PramBuilder::new();
+        builder.add_file("vm", 0, map);
+        let handle = builder.write(&mut ram).expect("encode");
+        g.bench(format!("parse/{label}"), || {
+            std::hint::black_box(PramImage::parse(&ram, handle.pram_ptr).expect("parse"));
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,8 +1,13 @@
-//! Criterion bench: the UISR binary codec against the JSON debug codec
-//! (the codec-choice ablation — MigrationTP ships these bytes in its
-//! downtime window).
+//! Bench: the UISR binary codec against the JSON debug codec (the
+//! codec-choice ablation — MigrationTP ships these bytes in its downtime
+//! window). Also times `encode_into` with a reused buffer against the
+//! allocating `encode`.
+//!
+//! Runs on the in-tree timing harness (`hypertp_bench::harness`) so the
+//! workspace builds offline; same group/bench ids as the old Criterion
+//! bench.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hypertp_bench::harness::{self, Group};
 use hypertp_uisr::{DeviceState, MemoryRegion, MsrEntry, UisrVm, VcpuState};
 
 fn sample_vm(vcpus: u32) -> UisrVm {
@@ -29,28 +34,35 @@ fn sample_vm(vcpus: u32) -> UisrVm {
     vm
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("uisr_codec");
+fn main() {
+    harness::header();
+    let mut g = Group::new("uisr_codec");
     for vcpus in [1u32, 10] {
         let vm = sample_vm(vcpus);
         let bin = hypertp_uisr::encode(&vm);
         let json = hypertp_uisr::codec::to_json(&vm);
-        g.throughput(Throughput::Bytes(bin.len() as u64));
-        g.bench_with_input(BenchmarkId::new("encode_binary", vcpus), &vm, |b, vm| {
-            b.iter(|| hypertp_uisr::encode(vm));
+        println!(
+            "# {vcpus} vcpus: binary {} bytes, json {} bytes",
+            bin.len(),
+            json.len()
+        );
+        g.bench(format!("encode_binary/{vcpus}"), || {
+            std::hint::black_box(hypertp_uisr::encode(&vm));
         });
-        g.bench_with_input(BenchmarkId::new("decode_binary", vcpus), &bin, |b, bin| {
-            b.iter(|| hypertp_uisr::decode(bin).expect("decode"));
+        let mut reuse = Vec::new();
+        g.bench(format!("encode_binary_into/{vcpus}"), || {
+            hypertp_uisr::codec::encode_into(&vm, &mut reuse);
+            std::hint::black_box(reuse.len());
         });
-        g.bench_with_input(BenchmarkId::new("encode_json", vcpus), &vm, |b, vm| {
-            b.iter(|| hypertp_uisr::codec::to_json(vm));
+        g.bench(format!("decode_binary/{vcpus}"), || {
+            std::hint::black_box(hypertp_uisr::decode(&bin).expect("decode"));
         });
-        g.bench_with_input(BenchmarkId::new("decode_json", vcpus), &json, |b, json| {
-            b.iter(|| hypertp_uisr::codec::from_json(json).expect("decode"));
+        g.bench(format!("encode_json/{vcpus}"), || {
+            std::hint::black_box(hypertp_uisr::codec::to_json(&vm));
+        });
+        g.bench(format!("decode_json/{vcpus}"), || {
+            std::hint::black_box(hypertp_uisr::codec::from_json(&json).expect("decode"));
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,0 +1,295 @@
+//! perf_smoke: wall-clock timings of the parallelized hot paths.
+//!
+//! Unlike the figure experiments (which report *simulated* durations from
+//! the cost model), this binary measures real elapsed time with
+//! [`std::time::Instant`] to show the worker-pool wiring actually moves
+//! wall-clock numbers:
+//!
+//! 1. InPlaceTP transplant of 8 × 1 GiB VMs (4 KiB pages), serial
+//!    (`HYPERTP_WORKERS=1`) versus the full pool — the transplant results
+//!    must be identical byte for byte.
+//! 2. PRAM encode + parse of a multi-file 4 KiB-page image.
+//! 3. UISR binary codec round-trip throughput.
+//! 4. `migrate_many` with content verification, serial versus pooled.
+//!
+//! Writes `BENCH_parallel.json` (in the current directory, override with
+//! `PERF_SMOKE_OUT`) with the wall-clock numbers, the thread count and the
+//! identity checks.
+
+use std::time::Instant;
+
+use hypertp_bench::registry;
+use hypertp_core::{HypervisorKind, InPlaceTransplant, VmConfig};
+use hypertp_machine::{Extent, Gfn, Machine, MachineSpec, PageOrder, PhysicalMemory};
+use hypertp_migrate::{migrate_many, MigrationConfig, MigrationReport, MigrationTp};
+use hypertp_pram::{PramBuilder, PramImage, PramStats};
+use hypertp_sim::json::{self, Json};
+use hypertp_sim::{SimClock, WorkerPool};
+
+/// VMs in the transplant smoke test (the ISSUE's 8 × 1 GiB shape).
+const VMS: u32 = 8;
+/// Per-VM memory in GiB.
+const MEM_GB: u64 = 1;
+
+fn secs(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64()
+}
+
+fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Everything the transplant produces that must not depend on the worker
+/// count: restored guest memory, PRAM metadata shape, UISR byte volume.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    checksums: Vec<u64>,
+    pram_stats: PramStats,
+    uisr_bytes: u64,
+}
+
+/// Runs one 8-VM Xen→KVM transplant with `HYPERTP_WORKERS=workers` and
+/// returns (wall seconds, result fingerprint). The fingerprint is computed
+/// with a serial pool so the knob under test cannot touch it.
+fn transplant(workers: usize) -> (f64, Fingerprint) {
+    std::env::set_var("HYPERTP_WORKERS", workers.to_string());
+    let reg = registry();
+    let mut machine = Machine::new(MachineSpec::m1());
+    let mut hv = reg
+        .create(HypervisorKind::Xen, &mut machine)
+        .expect("registry has Xen");
+    for i in 0..VMS {
+        let cfg = VmConfig::small(format!("vm{i}"))
+            .with_memory_gb(MEM_GB)
+            .with_huge_pages(false); // 262 144 map entries per VM
+        let pages = cfg.pages();
+        let id = hv.create_vm(&mut machine, &cfg).expect("capacity");
+        // Seed deterministic guest state so the checksums are non-trivial.
+        for k in 0..1024u64 {
+            let gfn = Gfn((k * 131 + u64::from(i)) % pages);
+            hv.write_guest(&mut machine, id, gfn, k ^ 0x9e37_79b9)
+                .expect("seed write");
+        }
+    }
+
+    let engine = InPlaceTransplant::new(&reg);
+    let start = Instant::now();
+    let (hv, report) = engine
+        .run(&mut machine, hv, HypervisorKind::Kvm)
+        .expect("transplant");
+    let wall = secs(start);
+
+    let mut checksums = Vec::new();
+    for id in hv.vm_ids() {
+        let map = hv.guest_memory_map(id).expect("map");
+        let extents: Vec<Extent> = map.iter().map(|(_, e)| *e).collect();
+        checksums.push(
+            machine
+                .ram()
+                .checksum_with_pool(&extents, &WorkerPool::serial()),
+        );
+    }
+    let fp = Fingerprint {
+        checksums,
+        pram_stats: report.pram_stats,
+        uisr_bytes: report.uisr_bytes,
+    };
+    (wall, fp)
+}
+
+/// Times PRAM encode + parse of `files` × 1 GiB 4 KiB-page files on the
+/// given pool. Returns (encode secs, parse secs, stats).
+fn pram_roundtrip(files: u64, pool: WorkerPool) -> (f64, f64, PramStats) {
+    let mut ram = PhysicalMemory::with_gib(files + 2);
+    let mut builder = PramBuilder::new().with_pool(pool);
+    let pages_per_file = (1u64 << 30) / 4096;
+    for f in 0..files {
+        let map: Vec<(Gfn, Extent)> = (0..pages_per_file)
+            .map(|i| (Gfn(i), ram.alloc(PageOrder(0)).expect("capacity")))
+            .collect();
+        builder.add_file(format!("vm{f}"), 0o600, map);
+    }
+    let t = Instant::now();
+    let handle = builder.write(&mut ram).expect("encode");
+    let encode = secs(t);
+    let t = Instant::now();
+    let image = PramImage::parse(&ram, handle.pram_ptr).expect("parse");
+    let parse = secs(t);
+    assert_eq!(image.files.len() as u64, files);
+    (encode, parse, handle.stats())
+}
+
+/// Times `iters` UISR binary codec round-trips of a 10-vCPU VM and
+/// returns (total secs, blob bytes).
+fn uisr_roundtrip(iters: u32) -> (f64, usize) {
+    use hypertp_uisr::{DeviceState, MemoryRegion, MsrEntry, UisrVm, VcpuState};
+    let mut vm = UisrVm::new("perf-smoke");
+    for i in 0..10 {
+        let mut v = VcpuState::reset(i);
+        v.regs.rip = 0xffff_8000_0000_0000 + u64::from(i);
+        v.msrs = (0..40)
+            .map(|k| MsrEntry {
+                index: 0xc000_0080 + k,
+                data: u64::from(k),
+            })
+            .collect();
+        vm.vcpus.push(v);
+    }
+    vm.devices.push(DeviceState::Network {
+        mac: [2, 0, 0, 0, 0, 1],
+        unplugged: false,
+    });
+    vm.memory.regions.push(MemoryRegion {
+        gfn_start: 0,
+        pages: 262_144,
+    });
+    let mut blob = Vec::new();
+    let t = Instant::now();
+    for _ in 0..iters {
+        hypertp_uisr::codec::encode_into(&vm, &mut blob);
+        let back = hypertp_uisr::decode(&blob).expect("decode");
+        std::hint::black_box(back);
+    }
+    (secs(t), blob.len())
+}
+
+/// Migrates 4 × 1 GiB VMs Xen→KVM with content verification on the given
+/// pool. Returns (wall secs, reports).
+fn migrate_batch(pool: WorkerPool) -> (f64, Vec<MigrationReport>) {
+    let reg = registry();
+    let clock = SimClock::new();
+    let mut src_m = Machine::with_clock(MachineSpec::m1(), clock.clone());
+    let mut dst_m = Machine::with_clock(MachineSpec::m1(), clock);
+    let mut src = reg
+        .create(HypervisorKind::Xen, &mut src_m)
+        .expect("registry has Xen");
+    for i in 0..4u32 {
+        let cfg = VmConfig::small(format!("mig{i}")).with_memory_gb(1);
+        src.create_vm(&mut src_m, &cfg).expect("capacity");
+    }
+    let mut dst = reg
+        .create(HypervisorKind::Kvm, &mut dst_m)
+        .expect("registry has KVM");
+    let ids = src.vm_ids();
+    let tp = MigrationTp::new()
+        .with_config(MigrationConfig {
+            verify_contents: true,
+            dirty_rate_pages_per_sec: 0.0,
+            ..MigrationConfig::default()
+        })
+        .with_pool(pool);
+    let t = Instant::now();
+    let reports = migrate_many(
+        &tp,
+        &mut src_m,
+        src.as_mut(),
+        &ids,
+        &mut dst_m,
+        dst.as_mut(),
+    )
+    .expect("migration");
+    (secs(t), reports)
+}
+
+fn report_key(r: &MigrationReport) -> (String, usize, u64, u64) {
+    (
+        r.vm_name.clone(),
+        r.rounds.len(),
+        r.bytes_sent,
+        r.uisr_bytes,
+    )
+}
+
+fn main() {
+    let threads = threads();
+    println!("perf_smoke: {threads} hardware threads");
+
+    // 1. InPlaceTP 8 × 1 GiB, serial vs pooled.
+    println!("== inplace transplant ({VMS} x {MEM_GB} GiB, 4 KiB pages) ==");
+    let (serial_s, serial_fp) = transplant(1);
+    println!("  serial   (HYPERTP_WORKERS=1): {serial_s:.3} s");
+    let (par_s, par_fp) = transplant(threads);
+    println!("  parallel (HYPERTP_WORKERS={threads}): {par_s:.3} s");
+    let identical = serial_fp == par_fp;
+    let speedup = serial_s / par_s.max(1e-9);
+    println!("  speedup {speedup:.2}x, results identical: {identical}");
+    assert!(identical, "serial and parallel transplants must match");
+
+    // 2. PRAM encode + parse, serial vs pooled.
+    println!("== pram encode/parse (4 x 1 GiB files, 4 KiB pages) ==");
+    let (enc_serial, parse_s, stats_serial) = pram_roundtrip(4, WorkerPool::serial());
+    let (enc_par, _, stats_par) = pram_roundtrip(4, WorkerPool::new(threads));
+    let pram_identical = stats_serial == stats_par;
+    println!(
+        "  encode serial {enc_serial:.3} s, pooled {enc_par:.3} s ({:.2}x); parse {parse_s:.3} s; identical: {pram_identical}",
+        enc_serial / enc_par.max(1e-9)
+    );
+    assert!(pram_identical, "PRAM stats must not depend on worker count");
+
+    // 3. UISR codec round-trip.
+    let uisr_iters = 2000u32;
+    let (uisr_s, uisr_bytes) = uisr_roundtrip(uisr_iters);
+    println!(
+        "== uisr codec == {uisr_iters} round-trips of {uisr_bytes} B in {uisr_s:.3} s ({:.0}/s)",
+        f64::from(uisr_iters) / uisr_s.max(1e-9)
+    );
+
+    // 4. migrate_many with verification, serial vs pooled.
+    println!("== migrate_many (4 x 1 GiB, verify_contents) ==");
+    let (mig_serial, reports_serial) = migrate_batch(WorkerPool::serial());
+    let (mig_par, reports_par) = migrate_batch(WorkerPool::new(threads));
+    let mig_identical = reports_serial.iter().map(report_key).collect::<Vec<_>>()
+        == reports_par.iter().map(report_key).collect::<Vec<_>>();
+    println!(
+        "  serial {mig_serial:.3} s, pooled {mig_par:.3} s ({:.2}x); reports identical: {mig_identical}",
+        mig_serial / mig_par.max(1e-9)
+    );
+    assert!(
+        mig_identical,
+        "migration reports must not depend on worker count"
+    );
+
+    // JSON artifact.
+    let out = Json::obj()
+        .with("bench", json::s("perf_smoke"))
+        .with("hardware_threads", json::u(threads as u64))
+        .with(
+            "inplace_8vm",
+            Json::obj()
+                .with("vms", json::u(u64::from(VMS)))
+                .with("mem_gb_per_vm", json::u(MEM_GB))
+                .with("serial_secs", json::f(serial_s))
+                .with("parallel_secs", json::f(par_s))
+                .with("speedup", json::f(speedup))
+                .with("identical", json::s(identical.to_string())),
+        )
+        .with(
+            "pram_encode",
+            Json::obj()
+                .with("files", json::u(4))
+                .with("serial_secs", json::f(enc_serial))
+                .with("parallel_secs", json::f(enc_par))
+                .with("parse_secs", json::f(parse_s))
+                .with("identical", json::s(pram_identical.to_string())),
+        )
+        .with(
+            "uisr_codec",
+            Json::obj()
+                .with("round_trips", json::u(u64::from(uisr_iters)))
+                .with("blob_bytes", json::u(uisr_bytes as u64))
+                .with("total_secs", json::f(uisr_s)),
+        )
+        .with(
+            "migrate_many",
+            Json::obj()
+                .with("vms", json::u(4))
+                .with("serial_secs", json::f(mig_serial))
+                .with("parallel_secs", json::f(mig_par))
+                .with("identical", json::s(mig_identical.to_string())),
+        );
+    let path = std::env::var("PERF_SMOKE_OUT").unwrap_or_else(|_| "BENCH_parallel.json".into());
+    std::fs::write(&path, out.encode_pretty()).expect("write artifact");
+    println!("wrote {path}");
+}

@@ -3,50 +3,43 @@
 
 use hypertp_core::{HypervisorKind, Optimizations};
 use hypertp_machine::MachineSpec;
+use hypertp_sim::WorkerPool;
 
 use super::common::{run_inplace, s2};
 use crate::table;
 
 fn sweep(source: HypervisorKind, target: HypervisorKind) -> String {
+    // Every sweep point boots its own machine and hypervisor pair, so the
+    // whole grid fans out over the worker pool; `map` returns rows in
+    // sweep order regardless of worker count, keeping the tables stable.
+    let pool = WorkerPool::from_env();
     let mut out = String::new();
     for spec in [MachineSpec::m1(), MachineSpec::m2()] {
-        let mut rows = Vec::new();
+        let mut points: Vec<(String, u32, u32, u64)> = Vec::new(); // (label, vms, vcpus, mem)
         for vcpus in [1u32, 2, 4, 6, 8, 10] {
-            let r = run_inplace(
-                spec.clone(),
-                source,
-                target,
-                1,
-                vcpus,
-                1,
-                Optimizations::default(),
-            );
-            rows.push(row(format!("vcpus={vcpus}"), &r));
+            points.push((format!("vcpus={vcpus}"), 1, vcpus, 1));
         }
         for mem in [2u64, 4, 6, 8, 10, 12] {
-            let r = run_inplace(
-                spec.clone(),
-                source,
-                target,
-                1,
-                1,
-                mem,
-                Optimizations::default(),
-            );
-            rows.push(row(format!("mem={mem}GB"), &r));
+            points.push((format!("mem={mem}GB"), 1, 1, mem));
         }
         for n in [2u32, 4, 6, 8, 10, 12] {
-            let r = run_inplace(
-                spec.clone(),
-                source,
-                target,
-                n,
-                1,
-                1,
-                Optimizations::default(),
-            );
-            rows.push(row(format!("vms={n}"), &r));
+            points.push((format!("vms={n}"), n, 1, 1));
         }
+        let spec_ref = &spec;
+        let rows = pool
+            .map(points, |(label, n_vms, vcpus, mem)| {
+                let r = run_inplace(
+                    spec_ref.clone(),
+                    source,
+                    target,
+                    n_vms,
+                    vcpus,
+                    mem,
+                    Optimizations::default(),
+                );
+                row(label, &r)
+            })
+            .results;
         out.push_str(&table::render(
             &format!(
                 "InPlaceTP scalability {source}→{target} on {} (seconds)",

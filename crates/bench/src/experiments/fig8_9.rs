@@ -5,6 +5,7 @@
 use hypertp_core::HypervisorKind;
 use hypertp_machine::MachineSpec;
 use hypertp_sim::stats::BoxPlot;
+use hypertp_sim::WorkerPool;
 
 use super::common::{ms2, run_migration, run_migration_many, s2};
 use crate::table;
@@ -12,28 +13,45 @@ use crate::table;
 /// Idle-VM dirty rate used for the sweeps (§5.2 uses idle VMs).
 const IDLE_RATE: f64 = 10.0;
 
-/// Fig. 8: downtime (ms).
-pub fn fig8() -> String {
-    let mut out = String::new();
-    let mut rows = Vec::new();
+/// The single-VM sweep grid shared by Figs. 8 and 9: (label, vcpus, mem).
+fn single_vm_points() -> Vec<(String, u32, u64)> {
+    let mut points = Vec::new();
     for vcpus in [1u32, 2, 4, 6, 8, 10] {
-        let tp = run_migration(MachineSpec::m1(), HypervisorKind::Kvm, vcpus, 1, IDLE_RATE);
-        let xen = run_migration(MachineSpec::m1(), HypervisorKind::Xen, vcpus, 1, IDLE_RATE);
-        rows.push(vec![
-            format!("vcpus={vcpus}"),
-            ms2(xen.downtime),
-            ms2(tp.downtime),
-        ]);
+        points.push((format!("vcpus={vcpus}"), vcpus, 1));
     }
     for mem in [2u64, 4, 6, 8, 10, 12] {
-        let tp = run_migration(MachineSpec::m1(), HypervisorKind::Kvm, 1, mem, IDLE_RATE);
-        let xen = run_migration(MachineSpec::m1(), HypervisorKind::Xen, 1, mem, IDLE_RATE);
-        rows.push(vec![
-            format!("mem={mem}GB"),
-            ms2(xen.downtime),
-            ms2(tp.downtime),
-        ]);
+        points.push((format!("mem={mem}GB"), 1, mem));
     }
+    points
+}
+
+/// Fig. 8: downtime (ms).
+///
+/// Each sweep point's baseline/HyperTP migration pair runs on its own
+/// worker of the pool (every point boots fresh machine pairs); row order
+/// is the sweep order for any worker count.
+pub fn fig8() -> String {
+    let pool = WorkerPool::from_env();
+    let mut out = String::new();
+    let rows = pool
+        .map(single_vm_points(), |(label, vcpus, mem)| {
+            let tp = run_migration(
+                MachineSpec::m1(),
+                HypervisorKind::Kvm,
+                vcpus,
+                mem,
+                IDLE_RATE,
+            );
+            let xen = run_migration(
+                MachineSpec::m1(),
+                HypervisorKind::Xen,
+                vcpus,
+                mem,
+                IDLE_RATE,
+            );
+            vec![label, ms2(xen.downtime), ms2(tp.downtime)]
+        })
+        .results;
     out.push_str(&table::render(
         "Fig. 8 — migration downtime (ms), Xen baseline vs MigrationTP",
         &["point", "Xen downtime", "HyperTP downtime"],
@@ -42,17 +60,18 @@ pub fn fig8() -> String {
 
     // Multi-VM: boxplots of per-VM downtime (Xen's sequential receive
     // spreads; kvmtool stays constant).
-    let mut rows = Vec::new();
-    for n in [2u32, 4, 6, 8, 10, 12] {
-        let tp = run_migration_many(MachineSpec::m1(), HypervisorKind::Kvm, n, 1, IDLE_RATE);
-        let xen = run_migration_many(MachineSpec::m1(), HypervisorKind::Xen, n, 1, IDLE_RATE);
-        let bp = |rs: &[hypertp_migrate::MigrationReport]| {
-            let v: Vec<f64> = rs.iter().map(|r| r.downtime.as_secs_f64()).collect();
-            let b = BoxPlot::of(&v).expect("non-empty");
-            format!("{:.2}/{:.2}/{:.2}", b.min, b.median, b.max)
-        };
-        rows.push(vec![format!("vms={n}"), bp(&xen), bp(&tp)]);
-    }
+    let bp = |rs: &[hypertp_migrate::MigrationReport]| {
+        let v: Vec<f64> = rs.iter().map(|r| r.downtime.as_secs_f64()).collect();
+        let b = BoxPlot::of(&v).expect("non-empty");
+        format!("{:.2}/{:.2}/{:.2}", b.min, b.median, b.max)
+    };
+    let rows = pool
+        .map(vec![2u32, 4, 6, 8, 10, 12], |n| {
+            let tp = run_migration_many(MachineSpec::m1(), HypervisorKind::Kvm, n, 1, IDLE_RATE);
+            let xen = run_migration_many(MachineSpec::m1(), HypervisorKind::Xen, n, 1, IDLE_RATE);
+            vec![format!("vms={n}"), bp(&xen), bp(&tp)]
+        })
+        .results;
     out.push_str(&table::render(
         "Fig. 8 (cont.) — multi-VM downtime seconds (min/median/max)",
         &["point", "Xen", "HyperTP"],
@@ -61,35 +80,45 @@ pub fn fig8() -> String {
     out
 }
 
-/// Fig. 9: total migration time (s).
+/// Fig. 9: total migration time (s). Pooled like [`fig8`].
 pub fn fig9() -> String {
-    let mut rows = Vec::new();
-    for vcpus in [1u32, 2, 4, 6, 8, 10] {
-        let tp = run_migration(MachineSpec::m1(), HypervisorKind::Kvm, vcpus, 1, IDLE_RATE);
-        let xen = run_migration(MachineSpec::m1(), HypervisorKind::Xen, vcpus, 1, IDLE_RATE);
-        rows.push(vec![format!("vcpus={vcpus}"), s2(xen.total), s2(tp.total)]);
-    }
-    for mem in [2u64, 4, 6, 8, 10, 12] {
-        let tp = run_migration(MachineSpec::m1(), HypervisorKind::Kvm, 1, mem, IDLE_RATE);
-        let xen = run_migration(MachineSpec::m1(), HypervisorKind::Xen, 1, mem, IDLE_RATE);
-        rows.push(vec![format!("mem={mem}GB"), s2(xen.total), s2(tp.total)]);
-    }
+    let pool = WorkerPool::from_env();
+    let rows = pool
+        .map(single_vm_points(), |(label, vcpus, mem)| {
+            let tp = run_migration(
+                MachineSpec::m1(),
+                HypervisorKind::Kvm,
+                vcpus,
+                mem,
+                IDLE_RATE,
+            );
+            let xen = run_migration(
+                MachineSpec::m1(),
+                HypervisorKind::Xen,
+                vcpus,
+                mem,
+                IDLE_RATE,
+            );
+            vec![label, s2(xen.total), s2(tp.total)]
+        })
+        .results;
     let mut out = table::render(
         "Fig. 9 — total migration time (s), Xen baseline vs MigrationTP",
         &["point", "Xen", "HyperTP"],
         &rows,
     );
-    let mut rows = Vec::new();
-    for n in [2u32, 4, 6, 8, 10, 12] {
-        let tp = run_migration_many(MachineSpec::m1(), HypervisorKind::Kvm, n, 1, IDLE_RATE);
-        let xen = run_migration_many(MachineSpec::m1(), HypervisorKind::Xen, n, 1, IDLE_RATE);
-        let span = |rs: &[hypertp_migrate::MigrationReport]| {
-            let v: Vec<f64> = rs.iter().map(|r| r.total.as_secs_f64()).collect();
-            let b = BoxPlot::of(&v).expect("non-empty");
-            format!("{:.1}/{:.1}/{:.1}", b.min, b.median, b.max)
-        };
-        rows.push(vec![format!("vms={n}"), span(&xen), span(&tp)]);
-    }
+    let span = |rs: &[hypertp_migrate::MigrationReport]| {
+        let v: Vec<f64> = rs.iter().map(|r| r.total.as_secs_f64()).collect();
+        let b = BoxPlot::of(&v).expect("non-empty");
+        format!("{:.1}/{:.1}/{:.1}", b.min, b.median, b.max)
+    };
+    let rows = pool
+        .map(vec![2u32, 4, 6, 8, 10, 12], |n| {
+            let tp = run_migration_many(MachineSpec::m1(), HypervisorKind::Kvm, n, 1, IDLE_RATE);
+            let xen = run_migration_many(MachineSpec::m1(), HypervisorKind::Xen, n, 1, IDLE_RATE);
+            vec![format!("vms={n}"), span(&xen), span(&tp)]
+        })
+        .results;
     out.push_str(&table::render(
         "Fig. 9 (cont.) — multi-VM per-VM completion seconds (min/median/max)",
         &["point", "Xen", "HyperTP"],

@@ -1,0 +1,204 @@
+//! Minimal in-tree timing harness replacing the Criterion benches.
+//!
+//! The workspace builds fully offline, so the four `[[bench]]` targets
+//! (`inplace_breakdown`, `pram_encode`, `uisr_codec`,
+//! `ablation_optimizations`) run on this ~100-line harness instead of
+//! Criterion. It keeps the familiar group/bench-id shape, prints a small
+//! table of min/median/mean per benchmark, and honors two environment
+//! knobs:
+//!
+//! * `HYPERTP_BENCH_SAMPLES` — iteration count per benchmark (default 10).
+//! * `HYPERTP_BENCH_FAST=1` — one warmup-free iteration per benchmark, for
+//!   smoke-testing `cargo bench` in CI.
+
+use std::time::{Duration, Instant};
+
+/// One benchmark's timing summary.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/id` label.
+    pub id: String,
+    /// Number of measured iterations.
+    pub samples: usize,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Median iteration.
+    pub median: Duration,
+    /// Mean iteration.
+    pub mean: Duration,
+}
+
+/// A named group of benchmarks, mirroring Criterion's `benchmark_group`.
+pub struct Group {
+    name: String,
+    samples: usize,
+    results: Vec<BenchResult>,
+}
+
+fn env_samples() -> usize {
+    if std::env::var("HYPERTP_BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        return 1;
+    }
+    std::env::var("HYPERTP_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(10)
+}
+
+impl Group {
+    /// Starts a new group.
+    pub fn new(name: impl Into<String>) -> Self {
+        Group {
+            name: name.into(),
+            samples: env_samples(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the per-benchmark sample count (environment still wins
+    /// under `HYPERTP_BENCH_FAST`).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if !std::env::var("HYPERTP_BENCH_FAST")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
+            self.samples = n.max(1);
+        }
+        self
+    }
+
+    /// Times `f` for the configured number of samples (plus one warmup
+    /// iteration when sampling more than once).
+    pub fn bench(&mut self, id: impl Into<String>, mut f: impl FnMut()) {
+        let id = format!("{}/{}", self.name, id.into());
+        if self.samples > 1 {
+            f(); // warmup
+        }
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        let r = BenchResult {
+            id,
+            samples: times.len(),
+            min,
+            median,
+            mean,
+        };
+        println!(
+            "{:<44} {:>10} {:>10} {:>10}  ({} samples)",
+            r.id,
+            fmt_dur(r.min),
+            fmt_dur(r.median),
+            fmt_dur(r.mean),
+            r.samples
+        );
+        self.results.push(r);
+    }
+
+    /// Times `run` over a fresh `setup()` product per iteration, excluding
+    /// setup time — Criterion's `iter_batched` for owned inputs.
+    pub fn bench_with_setup<T>(
+        &mut self,
+        id: impl Into<String>,
+        mut setup: impl FnMut() -> T,
+        mut run: impl FnMut(T),
+    ) {
+        let id = format!("{}/{}", self.name, id.into());
+        if self.samples > 1 {
+            run(setup()); // warmup
+        }
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let input = setup();
+                let t = Instant::now();
+                run(input);
+                t.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        let r = BenchResult {
+            id,
+            samples: times.len(),
+            min,
+            median,
+            mean,
+        };
+        println!(
+            "{:<44} {:>10} {:>10} {:>10}  ({} samples)",
+            r.id,
+            fmt_dur(r.min),
+            fmt_dur(r.median),
+            fmt_dur(r.mean),
+            r.samples
+        );
+        self.results.push(r);
+    }
+
+    /// Finishes the group, returning the collected results.
+    pub fn finish(self) -> Vec<BenchResult> {
+        self.results
+    }
+}
+
+/// Prints the standard table header. Call once per bench binary.
+pub fn header() {
+    println!(
+        "{:<44} {:>10} {:>10} {:>10}",
+        "benchmark", "min", "median", "mean"
+    );
+    println!("{}", "-".repeat(80));
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_collects_results() {
+        std::env::set_var("HYPERTP_BENCH_FAST", "1");
+        let mut g = Group::new("t");
+        g.bench("noop", || {});
+        g.bench_with_setup("setup", || 41u32, |x| assert_eq!(x + 1, 42));
+        let rs = g.finish();
+        std::env::remove_var("HYPERTP_BENCH_FAST");
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].id, "t/noop");
+        assert_eq!(rs[0].samples, 1);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_dur(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_dur(Duration::from_micros(3)), "3.00 µs");
+        assert_eq!(fmt_dur(Duration::from_millis(7)), "7.00 ms");
+        assert_eq!(fmt_dur(Duration::from_secs(2)), "2.00 s");
+    }
+}

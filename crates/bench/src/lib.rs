@@ -8,6 +8,7 @@
 //! experiment index mapping each id to the modules it exercises.
 
 pub mod experiments;
+pub mod harness;
 pub mod table;
 
 use hypertp_core::{HypervisorKind, HypervisorRegistry};

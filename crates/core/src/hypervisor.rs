@@ -70,7 +70,13 @@ pub struct RestoredVm {
 ///
 /// Object safety: the transplant engine holds hypervisors as
 /// `Box<dyn Hypervisor>` so the pool can mix implementations.
-pub trait Hypervisor {
+///
+/// `Send + Sync` are supertraits so the transplant engine can share
+/// `&dyn Hypervisor` across the worker threads of
+/// [`hypertp_sim::WorkerPool`]: the read-side hot path (`save_uisr`,
+/// `guest_memory_map`, `vm_config`) takes `&self` and runs one VM per
+/// worker during the §4.2.5 parallelization optimization.
+pub trait Hypervisor: Send + Sync {
     /// Which hypervisor this is.
     fn kind(&self) -> HypervisorKind;
 

@@ -12,7 +12,7 @@
 use hypertp_machine::Machine;
 use hypertp_pram::{PramBuilder, PramImage, PramStats};
 use hypertp_sim::cost::MachinePerf;
-use hypertp_sim::{CostModel, SimDuration};
+use hypertp_sim::{CostModel, SimDuration, WorkerPool};
 
 use crate::error::HtpError;
 use crate::hypervisor::{Hypervisor, HypervisorKind};
@@ -115,6 +115,16 @@ impl InPlaceReport {
     }
 }
 
+/// Per-VM artifacts produced by the parallel translate phase: everything
+/// the engine needs downstream of `save_uisr`, computed on one pool worker.
+struct SavedVm {
+    name: String,
+    map: Vec<(hypertp_machine::Gfn, hypertp_machine::Extent)>,
+    uisr: hypertp_uisr::UisrVm,
+    blob: Vec<u8>,
+    checksum: u64,
+}
+
 /// The InPlaceTP engine.
 pub struct InPlaceTransplant<'r> {
     registry: &'r HypervisorRegistry,
@@ -155,6 +165,17 @@ impl<'r> InPlaceTransplant<'r> {
                 threads: perf.reserved_threads + 1,
                 ..perf
             }
+        }
+    }
+
+    /// The real (wall-clock) worker pool matching the simulated one:
+    /// `HYPERTP_WORKERS`/`available_parallelism` workers when the
+    /// parallelization optimization is on, a serial inline pool otherwise.
+    fn worker_pool(&self) -> WorkerPool {
+        if self.opts.parallel {
+            WorkerPool::from_env()
+        } else {
+            WorkerPool::serial()
         }
     }
 
@@ -218,35 +239,63 @@ impl<'r> InPlaceTransplant<'r> {
         clock.advance(perf.cpu(self.cost.pause_ghz_s_per_vm * ids.len() as f64));
         let t_pause = clock.now();
 
+        // ❸ Translate VMi State to UISR — the §4.2.5 parallelization hot
+        // path. Each VM's `save → to_uisr → encode` chain (plus its
+        // pause-time integrity baseline) runs on its own worker of the real
+        // thread pool; the pool returns results in VM order regardless of
+        // worker count, so serial and parallel runs are byte-identical.
+        let wpool = self.worker_pool();
+        let per_vm = {
+            let source_ref: &dyn Hypervisor = source.as_ref();
+            let machine_ref: &Machine = machine;
+            wpool
+                .map(ids.clone(), |id| -> Result<SavedVm, HtpError> {
+                    let name = source_ref.vm_config(id)?.name.clone();
+                    let map = source_ref.guest_memory_map(id)?;
+                    let extents: Vec<_> = map.iter().map(|(_, e)| *e).collect();
+                    // Serial inner checksum: the per-VM tasks already
+                    // saturate the pool; nesting another fan-out here would
+                    // only oversubscribe the machine.
+                    let checksum = machine_ref
+                        .ram()
+                        .checksum_with_pool(&extents, &WorkerPool::serial());
+                    let uisr = source_ref.save_uisr(machine_ref, id)?;
+                    let mut blob = Vec::new();
+                    hypertp_uisr::codec::encode_into(&uisr, &mut blob);
+                    Ok(SavedVm {
+                        name,
+                        map,
+                        uisr,
+                        blob,
+                        checksum,
+                    })
+                })
+                .results
+        };
+        let mut saved = Vec::with_capacity(per_vm.len());
+        for r in per_vm {
+            saved.push(r?);
+        }
         // Integrity baseline: guest memory contents at pause time.
-        let mut baselines = Vec::new();
-        for &id in &ids {
-            let map = source.guest_memory_map(id)?;
-            let extents: Vec<_> = map.iter().map(|(_, e)| *e).collect();
-            let sum = machine.ram().checksum(&extents);
-            baselines.push((source.vm_config(id)?.name.clone(), sum));
-        }
-
-        // ❸ Translate VMi State to UISR.
-        let mut saved = Vec::new();
-        for &id in &ids {
-            let name = source.vm_config(id)?.name.clone();
-            let map = source.guest_memory_map(id)?;
-            let uisr = source.save_uisr(machine, id)?;
-            saved.push((name, map, uisr));
-        }
+        let baselines: Vec<(String, u64)> =
+            saved.iter().map(|s| (s.name.clone(), s.checksum)).collect();
 
         // Strict pre-flight: before the micro-reboot's point of no return,
         // ask the target's validator whether any translation would be
         // lossy. On rejection the transplant aborts cleanly — the VMs
         // simply resume on the source hypervisor.
         if self.opts.strict_preflight {
-            let mut issues = Vec::new();
-            for (name, _, uisr) in &saved {
-                for issue in self.registry.validate(target, uisr) {
-                    issues.push(format!("{name}: {issue}"));
-                }
-            }
+            let issue_lists = wpool
+                .map_indices(saved.len(), |i| {
+                    let s = &saved[i];
+                    self.registry
+                        .validate(target, &s.uisr)
+                        .into_iter()
+                        .map(|issue| format!("{}: {issue}", s.name))
+                        .collect::<Vec<_>>()
+                })
+                .results;
+            let issues: Vec<String> = issue_lists.into_iter().flatten().collect();
             if !issues.is_empty() {
                 for &id in &ids {
                     source.resume_vm(id)?;
@@ -258,14 +307,16 @@ impl<'r> InPlaceTransplant<'r> {
             }
         }
 
-        // Persist everything in RAM across the reboot.
-        let mut builder = PramBuilder::new();
+        // Persist everything in RAM across the reboot. The per-VM blobs
+        // were already encoded on the pool above; the maps move into the
+        // builder (no per-VM clone), and `write` runs its per-file node
+        // construction on the same pool.
+        let mut builder = PramBuilder::new().with_pool(wpool);
         let mut uisr_bytes = 0u64;
-        for (name, map, uisr) in &saved {
-            builder.add_file(name.clone(), 0o600, map.clone());
-            let blob = hypertp_uisr::encode(uisr);
-            uisr_bytes += blob.len() as u64;
-            uisr_store::store_blob(machine.ram_mut(), &mut builder, name, &blob)?;
+        for s in saved {
+            builder.add_file(s.name.clone(), 0o600, s.map);
+            uisr_bytes += s.blob.len() as u64;
+            uisr_store::store_blob(machine.ram_mut(), &mut builder, &s.name, &s.blob)?;
         }
         let handle = builder.write(machine.ram_mut())?;
         let translate_cost = self.cost.translate(&pool, &xlate_list);
@@ -307,19 +358,35 @@ impl<'r> InPlaceTransplant<'r> {
         let mut target_hv = self.registry.create(target, machine)?;
 
         // ❻ Adopt each VM: decode its UISR blob and link the in-place
-        // guest memory.
+        // guest memory. Blob load + decode are read-only and run per VM on
+        // the pool; the adopt step mutates the target hypervisor and stays
+        // serial, in PRAM directory order.
+        let guest_files: Vec<_> = image
+            .files
+            .iter()
+            .filter(|f| !uisr_store::is_uisr_file(f))
+            .collect();
+        let decoded = {
+            let machine_ref: &Machine = machine;
+            let image_ref = &image;
+            wpool
+                .map_indices(guest_files.len(), |i| -> Result<_, HtpError> {
+                    let file = guest_files[i];
+                    let blob_file = image_ref
+                        .file(&uisr_store::uisr_file_name(&file.name))
+                        .ok_or_else(|| HtpError::IncompatibleState {
+                            section: "UISR",
+                            detail: format!("no UISR blob for VM '{}'", file.name),
+                        })?;
+                    let blob = uisr_store::load_blob(machine_ref.ram(), blob_file)?;
+                    Ok(hypertp_uisr::decode(&blob)?)
+                })
+                .results
+        };
         let mut warnings = Vec::new();
         let mut adopted = Vec::new();
-        for file in image.files.iter().filter(|f| !uisr_store::is_uisr_file(f)) {
-            let blob_file = image
-                .file(&uisr_store::uisr_file_name(&file.name))
-                .ok_or_else(|| HtpError::IncompatibleState {
-                    section: "UISR",
-                    detail: format!("no UISR blob for VM '{}'", file.name),
-                })?;
-            let blob = uisr_store::load_blob(machine.ram(), blob_file)?;
-            let uisr = hypertp_uisr::decode(&blob)?;
-            let restored = target_hv.adopt_vm(machine, &uisr, &file.mappings)?;
+        for (file, uisr) in guest_files.iter().zip(decoded) {
+            let restored = target_hv.adopt_vm(machine, &uisr?, &file.mappings)?;
             warnings.extend(restored.warnings.iter().cloned());
             adopted.push((file.name.clone(), restored.id));
         }
@@ -337,7 +404,7 @@ impl<'r> InPlaceTransplant<'r> {
                 })?;
             let map = target_hv.guest_memory_map(id)?;
             let extents: Vec<_> = map.iter().map(|(_, e)| *e).collect();
-            if machine.ram().checksum(&extents) != *expected {
+            if machine.ram().checksum_with_pool(&extents, &wpool) != *expected {
                 return Err(HtpError::IntegrityViolation {
                     vm_name: name.clone(),
                 });

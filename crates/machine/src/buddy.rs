@@ -356,30 +356,31 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use hypertp_sim::SimRng;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// Random interleavings of allocs and frees keep every allocator
-        /// invariant: aligned free lists, disjoint blocks, exact counters,
-        /// and full recovery after freeing everything.
-        #[test]
-        fn random_alloc_free_maintains_invariants(
-            total in 64u64..2048,
-            ops in proptest::collection::vec((0u8..10, any::<u16>()), 1..200),
-        ) {
+    /// Random interleavings of allocs and frees keep every allocator
+    /// invariant: aligned free lists, disjoint blocks, exact counters,
+    /// and full recovery after freeing everything.
+    /// (Formerly proptest, 64 cases.)
+    #[test]
+    fn random_alloc_free_maintains_invariants() {
+        let mut rng = SimRng::new(0xb0dd_0001);
+        for _ in 0..64 {
+            let total = 64 + rng.gen_range(2048 - 64);
+            let n_ops = 1 + rng.gen_range(199) as usize;
             let mut a = BuddyAllocator::new(total);
             let mut live: Vec<Extent> = Vec::new();
-            for (op, sel) in ops {
+            for _ in 0..n_ops {
+                let op = rng.gen_range(10) as u8;
+                let sel = rng.next_u64() as u16;
                 if op < 6 || live.is_empty() {
                     let order = PageOrder(op % 4);
                     if let Ok(e) = a.alloc(order) {
-                        prop_assert!(e.base.is_aligned(order));
-                        prop_assert!(e.base.0 + e.pages() <= total);
+                        assert!(e.base.is_aligned(order));
+                        assert!(e.base.0 + e.pages() <= total);
                         // No overlap with any live extent.
                         for other in &live {
-                            prop_assert!(
+                            assert!(
                                 e.base.0 + e.pages() <= other.base.0
                                     || other.base.0 + other.pages() <= e.base.0
                             );
@@ -389,21 +390,17 @@ mod proptests {
                 } else {
                     let idx = sel as usize % live.len();
                     let e = live.swap_remove(idx);
-                    prop_assert!(a.free(e).is_ok());
+                    assert!(a.free(e).is_ok());
                 }
-                a.check_invariants().map_err(|e| {
-                    proptest::test_runner::TestCaseError::fail(e)
-                })?;
+                a.check_invariants().expect("allocator invariants");
                 let held: u64 = live.iter().map(|e| e.pages()).sum();
-                prop_assert_eq!(a.allocated_frames(), held);
+                assert_eq!(a.allocated_frames(), held);
             }
             for e in live.drain(..) {
-                prop_assert!(a.free(e).is_ok());
+                assert!(a.free(e).is_ok());
             }
-            prop_assert_eq!(a.free_frames(), total);
-            a.check_invariants().map_err(|e| {
-                proptest::test_runner::TestCaseError::fail(e)
-            })?;
+            assert_eq!(a.free_frames(), total);
+            a.check_invariants().expect("allocator invariants");
         }
     }
 }

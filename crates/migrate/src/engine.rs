@@ -2,7 +2,7 @@
 
 use hypertp_core::{HtpError, Hypervisor, HypervisorKind, VmId};
 use hypertp_machine::{Gfn, Machine, PAGE_SIZE};
-use hypertp_sim::{CostModel, SimDuration, SimTime};
+use hypertp_sim::{CostModel, SimDuration, SimTime, WorkerPool};
 
 use crate::network::Link;
 
@@ -84,6 +84,10 @@ pub struct MigrationTp {
     pub cost: CostModel,
     /// Pre-copy configuration.
     pub config: MigrationConfig,
+    /// Worker pool for the wall-clock hot paths (page gather, content
+    /// verification). Defaults to [`WorkerPool::from_env`]; reports are
+    /// identical for any worker count.
+    pub pool: WorkerPool,
 }
 
 impl MigrationTp {
@@ -95,6 +99,12 @@ impl MigrationTp {
     /// Replaces the configuration.
     pub fn with_config(mut self, config: MigrationConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Replaces the worker pool.
+    pub fn with_pool(mut self, pool: WorkerPool) -> Self {
+        self.pool = pool;
         self
     }
 
@@ -233,16 +243,32 @@ impl MigrationTp {
             + self.cost.activate(dst_hv.kind().boot_target(), cfg.vcpus);
 
         if self.config.verify_contents {
-            for (gfn, e) in &map {
-                for off in 0..e.pages() {
-                    let g = Gfn(gfn.0 + off);
-                    if src_hv.read_guest(src_machine, src_id, g)?
-                        != dst_hv.read_guest(dst_machine, dst_id, g)?
-                    {
-                        return Err(HtpError::IntegrityViolation {
-                            vm_name: cfg.name.clone(),
-                        });
+            // Verification only reads both sides, so each extent compares
+            // on its own pool worker.
+            let src_ref: &dyn Hypervisor = src_hv;
+            let dst_ref: &dyn Hypervisor = dst_hv;
+            let src_m: &Machine = src_machine;
+            let dst_m: &Machine = dst_machine;
+            let verdicts = self
+                .pool
+                .map_indices(map.len(), |i| -> Result<bool, HtpError> {
+                    let (gfn, e) = map[i];
+                    for off in 0..e.pages() {
+                        let g = Gfn(gfn.0 + off);
+                        if src_ref.read_guest(src_m, src_id, g)?
+                            != dst_ref.read_guest(dst_m, dst_id, g)?
+                        {
+                            return Ok(false);
+                        }
                     }
+                    Ok(true)
+                })
+                .results;
+            for ok in verdicts {
+                if !ok? {
+                    return Err(HtpError::IntegrityViolation {
+                        vm_name: cfg.name.clone(),
+                    });
                 }
             }
         }
@@ -265,6 +291,11 @@ impl MigrationTp {
         })
     }
 
+    /// Copies guest pages source → destination: a parallel *gather* of the
+    /// source values (read-only, chunked across the worker pool) followed
+    /// by a serial *apply* on the destination (`write_guest` needs
+    /// `&mut`). Values land in GFN-list order either way, so serial and
+    /// pooled runs are byte-identical.
     #[allow(clippy::too_many_arguments)]
     fn copy_pages(
         &self,
@@ -276,9 +307,34 @@ impl MigrationTp {
         dst_id: VmId,
         gfns: &[Gfn],
     ) -> Result<(), HtpError> {
-        for &g in gfns {
-            let v = src_hv.read_guest(src_machine, src_id, g)?;
-            dst_hv.write_guest(dst_machine, dst_id, g, v)?;
+        // Below this many pages the serial gather wins over thread spawn.
+        const PAR_THRESHOLD_PAGES: usize = 8192;
+        let values: Vec<u64> = if self.pool.workers() <= 1 || gfns.len() < PAR_THRESHOLD_PAGES {
+            let mut v = Vec::with_capacity(gfns.len());
+            for &g in gfns {
+                v.push(src_hv.read_guest(src_machine, src_id, g)?);
+            }
+            v
+        } else {
+            let chunk = gfns.len().div_ceil(self.pool.workers() * 4).max(1);
+            let chunks: Vec<&[Gfn]> = gfns.chunks(chunk).collect();
+            let gathered = self
+                .pool
+                .map_indices(chunks.len(), |i| -> Result<Vec<u64>, HtpError> {
+                    chunks[i]
+                        .iter()
+                        .map(|&g| src_hv.read_guest(src_machine, src_id, g))
+                        .collect()
+                })
+                .results;
+            let mut v = Vec::with_capacity(gfns.len());
+            for c in gathered {
+                v.extend(c?);
+            }
+            v
+        };
+        for (&g, &val) in gfns.iter().zip(&values) {
+            dst_hv.write_guest(dst_machine, dst_id, g, val)?;
         }
         Ok(())
     }
@@ -289,6 +345,12 @@ impl MigrationTp {
 /// receive side is **sequential** when the destination is Xen (each VM's
 /// stop-and-copy queues behind the previous one, inflating later VMs'
 /// downtime) and parallel when it is kvmtool.
+///
+/// Wall-clock execution: each VM's page gathers and verification fan out
+/// over `tp`'s worker pool (see [`MigrationTp::with_pool`]), while the
+/// destination applies — and therefore the Xen receive queue — stay
+/// serial. The simulated schedule and every report are identical for any
+/// worker count.
 pub fn migrate_many(
     tp: &MigrationTp,
     src_machine: &mut Machine,
@@ -453,6 +515,97 @@ mod tests {
         assert_eq!(r.rounds.len(), 6);
         // Forced stop-and-copy carries a large residual set.
         assert!(r.downtime.as_secs_f64() > 1.0);
+    }
+
+    #[test]
+    fn migrate_many_pooled_matches_serial() {
+        // Reports (rounds, downtime, totals, bytes) must be identical
+        // whether the engine gathers pages serially or on a wide pool.
+        let run = |pool: WorkerPool| {
+            let (mut src_m, mut dst_m) = pair();
+            let mut src = SimpleHv::new(HypervisorKind::Xen);
+            let mut dst = SimpleHv::new(HypervisorKind::Xen);
+            let ids: Vec<VmId> = (0..3)
+                .map(|i| {
+                    let id = src
+                        .create_vm(&mut src_m, &VmConfig::small(format!("vm{i}")))
+                        .unwrap();
+                    src.write_guest(&mut src_m, id, Gfn(id.0 as u64 * 7), 0xbeef + id.0 as u64)
+                        .unwrap();
+                    id
+                })
+                .collect();
+            let tp = MigrationTp::new()
+                .with_config(MigrationConfig {
+                    dirty_rate_pages_per_sec: 500.0,
+                    verify_contents: true,
+                    ..MigrationConfig::default()
+                })
+                .with_pool(pool);
+            migrate_many(&tp, &mut src_m, &mut src, &ids, &mut dst_m, &mut dst).unwrap()
+        };
+        let serial = run(WorkerPool::serial());
+        let pooled = run(WorkerPool::new(8));
+        assert_eq!(serial.len(), pooled.len());
+        for (a, b) in serial.iter().zip(&pooled) {
+            assert_eq!(a.vm_name, b.vm_name);
+            assert_eq!(a.rounds, b.rounds);
+            assert_eq!(a.downtime, b.downtime);
+            assert_eq!(a.total, b.total);
+            assert_eq!(a.bytes_sent, b.bytes_sent);
+            assert_eq!(a.uisr_bytes, b.uisr_bytes);
+        }
+    }
+
+    #[test]
+    fn migrate_many_xen_receive_windows_do_not_overlap() {
+        // With identical VMs the pre-copies all finish together; a
+        // sequential receiver must then space the finish times one
+        // stop-and-copy apart (no two receive windows overlap), while a
+        // parallel receiver finishes everyone at the same instant.
+        let run = |dst_kind: HypervisorKind| {
+            let (mut src_m, mut dst_m) = pair();
+            let mut src = SimpleHv::new(HypervisorKind::Xen);
+            let mut dst = SimpleHv::new(dst_kind);
+            let ids: Vec<VmId> = (0..4)
+                .map(|i| {
+                    src.create_vm(&mut src_m, &VmConfig::small(format!("vm{i}")))
+                        .unwrap()
+                })
+                .collect();
+            let tp = MigrationTp::new().with_config(MigrationConfig {
+                dirty_rate_pages_per_sec: 1.0,
+                ..MigrationConfig::default()
+            });
+            migrate_many(&tp, &mut src_m, &mut src, &ids, &mut dst_m, &mut dst).unwrap()
+        };
+
+        let to_kvm = run(HypervisorKind::Kvm);
+        let kvm_totals: Vec<f64> = to_kvm.iter().map(|r| r.total.as_secs_f64()).collect();
+        for t in &kvm_totals {
+            assert!((t - kvm_totals[0]).abs() < 1e-9, "parallel receiver");
+        }
+
+        let to_xen = run(HypervisorKind::Xen);
+        let mut finishes: Vec<SimDuration> = to_xen.iter().map(|r| r.total).collect();
+        finishes.sort();
+        // Receive windows are back to back: consecutive finishes are one
+        // stop-and-copy apart, and every stop-and-copy takes the same time
+        // for identical VMs (the first VM's downtime has no queue wait).
+        let stop_copy = to_xen.iter().map(|r| r.downtime).min().expect("4 reports");
+        assert!(stop_copy > SimDuration::ZERO);
+        for w in finishes.windows(2) {
+            let gap = w[1] - w[0];
+            let err = (gap.as_secs_f64() - stop_copy.as_secs_f64()).abs();
+            assert!(err < 1e-9, "gap {gap:?} vs stop-copy {stop_copy:?}");
+        }
+        // And the k-th VM's downtime grows by exactly k stop-and-copies.
+        let mut downtimes: Vec<SimDuration> = to_xen.iter().map(|r| r.downtime).collect();
+        downtimes.sort();
+        for (k, d) in downtimes.iter().enumerate() {
+            let want = stop_copy.as_secs_f64() * (k + 1) as f64;
+            assert!((d.as_secs_f64() - want).abs() < 1e-9, "vm{k}");
+        }
     }
 
     #[test]

@@ -86,14 +86,18 @@ mod tests {
     }
 
     #[test]
-    fn proptest_roundtrip() {
-        use proptest::prelude::*;
-        proptest!(|(mfn in 0u64..(1 << 52), order in 0u8..10, flags in 0u8..64)| {
+    fn randomized_roundtrip() {
+        // Deterministic randomized loop (formerly proptest, 256 cases).
+        let mut rng = hypertp_sim::SimRng::new(0x92a3_0001);
+        for _ in 0..256 {
+            let mfn = rng.gen_range(1 << 52);
+            let order = rng.gen_range(10) as u8;
+            let flags = rng.gen_range(64) as u8;
             let e = pack_entry(Mfn(mfn), PageOrder(order), flags);
             let (m, o, f) = unpack_entry(e);
-            prop_assert_eq!(m, Mfn(mfn));
-            prop_assert_eq!(o, PageOrder(order));
-            prop_assert_eq!(f, flags);
-        });
+            assert_eq!(m, Mfn(mfn));
+            assert_eq!(o, PageOrder(order));
+            assert_eq!(f, flags);
+        }
     }
 }

@@ -20,11 +20,17 @@
 //!   time (constants documented against the paper's reported numbers).
 //! * [`series`] — time-series recording for workload metrics (QPS, latency).
 //! * [`stats`] — summary statistics (mean, stddev, percentiles, box plots).
+//! * [`json`] — a dependency-free JSON encoder/decoder used for the UISR
+//!   debug codec and experiment output files.
+//! * [`pool`] — a real scoped worker pool executing batches of closures on
+//!   OS threads; the wall-clock counterpart of the [`par`] model.
 
 pub mod clock;
 pub mod cost;
 pub mod events;
+pub mod json;
 pub mod par;
+pub mod pool;
 pub mod rng;
 pub mod series;
 pub mod stats;
@@ -33,7 +39,9 @@ pub mod time;
 pub use clock::SimClock;
 pub use cost::CostModel;
 pub use events::EventQueue;
-pub use par::makespan;
+pub use json::Json;
+pub use par::{lpt_loads, makespan};
+pub use pool::WorkerPool;
 pub use rng::SimRng;
 pub use series::TimeSeries;
 pub use time::{SimDuration, SimTime};

@@ -30,22 +30,43 @@ use crate::time::SimDuration;
 /// assert_eq!(makespan(&tasks, 2), SimDuration::from_secs(3));
 /// ```
 pub fn makespan(tasks: &[SimDuration], workers: usize) -> SimDuration {
+    lpt_loads(tasks, workers)
+        .into_iter()
+        .max()
+        .unwrap_or(SimDuration::ZERO)
+}
+
+/// Computes the per-worker loads of the LPT schedule used by [`makespan`],
+/// in worker order.
+///
+/// Ties are broken deterministically towards the lowest-numbered worker:
+/// when several workers share the minimum load, the task goes to the first
+/// of them. (A bare `Iterator::min` over the loads would hand ties to the
+/// *last* minimal element, which made the schedule — though not the
+/// makespan value — depend on an implementation detail of the standard
+/// library.)
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn lpt_loads(tasks: &[SimDuration], workers: usize) -> Vec<SimDuration> {
     assert!(workers > 0, "makespan requires at least one worker");
     if tasks.is_empty() {
-        return SimDuration::ZERO;
+        return Vec::new();
     }
     let mut sorted: Vec<SimDuration> = tasks.to_vec();
     sorted.sort_unstable_by(|a, b| b.cmp(a));
     let mut loads = vec![SimDuration::ZERO; workers.min(sorted.len())];
     for t in sorted {
-        // Assign to the least-loaded worker.
-        let min = loads
-            .iter_mut()
-            .min()
+        // Assign to the least-loaded worker; first index wins ties.
+        let (idx, _) = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, load)| (*load, i))
             .expect("loads is non-empty because tasks is non-empty");
-        *min += t;
+        loads[idx] += t;
     }
-    loads.into_iter().max().unwrap_or(SimDuration::ZERO)
+    loads
 }
 
 /// Computes the makespan of `n` identical tasks of duration `each` over
@@ -110,6 +131,41 @@ mod tests {
             assert!(m >= SimDuration::from_secs(5));
             let total = SimDuration::from_secs(10);
             assert!(m.as_secs_f64() >= total.as_secs_f64() / w as f64 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn lpt_ties_go_to_the_lowest_numbered_worker() {
+        // Regression: with `Iterator::min`'s last-wins tie-break, [3,1,1]
+        // on three idle workers scheduled as [1,1,3]; the documented
+        // schedule fills from worker 0: [3,1,1].
+        assert_eq!(
+            lpt_loads(&secs(&[3, 1, 1]), 3),
+            secs(&[3, 1, 1]),
+            "largest task lands on worker 0, ties fill upward"
+        );
+        // A longer all-equal stream round-robins from worker 0 upward.
+        assert_eq!(
+            lpt_loads(&secs(&[1, 1, 1, 1, 1]), 3),
+            vec![
+                SimDuration::from_secs(2),
+                SimDuration::from_secs(2),
+                SimDuration::from_secs(1)
+            ],
+        );
+        // The makespan value itself is unchanged by the tie-break.
+        assert_eq!(makespan(&secs(&[3, 1, 1]), 3), SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn lpt_loads_sum_to_total_and_match_makespan() {
+        let tasks = secs(&[7, 3, 3, 2, 1, 1]);
+        for w in 1..=8 {
+            let loads = lpt_loads(&tasks, w);
+            assert!(loads.len() <= w);
+            let sum: SimDuration = loads.iter().copied().sum();
+            assert_eq!(sum, SimDuration::from_secs(17));
+            assert_eq!(loads.iter().copied().max(), Some(makespan(&tasks, w)));
         }
     }
 

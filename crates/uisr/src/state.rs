@@ -7,8 +7,6 @@
 //! hardware; what differs per hypervisor is the *container format*, which
 //! is exactly what the translation layers strip away.
 
-use serde::{Deserialize, Serialize};
-
 /// Size of the LAPIC register page image carried in UISR (the
 /// architecturally defined registers occupy the first KiB of the 4 KiB
 /// APIC page).
@@ -25,7 +23,7 @@ pub const XEN_IOAPIC_PINS: usize = 48;
 pub const KVM_IOAPIC_PINS: usize = 24;
 
 /// General-purpose registers, instruction pointer and flags.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[allow(missing_docs)]
 pub struct CpuRegisters {
     pub rax: u64,
@@ -49,7 +47,7 @@ pub struct CpuRegisters {
 }
 
 /// A segment register (hidden part included).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[allow(missing_docs)]
 pub struct SegmentRegister {
     pub base: u64,
@@ -66,7 +64,7 @@ pub struct SegmentRegister {
 }
 
 /// A descriptor table register (GDTR/IDTR).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[allow(missing_docs)]
 pub struct DescriptorTable {
     pub base: u64,
@@ -74,7 +72,7 @@ pub struct DescriptorTable {
 }
 
 /// Control registers, segment state and system table registers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[allow(missing_docs)]
 pub struct SpecialRegisters {
     pub cs: SegmentRegister,
@@ -97,7 +95,7 @@ pub struct SpecialRegisters {
 }
 
 /// Legacy x87/SSE state (the FXSAVE image, exploded).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub struct FpuState {
     pub fcw: u16,
@@ -132,7 +130,7 @@ impl Default for FpuState {
 }
 
 /// One model-specific register.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MsrEntry {
     /// MSR index (e.g. `0xC000_0080` for EFER).
     pub index: u32,
@@ -141,7 +139,7 @@ pub struct MsrEntry {
 }
 
 /// Extended processor state: XCR0 plus the raw XSAVE area image.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct XsaveState {
     /// XCR0 (enabled state components).
     pub xcr0: u64,
@@ -160,7 +158,7 @@ impl Default for XsaveState {
 
 /// Local APIC architectural state (the non-register-page part: timer and
 /// pending interrupt bookkeeping that hypervisors track out of band).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[allow(missing_docs)]
 pub struct LapicState {
     pub apic_id: u32,
@@ -177,7 +175,7 @@ pub struct LapicState {
 }
 
 /// Memory type range registers.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MtrrState {
     /// MTRR_DEF_TYPE.
     pub def_type: u64,
@@ -198,7 +196,7 @@ impl Default for MtrrState {
 }
 
 /// A single IOAPIC redirection table entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[allow(missing_docs)]
 pub struct RedirectionEntry {
     pub vector: u8,
@@ -211,7 +209,7 @@ pub struct RedirectionEntry {
 }
 
 /// Virtual IOAPIC state.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IoApicState {
     /// IOAPIC ID.
     pub id: u8,
@@ -260,7 +258,7 @@ impl IoApicState {
 }
 
 /// One PIT (8254) channel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[allow(missing_docs)]
 pub struct PitChannel {
     pub count: u32,
@@ -274,7 +272,7 @@ pub struct PitChannel {
 }
 
 /// Virtual PIT state.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct PitState {
     /// The three 8254 channels.
     pub channels: [PitChannel; 3],
@@ -283,7 +281,7 @@ pub struct PitState {
 }
 
 /// State of one emulated or pass-through I/O device (§4.2.3).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DeviceState {
     /// An emulated network device. Per §4.2.3 these are unplugged before
     /// transplant and rescanned afterwards, so only identity persists.
@@ -320,7 +318,7 @@ pub enum DeviceState {
 }
 
 /// One guest-physical memory region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemoryRegion {
     /// First guest frame number of the region.
     pub gfn_start: u64,
@@ -333,7 +331,7 @@ pub struct MemoryRegion {
 /// For InPlaceTP the actual frame map travels through PRAM and this spec
 /// names the PRAM file; for MigrationTP the pages travel over the wire and
 /// the regions describe the layout to recreate.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct MemorySpec {
     /// Guest-physical regions.
     pub regions: Vec<MemoryRegion>,
@@ -354,7 +352,7 @@ impl MemorySpec {
 }
 
 /// Per-vCPU UISR state (one entry per `to_uisr_vCPU` call).
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct VcpuState {
     /// vCPU index.
     pub id: u32,
@@ -389,7 +387,7 @@ impl VcpuState {
 
 /// The complete UISR description of one VM — the unit InPlaceTP stores in
 /// RAM and MigrationTP ships over the network.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct UisrVm {
     /// VM name (stable across hypervisors).
     pub name: String,
@@ -465,15 +463,15 @@ mod tests {
     }
 
     #[test]
-    fn serde_json_roundtrip() {
+    fn json_debug_codec_roundtrip() {
         let mut vm = UisrVm::new("vm0");
         vm.vcpus.push(VcpuState::reset(0));
         vm.devices.push(DeviceState::Network {
             mac: [0xde, 0xad, 0xbe, 0xef, 0, 1],
             unplugged: false,
         });
-        let json = serde_json::to_string(&vm).unwrap();
-        let back: UisrVm = serde_json::from_str(&json).unwrap();
+        let json = crate::codec::to_json(&vm);
+        let back: UisrVm = crate::codec::from_json(&json).unwrap();
         assert_eq!(back, vm);
     }
 }

@@ -4,10 +4,8 @@
 //! The paper classifies a flaw *critical* when the CVSS v2 score is ≥ 7.0
 //! and *medium* when it is in [4.0, 7.0).
 
-use serde::{Deserialize, Serialize};
-
 /// Access vector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessVector {
     /// Local access required.
     Local,
@@ -18,7 +16,7 @@ pub enum AccessVector {
 }
 
 /// Access complexity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessComplexity {
     /// High complexity.
     High,
@@ -29,7 +27,7 @@ pub enum AccessComplexity {
 }
 
 /// Authentication requirement.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Authentication {
     /// Multiple authentications.
     Multiple,
@@ -40,7 +38,7 @@ pub enum Authentication {
 }
 
 /// Impact level for confidentiality/integrity/availability.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Impact {
     /// No impact.
     None,
@@ -51,7 +49,7 @@ pub enum Impact {
 }
 
 /// A CVSS v2 base vector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CvssV2 {
     /// AV.
     pub av: AccessVector,
@@ -68,7 +66,7 @@ pub struct CvssV2 {
 }
 
 /// Severity bands used throughout the paper (§2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Severity {
     /// CVSS v2 < 4.0.
     Low,

@@ -591,26 +591,32 @@ mod tests {
 #[cfg(test)]
 mod fuzz {
     use super::*;
-    use proptest::prelude::*;
+    use hypertp_sim::SimRng;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(256))]
-
-        /// `load_context` over arbitrary bytes is total: Xen's record
-        /// parser must never panic on a corrupted save stream.
-        #[test]
-        fn load_arbitrary_bytes_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+    /// `load_context` over arbitrary bytes is total: Xen's record
+    /// parser must never panic on a corrupted save stream.
+    /// (Formerly proptest, 256 cases.)
+    #[test]
+    fn load_arbitrary_bytes_is_total() {
+        let mut rng = SimRng::new(0xc0f7_0001);
+        for _ in 0..256 {
+            let len = rng.gen_range(600) as usize;
+            let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
             let _ = load_context(&bytes);
         }
+    }
 
-        /// Single-byte corruption of a valid stream is either detected or
-        /// still yields structurally valid records — never a panic.
-        #[test]
-        fn load_mutated_stream_is_total(pos_seed: u64, val: u8) {
-            let recs = vec![HvmRecord::Cpu(0, Box::default())];
-            let mut buf = save_context(&HvmSaveHeader::default(), &recs);
-            let pos = (pos_seed % buf.len() as u64) as usize;
-            buf[pos] = val;
+    /// Single-byte corruption of a valid stream is either detected or
+    /// still yields structurally valid records — never a panic.
+    #[test]
+    fn load_mutated_stream_is_total() {
+        let recs = vec![HvmRecord::Cpu(0, Box::default())];
+        let clean = save_context(&HvmSaveHeader::default(), &recs);
+        let mut rng = SimRng::new(0xc0f7_0002);
+        for _ in 0..256 {
+            let mut buf = clean.clone();
+            let pos = rng.gen_range(buf.len() as u64) as usize;
+            buf[pos] = rng.next_u64() as u8;
             let _ = load_context(&buf);
         }
     }

@@ -1,0 +1,99 @@
+//! Serial-vs-parallel equivalence: `InPlaceTransplant::run` must produce
+//! bit-identical results for any worker count. The worker pool is a
+//! wall-clock optimization only — restored guest memory, UISR contents,
+//! encoded blob bytes, PRAM metadata shape and compatibility warnings all
+//! have to match between one worker and many.
+//!
+//! Kept as a single `#[test]` because the worker count is selected through
+//! the process-wide `HYPERTP_WORKERS` variable.
+
+use hypertp::prelude::*;
+use hypertp_core::{Hypervisor, Optimizations};
+use hypertp_pram::PramStats;
+use hypertp_uisr::UisrVm;
+
+const VMS: u64 = 6;
+
+/// Everything observable about one transplant outcome that must not depend
+/// on how many workers executed it.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    uisrs: Vec<UisrVm>,
+    blobs: Vec<Vec<u8>>,
+    guest_reads: Vec<u64>,
+    pram_stats: PramStats,
+    uisr_bytes: u64,
+    warnings: Vec<String>,
+    vm_count: usize,
+}
+
+/// Boots a fresh Xen machine with seeded guests and transplants it to KVM
+/// under the given optimization set, capturing the outcome.
+fn run_one(opts: Optimizations) -> Outcome {
+    let mut m = Machine::new(MachineSpec::m1());
+    let registry = default_registry();
+    let mut xen: Box<dyn Hypervisor> = Box::new(XenHypervisor::new(&mut m));
+    for i in 0..VMS {
+        let id = xen
+            .create_vm(&mut m, &VmConfig::small(format!("vm{i}")).with_vcpus(2))
+            .unwrap();
+        for k in 0..32u64 {
+            xen.write_guest(&mut m, id, Gfn(k * 997 + i), i << 32 | k)
+                .unwrap();
+        }
+        xen.guest_tick(&mut m, id, 5 + i).unwrap();
+    }
+
+    let engine = InPlaceTransplant::new(&registry).with_optimizations(opts);
+    let (mut kvm, report) = engine.run(&mut m, xen, HypervisorKind::Kvm).unwrap();
+
+    let mut uisrs = Vec::new();
+    let mut blobs = Vec::new();
+    let mut guest_reads = Vec::new();
+    for i in 0..VMS {
+        let id = kvm.find_vm(&format!("vm{i}")).unwrap();
+        for k in 0..32u64 {
+            guest_reads.push(kvm.read_guest(&m, id, Gfn(k * 997 + i)).unwrap());
+        }
+        kvm.pause_vm(id).unwrap();
+        let u = kvm.save_uisr(&m, id).unwrap();
+        blobs.push(hypertp_uisr::encode(&u));
+        uisrs.push(u);
+    }
+    Outcome {
+        uisrs,
+        blobs,
+        guest_reads,
+        pram_stats: report.pram_stats,
+        uisr_bytes: report.uisr_bytes,
+        warnings: report.warnings,
+        vm_count: report.vm_count,
+    }
+}
+
+#[test]
+fn transplant_outcome_is_identical_for_any_worker_count() {
+    // Baseline: the parallel optimization off — everything runs inline on
+    // the calling thread (WorkerPool::serial()).
+    let baseline = run_one(Optimizations {
+        parallel: false,
+        ..Optimizations::default()
+    });
+
+    // Parallel path, explicit worker counts through the env knob.
+    for workers in ["1", "2", "8"] {
+        std::env::set_var("HYPERTP_WORKERS", workers);
+        let got = run_one(Optimizations::default());
+        assert_eq!(
+            got, baseline,
+            "outcome diverged with HYPERTP_WORKERS={workers}"
+        );
+    }
+    std::env::remove_var("HYPERTP_WORKERS");
+
+    // Sanity: the comparison is not vacuous.
+    assert_eq!(baseline.vm_count, VMS as usize);
+    assert_eq!(baseline.guest_reads.len(), (VMS * 32) as usize);
+    assert!(baseline.uisr_bytes > 0);
+    assert!(baseline.pram_stats.entries > 0);
+}

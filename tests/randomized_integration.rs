@@ -1,9 +1,13 @@
-//! Property-based integration tests over the transplant and migration
+//! Randomized integration tests over the transplant and migration
 //! engines: for randomized VM shapes, guest activity and dirty rates, the
 //! end-to-end invariants must hold.
+//!
+//! Formerly property-based (proptest); now deterministic randomized loops
+//! seeded from `hypertp_sim::SimRng` so the workspace builds offline and
+//! every run replays the exact same cases.
 
 use hypertp::prelude::*;
-use proptest::prelude::*;
+use hypertp_sim::SimRng;
 
 fn small_spec(ram_gb: u64) -> MachineSpec {
     let mut spec = MachineSpec::m1();
@@ -11,18 +15,21 @@ fn small_spec(ram_gb: u64) -> MachineSpec {
     spec
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// For any mix of VM shapes and guest writes, InPlaceTP preserves all
+/// guest memory and all VMs, in both directions. (Formerly proptest,
+/// 12 cases.)
+#[test]
+fn inplace_preserves_random_guests() {
+    let mut rng = SimRng::new(0x17e6_0001);
+    for case in 0..12 {
+        let n_vms = 1 + rng.gen_range(3) as u32;
+        let vcpus = 1 + rng.gen_range(3) as u32;
+        let n_writes = 1 + rng.gen_range(39) as usize;
+        let writes: Vec<(u64, u64)> = (0..n_writes)
+            .map(|_| (rng.next_u64(), rng.next_u64()))
+            .collect();
+        let to_xen = rng.gen_bool(0.5);
 
-    /// For any mix of VM shapes and guest writes, InPlaceTP preserves all
-    /// guest memory and all VMs, in both directions.
-    #[test]
-    fn inplace_preserves_random_guests(
-        n_vms in 1u32..4,
-        vcpus in 1u32..4,
-        writes in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..40),
-        to_xen: bool,
-    ) {
         let registry = default_registry();
         let mut m = Machine::new(small_spec(8));
         let (source, target) = if to_xen {
@@ -51,22 +58,26 @@ proptest! {
 
         let engine = InPlaceTransplant::new(&registry);
         let (hv2, report) = engine.run(&mut m, hv, target).unwrap();
-        prop_assert_eq!(report.vm_count as u32, n_vms);
+        assert_eq!(report.vm_count as u32, n_vms, "case {case}");
         for ((name, gfn), val) in last {
             let id = hv2.find_vm(&name).unwrap();
-            prop_assert_eq!(hv2.read_guest(&m, id, gfn).unwrap(), val);
-            prop_assert_eq!(hv2.vm_state(id).unwrap(), VmState::Running);
+            assert_eq!(hv2.read_guest(&m, id, gfn).unwrap(), val, "case {case}");
+            assert_eq!(hv2.vm_state(id).unwrap(), VmState::Running, "case {case}");
         }
     }
+}
 
-    /// For any dirty rate, migration converges (or force-stops) and the
-    /// destination equals the source at pause time.
-    #[test]
-    fn migration_always_converges_and_matches(
-        dirty_rate in 0.0f64..50_000.0,
-        threshold in 1u64..512,
-        max_rounds in 2u32..12,
-    ) {
+/// For any dirty rate, migration converges (or force-stops) and the
+/// destination equals the source at pause time. (Formerly proptest,
+/// 12 cases.)
+#[test]
+fn migration_always_converges_and_matches() {
+    let mut rng = SimRng::new(0x17e6_0002);
+    for case in 0..12 {
+        let dirty_rate = rng.gen_f64() * 50_000.0;
+        let threshold = 1 + rng.gen_range(511);
+        let max_rounds = 2 + rng.gen_range(10) as u32;
+
         let registry = default_registry();
         let clock = SimClock::new();
         let mut src_m = Machine::with_clock(small_spec(4), clock.clone());
@@ -79,14 +90,18 @@ proptest! {
             stop_threshold_pages: threshold,
             max_rounds,
             verify_contents: true, // The engine itself checks equality.
-        ..MigrationConfig::default()
+            ..MigrationConfig::default()
         });
         let report = tp
             .migrate(&mut src_m, src.as_mut(), id, &mut dst_m, dst.as_mut())
             .unwrap();
-        prop_assert!(report.rounds.len() as u32 <= max_rounds);
-        prop_assert!(report.downtime < report.total);
+        assert!(report.rounds.len() as u32 <= max_rounds, "case {case}");
+        assert!(report.downtime < report.total, "case {case}");
         let new_id = dst.find_vm("vm0").unwrap();
-        prop_assert_eq!(dst.vm_state(new_id).unwrap(), VmState::Running);
+        assert_eq!(
+            dst.vm_state(new_id).unwrap(),
+            VmState::Running,
+            "case {case}"
+        );
     }
 }
