@@ -8,7 +8,10 @@
 //! decision → fleet transplant out → the window elapses → patch →
 //! fleet transplant back, with exposure accounting.
 
+use std::collections::VecDeque;
+
 use hypertp_core::{HtpError, HypervisorKind, InPlaceReport};
+use hypertp_sim::fault::{FaultPlan, InjectionPoint, RecoveryAction};
 use hypertp_sim::SimDuration;
 use hypertp_vulndb::policy::{decide, Decision};
 use hypertp_vulndb::{HypervisorId, Vulnerability};
@@ -32,6 +35,27 @@ pub fn to_id(kind: HypervisorKind) -> HypervisorId {
     }
 }
 
+/// Knobs for campaign orchestration under faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// How many times a failed host upgrade is requeued to the back of
+    /// the wave before the host is excluded from the campaign.
+    pub max_host_retries: u32,
+    /// If set, the patch ships after this many hosts have completed the
+    /// transplant-out wave: the remaining hosts patch in place and never
+    /// visit the refuge hypervisor.
+    pub patch_after_hosts: Option<usize>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            max_host_retries: 2,
+            patch_after_hosts: None,
+        }
+    }
+}
+
 /// Outcome of a full campaign.
 #[derive(Debug)]
 pub struct CampaignReport {
@@ -49,14 +73,40 @@ pub struct CampaignReport {
     pub window: SimDuration,
     /// Worst per-VM downtime across both transplants of any host.
     pub worst_downtime: SimDuration,
+    /// Number of hosts the campaign was responsible for.
+    pub hosts_total: usize,
+    /// Hosts excluded from the transplant-out wave after exhausting their
+    /// retry budget: they ran the vulnerable hypervisor for the whole
+    /// window (residual exposure).
+    pub excluded_hosts: Vec<usize>,
+    /// Hosts whose transplant *back* was abandoned: they remain on the
+    /// refuge hypervisor — protected, but stranded away from home.
+    pub stranded_hosts: Vec<usize>,
+    /// VMs resident on excluded hosts — the workloads left exposed.
+    pub residual_vms: usize,
+    /// Hosts that skipped the refuge trip because the patch shipped
+    /// mid-wave (see [`CampaignConfig::patch_after_hosts`]).
+    pub skipped_after_patch: usize,
 }
 
 impl CampaignReport {
-    /// Exposure eliminated: the whole window, minus the instants the
-    /// fleet spent mid-transplant (during which VMs are paused, not
-    /// exposed).
+    /// Exposure eliminated: the whole window for every protected host;
+    /// hosts excluded from the out-wave sat on the vulnerable hypervisor
+    /// throughout, so their share of the window is *not* avoided.
     pub fn exposure_avoided(&self) -> SimDuration {
-        self.window
+        if self.hosts_total == 0 || self.excluded_hosts.is_empty() {
+            return self.window;
+        }
+        let covered =
+            (self.hosts_total - self.excluded_hosts.len()) as f64 / self.hosts_total as f64;
+        SimDuration::from_secs_f64(self.window.as_secs_f64() * covered)
+    }
+
+    /// Residual exposure: the window share of the excluded hosts.
+    pub fn residual_exposure(&self) -> SimDuration {
+        SimDuration::from_secs_f64(
+            self.window.as_secs_f64() - self.exposure_avoided().as_secs_f64(),
+        )
     }
 
     /// Ratio of worst service disruption to window covered — the
@@ -108,6 +158,104 @@ pub fn run_campaign(
     disclosed: &Vulnerability,
     open_flaws: &[&Vulnerability],
 ) -> Result<CampaignReport, CampaignError> {
+    run_campaign_with(
+        nova,
+        disclosed,
+        open_flaws,
+        &FaultPlan::disarmed(),
+        &CampaignConfig::default(),
+    )
+}
+
+/// One wave of rolling host upgrades under fault injection.
+struct WaveOutcome {
+    /// Reports of successful upgrades, in completion order.
+    reports: Vec<InPlaceReport>,
+    /// Hosts upgraded, parallel to `reports`.
+    upgraded: Vec<usize>,
+    /// Hosts excluded after exhausting the retry budget.
+    excluded: Vec<usize>,
+    /// Hosts never attempted because the wave was cut short.
+    skipped: Vec<usize>,
+}
+
+/// Rolls `hosts` through `nova.host_live_upgrade(host, target)`.
+///
+/// [`InjectionPoint::HostFailure`] models a host that faults mid-upgrade
+/// before any VM state is consumed (e.g. kexec refuses to load the target
+/// kernel): the attempt is abandoned, the host's VMs keep running on the
+/// old hypervisor, and the host is requeued at the back of the wave
+/// ([`RecoveryAction::RequeuedHost`]). After `max_host_retries` requeues
+/// the host is excluded ([`RecoveryAction::ExcludedHost`]) and the
+/// campaign continues without it, accounting its VMs as residual
+/// exposure.
+///
+/// If `stop_after` is set, the wave is cut short once that many hosts
+/// have completed: the rest land in `skipped` (the patch shipped before
+/// their turn).
+fn upgrade_wave(
+    nova: &mut NovaManager,
+    hosts: &[usize],
+    target: HypervisorKind,
+    faults: &FaultPlan,
+    cfg: &CampaignConfig,
+    wave: &str,
+    stop_after: Option<usize>,
+) -> Result<WaveOutcome, CampaignError> {
+    let mut queue: VecDeque<(usize, u32)> = hosts.iter().map(|&h| (h, 0)).collect();
+    let mut out = WaveOutcome {
+        reports: Vec::new(),
+        upgraded: Vec::new(),
+        excluded: Vec::new(),
+        skipped: Vec::new(),
+    };
+    while let Some((host, attempts)) = queue.pop_front() {
+        if stop_after.is_some_and(|k| out.upgraded.len() >= k) {
+            out.skipped.push(host);
+            continue;
+        }
+        let site = format!("{wave} host c{host}");
+        if faults.should_inject(InjectionPoint::HostFailure, &site) {
+            let attempts = attempts + 1;
+            if attempts > cfg.max_host_retries {
+                faults.record_recovery(
+                    InjectionPoint::HostFailure,
+                    RecoveryAction::ExcludedHost,
+                    &format!("{site}: excluded after {attempts} failed attempts"),
+                );
+                out.excluded.push(host);
+            } else {
+                faults.record_recovery(
+                    InjectionPoint::HostFailure,
+                    RecoveryAction::RequeuedHost,
+                    &format!("{site}: attempt {attempts} failed, requeued"),
+                );
+                queue.push_back((host, attempts));
+            }
+            continue;
+        }
+        let (report, _evacuations) = nova.host_live_upgrade(host, target)?;
+        out.reports.push(report);
+        out.upgraded.push(host);
+    }
+    Ok(out)
+}
+
+/// [`run_campaign`] with fault injection and recovery knobs: failed host
+/// upgrades are requeued then excluded per [`CampaignConfig`], every
+/// decision is recorded in `faults`' log, and the report accounts the
+/// exposure left on excluded hosts.
+pub fn run_campaign_with(
+    nova: &mut NovaManager,
+    disclosed: &Vulnerability,
+    open_flaws: &[&Vulnerability],
+    faults: &FaultPlan,
+    cfg: &CampaignConfig,
+) -> Result<CampaignReport, CampaignError> {
+    if nova.host_count() == 0 {
+        // An empty fleet has nothing exposed and nothing to transplant.
+        return Err(CampaignError::NotAffected);
+    }
     let home = nova.compute(0).hypervisor_kind();
     let pool: Vec<HypervisorId> = nova.registry.kinds().into_iter().map(to_id).collect();
     let refuge = match decide(disclosed, to_id(home), &pool, open_flaws) {
@@ -117,27 +265,46 @@ pub fn run_campaign(
         Decision::BelowThreshold => return Err(CampaignError::BelowThreshold),
     };
 
-    // Transplant out, host by host (a rolling fleet upgrade).
-    let mut out = Vec::new();
-    for host in 0..nova.host_count() {
-        let (report, _evacuations) = nova.host_live_upgrade(host, refuge)?;
-        out.push(report);
-    }
+    // Transplant out, host by host (a rolling fleet upgrade). Hosts that
+    // fail are requeued, then excluded; if the patch ships mid-wave the
+    // remaining hosts stay home and patch directly.
+    let hosts_total = nova.host_count();
+    let all_hosts: Vec<usize> = (0..hosts_total).collect();
+    let wave_out = upgrade_wave(
+        nova,
+        &all_hosts,
+        refuge,
+        faults,
+        cfg,
+        "transplant-out",
+        cfg.patch_after_hosts,
+    )?;
 
     // The vulnerability window elapses on the refuge hypervisor.
     let window = SimDuration::from_secs(disclosed.window_days.unwrap_or(30) as u64 * 24 * 3600);
 
     // The patch has shipped and been applied to the home hypervisor's
-    // boot image: transplant back.
-    let mut back = Vec::new();
-    for host in 0..nova.host_count() {
-        let (report, _evacuations) = nova.host_live_upgrade(host, home)?;
-        back.push(report);
-    }
+    // boot image: transplant back — but only the hosts that actually
+    // left. Excluded and patch-skipped hosts are still home.
+    let wave_back = upgrade_wave(
+        nova,
+        &wave_out.upgraded,
+        home,
+        faults,
+        cfg,
+        "transplant-back",
+        None,
+    )?;
 
-    let worst_downtime = out
+    let residual_vms = wave_out
+        .excluded
         .iter()
-        .chain(back.iter())
+        .map(|&h| nova.compute(h).vm_names().len())
+        .sum();
+    let worst_downtime = wave_out
+        .reports
+        .iter()
+        .chain(wave_back.reports.iter())
         .map(InPlaceReport::downtime)
         .max()
         .unwrap_or(SimDuration::ZERO);
@@ -145,10 +312,15 @@ pub fn run_campaign(
         cve: disclosed.id.clone(),
         home,
         refuge,
-        out,
-        back,
+        out: wave_out.reports,
+        back: wave_back.reports,
         window,
         worst_downtime,
+        hosts_total,
+        excluded_hosts: wave_out.excluded,
+        stranded_hosts: wave_back.excluded,
+        residual_vms,
+        skipped_after_patch: wave_out.skipped.len(),
     })
 }
 
@@ -216,6 +388,15 @@ mod tests {
     }
 
     #[test]
+    fn empty_fleet_is_not_affected() {
+        let mut nova = fleet(0);
+        assert!(matches!(
+            run_campaign(&mut nova, &xen_critical(), &[]),
+            Err(CampaignError::NotAffected)
+        ));
+    }
+
+    #[test]
     fn common_flaw_has_no_refuge() {
         let mut nova = fleet(1);
         let venom = dataset()
@@ -245,6 +426,106 @@ mod tests {
             run_campaign(&mut nova, &kvm_flaw, &[]),
             Err(CampaignError::NotAffected)
         ));
+    }
+
+    #[test]
+    fn transient_host_failure_is_requeued_and_fleet_fully_protected() {
+        let mut nova = fleet(2);
+        nova.boot(&VmConfig::small("a")).unwrap();
+        nova.boot(&VmConfig::small("b")).unwrap();
+        let faults = FaultPlan::new(0xc1a0_0001);
+        faults.arm_once(InjectionPoint::HostFailure);
+        let report = run_campaign_with(
+            &mut nova,
+            &xen_critical(),
+            &[],
+            &faults,
+            &CampaignConfig::default(),
+        )
+        .unwrap();
+        // One host faulted once, was requeued, and completed on retry:
+        // the whole fleet is protected and back home.
+        assert!(faults
+            .log()
+            .recovered_via(InjectionPoint::HostFailure, RecoveryAction::RequeuedHost));
+        assert!(report.excluded_hosts.is_empty());
+        assert_eq!(report.out.len(), 2);
+        assert_eq!(report.back.len(), 2);
+        assert_eq!(report.exposure_avoided(), report.window);
+        assert_eq!(report.residual_exposure(), SimDuration::ZERO);
+        for h in 0..2 {
+            assert_eq!(nova.compute(h).hypervisor_kind(), HypervisorKind::Xen);
+        }
+    }
+
+    #[test]
+    fn persistent_host_failure_is_excluded_with_residual_exposure() {
+        let mut nova = fleet(2);
+        nova.boot(&VmConfig::small("a")).unwrap();
+        nova.boot(&VmConfig::small("b")).unwrap();
+        nova.boot(&VmConfig::small("c")).unwrap();
+        let faults = FaultPlan::new(0xc1a0_0002);
+        // The scheduler packs all three compatible VMs onto c1; doom it.
+        // should_inject call ordinals for the out wave with queue
+        // [c0, c1]: 1 = c0 (clean), 2 = c1 (requeue, attempt 1),
+        // 3 = c1 (requeue, attempt 2), 4 = c1 (excluded, attempt 3).
+        faults.arm_calls(InjectionPoint::HostFailure, &[2, 3, 4]);
+        let report = run_campaign_with(
+            &mut nova,
+            &xen_critical(),
+            &[],
+            &faults,
+            &CampaignConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.excluded_hosts, vec![1]);
+        assert!(faults
+            .log()
+            .recovered_via(InjectionPoint::HostFailure, RecoveryAction::ExcludedHost));
+        // Only c0 made the round trip; c1's VMs are residual exposure.
+        assert_eq!(report.out.len(), 1);
+        assert_eq!(report.back.len(), 1);
+        assert_eq!(report.residual_vms, nova.compute(1).vm_names().len());
+        assert!(report.residual_vms > 0);
+        assert!(report.exposure_avoided() < report.window);
+        assert!(report.residual_exposure() > SimDuration::ZERO);
+        // The excluded host never transplanted: still on the vulnerable
+        // home hypervisor, VMs intact.
+        assert_eq!(nova.compute(0).hypervisor_kind(), HypervisorKind::Xen);
+        assert_eq!(nova.compute(1).hypervisor_kind(), HypervisorKind::Xen);
+        // No VM was lost anywhere in the fleet.
+        let total: usize = (0..2).map(|h| nova.compute(h).vm_names().len()).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn patch_shipping_mid_wave_cuts_the_out_wave_short() {
+        let mut nova = fleet(3);
+        for i in 0..3 {
+            nova.boot(&VmConfig::small(format!("svc{i}"))).unwrap();
+        }
+        let cfg = CampaignConfig {
+            patch_after_hosts: Some(1),
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign_with(
+            &mut nova,
+            &xen_critical(),
+            &[],
+            &FaultPlan::disarmed(),
+            &cfg,
+        )
+        .unwrap();
+        // Only the first host visited the refuge; the other two patched
+        // at home once the fix shipped.
+        assert_eq!(report.out.len(), 1);
+        assert_eq!(report.back.len(), 1);
+        assert_eq!(report.skipped_after_patch, 2);
+        assert!(report.excluded_hosts.is_empty());
+        // Everyone ends up home regardless of the path taken.
+        for h in 0..3 {
+            assert_eq!(nova.compute(h).hypervisor_kind(), HypervisorKind::Xen);
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use hypertp_core::HypervisorKind;
 use hypertp_migrate::Link;
 use hypertp_sim::cost::BootTarget;
+use hypertp_sim::fault::{FaultPlan, InjectionPoint, RecoveryAction};
 use hypertp_sim::{CostModel, EventQueue, SimDuration, SimTime};
 
 use crate::model::Cluster;
@@ -30,6 +31,9 @@ pub struct ExecConfig {
     /// (the paper's testbed effectively serializes: 1). Concurrent
     /// migrations also share link bandwidth.
     pub max_concurrent_migrations: usize,
+    /// Retries granted to a host whose in-place upgrade faults before it
+    /// is dropped from the plan (see [`execute_with_faults`]).
+    pub max_host_retries: u32,
 }
 
 impl Default for ExecConfig {
@@ -39,6 +43,7 @@ impl Default for ExecConfig {
             per_migration_overhead: SimDuration::from_millis(3500),
             target: HypervisorKind::Kvm,
             max_concurrent_migrations: 1,
+            max_host_retries: 2,
         }
     }
 }
@@ -56,6 +61,10 @@ pub struct ExecReport {
     pub migration_time: SimDuration,
     /// Time spent in in-place upgrades (parallel within a group).
     pub inplace_time: SimDuration,
+    /// In-place upgrade attempts that faulted and were retried.
+    pub host_retries: usize,
+    /// Hosts dropped from the plan after exhausting their retry budget.
+    pub hosts_excluded: usize,
 }
 
 impl ExecReport {
@@ -106,6 +115,22 @@ fn inplace_time(
 /// the group's in-place upgrades run in parallel once its migrations have
 /// drained; groups run one after another (the rolling-offline structure).
 pub fn execute(cluster: &Cluster, plan: &Plan, cfg: &ExecConfig) -> ExecReport {
+    execute_with_faults(cluster, plan, cfg, &FaultPlan::disarmed())
+}
+
+/// [`execute`] under fault injection: an in-place upgrade hit by
+/// [`InjectionPoint::HostFailure`] burns its slot time and is retried
+/// ([`RecoveryAction::RequeuedHost`]); past `cfg.max_host_retries` the
+/// host is dropped from the plan ([`RecoveryAction::ExcludedHost`]) and
+/// accounted in [`ExecReport::hosts_excluded`]. Faulted attempts extend
+/// the group's parallel in-place phase, so recovery cost shows up in the
+/// reported wall-clock totals.
+pub fn execute_with_faults(
+    cluster: &Cluster,
+    plan: &Plan,
+    cfg: &ExecConfig,
+    faults: &FaultPlan,
+) -> ExecReport {
     let cost = CostModel::paper_calibrated();
     let slots = cfg.max_concurrent_migrations.max(1);
     let mut now = SimTime::ZERO;
@@ -113,6 +138,8 @@ pub fn execute(cluster: &Cluster, plan: &Plan, cfg: &ExecConfig) -> ExecReport {
     let mut inplace_time_acc = SimDuration::ZERO;
     let mut migrations = 0usize;
     let mut upgrades = 0usize;
+    let mut host_retries = 0usize;
+    let mut hosts_excluded = 0usize;
     for group in &plan.groups {
         let group_start = now;
         // Phase 1: drain the group's migrations through the slot pool.
@@ -145,17 +172,44 @@ pub fn execute(cluster: &Cluster, plan: &Plan, cfg: &ExecConfig) -> ExecReport {
             }
         }
         migration_time_acc += now.duration_since(group_start);
-        // Phase 2: the group's in-place upgrades, in parallel.
-        let group_inplace = group
-            .iter()
-            .filter_map(|a| match a {
-                Action::InPlaceUpgrade { host, vm_count } => {
-                    upgrades += 1;
-                    Some(inplace_time(cluster, &cost, *host, *vm_count, cfg.target))
+        // Phase 2: the group's in-place upgrades, in parallel. A faulted
+        // upgrade burns its attempt's time and retries on the same host;
+        // past the retry budget the host is dropped from the plan.
+        let mut group_inplace = SimDuration::ZERO;
+        for a in group {
+            let Action::InPlaceUpgrade { host, vm_count } = a else {
+                continue;
+            };
+            let attempt_cost = inplace_time(cluster, &cost, *host, *vm_count, cfg.target);
+            let mut host_time = SimDuration::ZERO;
+            let mut attempts = 0u32;
+            loop {
+                let site = format!("exec upgrade h{host}");
+                host_time += attempt_cost;
+                if faults.should_inject(InjectionPoint::HostFailure, &site) {
+                    attempts += 1;
+                    if attempts > cfg.max_host_retries {
+                        faults.record_recovery(
+                            InjectionPoint::HostFailure,
+                            RecoveryAction::ExcludedHost,
+                            &format!("{site}: dropped after {attempts} failed attempts"),
+                        );
+                        hosts_excluded += 1;
+                        break;
+                    }
+                    faults.record_recovery(
+                        InjectionPoint::HostFailure,
+                        RecoveryAction::RequeuedHost,
+                        &format!("{site}: attempt {attempts} failed, retrying"),
+                    );
+                    host_retries += 1;
+                    continue;
                 }
-                _ => None,
-            })
-            .fold(SimDuration::ZERO, SimDuration::max);
+                upgrades += 1;
+                break;
+            }
+            group_inplace = group_inplace.max(host_time);
+        }
         now += group_inplace;
         inplace_time_acc += group_inplace;
     }
@@ -165,6 +219,8 @@ pub fn execute(cluster: &Cluster, plan: &Plan, cfg: &ExecConfig) -> ExecReport {
         total: now.duration_since(SimTime::ZERO),
         migration_time: migration_time_acc,
         inplace_time: inplace_time_acc,
+        host_retries,
+        hosts_excluded,
     }
 }
 
@@ -233,6 +289,63 @@ mod tests {
             four.total.as_secs_f64() > serial.total.as_secs_f64() / 4.0,
             "bandwidth sharing prevents a linear speedup"
         );
+    }
+
+    #[test]
+    fn host_failure_retry_extends_wall_clock() {
+        let c = Cluster::paper_testbed(100, 42);
+        let plan = plan_upgrade(&c, 2).unwrap();
+        let cfg = ExecConfig::default();
+        let clean = execute(&c, &plan, &cfg);
+        let faults = FaultPlan::new(0xe8ec);
+        faults.arm_once(InjectionPoint::HostFailure);
+        let faulted = execute_with_faults(&c, &plan, &cfg, &faults);
+        assert_eq!(faulted.host_retries, 1);
+        assert_eq!(faulted.hosts_excluded, 0);
+        assert_eq!(faulted.inplace_upgrades, clean.inplace_upgrades);
+        assert!(
+            faulted.total > clean.total,
+            "recovery cost must show up in wall-clock time"
+        );
+        assert!(faults
+            .log()
+            .recovered_via(InjectionPoint::HostFailure, RecoveryAction::RequeuedHost));
+    }
+
+    #[test]
+    fn exhausted_retries_drop_the_host_from_the_plan() {
+        let c = Cluster::paper_testbed(100, 42);
+        let plan = plan_upgrade(&c, 2).unwrap();
+        let cfg = ExecConfig::default();
+        let faults = FaultPlan::new(0xe8ed);
+        // First host's upgrade fails on every attempt (1 + 2 retries).
+        faults.arm_calls(InjectionPoint::HostFailure, &[1, 2, 3]);
+        let r = execute_with_faults(&c, &plan, &cfg, &faults);
+        assert_eq!(r.hosts_excluded, 1);
+        assert_eq!(r.host_retries, cfg.max_host_retries as usize);
+        assert_eq!(r.inplace_upgrades, plan.inplace_count() - 1);
+        assert!(faults
+            .log()
+            .recovered_via(InjectionPoint::HostFailure, RecoveryAction::ExcludedHost));
+    }
+
+    #[test]
+    fn same_seed_executes_identically() {
+        let c = Cluster::paper_testbed(80, 42);
+        let plan = plan_upgrade(&c, 2).unwrap();
+        let cfg = ExecConfig::default();
+        let run = |seed: u64| {
+            let faults = FaultPlan::new(seed);
+            faults.arm(InjectionPoint::HostFailure, 0.3, u64::MAX);
+            let r = execute_with_faults(&c, &plan, &cfg, &faults);
+            (
+                r.host_retries,
+                r.hosts_excluded,
+                r.total,
+                faults.log().render(),
+            )
+        };
+        assert_eq!(run(7), run(7));
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod model;
 pub mod openstack;
 pub mod planner;
 
-pub use campaign::{run_campaign, CampaignReport};
-pub use exec::{execute, ExecReport};
+pub use campaign::{run_campaign, run_campaign_with, CampaignConfig, CampaignReport};
+pub use exec::{execute, execute_with_faults, ExecReport};
 pub use model::{Cluster, ClusterVm, HostState};
-pub use planner::{plan_upgrade, Action, Plan};
+pub use planner::{plan_upgrade, plan_upgrade_excluding, Action, Plan};

@@ -92,15 +92,31 @@ impl std::error::Error for PlanError {}
 /// hosts. Mutates a copy of the cluster to track placement; the input is
 /// untouched.
 pub fn plan_upgrade(cluster: &Cluster, group_size: usize) -> Result<Plan, PlanError> {
-    if group_size == 0 || group_size > cluster.hosts.len() {
+    plan_upgrade_excluding(cluster, group_size, &[])
+}
+
+/// [`plan_upgrade`] over a degraded cluster: `excluded` hosts (failed or
+/// quarantined by the campaign's fault policy) are neither upgraded nor
+/// used as migration targets. VMs resident on an excluded host stay put —
+/// the host keeps serving on its old hypervisor and its exposure is
+/// accounted at the campaign level, not the plan level.
+pub fn plan_upgrade_excluding(
+    cluster: &Cluster,
+    group_size: usize,
+    excluded: &[usize],
+) -> Result<Plan, PlanError> {
+    let eligible: Vec<usize> = (0..cluster.hosts.len())
+        .filter(|h| !excluded.contains(h))
+        .collect();
+    if group_size == 0 || group_size > eligible.len() {
         return Err(PlanError::BadGroupSize);
     }
     let mut state = cluster.clone();
     let mut plan = Plan::default();
-    let host_count = state.hosts.len();
     let mut group_start = 0usize;
-    while group_start < host_count {
-        let group: Vec<usize> = (group_start..(group_start + group_size).min(host_count)).collect();
+    while group_start < eligible.len() {
+        let group: Vec<usize> =
+            eligible[group_start..(group_start + group_size).min(eligible.len())].to_vec();
         let mut actions = Vec::new();
         for &host in &group {
             let resident = state.vms_on(host);
@@ -110,11 +126,10 @@ pub fn plan_upgrade(cluster: &Cluster, group_size: usize) -> Result<Plan, PlanEr
                     staying += 1;
                     continue;
                 }
-                let to = best_target(&state, &group, state.vms[vm].config.memory_gb).ok_or_else(
-                    || PlanError::NoCapacity {
+                let to = best_target(&state, &group, excluded, state.vms[vm].config.memory_gb)
+                    .ok_or_else(|| PlanError::NoCapacity {
                         vm: state.vms[vm].name.clone(),
-                    },
-                )?;
+                    })?;
                 actions.push(Action::Migrate { vm, from: host, to });
                 state.vms[vm].host = to;
             }
@@ -131,11 +146,17 @@ pub fn plan_upgrade(cluster: &Cluster, group_size: usize) -> Result<Plan, PlanEr
 }
 
 /// Chooses the destination for an evacuated VM: the host outside the
-/// offline group with enough free memory, preferring already-upgraded
-/// hosts (so the VM never moves again), then the most free capacity.
-fn best_target(cluster: &Cluster, group: &[usize], need_gb: u64) -> Option<usize> {
+/// offline group (and not excluded) with enough free memory, preferring
+/// already-upgraded hosts (so the VM never moves again), then the most
+/// free capacity.
+fn best_target(
+    cluster: &Cluster,
+    group: &[usize],
+    excluded: &[usize],
+    need_gb: u64,
+) -> Option<usize> {
     (0..cluster.hosts.len())
-        .filter(|h| !group.contains(h))
+        .filter(|h| !group.contains(h) && !excluded.contains(h))
         .filter(|&h| cluster.host_free_gb(h) >= need_gb)
         .max_by_key(|&h| (cluster.hosts[h].upgraded, cluster.host_free_gb(h)))
 }
@@ -221,10 +242,83 @@ mod tests {
     }
 
     #[test]
+    fn excluded_hosts_are_neither_upgraded_nor_targets() {
+        let c = Cluster::paper_testbed(0, 42);
+        let excluded = [3usize, 7];
+        let plan = plan_upgrade_excluding(&c, 2, &excluded).unwrap();
+        for a in plan.actions() {
+            match a {
+                Action::InPlaceUpgrade { host, .. } => {
+                    assert!(!excluded.contains(host), "excluded host {host} upgraded");
+                }
+                Action::Migrate { from, to, .. } => {
+                    assert!(
+                        !excluded.contains(from),
+                        "migrated off excluded host {from}"
+                    );
+                    assert!(!excluded.contains(to), "migrated onto excluded host {to}");
+                }
+            }
+        }
+        assert_eq!(plan.inplace_count(), 8, "only the eligible hosts upgrade");
+        validate_capacity(&c, &plan).unwrap();
+    }
+
+    #[test]
+    fn excluding_every_host_is_a_bad_group_size() {
+        let c = Cluster::paper_testbed(0, 42);
+        let all: Vec<usize> = (0..10).collect();
+        assert!(matches!(
+            plan_upgrade_excluding(&c, 1, &all),
+            Err(PlanError::BadGroupSize)
+        ));
+    }
+
+    #[test]
     fn bad_group_size_rejected() {
         let c = Cluster::paper_testbed(0, 1);
         assert!(matches!(plan_upgrade(&c, 0), Err(PlanError::BadGroupSize)));
         assert!(matches!(plan_upgrade(&c, 11), Err(PlanError::BadGroupSize)));
+    }
+
+    #[test]
+    fn empty_cluster_has_no_valid_plan() {
+        let c = Cluster {
+            hosts: Vec::new(),
+            vms: Vec::new(),
+            host_reserve_gb: 0,
+        };
+        // No hosts means no admissible group size at all.
+        assert!(matches!(plan_upgrade(&c, 1), Err(PlanError::BadGroupSize)));
+        assert!(matches!(plan_upgrade(&c, 0), Err(PlanError::BadGroupSize)));
+    }
+
+    #[test]
+    fn single_host_with_incompatible_vm_has_no_evacuation_target() {
+        // One host, one VM that cannot ride through InPlaceTP: there is
+        // nowhere to evacuate it while its host is offline.
+        let mut c = Cluster::paper_testbed(0, 7);
+        c.hosts.truncate(1);
+        c.vms.retain(|v| v.host == 0);
+        assert!(!c.vms.is_empty(), "testbed host 0 carries VMs");
+        assert!(c.vms.iter().any(|v| !v.config.inplace_compatible));
+        assert!(matches!(
+            plan_upgrade(&c, 1),
+            Err(PlanError::NoCapacity { .. })
+        ));
+    }
+
+    #[test]
+    fn single_host_all_compatible_plans_without_migrations() {
+        // The degenerate fleet still upgrades when every VM can ride the
+        // micro-reboot: one group, one in-place action, no migrations.
+        let mut c = Cluster::paper_testbed(100, 7);
+        c.hosts.truncate(1);
+        c.vms.retain(|v| v.host == 0);
+        let plan = plan_upgrade(&c, 1).unwrap();
+        assert_eq!(plan.migration_count(), 0);
+        assert_eq!(plan.inplace_count(), 1);
+        assert_eq!(plan.groups.len(), 1);
     }
 
     #[test]

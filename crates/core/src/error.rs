@@ -45,6 +45,13 @@ pub enum HtpError {
     },
     /// The operation is not supported by this hypervisor.
     Unsupported(&'static str),
+    /// The migration link failed repeatedly and the retry budget ran out.
+    LinkFailure {
+        /// The VM whose migration was abandoned.
+        vm_name: String,
+        /// Retries attempted before giving up.
+        retries: u32,
+    },
 }
 
 impl std::fmt::Display for HtpError {
@@ -70,6 +77,10 @@ impl std::fmt::Display for HtpError {
                 write!(f, "guest memory of '{vm_name}' changed across transplant")
             }
             HtpError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            HtpError::LinkFailure { vm_name, retries } => write!(
+                f,
+                "migration link for '{vm_name}' failed after {retries} retries"
+            ),
         }
     }
 }

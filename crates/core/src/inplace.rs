@@ -9,9 +9,10 @@
 //! The §4.2.5 optimizations are individually toggleable through
 //! [`Optimizations`]; the ablation bench measures each one's contribution.
 
-use hypertp_machine::Machine;
-use hypertp_pram::{PramBuilder, PramImage, PramStats};
+use hypertp_machine::{Extent, Machine, PageOrder};
+use hypertp_pram::{PramBuilder, PramError, PramHandle, PramImage, PramStats};
 use hypertp_sim::cost::MachinePerf;
+use hypertp_sim::fault::{FaultPlan, InjectionPoint, RecoveryAction};
 use hypertp_sim::{CostModel, SimDuration, WorkerPool};
 
 use crate::error::HtpError;
@@ -130,6 +131,7 @@ pub struct InPlaceTransplant<'r> {
     registry: &'r HypervisorRegistry,
     cost: CostModel,
     opts: Optimizations,
+    faults: FaultPlan,
 }
 
 impl<'r> InPlaceTransplant<'r> {
@@ -140,12 +142,21 @@ impl<'r> InPlaceTransplant<'r> {
             registry,
             cost: CostModel::paper_calibrated(),
             opts: Optimizations::default(),
+            faults: FaultPlan::disarmed(),
         }
     }
 
     /// Replaces the cost model.
     pub fn with_cost(mut self, cost: CostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Installs a fault plan (chaos testing). The engine consults it at
+    /// the `WorkerPanic` (translate phase) and `PramChecksum` (pre-kexec
+    /// verify) injection points.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -176,6 +187,89 @@ impl<'r> InPlaceTransplant<'r> {
             WorkerPool::from_env()
         } else {
             WorkerPool::serial()
+        }
+    }
+
+    /// Pre-kexec PRAM verification and checksum-mismatch recovery.
+    ///
+    /// When a file's stored checksum disagrees with its entries, the
+    /// entries are cross-checked against the *live source hypervisor*
+    /// (still running at this point): guest files must match the current
+    /// memory maps and UISR blob files must still decode. Only then are
+    /// the suspect metadata pages released and the structure rebuilt over
+    /// the untouched data frames. If the cross-check fails, the corruption
+    /// reached the entries themselves and the transplant aborts.
+    fn verify_or_rebuild_pram(
+        &self,
+        machine: &mut Machine,
+        source: &dyn Hypervisor,
+        handle: PramHandle,
+        wpool: &WorkerPool,
+    ) -> Result<PramHandle, HtpError> {
+        if self
+            .faults
+            .should_inject(InjectionPoint::PramChecksum, "pre-kexec verify")
+        {
+            let image = PramImage::parse(machine.ram(), handle.pram_ptr)?;
+            if !image.checksums.is_empty() {
+                image.corrupt_checksum(machine.ram_mut(), 0)?;
+            }
+        }
+        let image = PramImage::parse(machine.ram(), handle.pram_ptr)?;
+        match image.verify() {
+            Ok(()) => Ok(handle),
+            Err(PramError::ChecksumMismatch { mfn, .. }) => {
+                // Cross-check every parsed file against the live source
+                // before trusting the structure for a rebuild.
+                for f in &image.files {
+                    if uisr_store::is_uisr_file(f) {
+                        let blob = uisr_store::load_blob(machine.ram(), f)?;
+                        hypertp_uisr::decode(&blob)?;
+                    } else {
+                        let id = source.find_vm(&f.name).ok_or_else(|| {
+                            HtpError::IntegrityViolation {
+                                vm_name: f.name.clone(),
+                            }
+                        })?;
+                        let mut live = source.guest_memory_map(id)?;
+                        live.sort_by_key(|(g, _)| *g);
+                        if live != f.mappings {
+                            self.faults.record_recovery(
+                                InjectionPoint::PramChecksum,
+                                RecoveryAction::GaveUp,
+                                &format!("{}: parsed map disagrees with live source", f.name),
+                            );
+                            return Err(HtpError::IntegrityViolation {
+                                vm_name: f.name.clone(),
+                            });
+                        }
+                    }
+                }
+                // Entries check out: recycle only the metadata pages and
+                // re-encode; guest and blob frames are untouched.
+                let released = handle.meta_frames.len();
+                for &m in &handle.meta_frames {
+                    machine.ram_mut().free(Extent::new(m, PageOrder(0)))?;
+                }
+                let mut rebuilt = PramBuilder::new().with_pool(*wpool);
+                for f in &image.files {
+                    rebuilt.add_file(f.name.clone(), f.mode, f.mappings.clone());
+                }
+                let fresh = rebuilt.write(machine.ram_mut())?;
+                PramImage::parse(machine.ram(), fresh.pram_ptr)?
+                    .verify()
+                    .map_err(HtpError::Pram)?;
+                self.faults.record_recovery(
+                    InjectionPoint::PramChecksum,
+                    RecoveryAction::RebuiltPram,
+                    &format!(
+                        "released {released} metadata pages (bad file-info at {mfn}), rebuilt {} files",
+                        image.files.len()
+                    ),
+                );
+                Ok(fresh)
+            }
+            Err(e) => Err(e.into()),
         }
     }
 
@@ -245,11 +339,21 @@ impl<'r> InPlaceTransplant<'r> {
         // thread pool; the pool returns results in VM order regardless of
         // worker count, so serial and parallel runs are byte-identical.
         let wpool = self.worker_pool();
-        let per_vm = {
+        // Worker-death faults are decided before dispatch so the fault log
+        // stays deterministic; lost tasks are re-run inline by the
+        // orchestrator (ReHype-style task-level microrecovery).
+        let doomed = self
+            .faults
+            .pick_doomed_tasks(ids.len(), "inplace translate");
+        let (per_vm, retried) = {
             let source_ref: &dyn Hypervisor = source.as_ref();
             let machine_ref: &Machine = machine;
-            wpool
-                .map(ids.clone(), |id| -> Result<SavedVm, HtpError> {
+            let ids_ref = &ids;
+            let (batch, retried) = wpool.map_indices_recovering(
+                ids.len(),
+                &doomed,
+                |i| -> Result<SavedVm, HtpError> {
+                    let id = ids_ref[i];
                     let name = source_ref.vm_config(id)?.name.clone();
                     let map = source_ref.guest_memory_map(id)?;
                     let extents: Vec<_> = map.iter().map(|(_, e)| *e).collect();
@@ -269,9 +373,17 @@ impl<'r> InPlaceTransplant<'r> {
                         blob,
                         checksum,
                     })
-                })
-                .results
+                },
+            );
+            (batch.results, retried)
         };
+        for &i in &retried {
+            self.faults.record_recovery(
+                InjectionPoint::WorkerPanic,
+                RecoveryAction::TaskRetriedInline,
+                &format!("translate task {i} re-run on orchestrator"),
+            );
+        }
         let mut saved = Vec::with_capacity(per_vm.len());
         for r in per_vm {
             saved.push(r?);
@@ -319,6 +431,10 @@ impl<'r> InPlaceTransplant<'r> {
             uisr_store::store_blob(machine.ram_mut(), &mut builder, &s.name, &s.blob)?;
         }
         let handle = builder.write(machine.ram_mut())?;
+        // Pre-kexec PRAM verification — the PramChecksum injection point.
+        // Past the micro-reboot there is no source hypervisor left to
+        // rebuild from, so corruption must be caught *here*.
+        let handle = self.verify_or_rebuild_pram(machine, source.as_ref(), handle, &wpool)?;
         let translate_cost = self.cost.translate(&pool, &xlate_list);
         clock.advance(translate_cost);
         let translation_span = if self.opts.prepare_before_pause {
@@ -351,6 +467,7 @@ impl<'r> InPlaceTransplant<'r> {
             }),
         )?;
         let image = PramImage::parse(machine.ram(), pram_ptr)?;
+        image.verify().map_err(HtpError::Pram)?;
         image.reserve_all(machine.ram_mut())?;
         let scrubbed = machine.ram_mut().scrub_unreserved();
 
@@ -624,6 +741,99 @@ mod tests {
         }
         // Metadata released: allocated frames ≈ guest frames only.
         assert_eq!(r.pram_stats.files, 16); // 8 guest + 8 UISR files.
+    }
+
+    #[test]
+    fn pram_checksum_fault_is_rebuilt_before_kexec() {
+        let reg = registry();
+        let mut m = machine_gb(8);
+        let mut src: Box<dyn Hypervisor> = Box::new(SimpleHv::new(HypervisorKind::Xen));
+        let mut expected = Vec::new();
+        for i in 0..3u64 {
+            let id = src
+                .create_vm(&mut m, &VmConfig::small(format!("vm{i}")))
+                .unwrap();
+            src.write_guest(&mut m, id, hypertp_machine::Gfn(i * 11), 0x9000 + i)
+                .unwrap();
+            expected.push((format!("vm{i}"), hypertp_machine::Gfn(i * 11), 0x9000 + i));
+        }
+        let plan = FaultPlan::new(0x66);
+        plan.arm_once(InjectionPoint::PramChecksum);
+        let engine = InPlaceTransplant::new(&reg).with_faults(plan.clone());
+        let (hv, r) = engine.run(&mut m, src, HypervisorKind::Kvm).unwrap();
+        // Recovery fired and the transplant still landed every VM.
+        assert!(plan
+            .log()
+            .recovered_via(InjectionPoint::PramChecksum, RecoveryAction::RebuiltPram));
+        assert_eq!(r.vm_count, 3);
+        for (name, gfn, val) in expected {
+            let id = hv.find_vm(&name).unwrap();
+            assert_eq!(hv.read_guest(&m, id, gfn).unwrap(), val, "{name}");
+        }
+    }
+
+    #[test]
+    fn worker_panic_tasks_are_retried_inline() {
+        let reg = registry();
+        let mut m = machine_gb(8);
+        let mut src: Box<dyn Hypervisor> = Box::new(SimpleHv::new(HypervisorKind::Xen));
+        for i in 0..6 {
+            src.create_vm(&mut m, &VmConfig::small(format!("vm{i}")))
+                .unwrap();
+        }
+        let plan = FaultPlan::new(0x77);
+        plan.arm_calls(InjectionPoint::WorkerPanic, &[2, 5]); // tasks 1 and 4 die
+        let engine = InPlaceTransplant::new(&reg).with_faults(plan.clone());
+        let (hv, r) = engine.run(&mut m, src, HypervisorKind::Kvm).unwrap();
+        assert_eq!(r.vm_count, 6);
+        for i in 0..6 {
+            assert!(hv.find_vm(&format!("vm{i}")).is_some(), "vm{i}");
+        }
+        let log = plan.log();
+        assert_eq!(log.injections_at(InjectionPoint::WorkerPanic), 2);
+        assert_eq!(
+            log.recoveries(
+                InjectionPoint::WorkerPanic,
+                RecoveryAction::TaskRetriedInline
+            ),
+            2
+        );
+    }
+
+    #[test]
+    fn faulted_and_clean_runs_agree_on_results() {
+        // A transplant with recovered faults must produce the same final
+        // state as a clean one — recovery may cost time, never data.
+        let run = |plan: Option<FaultPlan>| {
+            let reg = registry();
+            let mut m = machine_gb(8);
+            let mut src: Box<dyn Hypervisor> = Box::new(SimpleHv::new(HypervisorKind::Xen));
+            for i in 0..4u64 {
+                let id = src
+                    .create_vm(&mut m, &VmConfig::small(format!("vm{i}")))
+                    .unwrap();
+                src.write_guest(&mut m, id, hypertp_machine::Gfn(i), 0xaa00 + i)
+                    .unwrap();
+            }
+            let mut engine = InPlaceTransplant::new(&reg);
+            if let Some(p) = plan {
+                engine = engine.with_faults(p);
+            }
+            let (hv, _) = engine.run(&mut m, src, HypervisorKind::Kvm).unwrap();
+            (0..4u64)
+                .map(|i| {
+                    let id = hv.find_vm(&format!("vm{i}")).unwrap();
+                    hv.read_guest(&m, id, hypertp_machine::Gfn(i)).unwrap()
+                })
+                .collect::<Vec<_>>()
+        };
+        let clean = run(None);
+        let plan = FaultPlan::new(0x88);
+        plan.arm_once(InjectionPoint::PramChecksum);
+        plan.arm_calls(InjectionPoint::WorkerPanic, &[1, 3]);
+        let faulted = run(Some(plan.clone()));
+        assert_eq!(clean, faulted);
+        assert!(!plan.log().is_empty());
     }
 
     #[test]

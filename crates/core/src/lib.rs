@@ -27,6 +27,7 @@ pub mod error;
 pub mod hypervisor;
 pub mod inplace;
 pub mod memsep;
+pub mod recovery;
 pub mod registry;
 pub mod testing;
 pub mod uisr_store;
@@ -36,5 +37,6 @@ pub use error::HtpError;
 pub use hypervisor::{Hypervisor, HypervisorKind, RestoredVm};
 pub use inplace::{InPlaceReport, InPlaceTransplant, Optimizations};
 pub use memsep::{MemSepReport, StateCategory};
+pub use recovery::{migrate_or_inplace, migration_error_is_recoverable, FallbackOutcome};
 pub use registry::HypervisorRegistry;
 pub use vm::{VmConfig, VmId, VmState};

@@ -1,0 +1,169 @@
+//! MigrationTP → InPlaceTP fallback.
+//!
+//! The paper presents the two transplant mechanisms as alternatives chosen
+//! per host; operationally they also compose as a *recovery chain*: when a
+//! live migration is abandoned (the link failed past its retry budget),
+//! the VMs are still running untouched on the source, so the host can
+//! shrink its vulnerability window anyway by transplanting **in place**.
+//! This module provides the policy glue: try migration, and on a
+//! *recoverable* failure run the in-place path instead, recording the
+//! decision in the shared [`FaultPlan`]'s log.
+//!
+//! The module is deliberately mechanism-agnostic (closures, not engine
+//! types): `hypertp-migrate` depends on this crate, so the concrete
+//! MigrationTP engine cannot appear here. Callers hand in the two attempts
+//! and get back which path succeeded.
+
+use hypertp_sim::fault::{FaultPlan, InjectionPoint, RecoveryAction};
+
+use crate::error::HtpError;
+
+/// Which transplant path ultimately succeeded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FallbackOutcome<M, I> {
+    /// The migration went through; no fallback was needed.
+    Migrated(M),
+    /// The migration failed recoverably and the in-place transplant
+    /// shrank the window instead.
+    FellBack {
+        /// The error that ended the migration attempt.
+        migration_error: HtpError,
+        /// The in-place transplant's result.
+        inplace: I,
+    },
+}
+
+impl<M, I> FallbackOutcome<M, I> {
+    /// True when the fallback path ran.
+    pub fn fell_back(&self) -> bool {
+        matches!(self, FallbackOutcome::FellBack { .. })
+    }
+}
+
+/// True for migration errors that leave the source VMs intact and running,
+/// so an in-place transplant is a sound second attempt.
+///
+/// A [`HtpError::LinkFailure`] is the canonical case: the engine tears
+/// down the half-built destination shell and never pauses the source.
+/// Anything else (integrity violations, codec errors after pause, …) may
+/// have partially consumed the source state and must propagate.
+pub fn migration_error_is_recoverable(err: &HtpError) -> bool {
+    matches!(err, HtpError::LinkFailure { .. })
+}
+
+/// Attempts `migrate`; on a recoverable failure (see
+/// [`migration_error_is_recoverable`]) runs `inplace` instead and records
+/// a [`RecoveryAction::FellBackToInPlace`] in `faults`' log.
+///
+/// Non-recoverable migration errors and in-place errors propagate
+/// unchanged.
+pub fn migrate_or_inplace<M, I>(
+    faults: &FaultPlan,
+    host: &str,
+    migrate: impl FnOnce() -> Result<M, HtpError>,
+    inplace: impl FnOnce() -> Result<I, HtpError>,
+) -> Result<FallbackOutcome<M, I>, HtpError> {
+    match migrate() {
+        Ok(m) => Ok(FallbackOutcome::Migrated(m)),
+        Err(e) if migration_error_is_recoverable(&e) => {
+            faults.record_recovery(
+                InjectionPoint::LinkDrop,
+                RecoveryAction::FellBackToInPlace,
+                &format!("{host}: migration failed ({e}); transplanting in place"),
+            );
+            let i = inplace()?;
+            Ok(FallbackOutcome::FellBack {
+                migration_error: e,
+                inplace: i,
+            })
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link_failure() -> HtpError {
+        HtpError::LinkFailure {
+            vm_name: "vm0".into(),
+            retries: 4,
+        }
+    }
+
+    #[test]
+    fn migration_success_skips_fallback() {
+        let faults = FaultPlan::disarmed();
+        let out = migrate_or_inplace(
+            &faults,
+            "h0",
+            || Ok::<_, HtpError>(42u32),
+            || -> Result<u32, HtpError> { panic!("fallback must not run") },
+        )
+        .unwrap();
+        assert_eq!(out, FallbackOutcome::Migrated(42));
+        assert!(faults.log().is_empty());
+    }
+
+    #[test]
+    fn link_failure_falls_back_and_logs() {
+        let faults = FaultPlan::disarmed();
+        let out = migrate_or_inplace(
+            &faults,
+            "h0",
+            || Err::<u32, _>(link_failure()),
+            || Ok::<_, HtpError>("inplace-report"),
+        )
+        .unwrap();
+        assert!(out.fell_back());
+        match out {
+            FallbackOutcome::FellBack {
+                migration_error,
+                inplace,
+            } => {
+                assert_eq!(migration_error, link_failure());
+                assert_eq!(inplace, "inplace-report");
+            }
+            _ => unreachable!(),
+        }
+        assert!(faults
+            .log()
+            .recovered_via(InjectionPoint::LinkDrop, RecoveryAction::FellBackToInPlace));
+    }
+
+    #[test]
+    fn non_recoverable_errors_propagate() {
+        let faults = FaultPlan::disarmed();
+        let err = migrate_or_inplace(
+            &faults,
+            "h0",
+            || {
+                Err::<u32, _>(HtpError::IntegrityViolation {
+                    vm_name: "vm0".into(),
+                })
+            },
+            || -> Result<u32, HtpError> { panic!("fallback must not run") },
+        )
+        .unwrap_err();
+        assert!(matches!(err, HtpError::IntegrityViolation { .. }));
+        assert!(faults.log().is_empty());
+    }
+
+    #[test]
+    fn inplace_failure_propagates_after_fallback() {
+        let faults = FaultPlan::disarmed();
+        let err = migrate_or_inplace(
+            &faults,
+            "h0",
+            || Err::<u32, _>(link_failure()),
+            || Err::<u32, _>(HtpError::Unsupported("no kexec")),
+        )
+        .unwrap_err();
+        assert_eq!(err, HtpError::Unsupported("no kexec"));
+        // The fallback decision was still logged before the attempt.
+        assert!(faults
+            .log()
+            .recovered_via(InjectionPoint::LinkDrop, RecoveryAction::FellBackToInPlace));
+    }
+}

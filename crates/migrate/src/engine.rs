@@ -2,9 +2,21 @@
 
 use hypertp_core::{HtpError, Hypervisor, HypervisorKind, VmId};
 use hypertp_machine::{Gfn, Machine, PAGE_SIZE};
+use hypertp_sim::fault::{FaultPlan, InjectionPoint, RecoveryAction};
 use hypertp_sim::{CostModel, SimDuration, SimTime, WorkerPool};
 
 use crate::network::Link;
+
+/// Extra one-way delay modelled for an injected link latency spike
+/// (transient congestion); the engine absorbs it into the round time.
+const LATENCY_SPIKE: SimDuration = SimDuration::from_millis(150);
+
+/// Exponential backoff for retry `attempt` (1-based): `base << (attempt-1)`,
+/// capped at 16 doublings so the shift cannot overflow.
+fn backoff_delay(base: SimDuration, attempt: u32) -> SimDuration {
+    let doublings = attempt.saturating_sub(1).min(16);
+    SimDuration::from_nanos(base.as_nanos().saturating_mul(1u64 << doublings))
+}
 
 /// Pre-copy tuning parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,6 +34,12 @@ pub struct MigrationConfig {
     /// Verify that destination guest memory equals the source at pause
     /// time (tests; costs a full extra pass).
     pub verify_contents: bool,
+    /// Maximum consecutive link-failure retries per round before the
+    /// migration is abandoned with [`HtpError::LinkFailure`].
+    pub max_link_retries: u32,
+    /// Base backoff after a link failure; doubles on each consecutive
+    /// retry of the same round (exponential backoff).
+    pub retry_backoff: SimDuration,
 }
 
 impl Default for MigrationConfig {
@@ -32,6 +50,8 @@ impl Default for MigrationConfig {
             stop_threshold_pages: 64,
             dirty_rate_pages_per_sec: 10.0,
             verify_contents: false,
+            max_link_retries: 4,
+            retry_backoff: SimDuration::from_millis(50),
         }
     }
 }
@@ -88,6 +108,10 @@ pub struct MigrationTp {
     /// verification). Defaults to [`WorkerPool::from_env`]; reports are
     /// identical for any worker count.
     pub pool: WorkerPool,
+    /// Fault plan consulted at the engine's injection points (link drop,
+    /// latency spike, truncated page, UISR corruption). Defaults to a
+    /// disarmed plan that never fires.
+    pub faults: FaultPlan,
 }
 
 impl MigrationTp {
@@ -105,6 +129,13 @@ impl MigrationTp {
     /// Replaces the worker pool.
     pub fn with_pool(mut self, pool: WorkerPool) -> Self {
         self.pool = pool;
+        self
+    }
+
+    /// Installs a fault plan (chaos testing). All engine clones made from
+    /// this one share the plan's fault log.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -177,9 +208,81 @@ impl MigrationTp {
         loop {
             let pages = to_send.len() as u64;
             let bytes = pages * PAGE_SIZE;
-            let duration = self.config.link.transfer(bytes, sharers)
+            let mut duration = self.config.link.transfer(bytes, sharers)
                 + perf.cpu(self.cost.migrate_ghz_s_per_page * pages as f64)
                 + SimDuration::from_secs_f64(self.cost.migrate_round_overhead_s);
+
+            // Link drop: the round's transfer aborts partway. Recovery:
+            // retry the same round with exponential backoff — the pages
+            // acknowledged in earlier rounds stay acknowledged, so the
+            // migration resumes from the last acked round instead of
+            // restarting from scratch. A retry budget bounds the damage.
+            let mut drops = 0u32;
+            while self.faults.should_inject(
+                InjectionPoint::LinkDrop,
+                &format!("{} round {round}", cfg.name),
+            ) {
+                drops += 1;
+                if drops > self.config.max_link_retries {
+                    self.faults.record_recovery(
+                        InjectionPoint::LinkDrop,
+                        RecoveryAction::GaveUp,
+                        &format!(
+                            "{} round {round}: {} retries exhausted",
+                            cfg.name, self.config.max_link_retries
+                        ),
+                    );
+                    // The source VM keeps running untouched; only the
+                    // half-built destination shell is torn down.
+                    dst_hv.destroy_vm(dst_machine, dst_id)?;
+                    return Err(HtpError::LinkFailure {
+                        vm_name: cfg.name.clone(),
+                        retries: self.config.max_link_retries,
+                    });
+                }
+                let wait = backoff_delay(self.config.retry_backoff, drops);
+                // Half a round was on the wire before the drop, plus the
+                // backoff before reconnecting.
+                duration += self.config.link.transfer(bytes / 2, sharers) + wait;
+                self.faults.record_recovery(
+                    InjectionPoint::LinkDrop,
+                    RecoveryAction::RetriedWithBackoff,
+                    &format!(
+                        "{} round {round} attempt {drops} backoff {:.0}ms",
+                        cfg.name,
+                        wait.as_millis_f64()
+                    ),
+                );
+            }
+            if drops > 0 {
+                self.faults.record_recovery(
+                    InjectionPoint::LinkDrop,
+                    RecoveryAction::ResumedFromRound,
+                    &format!(
+                        "{} resumed at round {round} after {drops} drop(s)",
+                        cfg.name
+                    ),
+                );
+            }
+
+            // Latency spike: transient congestion stretches the round; the
+            // engine absorbs the extra time rather than failing over.
+            if self.faults.should_inject(
+                InjectionPoint::LinkLatencySpike,
+                &format!("{} round {round}", cfg.name),
+            ) {
+                duration += LATENCY_SPIKE;
+                self.faults.record_recovery(
+                    InjectionPoint::LinkLatencySpike,
+                    RecoveryAction::AbsorbedLatency,
+                    &format!(
+                        "{} round {round}: +{:.0}ms",
+                        cfg.name,
+                        LATENCY_SPIKE.as_millis_f64()
+                    ),
+                );
+            }
+
             self.copy_pages(
                 src_machine,
                 src_hv,
@@ -189,6 +292,42 @@ impl MigrationTp {
                 dst_id,
                 &to_send,
             )?;
+
+            // Truncated page: one page of this round lands corrupted on
+            // the destination. The per-round content check detects the
+            // mismatch and the page is re-sent.
+            if let Some(&bad_gfn) = to_send.last() {
+                if self.faults.should_inject(
+                    InjectionPoint::TruncatedPage,
+                    &format!("{} round {round} gfn {}", cfg.name, bad_gfn.0),
+                ) {
+                    let good = src_hv.read_guest(src_machine, src_id, bad_gfn)?;
+                    dst_hv.write_guest(dst_machine, dst_id, bad_gfn, !good)?;
+                    // Detection: destination echoes the page back; the
+                    // mismatch triggers a single-page re-send.
+                    let echoed = dst_hv.read_guest(dst_machine, dst_id, bad_gfn)?;
+                    debug_assert_ne!(echoed, good, "truncation must be observable");
+                    if echoed != good {
+                        self.copy_pages(
+                            src_machine,
+                            src_hv,
+                            src_id,
+                            dst_machine,
+                            dst_hv,
+                            dst_id,
+                            &[bad_gfn],
+                        )?;
+                        duration += self.config.link.transfer(2 * PAGE_SIZE, sharers);
+                        bytes_sent += PAGE_SIZE;
+                        self.faults.record_recovery(
+                            InjectionPoint::TruncatedPage,
+                            RecoveryAction::ResentPages,
+                            &format!("{} round {round}: re-sent gfn {}", cfg.name, bad_gfn.0),
+                        );
+                    }
+                }
+            }
+
             bytes_sent += bytes;
             precopy += duration;
             rounds.push(RoundStats {
@@ -234,11 +373,40 @@ impl MigrationTp {
 
         let uisr = src_hv.save_uisr(src_machine, src_id)?; // Source proxy.
         let blob = hypertp_uisr::encode(&uisr);
+        // UISR corruption: the blob is damaged in flight, the destination
+        // proxy's decode rejects it, and the source re-sends. The codec's
+        // totality (no panic on arbitrary bytes) is what makes this a
+        // recoverable fault rather than a crash.
+        let mut uisr_sends = 1u64;
+        if self
+            .faults
+            .should_inject(InjectionPoint::UisrCorruption, &cfg.name)
+        {
+            let mut damaged = blob.clone();
+            damaged[0] ^= 0xff; // magic byte flipped in flight
+            let rejected = hypertp_uisr::decode(&damaged).is_err();
+            debug_assert!(rejected, "corrupted magic must not decode");
+            if rejected {
+                uisr_sends = 2;
+                self.faults.record_recovery(
+                    InjectionPoint::UisrCorruption,
+                    RecoveryAction::ResentUisr,
+                    &format!(
+                        "{}: decode rejected corrupted blob; re-sent {} bytes",
+                        cfg.name,
+                        blob.len()
+                    ),
+                );
+            }
+        }
         let uisr_vm = hypertp_uisr::decode(&blob)?; // Destination proxy.
         let restored = dst_hv.restore_uisr(dst_machine, dst_id, &uisr_vm)?;
 
         let stop_copy = self.config.link.transfer(final_bytes, sharers)
-            + self.config.link.transfer(blob.len() as u64, sharers)
+            + self
+                .config
+                .link
+                .transfer(blob.len() as u64 * uisr_sends, sharers)
             + receiver_queue_wait
             + self.cost.activate(dst_hv.kind().boot_target(), cfg.vcpus);
 
@@ -606,6 +774,169 @@ mod tests {
             let want = stop_copy.as_secs_f64() * (k + 1) as f64;
             assert!((d.as_secs_f64() - want).abs() < 1e-9, "vm{k}");
         }
+    }
+
+    #[test]
+    fn link_drop_retries_with_backoff_and_resumes() {
+        use hypertp_sim::fault::{FaultPlan, InjectionPoint, RecoveryAction};
+        let run = |faults: Option<FaultPlan>| {
+            let (mut src_m, mut dst_m) = pair();
+            let mut src = SimpleHv::new(HypervisorKind::Xen);
+            let mut dst = SimpleHv::new(HypervisorKind::Kvm);
+            let id = src.create_vm(&mut src_m, &VmConfig::small("vm0")).unwrap();
+            src.write_guest(&mut src_m, id, Gfn(9), 0xabc).unwrap();
+            let mut tp = MigrationTp::new().with_config(MigrationConfig {
+                dirty_rate_pages_per_sec: 1.0,
+                verify_contents: true,
+                ..MigrationConfig::default()
+            });
+            if let Some(f) = faults {
+                tp = tp.with_faults(f);
+            }
+            tp.migrate(&mut src_m, &mut src, id, &mut dst_m, &mut dst)
+                .map(|r| (r, dst.find_vm("vm0").is_some()))
+                .unwrap()
+        };
+        let (clean, _) = run(None);
+
+        // Two drops on the first round, then success.
+        let plan = FaultPlan::new(0x11);
+        plan.arm_calls(InjectionPoint::LinkDrop, &[1, 2]);
+        let (faulted, arrived) = run(Some(plan.clone()));
+        assert!(arrived, "VM must arrive despite the drops");
+        assert!(
+            faulted.total > clean.total,
+            "retries must cost time: {:?} vs {:?}",
+            faulted.total,
+            clean.total
+        );
+        let log = plan.log();
+        assert_eq!(log.injections_at(InjectionPoint::LinkDrop), 2);
+        assert_eq!(
+            log.recoveries(InjectionPoint::LinkDrop, RecoveryAction::RetriedWithBackoff),
+            2
+        );
+        assert!(log.recovered_via(InjectionPoint::LinkDrop, RecoveryAction::ResumedFromRound));
+    }
+
+    #[test]
+    fn link_drop_exhaustion_fails_but_source_vm_survives() {
+        use hypertp_sim::fault::{FaultPlan, InjectionPoint, RecoveryAction};
+        let (mut src_m, mut dst_m) = pair();
+        let mut src = SimpleHv::new(HypervisorKind::Xen);
+        let mut dst = SimpleHv::new(HypervisorKind::Kvm);
+        let id = src.create_vm(&mut src_m, &VmConfig::small("vm0")).unwrap();
+        let plan = FaultPlan::new(0x22);
+        plan.arm(InjectionPoint::LinkDrop, 1.0, u64::MAX); // every attempt drops
+        let tp = MigrationTp::new()
+            .with_config(MigrationConfig {
+                max_link_retries: 3,
+                ..MigrationConfig::default()
+            })
+            .with_faults(plan.clone());
+        let err = tp
+            .migrate(&mut src_m, &mut src, id, &mut dst_m, &mut dst)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            HtpError::LinkFailure {
+                vm_name: "vm0".into(),
+                retries: 3
+            }
+        );
+        // No VM lost: still running on the source, no shell left behind.
+        assert_eq!(
+            src.vm_state(id).unwrap(),
+            hypertp_core::VmState::Running,
+            "source VM must keep running after an abandoned migration"
+        );
+        assert!(dst.find_vm("vm0").is_none(), "destination shell torn down");
+        assert!(plan
+            .log()
+            .recovered_via(InjectionPoint::LinkDrop, RecoveryAction::GaveUp));
+    }
+
+    #[test]
+    fn truncated_page_is_detected_and_resent() {
+        use hypertp_sim::fault::{FaultPlan, InjectionPoint, RecoveryAction};
+        let (mut src_m, mut dst_m) = pair();
+        let mut src = SimpleHv::new(HypervisorKind::Xen);
+        let mut dst = SimpleHv::new(HypervisorKind::Kvm);
+        let id = src.create_vm(&mut src_m, &VmConfig::small("vm0")).unwrap();
+        src.write_guest(&mut src_m, id, Gfn(42), 0x4242).unwrap();
+        let plan = FaultPlan::new(0x33);
+        plan.arm_once(InjectionPoint::TruncatedPage);
+        let tp = MigrationTp::new()
+            .with_config(MigrationConfig {
+                dirty_rate_pages_per_sec: 1.0,
+                verify_contents: true, // full check would fail without the re-send
+                ..MigrationConfig::default()
+            })
+            .with_faults(plan.clone());
+        tp.migrate(&mut src_m, &mut src, id, &mut dst_m, &mut dst)
+            .unwrap();
+        assert!(plan
+            .log()
+            .recovered_via(InjectionPoint::TruncatedPage, RecoveryAction::ResentPages));
+        let new_id = dst.find_vm("vm0").unwrap();
+        assert_eq!(dst.read_guest(&dst_m, new_id, Gfn(42)).unwrap(), 0x4242);
+    }
+
+    #[test]
+    fn corrupted_uisr_blob_is_resent() {
+        use hypertp_sim::fault::{FaultPlan, InjectionPoint, RecoveryAction};
+        let run = |faults: Option<FaultPlan>| {
+            let (mut src_m, mut dst_m) = pair();
+            let mut src = SimpleHv::new(HypervisorKind::Xen);
+            let mut dst = SimpleHv::new(HypervisorKind::Kvm);
+            let id = src.create_vm(&mut src_m, &VmConfig::small("vm0")).unwrap();
+            src.guest_tick(&mut src_m, id, 3).unwrap();
+            let mut tp = MigrationTp::new().with_config(MigrationConfig {
+                dirty_rate_pages_per_sec: 1.0,
+                ..MigrationConfig::default()
+            });
+            if let Some(f) = faults {
+                tp = tp.with_faults(f);
+            }
+            tp.migrate(&mut src_m, &mut src, id, &mut dst_m, &mut dst)
+                .unwrap()
+        };
+        let clean = run(None);
+        let plan = FaultPlan::new(0x44);
+        plan.arm_once(InjectionPoint::UisrCorruption);
+        let faulted = run(Some(plan.clone()));
+        assert!(plan
+            .log()
+            .recovered_via(InjectionPoint::UisrCorruption, RecoveryAction::ResentUisr));
+        // The blob crossed the link twice: downtime strictly grows.
+        assert!(faulted.downtime > clean.downtime);
+        assert_eq!(faulted.uisr_bytes, clean.uisr_bytes);
+    }
+
+    #[test]
+    fn latency_spike_is_absorbed_into_round_time() {
+        use hypertp_sim::fault::{FaultPlan, InjectionPoint, RecoveryAction};
+        let (mut src_m, mut dst_m) = pair();
+        let mut src = SimpleHv::new(HypervisorKind::Xen);
+        let mut dst = SimpleHv::new(HypervisorKind::Kvm);
+        let id = src.create_vm(&mut src_m, &VmConfig::small("vm0")).unwrap();
+        let plan = FaultPlan::new(0x55);
+        plan.arm_once(InjectionPoint::LinkLatencySpike);
+        let tp = MigrationTp::new()
+            .with_config(MigrationConfig {
+                dirty_rate_pages_per_sec: 1.0,
+                ..MigrationConfig::default()
+            })
+            .with_faults(plan.clone());
+        let r = tp
+            .migrate(&mut src_m, &mut src, id, &mut dst_m, &mut dst)
+            .unwrap();
+        assert!(plan.log().recovered_via(
+            InjectionPoint::LinkLatencySpike,
+            RecoveryAction::AbsorbedLatency
+        ));
+        // The spike landed in round 0's duration.
+        assert!(r.rounds[0].duration > super::LATENCY_SPIKE);
     }
 
     #[test]

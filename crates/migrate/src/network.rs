@@ -33,8 +33,28 @@ impl Link {
         }
     }
 
+    /// A transfer time standing in for "never finishes" on a dead link
+    /// (~31 years). Finite so schedule arithmetic cannot overflow, but
+    /// large enough that any plan preferring it over an alternative is
+    /// obviously wrong.
+    pub const DEAD: SimDuration = SimDuration::from_secs(1_000_000_000);
+
+    /// True when the link can actually move bytes (positive, finite
+    /// effective rate). A zero-bandwidth or zero-efficiency link is
+    /// unusable: planners must fall back to in-place upgrades.
+    pub fn is_usable(&self) -> bool {
+        let rate = self.gbps * self.efficiency;
+        rate.is_finite() && rate > 0.0
+    }
+
     /// Time to transfer `bytes` when `sharers` flows share the link.
+    ///
+    /// An unusable link (see [`Link::is_usable`]) returns [`Link::DEAD`]
+    /// instead of the silent zero that `f64` division would produce.
     pub fn transfer(&self, bytes: u64, sharers: u32) -> SimDuration {
+        if !self.is_usable() {
+            return Link::DEAD;
+        }
         let rate = self.gbps * self.efficiency / sharers.max(1) as f64;
         self.latency + SimDuration::from_secs_f64(bytes as f64 * 8.0 / (rate * 1e9))
     }
@@ -57,6 +77,26 @@ mod tests {
         let solo = l.transfer(1 << 20, 1);
         let shared = l.transfer(1 << 20, 4);
         assert!(shared.as_secs_f64() > 3.5 * solo.as_secs_f64());
+    }
+
+    #[test]
+    fn zero_bandwidth_link_is_dead_not_instant() {
+        let dead = Link {
+            gbps: 0.0,
+            ..Link::gigabit()
+        };
+        assert!(!dead.is_usable());
+        // Regression: f64 division by zero used to clamp to ZERO, making
+        // a dead link look *infinitely fast* to the planner.
+        assert_eq!(dead.transfer(1 << 30, 1), Link::DEAD);
+        assert_eq!(dead.transfer(0, 1), Link::DEAD);
+        let no_eff = Link {
+            efficiency: 0.0,
+            ..Link::gigabit()
+        };
+        assert!(!no_eff.is_usable());
+        assert_eq!(no_eff.transfer(4096, 2), Link::DEAD);
+        assert!(Link::gigabit().is_usable());
     }
 
     #[test]

@@ -85,19 +85,67 @@ mod tests {
         pack_entry(Mfn(1 << 52), PageOrder(0), 0);
     }
 
+    /// The property seed; assertion messages carry it so a failing case
+    /// is replayable by pasting it into `SimRng::new`.
+    const SEED: u64 = 0x92a3_0001;
+
     #[test]
     fn randomized_roundtrip() {
-        // Deterministic randomized loop (formerly proptest, 256 cases).
-        let mut rng = hypertp_sim::SimRng::new(0x92a3_0001);
-        for _ in 0..256 {
+        // Deterministic randomized loop (formerly proptest, 256 cases),
+        // over the full field ranges including every boundary bit.
+        let mut rng = hypertp_sim::SimRng::new(SEED);
+        for case in 0..256 {
             let mfn = rng.gen_range(1 << 52);
-            let order = rng.gen_range(10) as u8;
-            let flags = rng.gen_range(64) as u8;
+            let order = rng.gen_range(1 << 6) as u8;
+            let flags = rng.gen_range(1 << 6) as u8;
             let e = pack_entry(Mfn(mfn), PageOrder(order), flags);
             let (m, o, f) = unpack_entry(e);
-            assert_eq!(m, Mfn(mfn));
-            assert_eq!(o, PageOrder(order));
-            assert_eq!(f, flags);
+            assert_eq!(m, Mfn(mfn), "seed {SEED:#x} case {case}");
+            assert_eq!(o, PageOrder(order), "seed {SEED:#x} case {case}");
+            assert_eq!(f, flags, "seed {SEED:#x} case {case}");
+        }
+    }
+
+    #[test]
+    fn randomized_pack_is_injective_on_distinct_triples() {
+        // Two different (mfn, order, flags) triples can never pack to the
+        // same word: the fields occupy disjoint bit ranges.
+        let mut rng = hypertp_sim::SimRng::new(SEED ^ 0x1);
+        let mut seen = std::collections::HashMap::new();
+        for case in 0..256 {
+            let triple = (
+                Mfn(rng.gen_range(1 << 52)),
+                PageOrder(rng.gen_range(1 << 6) as u8),
+                rng.gen_range(1 << 6) as u8,
+            );
+            let e = pack_entry(triple.0, triple.1, triple.2);
+            if let Some(prev) = seen.insert(e, triple) {
+                assert_eq!(
+                    prev,
+                    triple,
+                    "seed {:#x} case {case}: collision on {e:#x}",
+                    SEED ^ 0x1
+                );
+            }
+        }
+    }
+
+    /// Regression corpus carried over from the proptest era:
+    /// `mfn = 0, order = 0, flags = 64`. The flag field is 6 bits wide;
+    /// 64 must be rejected loudly, not silently truncated into the MFN
+    /// of a neighbouring entry's range.
+    #[test]
+    #[should_panic(expected = "flags exceed 6 bits")]
+    fn corpus_mfn_0_order_0_flags_64_panics() {
+        pack_entry(Mfn(0), PageOrder(0), 64);
+    }
+
+    #[test]
+    fn corpus_boundary_values_roundtrip() {
+        // The in-range boundary neighbours of the corpus case.
+        for (mfn, order, flags) in [(0u64, 0u8, 63u8), (0, 63, 0), (MFN_MASK, 63, 63), (0, 0, 0)] {
+            let e = pack_entry(Mfn(mfn), PageOrder(order), flags);
+            assert_eq!(unpack_entry(e), (Mfn(mfn), PageOrder(order), flags));
         }
     }
 }

@@ -23,6 +23,25 @@ const KIND_NODE: u8 = 3;
 const ROOT_CAPACITY: usize = (PAGE_SIZE as usize - 24) / 8;
 const NODE_CAPACITY: usize = (PAGE_SIZE as usize - 32) / 8;
 const NAME_MAX: usize = 64;
+/// Byte offset of the per-file checksum inside a file-info page (after
+/// header, node pointer, totals, mode, name length and 64-byte name).
+const CHECKSUM_OFF: usize = 104;
+
+/// Content checksum of one file: FNV-1a over the sorted `(gfn, entry)`
+/// stream plus name, mode and total pages. Independent of the node-page
+/// split, so both the builder (pre-split) and the parser (post-walk)
+/// compute the same value.
+fn file_checksum(name: &str, mode: u32, total_pages: u64, mappings: &[(Gfn, Extent)]) -> u64 {
+    let mut digest = Vec::with_capacity(mappings.len() * 16 + name.len() + 16);
+    for (g, e) in mappings {
+        digest.extend_from_slice(&g.0.to_le_bytes());
+        digest.extend_from_slice(&pack_entry(e.base, e.order, FLAG_GUEST).to_le_bytes());
+    }
+    digest.extend_from_slice(name.as_bytes());
+    digest.extend_from_slice(&mode.to_le_bytes());
+    digest.extend_from_slice(&total_pages.to_le_bytes());
+    hypertp_machine::ram::fnv1a(&digest)
+}
 
 /// Errors from PRAM encoding or parsing.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,6 +75,17 @@ pub enum PramError {
         /// The offending byte address.
         addr: u64,
     },
+    /// A file's stored checksum does not match the checksum recomputed
+    /// from its entries — the metadata was corrupted between build and
+    /// parse (or a storage bit flipped).
+    ChecksumMismatch {
+        /// The file-info frame whose checksum failed.
+        mfn: Mfn,
+        /// The checksum stored in the file-info page.
+        stored: u64,
+        /// The checksum recomputed from the parsed entries.
+        computed: u64,
+    },
 }
 
 impl std::fmt::Display for PramError {
@@ -78,6 +108,14 @@ impl std::fmt::Display for PramError {
             PramError::UnalignedPointer { addr } => {
                 write!(f, "unaligned metadata pointer {addr:#x}")
             }
+            PramError::ChecksumMismatch {
+                mfn,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "PRAM checksum mismatch at {mfn}: stored {stored:#018x}, computed {computed:#018x}"
+            ),
         }
     }
 }
@@ -192,6 +230,9 @@ struct PreparedFile {
     total_pages: u64,
     /// Node pages, front-to-back: (first GFN of the run, packed entries).
     nodes: Vec<(Gfn, Vec<PackedEntry>)>,
+    /// Content checksum stored in the file-info page and re-verified by
+    /// [`PramImage::verify`].
+    checksum: u64,
 }
 
 fn prepare_file(mut file: PramFile) -> Result<PreparedFile, PramError> {
@@ -234,11 +275,14 @@ fn prepare_file(mut file: PramFile) -> Result<PreparedFile, PramError> {
         nodes.push((base, entries));
     }
 
+    let total_pages = file.total_pages();
+    let checksum = file_checksum(&file.name, file.mode, total_pages, &file.mappings);
     Ok(PreparedFile {
-        total_pages: file.total_pages(),
+        total_pages,
         name: file.name,
         mode: file.mode,
         nodes,
+        checksum,
     })
 }
 
@@ -337,6 +381,7 @@ impl PramBuilder {
             page[32..36].copy_from_slice(&file.mode.to_le_bytes());
             page[36..40].copy_from_slice(&(file.name.len() as u32).to_le_bytes());
             page[40..40 + file.name.len()].copy_from_slice(file.name.as_bytes());
+            page[CHECKSUM_OFF..CHECKSUM_OFF + 8].copy_from_slice(&file.checksum.to_le_bytes());
             ram.write_bytes(mfn, &page)?;
             file_ptrs.push(mfn.addr());
         }
@@ -414,6 +459,9 @@ pub struct PramImage {
     pub files: Vec<PramFile>,
     /// Frames holding the metadata itself.
     pub meta_frames: Vec<Mfn>,
+    /// Per-file `(file-info frame, stored checksum)`, parallel to
+    /// [`PramImage::files`]. Checked by [`PramImage::verify`].
+    pub checksums: Vec<(Mfn, u64)>,
 }
 
 impl PramImage {
@@ -421,6 +469,7 @@ impl PramImage {
     pub fn parse(ram: &PhysicalMemory, pram_ptr: u64) -> Result<PramImage, PramError> {
         let mut files = Vec::new();
         let mut meta_frames = Vec::new();
+        let mut checksums = Vec::new();
         let mut root_addr = pram_ptr;
         while root_addr != 0 {
             let (root, root_mfn) = read_page(ram, root_addr)?;
@@ -438,6 +487,12 @@ impl PramImage {
                 let name_len = u32::from_le_bytes(fpage[36..40].try_into().expect("page")) as usize;
                 let name =
                     String::from_utf8_lossy(&fpage[40..40 + name_len.min(NAME_MAX)]).into_owned();
+                let stored_checksum = u64::from_le_bytes(
+                    fpage[CHECKSUM_OFF..CHECKSUM_OFF + 8]
+                        .try_into()
+                        .expect("page"),
+                );
+                checksums.push((fmfn, stored_checksum));
                 let mut mappings = Vec::new();
                 while node_addr != 0 {
                     let (node, nmfn) = read_page(ram, node_addr)?;
@@ -463,7 +518,52 @@ impl PramImage {
             }
             root_addr = next_root;
         }
-        Ok(PramImage { files, meta_frames })
+        Ok(PramImage {
+            files,
+            meta_frames,
+            checksums,
+        })
+    }
+
+    /// Recomputes every file's content checksum from the parsed entries
+    /// and compares it against the stored value; the first mismatch is
+    /// returned as [`PramError::ChecksumMismatch`].
+    ///
+    /// Kept separate from [`PramImage::parse`] so recovery code can still
+    /// inspect a structurally sound image whose checksum failed (e.g. to
+    /// rebuild its metadata after cross-checking against the live source).
+    pub fn verify(&self) -> Result<(), PramError> {
+        for (f, &(mfn, stored)) in self.files.iter().zip(&self.checksums) {
+            let computed = file_checksum(&f.name, f.mode, f.total_pages(), &f.mappings);
+            if computed != stored {
+                return Err(PramError::ChecksumMismatch {
+                    mfn,
+                    stored,
+                    computed,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Flips the stored checksum word of file `index`'s file-info page —
+    /// a deterministic stand-in for a storage bit flip. Used by the fault
+    /// injector; the damage is exactly what [`PramImage::verify`] detects
+    /// and what a metadata rebuild repairs.
+    pub fn corrupt_checksum(
+        &self,
+        ram: &mut PhysicalMemory,
+        index: usize,
+    ) -> Result<(), PramError> {
+        let (mfn, stored) = self.checksums[index];
+        let mut page = ram
+            .read_bytes(mfn)
+            .ok_or(PramError::BadMagic { mfn })?
+            .to_vec();
+        page[CHECKSUM_OFF..CHECKSUM_OFF + 8]
+            .copy_from_slice(&(stored ^ 0xdead_beef_dead_beef).to_le_bytes());
+        ram.write_bytes(mfn, &page)?;
+        Ok(())
     }
 
     /// Reserves every guest frame and metadata frame so the booting
@@ -740,6 +840,73 @@ mod tests {
         for workers in [2usize, 4, 16] {
             assert_eq!(serial, build(WorkerPool::new(workers)), "workers={workers}");
         }
+    }
+
+    #[test]
+    fn verify_passes_on_clean_image() {
+        let mut ram = ram_mb(64);
+        let map = alloc_guest(&mut ram, 8);
+        let mut b = PramBuilder::new();
+        b.add_file("vm0", 0o600, map);
+        let h = b.write(&mut ram).unwrap();
+        let img = PramImage::parse(&ram, h.pram_ptr).unwrap();
+        assert_eq!(img.checksums.len(), 1);
+        img.verify().unwrap();
+    }
+
+    #[test]
+    fn corrupted_checksum_word_fails_verify_and_rebuild_repairs() {
+        let mut ram = ram_mb(64);
+        let mut b = PramBuilder::new();
+        let mut maps = Vec::new();
+        for v in 0..3 {
+            let map = alloc_guest(&mut ram, 4);
+            b.add_file(format!("vm{v}"), 0o600, map.clone());
+            maps.push(map);
+        }
+        let h = b.write(&mut ram).unwrap();
+        let img = PramImage::parse(&ram, h.pram_ptr).unwrap();
+        img.corrupt_checksum(&mut ram, 1).unwrap();
+
+        // Re-parse sees the corrupted word; verify pinpoints the file.
+        let img = PramImage::parse(&ram, h.pram_ptr).unwrap();
+        let err = img.verify().unwrap_err();
+        let PramError::ChecksumMismatch {
+            stored, computed, ..
+        } = err
+        else {
+            panic!("want ChecksumMismatch, got {err}");
+        };
+        assert_ne!(stored, computed);
+
+        // Recovery: entries are intact, so rebuilding metadata from the
+        // parsed structure (after releasing the old pages) yields a clean
+        // image over the very same guest frames.
+        for &m in &h.meta_frames {
+            ram.free(Extent::new(m, PageOrder(0))).unwrap();
+        }
+        let mut rb = PramBuilder::new();
+        for f in &img.files {
+            rb.add_file(f.name.clone(), f.mode, f.mappings.clone());
+        }
+        let h2 = rb.write(&mut ram).unwrap();
+        let img2 = PramImage::parse(&ram, h2.pram_ptr).unwrap();
+        img2.verify().unwrap();
+        for (v, map) in maps.iter().enumerate() {
+            assert_eq!(&img2.files[v].mappings, map, "vm{v}");
+        }
+    }
+
+    #[test]
+    fn checksum_depends_on_every_field() {
+        let mut ram = ram_mb(16);
+        let e = ram.alloc(PageOrder(0)).unwrap();
+        let base = file_checksum("vm0", 0o600, 1, &[(Gfn(5), e)]);
+        assert_ne!(base, file_checksum("vm1", 0o600, 1, &[(Gfn(5), e)]));
+        assert_ne!(base, file_checksum("vm0", 0o400, 1, &[(Gfn(5), e)]));
+        assert_ne!(base, file_checksum("vm0", 0o600, 2, &[(Gfn(5), e)]));
+        assert_ne!(base, file_checksum("vm0", 0o600, 1, &[(Gfn(6), e)]));
+        assert_ne!(base, file_checksum("vm0", 0o600, 1, &[]));
     }
 
     #[test]

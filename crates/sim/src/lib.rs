@@ -24,10 +24,14 @@
 //!   debug codec and experiment output files.
 //! * [`pool`] — a real scoped worker pool executing batches of closures on
 //!   OS threads; the wall-clock counterpart of the [`par`] model.
+//! * [`fault`] — seeded deterministic fault injection ([`fault::FaultPlan`])
+//!   with a structured [`fault::FaultLog`], used by the chaos test matrix
+//!   to exercise every recovery path in the transplant stack.
 
 pub mod clock;
 pub mod cost;
 pub mod events;
+pub mod fault;
 pub mod json;
 pub mod par;
 pub mod pool;
@@ -39,6 +43,7 @@ pub mod time;
 pub use clock::SimClock;
 pub use cost::CostModel;
 pub use events::EventQueue;
+pub use fault::{FaultEvent, FaultLog, FaultPlan, InjectionPoint, RecoveryAction};
 pub use json::Json;
 pub use par::{lpt_loads, makespan};
 pub use pool::WorkerPool;

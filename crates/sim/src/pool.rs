@@ -178,6 +178,62 @@ impl WorkerPool {
         let fref = &f;
         self.run((0..n).map(|i| move || fref(i)).collect::<Vec<_>>())
     }
+
+    /// Like [`WorkerPool::map_indices`], but the workers assigned the
+    /// `doomed` indices "die" mid-task: their results are lost in the
+    /// parallel phase. The orchestrator detects each missing slot and
+    /// re-runs that task inline on the calling thread — the
+    /// ReHype-style recovery the chaos suite exercises via
+    /// `InjectionPoint::WorkerPanic`.
+    ///
+    /// `doomed` indices are decided by the caller *before* dispatch (see
+    /// `fault::FaultPlan::pick_doomed_tasks`) so log order stays
+    /// deterministic. Out-of-range indices are ignored. Returns the batch
+    /// (complete, in input order) plus the indices that were retried
+    /// inline, in ascending order.
+    pub fn map_indices_recovering<T, F>(
+        &self,
+        n: usize,
+        doomed: &[usize],
+        f: F,
+    ) -> (Batch<T>, Vec<usize>)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let fref = &f;
+        let start = Instant::now();
+        let mut batch = self.run(
+            (0..n)
+                .map(|i| {
+                    let dead = doomed.contains(&i);
+                    move || if dead { None } else { Some(fref(i)) }
+                })
+                .collect::<Vec<_>>(),
+        );
+        // Orchestrator-side recovery: any lost slot is recomputed inline.
+        let mut retried = Vec::new();
+        let results: Vec<T> = batch
+            .results
+            .drain(..)
+            .enumerate()
+            .map(|(i, slot)| match slot {
+                Some(t) => t,
+                None => {
+                    retried.push(i);
+                    fref(i)
+                }
+            })
+            .collect();
+        (
+            Batch {
+                results,
+                makespan: start.elapsed(),
+                workers: batch.workers,
+            },
+            retried,
+        )
+    }
 }
 
 impl Default for WorkerPool {
@@ -268,6 +324,35 @@ mod tests {
     #[test]
     fn workers_clamped_to_at_least_one() {
         assert_eq!(WorkerPool::new(0).workers(), 1);
+    }
+
+    #[test]
+    fn recovering_map_rebuilds_lost_results() {
+        let expected: Vec<u64> = (0..40).map(|i: u64| i * 3).collect();
+        for workers in [1, 4, 16] {
+            let pool = WorkerPool::new(workers);
+            let doomed = vec![0, 7, 39];
+            let (batch, retried) = pool.map_indices_recovering(40, &doomed, |i| (i as u64) * 3);
+            assert_eq!(batch.results, expected, "workers={workers}");
+            assert_eq!(retried, doomed, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn recovering_map_with_no_doomed_matches_plain_map() {
+        let pool = WorkerPool::new(4);
+        let plain = pool.map_indices(25, |i| i * i);
+        let (rec, retried) = pool.map_indices_recovering(25, &[], |i| i * i);
+        assert_eq!(plain.results, rec.results);
+        assert!(retried.is_empty());
+    }
+
+    #[test]
+    fn recovering_map_ignores_out_of_range_doomed() {
+        let pool = WorkerPool::new(2);
+        let (batch, retried) = pool.map_indices_recovering(5, &[3, 99], |i| i + 1);
+        assert_eq!(batch.results, vec![1, 2, 3, 4, 5]);
+        assert_eq!(retried, vec![3]);
     }
 
     #[test]

@@ -1,0 +1,341 @@
+//! The seeded chaos matrix: every registered injection point fires at
+//! least once per seed, every layer recovers along its intended path, no
+//! VM is ever lost, and the same seed produces a byte-identical
+//! [`FaultLog`].
+//!
+//! One [`FaultPlan`] (armed with [`FaultPlan::arm_all_once`]) threads
+//! through three scenarios per seed:
+//!
+//! 1. **MigrationTP** — link drop, latency spike, truncated page, and
+//!    UISR corruption all hit one 1 GiB migration, which must still land
+//!    the guest intact on the destination.
+//! 2. **InPlaceTP** — a PRAM checksum mismatch and a worker panic hit one
+//!    two-VM transplant, which must still restore every guest word.
+//! 3. **Campaign** — a host failure hits a two-host fleet campaign, which
+//!    requeues the host and still round-trips the whole fleet.
+//!
+//! A fourth scenario (separate plan: it needs an unbounded fault rate)
+//! saturates the migration link and checks the MigrationTP→InPlaceTP
+//! fallback chain. The CI chaos step pins the three seeds below; set
+//! `HYPERTP_SEED` to probe others.
+
+use hypertp::prelude::*;
+use hypertp_cluster::campaign::{run_campaign_with, CampaignConfig};
+use hypertp_cluster::openstack::{pool, LibvirtDriver, NovaManager};
+use hypertp_core::{migrate_or_inplace, InPlaceTransplant};
+use hypertp_sim::fault::{FaultPlan, InjectionPoint, RecoveryAction};
+use hypertp_vulndb::dataset::dataset;
+
+/// The three seeds the CI chaos step pins.
+const CI_SEEDS: [u64; 3] = [0xc4a0_0001, 0xc4a0_0002, 0xc4a0_0003];
+
+fn small_spec(ram_gb: u64) -> MachineSpec {
+    let mut spec = MachineSpec::m1();
+    spec.ram_gb = ram_gb;
+    spec
+}
+
+/// Scenario 1: one migration absorbing all four migration-layer faults.
+/// Returns with the destination guest verified word-for-word.
+fn chaos_migration(seed: u64, faults: &FaultPlan) {
+    let registry = default_registry();
+    let clock = SimClock::new();
+    let mut src_m = Machine::with_clock(small_spec(4), clock.clone());
+    let mut dst_m = Machine::with_clock(small_spec(4), clock);
+    let mut src = registry.create(HypervisorKind::Xen, &mut src_m).unwrap();
+    let mut dst = registry.create(HypervisorKind::Kvm, &mut dst_m).unwrap();
+    let cfg = VmConfig::small("chaos-mig").with_memory_gb(1);
+    let id = src.create_vm(&mut src_m, &cfg).unwrap();
+    let writes: Vec<(Gfn, u64)> = (0..64u64)
+        .map(|k| (Gfn((k * 13) % cfg.pages()), k ^ 0xfeed_f00d))
+        .collect();
+    for (g, v) in &writes {
+        src.write_guest(&mut src_m, id, *g, *v).unwrap();
+    }
+    let tp = MigrationTp::new()
+        .with_config(MigrationConfig {
+            dirty_rate_pages_per_sec: 0.0,
+            ..MigrationConfig::default()
+        })
+        .with_faults(faults.clone());
+    let report = tp
+        .migrate(&mut src_m, src.as_mut(), id, &mut dst_m, dst.as_mut())
+        .unwrap_or_else(|e| panic!("seed {seed:#x}: faulted migration failed: {e}"));
+    assert!(
+        report.total > SimDuration::ZERO,
+        "seed {seed:#x}: empty migration"
+    );
+    // No VM lost: the guest lives on the destination with every word.
+    let new_id = dst
+        .find_vm("chaos-mig")
+        .unwrap_or_else(|| panic!("seed {seed:#x}: VM lost in migration"));
+    assert_eq!(dst.vm_state(new_id).unwrap(), VmState::Running);
+    for (g, v) in &writes {
+        assert_eq!(
+            dst.read_guest(&dst_m, new_id, *g).unwrap(),
+            *v,
+            "seed {seed:#x}: guest word lost at {g:?}"
+        );
+    }
+}
+
+/// Scenario 2: one in-place transplant absorbing the PRAM checksum
+/// mismatch and a worker panic. Returns with every guest word verified.
+fn chaos_inplace(seed: u64, faults: &FaultPlan) {
+    let registry = default_registry();
+    let mut m = Machine::new(small_spec(8));
+    let mut hv = registry.create(HypervisorKind::Xen, &mut m).unwrap();
+    let mut expected = Vec::new();
+    for i in 0..2u32 {
+        let cfg = VmConfig::small(format!("chaos-ip{i}"));
+        let id = hv.create_vm(&mut m, &cfg).unwrap();
+        for k in 0..32u64 {
+            let g = Gfn((k * 7 + u64::from(i)) % cfg.pages());
+            let v = k ^ (u64::from(i) << 32);
+            hv.write_guest(&mut m, id, g, v).unwrap();
+            expected.push((cfg.name.clone(), g, v));
+        }
+    }
+    let mut last = std::collections::HashMap::new();
+    for (name, g, v) in expected {
+        last.insert((name, g), v);
+    }
+    let engine = InPlaceTransplant::new(&registry).with_faults(faults.clone());
+    let (hv2, report) = engine
+        .run(&mut m, hv, HypervisorKind::Kvm)
+        .unwrap_or_else(|e| panic!("seed {seed:#x}: faulted transplant failed: {e}"));
+    assert_eq!(report.vm_count, 2, "seed {seed:#x}: VM lost in transplant");
+    for ((name, g), v) in last {
+        let id = hv2
+            .find_vm(&name)
+            .unwrap_or_else(|| panic!("seed {seed:#x}: {name} lost in transplant"));
+        assert_eq!(hv2.vm_state(id).unwrap(), VmState::Running);
+        assert_eq!(
+            hv2.read_guest(&m, id, g).unwrap(),
+            v,
+            "seed {seed:#x}: guest word lost at {g:?} of {name}"
+        );
+    }
+}
+
+/// Scenario 3: a two-host campaign absorbing a host failure. Returns with
+/// the fleet home and every VM accounted for.
+fn chaos_campaign(seed: u64, faults: &FaultPlan) {
+    let registry = pool();
+    let clock = SimClock::new();
+    let computes: Vec<LibvirtDriver> = (0..2)
+        .map(|i| {
+            LibvirtDriver::new(
+                format!("c{i}"),
+                small_spec(8),
+                clock.clone(),
+                &registry,
+                HypervisorKind::Xen,
+            )
+            .unwrap()
+        })
+        .collect();
+    let mut nova = NovaManager::new(registry, computes);
+    for i in 0..3 {
+        nova.boot(&VmConfig::small(format!("svc{i}"))).unwrap();
+    }
+    let cve = dataset()
+        .into_iter()
+        .find(|v| v.id == "CVE-2016-6258")
+        .unwrap();
+    let report = run_campaign_with(&mut nova, &cve, &[], faults, &CampaignConfig::default())
+        .unwrap_or_else(|e| panic!("seed {seed:#x}: faulted campaign failed: {e}"));
+    assert!(
+        report.excluded_hosts.is_empty(),
+        "seed {seed:#x}: a single transient failure must not exclude"
+    );
+    assert_eq!(report.out.len(), 2, "seed {seed:#x}");
+    assert_eq!(report.back.len(), 2, "seed {seed:#x}");
+    // No VM lost: every booted VM is still resident somewhere, and every
+    // host is back on the home hypervisor.
+    for h in 0..2 {
+        assert_eq!(nova.compute(h).hypervisor_kind(), HypervisorKind::Xen);
+    }
+    for i in 0..3 {
+        let name = format!("svc{i}");
+        let host = nova
+            .host_of(&name)
+            .unwrap_or_else(|| panic!("seed {seed:#x}: {name} lost in campaign"));
+        assert!(nova.compute(host).vm_names().contains(&name));
+    }
+}
+
+/// Scenario 4: a saturated link exhausts the migration's retry budget;
+/// the host falls back to InPlaceTP. Uses its own plan (the unbounded
+/// LinkDrop rate would starve scenario 1). Returns the plan's log render.
+fn chaos_fallback(seed: u64) -> String {
+    let faults = FaultPlan::new(seed ^ 0xfa11_bacc);
+    faults.arm(InjectionPoint::LinkDrop, 1.0, u64::MAX);
+    let registry = default_registry();
+    let clock = SimClock::new();
+    let mut src_m = Machine::with_clock(small_spec(4), clock.clone());
+    let mut dst_m = Machine::with_clock(small_spec(4), clock);
+    let mut src = registry.create(HypervisorKind::Xen, &mut src_m).unwrap();
+    let mut dst = registry.create(HypervisorKind::Kvm, &mut dst_m).unwrap();
+    let id = src
+        .create_vm(&mut src_m, &VmConfig::small("chaos-fb"))
+        .unwrap();
+    src.write_guest(&mut src_m, id, Gfn(5), 0xcafe).unwrap();
+    let tp = MigrationTp::new().with_faults(faults.clone());
+    // Both attempts need the source machine; hand it through a cell so
+    // the in-place closure can consume what the migration one borrowed.
+    let source = std::cell::RefCell::new(Some((src_m, src)));
+    let out = migrate_or_inplace(
+        &faults,
+        "chaos-host",
+        || {
+            let mut guard = source.borrow_mut();
+            let (src_m, src) = guard.as_mut().expect("source present");
+            tp.migrate(src_m, src.as_mut(), id, &mut dst_m, dst.as_mut())
+        },
+        || {
+            // The source VMs are untouched: transplant them in place.
+            let (mut src_m, src) = source.borrow_mut().take().expect("source present");
+            let engine = InPlaceTransplant::new(&registry).with_faults(faults.clone());
+            let (hv, report) = engine.run(&mut src_m, src, HypervisorKind::Kvm)?;
+            Ok((src_m, hv, report))
+        },
+    )
+    .unwrap_or_else(|e| panic!("seed {seed:#x}: fallback chain failed: {e}"));
+    assert!(
+        out.fell_back(),
+        "seed {seed:#x}: saturated link must fall back"
+    );
+    let log = faults.log();
+    assert!(
+        log.recovered_via(InjectionPoint::LinkDrop, RecoveryAction::GaveUp),
+        "seed {seed:#x}: retry budget exhaustion must be logged"
+    );
+    assert!(
+        log.recovered_via(InjectionPoint::LinkDrop, RecoveryAction::FellBackToInPlace),
+        "seed {seed:#x}: the fallback decision must be logged"
+    );
+    // No VM lost: the fallback transplanted it on the source machine.
+    if let hypertp_core::FallbackOutcome::FellBack { inplace, .. } = out {
+        let (src_m, hv, _report) = inplace;
+        assert_eq!(hv.kind(), HypervisorKind::Kvm);
+        let vid = hv
+            .find_vm("chaos-fb")
+            .unwrap_or_else(|| panic!("seed {seed:#x}: VM lost in fallback"));
+        assert_eq!(hv.read_guest(&src_m, vid, Gfn(5)).unwrap(), 0xcafe);
+    }
+    log.render()
+}
+
+/// One full chaos run: all scenarios under `seed`, every point fired,
+/// every recovery path asserted. Returns the concatenated log renders for
+/// byte-identity checks.
+fn chaos_run(seed: u64) -> String {
+    let faults = FaultPlan::new(seed);
+    faults.arm_all_once();
+
+    chaos_migration(seed, &faults);
+    chaos_inplace(seed, &faults);
+    chaos_campaign(seed, &faults);
+
+    // Every registered point fired at least once under this seed.
+    for p in InjectionPoint::ALL {
+        assert!(
+            faults.injections_fired(p) >= 1,
+            "seed {seed:#x}: {} never fired",
+            p.name()
+        );
+    }
+    // And each fault was answered by its intended recovery path.
+    let log = faults.log();
+    let expectations = [
+        (InjectionPoint::LinkDrop, RecoveryAction::RetriedWithBackoff),
+        (InjectionPoint::LinkDrop, RecoveryAction::ResumedFromRound),
+        (
+            InjectionPoint::LinkLatencySpike,
+            RecoveryAction::AbsorbedLatency,
+        ),
+        (InjectionPoint::TruncatedPage, RecoveryAction::ResentPages),
+        (InjectionPoint::UisrCorruption, RecoveryAction::ResentUisr),
+        (InjectionPoint::PramChecksum, RecoveryAction::RebuiltPram),
+        (
+            InjectionPoint::WorkerPanic,
+            RecoveryAction::TaskRetriedInline,
+        ),
+        (InjectionPoint::HostFailure, RecoveryAction::RequeuedHost),
+    ];
+    for (point, action) in expectations {
+        assert!(
+            log.recovered_via(point, action),
+            "seed {seed:#x}: no {action:?} recovery for {}; log:\n{}",
+            point.name(),
+            log.render()
+        );
+    }
+
+    let fallback_log = chaos_fallback(seed);
+    format!("{}---\n{}", log.render(), fallback_log)
+}
+
+#[test]
+fn chaos_matrix_ci_seed_one() {
+    chaos_run(CI_SEEDS[0]);
+}
+
+#[test]
+fn chaos_matrix_ci_seed_two() {
+    chaos_run(CI_SEEDS[1]);
+}
+
+#[test]
+fn chaos_matrix_ci_seed_three() {
+    chaos_run(CI_SEEDS[2]);
+}
+
+#[test]
+fn chaos_matrix_env_seed_override() {
+    // `HYPERTP_SEED=0x123 cargo test --test chaos_matrix` probes a fresh
+    // seed; the failing seed is printed by every assertion above.
+    let seed = std::env::var("HYPERTP_SEED")
+        .ok()
+        .map(|s| {
+            let s = s.trim();
+            let (digits, radix) = match s.strip_prefix("0x") {
+                Some(hex) => (hex, 16),
+                None => (s, 10),
+            };
+            u64::from_str_radix(digits, radix)
+                .unwrap_or_else(|e| panic!("bad HYPERTP_SEED {s:?}: {e}"))
+        })
+        .unwrap_or(0x17e6_c4a0);
+    chaos_run(seed);
+}
+
+#[test]
+fn same_seed_yields_byte_identical_fault_logs() {
+    let first = chaos_run(CI_SEEDS[0]);
+    let second = chaos_run(CI_SEEDS[0]);
+    assert_eq!(
+        first, second,
+        "seed {:#x}: fault logs diverged between runs",
+        CI_SEEDS[0]
+    );
+    assert!(!first.is_empty());
+    // With arm_all_once the schedule is forced, so all seeds agree by
+    // construction; under *rate*-based arming the seed drives the
+    // schedule, and distinct seeds must explore distinct ones.
+    let rate_run = |seed: u64| {
+        let faults = FaultPlan::new(seed);
+        faults.arm(InjectionPoint::LinkDrop, 0.5, u64::MAX);
+        for i in 0..64 {
+            faults.should_inject(InjectionPoint::LinkDrop, &format!("probe {i}"));
+        }
+        faults.log().render()
+    };
+    assert_eq!(rate_run(CI_SEEDS[1]), rate_run(CI_SEEDS[1]));
+    assert_ne!(
+        rate_run(CI_SEEDS[1]),
+        rate_run(CI_SEEDS[2]),
+        "distinct seeds should explore distinct schedules"
+    );
+}

@@ -5,6 +5,11 @@
 //! Formerly property-based (proptest); now deterministic randomized loops
 //! seeded from `hypertp_sim::SimRng` so the workspace builds offline and
 //! every run replays the exact same cases.
+//!
+//! Set `HYPERTP_SEED` (decimal or `0x`-prefixed hex) to probe a fresh
+//! seed; every assertion prints the seed in effect, so a CI failure is
+//! replayable with `HYPERTP_SEED=<seed> cargo test --test
+//! randomized_integration`.
 
 use hypertp::prelude::*;
 use hypertp_sim::SimRng;
@@ -15,12 +20,29 @@ fn small_spec(ram_gb: u64) -> MachineSpec {
     spec
 }
 
+/// The seed for a test: `HYPERTP_SEED` if set, else `default`.
+fn seed_for(default: u64) -> u64 {
+    match std::env::var("HYPERTP_SEED") {
+        Ok(s) => {
+            let s = s.trim();
+            let (digits, radix) = match s.strip_prefix("0x") {
+                Some(hex) => (hex, 16),
+                None => (s, 10),
+            };
+            u64::from_str_radix(digits, radix)
+                .unwrap_or_else(|e| panic!("bad HYPERTP_SEED {s:?}: {e}"))
+        }
+        Err(_) => default,
+    }
+}
+
 /// For any mix of VM shapes and guest writes, InPlaceTP preserves all
 /// guest memory and all VMs, in both directions. (Formerly proptest,
 /// 12 cases.)
 #[test]
 fn inplace_preserves_random_guests() {
-    let mut rng = SimRng::new(0x17e6_0001);
+    let seed = seed_for(0x17e6_0001);
+    let mut rng = SimRng::new(seed);
     for case in 0..12 {
         let n_vms = 1 + rng.gen_range(3) as u32;
         let vcpus = 1 + rng.gen_range(3) as u32;
@@ -58,11 +80,19 @@ fn inplace_preserves_random_guests() {
 
         let engine = InPlaceTransplant::new(&registry);
         let (hv2, report) = engine.run(&mut m, hv, target).unwrap();
-        assert_eq!(report.vm_count as u32, n_vms, "case {case}");
+        assert_eq!(report.vm_count as u32, n_vms, "seed {seed:#x} case {case}");
         for ((name, gfn), val) in last {
             let id = hv2.find_vm(&name).unwrap();
-            assert_eq!(hv2.read_guest(&m, id, gfn).unwrap(), val, "case {case}");
-            assert_eq!(hv2.vm_state(id).unwrap(), VmState::Running, "case {case}");
+            assert_eq!(
+                hv2.read_guest(&m, id, gfn).unwrap(),
+                val,
+                "seed {seed:#x} case {case}"
+            );
+            assert_eq!(
+                hv2.vm_state(id).unwrap(),
+                VmState::Running,
+                "seed {seed:#x} case {case}"
+            );
         }
     }
 }
@@ -72,7 +102,8 @@ fn inplace_preserves_random_guests() {
 /// 12 cases.)
 #[test]
 fn migration_always_converges_and_matches() {
-    let mut rng = SimRng::new(0x17e6_0002);
+    let seed = seed_for(0x17e6_0002);
+    let mut rng = SimRng::new(seed);
     for case in 0..12 {
         let dirty_rate = rng.gen_f64() * 50_000.0;
         let threshold = 1 + rng.gen_range(511);
@@ -95,13 +126,16 @@ fn migration_always_converges_and_matches() {
         let report = tp
             .migrate(&mut src_m, src.as_mut(), id, &mut dst_m, dst.as_mut())
             .unwrap();
-        assert!(report.rounds.len() as u32 <= max_rounds, "case {case}");
-        assert!(report.downtime < report.total, "case {case}");
+        assert!(
+            report.rounds.len() as u32 <= max_rounds,
+            "seed {seed:#x} case {case}"
+        );
+        assert!(report.downtime < report.total, "seed {seed:#x} case {case}");
         let new_id = dst.find_vm("vm0").unwrap();
         assert_eq!(
             dst.vm_state(new_id).unwrap(),
             VmState::Running,
-            "case {case}"
+            "seed {seed:#x} case {case}"
         );
     }
 }
