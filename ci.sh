@@ -38,4 +38,17 @@ for seed in 0xc4a00001 0xc4a00002 0xc4a00003; do
     chaos_matrix_env_seed_override
 done
 
+echo "== perf gate (identity + wire compression floor) =="
+# Run perf_smoke twice (wall-clock jitters; identity and compression must
+# not) and gate on the committed BENCH_wire.json floor. Artifacts go to a
+# scratch dir so the committed BENCH_*.json stay untouched.
+gate_dir=$(mktemp -d)
+trap 'rm -rf "${gate_dir}"' EXIT
+PERF_SMOKE_OUT="${gate_dir}/perf1.json" \
+  cargo run -q --release --offline -p hypertp-bench --bin perf_smoke
+PERF_SMOKE_OUT="${gate_dir}/perf2.json" \
+  cargo run -q --release --offline -p hypertp-bench --bin perf_smoke
+cargo run -q --release --offline -p hypertp-bench --bin perf_gate -- \
+  BENCH_wire.json "${gate_dir}/perf1.json" "${gate_dir}/perf2.json"
+
 echo "CI OK"

@@ -1,0 +1,123 @@
+//! perf_gate: CI regression gate over the perf_smoke artifacts.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_gate <committed BENCH_wire.json> <perf_smoke run 1> [<perf_smoke run 2> ...]
+//! ```
+//!
+//! CI runs `perf_smoke` twice (timings jitter; identity and compression
+//! must not) and hands both artifacts here together with the *committed*
+//! `BENCH_wire.json`. The gate fails — non-zero exit, one line per
+//! violation — when:
+//!
+//! 1. any `identical`-suffixed field in any run is not `"true"` (the
+//!    worker pool or the wire codec changed results), or
+//! 2. any run's `migrate_many.wire_reduction_pct` falls below the
+//!    committed artifact's `reduction_floor_pct` (the content-aware path
+//!    stopped earning its keep).
+//!
+//! The gate deliberately ignores wall-clock fields: CI machines are too
+//! noisy for absolute-time floors, but correctness and compression are
+//! deterministic.
+
+use std::process::ExitCode;
+
+use hypertp_sim::json::Json;
+
+/// Recursively collects `(path, value)` for every string field whose key
+/// is `identical` or ends in `_identical`.
+fn identity_fields(prefix: &str, json: &Json, out: &mut Vec<(String, String)>) {
+    if let Some(fields) = json.as_obj() {
+        for (key, value) in fields {
+            let path = if prefix.is_empty() {
+                key.clone()
+            } else {
+                format!("{prefix}.{key}")
+            };
+            if key == "identical" || key.ends_with("_identical") {
+                if let Some(s) = value.as_str() {
+                    out.push((path.clone(), s.to_string()));
+                }
+            }
+            identity_fields(&path, value, out);
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e:?}"))
+}
+
+fn run() -> Result<(), Vec<String>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        return Err(vec![
+            "usage: perf_gate <committed BENCH_wire.json> <perf_smoke run...>".into(),
+        ]);
+    }
+    let mut violations = Vec::new();
+
+    let wire = load(&args[0]).map_err(|e| vec![e])?;
+    let floor = wire
+        .get("reduction_floor_pct")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| vec![format!("{}: missing reduction_floor_pct", args[0])])?;
+
+    for path in &args[1..] {
+        let run = load(path).map_err(|e| vec![e])?;
+        let before = violations.len();
+
+        let mut fields = Vec::new();
+        identity_fields("", &run, &mut fields);
+        if fields.is_empty() {
+            violations.push(format!("{path}: no identical fields found"));
+        }
+        for (field, value) in &fields {
+            if value != "true" {
+                violations.push(format!("{path}: {field} = {value:?}, expected \"true\""));
+            }
+        }
+
+        let pct = run
+            .get("migrate_many")
+            .and_then(|m| m.get("wire_reduction_pct"))
+            .and_then(Json::as_f64);
+        match pct {
+            Some(pct) if pct < floor => violations.push(format!(
+                "{path}: migrate_many.wire_reduction_pct {pct:.1} below committed floor {floor:.1}"
+            )),
+            Some(_) => {}
+            None => violations.push(format!("{path}: missing migrate_many.wire_reduction_pct")),
+        }
+        if violations.len() == before {
+            println!(
+                "perf_gate: {path}: {} identity fields ok, wire reduction {:.1}% >= floor {floor:.1}%",
+                fields.len(),
+                pct.unwrap_or(f64::NAN)
+            );
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => {
+            println!("perf_gate: all runs pass");
+            ExitCode::SUCCESS
+        }
+        Err(violations) => {
+            for v in &violations {
+                eprintln!("perf_gate: FAIL: {v}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

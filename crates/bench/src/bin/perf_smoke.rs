@@ -10,7 +10,8 @@
 //!    must be identical byte for byte.
 //! 2. PRAM encode + parse of a multi-file 4 KiB-page image.
 //! 3. UISR binary codec round-trip throughput.
-//! 4. `migrate_many` with content verification, serial versus pooled.
+//! 4. `migrate_many` with content verification, serial versus pooled, plus
+//!    a content-aware wire-mode run reporting the wire-byte reduction.
 //!
 //! Writes `BENCH_parallel.json` (in the current directory, override with
 //! `PERF_SMOKE_OUT`) with the wall-clock numbers, the thread count and the
@@ -21,7 +22,7 @@ use std::time::Instant;
 use hypertp_bench::registry;
 use hypertp_core::{HypervisorKind, InPlaceTransplant, VmConfig};
 use hypertp_machine::{Extent, Gfn, Machine, MachineSpec, PageOrder, PhysicalMemory};
-use hypertp_migrate::{migrate_many, MigrationConfig, MigrationReport, MigrationTp};
+use hypertp_migrate::{migrate_many, MigrationConfig, MigrationReport, MigrationTp, WireMode};
 use hypertp_pram::{PramBuilder, PramImage, PramStats};
 use hypertp_sim::json::{self, Json};
 use hypertp_sim::{SimClock, WorkerPool};
@@ -156,8 +157,8 @@ fn uisr_roundtrip(iters: u32) -> (f64, usize) {
 }
 
 /// Migrates 4 × 1 GiB VMs Xen→KVM with content verification on the given
-/// pool. Returns (wall secs, reports).
-fn migrate_batch(pool: WorkerPool) -> (f64, Vec<MigrationReport>) {
+/// pool and wire mode. Returns (wall secs, reports).
+fn migrate_batch(pool: WorkerPool, wire_mode: WireMode) -> (f64, Vec<MigrationReport>) {
     let reg = registry();
     let clock = SimClock::new();
     let mut src_m = Machine::with_clock(MachineSpec::m1(), clock.clone());
@@ -177,6 +178,7 @@ fn migrate_batch(pool: WorkerPool) -> (f64, Vec<MigrationReport>) {
         .with_config(MigrationConfig {
             verify_contents: true,
             dirty_rate_pages_per_sec: 0.0,
+            wire_mode,
             ..MigrationConfig::default()
         })
         .with_pool(pool);
@@ -204,7 +206,14 @@ fn report_key(r: &MigrationReport) -> (String, usize, u64, u64) {
 
 fn main() {
     let threads = threads();
-    println!("perf_smoke: {threads} hardware threads");
+    // Capture the effective worker count BEFORE any benchmark mutates
+    // HYPERTP_WORKERS: this is what WorkerPool::from_env() resolves for a
+    // user-launched run (env override or detected parallelism), as opposed
+    // to the raw hardware detection above.
+    let effective_workers = WorkerPool::from_env().workers();
+    println!(
+        "perf_smoke: {threads} hardware threads detected, {effective_workers} effective workers"
+    );
 
     // 1. InPlaceTP 8 × 1 GiB, serial vs pooled.
     println!("== inplace transplant ({VMS} x {MEM_GB} GiB, 4 KiB pages) ==");
@@ -236,10 +245,10 @@ fn main() {
         f64::from(uisr_iters) / uisr_s.max(1e-9)
     );
 
-    // 4. migrate_many with verification, serial vs pooled.
+    // 4. migrate_many with verification, serial vs pooled, raw vs wire.
     println!("== migrate_many (4 x 1 GiB, verify_contents) ==");
-    let (mig_serial, reports_serial) = migrate_batch(WorkerPool::serial());
-    let (mig_par, reports_par) = migrate_batch(WorkerPool::new(threads));
+    let (mig_serial, reports_serial) = migrate_batch(WorkerPool::serial(), WireMode::Raw);
+    let (mig_par, reports_par) = migrate_batch(WorkerPool::new(threads), WireMode::Raw);
     let mig_identical = reports_serial.iter().map(report_key).collect::<Vec<_>>()
         == reports_par.iter().map(report_key).collect::<Vec<_>>();
     println!(
@@ -250,11 +259,36 @@ fn main() {
         mig_identical,
         "migration reports must not depend on worker count"
     );
+    // Content-aware wire path on the same workload: same destination state
+    // (verify_contents is on inside migrate_many), fewer wire bytes, and —
+    // because zero pages skip both the encode arithmetic and the destination
+    // write — less wall-clock time.
+    let (mig_ca, reports_ca) = migrate_batch(WorkerPool::new(threads), WireMode::ContentAware);
+    let mut wire = hypertp_migrate::WireStats::default();
+    for r in &reports_ca {
+        wire.merge(&r.wire);
+    }
+    let wire_reduction_pct = (1.0 - wire.compression_ratio()) * 100.0;
+    let ca_identical = reports_ca
+        .iter()
+        .zip(&reports_par)
+        .all(|(a, b)| a.vm_name == b.vm_name && a.uisr_bytes == b.uisr_bytes);
+    println!(
+        "  content-aware {mig_ca:.3} s ({:.2}x vs raw pooled); wire bytes {} of {} raw ({wire_reduction_pct:.1}% saved); identical: {ca_identical}",
+        mig_par / mig_ca.max(1e-9),
+        wire.wire_bytes(),
+        wire.raw_equivalent_bytes(),
+    );
+    assert!(
+        ca_identical,
+        "content-aware migration must produce the same VMs"
+    );
 
     // JSON artifact.
     let out = Json::obj()
         .with("bench", json::s("perf_smoke"))
-        .with("hardware_threads", json::u(threads as u64))
+        .with("hardware_threads_detected", json::u(threads as u64))
+        .with("effective_workers", json::u(effective_workers as u64))
         .with(
             "inplace_8vm",
             Json::obj()
@@ -287,7 +321,12 @@ fn main() {
                 .with("vms", json::u(4))
                 .with("serial_secs", json::f(mig_serial))
                 .with("parallel_secs", json::f(mig_par))
-                .with("identical", json::s(mig_identical.to_string())),
+                .with("identical", json::s(mig_identical.to_string()))
+                .with("content_aware_secs", json::f(mig_ca))
+                .with("wire_bytes", json::u(wire.wire_bytes()))
+                .with("raw_equivalent_bytes", json::u(wire.raw_equivalent_bytes()))
+                .with("wire_reduction_pct", json::f(wire_reduction_pct))
+                .with("content_aware_identical", json::s(ca_identical.to_string())),
         );
     let path = std::env::var("PERF_SMOKE_OUT").unwrap_or_else(|_| "BENCH_parallel.json".into());
     std::fs::write(&path, out.encode_pretty()).expect("write artifact");

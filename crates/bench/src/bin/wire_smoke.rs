@@ -1,0 +1,228 @@
+//! wire_smoke: wire-byte reduction of the content-aware migration path.
+//!
+//! Reproduces the fig-12-style idle-VM migration workload (§5.2: mostly
+//! idle guests, near-zero dirty rate) and migrates the same 4 × 1 GiB
+//! Xen fleet to KVM twice — once with [`WireMode::Raw`], once with
+//! [`WireMode::ContentAware`] — then checks three things:
+//!
+//! 1. **Equivalence**: both runs land byte-identical destination guest
+//!    memory (serial-pool checksums) and identical UISR volume.
+//! 2. **Reduction**: the content-aware run keeps at least
+//!    `reduction_floor_pct` of the raw page bytes off the wire (zero
+//!    elision dominates on idle VMs; cross-VM dedup and XOR+RLE deltas
+//!    cover the shared and re-dirtied pages).
+//! 3. **Delta coverage**: a second, dirtying run (fig-12 busy phase)
+//!    must produce at least one `Delta` frame so the codec path is
+//!    exercised end to end, not just the zero/dup fast paths.
+//!
+//! Writes `BENCH_wire.json` (in the current directory, override with
+//! `WIRE_SMOKE_OUT`). CI's `perf_gate` reads the committed copy of this
+//! artifact and fails the build if a fresh run regresses below the
+//! committed `reduction_floor_pct`.
+
+use std::time::Instant;
+
+use hypertp_bench::registry;
+use hypertp_core::{HypervisorKind, VmConfig};
+use hypertp_machine::{Extent, Gfn, Machine, MachineSpec};
+use hypertp_migrate::{
+    migrate_many, FrameKind, MigrationConfig, MigrationReport, MigrationTp, WireMode, WireStats,
+};
+use hypertp_sim::json::{self, Json};
+use hypertp_sim::{SimClock, WorkerPool};
+
+/// VMs in the idle fleet.
+const VMS: u32 = 4;
+/// Per-VM memory in GiB.
+const MEM_GB: u64 = 1;
+/// Committed regression floor: a fresh run must keep at least this
+/// percentage of raw page bytes off the wire. `perf_gate` enforces it.
+const REDUCTION_FLOOR_PCT: f64 = 30.0;
+
+/// Outcome of one fleet migration: wall seconds, per-VM reports, and a
+/// destination fingerprint (serial-pool guest checksums + UISR bytes)
+/// that must not depend on the wire mode.
+struct Run {
+    wall: f64,
+    reports: Vec<MigrationReport>,
+    dst_checksums: Vec<u64>,
+    uisr_bytes: u64,
+}
+
+/// Migrates the idle fleet with the given wire mode and dirty rate.
+///
+/// Guest content is seeded deterministically: a shared block written
+/// identically into every VM (cross-VM dedup fodder) plus a per-VM
+/// unique block; everything else stays zero, as on a freshly booted
+/// idle guest (§5.2's fig-12 shape).
+fn run_fleet(wire_mode: WireMode, dirty_rate: f64) -> Run {
+    let reg = registry();
+    let clock = SimClock::new();
+    let mut src_m = Machine::with_clock(MachineSpec::m1(), clock.clone());
+    let mut dst_m = Machine::with_clock(MachineSpec::m1(), clock);
+    let mut src = reg
+        .create(HypervisorKind::Xen, &mut src_m)
+        .expect("registry has Xen");
+    for i in 0..VMS {
+        let cfg = VmConfig::small(format!("idle{i}")).with_memory_gb(MEM_GB);
+        let pages = cfg.pages();
+        let id = src.create_vm(&mut src_m, &cfg).expect("capacity");
+        // Shared block: the same 1024 words at the same gfns in every VM.
+        for k in 0..1024u64 {
+            src.write_guest(&mut src_m, id, Gfn(k % pages), k ^ 0x5bd1_e995)
+                .expect("seed write");
+        }
+        // Unique block: 512 VM-specific words further up.
+        for k in 0..512u64 {
+            let gfn = Gfn((4096 + k * 3 + u64::from(i) * 7919) % pages);
+            src.write_guest(&mut src_m, id, gfn, k ^ (u64::from(i) << 32))
+                .expect("seed write");
+        }
+    }
+    let mut dst = reg
+        .create(HypervisorKind::Kvm, &mut dst_m)
+        .expect("registry has KVM");
+    let ids = src.vm_ids();
+    let tp = MigrationTp::new()
+        .with_config(MigrationConfig {
+            verify_contents: true,
+            dirty_rate_pages_per_sec: dirty_rate,
+            wire_mode,
+            ..MigrationConfig::default()
+        })
+        .with_pool(WorkerPool::from_env());
+    let t = Instant::now();
+    let reports = migrate_many(
+        &tp,
+        &mut src_m,
+        src.as_mut(),
+        &ids,
+        &mut dst_m,
+        dst.as_mut(),
+    )
+    .expect("migration");
+    let wall = t.elapsed().as_secs_f64();
+
+    let mut dst_checksums = Vec::new();
+    for id in dst.vm_ids() {
+        let map = dst.guest_memory_map(id).expect("map");
+        let extents: Vec<Extent> = map.iter().map(|(_, e)| *e).collect();
+        dst_checksums.push(
+            dst_m
+                .ram()
+                .checksum_with_pool(&extents, &WorkerPool::serial()),
+        );
+    }
+    let uisr_bytes = reports.iter().map(|r| r.uisr_bytes).sum();
+    Run {
+        wall,
+        reports,
+        dst_checksums,
+        uisr_bytes,
+    }
+}
+
+fn merged_wire(reports: &[MigrationReport]) -> WireStats {
+    let mut wire = WireStats::default();
+    for r in reports {
+        wire.merge(&r.wire);
+    }
+    wire
+}
+
+fn kind_json(wire: &WireStats) -> Json {
+    let mut obj = Json::obj();
+    for kind in FrameKind::ALL {
+        obj.push(
+            kind.name(),
+            Json::obj()
+                .with("frames", json::u(wire.count(kind)))
+                .with("bytes", json::u(wire.bytes(kind))),
+        );
+    }
+    obj
+}
+
+fn main() {
+    println!("wire_smoke: {VMS} x {MEM_GB} GiB idle fleet, Xen -> KVM");
+
+    // 1 + 2. Idle fleet: raw vs content-aware, equivalence + reduction.
+    let raw = run_fleet(WireMode::Raw, 0.0);
+    let ca = run_fleet(WireMode::ContentAware, 0.0);
+    let identical = raw.dst_checksums == ca.dst_checksums && raw.uisr_bytes == ca.uisr_bytes;
+    let wire = merged_wire(&ca.reports);
+    let raw_bytes: u64 = raw.reports.iter().map(|r| r.bytes_sent).sum();
+    let ca_bytes: u64 = ca.reports.iter().map(|r| r.bytes_sent).sum();
+    let reduction_pct = (1.0 - wire.compression_ratio()) * 100.0;
+    println!(
+        "== idle fleet == raw {} B in {:.3} s; content-aware {} B in {:.3} s",
+        raw_bytes, raw.wall, ca_bytes, ca.wall
+    );
+    println!(
+        "  wire {} B vs raw-equivalent {} B: {reduction_pct:.1}% kept off the wire (floor {REDUCTION_FLOOR_PCT}%)",
+        wire.wire_bytes(),
+        wire.raw_equivalent_bytes()
+    );
+    for kind in FrameKind::ALL {
+        println!(
+            "  {:>5}: {:>8} frames, {:>12} B",
+            kind.name(),
+            wire.count(kind),
+            wire.bytes(kind)
+        );
+    }
+    println!("  destinations identical: {identical}");
+    assert!(identical, "wire modes must land identical destinations");
+    assert!(
+        reduction_pct >= REDUCTION_FLOOR_PCT,
+        "idle-fleet wire reduction {reduction_pct:.1}% below floor {REDUCTION_FLOOR_PCT}%"
+    );
+    assert!(
+        wire.count(FrameKind::Dup) > 0,
+        "shared seed block must produce cross-VM dup frames"
+    );
+
+    // 3. Dirtying fleet: re-dirtied pages must travel as XOR+RLE deltas.
+    let dirty = run_fleet(WireMode::ContentAware, 2000.0);
+    let dirty_wire = merged_wire(&dirty.reports);
+    let dirty_reduction_pct = (1.0 - dirty_wire.compression_ratio()) * 100.0;
+    println!(
+        "== dirtying fleet == {} delta frames, {:.1}% kept off the wire",
+        dirty_wire.count(FrameKind::Delta),
+        dirty_reduction_pct
+    );
+    assert!(
+        dirty_wire.count(FrameKind::Delta) > 0,
+        "dirtying run must exercise the delta codec"
+    );
+
+    let out = Json::obj()
+        .with("bench", json::s("wire_smoke"))
+        .with("vms", json::u(u64::from(VMS)))
+        .with("mem_gb_per_vm", json::u(MEM_GB))
+        .with("reduction_floor_pct", json::f(REDUCTION_FLOOR_PCT))
+        .with(
+            "idle_fleet",
+            Json::obj()
+                .with("raw_bytes_sent", json::u(raw_bytes))
+                .with("raw_secs", json::f(raw.wall))
+                .with("content_aware_bytes_sent", json::u(ca_bytes))
+                .with("content_aware_secs", json::f(ca.wall))
+                .with("wire_bytes", json::u(wire.wire_bytes()))
+                .with("raw_equivalent_bytes", json::u(wire.raw_equivalent_bytes()))
+                .with("wire_reduction_pct", json::f(reduction_pct))
+                .with("frames", kind_json(&wire))
+                .with("identical", json::s(identical.to_string())),
+        )
+        .with(
+            "dirty_fleet",
+            Json::obj()
+                .with("dirty_rate_pages_per_sec", json::f(2000.0))
+                .with("delta_frames", json::u(dirty_wire.count(FrameKind::Delta)))
+                .with("wire_reduction_pct", json::f(dirty_reduction_pct))
+                .with("frames", kind_json(&dirty_wire)),
+        );
+    let path = std::env::var("WIRE_SMOKE_OUT").unwrap_or_else(|_| "BENCH_wire.json".into());
+    std::fs::write(&path, out.encode_pretty()).expect("write artifact");
+    println!("wrote {path}");
+}

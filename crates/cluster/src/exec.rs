@@ -9,7 +9,7 @@
 //! from the same cost model as the single-machine InPlaceTP experiments.
 
 use hypertp_core::HypervisorKind;
-use hypertp_migrate::Link;
+use hypertp_migrate::{Link, WireMode};
 use hypertp_sim::cost::BootTarget;
 use hypertp_sim::fault::{FaultPlan, InjectionPoint, RecoveryAction};
 use hypertp_sim::{CostModel, EventQueue, SimDuration, SimTime};
@@ -34,6 +34,17 @@ pub struct ExecConfig {
     /// Retries granted to a host whose in-place upgrade faults before it
     /// is dropped from the plan (see [`execute_with_faults`]).
     pub max_host_retries: u32,
+    /// Wire representation used by the campaign's migrations. The
+    /// executor is an analytic model, so under
+    /// [`WireMode::ContentAware`] it scales page bytes by
+    /// [`ExecConfig::wire_compression_ratio`] instead of running the
+    /// page-level path; [`WireMode::Raw`] (the default) keeps the
+    /// paper-faithful fig. 13 byte accounting.
+    pub wire_mode: WireMode,
+    /// Observed wire/raw byte ratio of the content-aware path on this
+    /// workload (e.g. [`hypertp_migrate::WireStats::compression_ratio`]
+    /// from a reference migration, or BENCH_wire.json). 1.0 = no savings.
+    pub wire_compression_ratio: f64,
 }
 
 impl Default for ExecConfig {
@@ -44,6 +55,8 @@ impl Default for ExecConfig {
             target: HypervisorKind::Kvm,
             max_concurrent_migrations: 1,
             max_host_retries: 2,
+            wire_mode: WireMode::Raw,
+            wire_compression_ratio: 1.0,
         }
     }
 }
@@ -65,6 +78,12 @@ pub struct ExecReport {
     pub host_retries: usize,
     /// Hosts dropped from the plan after exhausting their retry budget.
     pub hosts_excluded: usize,
+    /// Page bytes actually put on the fabric by the campaign's
+    /// migrations (equals the raw byte count under [`WireMode::Raw`]).
+    pub wire_bytes_sent: u64,
+    /// Bytes the content-aware wire path kept off the fabric (0 under
+    /// [`WireMode::Raw`]).
+    pub wire_bytes_saved: u64,
 }
 
 impl ExecReport {
@@ -74,16 +93,41 @@ impl ExecReport {
     }
 }
 
-/// Time of one live migration of `vm` with `sharers` flows on the fabric.
-fn migration_time(cluster: &Cluster, cfg: &ExecConfig, vm: usize, sharers: u32) -> SimDuration {
+/// Analytic estimate of one live migration: duration plus its raw and
+/// on-the-wire byte counts.
+struct MigrationEstimate {
+    time: SimDuration,
+    raw_bytes: u64,
+    wire_bytes: u64,
+}
+
+/// Estimates one live migration of `vm` with `sharers` flows on the
+/// fabric. Under [`WireMode::ContentAware`] the page bytes shrink by the
+/// configured compression ratio before hitting the link.
+fn migration_time(
+    cluster: &Cluster,
+    cfg: &ExecConfig,
+    vm: usize,
+    sharers: u32,
+) -> MigrationEstimate {
     let v = &cluster.vms[vm];
-    let bytes = v.config.memory_gb << 30;
+    let raw = v.config.memory_gb << 30;
+    let ratio = match cfg.wire_mode {
+        WireMode::Raw => 1.0,
+        WireMode::ContentAware => cfg.wire_compression_ratio.clamp(0.0, 1.0),
+    };
+    let bytes = (raw as f64 * ratio) as u64;
     let copy = cfg.link.transfer(bytes, sharers);
     // Dirty pages written during the copy must be re-sent (a geometric
     // tail approximated by its first round).
-    let dirty_bytes = (v.profile.dirty_rate_pages_per_sec * copy.as_secs_f64() * 4096.0) as u64;
+    let raw_dirty = (v.profile.dirty_rate_pages_per_sec * copy.as_secs_f64() * 4096.0) as u64;
+    let dirty_bytes = (raw_dirty as f64 * ratio) as u64;
     let extra = cfg.link.transfer(dirty_bytes, sharers);
-    cfg.per_migration_overhead + copy + extra
+    MigrationEstimate {
+        time: cfg.per_migration_overhead + copy + extra,
+        raw_bytes: raw + raw_dirty,
+        wire_bytes: bytes + dirty_bytes,
+    }
 }
 
 /// Time of one in-place host upgrade carrying `vm_count` 4 GiB VMs.
@@ -140,6 +184,8 @@ pub fn execute_with_faults(
     let mut upgrades = 0usize;
     let mut host_retries = 0usize;
     let mut hosts_excluded = 0usize;
+    let mut wire_bytes_sent = 0u64;
+    let mut raw_bytes = 0u64;
     for group in &plan.groups {
         let group_start = now;
         // Phase 1: drain the group's migrations through the slot pool.
@@ -159,7 +205,10 @@ pub fn execute_with_faults(
         while in_flight < slots {
             match queue.pop_front() {
                 Some(vm) => {
-                    events.schedule(now + migration_time(cluster, cfg, vm, sharers), vm);
+                    let est = migration_time(cluster, cfg, vm, sharers);
+                    wire_bytes_sent += est.wire_bytes;
+                    raw_bytes += est.raw_bytes;
+                    events.schedule(now + est.time, vm);
                     in_flight += 1;
                 }
                 None => break,
@@ -168,7 +217,10 @@ pub fn execute_with_faults(
         while let Some((t, _done)) = events.pop() {
             now = t;
             if let Some(vm) = queue.pop_front() {
-                events.schedule(now + migration_time(cluster, cfg, vm, sharers), vm);
+                let est = migration_time(cluster, cfg, vm, sharers);
+                wire_bytes_sent += est.wire_bytes;
+                raw_bytes += est.raw_bytes;
+                events.schedule(now + est.time, vm);
             }
         }
         migration_time_acc += now.duration_since(group_start);
@@ -221,6 +273,8 @@ pub fn execute_with_faults(
         inplace_time: inplace_time_acc,
         host_retries,
         hosts_excluded,
+        wire_bytes_sent,
+        wire_bytes_saved: raw_bytes.saturating_sub(wire_bytes_sent),
     }
 }
 
@@ -346,6 +400,50 @@ mod tests {
             )
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn content_aware_wire_mode_shrinks_migration_phase_and_reports_savings() {
+        let c = Cluster::paper_testbed(0, 42);
+        let plan = plan_upgrade(&c, 2).unwrap();
+        let raw = execute(&c, &plan, &ExecConfig::default());
+        assert_eq!(raw.wire_bytes_saved, 0, "raw mode saves nothing");
+        assert!(raw.wire_bytes_sent > 0);
+
+        let ca = execute(
+            &c,
+            &plan,
+            &ExecConfig {
+                wire_mode: WireMode::ContentAware,
+                wire_compression_ratio: 0.3,
+                ..ExecConfig::default()
+            },
+        );
+        assert_eq!(ca.migrations, raw.migrations);
+        assert!(
+            ca.migration_time < raw.migration_time,
+            "fewer bytes, less time"
+        );
+        assert!(ca.total < raw.total);
+        assert!(ca.wire_bytes_sent < raw.wire_bytes_sent);
+        assert!(
+            ca.wire_bytes_saved > raw.wire_bytes_sent / 2,
+            "a 0.3 ratio must save most of the raw bytes"
+        );
+
+        // Ratio 1.0 must degenerate to the raw accounting exactly.
+        let unity = execute(
+            &c,
+            &plan,
+            &ExecConfig {
+                wire_mode: WireMode::ContentAware,
+                wire_compression_ratio: 1.0,
+                ..ExecConfig::default()
+            },
+        );
+        assert_eq!(unity.total, raw.total);
+        assert_eq!(unity.wire_bytes_sent, raw.wire_bytes_sent);
+        assert_eq!(unity.wire_bytes_saved, 0);
     }
 
     #[test]

@@ -118,6 +118,27 @@ pub trait Hypervisor: Send + Sync {
     /// Reads a guest page's content word.
     fn read_guest(&self, machine: &Machine, id: VmId, gfn: Gfn) -> Result<u64, HtpError>;
 
+    /// Reads many guest pages in one call, in input order.
+    ///
+    /// Semantically identical to mapping [`Hypervisor::read_guest`] over
+    /// `gfns` (the default implementation does exactly that), but
+    /// hypervisors override it with batched translation: migration
+    /// gathers, write-elision probes and content verification are
+    /// per-page hot loops, and resolving the VM + walking the mapping
+    /// structure once per *batch* instead of once per *page* is the
+    /// difference the `BENCH_parallel.json` migrate numbers measure.
+    /// Implementations must preserve per-page error behaviour.
+    fn read_guest_many(
+        &self,
+        machine: &Machine,
+        id: VmId,
+        gfns: &[Gfn],
+    ) -> Result<Vec<u64>, HtpError> {
+        gfns.iter()
+            .map(|&g| self.read_guest(machine, id, g))
+            .collect()
+    }
+
     /// Writes a guest page (dirties it if dirty logging is on).
     fn write_guest(
         &mut self,

@@ -127,6 +127,24 @@ impl Hypervisor for KvmHypervisor {
         Ok(machine.ram().read(mfn)?)
     }
 
+    fn read_guest_many(
+        &self,
+        machine: &Machine,
+        id: VmId,
+        gfns: &[Gfn],
+    ) -> Result<Vec<u64>, HtpError> {
+        // One guest lookup and one batched NPT walk per call (see
+        // `Kvm::gfn_to_mfn_many`) instead of a slot scan per page.
+        let g = self.guest(id)?;
+        let mfns = self.kvm.gfn_to_mfn_many(g.vm_fd, gfns).map_err(ioctl_err)?;
+        let ram = machine.ram();
+        let mut out = Vec::with_capacity(mfns.len());
+        for mfn in mfns {
+            out.push(ram.read(mfn)?);
+        }
+        Ok(out)
+    }
+
     fn write_guest(
         &mut self,
         machine: &mut Machine,

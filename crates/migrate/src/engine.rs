@@ -1,11 +1,12 @@
 //! The pre-copy migration engine with UISR proxies.
 
 use hypertp_core::{HtpError, Hypervisor, HypervisorKind, VmId};
-use hypertp_machine::{Gfn, Machine, PAGE_SIZE};
+use hypertp_machine::{Extent, Gfn, Machine, PAGE_SIZE};
 use hypertp_sim::fault::{FaultPlan, InjectionPoint, RecoveryAction};
 use hypertp_sim::{CostModel, SimDuration, SimTime, WorkerPool};
 
-use crate::network::Link;
+use crate::network::{Link, WireFrame, WireStats};
+use crate::wire::TransferCache;
 
 /// Extra one-way delay modelled for an injected link latency spike
 /// (transient congestion); the engine absorbs it into the round time.
@@ -16,6 +17,30 @@ const LATENCY_SPIKE: SimDuration = SimDuration::from_millis(150);
 fn backoff_delay(base: SimDuration, attempt: u32) -> SimDuration {
     let doublings = attempt.saturating_sub(1).min(16);
     SimDuration::from_nanos(base.as_nanos().saturating_mul(1u64 << doublings))
+}
+
+/// How guest pages are represented on the migration wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireMode {
+    /// Legacy path: every page ships as a full raw payload. This is the
+    /// paper-faithful accounting used by the fig. 11–13 reproductions and
+    /// the pinned timing tests, so it stays the default.
+    #[default]
+    Raw,
+    /// Content-aware path (PR 3): zero-page elision, digest-keyed dedup
+    /// across rounds and VMs, and XOR+RLE deltas for re-dirtied pages,
+    /// with per-kind accounting in [`MigrationReport::wire`].
+    ContentAware,
+}
+
+impl WireMode {
+    /// Stable short name used in logs and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireMode::Raw => "raw",
+            WireMode::ContentAware => "content_aware",
+        }
+    }
 }
 
 /// Pre-copy tuning parameters.
@@ -40,6 +65,17 @@ pub struct MigrationConfig {
     /// Base backoff after a link failure; doubles on each consecutive
     /// retry of the same round (exponential backoff).
     pub retry_backoff: SimDuration,
+    /// Wire representation of guest pages (raw or content-aware).
+    pub wire_mode: WireMode,
+    /// Below this many pages, gathers run serially: the thread spawn +
+    /// hand-off cost of the pool exceeds the work (BENCH_parallel.json
+    /// showed `migrate_many` *losing* 2 ms to pool overhead on small
+    /// dirty sets before this threshold existed).
+    pub parallel_threshold_pages: usize,
+    /// Bounded hand-off window of the content-aware round pipeline:
+    /// gather/hash chunks may run at most this many chunks ahead of the
+    /// encode/transmit stage.
+    pub pipeline_window: usize,
 }
 
 impl Default for MigrationConfig {
@@ -52,6 +88,9 @@ impl Default for MigrationConfig {
             verify_contents: false,
             max_link_retries: 4,
             retry_backoff: SimDuration::from_millis(50),
+            wire_mode: WireMode::Raw,
+            parallel_threshold_pages: 8192,
+            pipeline_window: 8,
         }
     }
 }
@@ -81,12 +120,24 @@ pub struct MigrationReport {
     pub downtime: SimDuration,
     /// Total migration time.
     pub total: SimDuration,
-    /// Guest page bytes sent.
+    /// Guest page bytes sent. Under [`WireMode::Raw`] this is the raw
+    /// page payload; under [`WireMode::ContentAware`] it is the bytes
+    /// actually put on the wire (frames + payloads).
     pub bytes_sent: u64,
     /// Encoded UISR bytes sent through the proxies.
     pub uisr_bytes: u64,
+    /// Per-frame-kind wire accounting. All zero under [`WireMode::Raw`].
+    pub wire: WireStats,
     /// Compatibility warnings from the destination proxy.
     pub warnings: Vec<String>,
+}
+
+impl MigrationReport {
+    /// Bytes the content-aware wire path kept off the link (0 when the
+    /// migration ran raw).
+    pub fn wire_bytes_saved(&self) -> u64 {
+        self.wire.saved_bytes()
+    }
 }
 
 /// Outcome of the data phase, before scheduling adjustments.
@@ -112,6 +163,10 @@ pub struct MigrationTp {
     /// latency spike, truncated page, UISR corruption). Defaults to a
     /// disarmed plan that never fires.
     pub faults: FaultPlan,
+    /// Destination-synchronised dedup/delta cache used by
+    /// [`WireMode::ContentAware`]. Clones of the engine share it, so
+    /// [`migrate_many`] dedups template content *across* VMs.
+    pub cache: TransferCache,
 }
 
 impl MigrationTp {
@@ -136,6 +191,12 @@ impl MigrationTp {
     /// this one share the plan's fault log.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Selects the wire representation (sugar over editing the config).
+    pub fn with_wire_mode(mut self, mode: WireMode) -> Self {
+        self.config.wire_mode = mode;
         self
     }
 
@@ -188,13 +249,13 @@ impl MigrationTp {
     ) -> Result<DataPhase, HtpError> {
         let cfg = src_hv.vm_config(src_id)?.clone();
         let start = src_machine.clock().now();
-        let perf = src_machine.spec().perf();
         let dst_id = dst_hv.prepare_incoming(dst_machine, &cfg)?;
         src_hv.enable_dirty_log(src_id)?;
 
         let mut rounds = Vec::new();
         let mut bytes_sent = 0u64;
         let mut precopy = SimDuration::ZERO;
+        let mut wire = WireStats::new();
 
         // Round 0: full copy of every mapped page.
         let map = src_hv.guest_memory_map(src_id)?;
@@ -207,128 +268,35 @@ impl MigrationTp {
         let stop_set;
         loop {
             let pages = to_send.len() as u64;
-            let bytes = pages * PAGE_SIZE;
-            let mut duration = self.config.link.transfer(bytes, sharers)
-                + perf.cpu(self.cost.migrate_ghz_s_per_page * pages as f64)
-                + SimDuration::from_secs_f64(self.cost.migrate_round_overhead_s);
-
-            // Link drop: the round's transfer aborts partway. Recovery:
-            // retry the same round with exponential backoff — the pages
-            // acknowledged in earlier rounds stay acknowledged, so the
-            // migration resumes from the last acked round instead of
-            // restarting from scratch. A retry budget bounds the damage.
-            let mut drops = 0u32;
-            while self.faults.should_inject(
-                InjectionPoint::LinkDrop,
-                &format!("{} round {round}", cfg.name),
-            ) {
-                drops += 1;
-                if drops > self.config.max_link_retries {
-                    self.faults.record_recovery(
-                        InjectionPoint::LinkDrop,
-                        RecoveryAction::GaveUp,
-                        &format!(
-                            "{} round {round}: {} retries exhausted",
-                            cfg.name, self.config.max_link_retries
-                        ),
-                    );
-                    // The source VM keeps running untouched; only the
-                    // half-built destination shell is torn down.
-                    dst_hv.destroy_vm(dst_machine, dst_id)?;
-                    return Err(HtpError::LinkFailure {
-                        vm_name: cfg.name.clone(),
-                        retries: self.config.max_link_retries,
-                    });
-                }
-                let wait = backoff_delay(self.config.retry_backoff, drops);
-                // Half a round was on the wire before the drop, plus the
-                // backoff before reconnecting.
-                duration += self.config.link.transfer(bytes / 2, sharers) + wait;
-                self.faults.record_recovery(
-                    InjectionPoint::LinkDrop,
-                    RecoveryAction::RetriedWithBackoff,
-                    &format!(
-                        "{} round {round} attempt {drops} backoff {:.0}ms",
-                        cfg.name,
-                        wait.as_millis_f64()
-                    ),
-                );
-            }
-            if drops > 0 {
-                self.faults.record_recovery(
-                    InjectionPoint::LinkDrop,
-                    RecoveryAction::ResumedFromRound,
-                    &format!(
-                        "{} resumed at round {round} after {drops} drop(s)",
-                        cfg.name
-                    ),
-                );
-            }
-
-            // Latency spike: transient congestion stretches the round; the
-            // engine absorbs the extra time rather than failing over.
-            if self.faults.should_inject(
-                InjectionPoint::LinkLatencySpike,
-                &format!("{} round {round}", cfg.name),
-            ) {
-                duration += LATENCY_SPIKE;
-                self.faults.record_recovery(
-                    InjectionPoint::LinkLatencySpike,
-                    RecoveryAction::AbsorbedLatency,
-                    &format!(
-                        "{} round {round}: +{:.0}ms",
-                        cfg.name,
-                        LATENCY_SPIKE.as_millis_f64()
-                    ),
-                );
-            }
-
-            self.copy_pages(
-                src_machine,
-                src_hv,
-                src_id,
-                dst_machine,
-                dst_hv,
-                dst_id,
-                &to_send,
-            )?;
-
-            // Truncated page: one page of this round lands corrupted on
-            // the destination. The per-round content check detects the
-            // mismatch and the page is re-sent.
-            if let Some(&bad_gfn) = to_send.last() {
-                if self.faults.should_inject(
-                    InjectionPoint::TruncatedPage,
-                    &format!("{} round {round} gfn {}", cfg.name, bad_gfn.0),
-                ) {
-                    let good = src_hv.read_guest(src_machine, src_id, bad_gfn)?;
-                    dst_hv.write_guest(dst_machine, dst_id, bad_gfn, !good)?;
-                    // Detection: destination echoes the page back; the
-                    // mismatch triggers a single-page re-send.
-                    let echoed = dst_hv.read_guest(dst_machine, dst_id, bad_gfn)?;
-                    debug_assert_ne!(echoed, good, "truncation must be observable");
-                    if echoed != good {
-                        self.copy_pages(
-                            src_machine,
-                            src_hv,
-                            src_id,
-                            dst_machine,
-                            dst_hv,
-                            dst_id,
-                            &[bad_gfn],
-                        )?;
-                        duration += self.config.link.transfer(2 * PAGE_SIZE, sharers);
-                        bytes_sent += PAGE_SIZE;
-                        self.faults.record_recovery(
-                            InjectionPoint::TruncatedPage,
-                            RecoveryAction::ResentPages,
-                            &format!("{} round {round}: re-sent gfn {}", cfg.name, bad_gfn.0),
-                        );
-                    }
-                }
-            }
-
-            bytes_sent += bytes;
+            let outcome = match self.config.wire_mode {
+                WireMode::Raw => self.send_round_raw(
+                    src_machine,
+                    src_hv,
+                    src_id,
+                    dst_machine,
+                    dst_hv,
+                    dst_id,
+                    &to_send,
+                    round,
+                    sharers,
+                    &cfg.name,
+                )?,
+                WireMode::ContentAware => self.send_round_content_aware(
+                    src_machine,
+                    src_hv,
+                    src_id,
+                    dst_machine,
+                    dst_hv,
+                    dst_id,
+                    &to_send,
+                    round,
+                    sharers,
+                    &cfg.name,
+                    &mut wire,
+                )?,
+            };
+            let duration = outcome.duration;
+            bytes_sent += outcome.bytes_sent;
             precopy += duration;
             rounds.push(RoundStats {
                 round,
@@ -359,16 +327,47 @@ impl MigrationTp {
         // UISR proxies, and activate on the destination.
         precopy += src_hv.notify_prepare_transplant(src_machine, src_id)?;
         src_hv.pause_vm(src_id)?;
-        self.copy_pages(
-            src_machine,
-            src_hv,
-            src_id,
-            dst_machine,
-            dst_hv,
-            dst_id,
-            &stop_set,
-        )?;
-        let final_bytes = stop_set.len() as u64 * PAGE_SIZE;
+        let final_bytes = match self.config.wire_mode {
+            WireMode::Raw => {
+                self.copy_pages(
+                    src_machine,
+                    src_hv,
+                    src_id,
+                    dst_machine,
+                    dst_hv,
+                    dst_id,
+                    &stop_set,
+                )?;
+                stop_set.len() as u64 * PAGE_SIZE
+            }
+            WireMode::ContentAware => {
+                self.cache.begin_round();
+                let encoded = self
+                    .gather_encode(src_machine, src_hv, src_id, &stop_set)
+                    .and_then(|(frames, wb)| {
+                        self.apply_frames(
+                            dst_machine,
+                            dst_hv,
+                            dst_id,
+                            &stop_set,
+                            &frames,
+                            &cfg.name,
+                            &mut wire,
+                        )?;
+                        Ok(wb)
+                    });
+                match encoded {
+                    Ok(wb) => {
+                        self.cache.commit_round();
+                        wb
+                    }
+                    Err(e) => {
+                        self.cache.rollback_round();
+                        return Err(e);
+                    }
+                }
+            }
+        };
         bytes_sent += final_bytes;
 
         let uisr = src_hv.save_uisr(src_machine, src_id)?; // Source proxy.
@@ -411,25 +410,26 @@ impl MigrationTp {
             + self.cost.activate(dst_hv.kind().boot_target(), cfg.vcpus);
 
         if self.config.verify_contents {
-            // Verification only reads both sides, so each extent compares
-            // on its own pool worker.
+            // Verification only reads both sides, so extent groups compare
+            // on their own pool workers; batched reads keep the per-page
+            // translation cost off the comparison loop.
             let src_ref: &dyn Hypervisor = src_hv;
             let dst_ref: &dyn Hypervisor = dst_hv;
             let src_m: &Machine = src_machine;
             let dst_m: &Machine = dst_machine;
+            let per_task = map.len().div_ceil((self.pool.workers() * 4).max(1)).max(1);
+            let groups: Vec<&[(Gfn, Extent)]> = map.chunks(per_task).collect();
             let verdicts = self
                 .pool
-                .map_indices(map.len(), |i| -> Result<bool, HtpError> {
-                    let (gfn, e) = map[i];
-                    for off in 0..e.pages() {
-                        let g = Gfn(gfn.0 + off);
-                        if src_ref.read_guest(src_m, src_id, g)?
-                            != dst_ref.read_guest(dst_m, dst_id, g)?
-                        {
-                            return Ok(false);
+                .map_indices(groups.len(), |i| -> Result<bool, HtpError> {
+                    let mut gfns = Vec::new();
+                    for &(gfn, e) in groups[i] {
+                        for off in 0..e.pages() {
+                            gfns.push(Gfn(gfn.0 + off));
                         }
                     }
-                    Ok(true)
+                    Ok(src_ref.read_guest_many(src_m, src_id, &gfns)?
+                        == dst_ref.read_guest_many(dst_m, dst_id, &gfns)?)
                 })
                 .results;
             for ok in verdicts {
@@ -449,6 +449,7 @@ impl MigrationTp {
             total: precopy + stop_copy,
             bytes_sent,
             uisr_bytes: blob.len() as u64,
+            wire,
             warnings: restored.warnings,
         };
         Ok(DataPhase {
@@ -457,6 +458,401 @@ impl MigrationTp {
             stop_copy,
             dst_id,
         })
+    }
+
+    /// Sends one pre-copy round in [`WireMode::Raw`]: the legacy path
+    /// with paper-faithful byte accounting (every page ships as a full
+    /// payload). Fault handling: link drops retry the round with backoff,
+    /// latency spikes stretch it, a truncated page is detected by the
+    /// destination echo and re-sent.
+    #[allow(clippy::too_many_arguments)]
+    fn send_round_raw(
+        &self,
+        src_machine: &Machine,
+        src_hv: &dyn Hypervisor,
+        src_id: VmId,
+        dst_machine: &mut Machine,
+        dst_hv: &mut dyn Hypervisor,
+        dst_id: VmId,
+        to_send: &[Gfn],
+        round: u32,
+        sharers: u32,
+        vm_name: &str,
+    ) -> Result<RoundOutcome, HtpError> {
+        let perf = src_machine.spec().perf();
+        let pages = to_send.len() as u64;
+        let bytes = pages * PAGE_SIZE;
+        let mut bytes_sent = 0u64;
+        let mut duration = self.config.link.transfer(bytes, sharers)
+            + perf.cpu(self.cost.migrate_ghz_s_per_page * pages as f64)
+            + SimDuration::from_secs_f64(self.cost.migrate_round_overhead_s);
+
+        // Link drop: the round's transfer aborts partway. Recovery:
+        // retry the same round with exponential backoff — the pages
+        // acknowledged in earlier rounds stay acknowledged, so the
+        // migration resumes from the last acked round instead of
+        // restarting from scratch. A retry budget bounds the damage.
+        let mut drops = 0u32;
+        while self.faults.should_inject(
+            InjectionPoint::LinkDrop,
+            &format!("{vm_name} round {round}"),
+        ) {
+            drops += 1;
+            if drops > self.config.max_link_retries {
+                self.faults.record_recovery(
+                    InjectionPoint::LinkDrop,
+                    RecoveryAction::GaveUp,
+                    &format!(
+                        "{vm_name} round {round}: {} retries exhausted",
+                        self.config.max_link_retries
+                    ),
+                );
+                // The source VM keeps running untouched; only the
+                // half-built destination shell is torn down.
+                dst_hv.destroy_vm(dst_machine, dst_id)?;
+                return Err(HtpError::LinkFailure {
+                    vm_name: vm_name.to_string(),
+                    retries: self.config.max_link_retries,
+                });
+            }
+            let wait = backoff_delay(self.config.retry_backoff, drops);
+            // Half a round was on the wire before the drop, plus the
+            // backoff before reconnecting.
+            duration += self.config.link.transfer(bytes / 2, sharers) + wait;
+            self.faults.record_recovery(
+                InjectionPoint::LinkDrop,
+                RecoveryAction::RetriedWithBackoff,
+                &format!(
+                    "{vm_name} round {round} attempt {drops} backoff {:.0}ms",
+                    wait.as_millis_f64()
+                ),
+            );
+        }
+        if drops > 0 {
+            self.faults.record_recovery(
+                InjectionPoint::LinkDrop,
+                RecoveryAction::ResumedFromRound,
+                &format!("{vm_name} resumed at round {round} after {drops} drop(s)"),
+            );
+        }
+
+        // Latency spike: transient congestion stretches the round; the
+        // engine absorbs the extra time rather than failing over.
+        if self.faults.should_inject(
+            InjectionPoint::LinkLatencySpike,
+            &format!("{vm_name} round {round}"),
+        ) {
+            duration += LATENCY_SPIKE;
+            self.faults.record_recovery(
+                InjectionPoint::LinkLatencySpike,
+                RecoveryAction::AbsorbedLatency,
+                &format!(
+                    "{vm_name} round {round}: +{:.0}ms",
+                    LATENCY_SPIKE.as_millis_f64()
+                ),
+            );
+        }
+
+        self.copy_pages(
+            src_machine,
+            src_hv,
+            src_id,
+            dst_machine,
+            dst_hv,
+            dst_id,
+            to_send,
+        )?;
+
+        // Truncated page: one page of this round lands corrupted on
+        // the destination. The per-round content check detects the
+        // mismatch and the page is re-sent.
+        if let Some(&bad_gfn) = to_send.last() {
+            if self.faults.should_inject(
+                InjectionPoint::TruncatedPage,
+                &format!("{vm_name} round {round} gfn {}", bad_gfn.0),
+            ) {
+                let good = src_hv.read_guest(src_machine, src_id, bad_gfn)?;
+                dst_hv.write_guest(dst_machine, dst_id, bad_gfn, !good)?;
+                // Detection: destination echoes the page back; the
+                // mismatch triggers a single-page re-send.
+                let echoed = dst_hv.read_guest(dst_machine, dst_id, bad_gfn)?;
+                debug_assert_ne!(echoed, good, "truncation must be observable");
+                if echoed != good {
+                    self.copy_pages(
+                        src_machine,
+                        src_hv,
+                        src_id,
+                        dst_machine,
+                        dst_hv,
+                        dst_id,
+                        &[bad_gfn],
+                    )?;
+                    duration += self.config.link.transfer(2 * PAGE_SIZE, sharers);
+                    bytes_sent += PAGE_SIZE;
+                    self.faults.record_recovery(
+                        InjectionPoint::TruncatedPage,
+                        RecoveryAction::ResentPages,
+                        &format!("{vm_name} round {round}: re-sent gfn {}", bad_gfn.0),
+                    );
+                }
+            }
+        }
+
+        bytes_sent += bytes;
+        Ok(RoundOutcome {
+            duration,
+            bytes_sent,
+        })
+    }
+
+    /// Sends one pre-copy round in [`WireMode::ContentAware`]: pages are
+    /// gathered and hashed on the pool, encoded against the
+    /// destination-synchronised cache (zero markers, dedup references,
+    /// XOR+RLE deltas) in a bounded pipeline, and applied to the
+    /// destination in GFN order.
+    ///
+    /// Fault semantics differ from the raw path in one crucial way: a
+    /// dropped round invalidates the dedup/delta state it would have
+    /// acked — the cache journal is rolled back and the retry re-encodes
+    /// from the last state the destination confirmed, so a `Dup` frame
+    /// never references content the destination lost with the round.
+    #[allow(clippy::too_many_arguments)]
+    fn send_round_content_aware(
+        &self,
+        src_machine: &Machine,
+        src_hv: &dyn Hypervisor,
+        src_id: VmId,
+        dst_machine: &mut Machine,
+        dst_hv: &mut dyn Hypervisor,
+        dst_id: VmId,
+        to_send: &[Gfn],
+        round: u32,
+        sharers: u32,
+        vm_name: &str,
+        wire: &mut WireStats,
+    ) -> Result<RoundOutcome, HtpError> {
+        let perf = src_machine.spec().perf();
+        let pages = to_send.len() as u64;
+        let mut duration = SimDuration::ZERO;
+        let mut drops = 0u32;
+        let (frames, round_wire_bytes) = loop {
+            self.cache.begin_round();
+            let encoded = match self.gather_encode(src_machine, src_hv, src_id, to_send) {
+                Ok(x) => x,
+                Err(e) => {
+                    self.cache.rollback_round();
+                    return Err(e);
+                }
+            };
+            if !self.faults.should_inject(
+                InjectionPoint::LinkDrop,
+                &format!("{vm_name} round {round}"),
+            ) {
+                break encoded;
+            }
+            // The round died on the wire: nothing it shipped was acked, so
+            // every dedup/delta entry it journalled is invalid. Roll back
+            // to the last committed state and re-encode — the retry's
+            // frames are built against what the destination actually
+            // holds.
+            self.cache.rollback_round();
+            self.faults.record_recovery(
+                InjectionPoint::LinkDrop,
+                RecoveryAction::InvalidatedWireCache,
+                &format!("{vm_name} round {round}: rolled back dedup/delta journal"),
+            );
+            drops += 1;
+            if drops > self.config.max_link_retries {
+                self.faults.record_recovery(
+                    InjectionPoint::LinkDrop,
+                    RecoveryAction::GaveUp,
+                    &format!(
+                        "{vm_name} round {round}: {} retries exhausted",
+                        self.config.max_link_retries
+                    ),
+                );
+                // The destination shell (and every page it held) is torn
+                // down; drop the VM's delta bases and, conservatively,
+                // the dedup map.
+                self.cache.forget_vm(src_id.0);
+                dst_hv.destroy_vm(dst_machine, dst_id)?;
+                return Err(HtpError::LinkFailure {
+                    vm_name: vm_name.to_string(),
+                    retries: self.config.max_link_retries,
+                });
+            }
+            let wait = backoff_delay(self.config.retry_backoff, drops);
+            // Half the (compressed) round was on the wire before the
+            // drop, plus the backoff before reconnecting.
+            duration += self.config.link.transfer(encoded.1 / 2, sharers) + wait;
+            self.faults.record_recovery(
+                InjectionPoint::LinkDrop,
+                RecoveryAction::RetriedWithBackoff,
+                &format!(
+                    "{vm_name} round {round} attempt {drops} backoff {:.0}ms",
+                    wait.as_millis_f64()
+                ),
+            );
+        };
+        if drops > 0 {
+            self.faults.record_recovery(
+                InjectionPoint::LinkDrop,
+                RecoveryAction::ResumedFromRound,
+                &format!("{vm_name} resumed at round {round} after {drops} drop(s)"),
+            );
+        }
+        duration += self.config.link.transfer(round_wire_bytes, sharers)
+            + perf.cpu(self.cost.migrate_ghz_s_per_page * pages as f64)
+            + SimDuration::from_secs_f64(self.cost.migrate_round_overhead_s);
+        let mut bytes_sent = round_wire_bytes;
+
+        if self.faults.should_inject(
+            InjectionPoint::LinkLatencySpike,
+            &format!("{vm_name} round {round}"),
+        ) {
+            duration += LATENCY_SPIKE;
+            self.faults.record_recovery(
+                InjectionPoint::LinkLatencySpike,
+                RecoveryAction::AbsorbedLatency,
+                &format!(
+                    "{vm_name} round {round}: +{:.0}ms",
+                    LATENCY_SPIKE.as_millis_f64()
+                ),
+            );
+        }
+
+        self.apply_frames(dst_machine, dst_hv, dst_id, to_send, &frames, vm_name, wire)?;
+
+        // Truncated page: the echo check detects the corruption; the
+        // re-send re-encodes through the cache, which by now holds the
+        // page's content — so the correction usually ships as a
+        // digest-sized Dup frame rather than a full page.
+        if let Some(&bad_gfn) = to_send.last() {
+            if self.faults.should_inject(
+                InjectionPoint::TruncatedPage,
+                &format!("{vm_name} round {round} gfn {}", bad_gfn.0),
+            ) {
+                let good = src_hv.read_guest(src_machine, src_id, bad_gfn)?;
+                dst_hv.write_guest(dst_machine, dst_id, bad_gfn, !good)?;
+                let echoed = dst_hv.read_guest(dst_machine, dst_id, bad_gfn)?;
+                debug_assert_ne!(echoed, good, "truncation must be observable");
+                if echoed != good {
+                    let resend = self.cache.encode_page(src_id.0, bad_gfn.0, good);
+                    let word = self.cache.apply_frame(&resend, echoed).ok_or_else(|| {
+                        HtpError::IntegrityViolation {
+                            vm_name: vm_name.to_string(),
+                        }
+                    })?;
+                    dst_hv.write_guest(dst_machine, dst_id, bad_gfn, word)?;
+                    wire.record(&resend);
+                    duration += self.config.link.transfer(2 * resend.wire_bytes(), sharers);
+                    bytes_sent += resend.wire_bytes();
+                    self.faults.record_recovery(
+                        InjectionPoint::TruncatedPage,
+                        RecoveryAction::ResentPages,
+                        &format!(
+                            "{vm_name} round {round}: re-sent gfn {} as {} frame",
+                            bad_gfn.0,
+                            resend.kind().name()
+                        ),
+                    );
+                }
+            }
+        }
+
+        self.cache.commit_round();
+        Ok(RoundOutcome {
+            duration,
+            bytes_sent,
+        })
+    }
+
+    /// The gather/hash → encode pipeline of the content-aware path: pool
+    /// workers gather and digest source chunks while the calling thread
+    /// encodes them against the cache in strict GFN order (bounded
+    /// hand-off window, so encode back-pressure throttles the gather
+    /// instead of queueing unboundedly). Returns the frames plus their
+    /// total wire bytes. Below the parallel threshold everything runs
+    /// serially — same result, no thread spawn.
+    fn gather_encode(
+        &self,
+        src_machine: &Machine,
+        src_hv: &dyn Hypervisor,
+        src_id: VmId,
+        gfns: &[Gfn],
+    ) -> Result<(Vec<WireFrame>, u64), HtpError> {
+        let mut frames = Vec::with_capacity(gfns.len());
+        let mut wire_bytes = 0u64;
+        if self.pool.workers() <= 1 || gfns.len() < self.config.parallel_threshold_pages {
+            let words = src_hv.read_guest_many(src_machine, src_id, gfns)?;
+            for (&g, w) in gfns.iter().zip(words) {
+                let f = self.cache.encode_page(src_id.0, g.0, w);
+                wire_bytes += f.wire_bytes();
+                frames.push(f);
+            }
+        } else {
+            let chunk = gfns.len().div_ceil(self.pool.workers() * 4).max(1);
+            let chunks: Vec<&[Gfn]> = gfns.chunks(chunk).collect();
+            let mut first_err: Option<HtpError> = None;
+            self.pool.pipeline(
+                chunks.len(),
+                self.config.pipeline_window,
+                |i| -> Result<Vec<u64>, HtpError> {
+                    src_hv.read_guest_many(src_machine, src_id, chunks[i])
+                },
+                |i, gathered| {
+                    if first_err.is_some() {
+                        return;
+                    }
+                    match gathered {
+                        Ok(words) => {
+                            for (&g, w) in chunks[i].iter().zip(words) {
+                                let f = self.cache.encode_page(src_id.0, g.0, w);
+                                wire_bytes += f.wire_bytes();
+                                frames.push(f);
+                            }
+                        }
+                        Err(e) => first_err = Some(e),
+                    }
+                },
+            );
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+        }
+        debug_assert_eq!(frames.len(), gfns.len());
+        Ok((frames, wire_bytes))
+    }
+
+    /// Materialises a round's frames on the destination, in GFN order.
+    /// Writes are elided when the destination already holds the page's
+    /// content (zero pages on a fresh shell, dedup hits) — the wall-clock
+    /// counterpart of the bytes the frames kept off the wire.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_frames(
+        &self,
+        dst_machine: &mut Machine,
+        dst_hv: &mut dyn Hypervisor,
+        dst_id: VmId,
+        gfns: &[Gfn],
+        frames: &[WireFrame],
+        vm_name: &str,
+        wire: &mut WireStats,
+    ) -> Result<(), HtpError> {
+        let current = dst_hv.read_guest_many(dst_machine, dst_id, gfns)?;
+        for ((frame, &g), &cur) in frames.iter().zip(gfns).zip(&current) {
+            wire.record(frame);
+            let word =
+                self.cache
+                    .apply_frame(frame, cur)
+                    .ok_or_else(|| HtpError::IntegrityViolation {
+                        vm_name: vm_name.to_string(),
+                    })?;
+            if word != cur {
+                dst_hv.write_guest(dst_machine, dst_id, g, word)?;
+            }
+        }
+        Ok(())
     }
 
     /// Copies guest pages source → destination: a parallel *gather* of the
@@ -475,37 +871,47 @@ impl MigrationTp {
         dst_id: VmId,
         gfns: &[Gfn],
     ) -> Result<(), HtpError> {
-        // Below this many pages the serial gather wins over thread spawn.
-        const PAR_THRESHOLD_PAGES: usize = 8192;
-        let values: Vec<u64> = if self.pool.workers() <= 1 || gfns.len() < PAR_THRESHOLD_PAGES {
-            let mut v = Vec::with_capacity(gfns.len());
-            for &g in gfns {
-                v.push(src_hv.read_guest(src_machine, src_id, g)?);
+        // Below the threshold the serial gather wins over thread spawn
+        // (see MigrationConfig::parallel_threshold_pages).
+        let values: Vec<u64> =
+            if self.pool.workers() <= 1 || gfns.len() < self.config.parallel_threshold_pages {
+                src_hv.read_guest_many(src_machine, src_id, gfns)?
+            } else {
+                let chunk = gfns.len().div_ceil(self.pool.workers() * 4).max(1);
+                let chunks: Vec<&[Gfn]> = gfns.chunks(chunk).collect();
+                let gathered = self
+                    .pool
+                    .map_indices(chunks.len(), |i| -> Result<Vec<u64>, HtpError> {
+                        src_hv.read_guest_many(src_machine, src_id, chunks[i])
+                    })
+                    .results;
+                let mut v = Vec::with_capacity(gfns.len());
+                for c in gathered {
+                    v.extend(c?);
+                }
+                v
+            };
+        // Write elision: a fresh destination shell is overwhelmingly zero
+        // pages, and the simulator's RAM write does per-page bookkeeping a
+        // read does not — probing with one batched read and skipping no-op
+        // writes is the single biggest wall-clock win for idle-VM
+        // migrations.
+        let current = dst_hv.read_guest_many(dst_machine, dst_id, gfns)?;
+        for ((&g, &val), &cur) in gfns.iter().zip(&values).zip(&current) {
+            if cur != val {
+                dst_hv.write_guest(dst_machine, dst_id, g, val)?;
             }
-            v
-        } else {
-            let chunk = gfns.len().div_ceil(self.pool.workers() * 4).max(1);
-            let chunks: Vec<&[Gfn]> = gfns.chunks(chunk).collect();
-            let gathered = self
-                .pool
-                .map_indices(chunks.len(), |i| -> Result<Vec<u64>, HtpError> {
-                    chunks[i]
-                        .iter()
-                        .map(|&g| src_hv.read_guest(src_machine, src_id, g))
-                        .collect()
-                })
-                .results;
-            let mut v = Vec::with_capacity(gfns.len());
-            for c in gathered {
-                v.extend(c?);
-            }
-            v
-        };
-        for (&g, &val) in gfns.iter().zip(&values) {
-            dst_hv.write_guest(dst_machine, dst_id, g, val)?;
         }
         Ok(())
     }
+}
+
+/// Per-round result of a send helper.
+struct RoundOutcome {
+    /// Simulated duration of the round (transfer + CPU + fault effects).
+    duration: SimDuration,
+    /// Bytes put on the wire this round (raw payloads, or frames).
+    bytes_sent: u64,
 }
 
 /// Migrates several VMs from one host to another, reproducing §5.2.2's

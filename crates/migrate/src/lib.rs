@@ -7,7 +7,12 @@
 //! hypervisor-independent), and PRAM is unnecessary because memory maps are
 //! implicitly rebuilt on the destination (§4.3).
 //!
-//! * [`network`] — the link model carrying pages and UISR blobs.
+//! * [`network`] — the link model carrying pages and UISR blobs, plus the
+//!   wire-frame vocabulary ([`network::WireFrame`], [`network::WireStats`])
+//!   of the content-aware path.
+//! * [`wire`] — the XOR+RLE delta codec and the destination-synchronised
+//!   [`wire::TransferCache`] (zero elision, cross-round/cross-VM dedup,
+//!   transactional rollback under link faults).
 //! * [`engine`] — [`engine::MigrationTp`]: single-VM migration, plus
 //!   [`engine::migrate_many`] reproducing the multi-VM behaviour of §5.2.2
 //!   (parallel sends sharing the link, with Xen's sequential receive side
@@ -15,6 +20,10 @@
 
 pub mod engine;
 pub mod network;
+pub mod wire;
 
-pub use engine::{migrate_many, MigrationConfig, MigrationReport, MigrationTp, RoundStats};
-pub use network::Link;
+pub use engine::{
+    migrate_many, MigrationConfig, MigrationReport, MigrationTp, RoundStats, WireMode,
+};
+pub use network::{FrameKind, Link, WireFrame, WireStats};
+pub use wire::TransferCache;

@@ -1,6 +1,193 @@
-//! The network link between migration source and destination.
+//! The network link between migration source and destination, and the
+//! wire-frame vocabulary of the content-aware migration path.
+//!
+//! The content-aware wire path (PR 3) never ships a page it can avoid
+//! shipping: all-zero pages become a 1-entry [`WireFrame::Zero`] marker,
+//! pages whose content the destination already holds (from an earlier
+//! round, or from another VM sharing the link in `migrate_many`) become a
+//! digest-only [`WireFrame::Dup`], and re-dirtied pages become an XOR+RLE
+//! [`WireFrame::Delta`] against the last version the destination acked —
+//! falling back to [`WireFrame::Raw`] whenever the delta would not pay.
+//! [`WireStats`] accounts bytes per frame kind so reports and benches can
+//! state exactly where the savings came from.
 
+use hypertp_machine::PAGE_SIZE;
+use hypertp_sim::hash::Digest128;
 use hypertp_sim::SimDuration;
+
+/// Framing metadata per wire frame: kind tag, GFN addressing and payload
+/// length — the fixed cost of *any* frame, including the 1-entry zero
+/// marker.
+pub const WIRE_FRAME_HEADER: u64 = 16;
+
+/// Bytes of the 128-bit content digest carried by a [`WireFrame::Dup`].
+pub const WIRE_DIGEST_BYTES: u64 = 16;
+
+/// The kind tag of a wire frame (accounting key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FrameKind {
+    /// Full page payload.
+    Raw,
+    /// All-zero page: header-only marker.
+    Zero,
+    /// Content the destination already holds, referenced by digest.
+    Dup,
+    /// XOR+RLE delta against the last version the destination acked.
+    Delta,
+}
+
+impl FrameKind {
+    /// Every kind, in wire-format order (stable for reports).
+    pub const ALL: [FrameKind; 4] = [
+        FrameKind::Raw,
+        FrameKind::Zero,
+        FrameKind::Dup,
+        FrameKind::Delta,
+    ];
+
+    /// Stable short name used in logs and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameKind::Raw => "raw",
+            FrameKind::Zero => "zero",
+            FrameKind::Dup => "dup",
+            FrameKind::Delta => "delta",
+        }
+    }
+
+    /// Dense index for accounting arrays.
+    fn index(self) -> usize {
+        match self {
+            FrameKind::Raw => 0,
+            FrameKind::Zero => 1,
+            FrameKind::Dup => 2,
+            FrameKind::Delta => 3,
+        }
+    }
+}
+
+/// One page's representation on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireFrame {
+    /// Full page payload (the page's content word in the simulator's
+    /// one-word-per-page memory model; accounted as a full page).
+    Raw {
+        /// The page's content word.
+        word: u64,
+    },
+    /// All-zero page; the destination materialises zeros locally.
+    Zero,
+    /// The destination already holds this content (earlier round or
+    /// another VM); it copies from its dedup cache.
+    Dup {
+        /// 128-bit content digest keying the destination's cache.
+        digest: Digest128,
+    },
+    /// XOR+RLE delta against the destination's current version of this
+    /// page (see [`crate::wire::delta_encode`]).
+    Delta {
+        /// Encoded delta stream.
+        delta: Vec<u8>,
+    },
+}
+
+impl WireFrame {
+    /// The frame's accounting kind.
+    pub fn kind(&self) -> FrameKind {
+        match self {
+            WireFrame::Raw { .. } => FrameKind::Raw,
+            WireFrame::Zero => FrameKind::Zero,
+            WireFrame::Dup { .. } => FrameKind::Dup,
+            WireFrame::Delta { .. } => FrameKind::Delta,
+        }
+    }
+
+    /// Bytes this frame occupies on the wire (header + payload).
+    pub fn wire_bytes(&self) -> u64 {
+        WIRE_FRAME_HEADER
+            + match self {
+                WireFrame::Raw { .. } => PAGE_SIZE,
+                WireFrame::Zero => 0,
+                WireFrame::Dup { .. } => WIRE_DIGEST_BYTES,
+                WireFrame::Delta { delta } => delta.len() as u64,
+            }
+    }
+}
+
+/// Per-kind frame and byte accounting for one migration (or an aggregate
+/// across migrations — see [`WireStats::merge`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireStats {
+    counts: [u64; 4],
+    bytes: [u64; 4],
+    /// Page-payload bytes a raw-mode sender would have shipped for the
+    /// same page set (the legacy `bytes_sent` accounting).
+    raw_equivalent: u64,
+}
+
+impl WireStats {
+    /// Fresh, all-zero accounting.
+    pub fn new() -> Self {
+        WireStats::default()
+    }
+
+    /// Records one frame.
+    pub fn record(&mut self, frame: &WireFrame) {
+        let k = frame.kind().index();
+        self.counts[k] += 1;
+        self.bytes[k] += frame.wire_bytes();
+        self.raw_equivalent += PAGE_SIZE;
+    }
+
+    /// Frames of `kind` recorded.
+    pub fn count(&self, kind: FrameKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Wire bytes of `kind` recorded.
+    pub fn bytes(&self, kind: FrameKind) -> u64 {
+        self.bytes[kind.index()]
+    }
+
+    /// Total frames recorded (= pages that crossed the wire path).
+    pub fn frames(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total bytes actually put on the wire.
+    pub fn wire_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Page bytes a raw-mode sender would have shipped for the same pages.
+    pub fn raw_equivalent_bytes(&self) -> u64 {
+        self.raw_equivalent
+    }
+
+    /// Bytes the content-aware path kept off the wire.
+    pub fn saved_bytes(&self) -> u64 {
+        self.raw_equivalent.saturating_sub(self.wire_bytes())
+    }
+
+    /// `wire / raw` — 1.0 means no savings, 0.1 means a 10× reduction.
+    /// Returns 1.0 when nothing was recorded.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.raw_equivalent == 0 {
+            1.0
+        } else {
+            self.wire_bytes() as f64 / self.raw_equivalent as f64
+        }
+    }
+
+    /// Folds `other` into `self` (campaign-level aggregation).
+    pub fn merge(&mut self, other: &WireStats) {
+        for i in 0..4 {
+            self.counts[i] += other.counts[i];
+            self.bytes[i] += other.bytes[i];
+        }
+        self.raw_equivalent += other.raw_equivalent;
+    }
+}
 
 /// A point-to-point link with a line rate, a streaming efficiency and a
 /// fixed per-message latency.
@@ -104,5 +291,52 @@ mod tests {
         let a = Link::gigabit().transfer(1 << 30, 1).as_secs_f64();
         let b = Link::ten_gigabit().transfer(1 << 30, 1).as_secs_f64();
         assert!((a / b) > 9.0 && (a / b) < 11.0);
+    }
+
+    #[test]
+    fn frame_wire_bytes_by_kind() {
+        use hypertp_sim::hash::digest_words;
+        let raw = WireFrame::Raw { word: 7 };
+        let zero = WireFrame::Zero;
+        let dup = WireFrame::Dup {
+            digest: digest_words(&[7]),
+        };
+        let delta = WireFrame::Delta {
+            delta: vec![0u8; 100],
+        };
+        assert_eq!(raw.wire_bytes(), WIRE_FRAME_HEADER + PAGE_SIZE);
+        assert_eq!(zero.wire_bytes(), WIRE_FRAME_HEADER);
+        assert_eq!(dup.wire_bytes(), WIRE_FRAME_HEADER + WIRE_DIGEST_BYTES);
+        assert_eq!(delta.wire_bytes(), WIRE_FRAME_HEADER + 100);
+        assert!(zero.wire_bytes() < dup.wire_bytes());
+        assert!(dup.wire_bytes() < raw.wire_bytes());
+        assert_eq!(raw.kind().name(), "raw");
+        assert_eq!(FrameKind::ALL.len(), 4);
+    }
+
+    #[test]
+    fn wire_stats_account_per_kind_and_merge() {
+        let mut s = WireStats::new();
+        s.record(&WireFrame::Zero);
+        s.record(&WireFrame::Zero);
+        s.record(&WireFrame::Raw { word: 3 });
+        assert_eq!(s.frames(), 3);
+        assert_eq!(s.count(FrameKind::Zero), 2);
+        assert_eq!(s.count(FrameKind::Raw), 1);
+        assert_eq!(s.raw_equivalent_bytes(), 3 * PAGE_SIZE);
+        assert_eq!(
+            s.wire_bytes(),
+            3 * WIRE_FRAME_HEADER + PAGE_SIZE,
+            "two markers + one full page"
+        );
+        assert_eq!(s.saved_bytes(), s.raw_equivalent_bytes() - s.wire_bytes());
+        assert!(s.compression_ratio() < 0.5);
+
+        let mut agg = WireStats::new();
+        agg.merge(&s);
+        agg.merge(&s);
+        assert_eq!(agg.frames(), 6);
+        assert_eq!(agg.wire_bytes(), 2 * s.wire_bytes());
+        assert_eq!(WireStats::new().compression_ratio(), 1.0);
     }
 }

@@ -1,0 +1,542 @@
+//! Content-aware page encoding for the migration wire path.
+//!
+//! This module holds the two stateful halves of PR 3's wire path:
+//!
+//! * an **XOR+RLE delta codec** ([`delta_encode`]/[`delta_decode`]) for
+//!   re-dirtied pages: the new page is XORed against the last version the
+//!   destination acked, and the (hopefully sparse) XOR image is run-length
+//!   encoded — zero runs collapse to 3 bytes, literals are shipped as-is.
+//!   The encoder is total and the decoder rejects malformed streams
+//!   instead of panicking, so a corrupted delta is a recoverable fault.
+//! * a **destination-synchronised [`TransferCache`]** keyed by 128-bit
+//!   content digests ([`hypertp_sim::hash::Digest128`]). The source
+//!   mirrors exactly what the destination holds: which content digests it
+//!   has materialised (for [`WireFrame::Dup`] suppression — across
+//!   pre-copy rounds *and* across VMs sharing the engine in
+//!   `migrate_many`), and the last word acked per (vm, gfn) (for
+//!   [`WireFrame::Delta`] encoding).
+//!
+//! **Transactional rounds.** The destination only acks a round as a whole;
+//! if the link drops mid-round, nothing the round shipped can be assumed
+//! present on the other side. The cache therefore journals every mutation
+//! between [`TransferCache::begin_round`] and
+//! [`TransferCache::commit_round`]; a drop triggers
+//! [`TransferCache::rollback_round`], which restores the last committed
+//! state so the retry re-encodes against what the destination *actually*
+//! holds. An abandoned migration calls [`TransferCache::forget_vm`] (the
+//! destination shell is torn down, its pages gone).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use hypertp_machine::PAGE_SIZE;
+use hypertp_sim::hash::digest_words;
+
+use crate::network::{WireFrame, WIRE_FRAME_HEADER};
+
+/// RLE opcode: a run of zero bytes in the XOR image (`[0x00, len: u16le]`).
+const OP_ZERO_RUN: u8 = 0x00;
+/// RLE opcode: literal bytes (`[0x01, len: u16le, bytes...]`).
+const OP_LITERAL: u8 = 0x01;
+/// RLE opcode: a repeated 8-byte XOR pattern
+/// (`[0x02, count: u16le, pattern: 8 bytes]` covering `count * 8` bytes).
+/// Pages in the simulator's memory model are a 64-bit word repeated
+/// across the page, so the XOR image of two versions is an 8-byte pattern
+/// repeated 512× — this op collapses a whole-page delta to 11 bytes.
+const OP_PATTERN8: u8 = 0x02;
+/// Longest run any opcode can carry.
+const MAX_RUN: usize = u16::MAX as usize;
+
+/// Expands a content word to its full 4 KiB page image (the simulator's
+/// memory model stores one 64-bit word per page; on the wire the page is
+/// the word repeated little-endian across the page).
+pub fn expand_word(word: u64) -> Vec<u8> {
+    let le = word.to_le_bytes();
+    let mut page = Vec::with_capacity(PAGE_SIZE as usize);
+    for _ in 0..(PAGE_SIZE as usize / 8) {
+        page.extend_from_slice(&le);
+    }
+    page
+}
+
+/// Encodes `new` as an XOR+RLE delta against `old`. Both buffers must be
+/// the same length. The stream is a sequence of zero-run and literal ops
+/// over `old XOR new`; applying it with [`delta_decode`] against `old`
+/// reproduces `new` exactly.
+pub fn delta_encode(old: &[u8], new: &[u8]) -> Vec<u8> {
+    assert_eq!(old.len(), new.len(), "delta operands must align");
+    let n = new.len();
+    // Whole-buffer periodic fast path: when the XOR image is one 8-byte
+    // pattern repeated (the common case for uniform pages), a single
+    // pattern op covers everything. Skipped for the all-zero pattern,
+    // where one zero-run op is smaller still.
+    if n >= 16 && n.is_multiple_of(8) && n / 8 <= MAX_RUN {
+        let pattern: Vec<u8> = old[..8]
+            .iter()
+            .zip(&new[..8])
+            .map(|(&o, &w)| o ^ w)
+            .collect();
+        let periodic = (8..n).all(|i| (old[i] ^ new[i]) == pattern[i % 8]);
+        if periodic && pattern.iter().any(|&b| b != 0) {
+            let count = (n / 8) as u16;
+            let mut out = Vec::with_capacity(11);
+            out.push(OP_PATTERN8);
+            out.extend_from_slice(&count.to_le_bytes());
+            out.extend_from_slice(&pattern);
+            return out;
+        }
+    }
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        if old[i] == new[i] {
+            // Zero run in the XOR image.
+            let mut j = i;
+            while j < n && old[j] == new[j] && j - i < MAX_RUN {
+                j += 1;
+            }
+            let len = (j - i) as u16;
+            out.push(OP_ZERO_RUN);
+            out.extend_from_slice(&len.to_le_bytes());
+            i = j;
+        } else {
+            let mut j = i;
+            while j < n && old[j] != new[j] && j - i < MAX_RUN {
+                j += 1;
+            }
+            let len = (j - i) as u16;
+            out.push(OP_LITERAL);
+            out.extend_from_slice(&len.to_le_bytes());
+            for k in i..j {
+                out.push(old[k] ^ new[k]);
+            }
+            i = j;
+        }
+    }
+    out
+}
+
+/// Applies a [`delta_encode`] stream to `old`, returning the
+/// reconstructed buffer, or `None` if the stream is malformed (truncated
+/// op, bad opcode, or coverage not exactly `old.len()`). Total: never
+/// panics on arbitrary bytes.
+pub fn delta_decode(old: &[u8], delta: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(old.len());
+    let mut d = 0usize;
+    while d < delta.len() {
+        let op = delta[d];
+        let len_bytes = delta.get(d + 1..d + 3)?;
+        let len = u16::from_le_bytes([len_bytes[0], len_bytes[1]]) as usize;
+        d += 3;
+        let start = out.len();
+        let end = start.checked_add(len)?;
+        if end > old.len() {
+            return None;
+        }
+        match op {
+            OP_ZERO_RUN => out.extend_from_slice(&old[start..end]),
+            OP_LITERAL => {
+                let lits = delta.get(d..d + len)?;
+                d += len;
+                out.extend(lits.iter().zip(&old[start..end]).map(|(&x, &o)| x ^ o));
+            }
+            OP_PATTERN8 => {
+                // `len` counts 8-byte repetitions here.
+                let pattern = delta.get(d..d + 8)?;
+                d += 8;
+                let end = start.checked_add(len.checked_mul(8)?)?;
+                if end > old.len() {
+                    return None;
+                }
+                out.extend(
+                    old[start..end]
+                        .iter()
+                        .enumerate()
+                        .map(|(k, &o)| o ^ pattern[k % 8]),
+                );
+            }
+            _ => return None,
+        }
+    }
+    if out.len() == old.len() {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// Committed + in-flight state of the dedup/delta cache.
+#[derive(Debug, Default)]
+struct CacheInner {
+    /// Content the destination has materialised: digest → content word.
+    dedup: HashMap<u128, u64>,
+    /// Last word acked per (vm tag, gfn) — the destination's current
+    /// version of each page, used as the delta base.
+    sent: HashMap<(u32, u64), u64>,
+    /// Digests inserted into `dedup` since `begin_round` (rollback:
+    /// remove).
+    journal_dedup: Vec<u128>,
+    /// Previous `sent` values overwritten since `begin_round` (rollback:
+    /// restore; `None` = the key was absent).
+    journal_sent: Vec<((u32, u64), Option<u64>)>,
+}
+
+/// The destination-synchronised dedup/delta cache. Cheap to clone —
+/// clones share state, which is exactly what `migrate_many` wants: VMs
+/// migrated through the same engine dedup against each other's pages
+/// (shared template content crosses the wire once).
+#[derive(Debug, Clone, Default)]
+pub struct TransferCache {
+    inner: Arc<Mutex<CacheInner>>,
+}
+
+impl TransferCache {
+    /// A fresh, empty cache.
+    pub fn new() -> Self {
+        TransferCache::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, CacheInner> {
+        self.inner.lock().expect("transfer cache poisoned")
+    }
+
+    /// Opens a transactional round: mutations from here to
+    /// [`TransferCache::commit_round`] can be undone by
+    /// [`TransferCache::rollback_round`].
+    pub fn begin_round(&self) {
+        let mut c = self.lock();
+        debug_assert!(
+            c.journal_dedup.is_empty() && c.journal_sent.is_empty(),
+            "previous round neither committed nor rolled back"
+        );
+        c.journal_dedup.clear();
+        c.journal_sent.clear();
+    }
+
+    /// The destination acked the round: in-flight state becomes committed.
+    pub fn commit_round(&self) {
+        let mut c = self.lock();
+        c.journal_dedup.clear();
+        c.journal_sent.clear();
+    }
+
+    /// The round was lost on the wire: undo every mutation since
+    /// [`TransferCache::begin_round`], restoring the last committed state
+    /// (what the destination actually holds).
+    pub fn rollback_round(&self) {
+        let mut c = self.lock();
+        let dedup_undo: Vec<u128> = c.journal_dedup.drain(..).collect();
+        for key in dedup_undo {
+            c.dedup.remove(&key);
+        }
+        // Restore in reverse so the oldest snapshot of a twice-written key
+        // wins.
+        let sent_undo: Vec<((u32, u64), Option<u64>)> = c.journal_sent.drain(..).collect();
+        for (key, prev) in sent_undo.into_iter().rev() {
+            match prev {
+                Some(v) => {
+                    c.sent.insert(key, v);
+                }
+                None => {
+                    c.sent.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Drops every entry belonging to `vm` (the destination shell was
+    /// torn down after an abandoned migration; its pages no longer exist
+    /// on the other side). Dedup entries stay: they are owned by whichever
+    /// VMs committed them — but when no other VM holds the content the
+    /// conservative choice is to drop the whole dedup map, which is what
+    /// this does. Correctness never depends on dedup hits, only on the
+    /// map never claiming content the destination lacks.
+    pub fn forget_vm(&self, vm: u32) {
+        let mut c = self.lock();
+        c.sent.retain(|&(tag, _), _| tag != vm);
+        c.dedup.clear();
+        c.journal_dedup.clear();
+        c.journal_sent.retain(|&((tag, _), _)| tag != vm);
+    }
+
+    /// Wipes everything (tests; or a destination host restart).
+    pub fn clear(&self) {
+        let mut c = self.lock();
+        *c = CacheInner::default();
+    }
+
+    /// Committed dedup entries (diagnostics).
+    pub fn dedup_len(&self) -> usize {
+        self.lock().dedup.len()
+    }
+
+    /// Tracked (vm, gfn) delta bases (diagnostics).
+    pub fn sent_len(&self) -> usize {
+        self.lock().sent.len()
+    }
+
+    /// Encodes one page for the wire, journalling the cache mutations the
+    /// destination will perform when it applies the frame.
+    ///
+    /// Classification order: zero marker, dedup hit, delta against the
+    /// last acked version (falling back to raw when the delta does not
+    /// pay), raw.
+    pub fn encode_page(&self, vm: u32, gfn: u64, word: u64) -> WireFrame {
+        let mut c = self.lock();
+        let key = (vm, gfn);
+        if word == 0 {
+            // Destination materialises zeros locally; record the base so a
+            // later non-zero version can delta against a zero page.
+            let prev = c.sent.insert(key, 0);
+            c.journal_sent.push((key, prev));
+            return WireFrame::Zero;
+        }
+        let digest = digest_words(&[word]);
+        if c.dedup.contains_key(&digest.as_u128()) {
+            let prev = c.sent.insert(key, word);
+            c.journal_sent.push((key, prev));
+            return WireFrame::Dup { digest };
+        }
+        let frame = match c.sent.get(&key).copied() {
+            Some(old) if old != word => {
+                let delta = delta_encode(&expand_word(old), &expand_word(word));
+                if (delta.len() as u64) + WIRE_FRAME_HEADER < WIRE_FRAME_HEADER + PAGE_SIZE {
+                    WireFrame::Delta { delta }
+                } else {
+                    WireFrame::Raw { word }
+                }
+            }
+            // `old == word` cannot reach here: equal content means equal
+            // digest, and the digest was inserted when `old` was sent — a
+            // dedup hit above. An untracked page ships raw.
+            _ => WireFrame::Raw { word },
+        };
+        c.dedup.insert(digest.as_u128(), word);
+        c.journal_dedup.push(digest.as_u128());
+        let prev = c.sent.insert(key, word);
+        c.journal_sent.push((key, prev));
+        frame
+    }
+
+    /// Applies a frame on the destination side, given the destination's
+    /// current content word for the page. Returns the page's new word, or
+    /// `None` when the frame is inconsistent with the destination's state
+    /// (a dup for unknown content; a delta that does not decode to a
+    /// uniform page) — an integrity violation for the engine to surface.
+    pub fn apply_frame(&self, frame: &WireFrame, dst_current: u64) -> Option<u64> {
+        match frame {
+            WireFrame::Raw { word } => Some(*word),
+            WireFrame::Zero => Some(0),
+            WireFrame::Dup { digest } => self.lock().dedup.get(&digest.as_u128()).copied(),
+            WireFrame::Delta { delta } => {
+                let old = expand_word(dst_current);
+                let page = delta_decode(&old, delta)?;
+                let word = u64::from_le_bytes(page[..8].try_into().ok()?);
+                // The simulator's pages are uniform; a non-uniform decode
+                // means the delta base diverged from the destination.
+                if page == expand_word(word) {
+                    Some(word)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::FrameKind;
+    use hypertp_sim::SimRng;
+
+    #[test]
+    fn expand_word_shape() {
+        let p = expand_word(0x0102_0304_0506_0708);
+        assert_eq!(p.len(), PAGE_SIZE as usize);
+        assert_eq!(&p[..8], &0x0102_0304_0506_0708u64.to_le_bytes());
+        assert_eq!(&p[8..16], &p[..8]);
+        assert!(expand_word(0).iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn delta_roundtrip_identity_and_disjoint() {
+        let old = expand_word(0xdead_beef);
+        // Identical pages: a couple of zero-run ops, tiny stream.
+        let d = delta_encode(&old, &old);
+        assert!(d.len() <= 6, "identity delta is {} bytes", d.len());
+        assert_eq!(delta_decode(&old, &d).unwrap(), old);
+        // Single-byte change per word: mostly zero runs.
+        let new = expand_word(0xdead_beef ^ 0x41);
+        let d = delta_encode(&old, &new);
+        assert!(d.len() < PAGE_SIZE as usize / 2, "sparse delta pays");
+        assert_eq!(delta_decode(&old, &d).unwrap(), new);
+    }
+
+    #[test]
+    fn delta_property_random_mutations() {
+        // Seeded property test: arbitrary byte-level mutations of a 4 KiB
+        // page always round-trip, and the stream is never absurdly large.
+        let mut rng = SimRng::new(0xde17a);
+        for case in 0..200 {
+            let old = expand_word(rng.next_u64());
+            let mut new = old.clone();
+            let mutations = rng.gen_range(64) as usize;
+            for _ in 0..mutations {
+                let at = rng.gen_range(PAGE_SIZE) as usize;
+                new[at] ^= (rng.gen_range(255) + 1) as u8;
+            }
+            let d = delta_encode(&old, &new);
+            assert_eq!(
+                delta_decode(&old, &d).as_deref(),
+                Some(new.as_slice()),
+                "case {case}"
+            );
+            // Worst case: alternating ops cost ≤ 4 bytes/byte + slack.
+            assert!(d.len() <= 4 * PAGE_SIZE as usize + 8, "case {case}");
+            // Wrong base must not silently succeed as the right page.
+            let wrong = expand_word(rng.next_u64());
+            if wrong != old {
+                if let Some(p) = delta_decode(&wrong, &d) {
+                    assert_ne!(p, new, "case {case}: wrong base produced right page");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_decode_is_total_on_garbage() {
+        let old = expand_word(7);
+        let mut rng = SimRng::new(0x6a6b);
+        for _ in 0..500 {
+            let len = rng.gen_range(64) as usize;
+            let junk: Vec<u8> = (0..len).map(|_| rng.gen_range(256) as u8).collect();
+            // Must not panic; may decode or reject.
+            let _ = delta_decode(&old, &junk);
+        }
+        assert_eq!(delta_decode(&old, &[]), None, "empty covers nothing");
+        assert_eq!(delta_decode(&old, &[OP_ZERO_RUN]), None, "truncated op");
+        assert_eq!(delta_decode(&old, &[0x7f, 0, 16]), None, "bad opcode");
+    }
+
+    #[test]
+    fn encode_classifies_zero_dup_delta_raw() {
+        let cache = TransferCache::new();
+        cache.begin_round();
+        assert_eq!(cache.encode_page(0, 1, 0).kind(), FrameKind::Zero);
+        assert_eq!(cache.encode_page(0, 2, 0xaaaa).kind(), FrameKind::Raw);
+        // Same content, different page / different VM: dedup.
+        assert_eq!(cache.encode_page(0, 3, 0xaaaa).kind(), FrameKind::Dup);
+        assert_eq!(cache.encode_page(1, 9, 0xaaaa).kind(), FrameKind::Dup);
+        cache.commit_round();
+        // Page 2 re-dirtied with a near value: delta beats raw.
+        cache.begin_round();
+        let f = cache.encode_page(0, 2, 0xaaab);
+        assert_eq!(f.kind(), FrameKind::Delta);
+        assert!(f.wire_bytes() < WIRE_FRAME_HEADER + PAGE_SIZE);
+        // And the destination, holding 0xaaaa, reconstructs 0xaaab.
+        assert_eq!(cache.apply_frame(&f, 0xaaaa), Some(0xaaab));
+        cache.commit_round();
+    }
+
+    #[test]
+    fn apply_matches_encode_for_all_kinds() {
+        let cache = TransferCache::new();
+        cache.begin_round();
+        let raw = cache.encode_page(0, 1, 0x1234);
+        assert_eq!(cache.apply_frame(&raw, 0), Some(0x1234));
+        let dup = cache.encode_page(0, 2, 0x1234);
+        assert_eq!(dup.kind(), FrameKind::Dup);
+        assert_eq!(cache.apply_frame(&dup, 0), Some(0x1234));
+        let zero = cache.encode_page(0, 3, 0);
+        assert_eq!(cache.apply_frame(&zero, 0xffff), Some(0));
+        cache.commit_round();
+    }
+
+    #[test]
+    fn dup_for_unknown_content_is_rejected() {
+        let cache = TransferCache::new();
+        let frame = WireFrame::Dup {
+            digest: digest_words(&[0x5555]),
+        };
+        assert_eq!(cache.apply_frame(&frame, 0), None);
+    }
+
+    #[test]
+    fn rollback_restores_committed_state() {
+        let cache = TransferCache::new();
+        cache.begin_round();
+        assert_eq!(cache.encode_page(0, 1, 0xcafe).kind(), FrameKind::Raw);
+        cache.commit_round();
+        assert_eq!(cache.dedup_len(), 1);
+
+        // A round that never reaches the destination.
+        cache.begin_round();
+        assert_eq!(cache.encode_page(0, 2, 0xf00d).kind(), FrameKind::Raw);
+        assert_eq!(cache.encode_page(0, 1, 0xf00d).kind(), FrameKind::Dup);
+        cache.rollback_round();
+        assert_eq!(cache.dedup_len(), 1, "0xf00d never arrived");
+        assert_eq!(cache.sent_len(), 1, "gfn 2 never arrived");
+
+        // Re-encoding after rollback must not emit a Dup for content the
+        // destination lacks, and gfn 1's base must still be 0xcafe.
+        cache.begin_round();
+        assert_eq!(cache.encode_page(0, 2, 0xf00d).kind(), FrameKind::Raw);
+        let f = cache.encode_page(0, 1, 0xcaff);
+        assert_eq!(f.kind(), FrameKind::Delta);
+        assert_eq!(cache.apply_frame(&f, 0xcafe), Some(0xcaff));
+        cache.commit_round();
+    }
+
+    #[test]
+    fn rollback_restores_oldest_snapshot_of_twice_written_key() {
+        let cache = TransferCache::new();
+        cache.begin_round();
+        cache.encode_page(0, 5, 0x11);
+        cache.commit_round();
+        cache.begin_round();
+        cache.encode_page(0, 5, 0x22);
+        cache.encode_page(0, 5, 0x33);
+        cache.rollback_round();
+        // Delta base for gfn 5 must be back to 0x11: encoding 0x44 as a
+        // delta against 0x11 must decode against a dest holding 0x11.
+        cache.begin_round();
+        let f = cache.encode_page(0, 5, 0x1111_0011);
+        if let WireFrame::Delta { .. } = f {
+            assert_eq!(cache.apply_frame(&f, 0x11), Some(0x1111_0011));
+        }
+        cache.commit_round();
+    }
+
+    #[test]
+    fn forget_vm_drops_its_delta_bases() {
+        let cache = TransferCache::new();
+        cache.begin_round();
+        cache.encode_page(0, 1, 0xaa);
+        cache.encode_page(1, 1, 0xbb);
+        cache.commit_round();
+        cache.forget_vm(0);
+        assert_eq!(cache.sent_len(), 1, "vm1's base survives");
+        assert_eq!(cache.dedup_len(), 0, "dedup conservatively dropped");
+        // vm0's page must ship raw again (no stale delta base).
+        cache.begin_round();
+        assert_eq!(cache.encode_page(0, 1, 0xab).kind(), FrameKind::Raw);
+        cache.commit_round();
+    }
+
+    #[test]
+    fn clones_share_state_for_cross_vm_dedup() {
+        let a = TransferCache::new();
+        let b = a.clone();
+        a.begin_round();
+        assert_eq!(a.encode_page(0, 1, 0x7777).kind(), FrameKind::Raw);
+        a.commit_round();
+        b.begin_round();
+        assert_eq!(
+            b.encode_page(5, 99, 0x7777).kind(),
+            FrameKind::Dup,
+            "clone sees content committed through the original"
+        );
+        b.commit_round();
+    }
+}

@@ -130,6 +130,10 @@ pub enum RecoveryAction {
     ExcludedHost,
     /// A latency spike was absorbed into the round time without retrying.
     AbsorbedLatency,
+    /// The wire path's dedup/delta cache entries journalled in the failed
+    /// round were rolled back (the destination never acked them) and the
+    /// round was re-encoded against the last committed state.
+    InvalidatedWireCache,
     /// The fault was fatal at this layer; the error propagated to the
     /// caller (which may itself recover — e.g. fall back to InPlaceTP).
     GaveUp,
@@ -149,6 +153,7 @@ impl RecoveryAction {
             RecoveryAction::RequeuedHost => "requeued_host",
             RecoveryAction::ExcludedHost => "excluded_host",
             RecoveryAction::AbsorbedLatency => "absorbed_latency",
+            RecoveryAction::InvalidatedWireCache => "invalidated_wire_cache",
             RecoveryAction::GaveUp => "gave_up",
         }
     }

@@ -27,11 +27,15 @@
 //! * [`fault`] — seeded deterministic fault injection ([`fault::FaultPlan`])
 //!   with a structured [`fault::FaultLog`], used by the chaos test matrix
 //!   to exercise every recovery path in the transplant stack.
+//! * [`hash`] — 128-bit page-content fingerprints ([`hash::Digest128`])
+//!   built from two independent word-at-a-time FNV-1a lanes; keys the
+//!   migration wire path's destination-synchronised dedup cache.
 
 pub mod clock;
 pub mod cost;
 pub mod events;
 pub mod fault;
+pub mod hash;
 pub mod json;
 pub mod par;
 pub mod pool;
@@ -44,6 +48,7 @@ pub use clock::SimClock;
 pub use cost::CostModel;
 pub use events::EventQueue;
 pub use fault::{FaultEvent, FaultLog, FaultPlan, InjectionPoint, RecoveryAction};
+pub use hash::{digest_bytes, digest_words, Digest128};
 pub use json::Json;
 pub use par::{lpt_loads, makespan};
 pub use pool::WorkerPool;

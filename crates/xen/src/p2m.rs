@@ -81,6 +81,47 @@ impl P2m {
         }
     }
 
+    /// Translates a batch of GFNs, exploiting sorted input.
+    ///
+    /// Migration gathers hand in ascending GFN lists (round one walks the
+    /// address space in order; later rounds come from the `BTreeSet`
+    /// dirty log), so instead of one `O(log n)` range query per page this
+    /// walks the entry map and the input in tandem — `O(n + m)` for the
+    /// whole batch. A non-monotonic input degrades gracefully to
+    /// per-GFN [`P2m::translate`] for the out-of-order stretch; results
+    /// and errors are identical to the per-page path either way.
+    pub fn translate_many(&self, gfns: &[Gfn]) -> Result<Vec<Mfn>, P2mError> {
+        let mut out = Vec::with_capacity(gfns.len());
+        let mut iter = self.entries.iter().peekable();
+        let mut cur: Option<(u64, Extent)> = None;
+        let mut prev = 0u64;
+        for &g in gfns {
+            if g.0 < prev {
+                // Out-of-order input: the tandem cursor is already past
+                // this GFN, so answer it with a point query.
+                out.push(self.translate(g)?);
+                continue;
+            }
+            prev = g.0;
+            // Advance the cursor to the last entry starting at or below g.
+            while let Some(&(&base, &e)) = iter.peek() {
+                if base <= g.0 {
+                    cur = Some((base, e));
+                    iter.next();
+                } else {
+                    break;
+                }
+            }
+            match cur {
+                Some((base, e)) if g.0 >= base && g.0 < base + e.pages() => {
+                    out.push(e.base + (g.0 - base));
+                }
+                _ => return Err(P2mError::NotMapped { gfn: g }),
+            }
+        }
+        Ok(out)
+    }
+
     /// Returns all mappings sorted by GFN — the input to PRAM construction.
     pub fn mappings(&self) -> Vec<(Gfn, Extent)> {
         self.entries.iter().map(|(&g, &e)| (Gfn(g), e)).collect()
@@ -185,6 +226,33 @@ mod tests {
         assert!(p.read_and_clear_dirty().is_empty());
         p.disable_log_dirty();
         assert!(!p.log_dirty_enabled());
+    }
+
+    #[test]
+    fn translate_many_matches_per_page_translate() {
+        let mut p = P2m::new();
+        // Two runs with a hole between them: gfns 0..512 and 1024..1536.
+        p.map(Gfn(0), ext(2048, 9)).unwrap();
+        p.map(Gfn(1024), ext(4096, 9)).unwrap();
+        let sorted: Vec<Gfn> = [0u64, 1, 255, 511, 1024, 1300, 1535]
+            .iter()
+            .map(|&g| Gfn(g))
+            .collect();
+        let got = p.translate_many(&sorted).unwrap();
+        for (g, m) in sorted.iter().zip(&got) {
+            assert_eq!(p.translate(*g).unwrap(), *m, "mismatch at {g:?}");
+        }
+        // Out-of-order input falls back to point queries, same answers.
+        let unsorted = vec![Gfn(1535), Gfn(0), Gfn(1024), Gfn(511), Gfn(1)];
+        let got = p.translate_many(&unsorted).unwrap();
+        for (g, m) in unsorted.iter().zip(&got) {
+            assert_eq!(p.translate(*g).unwrap(), *m, "mismatch at {g:?}");
+        }
+        // The hole and the tail fail exactly like `translate`.
+        assert!(p.translate_many(&[Gfn(0), Gfn(512)]).is_err());
+        assert!(p.translate_many(&[Gfn(0), Gfn(700)]).is_err());
+        assert!(p.translate_many(&[Gfn(1536)]).is_err());
+        assert_eq!(p.translate_many(&[]).unwrap(), Vec::<Mfn>::new());
     }
 
     #[test]

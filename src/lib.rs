@@ -61,7 +61,7 @@ pub mod prelude {
     };
     pub use hypertp_kvm::KvmHypervisor;
     pub use hypertp_machine::{Gfn, Machine, MachineSpec};
-    pub use hypertp_migrate::{migrate_many, MigrationConfig, MigrationTp};
+    pub use hypertp_migrate::{migrate_many, MigrationConfig, MigrationTp, WireMode, WireStats};
     pub use hypertp_sim::{SimClock, SimDuration, SimTime};
     pub use hypertp_xen::XenHypervisor;
 

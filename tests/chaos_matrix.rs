@@ -16,8 +16,11 @@
 //!
 //! A fourth scenario (separate plan: it needs an unbounded fault rate)
 //! saturates the migration link and checks the MigrationTP→InPlaceTP
-//! fallback chain. The CI chaos step pins the three seeds below; set
-//! `HYPERTP_SEED` to probe others.
+//! fallback chain, and a fifth (also its own plan) drops the link
+//! mid-round on a *content-aware* migration to check the dedup-cache
+//! rollback path ([`RecoveryAction::InvalidatedWireCache`]). The CI
+//! chaos step pins the three seeds below; set `HYPERTP_SEED` to probe
+//! others.
 
 use hypertp::prelude::*;
 use hypertp_cluster::campaign::{run_campaign_with, CampaignConfig};
@@ -165,6 +168,83 @@ fn chaos_campaign(seed: u64, faults: &FaultPlan) {
     }
 }
 
+/// Scenario 5: a link drop hits a *content-aware* migration mid-round
+/// while the dedup cache is live. The engine must roll the cache journal
+/// back (logged as [`RecoveryAction::InvalidatedWireCache`]), re-encode
+/// the round against the last committed cache state, and still land every
+/// guest word. Uses its own plan so the forced drop cannot perturb the
+/// arm-all-once schedule of scenarios 1–3. Returns the plan's log render.
+fn chaos_wire(seed: u64) -> String {
+    let faults = FaultPlan::new(seed ^ 0x3173_cace);
+    faults.arm_once(InjectionPoint::LinkDrop);
+    let registry = default_registry();
+    let clock = SimClock::new();
+    let mut src_m = Machine::with_clock(small_spec(4), clock.clone());
+    let mut dst_m = Machine::with_clock(small_spec(4), clock);
+    let mut src = registry.create(HypervisorKind::Xen, &mut src_m).unwrap();
+    let mut dst = registry.create(HypervisorKind::Kvm, &mut dst_m).unwrap();
+    let cfg = VmConfig::small("chaos-wire").with_memory_gb(1);
+    let id = src.create_vm(&mut src_m, &cfg).unwrap();
+    // Duplicate content across gfns so the dedup cache holds real state
+    // when the drop fires, plus unique words for the equality check.
+    let writes: Vec<(Gfn, u64)> = (0..96u64)
+        .map(|k| {
+            let v = if k % 3 == 0 { 0xd0_d0 } else { k ^ 0xbeef_cafe };
+            (Gfn((k * 11 + 1) % cfg.pages()), v)
+        })
+        .collect();
+    for (g, v) in &writes {
+        src.write_guest(&mut src_m, id, *g, *v).unwrap();
+    }
+    let tp = MigrationTp::new()
+        .with_config(MigrationConfig {
+            dirty_rate_pages_per_sec: 0.0,
+            verify_contents: true,
+            wire_mode: WireMode::ContentAware,
+            ..MigrationConfig::default()
+        })
+        .with_faults(faults.clone());
+    let report = tp
+        .migrate(&mut src_m, src.as_mut(), id, &mut dst_m, dst.as_mut())
+        .unwrap_or_else(|e| panic!("seed {seed:#x}: faulted wire migration failed: {e}"));
+    assert!(
+        report.wire.frames() > 0,
+        "seed {seed:#x}: content-aware run produced no wire frames"
+    );
+    assert!(
+        report.wire_bytes_saved() > 0,
+        "seed {seed:#x}: zero elision must save bytes on a 1 GiB idle guest"
+    );
+    let log = faults.log();
+    assert!(
+        log.recovered_via(
+            InjectionPoint::LinkDrop,
+            RecoveryAction::InvalidatedWireCache
+        ),
+        "seed {seed:#x}: mid-round drop must invalidate the wire cache; log:\n{}",
+        log.render()
+    );
+    assert!(
+        log.recovered_via(InjectionPoint::LinkDrop, RecoveryAction::ResumedFromRound),
+        "seed {seed:#x}: the re-encoded round must resume; log:\n{}",
+        log.render()
+    );
+    // No VM lost, no word lost: the rollback re-encoded from committed
+    // state, so the resent frames decode to exactly the source content.
+    let new_id = dst
+        .find_vm("chaos-wire")
+        .unwrap_or_else(|| panic!("seed {seed:#x}: VM lost in wire migration"));
+    assert_eq!(dst.vm_state(new_id).unwrap(), VmState::Running);
+    for (g, v) in &writes {
+        assert_eq!(
+            dst.read_guest(&dst_m, new_id, *g).unwrap(),
+            *v,
+            "seed {seed:#x}: guest word lost at {g:?}"
+        );
+    }
+    log.render()
+}
+
 /// Scenario 4: a saturated link exhausts the migration's retry budget;
 /// the host falls back to InPlaceTP. Uses its own plan (the unbounded
 /// LinkDrop rate would starve scenario 1). Returns the plan's log render.
@@ -274,7 +354,8 @@ fn chaos_run(seed: u64) -> String {
     }
 
     let fallback_log = chaos_fallback(seed);
-    format!("{}---\n{}", log.render(), fallback_log)
+    let wire_log = chaos_wire(seed);
+    format!("{}---\n{}---\n{}", log.render(), fallback_log, wire_log)
 }
 
 #[test]
