@@ -49,6 +49,16 @@ PERF_SMOKE_OUT="${gate_dir}/perf1.json" \
 PERF_SMOKE_OUT="${gate_dir}/perf2.json" \
   cargo run -q --release --offline -p hypertp-bench --bin perf_smoke
 cargo run -q --release --offline -p hypertp-bench --bin perf_gate -- \
-  BENCH_wire.json "${gate_dir}/perf1.json" "${gate_dir}/perf2.json"
+  wire BENCH_wire.json "${gate_dir}/perf1.json" "${gate_dir}/perf2.json"
+
+echo "== adaptive gate (downtime cut + budget + scheduler floors) =="
+# adaptive_smoke's comparisons are over *simulated* time, so the fresh
+# artifact must meet the committed BENCH_adaptive.json floors exactly:
+# mean-downtime cut >= floor, makespan not lengthened, budget respected,
+# SPDF still beating FIFO.
+ADAPTIVE_SMOKE_OUT="${gate_dir}/adaptive.json" \
+  cargo run -q --release --offline -p hypertp-bench --bin adaptive_smoke
+cargo run -q --release --offline -p hypertp-bench --bin perf_gate -- \
+  adaptive BENCH_adaptive.json "${gate_dir}/adaptive.json"
 
 echo "CI OK"

@@ -1,15 +1,18 @@
-//! perf_gate: CI regression gate over the perf_smoke artifacts.
+//! perf_gate: CI regression gate over the perf_smoke / adaptive_smoke
+//! artifacts.
 //!
 //! Usage:
 //!
 //! ```text
-//! perf_gate <committed BENCH_wire.json> <perf_smoke run 1> [<perf_smoke run 2> ...]
+//! perf_gate wire     <committed BENCH_wire.json>     <perf_smoke run 1> [...]
+//! perf_gate adaptive <committed BENCH_adaptive.json> <adaptive_smoke run 1> [...]
+//! perf_gate <committed BENCH_wire.json> <perf_smoke run...>   # legacy = wire
 //! ```
 //!
-//! CI runs `perf_smoke` twice (timings jitter; identity and compression
-//! must not) and hands both artifacts here together with the *committed*
-//! `BENCH_wire.json`. The gate fails — non-zero exit, one line per
-//! violation — when:
+//! **wire**: CI runs `perf_smoke` twice (timings jitter; identity and
+//! compression must not) and hands both artifacts here together with the
+//! *committed* `BENCH_wire.json`. The gate fails — non-zero exit, one
+//! line per violation — when:
 //!
 //! 1. any `identical`-suffixed field in any run is not `"true"` (the
 //!    worker pool or the wire codec changed results), or
@@ -17,9 +20,24 @@
 //!    committed artifact's `reduction_floor_pct` (the content-aware path
 //!    stopped earning its keep).
 //!
+//! **adaptive**: CI runs `adaptive_smoke` and hands the fresh artifact(s)
+//! here with the committed `BENCH_adaptive.json`. A run fails when:
+//!
+//! 1. any `identical`-suffixed field is not `"true"` (the adaptive fleet
+//!    stopped being deterministic),
+//! 2. `adaptive_vs_static.mean_downtime_cut_pct` falls below the
+//!    committed `downtime_cut_floor_pct` (adaptive-mode downtime
+//!    regressed toward the static baseline),
+//! 3. `adaptive_vs_static.makespan_ratio` exceeds 1.01 (the downtime win
+//!    started costing total migration time),
+//! 4. `budget.max_downtime_ms` exceeds `budget.budget_ms` (the downtime
+//!    budget was violated on the reference fleet), or
+//! 5. `scheduler.ready_cut_pct` is not positive (SPDF stopped beating
+//!    FIFO admission).
+//!
 //! The gate deliberately ignores wall-clock fields: CI machines are too
-//! noisy for absolute-time floors, but correctness and compression are
-//! deterministic.
+//! noisy for absolute-time floors, but correctness, compression, and
+//! *simulated* time are deterministic.
 
 use std::process::ExitCode;
 
@@ -50,36 +68,63 @@ fn load(path: &str) -> Result<Json, String> {
     Json::parse(&text).map_err(|e| format!("{path}: {e:?}"))
 }
 
-fn run() -> Result<(), Vec<String>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.len() < 2 {
-        return Err(vec![
-            "usage: perf_gate <committed BENCH_wire.json> <perf_smoke run...>".into(),
-        ]);
+/// Checks every `identical` field in `run` and reports how many there
+/// were; pushes a violation per non-`"true"` value.
+fn check_identity(path: &str, run: &Json, violations: &mut Vec<String>) -> usize {
+    let mut fields = Vec::new();
+    identity_fields("", run, &mut fields);
+    if fields.is_empty() {
+        violations.push(format!("{path}: no identical fields found"));
     }
-    let mut violations = Vec::new();
-
-    let wire = load(&args[0]).map_err(|e| vec![e])?;
-    let floor = wire
-        .get("reduction_floor_pct")
-        .and_then(Json::as_f64)
-        .ok_or_else(|| vec![format!("{}: missing reduction_floor_pct", args[0])])?;
-
-    for path in &args[1..] {
-        let run = load(path).map_err(|e| vec![e])?;
-        let before = violations.len();
-
-        let mut fields = Vec::new();
-        identity_fields("", &run, &mut fields);
-        if fields.is_empty() {
-            violations.push(format!("{path}: no identical fields found"));
+    for (field, value) in &fields {
+        if value != "true" {
+            violations.push(format!("{path}: {field} = {value:?}, expected \"true\""));
         }
-        for (field, value) in &fields {
-            if value != "true" {
-                violations.push(format!("{path}: {field} = {value:?}, expected \"true\""));
+    }
+    fields.len()
+}
+
+/// Fetches a float at a dotted path, pushing a violation when missing.
+fn get_f64(path: &str, run: &Json, dotted: &str, violations: &mut Vec<String>) -> Option<f64> {
+    let mut node = run;
+    for part in dotted.split('.') {
+        match node.get(part) {
+            Some(next) => node = next,
+            None => {
+                violations.push(format!("{path}: missing {dotted}"));
+                return None;
             }
         }
+    }
+    match node.as_f64() {
+        Some(v) => Some(v),
+        None => {
+            violations.push(format!("{path}: {dotted} is not a number"));
+            None
+        }
+    }
+}
 
+fn gate_wire(committed: &str, runs: &[String]) -> Vec<String> {
+    let mut violations = Vec::new();
+    let wire = match load(committed) {
+        Ok(j) => j,
+        Err(e) => return vec![e],
+    };
+    let Some(floor) = wire.get("reduction_floor_pct").and_then(Json::as_f64) else {
+        return vec![format!("{committed}: missing reduction_floor_pct")];
+    };
+
+    for path in runs {
+        let run = match load(path) {
+            Ok(j) => j,
+            Err(e) => {
+                violations.push(e);
+                continue;
+            }
+        };
+        let before = violations.len();
+        let n = check_identity(path, &run, &mut violations);
         let pct = run
             .get("migrate_many")
             .and_then(|m| m.get("wire_reduction_pct"))
@@ -93,13 +138,109 @@ fn run() -> Result<(), Vec<String>> {
         }
         if violations.len() == before {
             println!(
-                "perf_gate: {path}: {} identity fields ok, wire reduction {:.1}% >= floor {floor:.1}%",
-                fields.len(),
+                "perf_gate: {path}: {n} identity fields ok, wire reduction {:.1}% >= floor {floor:.1}%",
                 pct.unwrap_or(f64::NAN)
             );
         }
     }
+    violations
+}
 
+fn gate_adaptive(committed: &str, runs: &[String]) -> Vec<String> {
+    let mut violations = Vec::new();
+    let base = match load(committed) {
+        Ok(j) => j,
+        Err(e) => return vec![e],
+    };
+    let Some(floor) = base.get("downtime_cut_floor_pct").and_then(Json::as_f64) else {
+        return vec![format!("{committed}: missing downtime_cut_floor_pct")];
+    };
+
+    for path in runs {
+        let run = match load(path) {
+            Ok(j) => j,
+            Err(e) => {
+                violations.push(e);
+                continue;
+            }
+        };
+        let before = violations.len();
+        let n = check_identity(path, &run, &mut violations);
+
+        let cut = get_f64(
+            path,
+            &run,
+            "adaptive_vs_static.mean_downtime_cut_pct",
+            &mut violations,
+        );
+        if let Some(cut) = cut {
+            if cut < floor {
+                violations.push(format!(
+                    "{path}: adaptive mean-downtime cut {cut:.1}% below committed floor {floor:.1}%"
+                ));
+            }
+        }
+        if let Some(ratio) = get_f64(
+            path,
+            &run,
+            "adaptive_vs_static.makespan_ratio",
+            &mut violations,
+        ) {
+            if ratio > 1.01 {
+                violations.push(format!(
+                    "{path}: adaptive makespan ratio {ratio:.4} > 1.01 — downtime win costs total time"
+                ));
+            }
+        }
+        let budget_ms = get_f64(path, &run, "budget.budget_ms", &mut violations);
+        let max_ms = get_f64(path, &run, "budget.max_downtime_ms", &mut violations);
+        if let (Some(budget_ms), Some(max_ms)) = (budget_ms, max_ms) {
+            if max_ms > budget_ms {
+                violations.push(format!(
+                    "{path}: downtime budget violated: max {max_ms:.2} ms > budget {budget_ms:.2} ms"
+                ));
+            }
+        }
+        if let Some(ready_cut) = get_f64(path, &run, "scheduler.ready_cut_pct", &mut violations) {
+            if ready_cut <= 0.0 {
+                violations.push(format!(
+                    "{path}: scheduler ready-time cut {ready_cut:.1}% is not positive"
+                ));
+            }
+        }
+        if violations.len() == before {
+            println!(
+                "perf_gate: {path}: {n} identity fields ok, downtime cut {:.1}% >= floor {floor:.1}%, \
+                 budget {:.2}/{:.2} ms, scheduler cut {:.1}%",
+                cut.unwrap_or(f64::NAN),
+                max_ms.unwrap_or(f64::NAN),
+                budget_ms.unwrap_or(f64::NAN),
+                get_f64(path, &run, "scheduler.ready_cut_pct", &mut Vec::new())
+                    .unwrap_or(f64::NAN),
+            );
+        }
+    }
+    violations
+}
+
+fn run() -> Result<(), Vec<String>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage =
+        || vec!["usage: perf_gate [wire|adaptive] <committed artifact> <fresh run...>".to_string()];
+    let (mode, rest) = match args.first().map(String::as_str) {
+        Some("wire") => ("wire", &args[1..]),
+        Some("adaptive") => ("adaptive", &args[1..]),
+        // Legacy positional form: first arg is the committed wire artifact.
+        Some(_) => ("wire", &args[..]),
+        None => return Err(usage()),
+    };
+    if rest.len() < 2 {
+        return Err(usage());
+    }
+    let violations = match mode {
+        "wire" => gate_wire(&rest[0], &rest[1..]),
+        _ => gate_adaptive(&rest[0], &rest[1..]),
+    };
     if violations.is_empty() {
         Ok(())
     } else {

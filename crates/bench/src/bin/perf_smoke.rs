@@ -326,7 +326,15 @@ fn main() {
                 .with("wire_bytes", json::u(wire.wire_bytes()))
                 .with("raw_equivalent_bytes", json::u(wire.raw_equivalent_bytes()))
                 .with("wire_reduction_pct", json::f(wire_reduction_pct))
-                .with("content_aware_identical", json::s(ca_identical.to_string())),
+                .with("content_aware_identical", json::s(ca_identical.to_string()))
+                // Per-round controller telemetry of the content-aware
+                // run: EWMA trajectories + stop-threshold/throttle per
+                // round (static config, so the threshold stays at 64 and
+                // the throttle at 1.0 — the estimators still observe).
+                .with(
+                    "round_telemetry",
+                    hypertp_bench::rounds_telemetry(&reports_ca),
+                ),
         );
     let path = std::env::var("PERF_SMOKE_OUT").unwrap_or_else(|_| "BENCH_parallel.json".into());
     std::fs::write(&path, out.encode_pretty()).expect("write artifact");

@@ -181,6 +181,23 @@ fn main() {
         wire.count(FrameKind::Dup) > 0,
         "shared seed block must produce cross-VM dup frames"
     );
+    println!(
+        "  dedup cache: {}/{} entries, {} evictions, hit rate {:.1}% ({}/{} lookups)",
+        wire.cache_occupancy(),
+        wire.cache_capacity(),
+        wire.cache_evictions(),
+        wire.dedup_hit_rate() * 100.0,
+        wire.cache_dup_hits(),
+        wire.cache_dup_lookups(),
+    );
+    assert!(
+        wire.cache_capacity() > 0,
+        "content-aware run must report the cache cap"
+    );
+    assert!(
+        wire.cache_occupancy() <= wire.cache_capacity(),
+        "cache occupancy must respect the cap"
+    );
 
     // 3. Dirtying fleet: re-dirtied pages must travel as XOR+RLE deltas.
     let dirty = run_fleet(WireMode::ContentAware, 2000.0);
@@ -212,6 +229,16 @@ fn main() {
                 .with("raw_equivalent_bytes", json::u(wire.raw_equivalent_bytes()))
                 .with("wire_reduction_pct", json::f(reduction_pct))
                 .with("frames", kind_json(&wire))
+                .with(
+                    "dedup_cache",
+                    Json::obj()
+                        .with("occupancy", json::u(wire.cache_occupancy()))
+                        .with("capacity", json::u(wire.cache_capacity()))
+                        .with("evictions", json::u(wire.cache_evictions()))
+                        .with("dup_hits", json::u(wire.cache_dup_hits()))
+                        .with("dup_lookups", json::u(wire.cache_dup_lookups()))
+                        .with("hit_rate", json::f(wire.dedup_hit_rate())),
+                )
                 .with("identical", json::s(identical.to_string())),
         )
         .with(
@@ -220,7 +247,13 @@ fn main() {
                 .with("dirty_rate_pages_per_sec", json::f(2000.0))
                 .with("delta_frames", json::u(dirty_wire.count(FrameKind::Delta)))
                 .with("wire_reduction_pct", json::f(dirty_reduction_pct))
-                .with("frames", kind_json(&dirty_wire)),
+                .with("frames", kind_json(&dirty_wire))
+                // Per-round controller telemetry of the dirtying run: the
+                // EWMA estimators observe even under the static config.
+                .with(
+                    "round_telemetry",
+                    hypertp_bench::rounds_telemetry(&dirty.reports),
+                ),
         );
     let path = std::env::var("WIRE_SMOKE_OUT").unwrap_or_else(|_| "BENCH_wire.json".into());
     std::fs::write(&path, out.encode_pretty()).expect("write artifact");

@@ -12,6 +12,8 @@ pub mod harness;
 pub mod table;
 
 use hypertp_core::{HypervisorKind, HypervisorRegistry};
+use hypertp_migrate::MigrationReport;
+use hypertp_sim::json::{self, Json};
 
 /// The standard two-hypervisor pool used by every experiment.
 pub fn registry() -> HypervisorRegistry {
@@ -24,4 +26,29 @@ pub fn registry() -> HypervisorRegistry {
     });
     registry.register_validator(HypervisorKind::Kvm, hypertp_kvm::xlate::preflight_validate);
     registry
+}
+
+/// Per-round controller telemetry of every report, as a JSON array: the
+/// EWMA trajectory (dirty rate, drain rate, effective throughput,
+/// compression), the stop-threshold trajectory, and the throttle in
+/// force each round. Smoke benches attach this to their artifacts so
+/// `BENCH_*.json` captures how the control plane behaved over rounds,
+/// not just the end-state totals.
+pub fn rounds_telemetry(reports: &[MigrationReport]) -> Json {
+    json::arr(reports.iter().map(|r| {
+        Json::obj().with("vm", json::s(r.vm_name.clone())).with(
+            "rounds",
+            json::arr(r.rounds.iter().map(|s| {
+                Json::obj()
+                    .with("pages", json::u(s.pages))
+                    .with("dirtied", json::u(s.dirtied))
+                    .with("dirty_rate_est", json::f(s.dirty_rate_est))
+                    .with("drain_rate_est", json::f(s.drain_rate_est))
+                    .with("throughput_est", json::f(s.throughput_est))
+                    .with("compression_est", json::f(s.compression_est))
+                    .with("stop_threshold", json::u(s.stop_threshold))
+                    .with("throttle", json::f(s.throttle))
+            })),
+        )
+    }))
 }

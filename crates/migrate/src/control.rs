@@ -1,0 +1,685 @@
+//! Adaptive pre-copy control plane: per-migration feedback controller and
+//! the fleet-level scheduler vocabulary.
+//!
+//! Classic pre-copy (Clark et al., NSDI'05) converges only when the link
+//! drains pages faster than the guest dirties them; the static knobs the
+//! engine shipped with (`stop_threshold_pages: 64`, a fixed `max_rounds`)
+//! ignore everything the migration *observes* while it runs. This module
+//! closes the loop:
+//!
+//! * [`PrecopyController`] keeps per-round EWMA estimators (dirty rate,
+//!   drain rate, effective link throughput, wire compression) and turns a
+//!   [`crate::MigrationConfig::downtime_budget`] into a max stop-and-copy
+//!   page count using the *observed* per-page wire cost — compressed
+//!   pages are cheap, so the same budget covers more of them. A
+//!   non-convergence detector (dirtying keeps pace with draining for K
+//!   consecutive rounds) triggers auto-converge guest throttling — a
+//!   budget implies permission to throttle, since an over-threshold
+//!   steady-state dirty set can never shrink on its own — or an early
+//!   stop-and-copy when throttling is exhausted or unavailable, instead
+//!   of burning every round the cap allows.
+//! * [`FleetPolicy`]/[`FleetOrder`] describe how `migrate_fleet` admits
+//!   and orders a fleet: FIFO (the legacy `migrate_many` behaviour) or
+//!   shortest-predicted-downtime-first, with bounded concurrency so the
+//!   link is shared by at most `max_concurrent` streams at a time.
+//! * [`predict_migration`] is the shared analytic round model used for
+//!   scheduler ordering and the predicted-vs-actual telemetry in
+//!   [`crate::engine::FleetReport`].
+//!
+//! The controller is **inactive by default**: with `downtime_budget: None`
+//! and `auto_converge: false` every decision collapses to the static
+//! configuration, keeping the pinned §5.2 timing tests byte-identical.
+
+use hypertp_core::VmId;
+use hypertp_machine::PAGE_SIZE;
+use hypertp_sim::cost::MachinePerf;
+use hypertp_sim::{Ewma, SimDuration};
+
+use crate::network::{Link, WIRE_FRAME_HEADER};
+use crate::{MigrationConfig, WireMode};
+
+/// Bytes budgeted for the UISR blob in the stop-and-copy fixed-cost
+/// estimate. Real blobs for the simulated VMs are smaller; overestimating
+/// only makes the budget→pages conversion more conservative.
+pub const UISR_BYTES_ALLOWANCE: u64 = 4096;
+
+/// Controller tuning. Nested in [`MigrationConfig`]; the defaults leave
+/// the controller **disabled** so default-config migrations stay
+/// byte-identical to the pre-controller engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlConfig {
+    /// Throttle the guest when pre-copy is not converging (QEMU-style
+    /// auto-converge). Off by default.
+    pub auto_converge: bool,
+    /// Smoothing factor of every per-round EWMA estimator.
+    pub ewma_alpha: f64,
+    /// Consecutive non-convergent rounds (dirtying ≥ 90% of the drain)
+    /// before the detector acts.
+    pub nonconvergence_rounds: u32,
+    /// Multiplier applied to the guest's dirty rate each time the
+    /// detector fires (auto-converge enabled or a downtime budget set).
+    pub throttle_step: f64,
+    /// Throttle floor; at the floor a still-non-convergent guest forces
+    /// an early stop-and-copy instead.
+    pub min_throttle: f64,
+    /// Safety factor on the observed per-page wire cost when converting a
+    /// downtime budget into pages (guards against the stop set encoding
+    /// worse than the rounds the estimate was trained on).
+    pub budget_safety: f64,
+}
+
+impl Default for ControlConfig {
+    fn default() -> Self {
+        ControlConfig {
+            auto_converge: false,
+            ewma_alpha: 0.5,
+            nonconvergence_rounds: 2,
+            throttle_step: 0.25,
+            min_throttle: 1.0 / 256.0,
+            budget_safety: 2.0,
+        }
+    }
+}
+
+/// Per-migration feedback controller. Constructed by the engine at the
+/// start of every migration; observes each round; decides the stop
+/// threshold, the guest throttle and forced stops.
+#[derive(Debug, Clone)]
+pub struct PrecopyController {
+    control: ControlConfig,
+    budget: Option<SimDuration>,
+    static_threshold: u64,
+    link: Link,
+    sharers: u32,
+    /// Stop-and-copy costs no page count can shrink: destination
+    /// activation, the UISR transfer and per-message latency.
+    stop_fixed: SimDuration,
+    active: bool,
+    dirty_rate: Ewma,
+    drain_rate: Ewma,
+    /// Observed effective link throughput, bytes/second (wire bytes over
+    /// transfer time — includes sharing and latency, so it is what the
+    /// stop-and-copy will actually experience).
+    throughput: Ewma,
+    /// Observed wire bytes per page.
+    per_page_wire: Ewma,
+    /// Observed wire/raw compression ratio (1.0 = raw).
+    compression: Ewma,
+    throttle: f64,
+    streak: u32,
+    force_stop: bool,
+}
+
+impl PrecopyController {
+    /// Builds the controller for one migration. `stop_fixed` is the
+    /// incompressible part of the stop-and-copy (activation + UISR +
+    /// latency), subtracted from the budget before converting to pages.
+    pub fn new(config: &MigrationConfig, sharers: u32, stop_fixed: SimDuration) -> Self {
+        let control = config.control;
+        PrecopyController {
+            control,
+            budget: config.downtime_budget,
+            static_threshold: config.stop_threshold_pages,
+            link: config.link,
+            sharers,
+            stop_fixed,
+            active: config.downtime_budget.is_some() || control.auto_converge,
+            dirty_rate: Ewma::new(control.ewma_alpha),
+            drain_rate: Ewma::new(control.ewma_alpha),
+            throughput: Ewma::new(control.ewma_alpha),
+            per_page_wire: Ewma::new(control.ewma_alpha),
+            compression: Ewma::new(control.ewma_alpha),
+            throttle: 1.0,
+            streak: 0,
+            force_stop: false,
+        }
+    }
+
+    /// True when the controller influences engine decisions (a budget is
+    /// set or auto-converge is enabled). Inactive controllers still
+    /// observe — the estimators feed telemetry — but never change the
+    /// threshold, the throttle or the stop decision.
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Current guest dirty-rate multiplier (1.0 = unthrottled; always 1.0
+    /// while inactive).
+    pub fn throttle(&self) -> f64 {
+        if self.active {
+            self.throttle
+        } else {
+            1.0
+        }
+    }
+
+    /// True when the non-convergence detector decided further rounds are
+    /// pointless: go to stop-and-copy now.
+    pub fn force_stop(&self) -> bool {
+        self.active && self.force_stop
+    }
+
+    /// Folds one finished round into the estimators and runs the
+    /// non-convergence detector. `pages` were shipped as `wire_bytes`
+    /// taking `transfer` on the link out of `duration` total; the guest
+    /// dirtied `dirtied` pages meanwhile.
+    pub fn observe_round(
+        &mut self,
+        pages: u64,
+        wire_bytes: u64,
+        transfer: SimDuration,
+        duration: SimDuration,
+        dirtied: u64,
+    ) {
+        let secs = duration.as_secs_f64();
+        if secs > 0.0 {
+            self.dirty_rate.observe(dirtied as f64 / secs);
+            self.drain_rate.observe(pages as f64 / secs);
+        }
+        let t = transfer.as_secs_f64();
+        if t > 0.0 && wire_bytes > 0 {
+            self.throughput.observe(wire_bytes as f64 / t);
+        }
+        if pages > 0 {
+            self.per_page_wire.observe(wire_bytes as f64 / pages as f64);
+            self.compression
+                .observe(wire_bytes as f64 / (pages * PAGE_SIZE) as f64);
+        }
+
+        // Non-convergence: the guest re-dirtied at least 90% of what the
+        // round drained (integer compare keeps this deterministic).
+        if pages > 0 && dirtied.saturating_mul(10) >= pages.saturating_mul(9) {
+            self.streak += 1;
+        } else {
+            self.streak = 0;
+        }
+        if self.active && self.streak >= self.control.nonconvergence_rounds {
+            // A budget implies permission to throttle even when
+            // auto-converge was not explicitly requested: a steady-state
+            // dirty set above the budget threshold can never shrink on
+            // its own, so forcing an early stop there would ship an
+            // over-budget stop set. Throttling is the only mechanism
+            // that makes the budget reachable.
+            let may_throttle = self.control.auto_converge || self.budget.is_some();
+            if may_throttle && self.throttle > self.control.min_throttle {
+                self.throttle =
+                    (self.throttle * self.control.throttle_step).max(self.control.min_throttle);
+                self.streak = 0;
+            } else {
+                // Throttle exhausted (or disabled): every further round
+                // re-ships the same steady-state set. Stop now — the
+                // residual is no bigger than it will ever be.
+                self.force_stop = true;
+            }
+        }
+    }
+
+    /// The stop threshold in force for the next stop check: the static
+    /// threshold while inactive or unbudgeted, otherwise the budget
+    /// converted to pages at the observed effective throughput and
+    /// per-page wire cost ([`PrecopyController::budget_pages`]).
+    pub fn stop_threshold(&self) -> u64 {
+        match (self.active, self.budget) {
+            (true, Some(_)) => self.budget_pages(),
+            _ => self.static_threshold,
+        }
+    }
+
+    /// Converts the downtime budget into a max stop-and-copy page count.
+    ///
+    /// `budget − stop_fixed` seconds of transfer at the observed
+    /// throughput gives the byte allowance; pages follow from the *worse*
+    /// of (a) full raw frames — always safe — and (b) the observed
+    /// per-page wire cost inflated by [`ControlConfig::budget_safety`].
+    /// Taking the max lets good compression raise the allowance (cheap
+    /// pages ⇒ more pages per millisecond) while (a) guarantees the
+    /// conversion never goes below what raw frames could deliver.
+    pub fn budget_pages(&self) -> u64 {
+        let Some(budget) = self.budget else {
+            return self.static_threshold;
+        };
+        let avail = budget.saturating_sub(self.stop_fixed);
+        let bps = self.throughput.get_or(self.default_throughput());
+        if bps <= 0.0 {
+            return 0;
+        }
+        let budget_bytes = avail.as_secs_f64() * bps;
+        let raw_frame = (WIRE_FRAME_HEADER + PAGE_SIZE) as f64;
+        let safe = budget_bytes / raw_frame;
+        let per_page =
+            self.per_page_wire.get_or(raw_frame).max(1.0) * self.control.budget_safety.max(1.0);
+        let refined = budget_bytes / per_page.max(1.0);
+        safe.max(refined).floor() as u64
+    }
+
+    /// Link-model throughput used before the first observation: effective
+    /// shared rate in bytes/second.
+    fn default_throughput(&self) -> f64 {
+        self.link.gbps * self.link.efficiency * 1e9 / 8.0 / self.sharers.max(1) as f64
+    }
+
+    /// Resets every estimator and the non-convergence streak. Called when
+    /// a link fault invalidated what the samples were measuring; the
+    /// throttle is kept (it reflects state already applied to the guest).
+    pub fn reset_estimators(&mut self) {
+        self.dirty_rate.reset();
+        self.drain_rate.reset();
+        self.throughput.reset();
+        self.per_page_wire.reset();
+        self.compression.reset();
+        self.streak = 0;
+    }
+
+    /// Observed dirty rate, pages/second (0.0 before the first round).
+    pub fn dirty_rate_est(&self) -> f64 {
+        self.dirty_rate.get_or(0.0)
+    }
+
+    /// Observed drain rate, pages/second (0.0 before the first round).
+    pub fn drain_rate_est(&self) -> f64 {
+        self.drain_rate.get_or(0.0)
+    }
+
+    /// Observed effective throughput, bytes/second (0.0 before the first
+    /// round).
+    pub fn throughput_est(&self) -> f64 {
+        self.throughput.get_or(0.0)
+    }
+
+    /// Observed wire/raw compression ratio (1.0 before the first round).
+    pub fn compression_est(&self) -> f64 {
+        self.compression.get_or(1.0)
+    }
+}
+
+/// Admission/ordering policy of a fleet migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FleetOrder {
+    /// Input order (the legacy `migrate_many` behaviour).
+    #[default]
+    Fifo,
+    /// Shortest-predicted-downtime-first: VMs whose stop-and-copy is
+    /// predicted smallest are admitted (and therefore reach the receiver)
+    /// first, which minimises mean downtime behind a sequential receiver
+    /// and drains the fleet's exposure window fastest.
+    ShortestPredictedFirst,
+}
+
+impl FleetOrder {
+    /// Stable short name used in logs and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            FleetOrder::Fifo => "fifo",
+            FleetOrder::ShortestPredictedFirst => "spdf",
+        }
+    }
+}
+
+/// How `migrate_fleet` runs a fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetPolicy {
+    /// Admission order.
+    pub order: FleetOrder,
+    /// Max concurrent pre-copy streams sharing the link (0 = all at once,
+    /// the legacy behaviour). Bounding concurrency shortens rounds, which
+    /// shrinks per-round dirtying — the fleet-level convergence win.
+    pub max_concurrent: usize,
+    /// Wire/raw byte ratio assumed by the scheduler's predictions (1.0
+    /// for [`WireMode::Raw`]; feed an observed
+    /// [`crate::WireStats::compression_ratio`] for content-aware fleets).
+    pub compression_hint: f64,
+}
+
+impl Default for FleetPolicy {
+    /// The legacy `migrate_many` behaviour: FIFO, unbounded concurrency.
+    fn default() -> Self {
+        FleetPolicy {
+            order: FleetOrder::Fifo,
+            max_concurrent: 0,
+            compression_hint: 1.0,
+        }
+    }
+}
+
+/// One fleet member: the VM plus an optional per-VM dirty-rate override
+/// (pages/second) for heterogeneous fleets; `None` uses the engine
+/// config's global rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetVm {
+    /// The VM to migrate.
+    pub id: VmId,
+    /// Per-VM dirty rate override.
+    pub dirty_rate: Option<f64>,
+}
+
+impl FleetVm {
+    /// A fleet member using the engine config's dirty rate.
+    pub fn new(id: VmId) -> Self {
+        FleetVm {
+            id,
+            dirty_rate: None,
+        }
+    }
+
+    /// A fleet member with its own dirty rate.
+    pub fn with_dirty_rate(id: VmId, rate: f64) -> Self {
+        FleetVm {
+            id,
+            dirty_rate: Some(rate),
+        }
+    }
+}
+
+/// Inputs of the analytic pre-copy round model.
+#[derive(Debug, Clone, Copy)]
+pub struct PredictInput<'a> {
+    /// Guest pages of the VM.
+    pub pages: u64,
+    /// Guest dirty rate, pages/second.
+    pub dirty_rate: f64,
+    /// The migration configuration (link, rounds, threshold, wire mode).
+    pub config: &'a MigrationConfig,
+    /// Concurrent streams sharing the link.
+    pub sharers: u32,
+    /// Source machine performance (per-page CPU cost scaling).
+    pub perf: MachinePerf,
+    /// CPU cost per page, GHz-seconds
+    /// ([`hypertp_sim::CostModel::migrate_ghz_s_per_page`]).
+    pub ghz_s_per_page: f64,
+    /// Per-round protocol overhead, seconds
+    /// ([`hypertp_sim::CostModel::migrate_round_overhead_s`]).
+    pub round_overhead_s: f64,
+    /// Wire/raw ratio assumed for page bytes (1.0 = raw).
+    pub compression_hint: f64,
+    /// Fixed stop-and-copy cost (activation + UISR + latency).
+    pub stop_fixed: SimDuration,
+}
+
+/// Output of [`predict_migration`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationPrediction {
+    /// Predicted pre-copy rounds.
+    pub rounds: u32,
+    /// Predicted pre-copy duration.
+    pub precopy: SimDuration,
+    /// Predicted stop-and-copy duration (= predicted solo downtime).
+    pub stop_copy: SimDuration,
+    /// Predicted residual page count at pause.
+    pub stop_pages: u64,
+}
+
+/// Analytic pre-copy round model: replays the engine's round loop on
+/// paper (same transfer/CPU/overhead formulas, same dirtying formula,
+/// static threshold) without touching guest memory. Under
+/// [`WireMode::Raw`] with no controller this reproduces the engine's
+/// timings exactly; under [`WireMode::ContentAware`] page bytes scale by
+/// `compression_hint`. Used for scheduler ordering and predicted-vs-
+/// actual telemetry — a cheap model, not a promise.
+pub fn predict_migration(input: &PredictInput<'_>) -> MigrationPrediction {
+    let cfg = input.config;
+    let page_bytes = |pages: u64| -> u64 {
+        match cfg.wire_mode {
+            WireMode::Raw => pages * PAGE_SIZE,
+            WireMode::ContentAware => {
+                let per_page =
+                    (WIRE_FRAME_HEADER + PAGE_SIZE) as f64 * input.compression_hint.clamp(0.0, 1.0);
+                (pages as f64 * per_page) as u64
+            }
+        }
+    };
+    let mut to_send = input.pages;
+    let mut precopy = SimDuration::ZERO;
+    let mut rounds = 0u32;
+    let stop_pages = loop {
+        let duration = cfg.link.transfer(page_bytes(to_send), input.sharers)
+            + input.perf.cpu(input.ghz_s_per_page * to_send as f64)
+            + SimDuration::from_secs_f64(input.round_overhead_s);
+        precopy += duration;
+        rounds += 1;
+        let dirtied = ((input.dirty_rate * duration.as_secs_f64()) as u64).min(input.pages);
+        if dirtied <= cfg.stop_threshold_pages || rounds >= cfg.max_rounds {
+            break dirtied;
+        }
+        to_send = dirtied;
+    };
+    let stop_copy = cfg.link.transfer(page_bytes(stop_pages), input.sharers) + input.stop_fixed;
+    MigrationPrediction {
+        rounds,
+        precopy,
+        stop_copy,
+        stop_pages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perf() -> MachinePerf {
+        MachinePerf {
+            freq_ghz: 2.5,
+            threads: 8,
+            reserved_threads: 2,
+            host_ram_gb: 16.0,
+            nic_gbps: 1.0,
+            nic_init: SimDuration::from_secs_f64(6.6),
+        }
+    }
+
+    #[test]
+    fn default_controller_is_inactive_and_static() {
+        let cfg = MigrationConfig::default();
+        let mut c = PrecopyController::new(&cfg, 1, SimDuration::from_millis(5));
+        assert!(!c.active());
+        assert_eq!(c.throttle(), 1.0);
+        assert_eq!(c.stop_threshold(), cfg.stop_threshold_pages);
+        // Even hammered with non-convergent rounds: no throttle, no stop.
+        for _ in 0..10 {
+            c.observe_round(
+                1000,
+                1000 * 4096,
+                SimDuration::from_millis(30),
+                SimDuration::from_millis(80),
+                1000,
+            );
+        }
+        assert_eq!(c.throttle(), 1.0);
+        assert!(!c.force_stop());
+        assert_eq!(c.stop_threshold(), 64);
+        // But telemetry still observes.
+        assert!(c.dirty_rate_est() > 0.0);
+        assert!(c.throughput_est() > 0.0);
+    }
+
+    #[test]
+    fn auto_converge_throttles_then_forces_stop() {
+        let mut cfg = MigrationConfig::default();
+        cfg.control.auto_converge = true;
+        let mut c = PrecopyController::new(&cfg, 1, SimDuration::ZERO);
+        assert!(c.active());
+        let hammer = |c: &mut PrecopyController| {
+            c.observe_round(
+                1000,
+                1000 * 4096,
+                SimDuration::from_millis(30),
+                SimDuration::from_millis(80),
+                1000,
+            )
+        };
+        hammer(&mut c);
+        assert_eq!(c.throttle(), 1.0, "one round is not a streak");
+        hammer(&mut c);
+        assert_eq!(c.throttle(), 0.25, "K=2 rounds trigger the first step");
+        // Keep hammering: throttle walks down to the floor, then the
+        // detector gives up and forces a stop.
+        for _ in 0..20 {
+            hammer(&mut c);
+        }
+        assert_eq!(c.throttle(), cfg.control.min_throttle);
+        assert!(c.force_stop());
+    }
+
+    #[test]
+    fn convergent_rounds_reset_the_streak() {
+        let mut cfg = MigrationConfig::default();
+        cfg.control.auto_converge = true;
+        let mut c = PrecopyController::new(&cfg, 1, SimDuration::ZERO);
+        c.observe_round(
+            1000,
+            4_096_000,
+            SimDuration::from_millis(30),
+            SimDuration::from_millis(80),
+            1000,
+        );
+        // 50% re-dirtying is convergent: streak resets.
+        c.observe_round(
+            1000,
+            4_096_000,
+            SimDuration::from_millis(30),
+            SimDuration::from_millis(80),
+            500,
+        );
+        c.observe_round(
+            1000,
+            4_096_000,
+            SimDuration::from_millis(30),
+            SimDuration::from_millis(80),
+            1000,
+        );
+        assert_eq!(c.throttle(), 1.0, "streak never reached K");
+    }
+
+    #[test]
+    fn budget_converts_to_pages_via_observed_throughput() {
+        let cfg = MigrationConfig {
+            downtime_budget: Some(SimDuration::from_millis(10)),
+            ..MigrationConfig::default()
+        };
+        let fixed = SimDuration::from_millis(5);
+        let mut c = PrecopyController::new(&cfg, 1, fixed);
+        assert!(c.active());
+        // Before any observation: link-model throughput, raw frames.
+        // 5 ms at ~116 MB/s ≈ 581 KB ≈ 141 raw frames.
+        let cold = c.budget_pages();
+        assert!((100..200).contains(&cold), "cold budget pages = {cold}");
+        // Observe rounds shipping ~32 B/page (dedup-heavy): the refined
+        // conversion allows far more pages for the same 5 ms.
+        for _ in 0..4 {
+            c.observe_round(
+                10_000,
+                320_000,
+                SimDuration::from_millis(3),
+                SimDuration::from_millis(55),
+                0,
+            );
+        }
+        let warm = c.budget_pages();
+        assert!(warm > 4 * cold, "compression raises the allowance: {warm}");
+        // Safety factor 2 halves what pure per-page maths would allow.
+        // budget_bytes ≈ 0.005 s × (320000/0.003) B/s ≈ 533 KB;
+        // per-page = 32 × 2 = 64 B ⇒ ≈ 8.3 k pages.
+        assert!(warm < 20_000, "safety factor caps the allowance: {warm}");
+        assert_eq!(c.stop_threshold(), warm);
+    }
+
+    #[test]
+    fn budget_below_fixed_floor_demands_empty_stop_set() {
+        let cfg = MigrationConfig {
+            downtime_budget: Some(SimDuration::from_millis(2)),
+            ..MigrationConfig::default()
+        };
+        let c = PrecopyController::new(&cfg, 1, SimDuration::from_millis(5));
+        assert_eq!(c.budget_pages(), 0, "nothing fits under the floor");
+    }
+
+    #[test]
+    fn reset_estimators_clears_observations_keeps_throttle() {
+        let mut cfg = MigrationConfig::default();
+        cfg.control.auto_converge = true;
+        let mut c = PrecopyController::new(&cfg, 1, SimDuration::ZERO);
+        for _ in 0..4 {
+            c.observe_round(
+                1000,
+                1000 * 4096,
+                SimDuration::from_millis(30),
+                SimDuration::from_millis(80),
+                1000,
+            );
+        }
+        let throttled = c.throttle();
+        assert!(throttled < 1.0);
+        c.reset_estimators();
+        assert_eq!(c.dirty_rate_est(), 0.0);
+        assert_eq!(c.throughput_est(), 0.0);
+        assert_eq!(c.compression_est(), 1.0);
+        assert_eq!(c.throttle(), throttled, "guest throttle survives");
+    }
+
+    #[test]
+    fn prediction_converges_for_idle_and_caps_for_hot() {
+        let cfg = MigrationConfig::default();
+        let mk = |rate: f64| PredictInput {
+            pages: 262_144,
+            dirty_rate: rate,
+            config: &cfg,
+            sharers: 1,
+            perf: perf(),
+            ghz_s_per_page: 1.0e-6,
+            round_overhead_s: 0.05,
+            compression_hint: 1.0,
+            stop_fixed: SimDuration::from_millis(5),
+        };
+        let idle = predict_migration(&mk(1.0));
+        assert_eq!(idle.rounds, 1, "idle VM stops after the full copy");
+        assert!(idle.stop_pages <= cfg.stop_threshold_pages);
+        assert!((9.0..11.0).contains(&idle.precopy.as_secs_f64()));
+
+        let hot = predict_migration(&mk(1e7));
+        assert_eq!(hot.rounds, cfg.max_rounds, "non-convergent hits the cap");
+        assert!(hot.stop_pages > 100_000);
+        assert!(hot.stop_copy > idle.stop_copy);
+
+        // Rate 1000 pages/s: steady-state dirty set ≈ 52 pages < the
+        // 64-page threshold, so the prediction converges in a few rounds.
+        let busy = predict_migration(&mk(1000.0));
+        assert!(
+            busy.rounds > 1 && busy.rounds < cfg.max_rounds,
+            "busy rounds = {}",
+            busy.rounds
+        );
+    }
+
+    #[test]
+    fn prediction_orders_by_size_and_rate() {
+        let cfg = MigrationConfig::default();
+        let mk = |pages: u64, rate: f64| {
+            predict_migration(&PredictInput {
+                pages,
+                dirty_rate: rate,
+                config: &cfg,
+                sharers: 2,
+                perf: perf(),
+                ghz_s_per_page: 1.0e-6,
+                round_overhead_s: 0.05,
+                compression_hint: 1.0,
+                stop_fixed: SimDuration::from_millis(5),
+            })
+        };
+        let small = mk(65_536, 1.0);
+        let large = mk(262_144, 1.0);
+        assert!(small.precopy < large.precopy);
+        let idle = mk(262_144, 1.0);
+        let hot = mk(262_144, 1e6);
+        assert!(idle.stop_copy < hot.stop_copy);
+    }
+
+    #[test]
+    fn fleet_policy_defaults_are_legacy() {
+        let p = FleetPolicy::default();
+        assert_eq!(p.order, FleetOrder::Fifo);
+        assert_eq!(p.max_concurrent, 0);
+        assert_eq!(p.compression_hint, 1.0);
+        assert_eq!(FleetOrder::Fifo.name(), "fifo");
+        assert_eq!(FleetOrder::ShortestPredictedFirst.name(), "spdf");
+    }
+}

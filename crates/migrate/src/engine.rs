@@ -5,6 +5,10 @@ use hypertp_machine::{Extent, Gfn, Machine, PAGE_SIZE};
 use hypertp_sim::fault::{FaultPlan, InjectionPoint, RecoveryAction};
 use hypertp_sim::{CostModel, SimDuration, SimTime, WorkerPool};
 
+use crate::control::{
+    predict_migration, ControlConfig, FleetOrder, FleetPolicy, FleetVm, MigrationPrediction,
+    PrecopyController, PredictInput, UISR_BYTES_ALLOWANCE,
+};
 use crate::network::{Link, WireFrame, WireStats};
 use crate::wire::TransferCache;
 
@@ -76,6 +80,16 @@ pub struct MigrationConfig {
     /// gather/hash chunks may run at most this many chunks ahead of the
     /// encode/transmit stage.
     pub pipeline_window: usize,
+    /// Target ceiling for VM downtime. When set, the adaptive controller
+    /// replaces [`MigrationConfig::stop_threshold_pages`] with the budget
+    /// converted to pages at the *observed* effective throughput and
+    /// per-page wire cost (see [`crate::control::PrecopyController`]).
+    /// `None` (the default) keeps the static threshold and the pinned
+    /// §5.2 timings byte-identical.
+    pub downtime_budget: Option<SimDuration>,
+    /// Adaptive-controller tuning ([`ControlConfig`]); defaults leave the
+    /// controller disabled.
+    pub control: ControlConfig,
 }
 
 impl Default for MigrationConfig {
@@ -91,11 +105,16 @@ impl Default for MigrationConfig {
             wire_mode: WireMode::Raw,
             parallel_threshold_pages: 8192,
             pipeline_window: 8,
+            downtime_budget: None,
+            control: ControlConfig::default(),
         }
     }
 }
 
-/// Statistics of one pre-copy round.
+/// Statistics of one pre-copy round, including the adaptive controller's
+/// per-round telemetry (estimates are recorded even when the controller
+/// is inactive, so `perf_smoke`/`wire_smoke` can plot trajectories for
+/// default-config runs too).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoundStats {
     /// Round number (0 = full copy).
@@ -104,6 +123,24 @@ pub struct RoundStats {
     pub pages: u64,
     /// Simulated duration of the round.
     pub duration: SimDuration,
+    /// Bytes this round put on the wire (raw payloads or frames).
+    pub wire_bytes: u64,
+    /// Pages the guest dirtied while the round ran (after throttling).
+    pub dirtied: u64,
+    /// EWMA dirty-rate estimate after this round, pages/second.
+    pub dirty_rate_est: f64,
+    /// EWMA drain-rate estimate after this round, pages/second.
+    pub drain_rate_est: f64,
+    /// EWMA effective-throughput estimate after this round, bytes/second.
+    pub throughput_est: f64,
+    /// EWMA wire/raw compression-ratio estimate after this round.
+    pub compression_est: f64,
+    /// Stop threshold (pages) in force for the stop check after this
+    /// round — the static threshold, or the downtime budget converted.
+    pub stop_threshold: u64,
+    /// Guest dirty-rate multiplier applied during this round (1.0 =
+    /// unthrottled).
+    pub throttle: f64,
 }
 
 /// Result of one VM migration.
@@ -128,6 +165,13 @@ pub struct MigrationReport {
     pub uisr_bytes: u64,
     /// Per-frame-kind wire accounting. All zero under [`WireMode::Raw`].
     pub wire: WireStats,
+    /// Pages in the final stop-and-copy set.
+    pub stop_pages: u64,
+    /// True when the non-convergence detector forced the stop-and-copy
+    /// before the dirty set shrank under the threshold.
+    pub forced_stop: bool,
+    /// Guest throttle in force at pause time (1.0 = never throttled).
+    pub final_throttle: f64,
     /// Compatibility warnings from the destination proxy.
     pub warnings: Vec<String>,
 }
@@ -221,6 +265,7 @@ impl MigrationTp {
             dst_hv,
             1,
             SimDuration::ZERO,
+            None,
         )?;
         // Critical path: pre-copy then stop-and-copy.
         src_machine.clock().advance(phase.precopy + phase.stop_copy);
@@ -235,7 +280,9 @@ impl MigrationTp {
     ///
     /// `sharers` models concurrent migrations dividing the link;
     /// `receiver_queue_wait` is added to the downtime before destination
-    /// activation (Xen's sequential receive side, §5.2.2).
+    /// activation (Xen's sequential receive side, §5.2.2);
+    /// `dirty_rate_override` replaces the config's global dirty rate for
+    /// this VM (heterogeneous fleets, [`FleetVm::dirty_rate`]).
     #[allow(clippy::too_many_arguments)]
     fn migrate_data(
         &self,
@@ -246,6 +293,7 @@ impl MigrationTp {
         dst_hv: &mut dyn Hypervisor,
         sharers: u32,
         receiver_queue_wait: SimDuration,
+        dirty_rate_override: Option<f64>,
     ) -> Result<DataPhase, HtpError> {
         let cfg = src_hv.vm_config(src_id)?.clone();
         let start = src_machine.clock().now();
@@ -256,6 +304,13 @@ impl MigrationTp {
         let mut bytes_sent = 0u64;
         let mut precopy = SimDuration::ZERO;
         let mut wire = WireStats::new();
+        let cache_before = self.cache.stats();
+        let dirty_rate = dirty_rate_override.unwrap_or(self.config.dirty_rate_pages_per_sec);
+        // Fixed stop-and-copy costs the budget→pages conversion subtracts:
+        // destination activation plus a conservative UISR transfer.
+        let stop_fixed = self.cost.activate(dst_hv.kind().boot_target(), cfg.vcpus)
+            + self.config.link.transfer(UISR_BYTES_ALLOWANCE, sharers);
+        let mut controller = PrecopyController::new(&self.config, sharers, stop_fixed);
 
         // Round 0: full copy of every mapped page.
         let map = src_hv.guest_memory_map(src_id)?;
@@ -298,22 +353,55 @@ impl MigrationTp {
             let duration = outcome.duration;
             bytes_sent += outcome.bytes_sent;
             precopy += duration;
-            rounds.push(RoundStats {
-                round,
-                pages,
-                duration,
-            });
-            // The guest keeps running and dirtying pages during the round.
-            // A guest cannot dirty more distinct pages than it has.
-            let dirtied = ((self.config.dirty_rate_pages_per_sec * duration.as_secs_f64()) as u64)
+            // The guest keeps running and dirtying pages during the round
+            // (scaled by the controller's auto-converge throttle, 1.0 when
+            // the controller is inactive). A guest cannot dirty more
+            // distinct pages than it has.
+            let dirtied = ((dirty_rate * controller.throttle() * duration.as_secs_f64()) as u64)
                 .min(cfg.pages());
             if dirtied > 0 {
                 src_hv.guest_tick(src_machine, src_id, dirtied)?;
             }
+            controller.observe_round(
+                pages,
+                outcome.bytes_sent,
+                outcome.transfer,
+                duration,
+                dirtied,
+            );
+            if outcome.drops > 0 && controller.active() {
+                // The drop invalidated what the estimators were measuring
+                // (the retries and backoff are not steady-state signal):
+                // restart the estimate from the next clean round.
+                controller.reset_estimators();
+                self.faults.record_recovery(
+                    InjectionPoint::LinkDrop,
+                    RecoveryAction::ResetController,
+                    &format!(
+                        "{} round {round}: estimators reset after {} drop(s)",
+                        cfg.name, outcome.drops
+                    ),
+                );
+            }
+            let stop_threshold = controller.stop_threshold();
+            rounds.push(RoundStats {
+                round,
+                pages,
+                duration,
+                wire_bytes: outcome.bytes_sent,
+                dirtied,
+                dirty_rate_est: controller.dirty_rate_est(),
+                drain_rate_est: controller.drain_rate_est(),
+                throughput_est: controller.throughput_est(),
+                compression_est: controller.compression_est(),
+                stop_threshold,
+                throttle: controller.throttle(),
+            });
             round += 1;
             let dirty = src_hv.collect_dirty(src_id)?;
-            if dirty.len() as u64 <= self.config.stop_threshold_pages
+            if dirty.len() as u64 <= stop_threshold
                 || round >= self.config.max_rounds
+                || controller.force_stop()
             {
                 stop_set = dirty;
                 break;
@@ -441,6 +529,21 @@ impl MigrationTp {
             }
         }
 
+        if self.config.wire_mode == WireMode::ContentAware {
+            // Snapshot the shared cache into the report: occupancy and
+            // capacity as of now, counters as deltas over this migration
+            // (the cache is shared across engine clones, so absolute
+            // counters would double-count in merged fleet stats).
+            let cs = self.cache.stats();
+            wire.record_cache(
+                cs.occupancy,
+                cs.capacity,
+                cs.evictions - cache_before.evictions,
+                cs.dup_hits - cache_before.dup_hits,
+                cs.dup_lookups - cache_before.dup_lookups,
+            );
+        }
+
         let report = MigrationReport {
             vm_name: cfg.name.clone(),
             start,
@@ -450,6 +553,9 @@ impl MigrationTp {
             bytes_sent,
             uisr_bytes: blob.len() as u64,
             wire,
+            stop_pages: stop_set.len() as u64,
+            forced_stop: controller.force_stop(),
+            final_throttle: controller.throttle(),
             warnings: restored.warnings,
         };
         Ok(DataPhase {
@@ -483,7 +589,8 @@ impl MigrationTp {
         let pages = to_send.len() as u64;
         let bytes = pages * PAGE_SIZE;
         let mut bytes_sent = 0u64;
-        let mut duration = self.config.link.transfer(bytes, sharers)
+        let transfer = self.config.link.transfer(bytes, sharers);
+        let mut duration = transfer
             + perf.cpu(self.cost.migrate_ghz_s_per_page * pages as f64)
             + SimDuration::from_secs_f64(self.cost.migrate_round_overhead_s);
 
@@ -602,6 +709,8 @@ impl MigrationTp {
         Ok(RoundOutcome {
             duration,
             bytes_sent,
+            transfer,
+            drops,
         })
     }
 
@@ -701,7 +810,8 @@ impl MigrationTp {
                 &format!("{vm_name} resumed at round {round} after {drops} drop(s)"),
             );
         }
-        duration += self.config.link.transfer(round_wire_bytes, sharers)
+        let transfer = self.config.link.transfer(round_wire_bytes, sharers);
+        duration += transfer
             + perf.cpu(self.cost.migrate_ghz_s_per_page * pages as f64)
             + SimDuration::from_secs_f64(self.cost.migrate_round_overhead_s);
         let mut bytes_sent = round_wire_bytes;
@@ -764,6 +874,8 @@ impl MigrationTp {
         Ok(RoundOutcome {
             duration,
             bytes_sent,
+            transfer,
+            drops,
         })
     }
 
@@ -912,6 +1024,192 @@ struct RoundOutcome {
     duration: SimDuration,
     /// Bytes put on the wire this round (raw payloads, or frames).
     bytes_sent: u64,
+    /// Nominal link time of the shipped bytes (excludes fault retries and
+    /// backoff) — the controller's effective-throughput sample.
+    transfer: SimDuration,
+    /// Injected link drops survived by this round.
+    drops: u32,
+}
+
+/// Result of a fleet migration ([`migrate_fleet`]).
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-VM reports, **in input order** (downtime/total reflect the
+    /// fleet schedule, measured from the fleet start).
+    pub reports: Vec<MigrationReport>,
+    /// The scheduler's per-VM predictions, in input order
+    /// (predicted-vs-actual telemetry).
+    pub predictions: Vec<MigrationPrediction>,
+    /// Policy the fleet ran under.
+    pub policy: FleetPolicy,
+    /// Admission order chosen by the scheduler (indices into the input).
+    pub admission: Vec<usize>,
+    /// Instant (from fleet start) the last VM became ready.
+    pub makespan: SimDuration,
+}
+
+impl FleetReport {
+    fn mean(iter: impl Iterator<Item = SimDuration>, n: usize) -> SimDuration {
+        if n == 0 {
+            return SimDuration::ZERO;
+        }
+        let total: u64 = iter.map(|d| d.as_nanos()).sum();
+        SimDuration::from_nanos(total / n as u64)
+    }
+
+    /// Mean VM downtime across the fleet.
+    pub fn mean_downtime(&self) -> SimDuration {
+        Self::mean(self.reports.iter().map(|r| r.downtime), self.reports.len())
+    }
+
+    /// Mean VM-ready time (time from fleet start until each VM resumed on
+    /// the destination) — the per-VM exposure window the scheduler
+    /// minimises.
+    pub fn mean_ready(&self) -> SimDuration {
+        Self::mean(self.reports.iter().map(|r| r.total), self.reports.len())
+    }
+
+    /// Total wire bytes across the fleet.
+    pub fn total_bytes(&self) -> u64 {
+        self.reports.iter().map(|r| r.bytes_sent).sum()
+    }
+}
+
+/// Migrates a fleet of VMs under a [`FleetPolicy`]: convergence-aware
+/// admission/ordering plus shared-link accounting.
+///
+/// * **Admission**: at most `policy.max_concurrent` pre-copy streams run
+///   at once (0 = everyone, the legacy behaviour); a stream's slot frees
+///   when its pre-copy ends. Bounding concurrency shortens rounds, which
+///   shrinks per-round dirtying — the fleet-level convergence win.
+/// * **Ordering**: [`FleetOrder::Fifo`] admits in input order;
+///   [`FleetOrder::ShortestPredictedFirst`] admits by predicted
+///   stop-and-copy time ([`predict_migration`]), so small/idle VMs clear
+///   the (sequential) receiver before the heavyweights park on it.
+/// * **Receive side**: sequential when the destination is Xen (each
+///   stop-and-copy queues behind the previous one, §5.2.2), parallel for
+///   kvmtool — as in [`migrate_many`].
+///
+/// With the default policy (FIFO, unlimited concurrency) the schedule is
+/// byte-identical to the legacy [`migrate_many`], which is now a thin
+/// wrapper over this function.
+pub fn migrate_fleet(
+    tp: &MigrationTp,
+    src_machine: &mut Machine,
+    src_hv: &mut dyn Hypervisor,
+    vms: &[FleetVm],
+    dst_machine: &mut Machine,
+    dst_hv: &mut dyn Hypervisor,
+    policy: FleetPolicy,
+) -> Result<FleetReport, HtpError> {
+    let n = vms.len();
+    let slots = if policy.max_concurrent == 0 {
+        n
+    } else {
+        policy.max_concurrent.min(n)
+    };
+    let sharers = slots as u32;
+    let sequential_receive = dst_hv.kind() == HypervisorKind::Xen;
+    let perf = src_machine.spec().perf();
+
+    // Predict every VM up front (input order): ordering + telemetry.
+    let mut predictions = Vec::with_capacity(n);
+    for vm in vms {
+        let cfg = src_hv.vm_config(vm.id)?.clone();
+        let stop_fixed = tp.cost.activate(dst_hv.kind().boot_target(), cfg.vcpus)
+            + tp.config.link.transfer(UISR_BYTES_ALLOWANCE, sharers);
+        predictions.push(predict_migration(&PredictInput {
+            pages: cfg.pages(),
+            dirty_rate: vm.dirty_rate.unwrap_or(tp.config.dirty_rate_pages_per_sec),
+            config: &tp.config,
+            sharers,
+            perf,
+            ghz_s_per_page: tp.cost.migrate_ghz_s_per_page,
+            round_overhead_s: tp.cost.migrate_round_overhead_s,
+            compression_hint: policy.compression_hint,
+            stop_fixed,
+        }));
+    }
+
+    let mut admission: Vec<usize> = (0..n).collect();
+    if policy.order == FleetOrder::ShortestPredictedFirst {
+        admission.sort_by_key(|&i| (predictions[i].stop_copy, i));
+    }
+
+    // Run the data phases in admission order (the shared wire cache sees
+    // VMs in the same order the link does), assigning each stream to the
+    // earliest-free slot.
+    let mut phases: Vec<Option<(VmId, DataPhase, SimDuration)>> = (0..n).map(|_| None).collect();
+    let mut slot_free = vec![SimDuration::ZERO; slots];
+    for &i in &admission {
+        let vm = vms[i];
+        let slot = slot_free
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &t)| t)
+            .map(|(s, _)| s)
+            .expect("slots >= 1 when vms is non-empty");
+        let start = slot_free[slot];
+        let phase = tp.migrate_data(
+            src_machine,
+            src_hv,
+            vm.id,
+            dst_machine,
+            dst_hv,
+            sharers,
+            SimDuration::ZERO,
+            vm.dirty_rate,
+        )?;
+        slot_free[slot] = start + phase.precopy;
+        phases[i] = Some((vm.id, phase, start));
+    }
+
+    // Schedule the receive side: stop-and-copies queue on a sequential
+    // receiver in pre-copy completion order (admission order breaks
+    // ties, via the stable sort).
+    let mut recv_order: Vec<(usize, SimDuration)> = admission
+        .iter()
+        .map(|&i| {
+            let (_, phase, start) = phases[i].as_ref().expect("admitted");
+            (i, *start + phase.precopy)
+        })
+        .collect();
+    recv_order.sort_by_key(|&(_, end)| end);
+    let mut receiver_free = SimDuration::ZERO;
+    let mut makespan = SimDuration::ZERO;
+    let mut out: Vec<Option<MigrationReport>> = (0..n).map(|_| None).collect();
+    for &(i, precopy_end) in &recv_order {
+        let (_, phase, _) = phases[i].as_ref().expect("admitted");
+        let (finish, downtime) = if sequential_receive {
+            let begin = precopy_end.max(receiver_free);
+            let finish = begin + phase.stop_copy;
+            receiver_free = finish;
+            (finish, finish - precopy_end)
+        } else {
+            (precopy_end + phase.stop_copy, phase.stop_copy)
+        };
+        makespan = makespan.max(finish);
+        let mut report = phase.report.clone();
+        report.downtime = downtime;
+        report.total = finish;
+        out[i] = Some(report);
+    }
+
+    src_machine.clock().advance(makespan);
+    dst_machine.clock().advance_to(src_machine.clock().now());
+    for (vm, slot) in vms.iter().zip(&phases) {
+        let (id, phase, _) = slot.as_ref().expect("all scheduled");
+        debug_assert_eq!(*id, vm.id);
+        dst_hv.resume_vm(phase.dst_id)?;
+        src_hv.destroy_vm(src_machine, *id)?;
+    }
+    Ok(FleetReport {
+        reports: out.into_iter().map(|r| r.expect("all scheduled")).collect(),
+        predictions,
+        policy,
+        admission,
+        makespan,
+    })
 }
 
 /// Migrates several VMs from one host to another, reproducing §5.2.2's
@@ -925,6 +1223,10 @@ struct RoundOutcome {
 /// destination applies — and therefore the Xen receive queue — stay
 /// serial. The simulated schedule and every report are identical for any
 /// worker count.
+///
+/// This is [`migrate_fleet`] under the legacy default policy (FIFO
+/// admission, unlimited concurrency); the schedule is byte-identical to
+/// the pre-scheduler implementation.
 pub fn migrate_many(
     tp: &MigrationTp,
     src_machine: &mut Machine,
@@ -933,51 +1235,17 @@ pub fn migrate_many(
     dst_machine: &mut Machine,
     dst_hv: &mut dyn Hypervisor,
 ) -> Result<Vec<MigrationReport>, HtpError> {
-    let sharers = vm_ids.len() as u32;
-    let sequential_receive = dst_hv.kind() == HypervisorKind::Xen;
-    let mut phases = Vec::new();
-    for &id in vm_ids {
-        let phase = tp.migrate_data(
-            src_machine,
-            src_hv,
-            id,
-            dst_machine,
-            dst_hv,
-            sharers,
-            SimDuration::ZERO,
-        )?;
-        phases.push((id, phase));
-    }
-    // Schedule: all pre-copies start together; stop-and-copies queue on a
-    // sequential receiver in pre-copy completion order.
-    let mut order: Vec<usize> = (0..phases.len()).collect();
-    order.sort_by_key(|&i| phases[i].1.precopy);
-    let mut receiver_free = SimDuration::ZERO;
-    let mut makespan = SimDuration::ZERO;
-    let mut out: Vec<Option<MigrationReport>> = (0..phases.len()).map(|_| None).collect();
-    for &i in &order {
-        let (_, phase) = &phases[i];
-        let (finish, downtime) = if sequential_receive {
-            let begin = phase.precopy.max(receiver_free);
-            let finish = begin + phase.stop_copy;
-            receiver_free = finish;
-            (finish, finish - phase.precopy)
-        } else {
-            (phase.precopy + phase.stop_copy, phase.stop_copy)
-        };
-        makespan = makespan.max(finish);
-        let mut report = phase.report.clone();
-        report.downtime = downtime;
-        report.total = finish;
-        out[i] = Some(report);
-    }
-    src_machine.clock().advance(makespan);
-    dst_machine.clock().advance_to(src_machine.clock().now());
-    for (id, phase) in &phases {
-        dst_hv.resume_vm(phase.dst_id)?;
-        src_hv.destroy_vm(src_machine, *id)?;
-    }
-    Ok(out.into_iter().map(|r| r.expect("all scheduled")).collect())
+    let vms: Vec<FleetVm> = vm_ids.iter().map(|&id| FleetVm::new(id)).collect();
+    let fleet = migrate_fleet(
+        tp,
+        src_machine,
+        src_hv,
+        &vms,
+        dst_machine,
+        dst_hv,
+        FleetPolicy::default(),
+    )?;
+    Ok(fleet.reports)
 }
 
 #[cfg(test)]
@@ -1343,6 +1611,242 @@ mod tests {
         ));
         // The spike landed in round 0's duration.
         assert!(r.rounds[0].duration > super::LATENCY_SPIKE);
+    }
+
+    #[test]
+    fn auto_converge_tames_a_nonconvergent_guest() {
+        // Same hot guest as nonconvergent_guest_hits_round_cap; with
+        // auto-converge the controller throttles the dirty rate and stops
+        // early, so the residual set — and the downtime — collapse.
+        let run = |auto_converge: bool| {
+            let (mut src_m, mut dst_m) = pair();
+            let mut src = SimpleHv::new(HypervisorKind::Xen);
+            let mut dst = SimpleHv::new(HypervisorKind::Kvm);
+            let id = src.create_vm(&mut src_m, &VmConfig::small("vm0")).unwrap();
+            let mut cfg = MigrationConfig {
+                dirty_rate_pages_per_sec: 1e6,
+                ..MigrationConfig::default()
+            };
+            cfg.control.auto_converge = auto_converge;
+            let tp = MigrationTp::new().with_config(cfg);
+            tp.migrate(&mut src_m, &mut src, id, &mut dst_m, &mut dst)
+                .unwrap()
+        };
+        let unaided = run(false);
+        assert_eq!(unaided.final_throttle, 1.0);
+        assert!(!unaided.forced_stop);
+        let tamed = run(true);
+        assert!(tamed.final_throttle < 1.0, "throttle engaged");
+        assert!(
+            tamed.downtime < unaided.downtime,
+            "tamed {:?} !< unaided {:?}",
+            tamed.downtime,
+            unaided.downtime
+        );
+        assert!(
+            tamed.bytes_sent < unaided.bytes_sent,
+            "throttling ships fewer re-dirtied pages"
+        );
+        assert!(tamed.stop_pages < unaided.stop_pages);
+        // Telemetry followed the throttle down.
+        let last = tamed.rounds.last().unwrap();
+        assert!(last.throttle < 1.0);
+        assert!(last.dirty_rate_est < 1e6);
+    }
+
+    #[test]
+    fn downtime_budget_is_respected_by_a_busy_guest() {
+        // A 2000 pages/s guest never gets under the static 64-page
+        // threshold (steady state ≈ 108 pages) and burns all 30 rounds.
+        // A 50 ms budget converts to >64 pages at gigabit throughput, so
+        // the budgeted run stops earlier and still lands under budget.
+        let run = |budget: Option<SimDuration>| {
+            let (mut src_m, mut dst_m) = pair();
+            let mut src = SimpleHv::new(HypervisorKind::Xen);
+            let mut dst = SimpleHv::new(HypervisorKind::Kvm);
+            let id = src.create_vm(&mut src_m, &VmConfig::small("vm0")).unwrap();
+            let tp = MigrationTp::new().with_config(MigrationConfig {
+                dirty_rate_pages_per_sec: 2000.0,
+                downtime_budget: budget,
+                ..MigrationConfig::default()
+            });
+            tp.migrate(&mut src_m, &mut src, id, &mut dst_m, &mut dst)
+                .unwrap()
+        };
+        let stat = run(None);
+        assert_eq!(stat.rounds.len(), 30, "static threshold never converges");
+        let budget = SimDuration::from_millis(50);
+        let adaptive = run(Some(budget));
+        assert!(
+            adaptive.rounds.len() < stat.rounds.len(),
+            "budget threshold stops early: {} rounds",
+            adaptive.rounds.len()
+        );
+        assert!(
+            adaptive.downtime <= budget,
+            "downtime {:?} over budget {:?}",
+            adaptive.downtime,
+            budget
+        );
+        assert!(adaptive.total < stat.total, "fewer rounds, shorter total");
+        assert!(adaptive.bytes_sent < stat.bytes_sent);
+    }
+
+    #[test]
+    fn default_config_reports_inactive_controller_telemetry() {
+        let (mut src_m, mut dst_m) = pair();
+        let mut src = SimpleHv::new(HypervisorKind::Xen);
+        let mut dst = SimpleHv::new(HypervisorKind::Kvm);
+        let id = src.create_vm(&mut src_m, &VmConfig::small("vm0")).unwrap();
+        let tp = MigrationTp::new().with_config(MigrationConfig {
+            dirty_rate_pages_per_sec: 1.0,
+            ..MigrationConfig::default()
+        });
+        let r = tp
+            .migrate(&mut src_m, &mut src, id, &mut dst_m, &mut dst)
+            .unwrap();
+        assert_eq!(r.final_throttle, 1.0);
+        assert!(!r.forced_stop);
+        for round in &r.rounds {
+            assert_eq!(round.throttle, 1.0);
+            assert_eq!(round.stop_threshold, 64, "static threshold in force");
+            assert!(round.throughput_est > 0.0, "telemetry observes anyway");
+        }
+        assert!(r.stop_pages <= 64);
+    }
+
+    #[test]
+    fn fleet_default_policy_matches_migrate_many() {
+        let mk = || {
+            let (mut src_m, dst_m) = pair();
+            let mut src = SimpleHv::new(HypervisorKind::Xen);
+            let ids: Vec<VmId> = (0..3)
+                .map(|i| {
+                    src.create_vm(&mut src_m, &VmConfig::small(format!("vm{i}")))
+                        .unwrap()
+                })
+                .collect();
+            (src_m, dst_m, src, ids)
+        };
+        let tp = MigrationTp::new().with_config(MigrationConfig {
+            dirty_rate_pages_per_sec: 500.0,
+            ..MigrationConfig::default()
+        });
+        let (mut src_m, mut dst_m, mut src, ids) = mk();
+        let mut dst = SimpleHv::new(HypervisorKind::Xen);
+        let legacy = migrate_many(&tp, &mut src_m, &mut src, &ids, &mut dst_m, &mut dst).unwrap();
+
+        let (mut src_m2, mut dst_m2, mut src2, ids2) = mk();
+        let mut dst2 = SimpleHv::new(HypervisorKind::Xen);
+        let vms: Vec<FleetVm> = ids2.iter().map(|&id| FleetVm::new(id)).collect();
+        let fleet = migrate_fleet(
+            &tp,
+            &mut src_m2,
+            &mut src2,
+            &vms,
+            &mut dst_m2,
+            &mut dst2,
+            FleetPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(fleet.admission, vec![0, 1, 2], "FIFO admits in order");
+        assert_eq!(legacy.len(), fleet.reports.len());
+        for (a, b) in legacy.iter().zip(&fleet.reports) {
+            assert_eq!(a.vm_name, b.vm_name);
+            assert_eq!(a.rounds, b.rounds);
+            assert_eq!(a.downtime, b.downtime);
+            assert_eq!(a.total, b.total);
+            assert_eq!(a.bytes_sent, b.bytes_sent);
+        }
+        assert_eq!(fleet.predictions.len(), 3);
+    }
+
+    #[test]
+    fn fleet_spdf_admits_predicted_fast_vms_first() {
+        // vm0 is hot (large predicted stop-copy), vm1/vm2 idle: SPDF must
+        // admit the idle VMs before the hot one, and behind Xen's
+        // sequential receiver the idle VMs' downtime must not queue
+        // behind the hot VM's long stop-and-copy.
+        let (mut src_m, mut dst_m) = pair();
+        let mut src = SimpleHv::new(HypervisorKind::Xen);
+        let mut dst = SimpleHv::new(HypervisorKind::Xen);
+        let ids: Vec<VmId> = (0..3)
+            .map(|i| {
+                src.create_vm(&mut src_m, &VmConfig::small(format!("vm{i}")))
+                    .unwrap()
+            })
+            .collect();
+        let tp = MigrationTp::new();
+        let vms = vec![
+            FleetVm::with_dirty_rate(ids[0], 1e6),
+            FleetVm::with_dirty_rate(ids[1], 1.0),
+            FleetVm::with_dirty_rate(ids[2], 1.0),
+        ];
+        let fleet = migrate_fleet(
+            &tp,
+            &mut src_m,
+            &mut src,
+            &vms,
+            &mut dst_m,
+            &mut dst,
+            FleetPolicy {
+                order: FleetOrder::ShortestPredictedFirst,
+                max_concurrent: 0,
+                compression_hint: 1.0,
+            },
+        )
+        .unwrap();
+        assert_eq!(fleet.admission, vec![1, 2, 0], "idle VMs first");
+        assert!(fleet.predictions[0].stop_copy > fleet.predictions[1].stop_copy);
+        // The idle VMs' stop-and-copies clear the receiver before the hot
+        // VM's long pre-copy even ends, so their downtime stays small.
+        assert!(fleet.reports[1].downtime < fleet.reports[0].downtime);
+        assert!(fleet.reports[2].downtime < fleet.reports[0].downtime);
+    }
+
+    #[test]
+    fn bounded_concurrency_reduces_dirty_amplification() {
+        // Unbounded: 4 streams share the link, rounds stretch 4×, the
+        // guests dirty 4× more per round. Two slots halve the sharing;
+        // each migration ships fewer re-dirtied pages.
+        let run = |max_concurrent: usize| {
+            let (mut src_m, mut dst_m) = pair();
+            let mut src = SimpleHv::new(HypervisorKind::Xen);
+            let mut dst = SimpleHv::new(HypervisorKind::Kvm);
+            let ids: Vec<VmId> = (0..4)
+                .map(|i| {
+                    src.create_vm(&mut src_m, &VmConfig::small(format!("vm{i}")))
+                        .unwrap()
+                })
+                .collect();
+            let tp = MigrationTp::new().with_config(MigrationConfig {
+                dirty_rate_pages_per_sec: 800.0,
+                ..MigrationConfig::default()
+            });
+            let vms: Vec<FleetVm> = ids.iter().map(|&id| FleetVm::new(id)).collect();
+            migrate_fleet(
+                &tp,
+                &mut src_m,
+                &mut src,
+                &vms,
+                &mut dst_m,
+                &mut dst,
+                FleetPolicy {
+                    order: FleetOrder::Fifo,
+                    max_concurrent,
+                    compression_hint: 1.0,
+                },
+            )
+            .unwrap()
+        };
+        let unbounded = run(0);
+        let bounded = run(2);
+        assert!(
+            bounded.total_bytes() < unbounded.total_bytes(),
+            "bounded {} !< unbounded {}",
+            bounded.total_bytes(),
+            unbounded.total_bytes()
+        );
     }
 
     #[test]

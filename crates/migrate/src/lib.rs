@@ -16,14 +16,27 @@
 //! * [`engine`] — [`engine::MigrationTp`]: single-VM migration, plus
 //!   [`engine::migrate_many`] reproducing the multi-VM behaviour of §5.2.2
 //!   (parallel sends sharing the link, with Xen's sequential receive side
-//!   producing high downtime variance while kvmtool's stays constant).
+//!   producing high downtime variance while kvmtool's stays constant) and
+//!   [`engine::migrate_fleet`], its convergence-aware generalisation
+//!   (bounded concurrency, predicted-downtime admission ordering).
+//! * [`control`] — the adaptive pre-copy control plane (PR 4):
+//!   [`control::PrecopyController`] with per-round EWMA estimators,
+//!   downtime budgets and auto-converge throttling, plus the fleet
+//!   scheduler vocabulary ([`control::FleetPolicy`],
+//!   [`control::predict_migration`]).
 
+pub mod control;
 pub mod engine;
 pub mod network;
 pub mod wire;
 
+pub use control::{
+    predict_migration, ControlConfig, FleetOrder, FleetPolicy, FleetVm, MigrationPrediction,
+    PrecopyController, PredictInput, UISR_BYTES_ALLOWANCE,
+};
 pub use engine::{
-    migrate_many, MigrationConfig, MigrationReport, MigrationTp, RoundStats, WireMode,
+    migrate_fleet, migrate_many, FleetReport, MigrationConfig, MigrationReport, MigrationTp,
+    RoundStats, WireMode,
 };
 pub use network::{FrameKind, Link, WireFrame, WireStats};
-pub use wire::TransferCache;
+pub use wire::{CacheStats, TransferCache, DEFAULT_CACHE_CAPACITY};

@@ -123,6 +123,16 @@ pub struct WireStats {
     /// Page-payload bytes a raw-mode sender would have shipped for the
     /// same page set (the legacy `bytes_sent` accounting).
     raw_equivalent: u64,
+    /// Dedup-cache entries held when the migration finished.
+    cache_occupancy: u64,
+    /// Dedup-cache entry cap in force.
+    cache_capacity: u64,
+    /// LRU evictions the cache performed during this migration.
+    cache_evictions: u64,
+    /// Dedup lookups that hit during this migration.
+    cache_dup_hits: u64,
+    /// Dedup lookups performed during this migration.
+    cache_dup_lookups: u64,
 }
 
 impl WireStats {
@@ -179,13 +189,74 @@ impl WireStats {
         }
     }
 
-    /// Folds `other` into `self` (campaign-level aggregation).
+    /// Records the dedup cache's state for this migration: final
+    /// occupancy/capacity plus the eviction and hit/lookup deltas
+    /// attributable to the migration.
+    pub fn record_cache(
+        &mut self,
+        occupancy: u64,
+        capacity: u64,
+        evictions: u64,
+        dup_hits: u64,
+        dup_lookups: u64,
+    ) {
+        self.cache_occupancy = occupancy;
+        self.cache_capacity = capacity;
+        self.cache_evictions = evictions;
+        self.cache_dup_hits = dup_hits;
+        self.cache_dup_lookups = dup_lookups;
+    }
+
+    /// Dedup-cache entries held when the migration finished.
+    pub fn cache_occupancy(&self) -> u64 {
+        self.cache_occupancy
+    }
+
+    /// Dedup-cache entry cap in force (0 = never recorded).
+    pub fn cache_capacity(&self) -> u64 {
+        self.cache_capacity
+    }
+
+    /// LRU evictions during this migration (or aggregate).
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache_evictions
+    }
+
+    /// Dedup lookups that hit during this migration (or aggregate).
+    pub fn cache_dup_hits(&self) -> u64 {
+        self.cache_dup_hits
+    }
+
+    /// Dedup lookups performed during this migration (or aggregate).
+    pub fn cache_dup_lookups(&self) -> u64 {
+        self.cache_dup_lookups
+    }
+
+    /// Fraction of dedup lookups that hit (0.0 when none were performed).
+    pub fn dedup_hit_rate(&self) -> f64 {
+        if self.cache_dup_lookups == 0 {
+            0.0
+        } else {
+            self.cache_dup_hits as f64 / self.cache_dup_lookups as f64
+        }
+    }
+
+    /// Folds `other` into `self` (campaign-level aggregation). Frame and
+    /// cache counters sum; occupancy/capacity take the latest non-zero
+    /// snapshot (they describe shared cache state, not per-VM deltas).
     pub fn merge(&mut self, other: &WireStats) {
         for i in 0..4 {
             self.counts[i] += other.counts[i];
             self.bytes[i] += other.bytes[i];
         }
         self.raw_equivalent += other.raw_equivalent;
+        self.cache_evictions += other.cache_evictions;
+        self.cache_dup_hits += other.cache_dup_hits;
+        self.cache_dup_lookups += other.cache_dup_lookups;
+        if other.cache_capacity != 0 {
+            self.cache_occupancy = other.cache_occupancy;
+            self.cache_capacity = other.cache_capacity;
+        }
     }
 }
 
@@ -338,5 +409,27 @@ mod tests {
         assert_eq!(agg.frames(), 6);
         assert_eq!(agg.wire_bytes(), 2 * s.wire_bytes());
         assert_eq!(WireStats::new().compression_ratio(), 1.0);
+    }
+
+    #[test]
+    fn cache_stats_record_and_merge() {
+        let mut s = WireStats::new();
+        assert_eq!(s.dedup_hit_rate(), 0.0, "no lookups yet");
+        s.record_cache(10, 64, 2, 3, 12);
+        assert_eq!(s.cache_occupancy(), 10);
+        assert_eq!(s.cache_capacity(), 64);
+        assert_eq!(s.cache_evictions(), 2);
+        assert_eq!(s.dedup_hit_rate(), 0.25);
+
+        let mut later = WireStats::new();
+        later.record_cache(20, 64, 1, 5, 8);
+        let mut agg = WireStats::new();
+        agg.merge(&s);
+        agg.merge(&later);
+        assert_eq!(agg.cache_evictions(), 3, "evictions sum");
+        assert_eq!(agg.cache_dup_hits(), 8);
+        assert_eq!(agg.cache_dup_lookups(), 20);
+        assert_eq!(agg.cache_occupancy(), 20, "latest snapshot wins");
+        assert_eq!(agg.cache_capacity(), 64);
     }
 }

@@ -165,11 +165,41 @@ pub fn delta_decode(old: &[u8], delta: &[u8]) -> Option<Vec<u8>> {
     }
 }
 
+/// Default cap on committed dedup entries (see
+/// [`TransferCache::with_capacity`]). 64 Ki entries ≈ 1.5 MiB of cache
+/// state on each side — enough to cover every distinct content word of
+/// the fig. 12 fleets while bounding a long-lived destination's memory.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 16;
+
+/// One committed dedup entry: the content word plus the logical tick of
+/// its last touch (insert or dup hit), the LRU eviction key.
+#[derive(Debug, Clone, Copy)]
+struct DedupEntry {
+    word: u64,
+    touched: u64,
+}
+
+/// Observability counters of the dedup cache (see [`TransferCache::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Dedup entries currently held.
+    pub occupancy: u64,
+    /// Configured entry cap.
+    pub capacity: u64,
+    /// Entries evicted (LRU) since the cache was created.
+    pub evictions: u64,
+    /// Dedup lookups that hit since the cache was created.
+    pub dup_hits: u64,
+    /// Dedup lookups performed since the cache was created (every
+    /// non-zero page encode consults the map once).
+    pub dup_lookups: u64,
+}
+
 /// Committed + in-flight state of the dedup/delta cache.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct CacheInner {
-    /// Content the destination has materialised: digest → content word.
-    dedup: HashMap<u128, u64>,
+    /// Content the destination has materialised: digest → entry.
+    dedup: HashMap<u128, DedupEntry>,
     /// Last word acked per (vm tag, gfn) — the destination's current
     /// version of each page, used as the delta base.
     sent: HashMap<(u32, u64), u64>,
@@ -179,6 +209,69 @@ struct CacheInner {
     /// Previous `sent` values overwritten since `begin_round` (rollback:
     /// restore; `None` = the key was absent).
     journal_sent: Vec<((u32, u64), Option<u64>)>,
+    /// Max committed dedup entries before LRU eviction kicks in. A soft
+    /// cap: entries touched by the in-flight round are never evicted (a
+    /// `Dup` frame already encoded this round may reference them), so
+    /// occupancy can transiently exceed the cap by the round's footprint.
+    capacity: usize,
+    /// Logical clock driving LRU order: bumps on every insert/hit.
+    tick: u64,
+    /// Tick at the last `begin_round` — entries touched at or after this
+    /// are pinned for the round.
+    round_start_tick: u64,
+    /// Entries evicted so far (monotonic; never rolled back).
+    evictions: u64,
+    /// Dedup lookups that hit (monotonic observability counter).
+    dup_hits: u64,
+    /// Dedup lookups performed (monotonic observability counter).
+    dup_lookups: u64,
+}
+
+impl Default for CacheInner {
+    fn default() -> Self {
+        CacheInner {
+            dedup: HashMap::new(),
+            sent: HashMap::new(),
+            journal_dedup: Vec::new(),
+            journal_sent: Vec::new(),
+            capacity: DEFAULT_CACHE_CAPACITY,
+            tick: 0,
+            round_start_tick: 0,
+            evictions: 0,
+            dup_hits: 0,
+            dup_lookups: 0,
+        }
+    }
+}
+
+impl CacheInner {
+    /// Inserts `digest → word` with an LRU touch, evicting the least
+    /// recently used *evictable* entry first when at capacity. Entries
+    /// touched since `begin_round` are pinned (frames already encoded in
+    /// this round may reference them), so the cap is soft. The victim is
+    /// the minimum `(touched, digest)` pair — a set minimum, deterministic
+    /// regardless of `HashMap` iteration order.
+    ///
+    /// Eviction is safe by construction: losing a digest only downgrades
+    /// a *future* `Dup` to `Raw`/`Delta`; it never invalidates delta bases
+    /// (those live in `sent`) or frames already on the wire.
+    fn insert_dedup(&mut self, digest: u128, word: u64) {
+        self.tick += 1;
+        let touched = self.tick;
+        if !self.dedup.contains_key(&digest) && self.dedup.len() >= self.capacity {
+            let victim = self
+                .dedup
+                .iter()
+                .filter(|(_, e)| e.touched < self.round_start_tick)
+                .map(|(&k, e)| (e.touched, k))
+                .min();
+            if let Some((_, k)) = victim {
+                self.dedup.remove(&k);
+                self.evictions += 1;
+            }
+        }
+        self.dedup.insert(digest, DedupEntry { word, touched });
+    }
 }
 
 /// The destination-synchronised dedup/delta cache. Cheap to clone —
@@ -191,9 +284,39 @@ pub struct TransferCache {
 }
 
 impl TransferCache {
-    /// A fresh, empty cache.
+    /// A fresh, empty cache with the default entry cap
+    /// ([`DEFAULT_CACHE_CAPACITY`]).
     pub fn new() -> Self {
         TransferCache::default()
+    }
+
+    /// A fresh cache capped at `capacity` committed dedup entries
+    /// (minimum 1). The cap is soft — see [`CacheInner::insert_dedup`]'s
+    /// pinning rule — and eviction-only-safe: overflowing it can only
+    /// downgrade future `Dup` frames to `Raw`/`Delta`, never corrupt a
+    /// transfer.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cache = TransferCache::default();
+        cache.lock().capacity = capacity.max(1);
+        cache
+    }
+
+    /// The configured dedup entry cap.
+    pub fn capacity(&self) -> usize {
+        self.lock().capacity
+    }
+
+    /// Observability counters: occupancy, capacity, evictions, dup
+    /// hit/lookup totals.
+    pub fn stats(&self) -> CacheStats {
+        let c = self.lock();
+        CacheStats {
+            occupancy: c.dedup.len() as u64,
+            capacity: c.capacity as u64,
+            evictions: c.evictions,
+            dup_hits: c.dup_hits,
+            dup_lookups: c.dup_lookups,
+        }
     }
 
     fn lock(&self) -> MutexGuard<'_, CacheInner> {
@@ -211,6 +334,10 @@ impl TransferCache {
         );
         c.journal_dedup.clear();
         c.journal_sent.clear();
+        // Entries touched from here on are pinned against eviction until
+        // the round commits or rolls back: frames already encoded this
+        // round may reference them.
+        c.round_start_tick = c.tick + 1;
     }
 
     /// The destination acked the round: in-flight state becomes committed.
@@ -259,10 +386,15 @@ impl TransferCache {
         c.journal_sent.retain(|&((tag, _), _)| tag != vm);
     }
 
-    /// Wipes everything (tests; or a destination host restart).
+    /// Wipes everything (tests; or a destination host restart). The
+    /// configured capacity survives; counters restart from zero.
     pub fn clear(&self) {
         let mut c = self.lock();
-        *c = CacheInner::default();
+        let capacity = c.capacity;
+        *c = CacheInner {
+            capacity,
+            ..CacheInner::default()
+        };
     }
 
     /// Committed dedup entries (diagnostics).
@@ -292,7 +424,16 @@ impl TransferCache {
             return WireFrame::Zero;
         }
         let digest = digest_words(&[word]);
+        c.dup_lookups += 1;
         if c.dedup.contains_key(&digest.as_u128()) {
+            // LRU touch: a hit pins the entry for the round and refreshes
+            // its eviction rank.
+            c.dup_hits += 1;
+            c.tick += 1;
+            let tick = c.tick;
+            if let Some(e) = c.dedup.get_mut(&digest.as_u128()) {
+                e.touched = tick;
+            }
             let prev = c.sent.insert(key, word);
             c.journal_sent.push((key, prev));
             return WireFrame::Dup { digest };
@@ -306,12 +447,13 @@ impl TransferCache {
                     WireFrame::Raw { word }
                 }
             }
-            // `old == word` cannot reach here: equal content means equal
-            // digest, and the digest was inserted when `old` was sent — a
-            // dedup hit above. An untracked page ships raw.
+            // `old == word` reaches here only when the word's digest was
+            // evicted after `old` shipped (a dedup hit would otherwise
+            // have fired above); the re-send ships raw, which is always
+            // correct. An untracked page ships raw too.
             _ => WireFrame::Raw { word },
         };
-        c.dedup.insert(digest.as_u128(), word);
+        c.insert_dedup(digest.as_u128(), word);
         c.journal_dedup.push(digest.as_u128());
         let prev = c.sent.insert(key, word);
         c.journal_sent.push((key, prev));
@@ -327,7 +469,7 @@ impl TransferCache {
         match frame {
             WireFrame::Raw { word } => Some(*word),
             WireFrame::Zero => Some(0),
-            WireFrame::Dup { digest } => self.lock().dedup.get(&digest.as_u128()).copied(),
+            WireFrame::Dup { digest } => self.lock().dedup.get(&digest.as_u128()).map(|e| e.word),
             WireFrame::Delta { delta } => {
                 let old = expand_word(dst_current);
                 let page = delta_decode(&old, delta)?;
@@ -522,6 +664,97 @@ mod tests {
         cache.begin_round();
         assert_eq!(cache.encode_page(0, 1, 0xab).kind(), FrameKind::Raw);
         cache.commit_round();
+    }
+
+    #[test]
+    fn capped_cache_evicts_lru_and_downgrades_future_dups() {
+        let cache = TransferCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        cache.begin_round();
+        cache.encode_page(0, 1, 0x01);
+        cache.encode_page(0, 2, 0x02);
+        cache.commit_round();
+        // Touch 0x01 so 0x02 is the LRU entry.
+        cache.begin_round();
+        assert_eq!(cache.encode_page(0, 3, 0x01).kind(), FrameKind::Dup);
+        cache.commit_round();
+        // Inserting 0x03 evicts 0x02 (LRU), not 0x01.
+        cache.begin_round();
+        assert_eq!(cache.encode_page(0, 4, 0x03).kind(), FrameKind::Raw);
+        cache.commit_round();
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.occupancy, 2);
+        cache.begin_round();
+        assert_eq!(
+            cache.encode_page(0, 5, 0x01).kind(),
+            FrameKind::Dup,
+            "recently used entry survives"
+        );
+        // 0x02's digest was evicted: the future reference downgrades to
+        // Raw — never an unreconstructable Dup.
+        assert_eq!(cache.encode_page(0, 6, 0x02).kind(), FrameKind::Raw);
+        cache.commit_round();
+        let s = cache.stats();
+        assert!(s.dup_lookups >= 6);
+        assert_eq!(s.dup_hits, 2);
+    }
+
+    #[test]
+    fn entries_touched_this_round_are_pinned_against_eviction() {
+        // Capacity 1, but a round that references its own insert must not
+        // evict it: the Dup frame already encoded would dangle.
+        let cache = TransferCache::with_capacity(1);
+        cache.begin_round();
+        let raw = cache.encode_page(0, 1, 0xaa);
+        assert_eq!(raw.kind(), FrameKind::Raw);
+        // Same round: new content wants a slot, but 0xaa is pinned — the
+        // soft cap lets occupancy overflow instead.
+        let raw2 = cache.encode_page(0, 2, 0xbb);
+        assert_eq!(raw2.kind(), FrameKind::Raw);
+        let dup = cache.encode_page(0, 3, 0xaa);
+        assert_eq!(dup.kind(), FrameKind::Dup);
+        assert_eq!(cache.apply_frame(&dup, 0), Some(0xaa), "no dangling dup");
+        cache.commit_round();
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.stats().occupancy, 2, "soft cap overflowed by one");
+        // Next round the cap is enforced again: inserting 0xcc evicts.
+        cache.begin_round();
+        cache.encode_page(0, 4, 0xcc);
+        cache.commit_round();
+        assert!(cache.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn eviction_after_rollback_keeps_cache_consistent() {
+        let cache = TransferCache::with_capacity(2);
+        cache.begin_round();
+        cache.encode_page(0, 1, 0x11);
+        cache.encode_page(0, 2, 0x22);
+        cache.commit_round();
+        // A round that inserts (evicting 0x11) and then rolls back.
+        cache.begin_round();
+        assert_eq!(cache.encode_page(0, 3, 0x33).kind(), FrameKind::Raw);
+        cache.rollback_round();
+        // 0x33 never arrived; re-encoding it must not claim a Dup.
+        cache.begin_round();
+        assert_eq!(cache.encode_page(0, 3, 0x33).kind(), FrameKind::Raw);
+        cache.commit_round();
+    }
+
+    #[test]
+    fn clear_preserves_capacity_and_resets_counters() {
+        let cache = TransferCache::with_capacity(3);
+        cache.begin_round();
+        cache.encode_page(0, 1, 0x9);
+        cache.commit_round();
+        cache.clear();
+        assert_eq!(cache.capacity(), 3);
+        let s = cache.stats();
+        assert_eq!(
+            (s.occupancy, s.evictions, s.dup_hits, s.dup_lookups),
+            (0, 0, 0, 0)
+        );
     }
 
     #[test]

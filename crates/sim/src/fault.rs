@@ -134,6 +134,10 @@ pub enum RecoveryAction {
     /// round were rolled back (the destination never acked them) and the
     /// round was re-encoded against the last committed state.
     InvalidatedWireCache,
+    /// The adaptive pre-copy controller's estimators were reset after a
+    /// link fault: the samples they held measured a link state that no
+    /// longer exists, so the controller re-warms from the retried round.
+    ResetController,
     /// The fault was fatal at this layer; the error propagated to the
     /// caller (which may itself recover — e.g. fall back to InPlaceTP).
     GaveUp,
@@ -154,6 +158,7 @@ impl RecoveryAction {
             RecoveryAction::ExcludedHost => "excluded_host",
             RecoveryAction::AbsorbedLatency => "absorbed_latency",
             RecoveryAction::InvalidatedWireCache => "invalidated_wire_cache",
+            RecoveryAction::ResetController => "reset_controller",
             RecoveryAction::GaveUp => "gave_up",
         }
     }

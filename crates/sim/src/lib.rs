@@ -34,6 +34,7 @@
 pub mod clock;
 pub mod cost;
 pub mod events;
+pub mod ewma;
 pub mod fault;
 pub mod hash;
 pub mod json;
@@ -47,6 +48,7 @@ pub mod time;
 pub use clock::SimClock;
 pub use cost::CostModel;
 pub use events::EventQueue;
+pub use ewma::Ewma;
 pub use fault::{FaultEvent, FaultLog, FaultPlan, InjectionPoint, RecoveryAction};
 pub use hash::{digest_bytes, digest_words, Digest128};
 pub use json::Json;

@@ -18,9 +18,13 @@
 //! saturates the migration link and checks the MigrationTP→InPlaceTP
 //! fallback chain, and a fifth (also its own plan) drops the link
 //! mid-round on a *content-aware* migration to check the dedup-cache
-//! rollback path ([`RecoveryAction::InvalidatedWireCache`]). The CI
-//! chaos step pins the three seeds below; set `HYPERTP_SEED` to probe
-//! others.
+//! rollback path ([`RecoveryAction::InvalidatedWireCache`]). A sixth
+//! drops the link mid-round while the **adaptive controller** is live
+//! (a downtime budget is set): on top of the cache rollback the
+//! controller's EWMA estimators must reset
+//! ([`RecoveryAction::ResetController`]) and the migration must still
+//! land under its budget. The CI chaos step pins the three seeds below;
+//! set `HYPERTP_SEED` to probe others.
 
 use hypertp::prelude::*;
 use hypertp_cluster::campaign::{run_campaign_with, CampaignConfig};
@@ -245,6 +249,91 @@ fn chaos_wire(seed: u64) -> String {
     log.render()
 }
 
+/// Scenario 6: a link drop hits a *content-aware* migration whose
+/// adaptive controller is live (a downtime budget is set). The faulted
+/// round's EWMA samples measured a link that no longer exists, so the
+/// controller must reset its estimators
+/// ([`RecoveryAction::ResetController`]) on top of the cache rollback —
+/// and the migration must still stop under its budget with every guest
+/// word intact. Uses its own plan so the forced drop cannot perturb the
+/// other scenarios' schedules. Returns the plan's log render.
+fn chaos_adaptive(seed: u64) -> String {
+    let faults = FaultPlan::new(seed ^ 0xada_97fe);
+    faults.arm_once(InjectionPoint::LinkDrop);
+    let registry = default_registry();
+    let clock = SimClock::new();
+    let mut src_m = Machine::with_clock(small_spec(4), clock.clone());
+    let mut dst_m = Machine::with_clock(small_spec(4), clock);
+    let mut src = registry.create(HypervisorKind::Xen, &mut src_m).unwrap();
+    let mut dst = registry.create(HypervisorKind::Kvm, &mut dst_m).unwrap();
+    let cfg = VmConfig::small("chaos-adapt").with_memory_gb(1);
+    let id = src.create_vm(&mut src_m, &cfg).unwrap();
+    let writes: Vec<(Gfn, u64)> = (0..80u64)
+        .map(|k| (Gfn((k * 17 + 3) % cfg.pages()), k ^ 0xada_cafe))
+        .collect();
+    for (g, v) in &writes {
+        src.write_guest(&mut src_m, id, *g, *v).unwrap();
+    }
+    // Tight enough that the post-drop round must run (the re-dirtied set
+    // after the stretched, dropped round 0 exceeds the budget's page
+    // allowance), which re-warms the just-reset estimators.
+    let budget = SimDuration::from_millis(10);
+    let tp = MigrationTp::new()
+        .with_config(MigrationConfig {
+            dirty_rate_pages_per_sec: 1500.0,
+            wire_mode: WireMode::ContentAware,
+            downtime_budget: Some(budget),
+            ..MigrationConfig::default()
+        })
+        .with_faults(faults.clone());
+    let report = tp
+        .migrate(&mut src_m, src.as_mut(), id, &mut dst_m, dst.as_mut())
+        .unwrap_or_else(|e| panic!("seed {seed:#x}: faulted adaptive migration failed: {e}"));
+    assert!(
+        report.downtime <= budget,
+        "seed {seed:#x}: downtime {:?} blew the {:?} budget",
+        report.downtime,
+        budget
+    );
+    let log = faults.log();
+    assert!(
+        log.recovered_via(InjectionPoint::LinkDrop, RecoveryAction::ResetController),
+        "seed {seed:#x}: active controller must reset estimators on a drop; log:\n{}",
+        log.render()
+    );
+    assert!(
+        log.recovered_via(
+            InjectionPoint::LinkDrop,
+            RecoveryAction::InvalidatedWireCache
+        ),
+        "seed {seed:#x}: the drop must also roll the wire cache back; log:\n{}",
+        log.render()
+    );
+    // The round after the reset re-warmed the estimators from clean
+    // samples: the last round's telemetry is live again.
+    let last = report
+        .rounds
+        .last()
+        .unwrap_or_else(|| panic!("seed {seed:#x}: no rounds recorded"));
+    assert!(
+        last.throughput_est > 0.0,
+        "seed {seed:#x}: estimators never re-warmed after the reset"
+    );
+    // No VM lost, no word lost.
+    let new_id = dst
+        .find_vm("chaos-adapt")
+        .unwrap_or_else(|| panic!("seed {seed:#x}: VM lost in adaptive migration"));
+    assert_eq!(dst.vm_state(new_id).unwrap(), VmState::Running);
+    for (g, v) in &writes {
+        assert_eq!(
+            dst.read_guest(&dst_m, new_id, *g).unwrap(),
+            *v,
+            "seed {seed:#x}: guest word lost at {g:?}"
+        );
+    }
+    log.render()
+}
+
 /// Scenario 4: a saturated link exhausts the migration's retry budget;
 /// the host falls back to InPlaceTP. Uses its own plan (the unbounded
 /// LinkDrop rate would starve scenario 1). Returns the plan's log render.
@@ -355,7 +444,14 @@ fn chaos_run(seed: u64) -> String {
 
     let fallback_log = chaos_fallback(seed);
     let wire_log = chaos_wire(seed);
-    format!("{}---\n{}---\n{}", log.render(), fallback_log, wire_log)
+    let adaptive_log = chaos_adaptive(seed);
+    format!(
+        "{}---\n{}---\n{}---\n{}",
+        log.render(),
+        fallback_log,
+        wire_log,
+        adaptive_log
+    )
 }
 
 #[test]
