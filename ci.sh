@@ -61,4 +61,20 @@ ADAPTIVE_SMOKE_OUT="${gate_dir}/adaptive.json" \
 cargo run -q --release --offline -p hypertp-bench --bin perf_gate -- \
   adaptive BENCH_adaptive.json "${gate_dir}/adaptive.json"
 
+echo "== inplace gate (incremental downtime cut + identity floors) =="
+# inplace_smoke runs the Fig. 6-style ablation; the fresh artifact must
+# meet the committed BENCH_inplace.json floors: hot-fleet mean-downtime
+# cut >= floor, incremental-off byte-identity, equal restored state,
+# deterministic rerun.
+INPLACE_SMOKE_OUT="${gate_dir}/inplace.json" \
+  cargo run -q --release --offline -p hypertp-bench --bin inplace_smoke
+cargo run -q --release --offline -p hypertp-bench --bin perf_gate -- \
+  inplace BENCH_inplace.json "${gate_dir}/inplace.json"
+
+echo "== examples (keep them compiling *and* running) =="
+for example in quickstart migration_vs_inplace datacenter_upgrade vulnerability_response; do
+  echo "-- example: ${example} --"
+  cargo run -q --release --offline --example "${example}" >/dev/null
+done
+
 echo "CI OK"

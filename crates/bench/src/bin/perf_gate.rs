@@ -6,6 +6,7 @@
 //! ```text
 //! perf_gate wire     <committed BENCH_wire.json>     <perf_smoke run 1> [...]
 //! perf_gate adaptive <committed BENCH_adaptive.json> <adaptive_smoke run 1> [...]
+//! perf_gate inplace  <committed BENCH_inplace.json>  <inplace_smoke run 1> [...]
 //! perf_gate <committed BENCH_wire.json> <perf_smoke run...>   # legacy = wire
 //! ```
 //!
@@ -34,6 +35,20 @@
 //!    budget was violated on the reference fleet), or
 //! 5. `scheduler.ready_cut_pct` is not positive (SPDF stopped beating
 //!    FIFO admission).
+//!
+//! **inplace**: CI runs `inplace_smoke` and hands the fresh artifact(s)
+//! here with the committed `BENCH_inplace.json`. A run fails when:
+//!
+//! 1. any `identical`-suffixed field is not `"true"` — this covers the
+//!    deterministic rerun, the incremental-off identity (the toggle must
+//!    stay inert by default), and the equal-restored-state check of the
+//!    incremental-on path,
+//! 2. `incremental_vs_parallel.hot_mean_downtime_cut_pct` falls below the
+//!    committed `downtime_cut_floor_pct` (the dirty-delta finalize stopped
+//!    shrinking the blackout on the hot fleet), or
+//! 3. `incremental_vs_parallel.idle_mean_downtime_cut_pct` is below the
+//!    hot cut by more than one point (idle guests must benefit at least
+//!    as much as hot ones — the warm loop's best case).
 //!
 //! The gate deliberately ignores wall-clock fields: CI machines are too
 //! noisy for absolute-time floors, but correctness, compression, and
@@ -223,13 +238,78 @@ fn gate_adaptive(committed: &str, runs: &[String]) -> Vec<String> {
     violations
 }
 
+fn gate_inplace(committed: &str, runs: &[String]) -> Vec<String> {
+    let mut violations = Vec::new();
+    let base = match load(committed) {
+        Ok(j) => j,
+        Err(e) => return vec![e],
+    };
+    let Some(floor) = base.get("downtime_cut_floor_pct").and_then(Json::as_f64) else {
+        return vec![format!("{committed}: missing downtime_cut_floor_pct")];
+    };
+
+    for path in runs {
+        let run = match load(path) {
+            Ok(j) => j,
+            Err(e) => {
+                violations.push(e);
+                continue;
+            }
+        };
+        let before = violations.len();
+        let n = check_identity(path, &run, &mut violations);
+
+        let hot_cut = get_f64(
+            path,
+            &run,
+            "incremental_vs_parallel.hot_mean_downtime_cut_pct",
+            &mut violations,
+        );
+        if let Some(cut) = hot_cut {
+            if cut < floor {
+                violations.push(format!(
+                    "{path}: hot-fleet mean-downtime cut {cut:.1}% below committed floor {floor:.1}%"
+                ));
+            }
+        }
+        let idle_cut = get_f64(
+            path,
+            &run,
+            "incremental_vs_parallel.idle_mean_downtime_cut_pct",
+            &mut violations,
+        );
+        if let (Some(hot), Some(idle)) = (hot_cut, idle_cut) {
+            if idle < hot - 1.0 {
+                violations.push(format!(
+                    "{path}: idle cut {idle:.1}% trails hot cut {hot:.1}% — the warm \
+                     loop's best case regressed"
+                ));
+            }
+        }
+        if violations.len() == before {
+            println!(
+                "perf_gate: {path}: {n} identity fields ok, hot downtime cut {:.1}% >= \
+                 floor {floor:.1}%, idle cut {:.1}%",
+                hot_cut.unwrap_or(f64::NAN),
+                idle_cut.unwrap_or(f64::NAN),
+            );
+        }
+    }
+    violations
+}
+
 fn run() -> Result<(), Vec<String>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage =
-        || vec!["usage: perf_gate [wire|adaptive] <committed artifact> <fresh run...>".to_string()];
+    let usage = || {
+        vec![
+            "usage: perf_gate [wire|adaptive|inplace] <committed artifact> <fresh run...>"
+                .to_string(),
+        ]
+    };
     let (mode, rest) = match args.first().map(String::as_str) {
         Some("wire") => ("wire", &args[1..]),
         Some("adaptive") => ("adaptive", &args[1..]),
+        Some("inplace") => ("inplace", &args[1..]),
         // Legacy positional form: first arg is the committed wire artifact.
         Some(_) => ("wire", &args[..]),
         None => return Err(usage()),
@@ -239,6 +319,7 @@ fn run() -> Result<(), Vec<String>> {
     }
     let violations = match mode {
         "wire" => gate_wire(&rest[0], &rest[1..]),
+        "inplace" => gate_inplace(&rest[0], &rest[1..]),
         _ => gate_adaptive(&rest[0], &rest[1..]),
     };
     if violations.is_empty() {

@@ -53,6 +53,22 @@ pub struct ExecConfig {
     /// window — without changing the group's drain time on a serialized
     /// fabric.
     pub fleet_order: FleetOrder,
+    /// Run in-place upgrades with the incremental pre-pause translation
+    /// path ([`hypertp_core::Optimizations::incremental_translate`]). The
+    /// executor is an analytic model: the warm UISR snapshot happens while
+    /// the group's migrations drain (below the time axis), so the blackout
+    /// charged to each host shrinks to the dirty-delta re-translation
+    /// ([`CostModel::delta_translate`] at
+    /// [`ExecConfig::inplace_dirty_fraction`]) instead of the full
+    /// [`CostModel::translate`]. Off by default: the fig. 13 accounting is
+    /// byte-identical to the paper-faithful pause-time translation.
+    pub incremental_translate: bool,
+    /// Fraction of guest pages still dirty at the final pause when
+    /// [`ExecConfig::incremental_translate`] is on (e.g. a reference
+    /// [`hypertp_core::InPlaceReport::dirty_fraction`], or the hot-guest
+    /// figure from BENCH_inplace.json). 1.0 = everything re-translated,
+    /// which degenerates exactly to the full-translate accounting.
+    pub inplace_dirty_fraction: f64,
 }
 
 impl Default for ExecConfig {
@@ -66,6 +82,8 @@ impl Default for ExecConfig {
             wire_mode: WireMode::Raw,
             wire_compression_ratio: 1.0,
             fleet_order: FleetOrder::Fifo,
+            incremental_translate: false,
+            inplace_dirty_fraction: 1.0,
         }
     }
 }
@@ -146,9 +164,15 @@ fn migration_time(
 }
 
 /// Time of one in-place host upgrade carrying `vm_count` 4 GiB VMs.
+///
+/// Under [`ExecConfig::incremental_translate`] the pause-time translation
+/// term becomes the dirty-delta re-translation at the configured residual
+/// dirty fraction; the warm snapshot itself overlaps the group's
+/// migration drain and never shows up in the blackout.
 fn inplace_time(
     cluster: &Cluster,
     cost: &CostModel,
+    cfg: &ExecConfig,
     host: usize,
     vm_count: usize,
     target: HypervisorKind,
@@ -163,8 +187,16 @@ fn inplace_time(
         HypervisorKind::Kvm => BootTarget::LinuxKvm,
         HypervisorKind::Xen => BootTarget::XenDom0,
     };
+    let translate = if cfg.incremental_translate {
+        let frac = cfg.inplace_dirty_fraction.clamp(0.0, 1.0);
+        let dl: Vec<(f64, u32, u64, f64)> =
+            (0..vm_count).map(|_| (4.0, 1, 4 * 512, frac)).collect();
+        cost.delta_translate(&perf, &dl)
+    } else {
+        cost.translate(&perf, &xl)
+    };
     cost.pram_build(&perf, &vms)
-        + cost.translate(&perf, &xl)
+        + translate
         + cost.reboot(&perf, boot, total_gb, entries)
         + cost.restore(&perf, &rl, true)
 }
@@ -255,7 +287,7 @@ pub fn execute_with_faults(
             let Action::InPlaceUpgrade { host, vm_count } = a else {
                 continue;
             };
-            let attempt_cost = inplace_time(cluster, &cost, *host, *vm_count, cfg.target);
+            let attempt_cost = inplace_time(cluster, &cost, cfg, *host, *vm_count, cfg.target);
             let mut host_time = SimDuration::ZERO;
             let mut attempts = 0u32;
             loop {
@@ -515,6 +547,60 @@ mod tests {
         );
         assert_eq!(again.total, spdf.total);
         assert_eq!(again.mean_vm_ready, spdf.mean_vm_ready);
+    }
+
+    #[test]
+    fn incremental_translate_shrinks_the_inplace_phase() {
+        let c = Cluster::paper_testbed(100, 42);
+        let plan = plan_upgrade(&c, 2).unwrap();
+        let full = execute(&c, &plan, &ExecConfig::default());
+
+        // A mostly-converged fleet (5% residual dirty pages at the pause)
+        // re-translates only the delta during the blackout.
+        let inc = execute(
+            &c,
+            &plan,
+            &ExecConfig {
+                incremental_translate: true,
+                inplace_dirty_fraction: 0.05,
+                ..ExecConfig::default()
+            },
+        );
+        assert_eq!(inc.inplace_upgrades, full.inplace_upgrades);
+        assert!(
+            inc.inplace_time < full.inplace_time,
+            "incremental {:?} !< full {:?}",
+            inc.inplace_time,
+            full.inplace_time
+        );
+        assert!(inc.total < full.total);
+
+        // Fraction 1.0 must degenerate to the full-translate accounting
+        // exactly (delta cost at unity fraction equals `translate`).
+        let unity = execute(
+            &c,
+            &plan,
+            &ExecConfig {
+                incremental_translate: true,
+                inplace_dirty_fraction: 1.0,
+                ..ExecConfig::default()
+            },
+        );
+        assert_eq!(unity.total, full.total);
+        assert_eq!(unity.inplace_time, full.inplace_time);
+
+        // Determinism: same config, same schedule.
+        let again = execute(
+            &c,
+            &plan,
+            &ExecConfig {
+                incremental_translate: true,
+                inplace_dirty_fraction: 0.05,
+                ..ExecConfig::default()
+            },
+        );
+        assert_eq!(again.total, inc.total);
+        assert_eq!(again.inplace_time, inc.inplace_time);
     }
 
     #[test]

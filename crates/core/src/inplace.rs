@@ -9,11 +9,13 @@
 //! The §4.2.5 optimizations are individually toggleable through
 //! [`Optimizations`]; the ablation bench measures each one's contribution.
 
-use hypertp_machine::{Extent, Machine, PageOrder};
+use hypertp_machine::{combine_partials, Extent, Machine, PageOrder};
 use hypertp_pram::{PramBuilder, PramError, PramHandle, PramImage, PramStats};
 use hypertp_sim::cost::MachinePerf;
 use hypertp_sim::fault::{FaultPlan, InjectionPoint, RecoveryAction};
-use hypertp_sim::{CostModel, SimDuration, WorkerPool};
+use hypertp_sim::{CostModel, Ewma, SimClock, SimDuration, WorkerPool};
+
+use crate::vm::VmId;
 
 use crate::error::HtpError;
 use crate::hypervisor::{Hypervisor, HypervisorKind};
@@ -39,6 +41,17 @@ pub struct Optimizations {
     /// work in §4.2.1. Off by default: the paper's prototype applies the
     /// lossy fixes and reports them.
     pub strict_preflight: bool,
+    /// Incremental pre-pause UISR translation: enable dirty logging and
+    /// take warm `save → to_uisr → encode` snapshots (plus per-extent
+    /// checksum partials) while the VMs are still running, iterating
+    /// EWMA-driven refresh rounds until the redirty rate converges. At
+    /// pause time only the final dirty slices are re-translated and only
+    /// the dirty extents' partials recombined, so the blackout translation
+    /// term scales with the final dirty set instead of the VM size — the
+    /// InPlaceTP analogue of iterative pre-copy (Clark et al., NSDI'05).
+    /// Off by default: the pinned Fig. 6 timings are the full-translate
+    /// path.
+    pub incremental_translate: bool,
 }
 
 impl Default for Optimizations {
@@ -48,6 +61,7 @@ impl Default for Optimizations {
             parallel: true,
             early_restoration: true,
             strict_preflight: false,
+            incremental_translate: false,
         }
     }
 }
@@ -60,12 +74,65 @@ impl Optimizations {
             parallel: false,
             early_restoration: false,
             strict_preflight: false,
+            incremental_translate: false,
         }
     }
 }
 
+/// Tuning knobs for the incremental warm-translate loop
+/// ([`Optimizations::incremental_translate`]). The stop rule mirrors the
+/// MigrationTP pre-copy controller: keep refreshing while the EWMA of the
+/// redirty rate is still shrinking, bail out once returns diminish or the
+/// dirty fraction is already small enough to pause.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IncrementalConfig {
+    /// Pages per second the guests redirty while warm rounds run (the
+    /// simulated workload; each warm round ticks every guest with
+    /// `rate × previous round duration` pages).
+    pub dirty_rate_pages_per_sec: f64,
+    /// EWMA smoothing factor for the per-round redirty page count.
+    pub ewma_alpha: f64,
+    /// Hard cap on warm refresh rounds after the initial snapshot.
+    pub max_warm_rounds: u32,
+    /// Pause as soon as the observed dirty fraction of guest memory drops
+    /// to or below this value.
+    pub stop_dirty_fraction: f64,
+    /// Stop refreshing when the redirty EWMA improves by less than this
+    /// relative amount between rounds (diminishing returns).
+    pub min_improvement: f64,
+}
+
+impl Default for IncrementalConfig {
+    fn default() -> Self {
+        IncrementalConfig {
+            dirty_rate_pages_per_sec: 0.0,
+            ewma_alpha: 0.5,
+            max_warm_rounds: 8,
+            stop_dirty_fraction: 0.01,
+            min_improvement: 0.10,
+        }
+    }
+}
+
+/// Telemetry for one warm refresh round of the incremental translate loop
+/// (round 0 is the initial full snapshot).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmRound {
+    /// Pages the simulated workload dirtied in *each* guest before this
+    /// round's collection (0 for the initial snapshot round).
+    pub tick_pages: u64,
+    /// Total dirty pages collected across all VMs this round.
+    pub dirty_pages: u64,
+    /// Dirty fraction of total guest memory this round re-translated.
+    pub dirty_fraction: f64,
+    /// EWMA of the redirty page count after observing this round.
+    pub redirty_ewma: f64,
+    /// Simulated duration of this round's warm translation work.
+    pub duration: SimDuration,
+}
+
 /// Timing breakdown and bookkeeping of one InPlaceTP run (the Fig. 6 bars).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InPlaceReport {
     /// Number of VMs transplanted.
     pub vm_count: usize,
@@ -94,6 +161,27 @@ pub struct InPlaceReport {
     pub scrubbed_frames: u64,
     /// Compatibility warnings from the target's `from_uisr` translations.
     pub warnings: Vec<String>,
+    /// Total warm-translate time spent while the VMs were still running
+    /// (below the Fig. 6 time axis, like pre-pause PRAM construction).
+    /// Zero unless [`Optimizations::incremental_translate`] was on and the
+    /// warm phase completed.
+    pub warm_translate: SimDuration,
+    /// Pause-time dirty-delta translation cost — the part of
+    /// `translation` that the incremental path actually spends inside the
+    /// blackout. Zero on the full-translate path.
+    pub delta_translate: SimDuration,
+    /// Final dirty fraction of guest memory re-translated inside the
+    /// pause window (1.0 on the full-translate path).
+    pub dirty_fraction: f64,
+    /// Per-round telemetry of the warm refresh loop (empty on the
+    /// full-translate path). Round 0 is the initial full snapshot.
+    pub warm_rounds: Vec<WarmRound>,
+    /// Pages dirtied in each guest by the simulated workload during the
+    /// last warm round — collected into the pause-time delta set.
+    pub warm_carryover_pages: u64,
+    /// UISR sections patched from the final pause-time save instead of
+    /// reused from the warm snapshot, summed over all VMs.
+    pub patched_sections: u64,
 }
 
 impl InPlaceReport {
@@ -102,9 +190,10 @@ impl InPlaceReport {
         self.translation + self.reboot + self.restoration
     }
 
-    /// Total transplant time including pre-pause preparation.
+    /// Total transplant time including pre-pause preparation (PRAM
+    /// construction and any incremental warm-translate rounds).
     pub fn total(&self) -> SimDuration {
-        self.device_prepare + self.pram + self.downtime()
+        self.device_prepare + self.pram + self.warm_translate + self.downtime()
     }
 
     /// Downtime observed by network-dependent applications: the NIC comes
@@ -124,6 +213,123 @@ struct SavedVm {
     uisr: hypertp_uisr::UisrVm,
     blob: Vec<u8>,
     checksum: u64,
+    /// UISR sections the pause-time finalize had to patch over the warm
+    /// snapshot (0 on the full-translate path).
+    patched_sections: u64,
+}
+
+/// Per-VM warm-translate cache built while the VM was still running: the
+/// snapshot UISR plus the per-extent checksum partials the pause-time
+/// delta pass refreshes instead of rehashing every frame.
+struct WarmVm {
+    /// Memory map exactly as `guest_memory_map` returned it (the PRAM
+    /// file mappings must be byte-identical to the full path's).
+    map: Vec<(hypertp_machine::Gfn, hypertp_machine::Extent)>,
+    /// Extents in map order — the checksum unit.
+    extents: Vec<Extent>,
+    /// `(gfn_start, pages, extent index)` sorted by `gfn_start`, for
+    /// dirty-Gfn → extent lookup.
+    lookup: Vec<(u64, u64, usize)>,
+    /// Cached per-extent checksum partials, refreshed each warm round.
+    partials: Vec<u64>,
+    /// Latest warm UISR snapshot (patched at pause time).
+    uisr: hypertp_uisr::UisrVm,
+    /// Total guest pages (denominator of the dirty fraction).
+    total_pages: u64,
+}
+
+impl WarmVm {
+    fn new(
+        map: Vec<(hypertp_machine::Gfn, hypertp_machine::Extent)>,
+        uisr: hypertp_uisr::UisrVm,
+    ) -> Self {
+        let extents: Vec<Extent> = map.iter().map(|(_, e)| *e).collect();
+        let mut lookup: Vec<(u64, u64, usize)> = map
+            .iter()
+            .enumerate()
+            .map(|(i, (g, e))| (g.0, e.pages(), i))
+            .collect();
+        lookup.sort_unstable();
+        let total_pages = extents.iter().map(|e| e.pages()).sum();
+        WarmVm {
+            map,
+            extents,
+            lookup,
+            partials: Vec::new(),
+            uisr,
+            total_pages,
+        }
+    }
+
+    /// Maps a sorted dirty-Gfn list to the (ascending) indices of the
+    /// extents containing them.
+    fn dirty_extent_indices(&self, dirty: &[hypertp_machine::Gfn]) -> Vec<usize> {
+        let mut hit = vec![false; self.extents.len()];
+        for g in dirty {
+            let pos = self.lookup.partition_point(|&(start, _, _)| start <= g.0);
+            if pos > 0 {
+                let (start, pages, idx) = self.lookup[pos - 1];
+                if g.0 < start + pages {
+                    hit[idx] = true;
+                }
+            }
+        }
+        (0..hit.len()).filter(|&i| hit[i]).collect()
+    }
+}
+
+/// Everything the warm phase hands to the pause-time delta finalize.
+struct WarmState {
+    vms: Vec<WarmVm>,
+    total: SimDuration,
+    rounds: Vec<WarmRound>,
+    carryover_pages: u64,
+}
+
+/// Rebuilds the final UISR from a warm snapshot by patching only the
+/// sections the fresh pause-time save shows changed. The result is equal
+/// to `fresh` by construction (changed sections are overwritten, unchanged
+/// ones are already equal); the return also counts how many sections
+/// needed patching.
+fn patch_uisr(
+    warm: &hypertp_uisr::UisrVm,
+    fresh: hypertp_uisr::UisrVm,
+) -> (hypertp_uisr::UisrVm, u64) {
+    let mut out = warm.clone();
+    let mut patched = 0u64;
+    let hypertp_uisr::UisrVm {
+        name,
+        vcpus,
+        ioapic,
+        pit,
+        devices,
+        memory,
+    } = fresh;
+    if out.name != name {
+        out.name = name;
+        patched += 1;
+    }
+    if out.vcpus != vcpus {
+        out.vcpus = vcpus;
+        patched += 1;
+    }
+    if out.ioapic != ioapic {
+        out.ioapic = ioapic;
+        patched += 1;
+    }
+    if out.pit != pit {
+        out.pit = pit;
+        patched += 1;
+    }
+    if out.devices != devices {
+        out.devices = devices;
+        patched += 1;
+    }
+    if out.memory != memory {
+        out.memory = memory;
+        patched += 1;
+    }
+    (out, patched)
 }
 
 /// The InPlaceTP engine.
@@ -131,6 +337,7 @@ pub struct InPlaceTransplant<'r> {
     registry: &'r HypervisorRegistry,
     cost: CostModel,
     opts: Optimizations,
+    incremental: IncrementalConfig,
     faults: FaultPlan,
 }
 
@@ -142,8 +349,16 @@ impl<'r> InPlaceTransplant<'r> {
             registry,
             cost: CostModel::paper_calibrated(),
             opts: Optimizations::default(),
+            incremental: IncrementalConfig::default(),
             faults: FaultPlan::disarmed(),
         }
+    }
+
+    /// Replaces the incremental warm-translate tuning knobs (only
+    /// consulted when [`Optimizations::incremental_translate`] is on).
+    pub fn with_incremental(mut self, incremental: IncrementalConfig) -> Self {
+        self.incremental = incremental;
+        self
     }
 
     /// Replaces the cost model.
@@ -273,6 +488,202 @@ impl<'r> InPlaceTransplant<'r> {
         }
     }
 
+    /// The incremental pre-pause warm-translate phase (§4.2.5 extended):
+    /// dirty logging goes on, every VM gets a full warm
+    /// `save → to_uisr → encode` snapshot plus per-extent checksum
+    /// partials, then EWMA-driven refresh rounds re-translate only the
+    /// redirtied slices until the redirty rate converges. Runs below the
+    /// Fig. 6 time axis — each VM is only micro-paused for its own
+    /// snapshot, never the whole fleet.
+    ///
+    /// Returns `None` when a worker fault forced the engine to abandon
+    /// the warm state and fall back to full pause-time translation
+    /// (recorded in the fault log as `fell_back_to_full_translate`).
+    #[allow(clippy::too_many_arguments)] // internal phase helper: the args are run()'s locals
+    fn warm_phase(
+        &self,
+        machine: &mut Machine,
+        source: &mut dyn Hypervisor,
+        ids: &[VmId],
+        xlate_list: &[(f64, u32, u64)],
+        pool: &MachinePerf,
+        wpool: &WorkerPool,
+        clock: &SimClock,
+    ) -> Result<Option<WarmState>, HtpError> {
+        let n = ids.len();
+        for &id in ids {
+            source.enable_dirty_log(id)?;
+        }
+
+        // Round 0: full warm snapshot. The per-VM control ops (pause /
+        // save / resume) are cheap and serial; the heavy partial hashing
+        // runs on the pool with the guests already back up, so worker
+        // deaths are decided before dispatch — and doom the whole warm
+        // phase rather than one task, since a half-warm cache cannot be
+        // trusted for a delta finalize.
+        let doomed = self.faults.pick_doomed_tasks(n, "warm snapshot");
+        if !doomed.is_empty() {
+            self.faults.record_recovery(
+                InjectionPoint::WorkerPanic,
+                RecoveryAction::FellBackToFullTranslate,
+                &format!(
+                    "warm snapshot lost {} of {n} tasks; reverting to full pause-time translation",
+                    doomed.len()
+                ),
+            );
+            return Ok(None);
+        }
+        let mut vms = Vec::with_capacity(n);
+        for &id in ids {
+            source.pause_vm(id)?;
+            let map = source.guest_memory_map(id)?;
+            let uisr = source.save_uisr(machine, id)?;
+            // Discard anything dirtied before the snapshot existed.
+            let _ = source.collect_dirty(id)?;
+            source.resume_vm(id)?;
+            vms.push(WarmVm::new(map, uisr));
+        }
+        {
+            let machine_ref: &Machine = machine;
+            let vms_ref = &vms;
+            let partials = wpool
+                .map_indices(n, |i| {
+                    machine_ref
+                        .ram()
+                        .extent_partials_with_pool(&vms_ref[i].extents, &WorkerPool::serial())
+                })
+                .results;
+            for (wv, p) in vms.iter_mut().zip(partials) {
+                wv.partials = p;
+            }
+        }
+        let total_pages_all: u64 = vms.iter().map(|v| v.total_pages).sum();
+        let full_list: Vec<(f64, u32, u64, f64)> = xlate_list
+            .iter()
+            .map(|&(gb, vcpus, entries)| (gb, vcpus, entries, 1.0))
+            .collect();
+        let mut round_cost = self.cost.warm_translate(pool, &full_list);
+        clock.advance(round_cost);
+        let mut total = round_cost;
+        let mut rounds = vec![WarmRound {
+            tick_pages: 0,
+            dirty_pages: total_pages_all,
+            dirty_fraction: 1.0,
+            redirty_ewma: total_pages_all as f64,
+            duration: round_cost,
+        }];
+
+        // Warm refresh rounds: tick the workload for the time the previous
+        // round took, collect the redirtied pages, and re-translate only
+        // those slices. Stop when the dirty fraction is small enough to
+        // pause or the redirty EWMA stops shrinking (the same shape of
+        // stop rule as the MigrationTP pre-copy controller).
+        let rate = self.incremental.dirty_rate_pages_per_sec.max(0.0);
+        let mut ewma = Ewma::new(self.incremental.ewma_alpha);
+        let mut prev_ewma: Option<f64> = None;
+        for round in 1..=self.incremental.max_warm_rounds {
+            let tick = (rate * round_cost.as_secs_f64()).round() as u64;
+            if tick > 0 {
+                for &id in ids {
+                    source.guest_tick(machine, id, tick)?;
+                }
+            }
+            let doomed = self
+                .faults
+                .pick_doomed_tasks(n, &format!("warm round {round}"));
+            if !doomed.is_empty() {
+                self.faults.record_recovery(
+                    InjectionPoint::WorkerPanic,
+                    RecoveryAction::FellBackToFullTranslate,
+                    &format!(
+                        "warm round {round} lost {} of {n} tasks; \
+                         reverting to full pause-time translation",
+                        doomed.len()
+                    ),
+                );
+                return Ok(None);
+            }
+            let mut round_dirty = 0u64;
+            let mut dirty_ext: Vec<Vec<usize>> = Vec::with_capacity(n);
+            let mut delta_list = Vec::with_capacity(n);
+            for (k, &id) in ids.iter().enumerate() {
+                source.pause_vm(id)?;
+                let dirty = source.collect_dirty(id)?;
+                let uisr = source.save_uisr(machine, id)?;
+                source.resume_vm(id)?;
+                let wv = &mut vms[k];
+                wv.uisr = uisr;
+                dirty_ext.push(wv.dirty_extent_indices(&dirty));
+                round_dirty += dirty.len() as u64;
+                let (gb, vcpus, entries) = xlate_list[k];
+                delta_list.push((
+                    gb,
+                    vcpus,
+                    entries,
+                    dirty.len() as f64 / wv.total_pages.max(1) as f64,
+                ));
+            }
+            // Refresh only the dirty extents' partials, on the pool.
+            {
+                let machine_ref: &Machine = machine;
+                let vms_ref = &vms;
+                let dirty_ref = &dirty_ext;
+                let refreshed = wpool
+                    .map_indices(n, |k| {
+                        let wv = &vms_ref[k];
+                        let mut p = wv.partials.clone();
+                        machine_ref.ram().refresh_partials_with_pool(
+                            &wv.extents,
+                            &mut p,
+                            &dirty_ref[k],
+                            &WorkerPool::serial(),
+                        );
+                        p
+                    })
+                    .results;
+                for (wv, p) in vms.iter_mut().zip(refreshed) {
+                    wv.partials = p;
+                }
+            }
+            let smoothed = ewma.observe(round_dirty as f64);
+            let fraction = round_dirty as f64 / total_pages_all.max(1) as f64;
+            round_cost = self.cost.warm_translate(pool, &delta_list);
+            clock.advance(round_cost);
+            total += round_cost;
+            rounds.push(WarmRound {
+                tick_pages: tick,
+                dirty_pages: round_dirty,
+                dirty_fraction: fraction,
+                redirty_ewma: smoothed,
+                duration: round_cost,
+            });
+            if fraction <= self.incremental.stop_dirty_fraction {
+                break;
+            }
+            if let Some(prev) = prev_ewma {
+                if smoothed >= prev * (1.0 - self.incremental.min_improvement) {
+                    break;
+                }
+            }
+            prev_ewma = Some(smoothed);
+        }
+
+        // The workload kept running while the last refresh round worked;
+        // those pages land in the pause-time delta set.
+        let carryover_pages = (rate * round_cost.as_secs_f64()).round() as u64;
+        if carryover_pages > 0 {
+            for &id in ids {
+                source.guest_tick(machine, id, carryover_pages)?;
+            }
+        }
+        Ok(Some(WarmState {
+            vms,
+            total,
+            rounds,
+            carryover_pages,
+        }))
+    }
+
     /// Runs the full InPlaceTP workflow on `machine`, transplanting every
     /// VM from `source` onto a freshly booted `target` hypervisor.
     ///
@@ -326,6 +737,26 @@ impl<'r> InPlaceTransplant<'r> {
             pram_span = pram_cost;
         }
 
+        // Incremental warm translation (still pre-pause): snapshot every
+        // VM's UISR and checksum partials while the guests keep running,
+        // then refresh until the redirty rate converges. `None` when the
+        // optimization is off *or* a warm-round fault forced the fallback
+        // to full pause-time translation.
+        let wpool = self.worker_pool();
+        let warm: Option<WarmState> = if self.opts.incremental_translate {
+            self.warm_phase(
+                machine,
+                source.as_mut(),
+                &ids,
+                &xlate_list,
+                &pool,
+                &wpool,
+                &clock,
+            )?
+        } else {
+            None
+        };
+
         // ❷ Pause all VMs.
         for &id in &ids {
             source.pause_vm(id)?;
@@ -333,12 +764,29 @@ impl<'r> InPlaceTransplant<'r> {
         clock.advance(perf.cpu(self.cost.pause_ghz_s_per_vm * ids.len() as f64));
         let t_pause = clock.now();
 
+        // With a warm cache in hand, collect the final dirty sets now
+        // (dirty-log collection mutates the source, so it cannot run
+        // inside the pool closure below).
+        let final_dirty: Option<(Vec<Vec<usize>>, Vec<u64>)> = match &warm {
+            Some(w) => {
+                let mut dirty_ext = Vec::with_capacity(ids.len());
+                let mut dirty_pages = Vec::with_capacity(ids.len());
+                for (k, &id) in ids.iter().enumerate() {
+                    let dirty = source.collect_dirty(id)?;
+                    dirty_ext.push(w.vms[k].dirty_extent_indices(&dirty));
+                    dirty_pages.push(dirty.len() as u64);
+                }
+                Some((dirty_ext, dirty_pages))
+            }
+            None => None,
+        };
+
         // ❸ Translate VMi State to UISR — the §4.2.5 parallelization hot
         // path. Each VM's `save → to_uisr → encode` chain (plus its
         // pause-time integrity baseline) runs on its own worker of the real
         // thread pool; the pool returns results in VM order regardless of
         // worker count, so serial and parallel runs are byte-identical.
-        let wpool = self.worker_pool();
+        //
         // Worker-death faults are decided before dispatch so the fault log
         // stays deterministic; lost tasks are re-run inline by the
         // orchestrator (ReHype-style task-level microrecovery).
@@ -349,30 +797,62 @@ impl<'r> InPlaceTransplant<'r> {
             let source_ref: &dyn Hypervisor = source.as_ref();
             let machine_ref: &Machine = machine;
             let ids_ref = &ids;
+            let warm_ref = warm.as_ref();
+            let final_dirty_ref = final_dirty.as_ref();
             let (batch, retried) = wpool.map_indices_recovering(
                 ids.len(),
                 &doomed,
                 |i| -> Result<SavedVm, HtpError> {
                     let id = ids_ref[i];
                     let name = source_ref.vm_config(id)?.name.clone();
-                    let map = source_ref.guest_memory_map(id)?;
-                    let extents: Vec<_> = map.iter().map(|(_, e)| *e).collect();
-                    // Serial inner checksum: the per-VM tasks already
-                    // saturate the pool; nesting another fan-out here would
-                    // only oversubscribe the machine.
-                    let checksum = machine_ref
-                        .ram()
-                        .checksum_with_pool(&extents, &WorkerPool::serial());
-                    let uisr = source_ref.save_uisr(machine_ref, id)?;
-                    let mut blob = Vec::new();
-                    hypertp_uisr::codec::encode_into(&uisr, &mut blob);
-                    Ok(SavedVm {
-                        name,
-                        map,
-                        uisr,
-                        blob,
-                        checksum,
-                    })
+                    if let (Some(w), Some((dirty_ext, _))) = (warm_ref, final_dirty_ref) {
+                        // Dirty-delta finalize: refresh only the dirtied
+                        // extents' cached partials (instead of rehashing
+                        // every frame), recombine them into the integrity
+                        // baseline, and patch only the UISR sections the
+                        // final save shows changed over the warm snapshot.
+                        let wv = &w.vms[i];
+                        let mut partials = wv.partials.clone();
+                        machine_ref.ram().refresh_partials_with_pool(
+                            &wv.extents,
+                            &mut partials,
+                            &dirty_ext[i],
+                            &WorkerPool::serial(),
+                        );
+                        let checksum = combine_partials(&partials);
+                        let fresh = source_ref.save_uisr(machine_ref, id)?;
+                        let (uisr, patched_sections) = patch_uisr(&wv.uisr, fresh);
+                        let mut blob = Vec::new();
+                        hypertp_uisr::codec::encode_into(&uisr, &mut blob);
+                        Ok(SavedVm {
+                            name,
+                            map: wv.map.clone(),
+                            uisr,
+                            blob,
+                            checksum,
+                            patched_sections,
+                        })
+                    } else {
+                        let map = source_ref.guest_memory_map(id)?;
+                        let extents: Vec<_> = map.iter().map(|(_, e)| *e).collect();
+                        // Serial inner checksum: the per-VM tasks already
+                        // saturate the pool; nesting another fan-out here
+                        // would only oversubscribe the machine.
+                        let checksum = machine_ref
+                            .ram()
+                            .checksum_with_pool(&extents, &WorkerPool::serial());
+                        let uisr = source_ref.save_uisr(machine_ref, id)?;
+                        let mut blob = Vec::new();
+                        hypertp_uisr::codec::encode_into(&uisr, &mut blob);
+                        Ok(SavedVm {
+                            name,
+                            map,
+                            uisr,
+                            blob,
+                            checksum,
+                            patched_sections: 0,
+                        })
+                    }
                 },
             );
             (batch.results, retried)
@@ -425,9 +905,11 @@ impl<'r> InPlaceTransplant<'r> {
         // construction on the same pool.
         let mut builder = PramBuilder::new().with_pool(wpool);
         let mut uisr_bytes = 0u64;
+        let mut patched_sections = 0u64;
         for s in saved {
             builder.add_file(s.name.clone(), 0o600, s.map);
             uisr_bytes += s.blob.len() as u64;
+            patched_sections += s.patched_sections;
             uisr_store::store_blob(machine.ram_mut(), &mut builder, &s.name, &s.blob)?;
         }
         let handle = builder.write(machine.ram_mut())?;
@@ -435,7 +917,30 @@ impl<'r> InPlaceTransplant<'r> {
         // Past the micro-reboot there is no source hypervisor left to
         // rebuild from, so corruption must be caught *here*.
         let handle = self.verify_or_rebuild_pram(machine, source.as_ref(), handle, &wpool)?;
-        let translate_cost = self.cost.translate(&pool, &xlate_list);
+        // Blackout translation cost: with a warm cache, only the dirtied
+        // slices are re-translated (per-vCPU serialization and the
+        // host-wide sweep are irreducible); otherwise the full per-VM
+        // chain lands inside the pause window.
+        let (translate_cost, delta_translate, dirty_fraction) = match (&warm, &final_dirty) {
+            (Some(w), Some((_, dirty_pages))) => {
+                let delta_list: Vec<(f64, u32, u64, f64)> = xlate_list
+                    .iter()
+                    .zip(dirty_pages.iter().zip(&w.vms))
+                    .map(|(&(gb, vcpus, entries), (&dp, wv))| {
+                        (gb, vcpus, entries, dp as f64 / wv.total_pages.max(1) as f64)
+                    })
+                    .collect();
+                let cost = self.cost.delta_translate(&pool, &delta_list);
+                let total_dirty: u64 = dirty_pages.iter().sum();
+                let total_pages: u64 = w.vms.iter().map(|v| v.total_pages).sum();
+                (cost, cost, total_dirty as f64 / total_pages.max(1) as f64)
+            }
+            _ => (
+                self.cost.translate(&pool, &xlate_list),
+                SimDuration::ZERO,
+                1.0,
+            ),
+        };
         clock.advance(translate_cost);
         let translation_span = if self.opts.prepare_before_pause {
             translate_cost
@@ -561,6 +1066,10 @@ impl<'r> InPlaceTransplant<'r> {
         let measured_downtime = t_resumed.duration_since(t_pause);
         debug_assert!(measured_downtime >= translation_span + reboot_cost + restore_cost);
 
+        let (warm_translate, warm_rounds, warm_carryover_pages) = match warm {
+            Some(w) => (w.total, w.rounds, w.carryover_pages),
+            None => (SimDuration::ZERO, Vec::new(), 0),
+        };
         let report = InPlaceReport {
             vm_count: ids.len(),
             device_prepare,
@@ -573,6 +1082,12 @@ impl<'r> InPlaceTransplant<'r> {
             uisr_bytes,
             scrubbed_frames: scrubbed,
             warnings,
+            warm_translate,
+            delta_translate,
+            dirty_fraction,
+            warm_rounds,
+            warm_carryover_pages,
+            patched_sections,
         };
         Ok((target_hv, report))
     }

@@ -35,7 +35,7 @@ pub mod vm;
 
 pub use error::HtpError;
 pub use hypervisor::{Hypervisor, HypervisorKind, RestoredVm};
-pub use inplace::{InPlaceReport, InPlaceTransplant, Optimizations};
+pub use inplace::{InPlaceReport, InPlaceTransplant, IncrementalConfig, Optimizations, WarmRound};
 pub use memsep::{MemSepReport, StateCategory};
 pub use recovery::{migrate_or_inplace, migration_error_is_recoverable, FallbackOutcome};
 pub use registry::HypervisorRegistry;

@@ -57,6 +57,14 @@ pub fn migration_error_is_recoverable(err: &HtpError) -> bool {
 ///
 /// Non-recoverable migration errors and in-place errors propagate
 /// unchanged.
+///
+/// Because a recoverable failure leaves the source VMs *running*, the
+/// fallback closure may use the incremental pre-pause path
+/// ([`crate::Optimizations::incremental_translate`]): the warm UISR
+/// snapshot happens after the fallback decision but before the blackout,
+/// so a host that just lost its migration window still gets the shortened
+/// in-place downtime. `tests/incremental_translate.rs` exercises this
+/// chain end to end.
 pub fn migrate_or_inplace<M, I>(
     faults: &FaultPlan,
     host: &str,

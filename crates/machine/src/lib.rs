@@ -25,5 +25,5 @@ pub mod spec;
 
 pub use addr::{Extent, Gfn, Mfn, PageOrder, GIB, HUGE_PAGE_SIZE, PAGE_SIZE};
 pub use machine::{KexecImage, Machine, NicState};
-pub use ram::{MemError, PhysicalMemory};
+pub use ram::{combine_partials, MemError, PhysicalMemory};
 pub use spec::MachineSpec;

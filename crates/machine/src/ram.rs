@@ -276,27 +276,68 @@ impl PhysicalMemory {
     /// [`PhysicalMemory::checksum`] on an explicit worker pool. Serial and
     /// parallel runs return identical values for the same extents.
     pub fn checksum_with_pool(&self, extents: &[Extent], pool: &hypertp_sim::WorkerPool) -> u64 {
+        combine_partials(&self.extent_partials_with_pool(extents, pool))
+    }
+
+    /// Computes the per-extent partial hashes that
+    /// [`combine_partials`] folds into the final checksum. The returned
+    /// vector is indexed like `extents`, so callers can cache it and later
+    /// recompute only the partials of extents whose frames were redirtied
+    /// ([`PhysicalMemory::refresh_partials_with_pool`]) instead of rehashing
+    /// every frame — the incremental-translate fast path.
+    pub fn extent_partials_with_pool(
+        &self,
+        extents: &[Extent],
+        pool: &hypertp_sim::WorkerPool,
+    ) -> Vec<u64> {
         // Fan out only when the work amortizes thread spawn: below ~128 MiB
         // of frames the serial loop wins.
         const PAR_THRESHOLD_FRAMES: u64 = 1 << 15;
         let total: u64 = extents.iter().map(|e| e.pages()).sum();
-        let partials: Vec<u64> =
-            if pool.workers() <= 1 || extents.len() <= 1 || total < PAR_THRESHOLD_FRAMES {
-                extents.iter().map(|e| self.extent_partial(e)).collect()
-            } else {
-                pool.map_indices(extents.len(), |i| self.extent_partial(&extents[i]))
-                    .results
-            };
-        let mut acc = 0xcbf2_9ce4_8422_2325u64;
-        for p in partials {
-            acc = acc.rotate_left(17) ^ p.wrapping_mul(0x1000_0000_01b3);
+        if pool.workers() <= 1 || extents.len() <= 1 || total < PAR_THRESHOLD_FRAMES {
+            extents.iter().map(|e| self.extent_partial(e)).collect()
+        } else {
+            pool.map_indices(extents.len(), |i| self.extent_partial(&extents[i]))
+                .results
         }
-        acc
+    }
+
+    /// Recomputes the cached partials of the extents named by `dirty`
+    /// (indices into `extents`), leaving every clean extent's partial
+    /// untouched. Combined with [`combine_partials`], this reproduces the
+    /// exact value [`PhysicalMemory::checksum_with_pool`] would compute from
+    /// scratch while only rehashing the dirtied extents.
+    pub fn refresh_partials_with_pool(
+        &self,
+        extents: &[Extent],
+        partials: &mut [u64],
+        dirty: &[usize],
+        pool: &hypertp_sim::WorkerPool,
+    ) {
+        assert_eq!(
+            extents.len(),
+            partials.len(),
+            "partials cache must be indexed like extents"
+        );
+        const PAR_THRESHOLD_FRAMES: u64 = 1 << 15;
+        let total: u64 = dirty.iter().map(|&i| extents[i].pages()).sum();
+        if pool.workers() <= 1 || dirty.len() <= 1 || total < PAR_THRESHOLD_FRAMES {
+            for &i in dirty {
+                partials[i] = self.extent_partial(&extents[i]);
+            }
+        } else {
+            let fresh = pool
+                .map_indices(dirty.len(), |k| self.extent_partial(&extents[dirty[k]]))
+                .results;
+            for (&i, p) in dirty.iter().zip(fresh) {
+                partials[i] = p;
+            }
+        }
     }
 
     /// Order-dependent fold over one extent's content words — the unit of
     /// parallelism for [`PhysicalMemory::checksum_with_pool`].
-    fn extent_partial(&self, e: &Extent) -> u64 {
+    pub fn extent_partial(&self, e: &Extent) -> u64 {
         let mut acc = 0xcbf2_9ce4_8422_2325u64;
         for mfn in e.frames() {
             let c = self.frames[mfn.0 as usize].content;
@@ -304,6 +345,20 @@ impl PhysicalMemory {
         }
         acc
     }
+}
+
+/// Folds per-extent partial hashes (in extent order) into the final
+/// checksum — the combining step of [`PhysicalMemory::checksum_with_pool`],
+/// exposed so cached partials can be recombined after a dirty-extent
+/// refresh without touching frame contents. The combiner is defined only
+/// by the partial values and their order, never by the worker count that
+/// produced them.
+pub fn combine_partials(partials: &[u64]) -> u64 {
+    let mut acc = 0xcbf2_9ce4_8422_2325u64;
+    for &p in partials {
+        acc = acc.rotate_left(17) ^ p.wrapping_mul(0x1000_0000_01b3);
+    }
+    acc
 }
 
 /// FNV-1a-style hash of a byte slice (content word for byte-backed
@@ -475,6 +530,62 @@ mod tests {
             );
         }
         assert_eq!(serial, ram.checksum(&extents));
+    }
+
+    #[test]
+    fn refreshed_partials_recombine_to_full_checksum() {
+        let mut ram = PhysicalMemory::new(1 << 14);
+        let extents: Vec<Extent> = (0..16).map(|_| ram.alloc(PageOrder(6)).unwrap()).collect();
+        for e in &extents {
+            for mfn in e.frames() {
+                ram.write(mfn, mfn.0.wrapping_mul(0x9e37)).unwrap();
+            }
+        }
+        let pool = hypertp_sim::WorkerPool::serial();
+        let mut partials = ram.extent_partials_with_pool(&extents, &pool);
+        assert_eq!(
+            combine_partials(&partials),
+            ram.checksum_with_pool(&extents, &pool)
+        );
+        // Dirty two extents, refresh only those partials: the recombined
+        // value must match a from-scratch checksum.
+        for &i in &[3usize, 11] {
+            ram.write(extents[i].base, 0xfeed + i as u64).unwrap();
+        }
+        ram.refresh_partials_with_pool(&extents, &mut partials, &[3, 11], &pool);
+        assert_eq!(
+            combine_partials(&partials),
+            ram.checksum_with_pool(&extents, &pool)
+        );
+    }
+
+    #[test]
+    fn partials_serial_and_pooled_agree_on_fragmented_layouts() {
+        // Regression: the translate hot path reuses pooled partials; they
+        // must equal the serial fold on a fragmented (mixed-order,
+        // interleaved) extent layout, for any worker count.
+        let mut ram = PhysicalMemory::new(1 << 17);
+        let mut extents = Vec::new();
+        for i in 0..96u64 {
+            let order = PageOrder((i % 4 + 6) as u8); // 64..512-page extents
+            let e = ram.alloc(order).unwrap();
+            for mfn in e.frames() {
+                ram.write(mfn, mfn.0.rotate_left((i % 13) as u32) ^ i)
+                    .unwrap();
+            }
+            extents.push(e);
+            if i % 3 == 0 {
+                // Punch holes so later allocations fragment.
+                let hole = ram.alloc(PageOrder(5)).unwrap();
+                ram.free(hole).unwrap();
+            }
+        }
+        let serial = ram.extent_partials_with_pool(&extents, &hypertp_sim::WorkerPool::serial());
+        assert_eq!(combine_partials(&serial), ram.checksum(&extents));
+        for w in [2usize, 3, 8, 16] {
+            let pooled = ram.extent_partials_with_pool(&extents, &hypertp_sim::WorkerPool::new(w));
+            assert_eq!(serial, pooled, "workers={w}");
+        }
     }
 
     #[test]

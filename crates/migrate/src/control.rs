@@ -303,6 +303,19 @@ pub enum FleetOrder {
     /// first, which minimises mean downtime behind a sequential receiver
     /// and drains the fleet's exposure window fastest.
     ShortestPredictedFirst,
+    /// [`FleetOrder::ShortestPredictedFirst`] with feedback: after every
+    /// completed migration the scheduler folds the *observed* dirty rate
+    /// and wire compression into fleet-level EWMA estimators
+    /// ([`ControlConfig::ewma_alpha`]) and re-runs [`predict_migration`]
+    /// over the still-waiting VMs before picking the next admission. The
+    /// cold-start prediction only governs the first pick; everything after
+    /// is ordered by warmed estimates, so a mis-calibrated
+    /// [`FleetPolicy::compression_hint`] or stale dirty-rate profile
+    /// corrects itself within a couple of admissions. The admission-time
+    /// predictions are reported in
+    /// [`crate::engine::FleetReport::admission_predictions`] for
+    /// predicted-vs-actual telemetry.
+    Repredict,
 }
 
 impl FleetOrder {
@@ -311,6 +324,7 @@ impl FleetOrder {
         match self {
             FleetOrder::Fifo => "fifo",
             FleetOrder::ShortestPredictedFirst => "spdf",
+            FleetOrder::Repredict => "repredict",
         }
     }
 }

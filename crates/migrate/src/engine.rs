@@ -3,7 +3,7 @@
 use hypertp_core::{HtpError, Hypervisor, HypervisorKind, VmId};
 use hypertp_machine::{Extent, Gfn, Machine, PAGE_SIZE};
 use hypertp_sim::fault::{FaultPlan, InjectionPoint, RecoveryAction};
-use hypertp_sim::{CostModel, SimDuration, SimTime, WorkerPool};
+use hypertp_sim::{CostModel, Ewma, SimDuration, SimTime, WorkerPool};
 
 use crate::control::{
     predict_migration, ControlConfig, FleetOrder, FleetPolicy, FleetVm, MigrationPrediction,
@@ -1037,9 +1037,16 @@ pub struct FleetReport {
     /// Per-VM reports, **in input order** (downtime/total reflect the
     /// fleet schedule, measured from the fleet start).
     pub reports: Vec<MigrationReport>,
-    /// The scheduler's per-VM predictions, in input order
+    /// The scheduler's cold-start per-VM predictions, in input order
     /// (predicted-vs-actual telemetry).
     pub predictions: Vec<MigrationPrediction>,
+    /// The prediction in force when each VM was actually admitted, in
+    /// input order. Equal to [`FleetReport::predictions`] under
+    /// [`FleetOrder::Fifo`] and [`FleetOrder::ShortestPredictedFirst`];
+    /// under [`FleetOrder::Repredict`] these are the warmed re-predictions
+    /// the scheduler ordered by, so comparing them against the actuals
+    /// shows how much the feedback loop tightened the estimates.
+    pub admission_predictions: Vec<MigrationPrediction>,
     /// Policy the fleet ran under.
     pub policy: FleetPolicy,
     /// Admission order chosen by the scheduler (indices into the input).
@@ -1072,6 +1079,42 @@ impl FleetReport {
     /// Total wire bytes across the fleet.
     pub fn total_bytes(&self) -> u64 {
         self.reports.iter().map(|r| r.bytes_sent).sum()
+    }
+
+    /// Actual pre-copy duration of VM `i`: the sum of its round times
+    /// (schedule-independent, unlike [`MigrationReport::total`]).
+    pub fn actual_precopy(&self, i: usize) -> SimDuration {
+        self.reports[i]
+            .rounds
+            .iter()
+            .map(|r| r.duration)
+            .sum::<SimDuration>()
+    }
+
+    /// Per-VM signed relative error (%) of the admission-time predicted
+    /// pre-copy duration against the actual one: positive means the
+    /// scheduler over-predicted. The predicted-vs-actual telemetry the
+    /// [`FleetOrder::Repredict`] feedback loop is judged by.
+    pub fn precopy_error_pct(&self) -> Vec<f64> {
+        (0..self.reports.len())
+            .map(|i| {
+                let actual = self.actual_precopy(i).as_secs_f64();
+                if actual <= 0.0 {
+                    return 0.0;
+                }
+                let predicted = self.admission_predictions[i].precopy.as_secs_f64();
+                (predicted - actual) / actual * 100.0
+            })
+            .collect()
+    }
+
+    /// Mean absolute pre-copy prediction error (%), across the fleet.
+    pub fn mean_abs_precopy_error_pct(&self) -> f64 {
+        let errs = self.precopy_error_pct();
+        if errs.is_empty() {
+            return 0.0;
+        }
+        errs.iter().map(|e| e.abs()).sum::<f64>() / errs.len() as f64
     }
 }
 
@@ -1113,14 +1156,20 @@ pub fn migrate_fleet(
     let perf = src_machine.spec().perf();
 
     // Predict every VM up front (input order): ordering + telemetry.
+    // `pred_inputs` keeps the per-VM (pages, base dirty rate, stop_fixed)
+    // triple so [`FleetOrder::Repredict`] can re-run the model later.
     let mut predictions = Vec::with_capacity(n);
+    let mut pred_inputs: Vec<(u64, f64, SimDuration)> = Vec::with_capacity(n);
     for vm in vms {
         let cfg = src_hv.vm_config(vm.id)?.clone();
         let stop_fixed = tp.cost.activate(dst_hv.kind().boot_target(), cfg.vcpus)
             + tp.config.link.transfer(UISR_BYTES_ALLOWANCE, sharers);
+        let pages = cfg.pages();
+        let base_rate = vm.dirty_rate.unwrap_or(tp.config.dirty_rate_pages_per_sec);
+        pred_inputs.push((pages, base_rate, stop_fixed));
         predictions.push(predict_migration(&PredictInput {
-            pages: cfg.pages(),
-            dirty_rate: vm.dirty_rate.unwrap_or(tp.config.dirty_rate_pages_per_sec),
+            pages,
+            dirty_rate: base_rate,
             config: &tp.config,
             sharers,
             perf,
@@ -1141,27 +1190,85 @@ pub fn migrate_fleet(
     // earliest-free slot.
     let mut phases: Vec<Option<(VmId, DataPhase, SimDuration)>> = (0..n).map(|_| None).collect();
     let mut slot_free = vec![SimDuration::ZERO; slots];
-    for &i in &admission {
-        let vm = vms[i];
-        let slot = slot_free
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &t)| t)
-            .map(|(s, _)| s)
-            .expect("slots >= 1 when vms is non-empty");
-        let start = slot_free[slot];
-        let phase = tp.migrate_data(
-            src_machine,
-            src_hv,
-            vm.id,
-            dst_machine,
-            dst_hv,
-            sharers,
-            SimDuration::ZERO,
-            vm.dirty_rate,
-        )?;
-        slot_free[slot] = start + phase.precopy;
-        phases[i] = Some((vm.id, phase, start));
+    let mut admission_predictions = predictions.clone();
+    if policy.order == FleetOrder::Repredict {
+        // Feedback admission: after each completed migration fold the
+        // observed dirty rate (as a scale against the configured rate)
+        // and wire compression into fleet-level EWMAs, re-predict the
+        // waiting VMs, and admit the one with the smallest re-predicted
+        // stop-and-copy (input index breaks ties — deterministic).
+        let alpha = tp.config.control.ewma_alpha;
+        let mut rate_scale = Ewma::new(alpha);
+        let mut compression = Ewma::new(alpha);
+        let mut remaining: Vec<usize> = (0..n).collect();
+        admission.clear();
+        while !remaining.is_empty() {
+            let mut best: Option<(SimDuration, usize, MigrationPrediction)> = None;
+            for &i in &remaining {
+                let (pages, base_rate, stop_fixed) = pred_inputs[i];
+                let pred = predict_migration(&PredictInput {
+                    pages,
+                    dirty_rate: base_rate * rate_scale.get_or(1.0),
+                    config: &tp.config,
+                    sharers,
+                    perf,
+                    ghz_s_per_page: tp.cost.migrate_ghz_s_per_page,
+                    round_overhead_s: tp.cost.migrate_round_overhead_s,
+                    compression_hint: compression.get_or(policy.compression_hint),
+                    stop_fixed,
+                });
+                let better = match &best {
+                    None => true,
+                    Some((stop, idx, _)) => (pred.stop_copy, i) < (*stop, *idx),
+                };
+                if better {
+                    best = Some((pred.stop_copy, i, pred));
+                }
+            }
+            let (_, i, pred) = best.expect("remaining is non-empty");
+            admission_predictions[i] = pred;
+            remaining.retain(|&j| j != i);
+            admission.push(i);
+            let vm = vms[i];
+            let (phase, start) = run_fleet_phase(
+                tp,
+                src_machine,
+                src_hv,
+                vm,
+                dst_machine,
+                dst_hv,
+                sharers,
+                &mut slot_free,
+            )?;
+            // Warm the estimators from the completed migration's last
+            // round (the per-migration controller observes even when
+            // inactive, so the telemetry is always populated).
+            if let Some(last) = phase.report.rounds.last() {
+                let (_, base_rate, _) = pred_inputs[i];
+                if base_rate > 0.0 && last.dirty_rate_est > 0.0 {
+                    rate_scale.observe(last.dirty_rate_est / base_rate);
+                }
+                if last.compression_est > 0.0 {
+                    compression.observe(last.compression_est);
+                }
+            }
+            phases[i] = Some((vm.id, phase, start));
+        }
+    } else {
+        for &i in &admission {
+            let vm = vms[i];
+            let (phase, start) = run_fleet_phase(
+                tp,
+                src_machine,
+                src_hv,
+                vm,
+                dst_machine,
+                dst_hv,
+                sharers,
+                &mut slot_free,
+            )?;
+            phases[i] = Some((vm.id, phase, start));
+        }
     }
 
     // Schedule the receive side: stop-and-copies queue on a sequential
@@ -1206,10 +1313,47 @@ pub fn migrate_fleet(
     Ok(FleetReport {
         reports: out.into_iter().map(|r| r.expect("all scheduled")).collect(),
         predictions,
+        admission_predictions,
         policy,
         admission,
         makespan,
     })
+}
+
+/// Runs one fleet member's data phase on the earliest-free slot and
+/// advances that slot's clock. Shared by the static (FIFO/SPDF) and
+/// feedback ([`FleetOrder::Repredict`]) admission loops so both schedule
+/// identically given the same admission order.
+#[allow(clippy::too_many_arguments)]
+fn run_fleet_phase(
+    tp: &MigrationTp,
+    src_machine: &mut Machine,
+    src_hv: &mut dyn Hypervisor,
+    vm: FleetVm,
+    dst_machine: &mut Machine,
+    dst_hv: &mut dyn Hypervisor,
+    sharers: u32,
+    slot_free: &mut [SimDuration],
+) -> Result<(DataPhase, SimDuration), HtpError> {
+    let slot = slot_free
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, &t)| t)
+        .map(|(s, _)| s)
+        .expect("slots >= 1 when vms is non-empty");
+    let start = slot_free[slot];
+    let phase = tp.migrate_data(
+        src_machine,
+        src_hv,
+        vm.id,
+        dst_machine,
+        dst_hv,
+        sharers,
+        SimDuration::ZERO,
+        vm.dirty_rate,
+    )?;
+    slot_free[slot] = start + phase.precopy;
+    Ok((phase, start))
 }
 
 /// Migrates several VMs from one host to another, reproducing §5.2.2's
@@ -1802,6 +1946,100 @@ mod tests {
         // VM's long pre-copy even ends, so their downtime stays small.
         assert!(fleet.reports[1].downtime < fleet.reports[0].downtime);
         assert!(fleet.reports[2].downtime < fleet.reports[0].downtime);
+    }
+
+    #[test]
+    fn fleet_repredict_orders_like_spdf_and_warms_its_predictions() {
+        // Same fleet as the SPDF test: the cold pick must agree (idle VMs
+        // first), and every admission after the first must be ordered by
+        // *re-predicted* stop-copy with estimators warmed by the finished
+        // migrations — recorded in `admission_predictions`.
+        let run = || {
+            let (mut src_m, mut dst_m) = pair();
+            let mut src = SimpleHv::new(HypervisorKind::Xen);
+            let mut dst = SimpleHv::new(HypervisorKind::Xen);
+            let ids: Vec<VmId> = (0..3)
+                .map(|i| {
+                    src.create_vm(&mut src_m, &VmConfig::small(format!("vm{i}")))
+                        .unwrap()
+                })
+                .collect();
+            let tp = MigrationTp::new();
+            let vms = vec![
+                FleetVm::with_dirty_rate(ids[0], 1e6),
+                FleetVm::with_dirty_rate(ids[1], 1.0),
+                FleetVm::with_dirty_rate(ids[2], 1.0),
+            ];
+            migrate_fleet(
+                &tp,
+                &mut src_m,
+                &mut src,
+                &vms,
+                &mut dst_m,
+                &mut dst,
+                FleetPolicy {
+                    order: FleetOrder::Repredict,
+                    max_concurrent: 0,
+                    compression_hint: 1.0,
+                },
+            )
+            .unwrap()
+        };
+        let fleet = run();
+        assert_eq!(fleet.admission, vec![1, 2, 0], "idle VMs still first");
+        assert_eq!(fleet.policy.order, FleetOrder::Repredict);
+        // The first admission ran on the cold prediction; the later ones
+        // on warmed estimates (which may differ from the cold model).
+        assert_eq!(fleet.admission_predictions[1], fleet.predictions[1]);
+        assert_eq!(fleet.admission_predictions.len(), 3);
+        // Telemetry is well-formed: one signed error per VM, finite mean.
+        let errs = fleet.precopy_error_pct();
+        assert_eq!(errs.len(), 3);
+        assert!(fleet.mean_abs_precopy_error_pct().is_finite());
+        // Deterministic: the same fleet re-runs identically.
+        let again = run();
+        assert_eq!(again.admission, fleet.admission);
+        assert_eq!(again.makespan, fleet.makespan);
+        assert_eq!(again.admission_predictions, fleet.admission_predictions);
+    }
+
+    #[test]
+    fn fleet_static_orders_report_cold_predictions_at_admission() {
+        let (mut src_m, mut dst_m) = pair();
+        let mut src = SimpleHv::new(HypervisorKind::Xen);
+        let mut dst = SimpleHv::new(HypervisorKind::Kvm);
+        let ids: Vec<VmId> = (0..2)
+            .map(|i| {
+                src.create_vm(&mut src_m, &VmConfig::small(format!("vm{i}")))
+                    .unwrap()
+            })
+            .collect();
+        let tp = MigrationTp::new().with_config(MigrationConfig {
+            dirty_rate_pages_per_sec: 500.0,
+            ..MigrationConfig::default()
+        });
+        let vms: Vec<FleetVm> = ids.iter().map(|&id| FleetVm::new(id)).collect();
+        let fleet = migrate_fleet(
+            &tp,
+            &mut src_m,
+            &mut src,
+            &vms,
+            &mut dst_m,
+            &mut dst,
+            FleetPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            fleet.admission_predictions, fleet.predictions,
+            "static orders never re-predict"
+        );
+        // The analytic model replays the engine's round loop, so under
+        // raw wire + static control the predictions are near-exact.
+        assert!(
+            fleet.mean_abs_precopy_error_pct() < 5.0,
+            "error = {}%",
+            fleet.mean_abs_precopy_error_pct()
+        );
     }
 
     #[test]

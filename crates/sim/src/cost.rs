@@ -245,6 +245,74 @@ impl CostModel {
         serial + parallel
     }
 
+    /// Elapsed time of one *warm* translation pass over a set of VMs while
+    /// they keep running (the incremental-translate pre-pause phase).
+    ///
+    /// `vms` is `(guest_gb, vcpus, entries, fraction)` where `fraction` is
+    /// the share of the VM's state this pass re-translates (1.0 for the
+    /// initial snapshot, the redirty ratio for refresh rounds). The work is
+    /// the same per-VM translation task as [`CostModel::translate`] scaled
+    /// by `fraction` — but it runs *below the time axis*: no host-wide
+    /// serial sweep (that only happens once, at pause) and no guest pause.
+    pub fn warm_translate(&self, perf: &MachinePerf, vms: &[(f64, u32, u64, f64)]) -> SimDuration {
+        let tasks: Vec<SimDuration> = vms
+            .iter()
+            .map(|&(gb, vcpus, entries, fraction)| {
+                perf.cpu(
+                    self.translate_ghz_s_per_vcpu * vcpus as f64
+                        + (self.translate_ghz_s_per_gb * gb
+                            + self.translate_ghz_s_per_entry * entries as f64)
+                            * fraction.clamp(0.0, 1.0),
+                )
+            })
+            .collect();
+        par::makespan(&tasks, perf.worker_threads())
+    }
+
+    /// Elapsed time of the *delta* translation phase (VMs paused) after an
+    /// incremental warm phase left per-VM UISR snapshots and per-extent
+    /// checksum partials behind.
+    ///
+    /// `vms` is `(guest_gb, vcpus, entries, dirty_fraction)`: only the
+    /// dirtied fraction of the per-GB and per-entry work is redone inside
+    /// the blackout, and the host-wide serial sweep (final P2M pass)
+    /// skips clean ranges whose warm-cached translations are still valid,
+    /// so it scales with the memory-weighted mean dirty share. Only the
+    /// per-vCPU platform serialization and the fixed base cost are
+    /// irreducible. With `dirty_fraction = 1.0` for every VM this equals
+    /// [`CostModel::translate`] exactly — the fallback path.
+    pub fn delta_translate(&self, perf: &MachinePerf, vms: &[(f64, u32, u64, f64)]) -> SimDuration {
+        let tasks: Vec<SimDuration> = vms
+            .iter()
+            .map(|&(gb, vcpus, entries, dirty)| {
+                perf.cpu(
+                    self.translate_ghz_s_per_vcpu * vcpus as f64
+                        + (self.translate_ghz_s_per_gb * gb
+                            + self.translate_ghz_s_per_entry * entries as f64)
+                            * dirty.clamp(0.0, 1.0),
+                )
+            })
+            .collect();
+        let parallel = par::makespan(&tasks, perf.worker_threads());
+        // The sweep walks per-frame metadata; dirty logging lets it skip
+        // every clean frame, so it scales with the overall dirty share of
+        // guest memory (gb-weighted across VMs).
+        let total_gb: f64 = vms.iter().map(|v| v.0).sum();
+        let mean_dirty = if total_gb > 0.0 {
+            vms.iter()
+                .map(|&(gb, _, _, d)| gb * d.clamp(0.0, 1.0))
+                .sum::<f64>()
+                / total_gb
+        } else {
+            1.0
+        };
+        let serial = perf.cpu(self.translate_base_ghz_s)
+            + SimDuration::from_secs_f64(
+                self.translate_s_per_host_gb * perf.host_ram_gb * mean_dirty,
+            );
+        serial + parallel
+    }
+
     /// Elapsed time of the micro-reboot into `target`, including the
     /// sequential early-boot PRAM parse over `total_entries` entries
     /// covering `total_guest_gb` of guest memory.
@@ -407,6 +475,55 @@ mod tests {
                 + m.restore(&perf, &[(1.0, 1)], true);
             assert!(close(d, target, tol), "downtime = {d}, want {target}");
         }
+    }
+
+    #[test]
+    fn delta_translate_full_dirty_equals_translate() {
+        let m = CostModel::paper_calibrated();
+        let full = m.translate(&m1(), &[(1.0, 1, ENTRIES_1GB)]);
+        let delta = m.delta_translate(&m1(), &[(1.0, 1, ENTRIES_1GB, 1.0)]);
+        assert_eq!(full, delta);
+    }
+
+    #[test]
+    fn delta_translate_scales_with_dirty_fraction() {
+        let m = CostModel::paper_calibrated();
+        // A large VM with a small dirty set must translate much faster than
+        // from scratch, but never below the irreducible base + vCPU terms.
+        let full = m.delta_translate(&m1(), &[(12.0, 4, 512 * 12, 1.0)]);
+        let dirty10 = m.delta_translate(&m1(), &[(12.0, 4, 512 * 12, 0.1)]);
+        let clean = m.delta_translate(&m1(), &[(12.0, 4, 512 * 12, 0.0)]);
+        assert!(dirty10 < full, "10% dirty {dirty10} vs full {full}");
+        assert!(clean < dirty10);
+        // The host-wide sweep skips clean frames, but the base cost and
+        // the per-vCPU serialization never go away.
+        let floor = m1()
+            .cpu(m.translate_base_ghz_s + m.translate_ghz_s_per_vcpu * 4.0)
+            .as_secs_f64();
+        assert!(clean.as_secs_f64() >= floor - 1e-12);
+        // At 10% dirty the sweep contributes 10% of its full cost.
+        let sweep = m.translate_s_per_host_gb * m1().host_ram_gb;
+        let expected_sweep_cut = sweep * 0.9;
+        let modeled_cut = full.as_secs_f64() - dirty10.as_secs_f64();
+        assert!(
+            modeled_cut > expected_sweep_cut,
+            "cut {modeled_cut} must include 90% of the {sweep} sweep"
+        );
+    }
+
+    #[test]
+    fn warm_translate_has_no_serial_sweep() {
+        let m = CostModel::paper_calibrated();
+        // A warm pass at the same fraction is strictly cheaper than the
+        // paused delta pass: it skips the host-wide serial term.
+        let warm = m.warm_translate(&m1(), &[(1.0, 1, ENTRIES_1GB, 1.0)]);
+        let paused = m.delta_translate(&m1(), &[(1.0, 1, ENTRIES_1GB, 1.0)]);
+        assert!(warm < paused);
+        assert_eq!(
+            paused - warm,
+            m1().cpu(m.translate_base_ghz_s)
+                + SimDuration::from_secs_f64(m.translate_s_per_host_gb * m1().host_ram_gb)
+        );
     }
 
     #[test]

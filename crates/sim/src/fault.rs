@@ -123,6 +123,10 @@ pub enum RecoveryAction {
     /// The migration path was abandoned and the VM was transplanted
     /// in place instead (MigrationTP → InPlaceTP fallback).
     FellBackToInPlace,
+    /// The incremental warm-translate phase was abandoned after a fault
+    /// and the transplant completed via the full pause-time translation
+    /// path instead (InPlaceTP incremental → full fallback).
+    FellBackToFullTranslate,
     /// A failed host was put back on the campaign queue for another try.
     RequeuedHost,
     /// A host exhausted its retries and was excluded from the campaign;
@@ -154,6 +158,7 @@ impl RecoveryAction {
             RecoveryAction::RebuiltPram => "rebuilt_pram",
             RecoveryAction::TaskRetriedInline => "task_retried_inline",
             RecoveryAction::FellBackToInPlace => "fell_back_to_inplace",
+            RecoveryAction::FellBackToFullTranslate => "fell_back_to_full_translate",
             RecoveryAction::RequeuedHost => "requeued_host",
             RecoveryAction::ExcludedHost => "excluded_host",
             RecoveryAction::AbsorbedLatency => "absorbed_latency",

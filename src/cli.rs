@@ -236,6 +236,7 @@ fn run_transplant(cmd: &Command) -> Result<String, CliError> {
         parallel: !cmd.options.contains_key("no-parallel"),
         early_restoration: !cmd.options.contains_key("no-early-restore"),
         strict_preflight: cmd.options.contains_key("strict"),
+        incremental_translate: cmd.options.contains_key("incremental"),
     };
     let registry = crate::default_registry();
     let mut machine = Machine::new(spec);

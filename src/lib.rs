@@ -57,7 +57,7 @@ pub fn default_registry() -> HypervisorRegistry {
 pub mod prelude {
     pub use hypertp_core::{
         Hypervisor, HypervisorKind, HypervisorRegistry, InPlaceReport, InPlaceTransplant,
-        Optimizations, VmConfig, VmId, VmState,
+        IncrementalConfig, Optimizations, VmConfig, VmId, VmState,
     };
     pub use hypertp_kvm::KvmHypervisor;
     pub use hypertp_machine::{Gfn, Machine, MachineSpec};
