@@ -71,6 +71,17 @@ INPLACE_SMOKE_OUT="${gate_dir}/inplace.json" \
 cargo run -q --release --offline -p hypertp-bench --bin perf_gate -- \
   inplace BENCH_inplace.json "${gate_dir}/inplace.json"
 
+echo "== campaign gate (scaling exponent + sharded identity floors) =="
+# campaign_smoke sweeps synthetic fleets 1k→10k hosts; the fresh artifact
+# must meet the committed BENCH_campaign.json floors: fitted plan+exec
+# scaling exponent under the ceiling, sharded execution beating the
+# per-host-evaluation baseline at 1k hosts, and byte-identical reports
+# across shard/worker counts.
+CAMPAIGN_SMOKE_OUT="${gate_dir}/campaign.json" \
+  cargo run -q --release --offline -p hypertp-bench --bin campaign_smoke
+cargo run -q --release --offline -p hypertp-bench --bin perf_gate -- \
+  campaign BENCH_campaign.json "${gate_dir}/campaign.json"
+
 echo "== examples (keep them compiling *and* running) =="
 for example in quickstart migration_vs_inplace datacenter_upgrade vulnerability_response; do
   echo "-- example: ${example} --"

@@ -7,6 +7,7 @@
 //! perf_gate wire     <committed BENCH_wire.json>     <perf_smoke run 1> [...]
 //! perf_gate adaptive <committed BENCH_adaptive.json> <adaptive_smoke run 1> [...]
 //! perf_gate inplace  <committed BENCH_inplace.json>  <inplace_smoke run 1> [...]
+//! perf_gate campaign <committed BENCH_campaign.json> <campaign_smoke run 1> [...]
 //! perf_gate <committed BENCH_wire.json> <perf_smoke run...>   # legacy = wire
 //! ```
 //!
@@ -50,9 +51,25 @@
 //!    hot cut by more than one point (idle guests must benefit at least
 //!    as much as hot ones — the warm loop's best case).
 //!
+//! **campaign**: CI runs `campaign_smoke` (the 1k→10k-host sharded
+//! campaign-engine sweep) and hands the fresh artifact(s) here with the
+//! committed `BENCH_campaign.json`. A run fails when:
+//!
+//! 1. any `identical`-suffixed field is not `"true"` — this covers the
+//!    baseline-vs-memoized report identity, the shard×worker identity,
+//!    the deterministic rerun, and the campaign shard identity,
+//! 2. `scaling.fitted_exponent` exceeds the committed
+//!    `scaling_exponent_ceiling` (plan+exec stopped scaling
+//!    near-linearly with fleet size), or
+//! 3. `sharded_1k.speedup` falls below the committed `speedup_floor`
+//!    (the sharded engine stopped beating the per-host-evaluation
+//!    baseline at 1k hosts).
+//!
 //! The gate deliberately ignores wall-clock fields: CI machines are too
 //! noisy for absolute-time floors, but correctness, compression, and
-//! *simulated* time are deterministic.
+//! *simulated* time are deterministic. (The campaign mode's exponent and
+//! speedup are *ratios* of wall times measured in one process — scale
+//! cancels, only the shape is gated, with wide committed margins.)
 
 use std::process::ExitCode;
 
@@ -298,11 +315,69 @@ fn gate_inplace(committed: &str, runs: &[String]) -> Vec<String> {
     violations
 }
 
+fn gate_campaign(committed: &str, runs: &[String]) -> Vec<String> {
+    let mut violations = Vec::new();
+    let base = match load(committed) {
+        Ok(j) => j,
+        Err(e) => return vec![e],
+    };
+    let Some(ceiling) = base.get("scaling_exponent_ceiling").and_then(Json::as_f64) else {
+        return vec![format!("{committed}: missing scaling_exponent_ceiling")];
+    };
+    let Some(speedup_floor) = base.get("speedup_floor").and_then(Json::as_f64) else {
+        return vec![format!("{committed}: missing speedup_floor")];
+    };
+
+    for path in runs {
+        let run = match load(path) {
+            Ok(j) => j,
+            Err(e) => {
+                violations.push(e);
+                continue;
+            }
+        };
+        let before = violations.len();
+        let n = check_identity(path, &run, &mut violations);
+
+        let exponent = get_f64(path, &run, "scaling.fitted_exponent", &mut violations);
+        if let Some(exp) = exponent {
+            if exp > ceiling {
+                violations.push(format!(
+                    "{path}: fitted scaling exponent {exp:.3} above committed ceiling \
+                     {ceiling:.2} — plan+exec stopped scaling near-linearly"
+                ));
+            }
+        }
+        let speedup = get_f64(path, &run, "sharded_1k.speedup", &mut violations);
+        let workers = get_f64(path, &run, "sharded_1k.workers", &mut violations);
+        if let (Some(speedup), Some(workers)) = (speedup, workers) {
+            // The floor covers the single-core algorithmic win (the
+            // class memo); with extra workers the thread win must at
+            // least not reverse it.
+            if speedup < speedup_floor {
+                violations.push(format!(
+                    "{path}: sharded 1k-host speedup {speedup:.2}x below committed floor \
+                     {speedup_floor:.2}x (workers={workers})"
+                ));
+            }
+        }
+        if violations.len() == before {
+            println!(
+                "perf_gate: {path}: {n} identity fields ok, scaling exponent {:.3} <= \
+                 ceiling {ceiling:.2}, 1k-host speedup {:.2}x >= floor {speedup_floor:.2}x",
+                exponent.unwrap_or(f64::NAN),
+                speedup.unwrap_or(f64::NAN),
+            );
+        }
+    }
+    violations
+}
+
 fn run() -> Result<(), Vec<String>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || {
         vec![
-            "usage: perf_gate [wire|adaptive|inplace] <committed artifact> <fresh run...>"
+            "usage: perf_gate [wire|adaptive|inplace|campaign] <committed artifact> <fresh run...>"
                 .to_string(),
         ]
     };
@@ -310,6 +385,7 @@ fn run() -> Result<(), Vec<String>> {
         Some("wire") => ("wire", &args[1..]),
         Some("adaptive") => ("adaptive", &args[1..]),
         Some("inplace") => ("inplace", &args[1..]),
+        Some("campaign") => ("campaign", &args[1..]),
         // Legacy positional form: first arg is the committed wire artifact.
         Some(_) => ("wire", &args[..]),
         None => return Err(usage()),
@@ -320,6 +396,7 @@ fn run() -> Result<(), Vec<String>> {
     let violations = match mode {
         "wire" => gate_wire(&rest[0], &rest[1..]),
         "inplace" => gate_inplace(&rest[0], &rest[1..]),
+        "campaign" => gate_campaign(&rest[0], &rest[1..]),
         _ => gate_adaptive(&rest[0], &rest[1..]),
     };
     if violations.is_empty() {

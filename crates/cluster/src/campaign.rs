@@ -10,8 +10,10 @@
 
 use std::collections::VecDeque;
 
-use hypertp_core::{HtpError, HypervisorKind, InPlaceReport};
-use hypertp_sim::fault::{FaultPlan, InjectionPoint, RecoveryAction};
+use hypertp_core::{host_failure_gate, HostGate, HtpError, HypervisorKind, InPlaceReport};
+use hypertp_sim::fault::FaultPlan;
+use hypertp_sim::pool::chunk_ranges;
+use hypertp_sim::stats::{Histogram, Streaming};
 use hypertp_sim::SimDuration;
 use hypertp_vulndb::policy::{decide, Decision};
 use hypertp_vulndb::{HypervisorId, Vulnerability};
@@ -45,6 +47,13 @@ pub struct CampaignConfig {
     /// transplant-out wave: the remaining hosts patch in place and never
     /// visit the refuge hypervisor.
     pub patch_after_hosts: Option<usize>,
+    /// Number of contiguous host shards each wave is batched into. The
+    /// driver calls stay sequential (the fleet manager is a single
+    /// mutable control plane), but per-shard aggregates fold in shard
+    /// order, so the report is byte-identical for every shard count. With
+    /// faults armed the wave coerces to a single global queue — the fault
+    /// plan's consultation order is part of the replay contract.
+    pub shards: usize,
 }
 
 impl Default for CampaignConfig {
@@ -52,12 +61,117 @@ impl Default for CampaignConfig {
         CampaignConfig {
             max_host_retries: 2,
             patch_after_hosts: None,
+            shards: 1,
         }
     }
 }
 
+/// Bucketing of each wave's per-host downtime histogram: 30 × 1 s bins
+/// over `[0, 30 s)` — InPlaceTP downtimes are seconds, so the overflow
+/// counter only fills on pathological hosts.
+pub const DOWNTIME_HIST_BUCKETS: usize = 30;
+const DOWNTIME_HIST_LO: f64 = 0.0;
+const DOWNTIME_HIST_HI: f64 = 30.0;
+
+/// Bounded-memory aggregate of one transplant wave. Replaces the per-host
+/// `Vec<InPlaceReport>` the campaign used to carry: at 10k hosts the
+/// report stays a few hundred bytes, and two waves are byte-comparable
+/// via [`WaveReport::render`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaveReport {
+    /// Hosts that completed the transplant in this wave.
+    pub upgrades: usize,
+    /// VMs carried through the wave's transplants.
+    pub vms: u64,
+    /// Streaming aggregate (seconds) of per-host VM downtime.
+    pub downtime: Streaming,
+    /// Streaming aggregate (seconds) of per-host end-to-end transplant
+    /// time (including the below-the-blackout phases).
+    pub total: Streaming,
+    /// Fixed-bucket histogram of the per-host downtimes (see
+    /// [`DOWNTIME_HIST_BUCKETS`]).
+    pub downtime_hist: Histogram,
+    /// Worst per-VM downtime of any host in the wave.
+    pub worst_downtime: SimDuration,
+}
+
+impl WaveReport {
+    /// An empty wave.
+    pub fn new() -> WaveReport {
+        WaveReport {
+            upgrades: 0,
+            vms: 0,
+            downtime: Streaming::new(),
+            total: Streaming::new(),
+            downtime_hist: Histogram::new(
+                DOWNTIME_HIST_LO,
+                DOWNTIME_HIST_HI,
+                DOWNTIME_HIST_BUCKETS,
+            ),
+            worst_downtime: SimDuration::ZERO,
+        }
+    }
+
+    /// Folds one host's transplant into the wave.
+    pub fn push(&mut self, report: &InPlaceReport) {
+        self.upgrades += 1;
+        self.vms += report.vm_count as u64;
+        let dt = report.downtime();
+        self.downtime.push(dt.as_secs_f64());
+        self.total.push(report.total().as_secs_f64());
+        self.downtime_hist.record(dt.as_secs_f64());
+        self.worst_downtime = self.worst_downtime.max(dt);
+    }
+
+    /// Folds another shard's aggregate into this one. Must be called in
+    /// canonical shard order for bit-identical float sums.
+    pub fn merge(&mut self, other: &WaveReport) {
+        self.upgrades += other.upgrades;
+        self.vms += other.vms;
+        self.downtime.merge(&other.downtime);
+        self.total.merge(&other.total);
+        self.downtime_hist.merge(&other.downtime_hist);
+        self.worst_downtime = self.worst_downtime.max(other.worst_downtime);
+    }
+
+    /// Number of hosts the wave upgraded.
+    pub fn len(&self) -> usize {
+        self.upgrades
+    }
+
+    /// True when the wave upgraded nothing.
+    pub fn is_empty(&self) -> bool {
+        self.upgrades == 0
+    }
+
+    /// Mean per-host downtime across the wave.
+    pub fn mean_downtime(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.downtime.mean())
+    }
+
+    /// Canonical byte-stable rendering: two waves aggregated the same
+    /// hosts iff their renders match.
+    pub fn render(&self) -> String {
+        format!(
+            "upgrades={} vms={} worst_ns={} downtime{{{}}} total{{{}}} hist{{{}}}",
+            self.upgrades,
+            self.vms,
+            self.worst_downtime.as_nanos(),
+            self.downtime.render(),
+            self.total.render(),
+            self.downtime_hist.render(),
+        )
+    }
+}
+
+impl Default for WaveReport {
+    fn default() -> Self {
+        WaveReport::new()
+    }
+}
+
 /// Outcome of a full campaign.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignReport {
     /// The vulnerability that triggered the campaign.
     pub cve: String,
@@ -65,10 +179,10 @@ pub struct CampaignReport {
     pub home: HypervisorKind,
     /// Refuge hypervisor chosen by the policy.
     pub refuge: HypervisorKind,
-    /// Per-host reports for the transplant out.
-    pub out: Vec<InPlaceReport>,
-    /// Per-host reports for the transplant back.
-    pub back: Vec<InPlaceReport>,
+    /// Streaming aggregate of the transplant-out wave.
+    pub out: WaveReport,
+    /// Streaming aggregate of the transplant-back wave.
+    pub back: WaveReport,
     /// The vulnerability window that was covered.
     pub window: SimDuration,
     /// Worst per-VM downtime across both transplants of any host.
@@ -113,6 +227,29 @@ impl CampaignReport {
     /// cost/benefit the paper's abstract argues with.
     pub fn disruption_ratio(&self) -> f64 {
         self.worst_downtime.as_secs_f64() / self.window.as_secs_f64().max(1.0)
+    }
+
+    /// Canonical byte-stable rendering: two campaigns produced the same
+    /// report iff their renders match (shard-identity checks compare
+    /// this).
+    pub fn render(&self) -> String {
+        format!(
+            "cve={} home={:?} refuge={:?} window_ns={} worst_ns={} hosts={} \
+             excluded={:?} stranded={:?} residual_vms={} skipped={} \
+             out{{{}}} back{{{}}}",
+            self.cve,
+            self.home,
+            self.refuge,
+            self.window.as_nanos(),
+            self.worst_downtime.as_nanos(),
+            self.hosts_total,
+            self.excluded_hosts,
+            self.stranded_hosts,
+            self.residual_vms,
+            self.skipped_after_patch,
+            self.out.render(),
+            self.back.render(),
+        )
     }
 }
 
@@ -169,9 +306,9 @@ pub fn run_campaign(
 
 /// One wave of rolling host upgrades under fault injection.
 struct WaveOutcome {
-    /// Reports of successful upgrades, in completion order.
-    reports: Vec<InPlaceReport>,
-    /// Hosts upgraded, parallel to `reports`.
+    /// Streaming aggregate of the wave's successful upgrades.
+    report: WaveReport,
+    /// Hosts upgraded, in completion order.
     upgraded: Vec<usize>,
     /// Hosts excluded after exhausting the retry budget.
     excluded: Vec<usize>,
@@ -179,16 +316,60 @@ struct WaveOutcome {
     skipped: Vec<usize>,
 }
 
-/// Rolls `hosts` through `nova.host_live_upgrade(host, target)`.
+/// Drains one shard's queue through `nova.host_live_upgrade`, folding
+/// results into `out`. Requeues go to the back of *this shard's* queue.
+#[allow(clippy::too_many_arguments)]
+fn drain_shard(
+    nova: &mut NovaManager,
+    mut queue: VecDeque<(usize, u32)>,
+    target: HypervisorKind,
+    faults: &FaultPlan,
+    cfg: &CampaignConfig,
+    wave: &str,
+    stop_after: Option<usize>,
+    out: &mut WaveOutcome,
+) -> Result<(), CampaignError> {
+    while let Some((host, attempts)) = queue.pop_front() {
+        if stop_after.is_some_and(|k| out.upgraded.len() >= k) {
+            out.skipped.push(host);
+            continue;
+        }
+        let site = format!("{wave} host c{host}");
+        match host_failure_gate(faults, &site, attempts, cfg.max_host_retries) {
+            HostGate::Proceed => {
+                let (report, _evacuations) = nova.host_live_upgrade(host, target)?;
+                out.report.push(&report);
+                out.upgraded.push(host);
+            }
+            HostGate::Retry => queue.push_back((host, attempts + 1)),
+            HostGate::Exclude => out.excluded.push(host),
+        }
+    }
+    Ok(())
+}
+
+/// Rolls `hosts` through `nova.host_live_upgrade(host, target)` in
+/// `cfg.shards` contiguous batches.
 ///
-/// [`InjectionPoint::HostFailure`] models a host that faults mid-upgrade
-/// before any VM state is consumed (e.g. kexec refuses to load the target
-/// kernel): the attempt is abandoned, the host's VMs keep running on the
-/// old hypervisor, and the host is requeued at the back of the wave
-/// ([`RecoveryAction::RequeuedHost`]). After `max_host_retries` requeues
-/// the host is excluded ([`RecoveryAction::ExcludedHost`]) and the
+/// [`hypertp_sim::fault::InjectionPoint::HostFailure`] models a host that
+/// faults mid-upgrade before any VM state is consumed (e.g. kexec refuses
+/// to load the target kernel): the attempt is abandoned, the host's VMs
+/// keep running on the old hypervisor, and the host is requeued at the
+/// back of the wave
+/// ([`hypertp_sim::fault::RecoveryAction::RequeuedHost`]). After
+/// `max_host_retries` requeues the host is excluded
+/// ([`hypertp_sim::fault::RecoveryAction::ExcludedHost`]) and the
 /// campaign continues without it, accounting its VMs as residual
-/// exposure.
+/// exposure. The retry/exclude verdict comes from the shared
+/// [`host_failure_gate`], so the campaign's and the executor's fault
+/// logs use the same wording and off-by-one.
+///
+/// Sharding batches the host list via
+/// [`hypertp_sim::pool::chunk_ranges`]; shards run sequentially in order
+/// (the manager is one mutable control plane), so a fault-free wave
+/// visits hosts in exactly the unsharded order and the folded
+/// [`WaveReport`] is byte-identical for every shard count. With faults
+/// armed, requeue order matters, so the wave coerces to one global queue.
 ///
 /// If `stop_after` is set, the wave is cut short once that many hosts
 /// have completed: the rest land in `skipped` (the patch shipped before
@@ -202,41 +383,16 @@ fn upgrade_wave(
     wave: &str,
     stop_after: Option<usize>,
 ) -> Result<WaveOutcome, CampaignError> {
-    let mut queue: VecDeque<(usize, u32)> = hosts.iter().map(|&h| (h, 0)).collect();
     let mut out = WaveOutcome {
-        reports: Vec::new(),
+        report: WaveReport::new(),
         upgraded: Vec::new(),
         excluded: Vec::new(),
         skipped: Vec::new(),
     };
-    while let Some((host, attempts)) = queue.pop_front() {
-        if stop_after.is_some_and(|k| out.upgraded.len() >= k) {
-            out.skipped.push(host);
-            continue;
-        }
-        let site = format!("{wave} host c{host}");
-        if faults.should_inject(InjectionPoint::HostFailure, &site) {
-            let attempts = attempts + 1;
-            if attempts > cfg.max_host_retries {
-                faults.record_recovery(
-                    InjectionPoint::HostFailure,
-                    RecoveryAction::ExcludedHost,
-                    &format!("{site}: excluded after {attempts} failed attempts"),
-                );
-                out.excluded.push(host);
-            } else {
-                faults.record_recovery(
-                    InjectionPoint::HostFailure,
-                    RecoveryAction::RequeuedHost,
-                    &format!("{site}: attempt {attempts} failed, requeued"),
-                );
-                queue.push_back((host, attempts));
-            }
-            continue;
-        }
-        let (report, _evacuations) = nova.host_live_upgrade(host, target)?;
-        out.reports.push(report);
-        out.upgraded.push(host);
+    let shards = if faults.armed() { 1 } else { cfg.shards.max(1) };
+    for range in chunk_ranges(hosts.len(), shards) {
+        let queue: VecDeque<(usize, u32)> = hosts[range].iter().map(|&h| (h, 0)).collect();
+        drain_shard(nova, queue, target, faults, cfg, wave, stop_after, &mut out)?;
     }
     Ok(out)
 }
@@ -302,18 +458,15 @@ pub fn run_campaign_with(
         .map(|&h| nova.compute(h).vm_names().len())
         .sum();
     let worst_downtime = wave_out
-        .reports
-        .iter()
-        .chain(wave_back.reports.iter())
-        .map(InPlaceReport::downtime)
-        .max()
-        .unwrap_or(SimDuration::ZERO);
+        .report
+        .worst_downtime
+        .max(wave_back.report.worst_downtime);
     Ok(CampaignReport {
         cve: disclosed.id.clone(),
         home,
         refuge,
-        out: wave_out.reports,
-        back: wave_back.reports,
+        out: wave_out.report,
+        back: wave_back.report,
         window,
         worst_downtime,
         hosts_total,
@@ -330,6 +483,7 @@ mod tests {
     use crate::openstack::{pool, LibvirtDriver};
     use hypertp_core::VmConfig;
     use hypertp_machine::MachineSpec;
+    use hypertp_sim::fault::{InjectionPoint, RecoveryAction};
     use hypertp_sim::SimClock;
     use hypertp_vulndb::dataset::dataset;
 
@@ -526,6 +680,91 @@ mod tests {
         for h in 0..3 {
             assert_eq!(nova.compute(h).hypervisor_kind(), HypervisorKind::Xen);
         }
+    }
+
+    #[test]
+    fn disruption_ratio_guards_a_zero_window() {
+        let report = CampaignReport {
+            cve: "CVE-0000-0000".into(),
+            home: HypervisorKind::Xen,
+            refuge: HypervisorKind::Kvm,
+            out: WaveReport::new(),
+            back: WaveReport::new(),
+            window: SimDuration::ZERO,
+            worst_downtime: SimDuration::from_secs(5),
+            hosts_total: 1,
+            excluded_hosts: Vec::new(),
+            stranded_hosts: Vec::new(),
+            residual_vms: 0,
+            skipped_after_patch: 0,
+        };
+        // The ratio clamps the denominator at one second: finite, never
+        // NaN/inf even for an instantly-patched flaw.
+        assert_eq!(report.disruption_ratio(), 5.0);
+        assert!(report.disruption_ratio().is_finite());
+        assert_eq!(report.exposure_avoided(), SimDuration::ZERO);
+        assert_eq!(report.residual_exposure(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn sharded_wave_report_is_byte_identical_for_any_shard_count() {
+        let run = |shards: usize| {
+            let mut nova = fleet(5);
+            for i in 0..6 {
+                nova.boot(&VmConfig::small(format!("svc{i}"))).unwrap();
+            }
+            let cfg = CampaignConfig {
+                shards,
+                ..CampaignConfig::default()
+            };
+            run_campaign_with(
+                &mut nova,
+                &xen_critical(),
+                &[],
+                &FaultPlan::disarmed(),
+                &cfg,
+            )
+            .unwrap()
+        };
+        let base = run(1);
+        for shards in [2usize, 3, 5, 16] {
+            let r = run(shards);
+            assert_eq!(r, base, "shards={shards}");
+            assert_eq!(r.render(), base.render());
+        }
+        // The streaming aggregates are consistent with the host count.
+        assert_eq!(base.out.len(), 5);
+        assert_eq!(base.out.downtime.count, 5);
+        assert_eq!(base.out.downtime_hist.total(), 5);
+        assert_eq!(base.out.vms, 6);
+        assert_eq!(base.back.upgrades, 5);
+        assert!(base.out.mean_downtime() <= base.out.worst_downtime);
+        assert_eq!(
+            base.worst_downtime,
+            base.out.worst_downtime.max(base.back.worst_downtime)
+        );
+    }
+
+    #[test]
+    fn armed_faults_coerce_the_wave_to_one_queue() {
+        let run = |shards: usize| {
+            let mut nova = fleet(3);
+            for i in 0..3 {
+                nova.boot(&VmConfig::small(format!("svc{i}"))).unwrap();
+            }
+            let faults = FaultPlan::new(0xc1a0_0003);
+            faults.arm(InjectionPoint::HostFailure, 0.5, u64::MAX);
+            let cfg = CampaignConfig {
+                shards,
+                ..CampaignConfig::default()
+            };
+            let r = run_campaign_with(&mut nova, &xen_critical(), &[], &faults, &cfg).unwrap();
+            (r.render(), faults.log().render())
+        };
+        // Fault replay order is part of the contract: any shard count
+        // must reproduce the single-queue walk exactly.
+        assert_eq!(run(1), run(4));
+        assert_eq!(run(1), run(3));
     }
 
     #[test]

@@ -7,14 +7,34 @@
 //! orchestration overhead, the pre-copy transfer (with the workload's
 //! dirty-rate extension) and the stop-and-copy. Per-upgrade time comes
 //! from the same cost model as the single-machine InPlaceTP experiments.
+//!
+//! # Sharded execution
+//!
+//! Every group's simulation is *relative*: migration and upgrade times
+//! depend only on the group's own actions, never on the global clock. So
+//! a plan's groups are pure, independent simulations ([`run_group`]
+//! internally) whose outcomes fold in group order into the same report
+//! the sequential walk produces — bit for bit. [`execute_sharded`]
+//! exploits that: contiguous group ranges run as deterministic shards on
+//! a [`WorkerPool`], and each shard memoizes cost-model evaluations per
+//! VM class (fleets with a uniform host spec repeat a handful of
+//! distinct evaluations thousands of times), so the sharded path wins
+//! wall-clock even on a single core. With faults armed, execution drops
+//! to the sequential walk — [`hypertp_sim::fault::FaultPlan`] consultation
+//! order is part of the deterministic replay contract — and is again
+//! byte-identical to the unsharded path.
 
-use hypertp_core::HypervisorKind;
+use std::collections::HashMap;
+
+use hypertp_core::{host_failure_gate, HostGate, HypervisorKind};
 use hypertp_migrate::{FleetOrder, Link, WireMode};
-use hypertp_sim::cost::BootTarget;
-use hypertp_sim::fault::{FaultPlan, InjectionPoint, RecoveryAction};
+use hypertp_sim::cost::{BootTarget, MachinePerf};
+use hypertp_sim::fault::FaultPlan;
+use hypertp_sim::pool::WorkerPool;
+use hypertp_sim::stats::{Histogram, Streaming};
 use hypertp_sim::{CostModel, EventQueue, SimDuration, SimTime};
 
-use crate::model::Cluster;
+use crate::model::ClusterView;
 use crate::planner::{Action, Plan};
 
 /// Timing knobs for plan execution.
@@ -88,8 +108,19 @@ impl Default for ExecConfig {
     }
 }
 
-/// Result of executing a plan.
-#[derive(Debug, Clone)]
+/// Bucketing of the per-VM ready-offset histogram carried by
+/// [`ExecReport::vm_ready_hist`]: 36 × 50 s bins over `[0, 1800 s)` —
+/// wide enough for the paper testbed's worst group drains, with the
+/// overflow counter absorbing pathological fleets.
+pub const READY_HIST_BUCKETS: usize = 36;
+const READY_HIST_LO: f64 = 0.0;
+const READY_HIST_HI: f64 = 1800.0;
+
+/// Result of executing a plan. All telemetry is bounded-memory: per-VM
+/// and per-group samples stream through [`Streaming`] aggregates and a
+/// fixed-bucket [`Histogram`] instead of materializing vectors, so the
+/// report costs the same at 10 hosts and 10k hosts.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecReport {
     /// Number of migrations performed.
     pub migrations: usize,
@@ -117,34 +148,66 @@ pub struct ExecReport {
     /// minimises this without changing [`ExecReport::total`] on a
     /// serialized fabric.
     pub mean_vm_ready: SimDuration,
+    /// Streaming aggregate (seconds) of every migrating VM's ready
+    /// offset from its group's start.
+    pub vm_ready: Streaming,
+    /// Fixed-bucket histogram of the same ready offsets (see
+    /// [`READY_HIST_BUCKETS`]).
+    pub vm_ready_hist: Histogram,
+    /// Streaming aggregate (seconds) of per-group migration-phase drain
+    /// times.
+    pub group_drain: Streaming,
 }
 
 impl ExecReport {
     /// Percentage of time saved relative to a baseline execution.
+    /// Returns 0.0 when the baseline took no time at all (a plan with
+    /// nothing to do) — never NaN or ±inf.
     pub fn time_gain_pct(&self, baseline: &ExecReport) -> f64 {
-        (1.0 - self.total.as_secs_f64() / baseline.total.as_secs_f64()) * 100.0
+        let base = baseline.total.as_secs_f64();
+        if base == 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.total.as_secs_f64() / base) * 100.0
+    }
+
+    /// Canonical byte-stable rendering: two executions produced the same
+    /// report iff their renders match. Floats use `{:?}` (shortest
+    /// round-trip), so even last-ulp divergence shows.
+    pub fn render(&self) -> String {
+        format!(
+            "migrations={} upgrades={} total_ns={} migration_ns={} inplace_ns={} \
+             retries={} excluded={} wire_sent={} wire_saved={} mean_ready_ns={} \
+             vm_ready{{{}}} drain{{{}}} hist{{{}}}",
+            self.migrations,
+            self.inplace_upgrades,
+            self.total.as_nanos(),
+            self.migration_time.as_nanos(),
+            self.inplace_time.as_nanos(),
+            self.host_retries,
+            self.hosts_excluded,
+            self.wire_bytes_sent,
+            self.wire_bytes_saved,
+            self.mean_vm_ready.as_nanos(),
+            self.vm_ready.render(),
+            self.group_drain.render(),
+            self.vm_ready_hist.render(),
+        )
     }
 }
 
-/// Analytic estimate of one live migration: duration plus its raw and
-/// on-the-wire byte counts.
-struct MigrationEstimate {
-    time: SimDuration,
-    raw_bytes: u64,
-    wire_bytes: u64,
-}
-
-/// Estimates one live migration of `vm` with `sharers` flows on the
-/// fabric. Under [`WireMode::ContentAware`] the page bytes shrink by the
-/// configured compression ratio before hitting the link.
-fn migration_time(
-    cluster: &Cluster,
+/// Estimates one live migration: `(duration, raw_bytes, wire_bytes)` for
+/// a VM of `memory_gb` GiB dirtying `dirty_rate` pages/s, with `sharers`
+/// flows on the fabric. Under [`WireMode::ContentAware`] the page bytes
+/// shrink by the configured compression ratio before hitting the link.
+/// Pure in its arguments — safe to memoize per VM class.
+fn migration_estimate(
     cfg: &ExecConfig,
-    vm: usize,
+    memory_gb: u64,
+    dirty_rate: f64,
     sharers: u32,
-) -> MigrationEstimate {
-    let v = &cluster.vms[vm];
-    let raw = v.config.memory_gb << 30;
+) -> (SimDuration, u64, u64) {
+    let raw = memory_gb << 30;
     let ratio = match cfg.wire_mode {
         WireMode::Raw => 1.0,
         WireMode::ContentAware => cfg.wire_compression_ratio.clamp(0.0, 1.0),
@@ -153,31 +216,30 @@ fn migration_time(
     let copy = cfg.link.transfer(bytes, sharers);
     // Dirty pages written during the copy must be re-sent (a geometric
     // tail approximated by its first round).
-    let raw_dirty = (v.profile.dirty_rate_pages_per_sec * copy.as_secs_f64() * 4096.0) as u64;
+    let raw_dirty = (dirty_rate * copy.as_secs_f64() * 4096.0) as u64;
     let dirty_bytes = (raw_dirty as f64 * ratio) as u64;
     let extra = cfg.link.transfer(dirty_bytes, sharers);
-    MigrationEstimate {
-        time: cfg.per_migration_overhead + copy + extra,
-        raw_bytes: raw + raw_dirty,
-        wire_bytes: bytes + dirty_bytes,
-    }
+    (
+        cfg.per_migration_overhead + copy + extra,
+        raw + raw_dirty,
+        bytes + dirty_bytes,
+    )
 }
 
-/// Time of one in-place host upgrade carrying `vm_count` 4 GiB VMs.
+/// Time of one in-place host upgrade carrying `vm_count` 4 GiB VMs on a
+/// host with performance `perf`.
 ///
 /// Under [`ExecConfig::incremental_translate`] the pause-time translation
 /// term becomes the dirty-delta re-translation at the configured residual
 /// dirty fraction; the warm snapshot itself overlaps the group's
 /// migration drain and never shows up in the blackout.
 fn inplace_time(
-    cluster: &Cluster,
+    perf: &MachinePerf,
     cost: &CostModel,
     cfg: &ExecConfig,
-    host: usize,
     vm_count: usize,
     target: HypervisorKind,
 ) -> SimDuration {
-    let perf = cluster.hosts[host].spec.perf();
     let vms: Vec<(f64, u64)> = (0..vm_count).map(|_| (4.0, 4 * 512)).collect();
     let xl: Vec<(f64, u32, u64)> = (0..vm_count).map(|_| (4.0, 1, 4 * 512)).collect();
     let rl: Vec<(f64, u32)> = (0..vm_count).map(|_| (4.0, 1)).collect();
@@ -191,151 +253,379 @@ fn inplace_time(
         let frac = cfg.inplace_dirty_fraction.clamp(0.0, 1.0);
         let dl: Vec<(f64, u32, u64, f64)> =
             (0..vm_count).map(|_| (4.0, 1, 4 * 512, frac)).collect();
-        cost.delta_translate(&perf, &dl)
+        cost.delta_translate(perf, &dl)
     } else {
-        cost.translate(&perf, &xl)
+        cost.translate(perf, &xl)
     };
-    cost.pram_build(&perf, &vms)
+    cost.pram_build(perf, &vms)
         + translate
-        + cost.reboot(&perf, boot, total_gb, entries)
-        + cost.restore(&perf, &rl, true)
+        + cost.reboot(perf, boot, total_gb, entries)
+        + cost.restore(perf, &rl, true)
+}
+
+/// Shard-local memo of cost-model evaluations. Both helpers are pure
+/// functions of their keys, so memoized and recomputed runs are
+/// bit-identical; the memo just collapses a fleet's thousands of
+/// same-class evaluations into a handful.
+struct ExecMemo {
+    /// `(memory_gb, dirty_rate bits, sharers)` → migration estimate.
+    /// Host-independent, so always valid.
+    migration: HashMap<(u64, u64, u32), (SimDuration, u64, u64)>,
+    /// `vm_count` → upgrade time. Only consulted for fleets with a
+    /// uniform host spec (the perf inputs are then host-invariant).
+    inplace: HashMap<usize, SimDuration>,
+}
+
+impl ExecMemo {
+    fn new() -> ExecMemo {
+        ExecMemo {
+            migration: HashMap::new(),
+            inplace: HashMap::new(),
+        }
+    }
+
+    fn migration<V: ClusterView + ?Sized>(
+        &mut self,
+        view: &V,
+        cfg: &ExecConfig,
+        vm: usize,
+        sharers: u32,
+    ) -> (SimDuration, u64, u64) {
+        let info = view.vm(vm);
+        let key = (
+            info.memory_gb,
+            info.dirty_rate_pages_per_sec.to_bits(),
+            sharers,
+        );
+        if let Some(&est) = self.migration.get(&key) {
+            return est;
+        }
+        let est = migration_estimate(cfg, info.memory_gb, info.dirty_rate_pages_per_sec, sharers);
+        self.migration.insert(key, est);
+        est
+    }
+
+    fn inplace<V: ClusterView + ?Sized>(
+        &mut self,
+        view: &V,
+        cost: &CostModel,
+        cfg: &ExecConfig,
+        host: usize,
+        vm_count: usize,
+        uniform_perf: Option<&MachinePerf>,
+    ) -> SimDuration {
+        match uniform_perf {
+            Some(perf) => {
+                if let Some(&d) = self.inplace.get(&vm_count) {
+                    return d;
+                }
+                let d = inplace_time(perf, cost, cfg, vm_count, cfg.target);
+                self.inplace.insert(vm_count, d);
+                d
+            }
+            None => inplace_time(
+                &view.host_spec(host).perf(),
+                cost,
+                cfg,
+                vm_count,
+                cfg.target,
+            ),
+        }
+    }
+}
+
+/// The outcome of one group's simulation, relative to the group's start.
+/// Folding these in group order reproduces the sequential walk exactly.
+struct GroupOutcome {
+    migrations: usize,
+    upgrades: usize,
+    drain: SimDuration,
+    inplace: SimDuration,
+    ready_acc: SimDuration,
+    raw_bytes: u64,
+    wire_bytes: u64,
+    host_retries: usize,
+    hosts_excluded: usize,
+    vm_ready: Streaming,
+    vm_ready_hist: Histogram,
+}
+
+/// Simulates one group: drain its migrations through the slot pool, then
+/// run its in-place upgrades in parallel. Pure in `(view, cfg, group)`
+/// when `faults` is `None`; with faults the caller must invoke groups
+/// sequentially in plan order (consultation order is the replay
+/// contract).
+fn run_group<V: ClusterView + ?Sized>(
+    view: &V,
+    cfg: &ExecConfig,
+    cost: &CostModel,
+    group: &[Action],
+    faults: Option<&FaultPlan>,
+    memo: &mut ExecMemo,
+    uniform_perf: Option<&MachinePerf>,
+) -> GroupOutcome {
+    let slots = cfg.max_concurrent_migrations.max(1);
+    let mut out = GroupOutcome {
+        migrations: 0,
+        upgrades: 0,
+        drain: SimDuration::ZERO,
+        inplace: SimDuration::ZERO,
+        ready_acc: SimDuration::ZERO,
+        raw_bytes: 0,
+        wire_bytes: 0,
+        host_retries: 0,
+        hosts_excluded: 0,
+        vm_ready: Streaming::new(),
+        vm_ready_hist: Histogram::new(READY_HIST_LO, READY_HIST_HI, READY_HIST_BUCKETS),
+    };
+
+    // Phase 1: drain the group's migrations through the slot pool. All
+    // times are relative to the group's start.
+    let mut pending: Vec<usize> = group
+        .iter()
+        .filter_map(|a| match a {
+            Action::Migrate { vm, .. } => Some(*vm),
+            _ => None,
+        })
+        .collect();
+    out.migrations = pending.len();
+    let sharers = pending.len().min(slots) as u32;
+    if cfg.fleet_order == FleetOrder::ShortestPredictedFirst {
+        // Convergence-aware admission: the analytic model's predicted
+        // migration time orders the queue (VM index breaks ties, so the
+        // schedule is deterministic).
+        let keyed: Vec<(SimDuration, usize)> = pending
+            .iter()
+            .map(|&vm| (memo.migration(view, cfg, vm, sharers).0, vm))
+            .collect();
+        let mut keyed = keyed;
+        keyed.sort_unstable();
+        pending = keyed.into_iter().map(|(_, vm)| vm).collect();
+    }
+    let mut queue: std::collections::VecDeque<usize> = pending.into();
+    let mut events: EventQueue<usize> = EventQueue::with_capacity(slots + 1);
+    let mut now = SimTime::ZERO;
+    let mut in_flight = 0usize;
+    while in_flight < slots {
+        match queue.pop_front() {
+            Some(vm) => {
+                let (time, raw, wire) = memo.migration(view, cfg, vm, sharers);
+                out.wire_bytes += wire;
+                out.raw_bytes += raw;
+                events.schedule(now + time, vm);
+                in_flight += 1;
+            }
+            None => break,
+        }
+    }
+    while let Some((t, _done)) = events.pop() {
+        now = t;
+        let offset = now.duration_since(SimTime::ZERO);
+        out.ready_acc += offset;
+        out.vm_ready.push(offset.as_secs_f64());
+        out.vm_ready_hist.record(offset.as_secs_f64());
+        if let Some(vm) = queue.pop_front() {
+            let (time, raw, wire) = memo.migration(view, cfg, vm, sharers);
+            out.wire_bytes += wire;
+            out.raw_bytes += raw;
+            events.schedule(now + time, vm);
+        }
+    }
+    out.drain = now.duration_since(SimTime::ZERO);
+
+    // Phase 2: the group's in-place upgrades, in parallel. A faulted
+    // upgrade burns its attempt's time and retries on the same host;
+    // past the retry budget the host is dropped from the plan.
+    let mut group_inplace = SimDuration::ZERO;
+    for a in group {
+        let Action::InPlaceUpgrade { host, vm_count } = a else {
+            continue;
+        };
+        let attempt_cost = memo.inplace(view, cost, cfg, *host, *vm_count, uniform_perf);
+        let mut host_time = SimDuration::ZERO;
+        match faults {
+            None => {
+                host_time += attempt_cost;
+                out.upgrades += 1;
+            }
+            Some(faults) => {
+                let site = format!("exec upgrade h{host}");
+                let mut failures = 0u32;
+                loop {
+                    host_time += attempt_cost;
+                    match host_failure_gate(faults, &site, failures, cfg.max_host_retries) {
+                        HostGate::Proceed => {
+                            out.upgrades += 1;
+                            break;
+                        }
+                        HostGate::Retry => {
+                            failures += 1;
+                            out.host_retries += 1;
+                        }
+                        HostGate::Exclude => {
+                            out.hosts_excluded += 1;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        group_inplace = group_inplace.max(host_time);
+    }
+    out.inplace = group_inplace;
+    out
+}
+
+/// Folds per-group outcomes — in group order — into the report the
+/// sequential walk produces.
+fn fold_outcomes(outcomes: impl Iterator<Item = GroupOutcome>) -> ExecReport {
+    let mut report = ExecReport {
+        migrations: 0,
+        inplace_upgrades: 0,
+        total: SimDuration::ZERO,
+        migration_time: SimDuration::ZERO,
+        inplace_time: SimDuration::ZERO,
+        host_retries: 0,
+        hosts_excluded: 0,
+        wire_bytes_sent: 0,
+        wire_bytes_saved: 0,
+        mean_vm_ready: SimDuration::ZERO,
+        vm_ready: Streaming::new(),
+        vm_ready_hist: Histogram::new(READY_HIST_LO, READY_HIST_HI, READY_HIST_BUCKETS),
+        group_drain: Streaming::new(),
+    };
+    let mut raw_bytes = 0u64;
+    let mut ready_acc = SimDuration::ZERO;
+    for g in outcomes {
+        report.migrations += g.migrations;
+        report.inplace_upgrades += g.upgrades;
+        report.migration_time += g.drain;
+        report.inplace_time += g.inplace;
+        report.total += g.drain + g.inplace;
+        report.host_retries += g.host_retries;
+        report.hosts_excluded += g.hosts_excluded;
+        report.wire_bytes_sent += g.wire_bytes;
+        raw_bytes += g.raw_bytes;
+        ready_acc += g.ready_acc;
+        report.vm_ready.merge(&g.vm_ready);
+        report.vm_ready_hist.merge(&g.vm_ready_hist);
+        report.group_drain.push(g.drain.as_secs_f64());
+    }
+    report.wire_bytes_saved = raw_bytes.saturating_sub(report.wire_bytes_sent);
+    report.mean_vm_ready = if report.migrations == 0 {
+        SimDuration::ZERO
+    } else {
+        SimDuration::from_nanos(ready_acc.as_nanos() / report.migrations as u64)
+    };
+    report
 }
 
 /// Executes a plan with a discrete-event scheduler. Within a group, up to
 /// `max_concurrent_migrations` migrations run at once (sharing the link);
 /// the group's in-place upgrades run in parallel once its migrations have
 /// drained; groups run one after another (the rolling-offline structure).
-pub fn execute(cluster: &Cluster, plan: &Plan, cfg: &ExecConfig) -> ExecReport {
-    execute_with_faults(cluster, plan, cfg, &FaultPlan::disarmed())
+pub fn execute<V: ClusterView + ?Sized>(view: &V, plan: &Plan, cfg: &ExecConfig) -> ExecReport {
+    execute_sharded_with(
+        view,
+        plan,
+        cfg,
+        &FaultPlan::disarmed(),
+        1,
+        &WorkerPool::serial(),
+    )
 }
 
 /// [`execute`] under fault injection: an in-place upgrade hit by
-/// [`InjectionPoint::HostFailure`] burns its slot time and is retried
-/// ([`RecoveryAction::RequeuedHost`]); past `cfg.max_host_retries` the
-/// host is dropped from the plan ([`RecoveryAction::ExcludedHost`]) and
-/// accounted in [`ExecReport::hosts_excluded`]. Faulted attempts extend
-/// the group's parallel in-place phase, so recovery cost shows up in the
-/// reported wall-clock totals.
-pub fn execute_with_faults(
-    cluster: &Cluster,
+/// [`hypertp_sim::fault::InjectionPoint::HostFailure`] burns its slot
+/// time and is retried
+/// ([`hypertp_sim::fault::RecoveryAction::RequeuedHost`]); past
+/// `cfg.max_host_retries` the host is dropped from the plan
+/// ([`hypertp_sim::fault::RecoveryAction::ExcludedHost`]) and accounted
+/// in [`ExecReport::hosts_excluded`]. Faulted attempts extend the group's
+/// parallel in-place phase, so recovery cost shows up in the reported
+/// wall-clock totals.
+pub fn execute_with_faults<V: ClusterView + ?Sized>(
+    view: &V,
     plan: &Plan,
     cfg: &ExecConfig,
     faults: &FaultPlan,
 ) -> ExecReport {
+    execute_sharded_with(view, plan, cfg, faults, 1, &WorkerPool::serial())
+}
+
+/// [`execute`] over deterministic group shards on the default
+/// [`WorkerPool`] (respecting `HYPERTP_WORKERS`). The report is
+/// byte-identical to [`execute`]'s for every shard count and worker
+/// count.
+pub fn execute_sharded<V: ClusterView + ?Sized>(
+    view: &V,
+    plan: &Plan,
+    cfg: &ExecConfig,
+    shards: usize,
+) -> ExecReport {
+    execute_sharded_with(
+        view,
+        plan,
+        cfg,
+        &FaultPlan::disarmed(),
+        shards,
+        &WorkerPool::from_env(),
+    )
+}
+
+/// The general entry point: sharded execution with explicit faults and
+/// pool.
+///
+/// * Fault-free (`!faults.armed()`): the plan's groups are split into
+///   `shards` contiguous chunks ([`hypertp_sim::pool::chunk_ranges`]) and
+///   simulated on the pool; each shard keeps its own cost-model memo.
+///   Outcomes fold in group order, so the report is identical for every
+///   `(shards, workers)` combination — including `(1, serial)`, which is
+///   exactly [`execute`].
+/// * Faults armed: groups run sequentially in plan order on the calling
+///   thread (the fault plan's consultation order is part of the replay
+///   contract), identical to the pre-sharding executor.
+pub fn execute_sharded_with<V: ClusterView + ?Sized>(
+    view: &V,
+    plan: &Plan,
+    cfg: &ExecConfig,
+    faults: &FaultPlan,
+    shards: usize,
+    pool: &WorkerPool,
+) -> ExecReport {
     let cost = CostModel::paper_calibrated();
-    let slots = cfg.max_concurrent_migrations.max(1);
-    let mut now = SimTime::ZERO;
-    let mut migration_time_acc = SimDuration::ZERO;
-    let mut inplace_time_acc = SimDuration::ZERO;
-    let mut migrations = 0usize;
-    let mut upgrades = 0usize;
-    let mut host_retries = 0usize;
-    let mut hosts_excluded = 0usize;
-    let mut wire_bytes_sent = 0u64;
-    let mut raw_bytes = 0u64;
-    let mut ready_acc = SimDuration::ZERO;
-    for group in &plan.groups {
-        let group_start = now;
-        // Phase 1: drain the group's migrations through the slot pool.
-        let mut pending: Vec<usize> = group
-            .iter()
-            .filter_map(|a| match a {
-                Action::Migrate { vm, .. } => Some(*vm),
-                _ => None,
+    let uniform_perf = view.uniform_spec().map(|s| s.perf());
+    if faults.armed() {
+        let mut memo = ExecMemo::new();
+        return fold_outcomes(plan.groups.iter().map(|g| {
+            run_group(
+                view,
+                cfg,
+                &cost,
+                g,
+                Some(faults),
+                &mut memo,
+                uniform_perf.as_ref(),
+            )
+        }));
+    }
+    let batch = pool.map_chunks(plan.groups.len(), shards.max(1), |range| {
+        let mut memo = ExecMemo::new();
+        range
+            .map(|gi| {
+                run_group(
+                    view,
+                    cfg,
+                    &cost,
+                    &plan.groups[gi],
+                    None,
+                    &mut memo,
+                    uniform_perf.as_ref(),
+                )
             })
-            .collect();
-        migrations += pending.len();
-        let sharers = pending.len().min(slots) as u32;
-        if cfg.fleet_order == FleetOrder::ShortestPredictedFirst {
-            // Convergence-aware admission: the analytic model's predicted
-            // migration time orders the queue (VM index breaks ties, so
-            // the schedule is deterministic).
-            pending.sort_by_key(|&vm| (migration_time(cluster, cfg, vm, sharers).time, vm));
-        }
-        let mut queue: std::collections::VecDeque<usize> = pending.into();
-        let mut events: EventQueue<usize> = EventQueue::new();
-        // Seed the slots.
-        let mut in_flight = 0usize;
-        while in_flight < slots {
-            match queue.pop_front() {
-                Some(vm) => {
-                    let est = migration_time(cluster, cfg, vm, sharers);
-                    wire_bytes_sent += est.wire_bytes;
-                    raw_bytes += est.raw_bytes;
-                    events.schedule(now + est.time, vm);
-                    in_flight += 1;
-                }
-                None => break,
-            }
-        }
-        while let Some((t, _done)) = events.pop() {
-            now = t;
-            ready_acc += now.duration_since(group_start);
-            if let Some(vm) = queue.pop_front() {
-                let est = migration_time(cluster, cfg, vm, sharers);
-                wire_bytes_sent += est.wire_bytes;
-                raw_bytes += est.raw_bytes;
-                events.schedule(now + est.time, vm);
-            }
-        }
-        migration_time_acc += now.duration_since(group_start);
-        // Phase 2: the group's in-place upgrades, in parallel. A faulted
-        // upgrade burns its attempt's time and retries on the same host;
-        // past the retry budget the host is dropped from the plan.
-        let mut group_inplace = SimDuration::ZERO;
-        for a in group {
-            let Action::InPlaceUpgrade { host, vm_count } = a else {
-                continue;
-            };
-            let attempt_cost = inplace_time(cluster, &cost, cfg, *host, *vm_count, cfg.target);
-            let mut host_time = SimDuration::ZERO;
-            let mut attempts = 0u32;
-            loop {
-                let site = format!("exec upgrade h{host}");
-                host_time += attempt_cost;
-                if faults.should_inject(InjectionPoint::HostFailure, &site) {
-                    attempts += 1;
-                    if attempts > cfg.max_host_retries {
-                        faults.record_recovery(
-                            InjectionPoint::HostFailure,
-                            RecoveryAction::ExcludedHost,
-                            &format!("{site}: dropped after {attempts} failed attempts"),
-                        );
-                        hosts_excluded += 1;
-                        break;
-                    }
-                    faults.record_recovery(
-                        InjectionPoint::HostFailure,
-                        RecoveryAction::RequeuedHost,
-                        &format!("{site}: attempt {attempts} failed, retrying"),
-                    );
-                    host_retries += 1;
-                    continue;
-                }
-                upgrades += 1;
-                break;
-            }
-            group_inplace = group_inplace.max(host_time);
-        }
-        now += group_inplace;
-        inplace_time_acc += group_inplace;
-    }
-    ExecReport {
-        migrations,
-        inplace_upgrades: upgrades,
-        total: now.duration_since(SimTime::ZERO),
-        migration_time: migration_time_acc,
-        inplace_time: inplace_time_acc,
-        host_retries,
-        hosts_excluded,
-        wire_bytes_sent,
-        wire_bytes_saved: raw_bytes.saturating_sub(wire_bytes_sent),
-        mean_vm_ready: if migrations == 0 {
-            SimDuration::ZERO
-        } else {
-            SimDuration::from_nanos(ready_acc.as_nanos() / migrations as u64)
-        },
-    }
+            .collect::<Vec<GroupOutcome>>()
+    });
+    fold_outcomes(batch.results.into_iter().flatten())
 }
 
 #[cfg(test)]
@@ -343,6 +633,7 @@ mod tests {
     use super::*;
     use crate::model::Cluster;
     use crate::planner::plan_upgrade;
+    use hypertp_sim::fault::{InjectionPoint, RecoveryAction};
 
     fn run(pct: u32) -> ExecReport {
         let c = Cluster::paper_testbed(pct, 42);
@@ -380,6 +671,22 @@ mod tests {
         assert!((68.0..90.0).contains(&g80), "gain at 80% = {g80}");
         let g60 = run(60).time_gain_pct(&baseline);
         assert!((50.0..80.0).contains(&g60), "gain at 60% = {g60}");
+    }
+
+    #[test]
+    fn time_gain_pct_guards_zero_baseline() {
+        // An empty plan executes in zero time; comparing against it must
+        // not produce NaN/inf.
+        let c = Cluster::paper_testbed(0, 42);
+        let empty = execute(&c, &Plan::default(), &ExecConfig::default());
+        assert_eq!(empty.total, SimDuration::ZERO);
+        let r = run(0);
+        assert_eq!(r.time_gain_pct(&empty), 0.0);
+        assert!(r.time_gain_pct(&empty).is_finite());
+        // Degenerate self-comparison of the empty report too.
+        assert_eq!(empty.time_gain_pct(&empty), 0.0);
+        assert_eq!(empty.mean_vm_ready, SimDuration::ZERO);
+        assert_eq!(empty.vm_ready.mean(), 0.0);
     }
 
     #[test]
@@ -460,6 +767,81 @@ mod tests {
             )
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn sharded_report_is_byte_identical_for_any_shards_and_workers() {
+        let c = Cluster::paper_testbed(40, 42);
+        let plan = plan_upgrade(&c, 2).unwrap();
+        let cfg = ExecConfig::default();
+        let baseline = execute(&c, &plan, &cfg);
+        for shards in [1usize, 2, 3, 5, 64] {
+            for workers in [1usize, 3, 8] {
+                let r = execute_sharded_with(
+                    &c,
+                    &plan,
+                    &cfg,
+                    &FaultPlan::disarmed(),
+                    shards,
+                    &WorkerPool::new(workers),
+                );
+                assert_eq!(r, baseline, "shards={shards} workers={workers}");
+                assert_eq!(r.render(), baseline.render());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_with_armed_faults_matches_the_sequential_walk() {
+        let c = Cluster::paper_testbed(80, 42);
+        let plan = plan_upgrade(&c, 2).unwrap();
+        let cfg = ExecConfig::default();
+        let run = |shards: usize, workers: usize| {
+            let faults = FaultPlan::new(0xfa01);
+            faults.arm(InjectionPoint::HostFailure, 0.4, u64::MAX);
+            let r =
+                execute_sharded_with(&c, &plan, &cfg, &faults, shards, &WorkerPool::new(workers));
+            (r, faults.log().render())
+        };
+        let (seq_report, seq_log) = run(1, 1);
+        let (sharded_report, sharded_log) = run(8, 4);
+        assert_eq!(sharded_report, seq_report);
+        assert_eq!(sharded_log, seq_log, "fault replay must be order-identical");
+        assert!(
+            seq_report.host_retries > 0,
+            "the armed plan must actually fire"
+        );
+    }
+
+    #[test]
+    fn memoized_cost_evaluation_matches_per_host_recomputation() {
+        // Same hardware, but the specs compare unequal (different name
+        // strings), which disables the uniform-spec memo: the reports
+        // must still match bit for bit.
+        let c = Cluster::paper_testbed(40, 42);
+        let mut unmemoized = c.clone();
+        for (i, h) in unmemoized.hosts.iter_mut().enumerate() {
+            h.spec.name = format!("G5K-{i}");
+        }
+        assert!(crate::model::ClusterView::uniform_spec(&unmemoized).is_none());
+        let plan = plan_upgrade(&c, 2).unwrap();
+        let cfg = ExecConfig::default();
+        let memoized = execute(&c, &plan, &cfg);
+        let recomputed = execute(&unmemoized, &plan, &cfg);
+        assert_eq!(memoized, recomputed);
+    }
+
+    #[test]
+    fn synthetic_view_executes_like_its_materialization() {
+        let syn = Cluster::synthetic(40, 0xd00d).with_compat_percent(70);
+        let mat = syn.materialize();
+        let plan_syn = plan_upgrade(&syn, 2).unwrap();
+        let plan_mat = plan_upgrade(&mat, 2).unwrap();
+        assert_eq!(plan_syn, plan_mat);
+        let cfg = ExecConfig::default();
+        let r_syn = execute_sharded(&syn, &plan_syn, &cfg, 4);
+        let r_mat = execute(&mat, &plan_mat, &cfg);
+        assert_eq!(r_syn, r_mat);
     }
 
     #[test]
@@ -547,6 +929,25 @@ mod tests {
         );
         assert_eq!(again.total, spdf.total);
         assert_eq!(again.mean_vm_ready, spdf.mean_vm_ready);
+    }
+
+    #[test]
+    fn streaming_telemetry_is_consistent_with_the_scalar_fields() {
+        let c = Cluster::paper_testbed(0, 42);
+        let plan = plan_upgrade(&c, 2).unwrap();
+        let r = execute(&c, &plan, &ExecConfig::default());
+        assert_eq!(r.vm_ready.count as usize, r.migrations);
+        assert_eq!(r.vm_ready_hist.total() as usize, r.migrations);
+        assert_eq!(r.group_drain.count as usize, plan.groups.len());
+        // The streamed mean reproduces mean_vm_ready (integer-truncated).
+        let mean_ns = (r.vm_ready.mean() * 1e9) as u64;
+        let diff = mean_ns.abs_diff(r.mean_vm_ready.as_nanos());
+        assert!(
+            diff < 1_000,
+            "stream mean {mean_ns} vs {:?}",
+            r.mean_vm_ready
+        );
+        assert!(r.vm_ready.max <= r.group_drain.max);
     }
 
     #[test]

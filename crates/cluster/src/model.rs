@@ -120,6 +120,249 @@ impl Cluster {
             .filter(|&i| self.vms[i].host == host)
             .collect()
     }
+
+    /// A lazy datacenter-scale fleet: `n_hosts` G5K-class hosts with 10
+    /// VMs each, derived on demand from `seed` (see [`SyntheticCluster`]).
+    /// Nothing is allocated per host or per VM until it is touched.
+    pub fn synthetic(n_hosts: usize, seed: u64) -> SyntheticCluster {
+        SyntheticCluster {
+            hosts: n_hosts,
+            vms_per_host: 10,
+            compat_percent: 80,
+            seed,
+            spec: MachineSpec::cluster_node(),
+            host_reserve_gb: 8,
+        }
+    }
+}
+
+/// The planner/executor's read-only view of a VM — just the fields the
+/// scheduling and cost models consume, cheap to derive on the fly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VmView {
+    /// Memory footprint in GiB.
+    pub memory_gb: u64,
+    /// Workload dirty rate (drives the pre-copy extension).
+    pub dirty_rate_pages_per_sec: f64,
+    /// Whether the VM can ride through an InPlaceTP micro-reboot.
+    pub inplace_compatible: bool,
+    /// The host the VM lives on before the plan runs.
+    pub home: usize,
+}
+
+/// Read-only cluster access for the planner and executor.
+///
+/// [`Cluster`] materializes hosts and VMs as `Vec`s — fine for testbeds,
+/// hopeless for 10k-host fleets. This trait is the seam that lets the
+/// same planner/executor run over either a materialized [`Cluster`] or a
+/// lazy [`SyntheticCluster`] whose per-VM state is a pure function of
+/// `(seed, index)`: O(1) memory per untouched entity.
+///
+/// `Sync` is required so sharded execution can read the view from pool
+/// workers.
+pub trait ClusterView: Sync {
+    /// Number of hosts.
+    fn host_count(&self) -> usize;
+    /// Number of VMs.
+    fn vm_count(&self) -> usize;
+    /// GiB reserved per host for the administration OS.
+    fn host_reserve_gb(&self) -> u64;
+    /// Hardware description of a host.
+    fn host_spec(&self, host: usize) -> &MachineSpec;
+    /// The VM's scheduling-relevant fields.
+    fn vm(&self, vm: usize) -> VmView;
+    /// The VM's name (error reporting only — may allocate).
+    fn vm_name(&self, vm: usize) -> String;
+    /// `Some(spec)` when every host shares one hardware spec — the
+    /// executor then memoizes per-class cost evaluations instead of
+    /// recomputing them per host/VM.
+    fn uniform_spec(&self) -> Option<&MachineSpec>;
+
+    /// VM slots (by GiB) available on a host.
+    fn host_capacity_gb(&self, host: usize) -> u64 {
+        self.host_spec(host)
+            .ram_gb
+            .saturating_sub(self.host_reserve_gb())
+    }
+}
+
+impl ClusterView for Cluster {
+    fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    fn host_reserve_gb(&self) -> u64 {
+        self.host_reserve_gb
+    }
+
+    fn host_spec(&self, host: usize) -> &MachineSpec {
+        &self.hosts[host].spec
+    }
+
+    fn vm(&self, vm: usize) -> VmView {
+        let v = &self.vms[vm];
+        VmView {
+            memory_gb: v.config.memory_gb,
+            dirty_rate_pages_per_sec: v.profile.dirty_rate_pages_per_sec,
+            inplace_compatible: v.config.inplace_compatible,
+            home: v.host,
+        }
+    }
+
+    fn vm_name(&self, vm: usize) -> String {
+        self.vms[vm].name.clone()
+    }
+
+    fn uniform_spec(&self) -> Option<&MachineSpec> {
+        let first = &self.hosts.first()?.spec;
+        self.hosts[1..]
+            .iter()
+            .all(|h| h.spec == *first)
+            .then_some(first)
+    }
+}
+
+/// A datacenter-scale fleet that never materializes: host and VM state is
+/// derived on first touch as a pure function of `(seed, index)`.
+///
+/// Layout mirrors [`Cluster::paper_testbed`] scaled out: every host is a
+/// G5K-class node carrying `vms_per_host` 4 GiB VMs; each VM's workload
+/// class (30% video-stream, 30% cpu-mem, 40% idle by slot) is fixed by
+/// its slot and its InPlaceTP compatibility is an independent seeded coin
+/// flip at `compat_percent`. [`SyntheticCluster::materialize`] builds the
+/// equivalent `Vec`-backed [`Cluster`] for equivalence testing (don't do
+/// this at 10k hosts).
+#[derive(Debug, Clone)]
+pub struct SyntheticCluster {
+    hosts: usize,
+    vms_per_host: usize,
+    compat_percent: u32,
+    seed: u64,
+    spec: MachineSpec,
+    host_reserve_gb: u64,
+}
+
+/// SplitMix64 finalizer: the per-index hash behind the lazy derivation.
+fn mix(seed: u64, i: u64) -> u64 {
+    let mut z = seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SyntheticCluster {
+    /// Sets the VM count per host (default 10).
+    pub fn with_vms_per_host(mut self, n: usize) -> Self {
+        self.vms_per_host = n;
+        self
+    }
+
+    /// Sets the InPlaceTP-compatible share of VMs (default 80%).
+    pub fn with_compat_percent(mut self, pct: u32) -> Self {
+        self.compat_percent = pct.min(100);
+        self
+    }
+
+    /// The seed the fleet derives from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The dirty rate of a VM's workload class, by slot — same 30/30/40
+    /// video/cpu/idle mix as the paper testbed.
+    fn dirty_rate_for_slot(slot: usize) -> f64 {
+        match slot % 10 {
+            0..=2 => WorkloadProfile::video_stream().dirty_rate_pages_per_sec,
+            3..=5 => WorkloadProfile::cpu_mem().dirty_rate_pages_per_sec,
+            _ => WorkloadProfile::idle().dirty_rate_pages_per_sec,
+        }
+    }
+
+    /// The workload profile of a VM's slot (used by
+    /// [`SyntheticCluster::materialize`]).
+    fn profile_for_slot(slot: usize) -> WorkloadProfile {
+        match slot % 10 {
+            0..=2 => WorkloadProfile::video_stream(),
+            3..=5 => WorkloadProfile::cpu_mem(),
+            _ => WorkloadProfile::idle(),
+        }
+    }
+
+    fn is_compat(&self, vm: usize) -> bool {
+        (mix(self.seed, vm as u64) % 100) < self.compat_percent as u64
+    }
+
+    /// Builds the equivalent materialized [`Cluster`] — equivalence
+    /// testing only; allocates every host and VM.
+    pub fn materialize(&self) -> Cluster {
+        let hosts = (0..self.hosts)
+            .map(|_| HostState {
+                spec: self.spec.clone(),
+                hypervisor: HypervisorKind::Xen,
+                upgraded: false,
+            })
+            .collect();
+        let vms = (0..self.vm_count())
+            .map(|i| {
+                let host = i / self.vms_per_host;
+                let slot = i % self.vms_per_host;
+                let config = VmConfig::small(format!("vm-{host}-{slot}"))
+                    .with_memory_gb(4)
+                    .with_inplace_compatible(self.is_compat(i));
+                ClusterVm {
+                    name: config.name.clone(),
+                    config,
+                    profile: Self::profile_for_slot(slot),
+                    host,
+                }
+            })
+            .collect();
+        Cluster {
+            hosts,
+            vms,
+            host_reserve_gb: self.host_reserve_gb,
+        }
+    }
+}
+
+impl ClusterView for SyntheticCluster {
+    fn host_count(&self) -> usize {
+        self.hosts
+    }
+
+    fn vm_count(&self) -> usize {
+        self.hosts * self.vms_per_host
+    }
+
+    fn host_reserve_gb(&self) -> u64 {
+        self.host_reserve_gb
+    }
+
+    fn host_spec(&self, _host: usize) -> &MachineSpec {
+        &self.spec
+    }
+
+    fn vm(&self, vm: usize) -> VmView {
+        debug_assert!(vm < self.vm_count());
+        VmView {
+            memory_gb: 4,
+            dirty_rate_pages_per_sec: Self::dirty_rate_for_slot(vm % self.vms_per_host),
+            inplace_compatible: self.is_compat(vm),
+            home: vm / self.vms_per_host,
+        }
+    }
+
+    fn vm_name(&self, vm: usize) -> String {
+        format!("vm-{}-{}", vm / self.vms_per_host, vm % self.vms_per_host)
+    }
+
+    fn uniform_spec(&self) -> Option<&MachineSpec> {
+        Some(&self.spec)
+    }
 }
 
 #[cfg(test)]
@@ -163,5 +406,51 @@ mod tests {
         let fa: Vec<bool> = a.vms.iter().map(|v| v.config.inplace_compatible).collect();
         let fb: Vec<bool> = b.vms.iter().map(|v| v.config.inplace_compatible).collect();
         assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn synthetic_view_matches_its_materialization() {
+        let syn = Cluster::synthetic(37, 0xfee1).with_compat_percent(60);
+        let mat = syn.materialize();
+        assert_eq!(syn.host_count(), mat.host_count());
+        assert_eq!(syn.vm_count(), mat.vm_count());
+        assert_eq!(syn.host_reserve_gb(), mat.host_reserve_gb());
+        for h in 0..syn.host_count() {
+            assert_eq!(syn.host_spec(h), mat.host_spec(h));
+            assert_eq!(
+                ClusterView::host_capacity_gb(&syn, h),
+                ClusterView::host_capacity_gb(&mat, h)
+            );
+        }
+        for v in 0..syn.vm_count() {
+            assert_eq!(syn.vm(v), mat.vm(v), "vm {v}");
+            assert_eq!(syn.vm_name(v), mat.vm_name(v));
+        }
+    }
+
+    #[test]
+    fn synthetic_compat_share_tracks_the_percent() {
+        let syn = Cluster::synthetic(1000, 7).with_compat_percent(80);
+        let n = (0..syn.vm_count())
+            .filter(|&v| syn.vm(v).inplace_compatible)
+            .count();
+        let share = n as f64 / syn.vm_count() as f64;
+        assert!((0.77..0.83).contains(&share), "share = {share}");
+        // Seeds decorrelate the assignment.
+        let other = Cluster::synthetic(1000, 8).with_compat_percent(80);
+        let flips: Vec<bool> = (0..100).map(|v| syn.vm(v).inplace_compatible).collect();
+        let flips2: Vec<bool> = (0..100).map(|v| other.vm(v).inplace_compatible).collect();
+        assert_ne!(flips, flips2);
+    }
+
+    #[test]
+    fn synthetic_uniform_spec_enables_memoization() {
+        let syn = Cluster::synthetic(5, 1);
+        assert!(syn.uniform_spec().is_some());
+        // The paper testbed is uniform too; a mixed fleet is not.
+        let mut c = Cluster::paper_testbed(0, 1);
+        assert!(c.uniform_spec().is_some());
+        c.hosts[3].spec = MachineSpec::m1();
+        assert!(c.uniform_spec().is_none());
     }
 }

@@ -7,8 +7,20 @@
 //! with the most free capacity outside the group (preferring
 //! already-upgraded hosts so it never has to move again); compatible VMs
 //! stay and are carried through the host's in-place transplant.
+//!
+//! The planner is generic over [`ClusterView`], so it runs unchanged over
+//! a materialized [`crate::model::Cluster`] or a lazy
+//! [`crate::model::SyntheticCluster`]. Placement state is an overlay
+//! (per-host free GiB, a current-host array, per-host arrival lists) and
+//! target selection is an ordered-set lookup, so planning is
+//! O((V + H·G⁻¹·…) log H) — near-linear in fleet size — instead of the
+//! O(H·V) full-scan-per-host shape that capped the old implementation at
+//! toy fleets. The produced [`Plan`] is byte-identical to the scan-based
+//! planner's (the test module keeps that one as an oracle).
 
-use crate::model::Cluster;
+use std::collections::BTreeSet;
+
+use crate::model::ClusterView;
 
 /// One step of a reconfiguration plan.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,7 +46,7 @@ pub enum Action {
 
 /// A reconfiguration plan: actions grouped by offline group, to execute
 /// group-by-group.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Plan {
     /// Per-group action lists, in execution order.
     pub groups: Vec<Vec<Action>>,
@@ -89,10 +101,25 @@ impl std::fmt::Display for PlanError {
 impl std::error::Error for PlanError {}
 
 /// Plans a rolling cluster upgrade with offline groups of `group_size`
-/// hosts. Mutates a copy of the cluster to track placement; the input is
-/// untouched.
-pub fn plan_upgrade(cluster: &Cluster, group_size: usize) -> Result<Plan, PlanError> {
-    plan_upgrade_excluding(cluster, group_size, &[])
+/// hosts. The input view is read-only; placement is tracked in an
+/// overlay.
+pub fn plan_upgrade<V: ClusterView + ?Sized>(
+    view: &V,
+    group_size: usize,
+) -> Result<Plan, PlanError> {
+    plan_upgrade_excluding(view, group_size, &[])
+}
+
+/// Picks the best target in an ordered `(free_gb, host)` set: the
+/// maximal element, iff it has room. Because the set's maximum has the
+/// globally largest `(free, host)` pair, it is exactly the
+/// `max_by_key((upgraded, free))` winner restricted to this set —
+/// including the highest-host-index tie-break of a forward `max_by_key`
+/// scan.
+fn pick(set: &BTreeSet<(u64, usize)>, need_gb: u64) -> Option<usize> {
+    set.last()
+        .filter(|&&(free, _)| free >= need_gb)
+        .map(|&(_, host)| host)
 }
 
 /// [`plan_upgrade`] over a degraded cluster: `excluded` hosts (failed or
@@ -100,44 +127,112 @@ pub fn plan_upgrade(cluster: &Cluster, group_size: usize) -> Result<Plan, PlanEr
 /// used as migration targets. VMs resident on an excluded host stay put —
 /// the host keeps serving on its old hypervisor and its exposure is
 /// accounted at the campaign level, not the plan level.
-pub fn plan_upgrade_excluding(
-    cluster: &Cluster,
+pub fn plan_upgrade_excluding<V: ClusterView + ?Sized>(
+    view: &V,
     group_size: usize,
     excluded: &[usize],
 ) -> Result<Plan, PlanError> {
-    let eligible: Vec<usize> = (0..cluster.hosts.len())
-        .filter(|h| !excluded.contains(h))
-        .collect();
+    let n_hosts = view.host_count();
+    let n_vms = view.vm_count();
+    let eligible: Vec<usize> = (0..n_hosts).filter(|h| !excluded.contains(h)).collect();
     if group_size == 0 || group_size > eligible.len() {
         return Err(PlanError::BadGroupSize);
     }
-    let mut state = cluster.clone();
+
+    // One pass over the VMs: per-host used GiB, the current-host overlay,
+    // and a CSR index of home placements (ascending VM order per host).
+    let mut used = vec![0u64; n_hosts];
+    let mut counts = vec![0u32; n_hosts];
+    let mut cur = vec![0u32; n_vms];
+    for (i, cur_home) in cur.iter_mut().enumerate() {
+        let vm = view.vm(i);
+        used[vm.home] += vm.memory_gb;
+        counts[vm.home] += 1;
+        *cur_home = vm.home as u32;
+    }
+    let mut offsets = vec![0usize; n_hosts + 1];
+    for h in 0..n_hosts {
+        offsets[h + 1] = offsets[h] + counts[h] as usize;
+    }
+    let mut home_vms = vec![0u32; n_vms];
+    let mut fill = offsets.clone();
+    for (i, &home) in cur.iter().enumerate() {
+        home_vms[fill[home as usize]] = i as u32;
+        fill[home as usize] += 1;
+    }
+
+    let free = |host: usize, used: &[u64]| view.host_capacity_gb(host).saturating_sub(used[host]);
+
+    // Target indices: every non-excluded host, keyed by (free, host), in
+    // two tiers — already-upgraded hosts are always preferred over fresh
+    // ones, matching `max_by_key((upgraded, free_gb))`.
+    let mut fresh: BTreeSet<(u64, usize)> = eligible.iter().map(|&h| (free(h, &used), h)).collect();
+    let mut upgraded: BTreeSet<(u64, usize)> = BTreeSet::new();
+    let mut arrivals: Vec<Vec<u32>> = vec![Vec::new(); n_hosts];
+
     let mut plan = Plan::default();
     let mut group_start = 0usize;
     while group_start < eligible.len() {
-        let group: Vec<usize> =
-            eligible[group_start..(group_start + group_size).min(eligible.len())].to_vec();
+        let group = &eligible[group_start..(group_start + group_size).min(eligible.len())];
+        // The offline group cannot receive evacuated VMs.
+        for &g in group {
+            let key = (free(g, &used), g);
+            if !fresh.remove(&key) {
+                upgraded.remove(&key);
+            }
+        }
         let mut actions = Vec::new();
-        for &host in &group {
-            let resident = state.vms_on(host);
+        for &host in group {
+            // Resident snapshot: home VMs that have not moved away plus
+            // arrivals that have not moved on, in ascending VM order (an
+            // arrival can appear twice if it left and returned — dedup).
+            let mut resident: Vec<u32> = home_vms[offsets[host]..offsets[host + 1]]
+                .iter()
+                .chain(arrivals[host].iter())
+                .copied()
+                .filter(|&i| cur[i as usize] == host as u32)
+                .collect();
+            resident.sort_unstable();
+            resident.dedup();
             let mut staying = 0usize;
-            for vm in resident {
-                if state.vms[vm].config.inplace_compatible {
+            for &vm32 in &resident {
+                let vm = vm32 as usize;
+                let info = view.vm(vm);
+                if info.inplace_compatible {
                     staying += 1;
                     continue;
                 }
-                let to = best_target(&state, &group, excluded, state.vms[vm].config.memory_gb)
+                let need = info.memory_gb;
+                let to = pick(&upgraded, need)
+                    .or_else(|| pick(&fresh, need))
                     .ok_or_else(|| PlanError::NoCapacity {
-                        vm: state.vms[vm].name.clone(),
+                        vm: view.vm_name(vm),
                     })?;
                 actions.push(Action::Migrate { vm, from: host, to });
-                state.vms[vm].host = to;
+                let key = (free(to, &used), to);
+                let was_upgraded = upgraded.remove(&key);
+                if !was_upgraded {
+                    fresh.remove(&key);
+                }
+                used[to] += need;
+                used[host] -= need;
+                let key = (free(to, &used), to);
+                if was_upgraded {
+                    upgraded.insert(key);
+                } else {
+                    fresh.insert(key);
+                }
+                cur[vm] = to as u32;
+                arrivals[to].push(vm32);
             }
             actions.push(Action::InPlaceUpgrade {
                 host,
                 vm_count: staying,
             });
-            state.hosts[host].upgraded = true;
+        }
+        // The group is back online, upgraded, with its evacuations freed.
+        for &g in group {
+            upgraded.insert((free(g, &used), g));
         }
         plan.groups.push(actions);
         group_start += group_size;
@@ -145,35 +240,30 @@ pub fn plan_upgrade_excluding(
     Ok(plan)
 }
 
-/// Chooses the destination for an evacuated VM: the host outside the
-/// offline group (and not excluded) with enough free memory, preferring
-/// already-upgraded hosts (so the VM never moves again), then the most
-/// free capacity.
-fn best_target(
-    cluster: &Cluster,
-    group: &[usize],
-    excluded: &[usize],
-    need_gb: u64,
-) -> Option<usize> {
-    (0..cluster.hosts.len())
-        .filter(|h| !group.contains(h) && !excluded.contains(h))
-        .filter(|&h| cluster.host_free_gb(h) >= need_gb)
-        .max_by_key(|&h| (cluster.hosts[h].upgraded, cluster.host_free_gb(h)))
-}
-
 /// Checks that a plan never overflows any host's capacity when executed
 /// step by step (test support).
-pub fn validate_capacity(cluster: &Cluster, plan: &Plan) -> Result<(), PlanError> {
-    let mut state = cluster.clone();
+pub fn validate_capacity<V: ClusterView + ?Sized>(view: &V, plan: &Plan) -> Result<(), PlanError> {
+    let n_hosts = view.host_count();
+    let n_vms = view.vm_count();
+    let mut used = vec![0u64; n_hosts];
+    let mut cur = vec![0usize; n_vms];
+    for (i, cur_home) in cur.iter_mut().enumerate() {
+        let vm = view.vm(i);
+        used[vm.home] += vm.memory_gb;
+        *cur_home = vm.home;
+    }
     for action in plan.actions() {
         if let Action::Migrate { vm, from, to } = action {
-            assert_eq!(state.vms[*vm].host, *from, "plan is self-consistent");
-            if state.host_free_gb(*to) < state.vms[*vm].config.memory_gb {
+            assert_eq!(cur[*vm], *from, "plan is self-consistent");
+            let need = view.vm(*vm).memory_gb;
+            if view.host_capacity_gb(*to).saturating_sub(used[*to]) < need {
                 return Err(PlanError::NoCapacity {
-                    vm: state.vms[*vm].name.clone(),
+                    vm: view.vm_name(*vm),
                 });
             }
-            state.vms[*vm].host = *to;
+            used[*from] -= need;
+            used[*to] += need;
+            cur[*vm] = *to;
         }
     }
     Ok(())
@@ -183,6 +273,113 @@ pub fn validate_capacity(cluster: &Cluster, plan: &Plan) -> Result<(), PlanError
 mod tests {
     use super::*;
     use crate::model::Cluster;
+
+    /// The original O(H·V)-per-host scan planner, kept verbatim as an
+    /// oracle: the indexed planner must reproduce its plans byte for
+    /// byte.
+    mod oracle {
+        use super::super::{Action, Plan, PlanError};
+        use crate::model::Cluster;
+
+        pub fn plan_upgrade_excluding(
+            cluster: &Cluster,
+            group_size: usize,
+            excluded: &[usize],
+        ) -> Result<Plan, PlanError> {
+            let eligible: Vec<usize> = (0..cluster.hosts.len())
+                .filter(|h| !excluded.contains(h))
+                .collect();
+            if group_size == 0 || group_size > eligible.len() {
+                return Err(PlanError::BadGroupSize);
+            }
+            let mut state = cluster.clone();
+            let mut plan = Plan::default();
+            let mut group_start = 0usize;
+            while group_start < eligible.len() {
+                let group: Vec<usize> =
+                    eligible[group_start..(group_start + group_size).min(eligible.len())].to_vec();
+                let mut actions = Vec::new();
+                for &host in &group {
+                    let resident = state.vms_on(host);
+                    let mut staying = 0usize;
+                    for vm in resident {
+                        if state.vms[vm].config.inplace_compatible {
+                            staying += 1;
+                            continue;
+                        }
+                        let to =
+                            best_target(&state, &group, excluded, state.vms[vm].config.memory_gb)
+                                .ok_or_else(|| PlanError::NoCapacity {
+                                vm: state.vms[vm].name.clone(),
+                            })?;
+                        actions.push(Action::Migrate { vm, from: host, to });
+                        state.vms[vm].host = to;
+                    }
+                    actions.push(Action::InPlaceUpgrade {
+                        host,
+                        vm_count: staying,
+                    });
+                    state.hosts[host].upgraded = true;
+                }
+                plan.groups.push(actions);
+                group_start += group_size;
+            }
+            Ok(plan)
+        }
+
+        fn best_target(
+            cluster: &Cluster,
+            group: &[usize],
+            excluded: &[usize],
+            need_gb: u64,
+        ) -> Option<usize> {
+            (0..cluster.hosts.len())
+                .filter(|h| !group.contains(h) && !excluded.contains(h))
+                .filter(|&h| cluster.host_free_gb(h) >= need_gb)
+                .max_by_key(|&h| (cluster.hosts[h].upgraded, cluster.host_free_gb(h)))
+        }
+    }
+
+    #[test]
+    fn indexed_planner_matches_the_scan_oracle() {
+        for seed in [3u64, 42, 99] {
+            for pct in [0u32, 20, 50, 80, 100] {
+                for group in [1usize, 2, 3, 7] {
+                    let c = Cluster::paper_testbed(pct, seed);
+                    // Compare Results: large groups over-fill the
+                    // remaining hosts, and the two planners must fail on
+                    // the same VM in that case.
+                    let fast = plan_upgrade(&c, group);
+                    let slow = oracle::plan_upgrade_excluding(&c, group, &[]);
+                    assert_eq!(fast, slow, "seed={seed} pct={pct} group={group}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_planner_matches_oracle_with_exclusions() {
+        for excluded in [vec![0usize], vec![3, 7], vec![9, 1, 5]] {
+            let c = Cluster::paper_testbed(30, 42);
+            let fast = plan_upgrade_excluding(&c, 2, &excluded).unwrap();
+            let slow = oracle::plan_upgrade_excluding(&c, 2, &excluded).unwrap();
+            assert_eq!(fast, slow, "excluded={excluded:?}");
+        }
+    }
+
+    #[test]
+    fn indexed_planner_matches_oracle_on_synthetic_fleets() {
+        for hosts in [5usize, 24, 100] {
+            let syn = Cluster::synthetic(hosts, 0xbeef).with_compat_percent(50);
+            let mat = syn.materialize();
+            let via_view = plan_upgrade(&syn, 2).unwrap();
+            let via_cluster = plan_upgrade(&mat, 2).unwrap();
+            let slow = oracle::plan_upgrade_excluding(&mat, 2, &[]).unwrap();
+            assert_eq!(via_view, via_cluster, "hosts={hosts}");
+            assert_eq!(via_view, slow, "hosts={hosts}");
+            validate_capacity(&syn, &via_view).unwrap();
+        }
+    }
 
     #[test]
     fn all_migration_plan_size_matches_paper() {

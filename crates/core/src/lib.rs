@@ -37,6 +37,9 @@ pub use error::HtpError;
 pub use hypervisor::{Hypervisor, HypervisorKind, RestoredVm};
 pub use inplace::{InPlaceReport, InPlaceTransplant, IncrementalConfig, Optimizations, WarmRound};
 pub use memsep::{MemSepReport, StateCategory};
-pub use recovery::{migrate_or_inplace, migration_error_is_recoverable, FallbackOutcome};
+pub use recovery::{
+    host_failure_gate, migrate_or_inplace, migration_error_is_recoverable, FallbackOutcome,
+    HostGate,
+};
 pub use registry::HypervisorRegistry;
 pub use vm::{VmConfig, VmId, VmState};

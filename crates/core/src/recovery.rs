@@ -89,6 +89,59 @@ pub fn migrate_or_inplace<M, I>(
     }
 }
 
+/// Verdict of one host-upgrade attempt under
+/// [`InjectionPoint::HostFailure`] injection — see [`host_failure_gate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostGate {
+    /// No fault fired; the upgrade attempt succeeds.
+    Proceed,
+    /// The attempt faulted within the retry budget: the host goes back in
+    /// the queue (or retries in place) with one more failure on record.
+    Retry,
+    /// The attempt faulted past the retry budget: the host is dropped
+    /// from the plan/wave and accounted as residual exposure.
+    Exclude,
+}
+
+/// The shared retry/requeue/exclude decision for rolling host upgrades.
+///
+/// Both the campaign's wave orchestrator and the plan executor gate every
+/// host-upgrade attempt through this: consult the fault plan at `site`,
+/// and on an injection either grant a retry (`prior_failures <
+/// max_retries`) or exclude the host, recording the canonical
+/// [`RecoveryAction`] either way. Centralizing the wording and the
+/// off-by-one (`failures > max_retries` excludes) keeps the two
+/// orchestrators' fault logs and accounting consistent.
+///
+/// Must be called from the orchestrating thread only (the fault plan's
+/// consultation order is part of the deterministic replay contract).
+pub fn host_failure_gate(
+    faults: &FaultPlan,
+    site: &str,
+    prior_failures: u32,
+    max_retries: u32,
+) -> HostGate {
+    if !faults.should_inject(InjectionPoint::HostFailure, site) {
+        return HostGate::Proceed;
+    }
+    let failures = prior_failures + 1;
+    if failures > max_retries {
+        faults.record_recovery(
+            InjectionPoint::HostFailure,
+            RecoveryAction::ExcludedHost,
+            &format!("{site}: excluded after {failures} failed attempts"),
+        );
+        HostGate::Exclude
+    } else {
+        faults.record_recovery(
+            InjectionPoint::HostFailure,
+            RecoveryAction::RequeuedHost,
+            &format!("{site}: attempt {failures} failed, requeued"),
+        );
+        HostGate::Retry
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +209,50 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, HtpError::IntegrityViolation { .. }));
         assert!(faults.log().is_empty());
+    }
+
+    #[test]
+    fn gate_proceeds_when_nothing_fires() {
+        let faults = FaultPlan::disarmed();
+        assert_eq!(
+            host_failure_gate(&faults, "wave host c0", 0, 2),
+            HostGate::Proceed
+        );
+        assert!(faults.log().is_empty());
+    }
+
+    #[test]
+    fn gate_retries_then_excludes_past_budget() {
+        let faults = FaultPlan::disarmed();
+        faults.arm_calls(InjectionPoint::HostFailure, &[1, 2, 3]);
+        assert_eq!(
+            host_failure_gate(&faults, "wave host c0", 0, 2),
+            HostGate::Retry
+        );
+        assert_eq!(
+            host_failure_gate(&faults, "wave host c0", 1, 2),
+            HostGate::Retry
+        );
+        assert_eq!(
+            host_failure_gate(&faults, "wave host c0", 2, 2),
+            HostGate::Exclude
+        );
+        let log = faults.log();
+        assert_eq!(
+            log.recoveries(InjectionPoint::HostFailure, RecoveryAction::RequeuedHost),
+            2
+        );
+        assert_eq!(
+            log.recoveries(InjectionPoint::HostFailure, RecoveryAction::ExcludedHost),
+            1
+        );
+    }
+
+    #[test]
+    fn gate_with_zero_retries_excludes_immediately() {
+        let faults = FaultPlan::disarmed();
+        faults.arm_once(InjectionPoint::HostFailure);
+        assert_eq!(host_failure_gate(&faults, "h0", 0, 0), HostGate::Exclude);
     }
 
     #[test]

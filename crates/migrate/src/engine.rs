@@ -2121,4 +2121,24 @@ mod tests {
         // All four guests actually arrived.
         assert_eq!(to_kvm.len(), 4);
     }
+
+    #[test]
+    fn empty_fleet_report_ratios_stay_finite() {
+        // A fleet that migrated nothing must not divide by zero anywhere
+        // in the telemetry accessors.
+        let empty = FleetReport {
+            reports: Vec::new(),
+            predictions: Vec::new(),
+            admission_predictions: Vec::new(),
+            policy: FleetPolicy::default(),
+            admission: Vec::new(),
+            makespan: SimDuration::ZERO,
+        };
+        assert_eq!(empty.mean_downtime(), SimDuration::ZERO);
+        assert_eq!(empty.mean_ready(), SimDuration::ZERO);
+        assert_eq!(empty.total_bytes(), 0);
+        assert!(empty.precopy_error_pct().is_empty());
+        assert_eq!(empty.mean_abs_precopy_error_pct(), 0.0);
+        assert!(empty.mean_abs_precopy_error_pct().is_finite());
+    }
 }

@@ -432,4 +432,22 @@ mod tests {
         assert_eq!(agg.cache_occupancy(), 20, "latest snapshot wins");
         assert_eq!(agg.cache_capacity(), 64);
     }
+
+    #[test]
+    fn zero_denominator_ratios_stay_finite() {
+        // A migration that shipped nothing must not divide by zero: the
+        // compression ratio degenerates to 1.0 (no savings) and the hit
+        // rate to 0.0 (no lookups), both finite.
+        let empty = WireStats::new();
+        assert_eq!(empty.raw_equivalent_bytes(), 0);
+        assert_eq!(empty.compression_ratio(), 1.0);
+        assert!(empty.compression_ratio().is_finite());
+        assert_eq!(empty.dedup_hit_rate(), 0.0);
+        assert!(empty.dedup_hit_rate().is_finite());
+        // Merging empties keeps the degenerate values.
+        let mut agg = WireStats::new();
+        agg.merge(&empty);
+        assert_eq!(agg.compression_ratio(), 1.0);
+        assert_eq!(agg.dedup_hit_rate(), 0.0);
+    }
 }

@@ -74,6 +74,15 @@ impl<E> EventQueue<E> {
         EventQueue::default()
     }
 
+    /// Creates an empty queue with room for `capacity` pending events —
+    /// avoids heap regrowth in tight per-group simulation loops.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
     /// Schedules `payload` to fire at instant `at`.
     pub fn schedule(&mut self, at: SimTime, payload: E) {
         let seq = self.next_seq;

@@ -393,6 +393,18 @@ impl FaultPlan {
         self
     }
 
+    /// Whether *any* injection point is armed (non-zero rate or pending
+    /// call ordinals). Orchestrators that parallelize fault-free work use
+    /// this to decide between the parallel path and the sequential path
+    /// that preserves `should_inject` consultation order.
+    pub fn armed(&self) -> bool {
+        let inner = self.inner.lock().expect("fault plan poisoned");
+        inner
+            .points
+            .iter()
+            .any(|st| st.rate > 0.0 || !st.armed_calls.is_empty())
+    }
+
     /// Decides — deterministically — whether a fault fires at `point` for
     /// this consultation, and if so records it against `site`.
     ///
@@ -484,6 +496,21 @@ mod tests {
             }
         }
         assert!(plan.log().is_empty());
+    }
+
+    #[test]
+    fn armed_reflects_arming_state() {
+        let plan = FaultPlan::disarmed();
+        assert!(!plan.armed());
+        plan.arm(InjectionPoint::HostFailure, 0.5, 10);
+        assert!(plan.armed());
+        let once = FaultPlan::new(3);
+        once.arm_once(InjectionPoint::LinkDrop);
+        assert!(once.armed());
+        // A zero rate does not count as armed.
+        let zero = FaultPlan::new(4);
+        zero.arm(InjectionPoint::HostFailure, 0.0, 10);
+        assert!(!zero.armed());
     }
 
     #[test]

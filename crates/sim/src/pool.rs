@@ -235,6 +235,30 @@ impl WorkerPool {
         )
     }
 
+    /// Splits `0..n` into `chunks` contiguous, near-equal ranges and maps
+    /// `f` over them on the pool, returning results **in chunk order**.
+    ///
+    /// The chunking is a pure function of `(n, chunks)` — the first
+    /// `n % chunks` ranges get one extra element — so the decomposition
+    /// (and therefore any chunk-local accumulation) is identical for every
+    /// worker count. This is the sharding primitive of the campaign
+    /// engine: each range is one deterministic host/group shard.
+    ///
+    /// `chunks` is clamped to `1..=n` (0 tasks ⇒ no calls).
+    pub fn map_chunks<T, F>(&self, n: usize, chunks: usize, f: F) -> Batch<T>
+    where
+        T: Send,
+        F: Fn(std::ops::Range<usize>) -> T + Sync,
+    {
+        let fref = &f;
+        self.run(
+            chunk_ranges(n, chunks)
+                .into_iter()
+                .map(|r| move || fref(r))
+                .collect::<Vec<_>>(),
+        )
+    }
+
     /// Pipelined execution with bounded hand-off: workers *produce* items
     /// `0..n` concurrently while the calling thread *consumes* them in
     /// strict index order, at most `window` items ahead of consumption.
@@ -346,6 +370,27 @@ impl Default for WorkerPool {
     fn default() -> Self {
         WorkerPool::from_env()
     }
+}
+
+/// The contiguous near-equal decomposition behind
+/// [`WorkerPool::map_chunks`]: `chunks` ranges covering `0..n` in order,
+/// the first `n % chunks` one element longer. Empty when `n == 0`.
+pub fn chunk_ranges(n: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.clamp(1, n);
+    let base = n / chunks;
+    let extra = n % chunks;
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for c in 0..chunks {
+        let len = base + usize::from(c < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    ranges
 }
 
 #[cfg(test)]
@@ -566,6 +611,45 @@ mod tests {
             },
         );
         assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly_in_order() {
+        for n in [0usize, 1, 2, 7, 16, 100] {
+            for chunks in [1usize, 2, 3, 5, 16, 99] {
+                let ranges = chunk_ranges(n, chunks);
+                let flat: Vec<usize> = ranges.iter().cloned().flatten().collect();
+                assert_eq!(flat, (0..n).collect::<Vec<_>>(), "n={n} chunks={chunks}");
+                if n > 0 {
+                    assert_eq!(ranges.len(), chunks.clamp(1, n));
+                    let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                    let (lo, hi) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                    assert!(hi - lo <= 1, "n={n} chunks={chunks} lens={lens:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_chunks_deterministic_across_worker_counts() {
+        let expected: Vec<Vec<usize>> = chunk_ranges(37, 5)
+            .into_iter()
+            .map(|r| r.collect())
+            .collect();
+        for workers in [1, 2, 4, 16] {
+            let pool = WorkerPool::new(workers);
+            let batch = pool.map_chunks(37, 5, |r| r.collect::<Vec<usize>>());
+            assert_eq!(batch.results, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_handles_degenerate_shapes() {
+        let pool = WorkerPool::new(3);
+        assert!(pool.map_chunks(0, 4, |r| r.len()).results.is_empty());
+        // More chunks than items: clamped to one item per chunk.
+        assert_eq!(pool.map_chunks(3, 10, |r| r.len()).results, vec![1, 1, 1]);
+        assert_eq!(pool.map_chunks(5, 0, |r| r.len()).results, vec![5]);
     }
 
     #[test]

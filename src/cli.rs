@@ -150,7 +150,10 @@ pub fn help() -> String {
                   [--no-early-restore]  run InPlaceTP and print the breakdown\n\
        migrate    [--machine m1|m2] [--mem GB] [--dirty-rate P/S] [--to HV]\n\
                                         run MigrationTP and print the report\n\
-       cluster    [--compat PCT] [--group N]   plan+execute a rolling upgrade\n\
+       cluster    [--compat PCT] [--group N] [--hosts N] [--shards S]\n\
+                                        plan+execute a rolling upgrade; --hosts\n\
+                                        derives a synthetic fleet, --shards runs\n\
+                                        the sharded executor\n\
        campaign   <CVE-ID> [--hosts N] [--vms N]  full Fig. 1(b) campaign\n\
        help                             this text\n"
         .to_string()
@@ -322,16 +325,39 @@ fn run_migrate(cmd: &Command) -> Result<String, CliError> {
 fn run_cluster(cmd: &Command) -> Result<String, CliError> {
     let compat = opt_u64(cmd, "compat", 80)? as u32;
     let group = opt_u64(cmd, "group", 2)? as usize;
-    let cluster = hypertp_cluster::Cluster::paper_testbed(compat, 42);
-    let plan = hypertp_cluster::plan_upgrade(&cluster, group)
-        .map_err(|e| CliError::Failed(e.to_string()))?;
-    let report = hypertp_cluster::execute(
-        &cluster,
-        &plan,
-        &hypertp_cluster::exec::ExecConfig::default(),
-    );
+    let shards = opt_u64(cmd, "shards", 1)? as usize;
+    let cfg = hypertp_cluster::exec::ExecConfig::default();
+    // --hosts derives a synthetic fleet of that size (seed 42, like the
+    // paper testbed); without it the exact 4-host paper testbed runs, and
+    // sharding is identity-preserving so --shards never changes the report.
+    let (fleet, report) = match cmd.options.get("hosts") {
+        Some(v) => {
+            let hosts: usize = v.parse().map_err(|_| CliError::BadValue {
+                option: "hosts".to_string(),
+                value: v.clone(),
+            })?;
+            let view = hypertp_cluster::Cluster::synthetic(hosts, 42).with_compat_percent(compat);
+            let plan = hypertp_cluster::plan_upgrade(&view, group)
+                .map_err(|e| CliError::Failed(e.to_string()))?;
+            (
+                format!("{hosts} synthetic hosts, "),
+                hypertp_cluster::execute_sharded(&view, &plan, &cfg, shards),
+            )
+        }
+        None => {
+            let cluster = hypertp_cluster::Cluster::paper_testbed(compat, 42);
+            let plan = hypertp_cluster::plan_upgrade(&cluster, group)
+                .map_err(|e| CliError::Failed(e.to_string()))?;
+            let report = if shards > 1 {
+                hypertp_cluster::execute_sharded(&cluster, &plan, &cfg, shards)
+            } else {
+                hypertp_cluster::execute(&cluster, &plan, &cfg)
+            };
+            (String::new(), report)
+        }
+    };
     Ok(format!(
-        "cluster upgrade ({compat}% InPlaceTP-compatible, groups of {group}):\n  \
+        "cluster upgrade ({fleet}{compat}% InPlaceTP-compatible, groups of {group}):\n  \
          {} migrations + {} in-place upgrades in {:.1} min \
          (migration {:.1} min, in-place {:.1} min)\n",
         report.migrations,
@@ -463,6 +489,29 @@ mod tests {
     fn cluster_end_to_end() {
         let out = run(&parse(&argv("cluster --compat 80")).unwrap()).unwrap();
         assert!(out.contains("in-place upgrades"));
+    }
+
+    #[test]
+    fn cluster_shards_do_not_change_the_output() {
+        let base = run(&parse(&argv("cluster --compat 80")).unwrap()).unwrap();
+        let sharded = run(&parse(&argv("cluster --compat 80 --shards 4")).unwrap()).unwrap();
+        assert_eq!(base, sharded);
+    }
+
+    #[test]
+    fn cluster_synthetic_fleet() {
+        let out = run(&parse(&argv("cluster --hosts 500 --group 4 --shards 8")).unwrap()).unwrap();
+        assert!(out.contains("500 synthetic hosts"), "{out}");
+        assert!(out.contains("in-place upgrades"));
+        let again =
+            run(&parse(&argv("cluster --hosts 500 --group 4 --shards 3")).unwrap()).unwrap();
+        assert_eq!(out, again, "shard count must not change the report");
+    }
+
+    #[test]
+    fn cluster_bad_hosts_rejected() {
+        let r = run(&parse(&argv("cluster --hosts lots")).unwrap());
+        assert!(matches!(r, Err(CliError::BadValue { .. })));
     }
 
     #[test]

@@ -23,8 +23,11 @@
 //! (a downtime budget is set): on top of the cache rollback the
 //! controller's EWMA estimators must reset
 //! ([`RecoveryAction::ResetController`]) and the migration must still
-//! land under its budget. The CI chaos step pins the three seeds below;
-//! set `HYPERTP_SEED` to probe others.
+//! land under its budget. A seventh (own plan, rate-armed) puts host
+//! failures under the cluster executor's *sharded* path: requeues and
+//! exclusions must replay byte-identically for every shard and worker
+//! count. The CI chaos step pins the three seeds below; set
+//! `HYPERTP_SEED` to probe others.
 
 use hypertp::prelude::*;
 use hypertp_cluster::campaign::{run_campaign_with, CampaignConfig};
@@ -334,6 +337,81 @@ fn chaos_adaptive(seed: u64) -> String {
     log.render()
 }
 
+/// Scenario 7: host failures hit a cluster plan execution with sharding
+/// requested. The executor must coerce to the sequential fault walk (the
+/// consultation order is the replay contract), grant the configured
+/// retries, exclude the persistently failing host, and produce a report
+/// and log byte-identical to the unsharded run — for every shard and
+/// worker count. Uses its own plan (rate-armed). Returns the log render.
+fn chaos_sharded_exec(seed: u64) -> String {
+    use hypertp_cluster::exec::{execute_sharded_with, ExecConfig};
+    use hypertp_cluster::{plan_upgrade, Cluster};
+    use hypertp_sim::pool::WorkerPool;
+
+    let cluster = Cluster::paper_testbed(100, 42);
+    let plan = plan_upgrade(&cluster, 2).unwrap();
+    let cfg = ExecConfig::default();
+    let run = |shards: usize, workers: usize| {
+        let faults = FaultPlan::new(seed ^ 0x5aa4_ded0);
+        faults.arm(InjectionPoint::HostFailure, 0.6, u64::MAX);
+        let report = execute_sharded_with(
+            &cluster,
+            &plan,
+            &cfg,
+            &faults,
+            shards,
+            &WorkerPool::new(workers),
+        );
+        (report, faults.log().render())
+    };
+    let (base_report, base_log) = run(1, 1);
+    for (shards, workers) in [(2usize, 1usize), (4, 3), (16, 8)] {
+        let (report, log) = run(shards, workers);
+        assert_eq!(
+            report, base_report,
+            "seed {seed:#x}: sharded exec diverged at shards={shards} workers={workers}"
+        );
+        assert_eq!(
+            log, base_log,
+            "seed {seed:#x}: fault replay diverged at shards={shards} workers={workers}"
+        );
+    }
+    assert_eq!(
+        base_report.hosts_excluded + base_report.inplace_upgrades,
+        plan.inplace_count(),
+        "seed {seed:#x}: every host ends upgraded or excluded"
+    );
+    // A saturated failure rate makes both recovery paths certain for any
+    // seed: each host burns its full retry budget (two requeues) and is
+    // then excluded — under sharding too.
+    let faults = FaultPlan::new(seed ^ 0x5aa4_ded1);
+    faults.arm(InjectionPoint::HostFailure, 1.0, u64::MAX);
+    let report = execute_sharded_with(&cluster, &plan, &cfg, &faults, 8, &WorkerPool::new(2));
+    let log = faults.log();
+    assert!(
+        log.recovered_via(InjectionPoint::HostFailure, RecoveryAction::RequeuedHost),
+        "seed {seed:#x}: no requeue under sharded exec; log:\n{}",
+        log.render()
+    );
+    assert!(
+        log.recovered_via(InjectionPoint::HostFailure, RecoveryAction::ExcludedHost),
+        "seed {seed:#x}: no exclusion under sharded exec; log:\n{}",
+        log.render()
+    );
+    assert_eq!(
+        report.hosts_excluded,
+        plan.inplace_count(),
+        "seed {seed:#x}"
+    );
+    assert_eq!(report.inplace_upgrades, 0, "seed {seed:#x}");
+    assert_eq!(
+        report.host_retries,
+        2 * plan.inplace_count(),
+        "seed {seed:#x}: every host burns its two retries before exclusion"
+    );
+    log.render()
+}
+
 /// Scenario 4: a saturated link exhausts the migration's retry budget;
 /// the host falls back to InPlaceTP. Uses its own plan (the unbounded
 /// LinkDrop rate would starve scenario 1). Returns the plan's log render.
@@ -445,12 +523,14 @@ fn chaos_run(seed: u64) -> String {
     let fallback_log = chaos_fallback(seed);
     let wire_log = chaos_wire(seed);
     let adaptive_log = chaos_adaptive(seed);
+    let sharded_log = chaos_sharded_exec(seed);
     format!(
-        "{}---\n{}---\n{}---\n{}",
+        "{}---\n{}---\n{}---\n{}---\n{}",
         log.render(),
         fallback_log,
         wire_log,
-        adaptive_log
+        adaptive_log,
+        sharded_log
     )
 }
 
