@@ -82,6 +82,17 @@ CAMPAIGN_SMOKE_OUT="${gate_dir}/campaign.json" \
 cargo run -q --release --offline -p hypertp-bench --bin perf_gate -- \
   campaign BENCH_campaign.json "${gate_dir}/campaign.json"
 
+echo "== rehype gate (crash-recovery cut + state-loss bound floors) =="
+# rehype_smoke crashes the hypervisor at every warm-checkpoint phase; the
+# fresh artifact must meet the committed BENCH_rehype.json floors: warm
+# recovery beating the cold salvage-translate ablation at every phase,
+# checkpoint lag strictly below the staleness bound, deterministic rerun,
+# field-diff toggle inert.
+REHYPE_SMOKE_OUT="${gate_dir}/rehype.json" \
+  cargo run -q --release --offline -p hypertp-bench --bin rehype_smoke
+cargo run -q --release --offline -p hypertp-bench --bin perf_gate -- \
+  rehype BENCH_rehype.json "${gate_dir}/rehype.json"
+
 echo "== examples (keep them compiling *and* running) =="
 for example in quickstart migration_vs_inplace datacenter_upgrade vulnerability_response; do
   echo "-- example: ${example} --"

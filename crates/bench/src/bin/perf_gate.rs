@@ -8,6 +8,7 @@
 //! perf_gate adaptive <committed BENCH_adaptive.json> <adaptive_smoke run 1> [...]
 //! perf_gate inplace  <committed BENCH_inplace.json>  <inplace_smoke run 1> [...]
 //! perf_gate campaign <committed BENCH_campaign.json> <campaign_smoke run 1> [...]
+//! perf_gate rehype   <committed BENCH_rehype.json>   <rehype_smoke run 1> [...]
 //! perf_gate <committed BENCH_wire.json> <perf_smoke run...>   # legacy = wire
 //! ```
 //!
@@ -64,6 +65,19 @@
 //! 3. `sharded_1k.speedup` falls below the committed `speedup_floor`
 //!    (the sharded engine stopped beating the per-host-evaluation
 //!    baseline at 1k hosts).
+//!
+//! **rehype**: CI runs `rehype_smoke` (the crash-triggered unplanned
+//! transplant matrix) and hands the fresh artifact(s) here with the
+//! committed `BENCH_rehype.json`. A run fails when:
+//!
+//! 1. any `identical`-suffixed field is not `"true"` — this covers the
+//!    deterministic crash-recovery rerun and the inertness of the
+//!    field-level UISR diff toggle,
+//! 2. `warm_vs_cold.min_cut_pct` falls below the committed
+//!    `recovery_cut_floor_pct` (warm checkpoints stopped beating the
+//!    cold salvage-translate ablation at some crash phase), or
+//! 3. `loss.max_lag_pages` is not strictly below `loss.bound_pages`
+//!    (the checkpointer's provable state-loss bound was violated).
 //!
 //! The gate deliberately ignores wall-clock fields: CI machines are too
 //! noisy for absolute-time floors, but correctness, compression, and
@@ -373,11 +387,64 @@ fn gate_campaign(committed: &str, runs: &[String]) -> Vec<String> {
     violations
 }
 
+fn gate_rehype(committed: &str, runs: &[String]) -> Vec<String> {
+    let mut violations = Vec::new();
+    let base = match load(committed) {
+        Ok(j) => j,
+        Err(e) => return vec![e],
+    };
+    let Some(floor) = base.get("recovery_cut_floor_pct").and_then(Json::as_f64) else {
+        return vec![format!("{committed}: missing recovery_cut_floor_pct")];
+    };
+
+    for path in runs {
+        let run = match load(path) {
+            Ok(j) => j,
+            Err(e) => {
+                violations.push(e);
+                continue;
+            }
+        };
+        let before = violations.len();
+        let n = check_identity(path, &run, &mut violations);
+
+        let min_cut = get_f64(path, &run, "warm_vs_cold.min_cut_pct", &mut violations);
+        if let Some(cut) = min_cut {
+            if cut < floor {
+                violations.push(format!(
+                    "{path}: warm-vs-cold recovery cut {cut:.1}% below committed floor \
+                     {floor:.1}% at some crash phase"
+                ));
+            }
+        }
+        let max_lag = get_f64(path, &run, "loss.max_lag_pages", &mut violations);
+        let bound = get_f64(path, &run, "loss.bound_pages", &mut violations);
+        if let (Some(lag), Some(bound)) = (max_lag, bound) {
+            if lag >= bound.max(1.0) {
+                violations.push(format!(
+                    "{path}: checkpoint lag {lag:.0} pages reached the staleness bound \
+                     {bound:.0} — the state-loss bound no longer holds"
+                ));
+            }
+        }
+        if violations.len() == before {
+            println!(
+                "perf_gate: {path}: {n} identity fields ok, min recovery cut {:.1}% >= \
+                 floor {floor:.1}%, max lag {:.0} < bound {:.0} pages",
+                min_cut.unwrap_or(f64::NAN),
+                max_lag.unwrap_or(f64::NAN),
+                bound.unwrap_or(f64::NAN),
+            );
+        }
+    }
+    violations
+}
+
 fn run() -> Result<(), Vec<String>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || {
         vec![
-            "usage: perf_gate [wire|adaptive|inplace|campaign] <committed artifact> <fresh run...>"
+            "usage: perf_gate [wire|adaptive|inplace|campaign|rehype] <committed artifact> <fresh run...>"
                 .to_string(),
         ]
     };
@@ -386,6 +453,7 @@ fn run() -> Result<(), Vec<String>> {
         Some("adaptive") => ("adaptive", &args[1..]),
         Some("inplace") => ("inplace", &args[1..]),
         Some("campaign") => ("campaign", &args[1..]),
+        Some("rehype") => ("rehype", &args[1..]),
         // Legacy positional form: first arg is the committed wire artifact.
         Some(_) => ("wire", &args[..]),
         None => return Err(usage()),
@@ -397,6 +465,7 @@ fn run() -> Result<(), Vec<String>> {
         "wire" => gate_wire(&rest[0], &rest[1..]),
         "inplace" => gate_inplace(&rest[0], &rest[1..]),
         "campaign" => gate_campaign(&rest[0], &rest[1..]),
+        "rehype" => gate_rehype(&rest[0], &rest[1..]),
         _ => gate_adaptive(&rest[0], &rest[1..]),
     };
     if violations.is_empty() {

@@ -10,7 +10,10 @@
 
 use std::collections::VecDeque;
 
-use hypertp_core::{host_failure_gate, HostGate, HtpError, HypervisorKind, InPlaceReport};
+use hypertp_core::{
+    crash_gate, host_failure_gate, HostGate, HtpError, HypervisorKind, InPlaceReport,
+    RecoveryReport,
+};
 use hypertp_sim::fault::FaultPlan;
 use hypertp_sim::pool::chunk_ranges;
 use hypertp_sim::stats::{Histogram, Streaming};
@@ -93,6 +96,9 @@ pub struct WaveReport {
     pub downtime_hist: Histogram,
     /// Worst per-VM downtime of any host in the wave.
     pub worst_downtime: SimDuration,
+    /// Hosts that reached the target via unplanned crash recovery rather
+    /// than a planned transplant (they still count in `upgrades`).
+    pub crash_recoveries: usize,
 }
 
 impl WaveReport {
@@ -109,6 +115,7 @@ impl WaveReport {
                 DOWNTIME_HIST_BUCKETS,
             ),
             worst_downtime: SimDuration::ZERO,
+            crash_recoveries: 0,
         }
     }
 
@@ -123,10 +130,26 @@ impl WaveReport {
         self.worst_downtime = self.worst_downtime.max(dt);
     }
 
+    /// Folds one host's unplanned crash recovery into the wave: the host
+    /// still landed on the target hypervisor, but its VMs' downtime is the
+    /// recovery latency rather than a planned blackout.
+    pub fn push_recovery(&mut self, report: &RecoveryReport) {
+        self.upgrades += 1;
+        self.crash_recoveries += 1;
+        self.vms += report.vm_count as u64;
+        let dt = report.recovery_latency;
+        self.downtime.push(dt.as_secs_f64());
+        self.total
+            .push((report.recovery_latency + report.background_time).as_secs_f64());
+        self.downtime_hist.record(dt.as_secs_f64());
+        self.worst_downtime = self.worst_downtime.max(dt);
+    }
+
     /// Folds another shard's aggregate into this one. Must be called in
     /// canonical shard order for bit-identical float sums.
     pub fn merge(&mut self, other: &WaveReport) {
         self.upgrades += other.upgrades;
+        self.crash_recoveries += other.crash_recoveries;
         self.vms += other.vms;
         self.downtime.merge(&other.downtime);
         self.total.merge(&other.total);
@@ -153,8 +176,9 @@ impl WaveReport {
     /// hosts iff their renders match.
     pub fn render(&self) -> String {
         format!(
-            "upgrades={} vms={} worst_ns={} downtime{{{}}} total{{{}}} hist{{{}}}",
+            "upgrades={} crashes={} vms={} worst_ns={} downtime{{{}}} total{{{}}} hist{{{}}}",
             self.upgrades,
+            self.crash_recoveries,
             self.vms,
             self.worst_downtime.as_nanos(),
             self.downtime.render(),
@@ -337,8 +361,16 @@ fn drain_shard(
         let site = format!("{wave} host c{host}");
         match host_failure_gate(faults, &site, attempts, cfg.max_host_retries) {
             HostGate::Proceed => {
-                let (report, _evacuations) = nova.host_live_upgrade(host, target)?;
-                out.report.push(&report);
+                // The hypervisor can crash right as the host's turn
+                // comes: the unplanned path recovers it onto the same
+                // target and the host rejoins the wave as upgraded.
+                if crash_gate(faults, &format!("{site} crash")) {
+                    let (report, _evacuations) = nova.host_crash_recover(host, target, faults)?;
+                    out.report.push_recovery(&report);
+                } else {
+                    let (report, _evacuations) = nova.host_live_upgrade(host, target)?;
+                    out.report.push(&report);
+                }
                 out.upgraded.push(host);
             }
             HostGate::Retry => queue.push_back((host, attempts + 1)),
@@ -650,6 +682,45 @@ mod tests {
         // No VM was lost anywhere in the fleet.
         let total: usize = (0..2).map(|h| nova.compute(h).vm_names().len()).sum();
         assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn crashed_host_rejoins_the_wave_recovered() {
+        let mut nova = fleet(2);
+        nova.boot(&VmConfig::small("a")).unwrap();
+        nova.boot(&VmConfig::small("b")).unwrap();
+        let faults = FaultPlan::new(0xc1a0_0004);
+        // Crash-gate ordinal 2 = the second host's out-wave turn (the
+        // scheduler packed both VMs there): its hypervisor dies and the
+        // unplanned path recovers it onto the refuge.
+        faults.arm_calls(InjectionPoint::HypervisorCrash, &[2]);
+        let report = run_campaign_with(
+            &mut nova,
+            &xen_critical(),
+            &[],
+            &faults,
+            &CampaignConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.out.crash_recoveries, 1);
+        assert_eq!(report.out.len(), 2, "the crashed host rejoined the wave");
+        assert_eq!(report.back.len(), 2);
+        assert!(report.excluded_hosts.is_empty());
+        assert!(faults.log().recovered_via(
+            InjectionPoint::HypervisorCrash,
+            RecoveryAction::MicroRebooted
+        ));
+        assert!(faults.log().recovered_via(
+            InjectionPoint::HypervisorCrash,
+            RecoveryAction::RestoredFromCheckpoint
+        ));
+        // Everyone is home, no VM lost anywhere.
+        for h in 0..2 {
+            assert_eq!(nova.compute(h).hypervisor_kind(), HypervisorKind::Xen);
+        }
+        let total: usize = (0..2).map(|h| nova.compute(h).vm_names().len()).sum();
+        assert_eq!(total, 2);
+        assert_eq!(report.exposure_avoided(), report.window);
     }
 
     #[test]

@@ -26,10 +26,13 @@
 
 use std::collections::HashMap;
 
-use hypertp_core::{host_failure_gate, HostGate, HypervisorKind};
+use hypertp_core::{
+    crash_gate, host_failure_gate, warm_recovery_latency, CheckpointConfig, HostGate,
+    HypervisorKind,
+};
 use hypertp_migrate::{FleetOrder, Link, WireMode};
 use hypertp_sim::cost::{BootTarget, MachinePerf};
-use hypertp_sim::fault::FaultPlan;
+use hypertp_sim::fault::{FaultPlan, InjectionPoint, RecoveryAction};
 use hypertp_sim::pool::WorkerPool;
 use hypertp_sim::stats::{Histogram, Streaming};
 use hypertp_sim::{CostModel, EventQueue, SimDuration, SimTime};
@@ -136,6 +139,10 @@ pub struct ExecReport {
     pub host_retries: usize,
     /// Hosts dropped from the plan after exhausting their retry budget.
     pub hosts_excluded: usize,
+    /// Hosts whose hypervisor crashed in their upgrade slot and reached
+    /// the target via unplanned warm-checkpoint recovery instead (still
+    /// counted in `inplace_upgrades`).
+    pub crash_recoveries: usize,
     /// Page bytes actually put on the fabric by the campaign's
     /// migrations (equals the raw byte count under [`WireMode::Raw`]).
     pub wire_bytes_sent: u64,
@@ -177,7 +184,7 @@ impl ExecReport {
     pub fn render(&self) -> String {
         format!(
             "migrations={} upgrades={} total_ns={} migration_ns={} inplace_ns={} \
-             retries={} excluded={} wire_sent={} wire_saved={} mean_ready_ns={} \
+             retries={} excluded={} crashes={} wire_sent={} wire_saved={} mean_ready_ns={} \
              vm_ready{{{}}} drain{{{}}} hist{{{}}}",
             self.migrations,
             self.inplace_upgrades,
@@ -186,6 +193,7 @@ impl ExecReport {
             self.inplace_time.as_nanos(),
             self.host_retries,
             self.hosts_excluded,
+            self.crash_recoveries,
             self.wire_bytes_sent,
             self.wire_bytes_saved,
             self.mean_vm_ready.as_nanos(),
@@ -346,6 +354,7 @@ struct GroupOutcome {
     wire_bytes: u64,
     host_retries: usize,
     hosts_excluded: usize,
+    crash_recoveries: usize,
     vm_ready: Streaming,
     vm_ready_hist: Histogram,
 }
@@ -375,6 +384,7 @@ fn run_group<V: ClusterView + ?Sized>(
         wire_bytes: 0,
         host_retries: 0,
         hosts_excluded: 0,
+        crash_recoveries: 0,
         vm_ready: Streaming::new(),
         vm_ready_hist: Histogram::new(READY_HIST_LO, READY_HIST_HI, READY_HIST_BUCKETS),
     };
@@ -450,21 +460,59 @@ fn run_group<V: ClusterView + ?Sized>(
             }
             Some(faults) => {
                 let site = format!("exec upgrade h{host}");
-                let mut failures = 0u32;
-                loop {
-                    host_time += attempt_cost;
-                    match host_failure_gate(faults, &site, failures, cfg.max_host_retries) {
-                        HostGate::Proceed => {
-                            out.upgrades += 1;
-                            break;
+                if crash_gate(faults, &format!("{site} crash")) {
+                    // The hypervisor dies as the host's slot opens: the
+                    // always-on checkpointer keeps translation off the
+                    // critical path, so the host reaches the target in the
+                    // modeled warm recovery latency instead of a planned
+                    // upgrade attempt.
+                    let perf_owned;
+                    let perf = match uniform_perf {
+                        Some(p) => p,
+                        None => {
+                            perf_owned = view.host_spec(*host).perf();
+                            &perf_owned
                         }
-                        HostGate::Retry => {
-                            failures += 1;
-                            out.host_retries += 1;
-                        }
-                        HostGate::Exclude => {
-                            out.hosts_excluded += 1;
-                            break;
+                    };
+                    let rl: Vec<(f64, u32)> = (0..*vm_count).map(|_| (4.0, 1)).collect();
+                    let recovery = warm_recovery_latency(
+                        cost,
+                        perf,
+                        cfg.target,
+                        CheckpointConfig::default().detection,
+                        *vm_count as f64 * 4.0,
+                        *vm_count as u64 * 4 * 512,
+                        &rl,
+                    );
+                    host_time += recovery;
+                    out.upgrades += 1;
+                    out.crash_recoveries += 1;
+                    faults.record_recovery(
+                        InjectionPoint::HypervisorCrash,
+                        RecoveryAction::MicroRebooted,
+                        &format!(
+                            "h{host}: crashed in its upgrade slot; warm-checkpoint recovery \
+                             onto {} carried {vm_count} VMs",
+                            cfg.target.name()
+                        ),
+                    );
+                } else {
+                    let mut failures = 0u32;
+                    loop {
+                        host_time += attempt_cost;
+                        match host_failure_gate(faults, &site, failures, cfg.max_host_retries) {
+                            HostGate::Proceed => {
+                                out.upgrades += 1;
+                                break;
+                            }
+                            HostGate::Retry => {
+                                failures += 1;
+                                out.host_retries += 1;
+                            }
+                            HostGate::Exclude => {
+                                out.hosts_excluded += 1;
+                                break;
+                            }
                         }
                     }
                 }
@@ -487,6 +535,7 @@ fn fold_outcomes(outcomes: impl Iterator<Item = GroupOutcome>) -> ExecReport {
         inplace_time: SimDuration::ZERO,
         host_retries: 0,
         hosts_excluded: 0,
+        crash_recoveries: 0,
         wire_bytes_sent: 0,
         wire_bytes_saved: 0,
         mean_vm_ready: SimDuration::ZERO,
@@ -504,6 +553,7 @@ fn fold_outcomes(outcomes: impl Iterator<Item = GroupOutcome>) -> ExecReport {
         report.total += g.drain + g.inplace;
         report.host_retries += g.host_retries;
         report.hosts_excluded += g.hosts_excluded;
+        report.crash_recoveries += g.crash_recoveries;
         report.wire_bytes_sent += g.wire_bytes;
         raw_bytes += g.raw_bytes;
         ready_acc += g.ready_acc;
@@ -748,6 +798,31 @@ mod tests {
         assert!(faults
             .log()
             .recovered_via(InjectionPoint::HostFailure, RecoveryAction::ExcludedHost));
+    }
+
+    #[test]
+    fn crashed_host_recovers_and_stays_in_the_plan() {
+        let c = Cluster::paper_testbed(100, 42);
+        let plan = plan_upgrade(&c, 2).unwrap();
+        let cfg = ExecConfig::default();
+        let clean = execute(&c, &plan, &cfg);
+        let run = || {
+            let faults = FaultPlan::new(0xc4a5);
+            faults.arm_once(InjectionPoint::HypervisorCrash);
+            let r = execute_with_faults(&c, &plan, &cfg, &faults);
+            (r, faults.log().render())
+        };
+        let (r, log) = run();
+        assert_eq!(r.crash_recoveries, 1);
+        // The crashed host still reaches the target: no upgrade is lost.
+        assert_eq!(r.inplace_upgrades, clean.inplace_upgrades);
+        assert_eq!(r.hosts_excluded, 0);
+        assert!(r.total > SimDuration::ZERO);
+        assert!(log.contains("micro_rebooted"));
+        // Replay determinism: the same seed reproduces report and log.
+        let (r2, log2) = run();
+        assert_eq!(r.render(), r2.render());
+        assert_eq!(log, log2);
     }
 
     #[test]

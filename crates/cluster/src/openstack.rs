@@ -15,12 +15,12 @@
 use std::collections::BTreeMap;
 
 use hypertp_core::{
-    HtpError, Hypervisor, HypervisorKind, HypervisorRegistry, InPlaceReport, InPlaceTransplant,
-    VmConfig, VmId,
+    CheckpointConfig, HtpError, Hypervisor, HypervisorKind, HypervisorRegistry, InPlaceReport,
+    InPlaceTransplant, RecoveryReport, UnplannedRecovery, VmConfig, VmId, WarmCheckpointer,
 };
 use hypertp_machine::{Machine, MachineSpec};
 use hypertp_migrate::{MigrationConfig, MigrationReport, MigrationTp};
-use hypertp_sim::SimClock;
+use hypertp_sim::{CostModel, FaultPlan, SimClock, WorkerPool};
 
 /// Builds the two-hypervisor pool the drivers boot from.
 pub fn pool() -> HypervisorRegistry {
@@ -123,6 +123,37 @@ impl LibvirtDriver {
             }
             Err(e) => Err(e),
         }
+    }
+
+    /// Unplanned transplant: the running hypervisor just crashed. The host
+    /// was checkpointing its VMs all along (the always-on warm
+    /// checkpointer is materialized here, ticked once so it has realistic
+    /// dirty state, then handed the dying hypervisor), and recovery
+    /// micro-reboots into `target` from the freshest persisted checkpoint.
+    pub fn host_crash_recover(
+        &mut self,
+        registry: &HypervisorRegistry,
+        target: HypervisorKind,
+        faults: &FaultPlan,
+    ) -> Result<RecoveryReport, HtpError> {
+        let mut hv = self.hv.take().expect("hypervisor running");
+        let mut ckpt = WarmCheckpointer::start_with(
+            &mut self.machine,
+            hv.as_mut(),
+            target,
+            CheckpointConfig::default(),
+            CostModel::paper_calibrated(),
+            faults.clone(),
+            WorkerPool::from_env(),
+        )?;
+        // One background interval before the crash lands; if the plan
+        // fires the crash gate mid-tick the checkpointer aborts at that
+        // phase and recovery proceeds from the persisted image.
+        ckpt.tick(&mut self.machine, hv.as_mut(), 32)?;
+        let engine = UnplannedRecovery::new(registry).with_faults(faults.clone());
+        let (new_hv, report) = engine.recover(&mut self.machine, hv, ckpt)?;
+        self.hv = Some(new_hv);
+        Ok(report)
     }
 }
 
@@ -240,6 +271,34 @@ impl NovaManager {
         };
         Ok((report, evacuations))
     }
+
+    /// Crash-recover a host onto `target`. Fleet policy keeps
+    /// InPlaceTP-incompatible VMs off checkpoint-armed hosts (the rescue
+    /// hypervisor could not adopt them), so any still resident are drained
+    /// first — modeling the pre-arranged state, not a crash-time action —
+    /// and the recovery itself only ever sees compatible VMs.
+    pub fn host_crash_recover(
+        &mut self,
+        host: usize,
+        target: HypervisorKind,
+        faults: &FaultPlan,
+    ) -> Result<(RecoveryReport, Vec<MigrationReport>), HtpError> {
+        let names = self.computes[host].vm_names();
+        let mut evacuations = Vec::new();
+        for name in names {
+            if self.computes[host].vm_inplace_compatible(&name) == Some(false) {
+                let dest = (0..self.computes.len())
+                    .find(|&h| h != host)
+                    .ok_or(HtpError::Unsupported("no evacuation target"))?;
+                evacuations.push(self.live_migration(&name, host, dest)?);
+            }
+        }
+        let report = {
+            let registry = &self.registry;
+            self.computes[host].host_crash_recover(registry, target, faults)?
+        };
+        Ok((report, evacuations))
+    }
 }
 
 #[cfg(test)]
@@ -264,6 +323,32 @@ mod tests {
             })
             .collect();
         NovaManager::new(registry, computes)
+    }
+
+    #[test]
+    fn zero_host_manager_degrades_cleanly() {
+        // A manager with no computes is a valid (if useless) control
+        // plane: the scheduler finds no host, boot reports it as an
+        // error, and the database answers lookups with None.
+        let mut nova = manager(0);
+        assert_eq!(nova.pick_host(&VmConfig::small("vm")), None);
+        assert!(nova.boot(&VmConfig::small("vm")).is_err());
+        assert_eq!(nova.host_of("vm"), None);
+    }
+
+    #[test]
+    fn zero_vm_host_crash_recovers_through_the_api() {
+        // A crashed host carrying no VMs still micro-reboots onto the
+        // target: the recovery has nothing to restore but must leave the
+        // host serving the rescue hypervisor.
+        let mut nova = manager(1);
+        let faults = hypertp_sim::fault::FaultPlan::disarmed();
+        let (report, evacuations) = nova
+            .host_crash_recover(0, HypervisorKind::Kvm, &faults)
+            .unwrap();
+        assert_eq!(report.vm_count, 0);
+        assert!(evacuations.is_empty());
+        assert_eq!(nova.compute(0).hypervisor_kind(), HypervisorKind::Kvm);
     }
 
     #[test]

@@ -341,6 +341,22 @@ mod tests {
     }
 
     #[test]
+    fn zero_host_plan_is_rejected_not_planned() {
+        // A fleet with no hosts cannot satisfy any group size — the
+        // planner must say so up front instead of emitting an empty plan
+        // that an executor would happily "complete".
+        let empty = Cluster {
+            hosts: vec![],
+            vms: vec![],
+            host_reserve_gb: 0,
+        };
+        assert_eq!(plan_upgrade(&empty, 1), Err(PlanError::BadGroupSize));
+        assert_eq!(plan_upgrade(&empty, 0), Err(PlanError::BadGroupSize));
+        let syn = Cluster::synthetic(0, 7);
+        assert_eq!(plan_upgrade(&syn, 1), Err(PlanError::BadGroupSize));
+    }
+
+    #[test]
     fn indexed_planner_matches_the_scan_oracle() {
         for seed in [3u64, 42, 99] {
             for pct in [0u32, 20, 50, 80, 100] {

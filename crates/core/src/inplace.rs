@@ -290,8 +290,9 @@ struct WarmState {
 /// sections the fresh pause-time save shows changed. The result is equal
 /// to `fresh` by construction (changed sections are overwritten, unchanged
 /// ones are already equal); the return also counts how many sections
-/// needed patching.
-fn patch_uisr(
+/// needed patching. The unplanned checkpointer reuses this as its
+/// section-level (default) refresh path.
+pub(crate) fn patch_uisr(
     warm: &hypertp_uisr::UisrVm,
     fresh: hypertp_uisr::UisrVm,
 ) -> (hypertp_uisr::UisrVm, u64) {

@@ -15,6 +15,9 @@
 //!   micro-reboot, layered on PRAM files.
 //! * [`inplace`] — the InPlaceTP workflow (Fig. 3) with the §4.2.5
 //!   optimizations individually toggleable.
+//! * [`unplanned`] — ReHype-style unplanned transplant: an always-on warm
+//!   UISR checkpointer plus a crash-recovery engine that micro-reboots
+//!   into the other hypervisor from the freshest persisted checkpoint.
 //! * [`devices`] — the §4.2.3 device quiescing/restoration rules shared
 //!   by the hypervisor models.
 //! * [`vm`] — VM identity and configuration.
@@ -31,6 +34,7 @@ pub mod recovery;
 pub mod registry;
 pub mod testing;
 pub mod uisr_store;
+pub mod unplanned;
 pub mod vm;
 
 pub use error::HtpError;
@@ -42,4 +46,8 @@ pub use recovery::{
     HostGate,
 };
 pub use registry::HypervisorRegistry;
+pub use unplanned::{
+    cold_recovery_latency, crash_gate, patch_uisr_fields, warm_recovery_latency, CheckpointConfig,
+    CrashPhase, RecoveryReport, TickReport, UnplannedRecovery, VmLoss, WarmCheckpointer,
+};
 pub use vm::{VmConfig, VmId, VmState};

@@ -12,7 +12,7 @@
 //! continuation bytes. File GFNs are the sequential chunk index (the blob
 //! is a file, not guest-physical memory).
 
-use hypertp_machine::{Gfn, PageOrder, PhysicalMemory, PAGE_SIZE};
+use hypertp_machine::{Extent, Gfn, PageOrder, PhysicalMemory, PAGE_SIZE};
 use hypertp_pram::{PramBuilder, PramFile};
 
 use crate::error::HtpError;
@@ -31,14 +31,19 @@ pub fn is_uisr_file(file: &PramFile) -> bool {
     file.name.starts_with(UISR_FILE_PREFIX)
 }
 
-/// Stores `blob` into freshly allocated frames and records them as a PRAM
-/// file on `builder`.
-pub fn store_blob(
-    ram: &mut PhysicalMemory,
-    builder: &mut PramBuilder,
-    vm_name: &str,
-    blob: &[u8],
-) -> Result<(), HtpError> {
+/// The VM name a UISR blob file belongs to (inverse of
+/// [`uisr_file_name`]), or `None` for guest-memory files. Unplanned
+/// recovery enumerates VMs from these names alone — after a hypervisor
+/// crash there is no live source left to ask.
+pub fn vm_name_from_uisr_file(file: &PramFile) -> Option<&str> {
+    file.name.strip_prefix(UISR_FILE_PREFIX)
+}
+
+/// Writes `blob` into freshly allocated frames and returns the chunk
+/// mappings (without recording a PRAM file). The warm checkpointer reuses
+/// this to re-encode one VM's blob while keeping the other VMs' existing
+/// frames in place.
+pub fn write_blob(ram: &mut PhysicalMemory, blob: &[u8]) -> Result<Vec<(Gfn, Extent)>, HtpError> {
     let total = 8 + blob.len();
     let pages = total.div_ceil(PAGE_SIZE as usize);
     let mut mappings = Vec::with_capacity(pages);
@@ -57,6 +62,18 @@ pub fn store_blob(
         ram.write_bytes(extent.base, &page)?;
         mappings.push((Gfn(chunk_idx as u64), extent));
     }
+    Ok(mappings)
+}
+
+/// Stores `blob` into freshly allocated frames and records them as a PRAM
+/// file on `builder`.
+pub fn store_blob(
+    ram: &mut PhysicalMemory,
+    builder: &mut PramBuilder,
+    vm_name: &str,
+    blob: &[u8],
+) -> Result<(), HtpError> {
+    let mappings = write_blob(ram, blob)?;
     builder.add_file(uisr_file_name(vm_name), 0o400, mappings);
     Ok(())
 }
@@ -120,6 +137,24 @@ mod tests {
         let free_before = ram.free_frames();
         release_blob(&mut ram, file).unwrap();
         assert!(ram.free_frames() > free_before);
+    }
+
+    #[test]
+    fn vm_name_roundtrips_through_file_name() {
+        let mut ram = PhysicalMemory::new(64);
+        let mut builder = PramBuilder::new();
+        store_blob(&mut ram, &mut builder, "web-01", b"x").unwrap();
+        let handle = builder.write(&mut ram).unwrap();
+        let img = PramImage::parse(&ram, handle.pram_ptr).unwrap();
+        let file = img.file("uisr/web-01").unwrap();
+        assert_eq!(vm_name_from_uisr_file(file), Some("web-01"));
+        // A guest-memory file is not a UISR file.
+        let guest = PramFile {
+            name: "web-01".to_string(),
+            mode: 0o600,
+            mappings: Vec::new(),
+        };
+        assert_eq!(vm_name_from_uisr_file(&guest), None);
     }
 
     #[test]

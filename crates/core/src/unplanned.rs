@@ -1,0 +1,1441 @@
+//! Unplanned transplant: ReHype-style recovery from a hypervisor crash.
+//!
+//! The planned paths (`inplace`, `migration`) assume a cooperating source
+//! hypervisor. This module drops that assumption: an always-on
+//! [`WarmCheckpointer`] keeps every VM's UISR translated and persisted in
+//! PRAM *while the hypervisor is healthy* (generalizing the incremental
+//! pre-pause warm translation to a continuous background service), and a
+//! pre-staged rescue kexec image always points at the freshest checkpoint
+//! directory. When the hypervisor crashes, [`UnplannedRecovery`]
+//! micro-reboots into the *other* hypervisor over the existing kexec+PRAM
+//! path and adopts every VM from its warm checkpoint — no source
+//! cooperation required.
+//!
+//! What survives and what is lost:
+//! - **Guest memory** survives byte-identical: it stays in place across the
+//!   micro-reboot exactly like a planned InPlaceTP, including pages dirtied
+//!   *after* the last checkpoint (the PRAM guest files map the live frames,
+//!   not copies).
+//! - **Register/device state** rolls back to the VM's last *persisted*
+//!   checkpoint. The checkpointer's staleness bound makes the rollback
+//!   provable: at the end of every completed background tick, each VM's
+//!   un-persisted dirty page count is strictly below
+//!   [`CheckpointConfig::staleness_bound_pages`], so the state lost to a
+//!   crash is bounded by that plus whatever the workload dirtied since the
+//!   last completed tick.
+
+use hypertp_machine::{combine_partials, Extent, Gfn, KexecImage, Machine, PageOrder};
+use hypertp_pram::{PramBuilder, PramFile, PramHandle, PramImage};
+use hypertp_sim::cost::MachinePerf;
+use hypertp_sim::fault::{FaultPlan, InjectionPoint, RecoveryAction};
+use hypertp_sim::{CostModel, Ewma, SimDuration, WorkerPool};
+use hypertp_uisr::{UisrVm, VcpuState};
+
+use crate::error::HtpError;
+use crate::hypervisor::{Hypervisor, HypervisorKind};
+use crate::inplace::patch_uisr;
+use crate::registry::HypervisorRegistry;
+use crate::uisr_store;
+use crate::vm::VmId;
+
+/// Consults the `HypervisorCrash` injection point at `site`. Callers that
+/// orchestrate hypervisors (campaign waves, the sharded executor) gate
+/// each step through this so chaos plans can kill a host mid-operation.
+pub fn crash_gate(faults: &FaultPlan, site: &str) -> bool {
+    faults.should_inject(InjectionPoint::HypervisorCrash, site)
+}
+
+/// Tuning knobs for the always-on warm checkpointer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointConfig {
+    /// Per-VM staleness bound: once a VM has accumulated at least this many
+    /// un-persisted dirty pages, the next background tick must refresh and
+    /// re-persist its checkpoint. The provable state-loss bound of a crash
+    /// derives from this: at the end of every completed tick each VM's
+    /// un-persisted count is strictly below the bound.
+    pub staleness_bound_pages: u64,
+    /// EWMA smoothing factor for the per-VM per-tick dirty page count. The
+    /// smoothed rate paces refreshes *proactively*: a VM is refreshed as
+    /// soon as its staleness plus its predicted next-tick dirt would reach
+    /// the bound, instead of waiting to exceed it.
+    pub ewma_alpha: f64,
+    /// Patch individual per-vCPU register blocks (regs, sregs, FPU, MSRs,
+    /// XSAVE, LAPIC, LAPIC page, MTRR) during warm refresh instead of the
+    /// whole `vcpus` section. Off by default; the result is identical
+    /// either way (see [`patch_uisr_fields`]).
+    pub field_diff: bool,
+    /// Watchdog window between the hypervisor dying and the rescue kexec
+    /// being taken.
+    pub detection: SimDuration,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig {
+            staleness_bound_pages: 512,
+            ewma_alpha: 0.5,
+            field_diff: false,
+            detection: SimDuration::from_millis(100),
+        }
+    }
+}
+
+/// Where inside the checkpointer lifecycle a crash landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPhase {
+    /// Between background ticks (steady state).
+    Idle,
+    /// At the start of a tick, before this interval's dirty pages were
+    /// collected.
+    WarmRound,
+    /// After dirty collection, before any checkpoint cache was refreshed.
+    Refresh,
+    /// After the in-memory caches were refreshed but before the PRAM
+    /// directory was rebuilt — recovery restores the *previous* persisted
+    /// image.
+    Finalize,
+}
+
+impl CrashPhase {
+    /// Stable lowercase name (fault-log vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashPhase::Idle => "idle",
+            CrashPhase::WarmRound => "warm_round",
+            CrashPhase::Refresh => "refresh",
+            CrashPhase::Finalize => "finalize",
+        }
+    }
+}
+
+/// Outcome of one background checkpointer tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickReport {
+    /// 1-based tick number.
+    pub tick: u64,
+    /// Dirty pages collected across all VMs this tick.
+    pub collected_pages: u64,
+    /// Names of the VMs whose checkpoints were refreshed *and persisted*.
+    pub refreshed: Vec<String>,
+    /// True when the PRAM directory was rebuilt and the rescue image
+    /// restaged.
+    pub persisted: bool,
+    /// Set when the `HypervisorCrash` gate fired mid-tick; the tick aborted
+    /// at that phase and the caller should run recovery.
+    pub crashed: Option<CrashPhase>,
+    /// Whole UISR sections patched over warm snapshots this tick
+    /// (field_diff off).
+    pub patched_sections: u64,
+    /// Individual per-vCPU blocks patched this tick (field_diff on).
+    pub patched_fields: u64,
+    /// Simulated background cost of this tick (below the time axis).
+    pub duration: SimDuration,
+}
+
+/// Per-VM warm checkpoint cache (the always-on analogue of the in-place
+/// engine's warm-translate cache).
+struct CkptVm {
+    name: String,
+    /// Memory map exactly as `guest_memory_map` returned it.
+    map: Vec<(Gfn, Extent)>,
+    /// Extents in map order — the checksum unit.
+    extents: Vec<Extent>,
+    /// `(gfn_start, pages, extent index)` sorted by `gfn_start`.
+    lookup: Vec<(u64, u64, usize)>,
+    /// Cached per-extent checksum partials, refreshed with each checkpoint.
+    partials: Vec<u64>,
+    /// Latest checkpointed UISR (may be newer than the persisted blob if a
+    /// crash hit the finalize phase).
+    uisr: UisrVm,
+    /// PRAM chunk mappings of the currently persisted blob.
+    blob_mappings: Vec<(Gfn, Extent)>,
+    total_pages: u64,
+    gb: f64,
+    vcpus: u32,
+    entries: u64,
+    /// Dirty pages observed since this VM's checkpoint was last *persisted*
+    /// (an in-memory refresh without a persist does not reset it).
+    persisted_staleness: u64,
+    /// `persisted_staleness` as recorded at the end of the last completed
+    /// tick — the quantity the staleness bound provably constrains.
+    staleness_at_tick_end: u64,
+    /// Dirty GFNs since the partials were last recomputed; recovery
+    /// refreshes exactly these (plus the crash tail) for its crash-instant
+    /// memory checksum.
+    pending: Vec<Gfn>,
+    ewma: Ewma,
+    last_ewma: f64,
+}
+
+impl CkptVm {
+    /// Maps a dirty-GFN list to the (ascending) indices of the extents
+    /// containing them.
+    fn dirty_extent_indices(&self, dirty: &[Gfn]) -> Vec<usize> {
+        let mut hit = vec![false; self.extents.len()];
+        for g in dirty {
+            let pos = self.lookup.partition_point(|&(start, _, _)| start <= g.0);
+            if pos > 0 {
+                let (start, pages, idx) = self.lookup[pos - 1];
+                if g.0 < start + pages {
+                    hit[idx] = true;
+                }
+            }
+        }
+        (0..hit.len()).filter(|&i| hit[i]).collect()
+    }
+}
+
+/// The always-on background checkpointer: continuous incremental UISR
+/// snapshots persisted in PRAM, with a pre-staged rescue kexec image that
+/// always points at the freshest directory.
+pub struct WarmCheckpointer {
+    cfg: CheckpointConfig,
+    cost: CostModel,
+    faults: FaultPlan,
+    pool: WorkerPool,
+    target: HypervisorKind,
+    ids: Vec<VmId>,
+    vms: Vec<CkptVm>,
+    handle: PramHandle,
+    ticks: u64,
+    refreshes: u64,
+    background: SimDuration,
+    cadence: Vec<String>,
+    patched_sections: u64,
+    patched_fields: u64,
+}
+
+impl WarmCheckpointer {
+    /// Starts checkpointing every VM of `source` with default cost model,
+    /// disarmed faults and the environment worker pool. `target` is the
+    /// hypervisor the rescue image boots into on a crash.
+    pub fn start(
+        machine: &mut Machine,
+        source: &mut dyn Hypervisor,
+        target: HypervisorKind,
+        cfg: CheckpointConfig,
+    ) -> Result<Self, HtpError> {
+        Self::start_with(
+            machine,
+            source,
+            target,
+            cfg,
+            CostModel::paper_calibrated(),
+            FaultPlan::disarmed(),
+            WorkerPool::from_env(),
+        )
+    }
+
+    /// Starts checkpointing with explicit cost model, fault plan and
+    /// worker pool.
+    pub fn start_with(
+        machine: &mut Machine,
+        source: &mut dyn Hypervisor,
+        target: HypervisorKind,
+        cfg: CheckpointConfig,
+        cost: CostModel,
+        faults: FaultPlan,
+        pool: WorkerPool,
+    ) -> Result<Self, HtpError> {
+        let perf = machine.spec().perf();
+        let clock = machine.clock().clone();
+        let ids = source.vm_ids();
+        let mut vms = Vec::with_capacity(ids.len());
+        for &id in &ids {
+            source.enable_dirty_log(id)?;
+            source.pause_vm(id)?;
+            let map = source.guest_memory_map(id)?;
+            let uisr = source.save_uisr(machine, id)?;
+            // Discard anything dirtied before the snapshot existed.
+            let _ = source.collect_dirty(id)?;
+            source.resume_vm(id)?;
+            let c = source.vm_config(id)?;
+            let extents: Vec<Extent> = map.iter().map(|(_, e)| *e).collect();
+            let mut lookup: Vec<(u64, u64, usize)> = map
+                .iter()
+                .enumerate()
+                .map(|(i, (g, e))| (g.0, e.pages(), i))
+                .collect();
+            lookup.sort_unstable();
+            let total_pages = extents.iter().map(|e| e.pages()).sum();
+            vms.push(CkptVm {
+                name: c.name.clone(),
+                gb: c.memory_gb as f64,
+                vcpus: c.vcpus,
+                entries: c.pram_entries(),
+                map,
+                extents,
+                lookup,
+                partials: Vec::new(),
+                uisr,
+                blob_mappings: Vec::new(),
+                total_pages,
+                persisted_staleness: 0,
+                staleness_at_tick_end: 0,
+                pending: Vec::new(),
+                ewma: Ewma::new(cfg.ewma_alpha),
+                last_ewma: 0.0,
+            });
+        }
+
+        // Initial per-extent partials on the pool (serial inner hashing:
+        // the per-VM tasks already saturate the workers).
+        {
+            let machine_ref: &Machine = machine;
+            let vms_ref = &vms;
+            let partials = pool
+                .map_indices(vms.len(), |i| {
+                    machine_ref
+                        .ram()
+                        .extent_partials_with_pool(&vms_ref[i].extents, &WorkerPool::serial())
+                })
+                .results;
+            for (vm, p) in vms.iter_mut().zip(partials) {
+                vm.partials = p;
+            }
+        }
+
+        // Persist the initial checkpoints and arm the rescue image.
+        for vm in &mut vms {
+            let mut blob = Vec::new();
+            hypertp_uisr::codec::encode_into(&vm.uisr, &mut blob);
+            vm.blob_mappings = uisr_store::write_blob(machine.ram_mut(), &blob)?;
+        }
+        let mut builder = PramBuilder::new().with_pool(pool);
+        for vm in &vms {
+            builder.add_file(vm.name.clone(), 0o600, vm.map.clone());
+            builder.add_file(
+                uisr_store::uisr_file_name(&vm.name),
+                0o400,
+                vm.blob_mappings.clone(),
+            );
+        }
+        let handle = builder.write(machine.ram_mut())?;
+        machine.kexec_load(KexecImage {
+            target: target.boot_target(),
+            cmdline: format!("hypertp {}", handle.cmdline_arg()),
+        });
+
+        // Background cost of the initial full warm translation + directory
+        // build (below the time axis: each VM was only micro-paused).
+        let full_list: Vec<(f64, u32, u64, f64)> = vms
+            .iter()
+            .map(|v| (v.gb, v.vcpus, v.entries, 1.0))
+            .collect();
+        let build_list: Vec<(f64, u64)> = vms.iter().map(|v| (v.gb, v.entries)).collect();
+        let setup = cost.warm_translate(&perf, &full_list) + cost.pram_build(&perf, &build_list);
+        clock.advance(setup);
+
+        let cadence = vec![format!("start: {} vms checkpointed", vms.len())];
+        Ok(WarmCheckpointer {
+            cfg,
+            cost,
+            faults,
+            pool,
+            target,
+            ids,
+            vms,
+            handle,
+            ticks: 0,
+            refreshes: 0,
+            background: setup,
+            cadence,
+            patched_sections: 0,
+            patched_fields: 0,
+        })
+    }
+
+    /// The hypervisor the rescue image boots into.
+    pub fn target(&self) -> HypervisorKind {
+        self.target
+    }
+
+    /// The configuration the checkpointer runs with.
+    pub fn config(&self) -> CheckpointConfig {
+        self.cfg
+    }
+
+    /// Completed background ticks.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Total per-VM checkpoint refreshes persisted so far.
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// Cumulative simulated background cost (setup + all ticks).
+    pub fn background_time(&self) -> SimDuration {
+        self.background
+    }
+
+    /// Un-persisted dirty pages currently accumulated against `name`'s
+    /// checkpoint.
+    pub fn checkpoint_lag(&self, name: &str) -> Option<u64> {
+        self.vms
+            .iter()
+            .find(|v| v.name == name)
+            .map(|v| v.persisted_staleness)
+    }
+
+    /// Names of the checkpointed VMs, in VM-id order.
+    pub fn vm_names(&self) -> Vec<String> {
+        self.vms.iter().map(|v| v.name.clone()).collect()
+    }
+
+    /// Byte-stable rendering of the refresh cadence, for determinism and
+    /// worker-count-invariance assertions.
+    pub fn cadence_render(&self) -> String {
+        self.cadence.join("\n")
+    }
+
+    /// One background interval: the workload dirties `workload_pages` per
+    /// VM, the checkpointer collects the dirty logs and refreshes +
+    /// re-persists every VM at (or EWMA-predicted to reach) its staleness
+    /// bound. Consults the `HypervisorCrash` gate at three phases
+    /// (warm-round, refresh, finalize); when it fires the tick aborts and
+    /// the caller should hand the dying hypervisor to
+    /// [`UnplannedRecovery::recover`].
+    pub fn tick(
+        &mut self,
+        machine: &mut Machine,
+        source: &mut dyn Hypervisor,
+        workload_pages: u64,
+    ) -> Result<TickReport, HtpError> {
+        self.ticks += 1;
+        let t = self.ticks;
+        let perf = machine.spec().perf();
+        let clock = machine.clock().clone();
+        let mut report = TickReport {
+            tick: t,
+            collected_pages: 0,
+            refreshed: Vec::new(),
+            persisted: false,
+            crashed: None,
+            patched_sections: 0,
+            patched_fields: 0,
+            duration: SimDuration::ZERO,
+        };
+
+        // The guests keep running; the workload dirties pages first.
+        if workload_pages > 0 {
+            for &id in &self.ids {
+                source.guest_tick(machine, id, workload_pages)?;
+            }
+        }
+        if crash_gate(&self.faults, &format!("ckpt tick {t} warm-round")) {
+            report.crashed = Some(CrashPhase::WarmRound);
+            self.cadence
+                .push(format!("tick {t}: crashed at warm-round"));
+            return Ok(report);
+        }
+
+        // Collect this interval's dirty pages (per-VM micro-pause; the
+        // fleet is never paused as a whole).
+        let mut collected = 0u64;
+        for (k, &id) in self.ids.iter().enumerate() {
+            source.pause_vm(id)?;
+            let dirty = source.collect_dirty(id)?;
+            source.resume_vm(id)?;
+            let vm = &mut self.vms[k];
+            collected += dirty.len() as u64;
+            vm.persisted_staleness += dirty.len() as u64;
+            vm.last_ewma = vm.ewma.observe(dirty.len() as f64);
+            vm.pending.extend(dirty);
+        }
+        report.collected_pages = collected;
+        if crash_gate(&self.faults, &format!("ckpt tick {t} refresh")) {
+            report.crashed = Some(CrashPhase::Refresh);
+            self.cadence.push(format!("tick {t}: crashed at refresh"));
+            return Ok(report);
+        }
+
+        // Pick the VMs to refresh: at the staleness bound, or EWMA-paced
+        // to reach it within the next interval.
+        let bound = self.cfg.staleness_bound_pages.max(1);
+        let refresh: Vec<usize> = (0..self.vms.len())
+            .filter(|&k| {
+                let vm = &self.vms[k];
+                vm.persisted_staleness > 0
+                    && (vm.persisted_staleness >= bound
+                        || vm.persisted_staleness as f64 + vm.last_ewma >= bound as f64)
+            })
+            .collect();
+
+        // Refresh the in-memory caches: fresh UISR (section- or
+        // field-level patched) and partials for the dirtied extents.
+        let mut delta_list = Vec::with_capacity(refresh.len());
+        for &k in &refresh {
+            let id = self.ids[k];
+            source.pause_vm(id)?;
+            let fresh = source.save_uisr(machine, id)?;
+            source.resume_vm(id)?;
+            let vm = &mut self.vms[k];
+            if self.cfg.field_diff {
+                let (uisr, fields) = patch_uisr_fields(&vm.uisr, fresh);
+                vm.uisr = uisr;
+                report.patched_fields += fields;
+            } else {
+                let (uisr, sections) = patch_uisr(&vm.uisr, fresh);
+                vm.uisr = uisr;
+                report.patched_sections += sections;
+            }
+            delta_list.push((
+                vm.gb,
+                vm.vcpus,
+                vm.entries,
+                vm.persisted_staleness as f64 / vm.total_pages.max(1) as f64,
+            ));
+        }
+        let dirty_ext: Vec<Vec<usize>> = refresh
+            .iter()
+            .map(|&k| {
+                let vm = &self.vms[k];
+                vm.dirty_extent_indices(&vm.pending)
+            })
+            .collect();
+        {
+            let machine_ref: &Machine = machine;
+            let vms_ref = &self.vms;
+            let refresh_ref = &refresh;
+            let dirty_ref = &dirty_ext;
+            let refreshed_partials = self
+                .pool
+                .map_indices(refresh.len(), |i| {
+                    let vm = &vms_ref[refresh_ref[i]];
+                    let mut p = vm.partials.clone();
+                    machine_ref.ram().refresh_partials_with_pool(
+                        &vm.extents,
+                        &mut p,
+                        &dirty_ref[i],
+                        &WorkerPool::serial(),
+                    );
+                    p
+                })
+                .results;
+            for (i, p) in refreshed_partials.into_iter().enumerate() {
+                self.vms[refresh[i]].partials = p;
+            }
+        }
+        if crash_gate(&self.faults, &format!("ckpt tick {t} finalize")) {
+            // Caches are refreshed but the directory is not: the persisted
+            // (older) checkpoints stay authoritative for recovery, and the
+            // staleness counters deliberately keep counting against them.
+            report.crashed = Some(CrashPhase::Finalize);
+            self.cadence.push(format!(
+                "tick {t}: crashed at finalize ({} refreshes unpersisted)",
+                refresh.len()
+            ));
+            return Ok(report);
+        }
+
+        // Persist: re-encode the refreshed blobs, rebuild the directory,
+        // re-arm the rescue image.
+        if !refresh.is_empty() {
+            self.persist(machine, &refresh)?;
+            for &k in &refresh {
+                let vm = &mut self.vms[k];
+                vm.persisted_staleness = 0;
+                vm.pending.clear();
+                report.refreshed.push(vm.name.clone());
+            }
+            report.persisted = true;
+            self.refreshes += refresh.len() as u64;
+            self.patched_sections += report.patched_sections;
+            self.patched_fields += report.patched_fields;
+        }
+
+        // Background cost: warm delta translation plus the directory
+        // rebuild for the refreshed VMs (below the time axis).
+        let mut tick_cost = SimDuration::ZERO;
+        if !delta_list.is_empty() {
+            let build_list: Vec<(f64, u64)> = refresh
+                .iter()
+                .map(|&k| (self.vms[k].gb, self.vms[k].entries))
+                .collect();
+            tick_cost = self.cost.warm_translate(&perf, &delta_list)
+                + self.cost.pram_build(&perf, &build_list);
+        }
+        clock.advance(tick_cost);
+        self.background += tick_cost;
+        report.duration = tick_cost;
+
+        // Bound invariant: every VM ends a completed tick strictly below
+        // its staleness bound.
+        for vm in &mut self.vms {
+            debug_assert!(vm.persisted_staleness < bound);
+            vm.staleness_at_tick_end = vm.persisted_staleness;
+        }
+        self.cadence.push(format!(
+            "tick {t}: collected={collected} refreshed=[{}] persisted={}",
+            report.refreshed.join(","),
+            report.persisted
+        ));
+        Ok(report)
+    }
+
+    /// Rebuilds the PRAM directory with the refreshed VMs' re-encoded
+    /// blobs (other VMs' existing blob frames are reused as-is) and
+    /// restages the rescue kexec image.
+    fn persist(&mut self, machine: &mut Machine, refresh: &[usize]) -> Result<(), HtpError> {
+        for &k in refresh {
+            let old = std::mem::take(&mut self.vms[k].blob_mappings);
+            for (_, e) in &old {
+                machine.ram_mut().free(*e)?;
+            }
+            let mut blob = Vec::new();
+            hypertp_uisr::codec::encode_into(&self.vms[k].uisr, &mut blob);
+            self.vms[k].blob_mappings = uisr_store::write_blob(machine.ram_mut(), &blob)?;
+        }
+        // Recycle the old directory's metadata pages, then write a fresh
+        // directory over the (mostly unchanged) data frames.
+        for &m in &self.handle.meta_frames {
+            machine.ram_mut().free(Extent::new(m, PageOrder(0)))?;
+        }
+        let mut builder = PramBuilder::new().with_pool(self.pool);
+        for vm in &self.vms {
+            builder.add_file(vm.name.clone(), 0o600, vm.map.clone());
+            builder.add_file(
+                uisr_store::uisr_file_name(&vm.name),
+                0o400,
+                vm.blob_mappings.clone(),
+            );
+        }
+        self.handle = builder.write(machine.ram_mut())?;
+        // A crashed hypervisor cannot run kexec_load, so the staged rescue
+        // image must always point at the freshest directory.
+        machine.kexec_load(KexecImage {
+            target: self.target.boot_target(),
+            cmdline: format!("hypertp {}", self.handle.cmdline_arg()),
+        });
+        Ok(())
+    }
+}
+
+/// Per-VM state-loss accounting of one crash recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmLoss {
+    /// VM name.
+    pub name: String,
+    /// Ground-truth pages whose post-checkpoint content the register
+    /// rollback abandons: un-persisted dirty pages at the crash instant
+    /// plus the uncollected tail. (The page *contents* survive in place;
+    /// this counts how far the restored register/device state trails the
+    /// crash-instant memory.)
+    pub loss_pages: u64,
+    /// Un-persisted dirty pages at the end of the last *completed*
+    /// background tick — the quantity the staleness bound provably keeps
+    /// below [`CheckpointConfig::staleness_bound_pages`].
+    pub checkpoint_lag_pages: u64,
+    /// Pages dirtied after the last dirty-log collection (measured by the
+    /// post-mortem sweep at the crash instant).
+    pub tail_pages: u64,
+}
+
+/// Timing and state-loss report of one unplanned transplant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// VMs restored from warm checkpoints.
+    pub vm_count: usize,
+    /// Watchdog detection window.
+    pub detection: SimDuration,
+    /// Rescue micro-reboot (kexec + target boot + PRAM parse).
+    pub reboot: SimDuration,
+    /// Checkpoint adoption + restore + resume.
+    pub restoration: SimDuration,
+    /// NIC re-initialization (reported separately, as in Fig. 6).
+    pub network: SimDuration,
+    /// Crash-to-resumed recovery latency (detection + reboot +
+    /// restoration). Warm checkpoints keep translation entirely out of
+    /// this critical path.
+    pub recovery_latency: SimDuration,
+    /// Modeled latency of the cold ablation: the same crash without
+    /// always-on checkpoints must salvage-translate every VM's state *and*
+    /// build the PRAM directory before the micro-reboot can be taken.
+    pub cold_latency: SimDuration,
+    /// Per-VM state-loss accounting.
+    pub losses: Vec<VmLoss>,
+    /// The staleness bound the checkpointer ran with.
+    pub loss_bound_pages: u64,
+    /// Background ticks the checkpointer completed before the crash.
+    pub checkpoint_ticks: u64,
+    /// Per-VM checkpoint refreshes persisted before the crash.
+    pub checkpoint_refreshes: u64,
+    /// Cumulative simulated background checkpointing cost.
+    pub background_time: SimDuration,
+    /// Frames scrubbed by the rescue boot.
+    pub scrubbed_frames: u64,
+    /// Compatibility warnings from the target's adoptions.
+    pub warnings: Vec<String>,
+}
+
+impl RecoveryReport {
+    /// True when every VM's checkpoint lag at the last completed tick was
+    /// strictly below the staleness bound — the provable half of the
+    /// state-loss bound (the other half, the final-interval tail, is
+    /// workload-controlled and reported per VM).
+    pub fn within_bound(&self) -> bool {
+        let bound = self.loss_bound_pages.max(1);
+        self.losses.iter().all(|l| l.checkpoint_lag_pages < bound)
+    }
+
+    /// Total ground-truth loss pages across all VMs.
+    pub fn total_loss_pages(&self) -> u64 {
+        self.losses.iter().map(|l| l.loss_pages).sum()
+    }
+
+    /// How much faster warm recovery was than the cold ablation, in
+    /// percent of the cold latency.
+    pub fn warm_speedup_pct(&self) -> f64 {
+        let cold = self.cold_latency.as_secs_f64();
+        if cold <= 0.0 {
+            return 0.0;
+        }
+        (cold - self.recovery_latency.as_secs_f64()) / cold * 100.0
+    }
+
+    /// Byte-stable rendering for replay-determinism assertions.
+    pub fn render(&self) -> String {
+        let losses: Vec<String> = self
+            .losses
+            .iter()
+            .map(|l| {
+                format!(
+                    "{}:{}/{}/{}",
+                    l.name, l.loss_pages, l.checkpoint_lag_pages, l.tail_pages
+                )
+            })
+            .collect();
+        format!(
+            "vms={} latency_ns={} cold_ns={} detect_ns={} reboot_ns={} restore_ns={} \
+             net_ns={} ticks={} refreshes={} background_ns={} bound={} loss{{{}}}",
+            self.vm_count,
+            self.recovery_latency.as_nanos(),
+            self.cold_latency.as_nanos(),
+            self.detection.as_nanos(),
+            self.reboot.as_nanos(),
+            self.restoration.as_nanos(),
+            self.network.as_nanos(),
+            self.checkpoint_ticks,
+            self.checkpoint_refreshes,
+            self.background_time.as_nanos(),
+            self.loss_bound_pages,
+            losses.join(",")
+        )
+    }
+}
+
+/// Modeled warm (checkpointed) crash-recovery latency: detection + rescue
+/// reboot + restore + resume. Translation is absent — the checkpoints are
+/// already translated. Used by fleet planners that account for crashes
+/// without simulating full hosts.
+pub fn warm_recovery_latency(
+    cost: &CostModel,
+    perf: &MachinePerf,
+    target: HypervisorKind,
+    detection: SimDuration,
+    total_gb: f64,
+    entries: u64,
+    restore_list: &[(f64, u32)],
+) -> SimDuration {
+    detection
+        + cost.reboot(perf, target.boot_target(), total_gb, entries)
+        + cost.restore(perf, restore_list, true)
+        + perf.cpu(cost.resume_ghz_s_per_vm * restore_list.len() as f64)
+}
+
+/// Modeled cold crash-recovery latency: the same path plus the crash-time
+/// salvage translation and PRAM construction that always-on checkpointing
+/// moves out of the critical path.
+#[allow(clippy::too_many_arguments)] // mirrors the cost-model list shapes
+pub fn cold_recovery_latency(
+    cost: &CostModel,
+    perf: &MachinePerf,
+    target: HypervisorKind,
+    detection: SimDuration,
+    total_gb: f64,
+    entries: u64,
+    restore_list: &[(f64, u32)],
+    build_list: &[(f64, u64)],
+    xlate_list: &[(f64, u32, u64)],
+) -> SimDuration {
+    warm_recovery_latency(
+        cost,
+        perf,
+        target,
+        detection,
+        total_gb,
+        entries,
+        restore_list,
+    ) + cost.pram_build(perf, build_list)
+        + cost.translate(perf, xlate_list)
+}
+
+/// Rebuilds a UISR from a warm snapshot by patching individual per-vCPU
+/// register blocks (plus the non-vCPU sections whole). The result equals
+/// `fresh` by construction — changed blocks are overwritten, unchanged
+/// ones are already equal — so toggling field-level diffing on or off
+/// never changes the restored state, only the patch granularity the
+/// telemetry reports. Returns the patched UISR and the number of patched
+/// blocks/sections.
+pub fn patch_uisr_fields(warm: &UisrVm, fresh: UisrVm) -> (UisrVm, u64) {
+    let mut out = warm.clone();
+    let mut patched = 0u64;
+    let UisrVm {
+        name,
+        vcpus,
+        ioapic,
+        pit,
+        devices,
+        memory,
+    } = fresh;
+    if out.name != name {
+        out.name = name;
+        patched += 1;
+    }
+    if out.vcpus.len() != vcpus.len() {
+        // Topology changed: replace the section whole.
+        if out.vcpus != vcpus {
+            patched += 1;
+        }
+        out.vcpus = vcpus;
+    } else {
+        for (cur, new) in out.vcpus.iter_mut().zip(vcpus) {
+            let VcpuState {
+                id,
+                regs,
+                sregs,
+                fpu,
+                msrs,
+                xsave,
+                lapic,
+                lapic_regs,
+                mtrr,
+            } = new;
+            if cur.id != id {
+                cur.id = id;
+                patched += 1;
+            }
+            if cur.regs != regs {
+                cur.regs = regs;
+                patched += 1;
+            }
+            if cur.sregs != sregs {
+                cur.sregs = sregs;
+                patched += 1;
+            }
+            if cur.fpu != fpu {
+                cur.fpu = fpu;
+                patched += 1;
+            }
+            if cur.msrs != msrs {
+                cur.msrs = msrs;
+                patched += 1;
+            }
+            if cur.xsave != xsave {
+                cur.xsave = xsave;
+                patched += 1;
+            }
+            if cur.lapic != lapic {
+                cur.lapic = lapic;
+                patched += 1;
+            }
+            if cur.lapic_regs != lapic_regs {
+                cur.lapic_regs = lapic_regs;
+                patched += 1;
+            }
+            if cur.mtrr != mtrr {
+                cur.mtrr = mtrr;
+                patched += 1;
+            }
+        }
+    }
+    if out.ioapic != ioapic {
+        out.ioapic = ioapic;
+        patched += 1;
+    }
+    if out.pit != pit {
+        out.pit = pit;
+        patched += 1;
+    }
+    if out.devices != devices {
+        out.devices = devices;
+        patched += 1;
+    }
+    if out.memory != memory {
+        out.memory = memory;
+        patched += 1;
+    }
+    (out, patched)
+}
+
+/// The crash-recovery engine: takes the dying hypervisor and the always-on
+/// checkpointer, micro-reboots into the rescue hypervisor over the
+/// pre-staged kexec+PRAM image, and adopts every VM from its freshest
+/// persisted checkpoint.
+pub struct UnplannedRecovery<'r> {
+    registry: &'r HypervisorRegistry,
+    cost: CostModel,
+    faults: FaultPlan,
+}
+
+impl<'r> UnplannedRecovery<'r> {
+    /// Creates a recovery engine over a hypervisor pool.
+    pub fn new(registry: &'r HypervisorRegistry) -> Self {
+        UnplannedRecovery {
+            registry,
+            cost: CostModel::paper_calibrated(),
+            faults: FaultPlan::disarmed(),
+        }
+    }
+
+    /// Replaces the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Installs a fault plan so `MicroRebooted` / `RestoredFromCheckpoint`
+    /// recoveries land in the shared fault log.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Recovers from a hypervisor crash: post-mortem state-loss sweep,
+    /// watchdog detection, rescue kexec into the checkpointer's target,
+    /// VM discovery from the PRAM UISR blob names alone, adoption of the
+    /// in-place guest memory, and resume.
+    ///
+    /// `crashed` is consumed — its HV State dies with the old kernel.
+    /// Guest memory stays in place and survives byte-identical (verified
+    /// against a crash-instant checksum built from the checkpointer's
+    /// cached per-extent partials).
+    pub fn recover(
+        &self,
+        machine: &mut Machine,
+        crashed: Box<dyn Hypervisor>,
+        ckpt: WarmCheckpointer,
+    ) -> Result<(Box<dyn Hypervisor>, RecoveryReport), HtpError> {
+        let target = ckpt.target;
+        if !self.registry.contains(target) {
+            return Err(HtpError::UnknownHypervisor(target.name().to_string()));
+        }
+        let perf = machine.spec().perf();
+        let clock = machine.clock().clone();
+        let pool = ckpt.pool;
+        let t_crash = clock.now();
+
+        // Post-mortem sweep: ground-truth staleness at the crash instant.
+        // The simulator reads the dying hypervisor's dirty logs directly;
+        // a real watchdog extracts the same numbers from the crash dump.
+        let mut crashed = crashed;
+        let mut losses = Vec::with_capacity(ckpt.vms.len());
+        let mut crash_checksums = Vec::with_capacity(ckpt.vms.len());
+        for (k, vm) in ckpt.vms.iter().enumerate() {
+            let tail = crashed.collect_dirty(ckpt.ids[k]).unwrap_or_default();
+            losses.push(VmLoss {
+                name: vm.name.clone(),
+                loss_pages: vm.persisted_staleness + tail.len() as u64,
+                checkpoint_lag_pages: vm.staleness_at_tick_end,
+                tail_pages: tail.len() as u64,
+            });
+            // Crash-instant memory checksum: the cached partials are valid
+            // except for extents dirtied since they were computed — which
+            // is exactly pending ∪ tail.
+            let mut dirty = vm.pending.clone();
+            dirty.extend(tail);
+            let ext = vm.dirty_extent_indices(&dirty);
+            let mut partials = vm.partials.clone();
+            machine
+                .ram()
+                .refresh_partials_with_pool(&vm.extents, &mut partials, &ext, &pool);
+            crash_checksums.push(combine_partials(&partials));
+        }
+        let total_loss: u64 = losses.iter().map(|l| l.loss_pages).sum();
+        self.faults.record_recovery(
+            InjectionPoint::HypervisorCrash,
+            RecoveryAction::MicroRebooted,
+            &format!(
+                "{} crashed; micro-rebooting into {} with {} warm checkpoints ({} stale pages)",
+                crashed.kind().name(),
+                target.name(),
+                ckpt.vms.len(),
+                total_loss
+            ),
+        );
+        // HV State dies with the crashed kernel. Guest memory stays put.
+        drop(crashed);
+
+        // Watchdog window, then the pre-staged rescue kexec — a dead
+        // hypervisor cannot stage anything, so the image must already be
+        // armed (the checkpointer re-arms it on every persist).
+        clock.advance(ckpt.cfg.detection);
+        machine.kexec()?;
+        let total_gb: f64 = ckpt.vms.iter().map(|v| v.gb).sum();
+        let total_entries = ckpt.handle.stats().entries;
+        let reboot_cost = self
+            .cost
+            .reboot(&perf, target.boot_target(), total_gb, total_entries);
+        clock.advance(reboot_cost);
+
+        // Early boot: locate the freshest checkpoint directory from the
+        // rescue command line.
+        let pram_ptr = hypertp_pram::fs::pram_ptr_from_cmdline(machine.booted_cmdline()).ok_or(
+            HtpError::Pram(hypertp_pram::PramError::BadMagic {
+                mfn: hypertp_machine::Mfn(0),
+            }),
+        )?;
+        let image = PramImage::parse(machine.ram(), pram_ptr)?;
+        image.verify().map_err(HtpError::Pram)?;
+        image.reserve_all(machine.ram_mut())?;
+        let scrubbed = machine.ram_mut().scrub_unreserved();
+
+        let mut target_hv = self.registry.create(target, machine)?;
+
+        // Discover the VMs from the UISR blob names alone — there is no
+        // source hypervisor left to enumerate them.
+        let blob_files: Vec<&PramFile> = image
+            .files
+            .iter()
+            .filter(|f| uisr_store::is_uisr_file(f))
+            .collect();
+        let decoded = {
+            let machine_ref: &Machine = machine;
+            let blob_ref = &blob_files;
+            pool.map_indices(blob_files.len(), |i| -> Result<UisrVm, HtpError> {
+                let blob = uisr_store::load_blob(machine_ref.ram(), blob_ref[i])?;
+                Ok(hypertp_uisr::decode(&blob)?)
+            })
+            .results
+        };
+        let mut warnings = Vec::new();
+        let mut adopted = Vec::new();
+        for (file, uisr) in blob_files.iter().zip(decoded) {
+            let name = uisr_store::vm_name_from_uisr_file(file).expect("filtered as UISR file");
+            let guest = image
+                .file(name)
+                .ok_or_else(|| HtpError::IncompatibleState {
+                    section: "PRAM",
+                    detail: format!("no guest-memory file for VM '{name}'"),
+                })?;
+            let restored = target_hv.adopt_vm(machine, &uisr?, &guest.mappings)?;
+            warnings.extend(restored.warnings.iter().cloned());
+            adopted.push((name.to_string(), restored.id));
+        }
+        let restore_list: Vec<(f64, u32)> = ckpt.vms.iter().map(|v| (v.gb, v.vcpus)).collect();
+        let restore_cost = self.cost.restore(&perf, &restore_list, true);
+        clock.advance(restore_cost);
+
+        // Integrity: crash-instant guest memory must have survived the
+        // micro-reboot byte-identical (only registers roll back).
+        for (k, vm) in ckpt.vms.iter().enumerate() {
+            let id = target_hv
+                .find_vm(&vm.name)
+                .ok_or_else(|| HtpError::IntegrityViolation {
+                    vm_name: vm.name.clone(),
+                })?;
+            let map = target_hv.guest_memory_map(id)?;
+            let extents: Vec<_> = map.iter().map(|(_, e)| *e).collect();
+            if machine.ram().checksum_with_pool(&extents, &pool) != crash_checksums[k] {
+                return Err(HtpError::IntegrityViolation {
+                    vm_name: vm.name.clone(),
+                });
+            }
+            if !extents.iter().all(|e| machine.ram().is_allocated(e.base)) {
+                return Err(HtpError::IntegrityViolation {
+                    vm_name: vm.name.clone(),
+                });
+            }
+        }
+
+        // Resume every VM and log its restoration.
+        for (name, id) in &adopted {
+            target_hv.resume_vm(*id)?;
+            let loss = losses
+                .iter()
+                .find(|l| &l.name == name)
+                .map(|l| l.loss_pages)
+                .unwrap_or(0);
+            self.faults.record_recovery(
+                InjectionPoint::HypervisorCrash,
+                RecoveryAction::RestoredFromCheckpoint,
+                &format!("{name}: restored from warm checkpoint ({loss} stale pages lost)"),
+            );
+        }
+        clock.advance(perf.cpu(self.cost.resume_ghz_s_per_vm * adopted.len() as f64));
+        let t_resumed = clock.now();
+
+        // Cleanup: blob frames and metadata are ephemeral; guest frames
+        // stay allocated (adopted) and only drop their reservations.
+        for file in image.files.iter().filter(|f| uisr_store::is_uisr_file(f)) {
+            uisr_store::release_blob(machine.ram_mut(), file)?;
+        }
+        image.release_metadata(machine.ram_mut())?;
+        for file in image.files.iter().filter(|f| !uisr_store::is_uisr_file(f)) {
+            for (_, e) in &file.mappings {
+                machine.ram_mut().unreserve_and_free(e.base, e.pages())?;
+            }
+        }
+        let network = machine.bring_up_nic();
+
+        let recovery_latency = t_resumed.duration_since(t_crash);
+        let build_list: Vec<(f64, u64)> = ckpt.vms.iter().map(|v| (v.gb, v.entries)).collect();
+        let xlate_list: Vec<(f64, u32, u64)> = ckpt
+            .vms
+            .iter()
+            .map(|v| (v.gb, v.vcpus, v.entries))
+            .collect();
+        let cold_latency = recovery_latency
+            + self.cost.pram_build(&perf, &build_list)
+            + self.cost.translate(&perf, &xlate_list);
+
+        let report = RecoveryReport {
+            vm_count: adopted.len(),
+            detection: ckpt.cfg.detection,
+            reboot: reboot_cost,
+            restoration: recovery_latency - ckpt.cfg.detection - reboot_cost,
+            network,
+            recovery_latency,
+            cold_latency,
+            losses,
+            loss_bound_pages: ckpt.cfg.staleness_bound_pages,
+            checkpoint_ticks: ckpt.ticks,
+            checkpoint_refreshes: ckpt.refreshes,
+            background_time: ckpt.background,
+            scrubbed_frames: scrubbed,
+            warnings,
+        };
+        Ok((target_hv, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::SimpleHv;
+    use crate::vm::{VmConfig, VmState};
+    use hypertp_machine::MachineSpec;
+
+    fn registry() -> HypervisorRegistry {
+        let mut r = HypervisorRegistry::new();
+        r.register(HypervisorKind::Xen, |_m| {
+            Box::new(SimpleHv::new(HypervisorKind::Xen))
+        });
+        r.register(HypervisorKind::Kvm, |_m| {
+            Box::new(SimpleHv::new(HypervisorKind::Kvm))
+        });
+        r
+    }
+
+    fn machine_gb(gb: u64) -> Machine {
+        let mut spec = MachineSpec::m1();
+        spec.ram_gb = gb;
+        Machine::new(spec)
+    }
+
+    fn cfg_bound(bound: u64) -> CheckpointConfig {
+        CheckpointConfig {
+            staleness_bound_pages: bound,
+            ..CheckpointConfig::default()
+        }
+    }
+
+    /// Pause/save/resume a VM to snapshot its architectural state without
+    /// perturbing it.
+    fn snapshot(hv: &mut dyn Hypervisor, m: &Machine, id: VmId) -> UisrVm {
+        hv.pause_vm(id).unwrap();
+        let u = hv.save_uisr(m, id).unwrap();
+        hv.resume_vm(id).unwrap();
+        u
+    }
+
+    #[test]
+    fn crash_recovery_preserves_memory_and_restores_a_legal_state() {
+        let reg = registry();
+        let mut m = machine_gb(8);
+        let mut src: Box<dyn Hypervisor> = Box::new(SimpleHv::new(HypervisorKind::Xen));
+        let mut ids = Vec::new();
+        for i in 0..3u64 {
+            let id = src
+                .create_vm(&mut m, &VmConfig::small(format!("svc{i}")))
+                .unwrap();
+            src.write_guest(&mut m, id, Gfn(100 + i), 0xbeef_0000 + i)
+                .unwrap();
+            ids.push(id);
+        }
+        let mut ckpt =
+            WarmCheckpointer::start(&mut m, src.as_mut(), HypervisorKind::Kvm, cfg_bound(64))
+                .unwrap();
+
+        // Legal pre-crash states: the initial checkpoint plus every
+        // completed tick's state.
+        let mut legal: Vec<Vec<UisrVm>> = ids
+            .iter()
+            .map(|&id| vec![snapshot(src.as_mut(), &m, id)])
+            .collect();
+        for _ in 0..4 {
+            let r = ckpt.tick(&mut m, src.as_mut(), 40).unwrap();
+            assert!(r.crashed.is_none());
+            for (k, &id) in ids.iter().enumerate() {
+                legal[k].push(snapshot(src.as_mut(), &m, id));
+            }
+        }
+        assert!(ckpt.refreshes() > 0, "40 pages/tick must cross a 64 bound");
+
+        // Crash-window writes: dirtied after the last tick, preserved in
+        // place by the recovery.
+        for (i, &id) in ids.iter().enumerate() {
+            src.write_guest(&mut m, id, Gfn(200 + i as u64), 0xdead_0000 + i as u64)
+                .unwrap();
+        }
+
+        let engine = UnplannedRecovery::new(&reg);
+        let (hv, report) = engine.recover(&mut m, src, ckpt).unwrap();
+        assert_eq!(hv.kind(), HypervisorKind::Kvm);
+        assert_eq!(report.vm_count, 3);
+        assert_eq!(m.boot_count(), 2);
+        assert!(report.within_bound(), "{:?}", report.losses);
+        assert!(report.recovery_latency < report.cold_latency);
+        let mut hv = hv;
+        for i in 0..3u64 {
+            let name = format!("svc{i}");
+            let id = hv.find_vm(&name).unwrap();
+            assert_eq!(hv.vm_state(id).unwrap(), VmState::Running);
+            // Memory (including crash-window writes) survived in place.
+            assert_eq!(
+                hv.read_guest(&m, id, Gfn(100 + i)).unwrap(),
+                0xbeef_0000 + i
+            );
+            assert_eq!(
+                hv.read_guest(&m, id, Gfn(200 + i)).unwrap(),
+                0xdead_0000 + i
+            );
+            // Registers rolled back to a legal pre-crash state.
+            let restored = snapshot(hv.as_mut(), &m, id);
+            let k = i as usize;
+            assert!(
+                legal[k].iter().any(|u| u.vcpus == restored.vcpus),
+                "{name}: restored vCPU state must equal a recorded checkpoint"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_phases_all_recover_from_the_persisted_image() {
+        // Arm the crash gate at each in-tick phase (the gate is consulted
+        // 3× per tick: warm-round, refresh, finalize) and once between
+        // ticks (idle), and verify every phase recovers with no VM lost.
+        for (ordinal, phase) in [
+            (1, Some(CrashPhase::WarmRound)),
+            (2, Some(CrashPhase::Refresh)),
+            (3, Some(CrashPhase::Finalize)),
+            (4, None), // survives the first tick; fires at the idle gate
+        ] {
+            let reg = registry();
+            let mut m = machine_gb(8);
+            let mut src: Box<dyn Hypervisor> = Box::new(SimpleHv::new(HypervisorKind::Xen));
+            let id = src.create_vm(&mut m, &VmConfig::small("vm0")).unwrap();
+            src.write_guest(&mut m, id, Gfn(7), 0x7777).unwrap();
+            let plan = FaultPlan::new(0x9e8e);
+            plan.arm_calls(InjectionPoint::HypervisorCrash, &[ordinal]);
+            let mut ckpt = WarmCheckpointer::start_with(
+                &mut m,
+                src.as_mut(),
+                HypervisorKind::Kvm,
+                cfg_bound(8),
+                CostModel::paper_calibrated(),
+                plan.clone(),
+                WorkerPool::from_env(),
+            )
+            .unwrap();
+            let r = ckpt.tick(&mut m, src.as_mut(), 16).unwrap();
+            assert_eq!(r.crashed, phase, "ordinal {ordinal}");
+            if r.crashed.is_none() {
+                assert!(crash_gate(&plan, "idle watchdog"), "ordinal {ordinal}");
+            }
+            let engine = UnplannedRecovery::new(&reg).with_faults(plan.clone());
+            let (hv, report) = engine.recover(&mut m, src, ckpt).unwrap();
+            assert_eq!(report.vm_count, 1, "ordinal {ordinal}");
+            assert!(report.within_bound(), "ordinal {ordinal}");
+            let id2 = hv.find_vm("vm0").expect("vm0 must survive the crash");
+            assert_eq!(hv.read_guest(&m, id2, Gfn(7)).unwrap(), 0x7777);
+            assert!(plan.log().recovered_via(
+                InjectionPoint::HypervisorCrash,
+                RecoveryAction::MicroRebooted
+            ));
+            assert!(plan.log().recovered_via(
+                InjectionPoint::HypervisorCrash,
+                RecoveryAction::RestoredFromCheckpoint
+            ));
+        }
+    }
+
+    #[test]
+    fn finalize_crash_restores_older_persisted_checkpoint() {
+        // A crash between cache refresh and persist must restore the
+        // *previous* persisted state, and the staleness counters keep
+        // counting against it (no bound violation is masked).
+        let reg = registry();
+        let mut m = machine_gb(8);
+        let mut src: Box<dyn Hypervisor> = Box::new(SimpleHv::new(HypervisorKind::Xen));
+        let id = src.create_vm(&mut m, &VmConfig::small("vm0")).unwrap();
+        let plan = FaultPlan::new(0xf1fa);
+        // Tick 1 completes (3 clean gate draws); tick 2 crashes at
+        // finalize (6th draw).
+        plan.arm_calls(InjectionPoint::HypervisorCrash, &[6]);
+        let mut ckpt = WarmCheckpointer::start_with(
+            &mut m,
+            src.as_mut(),
+            HypervisorKind::Kvm,
+            cfg_bound(8),
+            CostModel::paper_calibrated(),
+            plan.clone(),
+            WorkerPool::from_env(),
+        )
+        .unwrap();
+        let r1 = ckpt.tick(&mut m, src.as_mut(), 16).unwrap();
+        assert!(r1.persisted && r1.crashed.is_none());
+        let persisted_state = snapshot(src.as_mut(), &m, id);
+        let r2 = ckpt.tick(&mut m, src.as_mut(), 16).unwrap();
+        assert_eq!(r2.crashed, Some(CrashPhase::Finalize));
+        let engine = UnplannedRecovery::new(&reg).with_faults(plan);
+        let (hv, report) = engine.recover(&mut m, src, ckpt).unwrap();
+        let mut hv = hv;
+        let id2 = hv.find_vm("vm0").unwrap();
+        let restored = snapshot(hv.as_mut(), &m, id2);
+        assert_eq!(
+            restored.vcpus, persisted_state.vcpus,
+            "finalize crash restores the last persisted checkpoint"
+        );
+        // The tick-2 dirt counts as loss (it was refreshed in memory but
+        // never persisted).
+        assert!(report.losses[0].loss_pages > 0);
+    }
+
+    #[test]
+    fn field_diff_toggle_is_behavior_identical() {
+        let run = |field_diff: bool| {
+            let reg = registry();
+            let mut m = machine_gb(8);
+            let mut src: Box<dyn Hypervisor> = Box::new(SimpleHv::new(HypervisorKind::Xen));
+            let id = src
+                .create_vm(&mut m, &VmConfig::small("vm0").with_vcpus(2))
+                .unwrap();
+            src.write_guest(&mut m, id, Gfn(3), 0x33).unwrap();
+            let cfg = CheckpointConfig {
+                field_diff,
+                ..cfg_bound(8)
+            };
+            let mut ckpt =
+                WarmCheckpointer::start(&mut m, src.as_mut(), HypervisorKind::Kvm, cfg).unwrap();
+            let mut fields = 0u64;
+            let mut sections = 0u64;
+            for _ in 0..3 {
+                let r = ckpt.tick(&mut m, src.as_mut(), 16).unwrap();
+                fields += r.patched_fields;
+                sections += r.patched_sections;
+            }
+            let cadence = ckpt.cadence_render();
+            let engine = UnplannedRecovery::new(&reg);
+            let (mut hv, report) = engine.recover(&mut m, src, ckpt).unwrap();
+            let id2 = hv.find_vm("vm0").unwrap();
+            let restored = snapshot(hv.as_mut(), &m, id2);
+            (restored, report.render(), cadence, fields, sections)
+        };
+        let off = run(false);
+        let on = run(true);
+        // Identical restored state, report and cadence either way.
+        assert_eq!(off.0, on.0);
+        assert_eq!(off.1, on.1);
+        assert_eq!(off.2, on.2);
+        // Only the telemetry granularity differs: off counts whole
+        // sections, on counts individual per-vCPU blocks.
+        assert_eq!(off.3, 0, "field_diff off must not count fields");
+        assert_eq!(on.4, 0, "field_diff on must not count whole sections");
+        assert!(off.4 > 0 && on.3 > 0, "warm refreshes patched something");
+    }
+
+    #[test]
+    fn patch_uisr_fields_equals_fresh_and_counts_blocks() {
+        let mut warm = UisrVm::new("vm0");
+        warm.vcpus = vec![VcpuState::reset(0), VcpuState::reset(1)];
+        let mut fresh = warm.clone();
+        // Identity: nothing changed → zero patches.
+        let (same, n) = patch_uisr_fields(&warm, fresh.clone());
+        assert_eq!(same, warm);
+        assert_eq!(n, 0);
+        // One register block and one LAPIC page changed → exactly 2
+        // patches, result equals fresh.
+        fresh.vcpus[0].regs.rip = 0xabc;
+        fresh.vcpus[1].lapic_regs[0] = 9;
+        let (patched, n) = patch_uisr_fields(&warm, fresh.clone());
+        assert_eq!(patched, fresh);
+        assert_eq!(n, 2);
+        // vCPU count change falls back to a whole-section patch.
+        fresh.vcpus.push(VcpuState::reset(2));
+        let (patched, n) = patch_uisr_fields(&warm, fresh.clone());
+        assert_eq!(patched, fresh);
+        assert_eq!(n, 1); // topology change collapses into 1 whole-section patch
+    }
+
+    #[test]
+    fn zero_vm_host_recovers_cleanly() {
+        let reg = registry();
+        let mut m = machine_gb(4);
+        let mut src: Box<dyn Hypervisor> = Box::new(SimpleHv::new(HypervisorKind::Xen));
+        let mut ckpt = WarmCheckpointer::start(
+            &mut m,
+            src.as_mut(),
+            HypervisorKind::Kvm,
+            CheckpointConfig::default(),
+        )
+        .unwrap();
+        ckpt.tick(&mut m, src.as_mut(), 10).unwrap();
+        let engine = UnplannedRecovery::new(&reg);
+        let (hv, report) = engine.recover(&mut m, src, ckpt).unwrap();
+        assert_eq!(hv.kind(), HypervisorKind::Kvm);
+        assert_eq!(report.vm_count, 0);
+        assert!(report.within_bound());
+    }
+
+    #[test]
+    fn recovery_is_deterministic_for_a_seed() {
+        let run = || {
+            let reg = registry();
+            let mut m = machine_gb(8);
+            let mut src: Box<dyn Hypervisor> = Box::new(SimpleHv::new(HypervisorKind::Xen));
+            for i in 0..2 {
+                src.create_vm(&mut m, &VmConfig::small(format!("vm{i}")))
+                    .unwrap();
+            }
+            let plan = FaultPlan::new(0xdede);
+            plan.arm_calls(InjectionPoint::HypervisorCrash, &[5]);
+            let mut ckpt = WarmCheckpointer::start_with(
+                &mut m,
+                src.as_mut(),
+                HypervisorKind::Kvm,
+                cfg_bound(16),
+                CostModel::paper_calibrated(),
+                plan.clone(),
+                WorkerPool::from_env(),
+            )
+            .unwrap();
+            for _ in 0..3 {
+                if ckpt
+                    .tick(&mut m, src.as_mut(), 12)
+                    .unwrap()
+                    .crashed
+                    .is_some()
+                {
+                    break;
+                }
+            }
+            let engine = UnplannedRecovery::new(&reg).with_faults(plan.clone());
+            let (_hv, report) = engine.recover(&mut m, src, ckpt).unwrap();
+            format!("{}\n{}", report.render(), plan.log().render())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -57,11 +57,16 @@ pub enum InjectionPoint {
     /// the host with backoff; after exhausting retries, exclude it and
     /// account its VMs as residual exposure.
     HostFailure,
+    /// The running hypervisor itself crashes (panic, compromise) while VMs
+    /// are live. Recovery: ReHype-style unplanned transplant — micro-reboot
+    /// into the *other* hypervisor via kexec+PRAM and restore every VM from
+    /// its freshest warm UISR checkpoint (`core::unplanned`).
+    HypervisorCrash,
 }
 
 impl InjectionPoint {
     /// Every registered injection point, in canonical order.
-    pub const ALL: [InjectionPoint; 7] = [
+    pub const ALL: [InjectionPoint; 8] = [
         InjectionPoint::LinkDrop,
         InjectionPoint::LinkLatencySpike,
         InjectionPoint::TruncatedPage,
@@ -69,6 +74,7 @@ impl InjectionPoint {
         InjectionPoint::PramChecksum,
         InjectionPoint::WorkerPanic,
         InjectionPoint::HostFailure,
+        InjectionPoint::HypervisorCrash,
     ];
 
     /// Stable short name used in logs and JSON.
@@ -81,6 +87,7 @@ impl InjectionPoint {
             InjectionPoint::PramChecksum => "pram_checksum",
             InjectionPoint::WorkerPanic => "worker_panic",
             InjectionPoint::HostFailure => "host_failure",
+            InjectionPoint::HypervisorCrash => "hypervisor_crash",
         }
     }
 
@@ -94,6 +101,7 @@ impl InjectionPoint {
             InjectionPoint::PramChecksum => 4,
             InjectionPoint::WorkerPanic => 5,
             InjectionPoint::HostFailure => 6,
+            InjectionPoint::HypervisorCrash => 7,
         }
     }
 }
@@ -142,6 +150,12 @@ pub enum RecoveryAction {
     /// link fault: the samples they held measured a link state that no
     /// longer exists, so the controller re-warms from the retried round.
     ResetController,
+    /// The crashed hypervisor was replaced by micro-rebooting into the
+    /// other hypervisor over the kexec+PRAM path (unplanned transplant).
+    MicroRebooted,
+    /// A VM lost with the crashed hypervisor was restored from its
+    /// freshest warm UISR checkpoint in PRAM.
+    RestoredFromCheckpoint,
     /// The fault was fatal at this layer; the error propagated to the
     /// caller (which may itself recover — e.g. fall back to InPlaceTP).
     GaveUp,
@@ -164,6 +178,8 @@ impl RecoveryAction {
             RecoveryAction::AbsorbedLatency => "absorbed_latency",
             RecoveryAction::InvalidatedWireCache => "invalidated_wire_cache",
             RecoveryAction::ResetController => "reset_controller",
+            RecoveryAction::MicroRebooted => "micro_rebooted",
+            RecoveryAction::RestoredFromCheckpoint => "restored_from_checkpoint",
             RecoveryAction::GaveUp => "gave_up",
         }
     }
@@ -312,8 +328,8 @@ struct PointState {
 #[derive(Debug)]
 struct Inner {
     seed: u64,
-    points: [PointState; 7],
-    streams: [SimRng; 7],
+    points: [PointState; 8],
+    streams: [SimRng; 8],
     log: FaultLog,
     next_seq: u64,
 }

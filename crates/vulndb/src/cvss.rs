@@ -237,4 +237,21 @@ mod tests {
     fn parenthesized_vector_accepted() {
         assert!(CvssV2::parse("(AV:N/AC:L/Au:N/C:C/I:C/A:C)").is_some());
     }
+
+    #[test]
+    fn unknown_vectors_rejected_not_scored() {
+        // An unknown vector must parse to None — never be silently
+        // scored (a zero score would read as "not severe" and suppress a
+        // transplant that should have happened). Covers a CVSS v3 vector
+        // fed to the v2 parser, an unknown metric key, an unknown metric
+        // value, and a keyless fragment.
+        for vector in [
+            "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",
+            "AV:N/AC:L/Au:N/C:N/I:N/A:N/E:F",
+            "AV:N/AC:L/Au:N/C:X/I:N/A:N",
+            "AV:N/AC:L/Au:N/C:N/I:N/garbage",
+        ] {
+            assert!(CvssV2::parse(vector).is_none(), "{vector}");
+        }
+    }
 }

@@ -165,6 +165,29 @@ mod tests {
     }
 
     #[test]
+    fn empty_dataset_yields_no_transplants() {
+        // The policy over no history is a no-op, not a panic: no years,
+        // no transplants.
+        assert!(transplants_per_year(&[], HypervisorId::Xen, &pool()).is_empty());
+    }
+
+    #[test]
+    fn empty_or_self_only_pool_has_no_safe_target() {
+        // With no alternative hypervisor (or only the current one), a
+        // critical flaw degrades to emergency patching — the policy must
+        // say so rather than invent a target.
+        let v = make("X-4", vec![HypervisorId::Xen], "AV:L/AC:L/Au:N/C:C/I:C/A:C");
+        assert_eq!(
+            decide(&v, HypervisorId::Xen, &[], &[]),
+            Decision::NoSafeTarget
+        );
+        assert_eq!(
+            decide(&v, HypervisorId::Xen, &[HypervisorId::Xen], &[]),
+            Decision::NoSafeTarget
+        );
+    }
+
+    #[test]
     fn transplant_rate_is_low_but_nonzero() {
         // The §2 takeaway: a Xen shop would transplant for critical Xen
         // flaws (≈8/year on average over 2013–2019), which is rare enough

@@ -26,7 +26,12 @@
 //! land under its budget. A seventh (own plan, rate-armed) puts host
 //! failures under the cluster executor's *sharded* path: requeues and
 //! exclusions must replay byte-identically for every shard and worker
-//! count. The CI chaos step pins the three seeds below; set
+//! count. An eighth (one plan per phase: a crash ends the run) kills the
+//! hypervisor at every warm-checkpoint phase — mid-warm-round,
+//! mid-refresh, mid-finalize, and idle between ticks — and the unplanned
+//! path must micro-reboot into the rescue hypervisor and restore every
+//! VM from the freshest persisted checkpoint within its state-loss
+//! bound. The CI chaos step pins the three seeds below; set
 //! `HYPERTP_SEED` to probe others.
 
 use hypertp::prelude::*;
@@ -474,6 +479,147 @@ fn chaos_fallback(seed: u64) -> String {
     log.render()
 }
 
+/// Scenario 8: the hypervisor crashes at every warm-checkpoint phase —
+/// mid-warm-round, mid-refresh, mid-finalize, and idle between ticks —
+/// and the unplanned path must micro-reboot into the rescue hypervisor
+/// and restore every VM from the freshest persisted checkpoint. No VM is
+/// lost, guest memory survives byte-identical across the micro-reboot,
+/// the state-loss bound holds, and both recovery actions are visible in
+/// the [`FaultLog`]. One plan per phase (a crash ends the run). Returns
+/// the concatenated report + log renders.
+fn chaos_crash_phases(seed: u64) -> String {
+    use hypertp_core::{crash_gate, CheckpointConfig, UnplannedRecovery, WarmCheckpointer};
+    use hypertp_sim::{CostModel, WorkerPool};
+
+    let registry = default_registry();
+    let mut renders = String::new();
+    // The checkpointer consults the crash gate three times per tick
+    // (warm-round, refresh, finalize), so after one clean tick ordinals
+    // 4..=6 land in the phases of tick 2; ordinal 7 is consulted by the
+    // idle watchdog after two clean ticks.
+    for (ordinal, phase) in [
+        (4u64, Some("warm_round")),
+        (5, Some("refresh")),
+        (6, Some("finalize")),
+        (7, None),
+    ] {
+        let faults = FaultPlan::new(seed ^ 0xc8a5_0008);
+        faults.arm_calls(InjectionPoint::HypervisorCrash, &[ordinal]);
+        let mut m = Machine::new(small_spec(8));
+        let mut hv = registry.create(HypervisorKind::Xen, &mut m).unwrap();
+        let mut pages = 0;
+        for i in 0..2u64 {
+            let cfg = VmConfig::small(format!("chaos-cr{i}"));
+            let id = hv.create_vm(&mut m, &cfg).unwrap();
+            pages = cfg.pages();
+            for k in 0..24u64 {
+                let g = Gfn((k * 9 + i) % pages);
+                hv.write_guest(&mut m, id, g, k ^ (i << 24) ^ 0xc8a5)
+                    .unwrap();
+            }
+        }
+        // A bound tight enough that every tick refreshes and re-persists
+        // (the 48-page workload EWMA-predicts past it), so the mid-phase
+        // crashes land on a checkpointer with real in-flight state.
+        let cfg = CheckpointConfig {
+            staleness_bound_pages: 64,
+            ..CheckpointConfig::default()
+        };
+        let mut ckpt = WarmCheckpointer::start_with(
+            &mut m,
+            hv.as_mut(),
+            HypervisorKind::Kvm,
+            cfg,
+            CostModel::paper_calibrated(),
+            faults.clone(),
+            WorkerPool::from_env(),
+        )
+        .unwrap_or_else(|e| panic!("seed {seed:#x}: checkpointer start failed: {e}"));
+        let mut crashed = None;
+        for _ in 0..2 {
+            let tr = ckpt
+                .tick(&mut m, hv.as_mut(), 48)
+                .unwrap_or_else(|e| panic!("seed {seed:#x}: checkpoint tick failed: {e}"));
+            if let Some(p) = tr.crashed {
+                crashed = Some(p.name());
+                break;
+            }
+        }
+        if crashed.is_none() {
+            // The armed ordinal lies past both ticks' gates: the idle
+            // watchdog consults next and the crash fires between ticks.
+            assert!(
+                crash_gate(&faults, "idle watchdog"),
+                "seed {seed:#x}: idle crash never fired"
+            );
+        }
+        assert_eq!(
+            crashed, phase,
+            "seed {seed:#x}: crash landed in the wrong phase"
+        );
+        // Snapshot guest memory at the crash instant: the workload has
+        // been scribbling over the sentinel writes, so the survival
+        // contract is against what the pages held when the kernel died.
+        let mut last = Vec::new();
+        for i in 0..2u64 {
+            let name = format!("chaos-cr{i}");
+            let id = hv.find_vm(&name).unwrap();
+            for k in 0..24u64 {
+                let g = Gfn((k * 9 + i) % pages);
+                last.push((name.clone(), g, hv.read_guest(&m, id, g).unwrap()));
+            }
+        }
+        let bound = ckpt.config().staleness_bound_pages;
+        let recovery = UnplannedRecovery::new(&registry).with_faults(faults.clone());
+        let (hv2, report) = recovery
+            .recover(&mut m, hv, ckpt)
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: unplanned recovery failed: {e}"));
+        assert_eq!(hv2.kind(), HypervisorKind::Kvm, "seed {seed:#x}");
+        // The provable state-loss bound: un-persisted staleness never
+        // exceeds the configured budget, at any crash phase.
+        assert!(
+            report.within_bound(),
+            "seed {seed:#x}: state-loss bound {bound} blown at {phase:?}:\n{}",
+            report.render()
+        );
+        assert_eq!(report.vm_count, 2, "seed {seed:#x}: VM lost in recovery");
+        // No VM lost, no guest word lost: guest memory survived the
+        // micro-reboot in place.
+        for (name, g, v) in &last {
+            let id = hv2
+                .find_vm(name)
+                .unwrap_or_else(|| panic!("seed {seed:#x}: {name} lost in recovery"));
+            assert_eq!(hv2.vm_state(id).unwrap(), VmState::Running);
+            assert_eq!(
+                hv2.read_guest(&m, id, *g).unwrap(),
+                *v,
+                "seed {seed:#x}: guest word lost at {g:?} of {name}"
+            );
+        }
+        let log = faults.log();
+        assert!(
+            log.recovered_via(
+                InjectionPoint::HypervisorCrash,
+                RecoveryAction::MicroRebooted
+            ),
+            "seed {seed:#x}: micro-reboot not logged; log:\n{}",
+            log.render()
+        );
+        assert!(
+            log.recovered_via(
+                InjectionPoint::HypervisorCrash,
+                RecoveryAction::RestoredFromCheckpoint
+            ),
+            "seed {seed:#x}: checkpoint restore not logged; log:\n{}",
+            log.render()
+        );
+        renders.push_str(&report.render());
+        renders.push('\n');
+        renders.push_str(&log.render());
+    }
+    renders
+}
+
 /// One full chaos run: all scenarios under `seed`, every point fired,
 /// every recovery path asserted. Returns the concatenated log renders for
 /// byte-identity checks.
@@ -510,6 +656,17 @@ fn chaos_run(seed: u64) -> String {
             RecoveryAction::TaskRetriedInline,
         ),
         (InjectionPoint::HostFailure, RecoveryAction::RequeuedHost),
+        // The campaign host that crashed in its upgrade slot was
+        // micro-rebooted onto the target and its VMs restored from the
+        // always-on warm checkpoints.
+        (
+            InjectionPoint::HypervisorCrash,
+            RecoveryAction::MicroRebooted,
+        ),
+        (
+            InjectionPoint::HypervisorCrash,
+            RecoveryAction::RestoredFromCheckpoint,
+        ),
     ];
     for (point, action) in expectations {
         assert!(
@@ -524,13 +681,15 @@ fn chaos_run(seed: u64) -> String {
     let wire_log = chaos_wire(seed);
     let adaptive_log = chaos_adaptive(seed);
     let sharded_log = chaos_sharded_exec(seed);
+    let crash_log = chaos_crash_phases(seed);
     format!(
-        "{}---\n{}---\n{}---\n{}---\n{}",
+        "{}---\n{}---\n{}---\n{}---\n{}---\n{}",
         log.render(),
         fallback_log,
         wire_log,
         adaptive_log,
-        sharded_log
+        sharded_log,
+        crash_log
     )
 }
 

@@ -1,0 +1,211 @@
+//! Seeded property tests for the unplanned-transplant path (200 cases).
+//!
+//! Three properties, each over a seeded family of randomized scenarios
+//! (VM count, workload intensity, staleness bound, and crash ordinal all
+//! drawn from a [`SimRng`] stream, so every case replays exactly):
+//!
+//! 1. **Legality** (150 cases): whatever phase the crash lands in, the
+//!    recovered VM's register state equals some state the guest actually
+//!    passed through at a checkpoint boundary — never a torn or invented
+//!    one — while guest memory survives the micro-reboot in place.
+//! 2. **Loss bound** (part of the same 150 cases): the checkpoint lag at
+//!    the last completed tick is strictly below the configured staleness
+//!    bound, for every VM, at every crash phase.
+//! 3. **Cadence invariance** (30 cases × 3 pool sizes + 20 cases via
+//!    `HYPERTP_WORKERS`): the checkpointer's refresh cadence and the
+//!    recovery report are byte-identical for every worker-pool size —
+//!    parallelism is an implementation detail, not a schedule input.
+
+use hypertp::prelude::*;
+use hypertp::uisr::CpuRegisters;
+use hypertp_core::{crash_gate, CheckpointConfig, UnplannedRecovery, WarmCheckpointer};
+use hypertp_sim::fault::{FaultPlan, InjectionPoint};
+use hypertp_sim::{CostModel, SimRng, WorkerPool};
+
+/// Cases for the legality + loss-bound property.
+const LEGALITY_CASES: u64 = 150;
+/// Cases for the explicit worker-pool invariance property.
+const POOL_CASES: u64 = 30;
+/// Cases for the `HYPERTP_WORKERS` env invariance property.
+const ENV_CASES: u64 = 20;
+
+fn small_spec(ram_gb: u64) -> MachineSpec {
+    let mut spec = MachineSpec::m1();
+    spec.ram_gb = ram_gb;
+    spec
+}
+
+/// One randomized scenario drawn from `case`.
+struct Scenario {
+    vms: u64,
+    workload: u64,
+    bound: u64,
+    /// Crash-gate ordinal: the checkpointer consults 3× per tick over
+    /// at most 3 ticks; ordinal 10 fires at the idle watchdog after.
+    ordinal: u64,
+}
+
+impl Scenario {
+    fn derive(case: u64) -> Self {
+        let mut rng = SimRng::new(0x9e0b_0007 ^ (case << 8));
+        Scenario {
+            vms: 1 + rng.gen_range(2),
+            workload: 16 + rng.gen_range(97),
+            bound: 32 + rng.gen_range(193),
+            ordinal: 1 + rng.gen_range(10),
+        }
+    }
+}
+
+/// Pauses the VM just long enough to translate its register file.
+fn snapshot_regs(hv: &mut dyn Hypervisor, m: &Machine, id: VmId) -> Vec<CpuRegisters> {
+    hv.pause_vm(id).unwrap();
+    let u = hv.save_uisr(m, id).unwrap();
+    hv.resume_vm(id).unwrap();
+    u.vcpus.into_iter().map(|v| v.regs).collect()
+}
+
+/// Runs one crash + recovery under `sc` with the given worker pool.
+/// Returns (cadence render, recovery-report render) and asserts the
+/// legality and loss-bound properties when `check_legal` is set.
+fn run_scenario(case: u64, sc: &Scenario, pool: WorkerPool, check_legal: bool) -> (String, String) {
+    let registry = default_registry();
+    let faults = FaultPlan::new(0x9e0b_0008 ^ case);
+    faults.arm_calls(InjectionPoint::HypervisorCrash, &[sc.ordinal]);
+    let mut m = Machine::new(small_spec(8));
+    let mut hv = registry.create(HypervisorKind::Xen, &mut m).unwrap();
+    let mut ids = Vec::new();
+    for i in 0..sc.vms {
+        let cfg = VmConfig::small(format!("prop{i}"));
+        let id = hv.create_vm(&mut m, &cfg).unwrap();
+        hv.write_guest(&mut m, id, Gfn(100 + i), 0xface_0000 + case + i)
+            .unwrap();
+        ids.push(id);
+    }
+    let cfg = CheckpointConfig {
+        staleness_bound_pages: sc.bound,
+        ..CheckpointConfig::default()
+    };
+    let mut ckpt = WarmCheckpointer::start_with(
+        &mut m,
+        hv.as_mut(),
+        HypervisorKind::Kvm,
+        cfg,
+        CostModel::paper_calibrated(),
+        faults.clone(),
+        pool,
+    )
+    .unwrap_or_else(|e| panic!("case {case}: start failed: {e}"));
+
+    // Legal pre-crash states: the initial checkpoint plus every completed
+    // tick's state (the refresh snapshot is taken mid-tick, but nothing
+    // runs the guests between it and the tick end, so the tick-end
+    // register file equals what the checkpoint captured).
+    let mut legal: Vec<Vec<Vec<CpuRegisters>>> = ids
+        .iter()
+        .map(|&id| vec![snapshot_regs(hv.as_mut(), &m, id)])
+        .collect();
+    let mut crashed = false;
+    for _ in 0..3 {
+        let tr = ckpt
+            .tick(&mut m, hv.as_mut(), sc.workload)
+            .unwrap_or_else(|e| panic!("case {case}: tick failed: {e}"));
+        if tr.crashed.is_some() {
+            crashed = true;
+            break;
+        }
+        for (k, &id) in ids.iter().enumerate() {
+            legal[k].push(snapshot_regs(hv.as_mut(), &m, id));
+        }
+    }
+    if !crashed {
+        assert!(
+            crash_gate(&faults, "idle watchdog"),
+            "case {case}: ordinal {} never fired",
+            sc.ordinal
+        );
+    }
+    let cadence = ckpt.cadence_render();
+    let bound = sc.bound;
+
+    let engine = UnplannedRecovery::new(&registry).with_faults(faults);
+    let (mut hv2, report) = engine
+        .recover(&mut m, hv, ckpt)
+        .unwrap_or_else(|e| panic!("case {case}: recovery failed: {e}"));
+    assert_eq!(report.vm_count, sc.vms as usize, "case {case}: VM lost");
+    assert!(
+        report.within_bound(),
+        "case {case}: loss bound {bound} blown:\n{}",
+        report.render()
+    );
+    if check_legal {
+        for (k, i) in (0..sc.vms).enumerate() {
+            let name = format!("prop{i}");
+            let id = hv2
+                .find_vm(&name)
+                .unwrap_or_else(|| panic!("case {case}: {name} lost"));
+            assert_eq!(hv2.vm_state(id).unwrap(), VmState::Running);
+            assert_eq!(
+                hv2.read_guest(&m, id, Gfn(100 + i)).unwrap(),
+                0xface_0000 + case + i,
+                "case {case}: {name} guest word lost"
+            );
+            let restored = snapshot_regs(hv2.as_mut(), &m, id);
+            assert!(
+                legal[k].contains(&restored),
+                "case {case}: {name} restored registers match no recorded checkpoint \
+                 (ordinal {}, workload {}, bound {bound})",
+                sc.ordinal,
+                sc.workload
+            );
+        }
+    }
+    (cadence, report.render())
+}
+
+#[test]
+fn restored_state_is_a_legal_pre_crash_state_and_bound_holds() {
+    for case in 0..LEGALITY_CASES {
+        let sc = Scenario::derive(case);
+        run_scenario(case, &sc, WorkerPool::new(2), true);
+    }
+}
+
+#[test]
+fn checkpoint_cadence_is_invariant_under_worker_count() {
+    for case in 0..POOL_CASES {
+        let sc = Scenario::derive(0x1000 + case);
+        let runs: Vec<(String, String)> = [1usize, 3, 7]
+            .into_iter()
+            .map(|w| run_scenario(0x1000 + case, &sc, WorkerPool::new(w), false))
+            .collect();
+        for (w, run) in runs.iter().enumerate().skip(1) {
+            assert_eq!(
+                runs[0], *run,
+                "case {case}: cadence/report diverged between 1 worker and pool #{w}"
+            );
+        }
+    }
+}
+
+#[test]
+fn checkpoint_cadence_is_invariant_under_hypertp_workers_env() {
+    // The only test in this binary that touches HYPERTP_WORKERS, so the
+    // parallel test harness cannot race on it.
+    std::env::set_var("HYPERTP_WORKERS", "6");
+    let from_env: Vec<(String, String)> = (0..ENV_CASES)
+        .map(|case| {
+            let sc = Scenario::derive(0x2000 + case);
+            run_scenario(0x2000 + case, &sc, WorkerPool::from_env(), false)
+        })
+        .collect();
+    std::env::remove_var("HYPERTP_WORKERS");
+    for case in 0..ENV_CASES {
+        let sc = Scenario::derive(0x2000 + case);
+        let serial = run_scenario(0x2000 + case, &sc, WorkerPool::new(1), false);
+        assert_eq!(
+            from_env[case as usize], serial,
+            "case {case}: cadence/report diverged between HYPERTP_WORKERS=6 and serial"
+        );
+    }
+}
