@@ -38,18 +38,36 @@ for seed in 0xc4a00001 0xc4a00002 0xc4a00003; do
     chaos_matrix_env_seed_override
 done
 
-echo "== perf gate (identity + wire compression floor) =="
+echo "== perf gate (identity + wire compression + encode speedup floors) =="
 # Run perf_smoke twice (wall-clock jitters; identity and compression must
-# not) and gate on the committed BENCH_wire.json floor. Artifacts go to a
-# scratch dir so the committed BENCH_*.json stay untouched.
+# not) plus one wire_smoke (ring-vs-legacy identity and the encode-path
+# speedup floor) and gate on the committed BENCH_wire.json floors.
+# Artifacts go to a scratch dir so the committed BENCH_*.json stay
+# untouched.
 gate_dir=$(mktemp -d)
 trap 'rm -rf "${gate_dir}"' EXIT
 PERF_SMOKE_OUT="${gate_dir}/perf1.json" \
   cargo run -q --release --offline -p hypertp-bench --bin perf_smoke
 PERF_SMOKE_OUT="${gate_dir}/perf2.json" \
   cargo run -q --release --offline -p hypertp-bench --bin perf_smoke
+WIRE_SMOKE_OUT="${gate_dir}/wire.json" \
+  cargo run -q --release --offline -p hypertp-bench --bin wire_smoke
 cargo run -q --release --offline -p hypertp-bench --bin perf_gate -- \
-  wire BENCH_wire.json "${gate_dir}/perf1.json" "${gate_dir}/perf2.json"
+  wire BENCH_wire.json "${gate_dir}/perf1.json" "${gate_dir}/perf2.json" \
+  "${gate_dir}/wire.json"
+
+echo "== UDS proxy smoke (two-process source/destination pair) =="
+# The §4.2 proxy pair over a real Unix-domain socket: destination binds
+# in the background, source migrates a VM through it, both must exit
+# cleanly with matching checksums (run_source verifies the destination's
+# echoed checksum and fails otherwise).
+proxy_sock="${gate_dir}/proxy.sock"
+cargo run -q --release --offline --bin hypertpctl -- \
+  proxy dest --socket "${proxy_sock}" &
+proxy_dest_pid=$!
+cargo run -q --release --offline --bin hypertpctl -- \
+  proxy source --socket "${proxy_sock}"
+wait "${proxy_dest_pid}"
 
 echo "== adaptive gate (downtime cut + budget + scheduler floors) =="
 # adaptive_smoke's comparisons are over *simulated* time, so the fresh

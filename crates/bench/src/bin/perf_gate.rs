@@ -13,15 +13,23 @@
 //! ```
 //!
 //! **wire**: CI runs `perf_smoke` twice (timings jitter; identity and
-//! compression must not) and hands both artifacts here together with the
-//! *committed* `BENCH_wire.json`. The gate fails — non-zero exit, one
-//! line per violation — when:
+//! compression must not) plus one fresh `wire_smoke`, and hands the
+//! artifacts here together with the *committed* `BENCH_wire.json`. The
+//! gate fails — non-zero exit, one line per violation — when:
 //!
 //! 1. any `identical`-suffixed field in any run is not `"true"` (the
-//!    worker pool or the wire codec changed results), or
-//! 2. any run's `migrate_many.wire_reduction_pct` falls below the
-//!    committed artifact's `reduction_floor_pct` (the content-aware path
-//!    stopped earning its keep).
+//!    worker pool or the wire codec changed results; for `wire_smoke`
+//!    runs this covers the ring-vs-legacy and encode-wire-byte identity
+//!    fields too),
+//! 2. any run's wire reduction (`migrate_many.wire_reduction_pct` for
+//!    `perf_smoke` artifacts, `idle_fleet.wire_reduction_pct` for
+//!    `wire_smoke` ones) falls below the committed artifact's
+//!    `reduction_floor_pct` (the content-aware path stopped earning its
+//!    keep), or
+//! 3. a run carrying an `encode` section (a `wire_smoke` artifact)
+//!    reports `encode.speedup` below the committed
+//!    `encode.speedup_floor` (the zero-copy frame ring stopped beating
+//!    the legacy per-page gather path).
 //!
 //! **adaptive**: CI runs `adaptive_smoke` and hands the fresh artifact(s)
 //! here with the committed `BENCH_adaptive.json`. A run fails when:
@@ -160,6 +168,12 @@ fn gate_wire(committed: &str, runs: &[String]) -> Vec<String> {
     let Some(floor) = wire.get("reduction_floor_pct").and_then(Json::as_f64) else {
         return vec![format!("{committed}: missing reduction_floor_pct")];
     };
+    // The encode floor lives inside the committed artifact's `encode`
+    // section; older committed artifacts without one simply skip check 3.
+    let speedup_floor = wire
+        .get("encode")
+        .and_then(|e| e.get("speedup_floor"))
+        .and_then(Json::as_f64);
 
     for path in runs {
         let run = match load(path) {
@@ -171,22 +185,45 @@ fn gate_wire(committed: &str, runs: &[String]) -> Vec<String> {
         };
         let before = violations.len();
         let n = check_identity(path, &run, &mut violations);
+        // perf_smoke artifacts report the reduction under `migrate_many`;
+        // wire_smoke artifacts under `idle_fleet`.
         let pct = run
             .get("migrate_many")
+            .or_else(|| run.get("idle_fleet"))
             .and_then(|m| m.get("wire_reduction_pct"))
             .and_then(Json::as_f64);
         match pct {
             Some(pct) if pct < floor => violations.push(format!(
-                "{path}: migrate_many.wire_reduction_pct {pct:.1} below committed floor {floor:.1}"
+                "{path}: wire_reduction_pct {pct:.1} below committed floor {floor:.1}"
             )),
             Some(_) => {}
-            None => violations.push(format!("{path}: missing migrate_many.wire_reduction_pct")),
+            None => violations.push(format!("{path}: missing wire_reduction_pct")),
+        }
+        let speedup = run
+            .get("encode")
+            .and_then(|e| e.get("speedup"))
+            .and_then(Json::as_f64);
+        if let (Some(speedup), Some(floor)) = (speedup, speedup_floor) {
+            if speedup < floor {
+                violations.push(format!(
+                    "{path}: encode.speedup {speedup:.2}x below committed floor {floor:.2}x \
+                     — the frame ring stopped beating the legacy gather path"
+                ));
+            }
         }
         if violations.len() == before {
-            println!(
-                "perf_gate: {path}: {n} identity fields ok, wire reduction {:.1}% >= floor {floor:.1}%",
-                pct.unwrap_or(f64::NAN)
-            );
+            match speedup {
+                Some(s) => println!(
+                    "perf_gate: {path}: {n} identity fields ok, wire reduction {:.1}% >= \
+                     floor {floor:.1}%, encode speedup {s:.2}x >= floor {:.2}x",
+                    pct.unwrap_or(f64::NAN),
+                    speedup_floor.unwrap_or(f64::NAN),
+                ),
+                None => println!(
+                    "perf_gate: {path}: {n} identity fields ok, wire reduction {:.1}% >= floor {floor:.1}%",
+                    pct.unwrap_or(f64::NAN)
+                ),
+            }
         }
     }
     violations

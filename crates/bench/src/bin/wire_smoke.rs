@@ -14,11 +14,19 @@
 //! 3. **Delta coverage**: a second, dirtying run (fig-12 busy phase)
 //!    must produce at least one `Delta` frame so the codec path is
 //!    exercised end to end, not just the zero/dup fast paths.
+//! 4. **Ring identity**: the same fleet migrated with
+//!    `legacy_gather: true` (PR 3's per-round gather-`Vec` path) lands
+//!    byte-identical destinations, reports and wire stats as the
+//!    zero-copy frame ring — the default path is a pure optimization.
+//! 5. **Encode throughput**: a microbench drives both encode paths over
+//!    identical page rounds (zeros, dups, uniques, re-dirtied pages) and
+//!    reports committed pages/second; the ring must beat the per-page
+//!    `encode_page` path by at least `encode.speedup_floor`.
 //!
 //! Writes `BENCH_wire.json` (in the current directory, override with
 //! `WIRE_SMOKE_OUT`). CI's `perf_gate` reads the committed copy of this
 //! artifact and fails the build if a fresh run regresses below the
-//! committed `reduction_floor_pct`.
+//! committed `reduction_floor_pct` or `encode.speedup_floor`.
 
 use std::time::Instant;
 
@@ -26,8 +34,10 @@ use hypertp_bench::registry;
 use hypertp_core::{HypervisorKind, VmConfig};
 use hypertp_machine::{Extent, Gfn, Machine, MachineSpec};
 use hypertp_migrate::{
-    migrate_many, FrameKind, MigrationConfig, MigrationReport, MigrationTp, WireMode, WireStats,
+    migrate_many, FrameKind, FrameRing, MigrationConfig, MigrationReport, MigrationTp,
+    TransferCache, WireMode, WireStats,
 };
+use hypertp_sim::hash::digest_pages_into;
 use hypertp_sim::json::{self, Json};
 use hypertp_sim::{SimClock, WorkerPool};
 
@@ -38,6 +48,11 @@ const MEM_GB: u64 = 1;
 /// Committed regression floor: a fresh run must keep at least this
 /// percentage of raw page bytes off the wire. `perf_gate` enforces it.
 const REDUCTION_FLOOR_PCT: f64 = 30.0;
+/// Committed regression floor for the zero-copy encode path: ring
+/// throughput must beat the legacy per-page path by at least this factor
+/// (measured well above 2x; the floor leaves CI-noise headroom).
+/// `perf_gate` enforces it.
+const ENCODE_SPEEDUP_FLOOR: f64 = 1.5;
 
 /// Outcome of one fleet migration: wall seconds, per-VM reports, and a
 /// destination fingerprint (serial-pool guest checksums + UISR bytes)
@@ -56,6 +71,10 @@ struct Run {
 /// unique block; everything else stays zero, as on a freshly booted
 /// idle guest (§5.2's fig-12 shape).
 fn run_fleet(wire_mode: WireMode, dirty_rate: f64) -> Run {
+    run_fleet_with(wire_mode, dirty_rate, false)
+}
+
+fn run_fleet_with(wire_mode: WireMode, dirty_rate: f64, legacy_gather: bool) -> Run {
     let reg = registry();
     let clock = SimClock::new();
     let mut src_m = Machine::with_clock(MachineSpec::m1(), clock.clone());
@@ -88,6 +107,7 @@ fn run_fleet(wire_mode: WireMode, dirty_rate: f64) -> Run {
             verify_contents: true,
             dirty_rate_pages_per_sec: dirty_rate,
             wire_mode,
+            legacy_gather,
             ..MigrationConfig::default()
         })
         .with_pool(WorkerPool::from_env());
@@ -141,6 +161,56 @@ fn kind_json(wire: &WireStats) -> Json {
         );
     }
     obj
+}
+
+/// Outcome of one encode-path microbench: committed pages/second and the
+/// total accounted wire bytes (must match across paths).
+struct EncodeBench {
+    pages_per_sec: f64,
+    wire_bytes: u64,
+}
+
+/// Pages per microbench round.
+const ENCODE_PAGES: u64 = 65_536;
+/// Rounds per microbench path (round 0 is the cold full copy; later
+/// rounds re-dirty a slice, exercising the delta path both encoders
+/// share with the engine).
+const ENCODE_ROUNDS: u64 = 6;
+
+/// The word for `gfn` in `round`: a fig-12-ish mix — mostly zero, a
+/// recurring block (dup fodder), unique words, and a re-dirtied slice
+/// whose content changes every round (delta fodder).
+fn encode_word(round: u64, gfn: u64) -> u64 {
+    match gfn % 8 {
+        0..=4 => 0,
+        5 => 0x5bd1_e995,
+        6 => gfn.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+        _ => (gfn ^ (round << 56)) | 1,
+    }
+}
+
+/// Drives one encode path over the microbench rounds. `encode` receives
+/// (cache, gfns, words) and returns the round's accounted wire bytes;
+/// the cache round is committed around it exactly as the engine does.
+fn encode_bench(mut encode: impl FnMut(&TransferCache, &[Gfn], &[u64]) -> u64) -> EncodeBench {
+    let cache = TransferCache::new();
+    let gfns: Vec<Gfn> = (0..ENCODE_PAGES).map(Gfn).collect();
+    let mut words = vec![0u64; ENCODE_PAGES as usize];
+    let mut wire_bytes = 0u64;
+    let t = Instant::now();
+    for round in 0..ENCODE_ROUNDS {
+        for (w, g) in words.iter_mut().zip(&gfns) {
+            *w = encode_word(round, g.0);
+        }
+        cache.begin_round();
+        wire_bytes += encode(&cache, &gfns, &words);
+        cache.commit_round();
+    }
+    let wall = t.elapsed().as_secs_f64();
+    EncodeBench {
+        pages_per_sec: (ENCODE_PAGES * ENCODE_ROUNDS) as f64 / wall.max(1e-9),
+        wire_bytes,
+    }
 }
 
 fn main() {
@@ -213,6 +283,72 @@ fn main() {
         "dirtying run must exercise the delta codec"
     );
 
+    // 4. Ring vs legacy: the zero-copy frame ring must be a pure
+    // optimization — same destinations, same reports, same wire stats as
+    // PR 3's gather-`Vec` path, on both the idle and the dirtying fleet
+    // (the latter exercises delta frames through both encoders).
+    let legacy = run_fleet_with(WireMode::ContentAware, 0.0, true);
+    let legacy_dirty = run_fleet_with(WireMode::ContentAware, 2000.0, true);
+    let legacy_bytes: u64 = legacy.reports.iter().map(|r| r.bytes_sent).sum();
+    let dirty_bytes: u64 = dirty.reports.iter().map(|r| r.bytes_sent).sum();
+    let legacy_dirty_bytes: u64 = legacy_dirty.reports.iter().map(|r| r.bytes_sent).sum();
+    let ring_vs_legacy = legacy.dst_checksums == ca.dst_checksums
+        && legacy.uisr_bytes == ca.uisr_bytes
+        && merged_wire(&legacy.reports) == wire
+        && legacy_bytes == ca_bytes
+        && legacy_dirty.dst_checksums == dirty.dst_checksums
+        && legacy_dirty.uisr_bytes == dirty.uisr_bytes
+        && merged_wire(&legacy_dirty.reports) == dirty_wire
+        && legacy_dirty_bytes == dirty_bytes;
+    println!(
+        "== ring vs legacy == identical: {ring_vs_legacy} (legacy idle {legacy_bytes} B in {:.3} s)",
+        legacy.wall
+    );
+    assert!(
+        ring_vs_legacy,
+        "frame ring must land byte-identical runs vs the legacy gather path"
+    );
+
+    // 5. Encode throughput: batch encode into the reusable ring vs the
+    // per-page legacy path (one lock, one frame, one gather Vec per page).
+    let legacy_enc = encode_bench(|cache, gfns, words| {
+        let mut frames = Vec::with_capacity(gfns.len());
+        let mut wb = 0u64;
+        for (&g, &w) in gfns.iter().zip(words) {
+            let f = cache.encode_page(7, g.0, w);
+            wb += f.wire_bytes();
+            frames.push(f);
+        }
+        std::hint::black_box(&frames);
+        wb
+    });
+    let mut ring = FrameRing::new();
+    let mut digests = Vec::new();
+    let ring_enc = encode_bench(|cache, gfns, words| {
+        digest_pages_into(words, &mut digests);
+        ring.restart();
+        ring.begin();
+        let wb = cache.encode_batch_into(7, gfns, words, &digests, &mut ring);
+        ring.commit();
+        std::hint::black_box(ring.len_bytes());
+        wb
+    });
+    let speedup = ring_enc.pages_per_sec / legacy_enc.pages_per_sec;
+    let wire_bytes_identical = ring_enc.wire_bytes == legacy_enc.wire_bytes;
+    println!(
+        "== encode throughput == {} pages x {} rounds: legacy {:.0} pages/s, ring {:.0} pages/s -> {speedup:.2}x (floor {ENCODE_SPEEDUP_FLOOR}x)",
+        ENCODE_PAGES, ENCODE_ROUNDS, legacy_enc.pages_per_sec, ring_enc.pages_per_sec
+    );
+    assert!(
+        wire_bytes_identical,
+        "encode paths must account identical wire bytes ({} vs {})",
+        ring_enc.wire_bytes, legacy_enc.wire_bytes
+    );
+    assert!(
+        speedup >= ENCODE_SPEEDUP_FLOOR,
+        "ring encode speedup {speedup:.2}x below floor {ENCODE_SPEEDUP_FLOOR}x"
+    );
+
     let out = Json::obj()
         .with("bench", json::s("wire_smoke"))
         .with("vms", json::u(u64::from(VMS)))
@@ -239,7 +375,25 @@ fn main() {
                         .with("dup_lookups", json::u(wire.cache_dup_lookups()))
                         .with("hit_rate", json::f(wire.dedup_hit_rate())),
                 )
-                .with("identical", json::s(identical.to_string())),
+                .with("identical", json::s(identical.to_string()))
+                .with(
+                    "ring_vs_legacy_identical",
+                    json::s(ring_vs_legacy.to_string()),
+                ),
+        )
+        .with(
+            "encode",
+            Json::obj()
+                .with("pages_per_round", json::u(ENCODE_PAGES))
+                .with("rounds", json::u(ENCODE_ROUNDS))
+                .with("legacy_pages_per_sec", json::f(legacy_enc.pages_per_sec))
+                .with("ring_pages_per_sec", json::f(ring_enc.pages_per_sec))
+                .with("speedup", json::f(speedup))
+                .with("speedup_floor", json::f(ENCODE_SPEEDUP_FLOOR))
+                .with(
+                    "wire_bytes_identical",
+                    json::s(wire_bytes_identical.to_string()),
+                ),
         )
         .with(
             "dirty_fleet",

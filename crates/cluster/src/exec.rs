@@ -111,6 +111,26 @@ impl Default for ExecConfig {
     }
 }
 
+impl ExecConfig {
+    /// Calibrates the content-aware byte accounting from a measured
+    /// reference migration: switches to [`WireMode::ContentAware`] and
+    /// takes the wire/raw ratio straight from the reference's
+    /// [`hypertp_migrate::WireStats`] (e.g. an engine report, a
+    /// `proxy source` run, or the merged fleet stats behind
+    /// `BENCH_wire.json`). A reference that sent nothing keeps the
+    /// ratio at 1.0 — the raw accounting — rather than promising a
+    /// free campaign.
+    pub fn with_wire_reference(mut self, reference: &hypertp_migrate::WireStats) -> Self {
+        self.wire_mode = WireMode::ContentAware;
+        self.wire_compression_ratio = if reference.raw_equivalent_bytes() == 0 {
+            1.0
+        } else {
+            reference.compression_ratio().clamp(0.0, 1.0)
+        };
+        self
+    }
+}
+
 /// Bucketing of the per-VM ready-offset histogram carried by
 /// [`ExecReport::vm_ready_hist`]: 36 × 50 s bins over `[0, 1800 s)` —
 /// wide enough for the paper testbed's worst group drains, with the
@@ -961,6 +981,42 @@ mod tests {
         assert_eq!(unity.total, raw.total);
         assert_eq!(unity.wire_bytes_sent, raw.wire_bytes_sent);
         assert_eq!(unity.wire_bytes_saved, 0);
+    }
+
+    #[test]
+    fn wire_reference_calibrates_the_content_aware_accounting() {
+        // A measured reference migration (here: a hand-built WireStats
+        // shaped like an idle guest — mostly elided zeros) feeds the
+        // analytic executor the same ratio the page-level path earned.
+        use hypertp_migrate::{FrameKind, WireStats};
+        let mut reference = WireStats::default();
+        for _ in 0..900 {
+            reference.record_parts(FrameKind::Zero, 16);
+        }
+        for _ in 0..100 {
+            reference.record_parts(FrameKind::Raw, 24);
+        }
+        let cfg = ExecConfig::default().with_wire_reference(&reference);
+        assert_eq!(cfg.wire_mode, WireMode::ContentAware);
+        assert!(
+            (cfg.wire_compression_ratio - reference.compression_ratio()).abs() < 1e-12,
+            "ratio must come straight from the reference stats"
+        );
+        assert!(
+            cfg.wire_compression_ratio < 0.1,
+            "idle reference elides most bytes"
+        );
+
+        let c = Cluster::paper_testbed(0, 42);
+        let plan = plan_upgrade(&c, 2).unwrap();
+        let raw = execute(&c, &plan, &ExecConfig::default());
+        let calibrated = execute(&c, &plan, &cfg);
+        assert!(calibrated.migration_time < raw.migration_time);
+        assert!(calibrated.wire_bytes_saved > 0);
+
+        // An empty reference must not promise a free campaign.
+        let empty = ExecConfig::default().with_wire_reference(&WireStats::default());
+        assert_eq!(empty.wire_compression_ratio, 1.0);
     }
 
     #[test]

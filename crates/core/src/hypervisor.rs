@@ -139,6 +139,31 @@ pub trait Hypervisor: Send + Sync {
             .collect()
     }
 
+    /// [`Hypervisor::read_guest_many`] into a caller-owned buffer — the
+    /// zero-allocation gather primitive. `out` is cleared and refilled in
+    /// input order; steady-state callers reuse one buffer across rounds so
+    /// the gather path performs no heap allocation at all. Hypervisors
+    /// override this to copy whole physically-contiguous runs straight
+    /// from RAM extent backing ([`content_slice`]) instead of reading one
+    /// word per page. Implementations must preserve per-page error
+    /// behaviour and must leave `out`'s contents unspecified on error.
+    ///
+    /// [`content_slice`]: hypertp_machine::ram::PhysicalMemory::content_slice
+    fn read_guest_into(
+        &self,
+        machine: &Machine,
+        id: VmId,
+        gfns: &[Gfn],
+        out: &mut Vec<u64>,
+    ) -> Result<(), HtpError> {
+        out.clear();
+        out.reserve(gfns.len());
+        for &g in gfns {
+            out.push(self.read_guest(machine, id, g)?);
+        }
+        Ok(())
+    }
+
     /// Writes a guest page (dirties it if dirty logging is on).
     fn write_guest(
         &mut self,

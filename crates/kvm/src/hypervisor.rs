@@ -145,6 +145,38 @@ impl Hypervisor for KvmHypervisor {
         Ok(out)
     }
 
+    fn read_guest_into(
+        &self,
+        machine: &Machine,
+        id: VmId,
+        gfns: &[Gfn],
+        out: &mut Vec<u64>,
+    ) -> Result<(), HtpError> {
+        // Zero-copy gather: the NPT walk delivers physically-contiguous
+        // (MFN, pages) runs and each run is borrowed straight from the
+        // RAM extent backing (see `Kvm::gfn_runs`).
+        let g = self.guest(id)?;
+        let ram = machine.ram();
+        out.clear();
+        out.reserve(gfns.len());
+        let mut mem_err: Option<hypertp_machine::MemError> = None;
+        self.kvm
+            .gfn_runs(g.vm_fd, gfns, &mut |mfn, pages| {
+                if mem_err.is_some() {
+                    return;
+                }
+                match ram.content_slice(mfn, pages) {
+                    Ok(s) => out.extend_from_slice(s),
+                    Err(e) => mem_err = Some(e),
+                }
+            })
+            .map_err(ioctl_err)?;
+        match mem_err {
+            Some(e) => Err(e.into()),
+            None => Ok(()),
+        }
+    }
+
     fn write_guest(
         &mut self,
         machine: &mut Machine,

@@ -49,11 +49,13 @@ impl From<BuddyError> for MemError {
     }
 }
 
-/// Per-frame state, packed into 16 bytes so multi-GiB machines stay cheap.
+/// Per-frame ownership flags. Content words live in a separate dense
+/// array so the two concerns scale independently: the wire path borrows
+/// whole extents of contents as `&[u64]` without dragging flag bytes
+/// through the cache, and ownership sweeps (kexec, scrub) walk the
+/// 2-byte flag array instead of 16-byte AoS records.
 #[derive(Debug, Clone, Copy, Default)]
-struct Frame {
-    /// Opaque content word. 0 means scrubbed/zeroed.
-    content: u64,
+struct FrameFlags {
     /// True while some owner holds the frame (cleared by kexec).
     allocated: bool,
     /// True if the frame is protected by a parsed PRAM reservation.
@@ -61,9 +63,16 @@ struct Frame {
 }
 
 /// The machine's physical RAM.
+///
+/// Structure-of-arrays layout: `contents[i]` is frame `i`'s opaque
+/// content word (0 means scrubbed/zeroed) and `flags[i]` its ownership
+/// state. Keeping contents contiguous is what lets
+/// [`PhysicalMemory::content_slice`] hand extent-backed borrows to the
+/// migration gather path with zero copies.
 #[derive(Debug)]
 pub struct PhysicalMemory {
-    frames: Vec<Frame>,
+    contents: Vec<u64>,
+    flags: Vec<FrameFlags>,
     buddy: BuddyAllocator,
     /// Optional byte-level backing for frames that tests want to inspect.
     bytes: HashMap<u64, Box<[u8]>>,
@@ -73,7 +82,8 @@ impl PhysicalMemory {
     /// Creates RAM with `total_frames` zeroed frames.
     pub fn new(total_frames: u64) -> Self {
         PhysicalMemory {
-            frames: vec![Frame::default(); total_frames as usize],
+            contents: vec![0; total_frames as usize],
+            flags: vec![FrameFlags::default(); total_frames as usize],
             buddy: BuddyAllocator::new(total_frames),
             bytes: HashMap::new(),
         }
@@ -103,7 +113,7 @@ impl PhysicalMemory {
     pub fn alloc(&mut self, order: PageOrder) -> Result<Extent, MemError> {
         let e = self.buddy.alloc(order)?;
         for mfn in e.frames() {
-            self.frames[mfn.0 as usize].allocated = true;
+            self.flags[mfn.0 as usize].allocated = true;
         }
         Ok(e)
     }
@@ -115,30 +125,24 @@ impl PhysicalMemory {
     pub fn free(&mut self, extent: Extent) -> Result<(), MemError> {
         self.buddy.free(extent)?;
         for mfn in extent.frames() {
-            self.frames[mfn.0 as usize].allocated = false;
+            self.flags[mfn.0 as usize].allocated = false;
         }
         Ok(())
     }
 
-    fn frame(&self, mfn: Mfn) -> Result<&Frame, MemError> {
-        self.frames
+    fn flags(&self, mfn: Mfn) -> Result<FrameFlags, MemError> {
+        self.flags
             .get(mfn.0 as usize)
-            .ok_or(MemError::OutOfRange { mfn })
-    }
-
-    fn frame_mut(&mut self, mfn: Mfn) -> Result<&mut Frame, MemError> {
-        self.frames
-            .get_mut(mfn.0 as usize)
+            .copied()
             .ok_or(MemError::OutOfRange { mfn })
     }
 
     /// Writes a content word to an allocated frame.
     pub fn write(&mut self, mfn: Mfn, content: u64) -> Result<(), MemError> {
-        let f = self.frame_mut(mfn)?;
-        if !f.allocated {
+        if !self.flags(mfn)?.allocated {
             return Err(MemError::NotAllocated { mfn });
         }
-        f.content = content;
+        self.contents[mfn.0 as usize] = content;
         self.bytes.remove(&mfn.0);
         Ok(())
     }
@@ -147,21 +151,35 @@ impl PhysicalMemory {
     /// transplant path reads guest frames after kexec has cleared
     /// ownership).
     pub fn read(&self, mfn: Mfn) -> Result<u64, MemError> {
-        Ok(self.frame(mfn)?.content)
+        self.contents
+            .get(mfn.0 as usize)
+            .copied()
+            .ok_or(MemError::OutOfRange { mfn })
+    }
+
+    /// Borrows the content words of a physically-contiguous frame run as a
+    /// slice — the zero-copy primitive behind the migration gather path.
+    /// Where the old wire path copied every frame's word into a fresh
+    /// per-round `Vec`, callers now read straight from the extent backing.
+    /// Reading free frames is allowed, same as [`PhysicalMemory::read`].
+    pub fn content_slice(&self, base: Mfn, pages: u64) -> Result<&[u64], MemError> {
+        let start = base.0 as usize;
+        let end = start
+            .checked_add(pages as usize)
+            .ok_or(MemError::OutOfRange { mfn: base })?;
+        self.contents.get(start..end).ok_or(MemError::OutOfRange {
+            mfn: Mfn(base.0 + pages.saturating_sub(1)),
+        })
     }
 
     /// Attaches a full 4 KiB byte buffer to an allocated frame. The content
     /// word becomes a hash of the bytes.
     pub fn write_bytes(&mut self, mfn: Mfn, data: &[u8]) -> Result<(), MemError> {
         assert_eq!(data.len() as u64, PAGE_SIZE, "frame writes are page-sized");
-        let hash = fnv1a(data);
-        {
-            let f = self.frame_mut(mfn)?;
-            if !f.allocated {
-                return Err(MemError::NotAllocated { mfn });
-            }
-            f.content = hash;
+        if !self.flags(mfn)?.allocated {
+            return Err(MemError::NotAllocated { mfn });
         }
+        self.contents[mfn.0 as usize] = fnv1a(data);
         self.bytes.insert(mfn.0, data.to_vec().into_boxed_slice());
         Ok(())
     }
@@ -181,25 +199,25 @@ impl PhysicalMemory {
         }
         let got = self.buddy.reserve_range(base, pages);
         for i in base.0..base.0 + pages {
-            self.frames[i as usize].reserved = true;
+            self.flags[i as usize].reserved = true;
         }
         Ok(got)
     }
 
     /// Returns true if the frame is reserved.
     pub fn is_reserved(&self, mfn: Mfn) -> bool {
-        self.frame(mfn).map(|f| f.reserved).unwrap_or(false)
+        self.flags(mfn).map(|f| f.reserved).unwrap_or(false)
     }
 
     /// Returns true if the frame is allocated.
     pub fn is_allocated(&self, mfn: Mfn) -> bool {
-        self.frame(mfn).map(|f| f.allocated).unwrap_or(false)
+        self.flags(mfn).map(|f| f.allocated).unwrap_or(false)
     }
 
     /// Kexec semantics: all ownership and reservations are forgotten (the
     /// new kernel starts with a fresh allocator), but contents survive.
     pub fn forget_ownership(&mut self) {
-        for f in &mut self.frames {
+        for f in &mut self.flags {
             f.allocated = false;
             f.reserved = false;
         }
@@ -214,9 +232,9 @@ impl PhysicalMemory {
     /// Returns the number of frames scrubbed.
     pub fn scrub_unreserved(&mut self) -> u64 {
         let mut scrubbed = 0;
-        for (i, f) in self.frames.iter_mut().enumerate() {
-            if !f.reserved && !f.allocated && f.content != 0 {
-                f.content = 0;
+        for (i, f) in self.flags.iter().enumerate() {
+            if !f.reserved && !f.allocated && self.contents[i] != 0 {
+                self.contents[i] = 0;
                 self.bytes.remove(&(i as u64));
                 scrubbed += 1;
             }
@@ -230,7 +248,7 @@ impl PhysicalMemory {
     pub fn adopt_reserved(&mut self, base: Mfn, pages: u64) -> Result<(), MemError> {
         for i in base.0..base.0 + pages {
             let f = self
-                .frames
+                .flags
                 .get_mut(i as usize)
                 .ok_or(MemError::OutOfRange { mfn: Mfn(i) })?;
             if !f.reserved {
@@ -246,7 +264,7 @@ impl PhysicalMemory {
     pub fn unreserve_and_free(&mut self, base: Mfn, pages: u64) -> Result<(), MemError> {
         for i in base.0..base.0 + pages {
             let f = self
-                .frames
+                .flags
                 .get_mut(i as usize)
                 .ok_or(MemError::OutOfRange { mfn: Mfn(i) })?;
             f.reserved = false;
@@ -338,9 +356,9 @@ impl PhysicalMemory {
     /// Order-dependent fold over one extent's content words — the unit of
     /// parallelism for [`PhysicalMemory::checksum_with_pool`].
     pub fn extent_partial(&self, e: &Extent) -> u64 {
+        let base = e.base.0 as usize;
         let mut acc = 0xcbf2_9ce4_8422_2325u64;
-        for mfn in e.frames() {
-            let c = self.frames[mfn.0 as usize].content;
+        for &c in &self.contents[base..base + e.pages() as usize] {
             acc = acc.rotate_left(5) ^ c.wrapping_mul(0x1000_0000_01b3);
         }
         acc
@@ -495,6 +513,32 @@ mod tests {
         ram.unreserve_and_free(Mfn(10), 4).unwrap();
         assert_eq!(ram.free_frames(), before + 4);
         assert!(!ram.is_reserved(Mfn(10)));
+    }
+
+    #[test]
+    fn content_slice_borrows_extent_words() {
+        let mut ram = PhysicalMemory::new(64);
+        let e = ram.alloc(PageOrder(3)).unwrap();
+        for (i, mfn) in e.frames().enumerate() {
+            ram.write(mfn, 0x40 + i as u64).unwrap();
+        }
+        let s = ram.content_slice(e.base, e.pages()).unwrap();
+        assert_eq!(s.len(), e.pages() as usize);
+        for (i, &w) in s.iter().enumerate() {
+            assert_eq!(w, 0x40 + i as u64);
+        }
+        // Free frames stay readable, like `read`.
+        ram.free(e).unwrap();
+        assert_eq!(ram.content_slice(e.base, e.pages()).unwrap()[0], 0x40);
+        // Out-of-range runs are rejected, not truncated.
+        assert!(matches!(
+            ram.content_slice(Mfn(60), 8),
+            Err(MemError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            ram.content_slice(Mfn(99), 1),
+            Err(MemError::OutOfRange { .. })
+        ));
     }
 
     #[test]

@@ -1,14 +1,18 @@
 //! The pre-copy migration engine with UISR proxies.
 
+use std::sync::{Arc, Mutex, MutexGuard};
+
 use hypertp_core::{HtpError, Hypervisor, HypervisorKind, VmId};
 use hypertp_machine::{Extent, Gfn, Machine, PAGE_SIZE};
 use hypertp_sim::fault::{FaultPlan, InjectionPoint, RecoveryAction};
+use hypertp_sim::hash::{digest_pages_with_pool, Digest128};
 use hypertp_sim::{CostModel, Ewma, SimDuration, SimTime, WorkerPool};
 
 use crate::control::{
     predict_migration, ControlConfig, FleetOrder, FleetPolicy, FleetVm, MigrationPrediction,
     PrecopyController, PredictInput, UISR_BYTES_ALLOWANCE,
 };
+use crate::framing::FrameRing;
 use crate::network::{Link, WireFrame, WireStats};
 use crate::wire::TransferCache;
 
@@ -18,7 +22,7 @@ const LATENCY_SPIKE: SimDuration = SimDuration::from_millis(150);
 
 /// Exponential backoff for retry `attempt` (1-based): `base << (attempt-1)`,
 /// capped at 16 doublings so the shift cannot overflow.
-fn backoff_delay(base: SimDuration, attempt: u32) -> SimDuration {
+pub(crate) fn backoff_delay(base: SimDuration, attempt: u32) -> SimDuration {
     let doublings = attempt.saturating_sub(1).min(16);
     SimDuration::from_nanos(base.as_nanos().saturating_mul(1u64 << doublings))
 }
@@ -90,6 +94,12 @@ pub struct MigrationConfig {
     /// Adaptive-controller tuning ([`ControlConfig`]); defaults leave the
     /// controller disabled.
     pub control: ControlConfig,
+    /// Use PR 3's gather-`Vec` content-aware path (one `Vec<WireFrame>`
+    /// per round, one boxed delta per re-dirtied page) instead of the
+    /// zero-copy frame ring. Reports and chaos replays are byte-identical
+    /// either way — the legacy path survives purely as the benchmark
+    /// baseline the ring's speedup is measured against.
+    pub legacy_gather: bool,
 }
 
 impl Default for MigrationConfig {
@@ -107,8 +117,64 @@ impl Default for MigrationConfig {
             pipeline_window: 8,
             downtime_budget: None,
             control: ControlConfig::default(),
+            legacy_gather: false,
         }
     }
+}
+
+/// Reusable per-round buffers of the zero-copy wire path, shared by every
+/// clone of an engine (like the [`TransferCache`]): `migrate_many` and
+/// `migrate_fleet` run their data phases sequentially on the simulated
+/// timeline, so one set of buffers serves the whole fleet and the
+/// allocator drops out of the hot path after the first round warms them.
+#[derive(Debug, Default)]
+pub struct EngineScratch {
+    round: Mutex<RoundScratch>,
+    stats: Mutex<ScratchStats>,
+}
+
+impl EngineScratch {
+    pub(crate) fn round(&self) -> MutexGuard<'_, RoundScratch> {
+        self.round.lock().expect("engine scratch poisoned")
+    }
+
+    fn stats(&self) -> MutexGuard<'_, ScratchStats> {
+        self.stats.lock().expect("engine scratch stats poisoned")
+    }
+}
+
+/// The buffers themselves: the serialized frame ring plus the gather /
+/// digest / destination-probe vectors. All are cleared-and-refilled per
+/// round, never shrunk.
+#[derive(Debug, Default)]
+pub(crate) struct RoundScratch {
+    /// Serialized frames of the in-flight round.
+    pub(crate) ring: FrameRing,
+    /// Source content words, in GFN-list order.
+    pub(crate) words: Vec<u64>,
+    /// Content digests, parallel to `words`.
+    pub(crate) digests: Vec<Digest128>,
+    /// Destination's current words (write-elision probe).
+    pub(crate) current: Vec<u64>,
+}
+
+/// Observability counters for the engine's reusable wire-path buffers —
+/// the allocation-regression probe: after the first migration warms the
+/// buffers, `grows` must stay flat across further same-shape migrations.
+///
+/// Deliberately *not* part of [`WireStats`]: reports are compared for
+/// equality across worker counts and transports, and capacity growth is
+/// an implementation detail, not wire accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Batches encoded through the ring path.
+    pub rounds: u64,
+    /// Capacity-growth events across the ring and every scratch vector.
+    pub grows: u64,
+    /// Current ring backing capacity, bytes.
+    pub ring_capacity: u64,
+    /// Largest serialized round the ring ever held, bytes.
+    pub ring_high_water: u64,
 }
 
 /// Statistics of one pre-copy round, including the adaptive controller's
@@ -211,6 +277,10 @@ pub struct MigrationTp {
     /// [`WireMode::ContentAware`]. Clones of the engine share it, so
     /// [`migrate_many`] dedups template content *across* VMs.
     pub cache: TransferCache,
+    /// Reusable wire-path buffers (frame ring, gather/digest/probe
+    /// vectors). Shared across engine clones, reused across rounds and
+    /// VMs — see [`EngineScratch`].
+    pub scratch: Arc<EngineScratch>,
 }
 
 impl MigrationTp {
@@ -242,6 +312,16 @@ impl MigrationTp {
     pub fn with_wire_mode(mut self, mode: WireMode) -> Self {
         self.config.wire_mode = mode;
         self
+    }
+
+    /// Snapshot of the reusable-buffer counters (allocation probe).
+    pub fn scratch_stats(&self) -> ScratchStats {
+        let mut s = *self.scratch.stats();
+        let round = self.scratch.round();
+        s.grows += round.ring.grows();
+        s.ring_capacity = round.ring.capacity() as u64;
+        s.ring_high_water = round.ring.high_water() as u64;
+        s
     }
 
     /// Migrates one VM from `src_hv` on `src_machine` to `dst_hv` on
@@ -430,23 +510,40 @@ impl MigrationTp {
             }
             WireMode::ContentAware => {
                 self.cache.begin_round();
-                let encoded = self
-                    .gather_encode(src_machine, src_hv, src_id, &stop_set)
-                    .and_then(|(frames, wb)| {
-                        self.apply_frames(
-                            dst_machine,
-                            dst_hv,
-                            dst_id,
-                            &stop_set,
-                            &frames,
-                            &cfg.name,
-                            &mut wire,
-                        )?;
-                        Ok(wb)
-                    });
+                let encoded = if self.config.legacy_gather {
+                    self.gather_encode(src_machine, src_hv, src_id, &stop_set)
+                        .and_then(|(frames, wb)| {
+                            self.apply_frames(
+                                dst_machine,
+                                dst_hv,
+                                dst_id,
+                                &stop_set,
+                                &frames,
+                                &cfg.name,
+                                &mut wire,
+                            )?;
+                            Ok(wb)
+                        })
+                } else {
+                    self.gather_encode_ring(src_machine, src_hv, src_id, &stop_set)
+                        .and_then(|wb| {
+                            self.apply_ring(
+                                dst_machine,
+                                dst_hv,
+                                dst_id,
+                                &stop_set,
+                                &cfg.name,
+                                &mut wire,
+                            )?;
+                            Ok(wb)
+                        })
+                };
                 match encoded {
                     Ok(wb) => {
                         self.cache.commit_round();
+                        if !self.config.legacy_gather {
+                            self.scratch.round().ring.commit();
+                        }
                         wb
                     }
                     Err(e) => {
@@ -744,13 +841,27 @@ impl MigrationTp {
         let pages = to_send.len() as u64;
         let mut duration = SimDuration::ZERO;
         let mut drops = 0u32;
+        let use_ring = !self.config.legacy_gather;
         let (frames, round_wire_bytes) = loop {
             self.cache.begin_round();
-            let encoded = match self.gather_encode(src_machine, src_hv, src_id, to_send) {
-                Ok(x) => x,
-                Err(e) => {
-                    self.cache.rollback_round();
-                    return Err(e);
+            // Ring path: frames are serialized into the shared scratch
+            // ring (no per-round Vec); `frames` stays `None` and the
+            // apply below walks the ring's borrowed views instead.
+            let encoded: (Option<Vec<WireFrame>>, u64) = if use_ring {
+                match self.gather_encode_ring(src_machine, src_hv, src_id, to_send) {
+                    Ok(wb) => (None, wb),
+                    Err(e) => {
+                        self.cache.rollback_round();
+                        return Err(e);
+                    }
+                }
+            } else {
+                match self.gather_encode(src_machine, src_hv, src_id, to_send) {
+                    Ok((f, wb)) => (Some(f), wb),
+                    Err(e) => {
+                        self.cache.rollback_round();
+                        return Err(e);
+                    }
                 }
             };
             if !self.faults.should_inject(
@@ -763,8 +874,12 @@ impl MigrationTp {
             // every dedup/delta entry it journalled is invalid. Roll back
             // to the last committed state and re-encode — the retry's
             // frames are built against what the destination actually
-            // holds.
+            // holds. The ring rolls back in lockstep with the cache
+            // journal, dropping the failed round's serialized frames.
             self.cache.rollback_round();
+            if use_ring {
+                self.scratch.round().ring.rollback();
+            }
             self.faults.record_recovery(
                 InjectionPoint::LinkDrop,
                 RecoveryAction::InvalidatedWireCache,
@@ -815,6 +930,7 @@ impl MigrationTp {
             + perf.cpu(self.cost.migrate_ghz_s_per_page * pages as f64)
             + SimDuration::from_secs_f64(self.cost.migrate_round_overhead_s);
         let mut bytes_sent = round_wire_bytes;
+        debug_assert_eq!(frames.is_none(), use_ring);
 
         if self.faults.should_inject(
             InjectionPoint::LinkLatencySpike,
@@ -831,7 +947,10 @@ impl MigrationTp {
             );
         }
 
-        self.apply_frames(dst_machine, dst_hv, dst_id, to_send, &frames, vm_name, wire)?;
+        match &frames {
+            Some(f) => self.apply_frames(dst_machine, dst_hv, dst_id, to_send, f, vm_name, wire)?,
+            None => self.apply_ring(dst_machine, dst_hv, dst_id, to_send, vm_name, wire)?,
+        }
 
         // Truncated page: the echo check detects the corruption; the
         // re-send re-encodes through the cache, which by now holds the
@@ -871,6 +990,9 @@ impl MigrationTp {
         }
 
         self.cache.commit_round();
+        if use_ring {
+            self.scratch.round().ring.commit();
+        }
         Ok(RoundOutcome {
             duration,
             bytes_sent,
@@ -934,6 +1056,84 @@ impl MigrationTp {
         }
         debug_assert_eq!(frames.len(), gfns.len());
         Ok((frames, wire_bytes))
+    }
+
+    /// Zero-copy counterpart of [`MigrationTp::gather_encode`]: content
+    /// words are borrowed straight out of the source's RAM extents
+    /// (`read_guest_into` walks coalesced GFN→MFN runs and memcpys whole
+    /// extents), digests are batch-computed word-parallel across the
+    /// worker pool, and frames are serialized into the shared scratch
+    /// ring under a single cache lock. Every buffer is reused across
+    /// rounds and VMs — after warm-up this path performs no heap
+    /// allocations. Returns the round's accounted wire bytes; the frames
+    /// live in the ring for [`MigrationTp::apply_ring`].
+    pub(crate) fn gather_encode_ring(
+        &self,
+        src_machine: &Machine,
+        src_hv: &dyn Hypervisor,
+        src_id: VmId,
+        gfns: &[Gfn],
+    ) -> Result<u64, HtpError> {
+        let mut s = self.scratch.round();
+        let RoundScratch {
+            ring,
+            words,
+            digests,
+            ..
+        } = &mut *s;
+        let caps = (words.capacity(), digests.capacity());
+        ring.restart();
+        ring.begin();
+        src_hv.read_guest_into(src_machine, src_id, gfns, words)?;
+        digest_pages_with_pool(
+            words,
+            digests,
+            &self.pool,
+            self.config.parallel_threshold_pages,
+        );
+        let wire_bytes = self
+            .cache
+            .encode_batch_into(src_id.0, gfns, words, digests, ring);
+        let mut st = self.scratch.stats();
+        st.rounds += 1;
+        st.grows += u64::from(words.capacity() != caps.0) + u64::from(digests.capacity() != caps.1);
+        Ok(wire_bytes)
+    }
+
+    /// Zero-copy counterpart of [`MigrationTp::apply_frames`]: walks the
+    /// scratch ring's borrowed frame views in GFN order, probing the
+    /// destination with one batched read into a reused buffer and eliding
+    /// no-op writes. Accounting ([`WireStats`]) and integrity semantics
+    /// are identical to the owned-frame path.
+    fn apply_ring(
+        &self,
+        dst_machine: &mut Machine,
+        dst_hv: &mut dyn Hypervisor,
+        dst_id: VmId,
+        gfns: &[Gfn],
+        vm_name: &str,
+        wire: &mut WireStats,
+    ) -> Result<(), HtpError> {
+        let mut s = self.scratch.round();
+        let RoundScratch { ring, current, .. } = &mut *s;
+        let cap = current.capacity();
+        dst_hv.read_guest_into(dst_machine, dst_id, gfns, current)?;
+        debug_assert_eq!(ring.frame_count() as usize, gfns.len());
+        for (view, (&g, &cur)) in ring.iter().zip(gfns.iter().zip(current.iter())) {
+            debug_assert_eq!(view.gfn, g.0);
+            wire.record_parts(view.kind, view.wire_bytes());
+            let word =
+                self.cache
+                    .apply_view(&view, cur)
+                    .ok_or_else(|| HtpError::IntegrityViolation {
+                        vm_name: vm_name.to_string(),
+                    })?;
+            if word != cur {
+                dst_hv.write_guest(dst_machine, dst_id, g, word)?;
+            }
+        }
+        self.scratch.stats().grows += u64::from(current.capacity() != cap);
+        Ok(())
     }
 
     /// Materialises a round's frames on the destination, in GFN order.

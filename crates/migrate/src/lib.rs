@@ -24,10 +24,24 @@
 //!   downtime budgets and auto-converge throttling, plus the fleet
 //!   scheduler vocabulary ([`control::FleetPolicy`],
 //!   [`control::predict_migration`]).
+//! * [`framing`] — the serialized wire format: [`framing::FrameRing`], the
+//!   engine-owned reusable encode buffer (begin/commit/rollback watermarks
+//!   in lockstep with the [`wire::TransferCache`] journal), and
+//!   [`framing::FrameView`], the zero-copy parse of one frame.
+//! * [`transport`] — the pluggable byte transport: the deterministic
+//!   in-process pair used by tests and the engine-equivalence harness, and
+//!   a length-prefixed Unix-domain-socket backend for real two-process
+//!   runs.
+//! * [`proxy`] — the §4.2 source/destination proxy pair speaking the
+//!   framed protocol over any [`transport::Transport`], byte-identical to
+//!   the in-process engine in fault-free runs.
 
 pub mod control;
 pub mod engine;
+pub mod framing;
 pub mod network;
+pub mod proxy;
+pub mod transport;
 pub mod wire;
 
 pub use control::{
@@ -35,8 +49,13 @@ pub use control::{
     PrecopyController, PredictInput, UISR_BYTES_ALLOWANCE,
 };
 pub use engine::{
-    migrate_fleet, migrate_many, FleetReport, MigrationConfig, MigrationReport, MigrationTp,
-    RoundStats, WireMode,
+    migrate_fleet, migrate_many, EngineScratch, FleetReport, MigrationConfig, MigrationReport,
+    MigrationTp, RoundStats, ScratchStats, WireMode,
 };
+pub use framing::{FrameIter, FrameRing, FrameView};
 pub use network::{FrameKind, Link, WireFrame, WireStats};
+pub use proxy::{guest_checksum, run_dest, run_source, DestProxy, DestReport, ProxyReport};
+pub use transport::{
+    InProcTransport, Transport, TransportError, UdsServerTransport, UdsTransport, MAX_FRAME_BYTES,
+};
 pub use wire::{CacheStats, TransferCache, DEFAULT_CACHE_CAPACITY};

@@ -64,6 +64,18 @@ impl FrameKind {
             FrameKind::Delta => 3,
         }
     }
+
+    /// The kind's on-wire tag byte (the first byte of a serialized frame
+    /// header — see `crate::framing`).
+    pub fn tag(self) -> u8 {
+        self.index() as u8
+    }
+
+    /// Parses an on-wire tag byte; `None` for unknown tags (a corrupted
+    /// or truncated frame, surfaced as an integrity fault, not a panic).
+    pub fn from_tag(tag: u8) -> Option<FrameKind> {
+        FrameKind::ALL.get(tag as usize).copied()
+    }
 }
 
 /// One page's representation on the wire.
@@ -143,9 +155,17 @@ impl WireStats {
 
     /// Records one frame.
     pub fn record(&mut self, frame: &WireFrame) {
-        let k = frame.kind().index();
+        self.record_parts(frame.kind(), frame.wire_bytes());
+    }
+
+    /// Records one frame by kind and accounted wire bytes — the ring
+    /// path's entry point, where frames exist as serialized views rather
+    /// than [`WireFrame`] values. Accounting is identical to
+    /// [`WireStats::record`] on the equivalent frame.
+    pub fn record_parts(&mut self, kind: FrameKind, wire_bytes: u64) {
+        let k = kind.index();
         self.counts[k] += 1;
-        self.bytes[k] += frame.wire_bytes();
+        self.bytes[k] += wire_bytes;
         self.raw_equivalent += PAGE_SIZE;
     }
 

@@ -29,13 +29,14 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use hypertp_machine::PAGE_SIZE;
-use hypertp_sim::hash::digest_words;
+use hypertp_machine::{Gfn, PAGE_SIZE};
+use hypertp_sim::hash::{digest_words, Digest128};
 
-use crate::network::{WireFrame, WIRE_FRAME_HEADER};
+use crate::framing::{FrameRing, FrameView};
+use crate::network::{FrameKind, WireFrame, WIRE_FRAME_HEADER};
 
 /// RLE opcode: a run of zero bytes in the XOR image (`[0x00, len: u16le]`).
-const OP_ZERO_RUN: u8 = 0x00;
+pub(crate) const OP_ZERO_RUN: u8 = 0x00;
 /// RLE opcode: literal bytes (`[0x01, len: u16le, bytes...]`).
 const OP_LITERAL: u8 = 0x01;
 /// RLE opcode: a repeated 8-byte XOR pattern
@@ -43,7 +44,7 @@ const OP_LITERAL: u8 = 0x01;
 /// Pages in the simulator's memory model are a 64-bit word repeated
 /// across the page, so the XOR image of two versions is an 8-byte pattern
 /// repeated 512× — this op collapses a whole-page delta to 11 bytes.
-const OP_PATTERN8: u8 = 0x02;
+pub(crate) const OP_PATTERN8: u8 = 0x02;
 /// Longest run any opcode can carry.
 const MAX_RUN: usize = u16::MAX as usize;
 
@@ -51,12 +52,20 @@ const MAX_RUN: usize = u16::MAX as usize;
 /// memory model stores one 64-bit word per page; on the wire the page is
 /// the word repeated little-endian across the page).
 pub fn expand_word(word: u64) -> Vec<u8> {
-    let le = word.to_le_bytes();
-    let mut page = Vec::with_capacity(PAGE_SIZE as usize);
-    for _ in 0..(PAGE_SIZE as usize / 8) {
-        page.extend_from_slice(&le);
-    }
+    let mut page = Vec::new();
+    expand_word_into(word, &mut page);
     page
+}
+
+/// [`expand_word`] into a caller-owned buffer: `out` is cleared and
+/// refilled, so steady-state callers expand pages with zero allocations.
+pub fn expand_word_into(word: u64, out: &mut Vec<u8>) {
+    let le = word.to_le_bytes();
+    out.clear();
+    out.reserve(PAGE_SIZE as usize);
+    for _ in 0..(PAGE_SIZE as usize / 8) {
+        out.extend_from_slice(&le);
+    }
 }
 
 /// Encodes `new` as an XOR+RLE delta against `old`. Both buffers must be
@@ -64,29 +73,37 @@ pub fn expand_word(word: u64) -> Vec<u8> {
 /// over `old XOR new`; applying it with [`delta_decode`] against `old`
 /// reproduces `new` exactly.
 pub fn delta_encode(old: &[u8], new: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    delta_encode_into(old, new, &mut out);
+    out
+}
+
+/// [`delta_encode`] into a caller-owned op buffer: `out` is cleared and
+/// refilled, so a gather loop reuses one scratch buffer across pages
+/// instead of allocating a fresh stream per page. Output bytes are
+/// identical to [`delta_encode`].
+pub fn delta_encode_into(old: &[u8], new: &[u8], out: &mut Vec<u8>) {
     assert_eq!(old.len(), new.len(), "delta operands must align");
     let n = new.len();
+    out.clear();
     // Whole-buffer periodic fast path: when the XOR image is one 8-byte
     // pattern repeated (the common case for uniform pages), a single
     // pattern op covers everything. Skipped for the all-zero pattern,
     // where one zero-run op is smaller still.
     if n >= 16 && n.is_multiple_of(8) && n / 8 <= MAX_RUN {
-        let pattern: Vec<u8> = old[..8]
-            .iter()
-            .zip(&new[..8])
-            .map(|(&o, &w)| o ^ w)
-            .collect();
+        let mut pattern = [0u8; 8];
+        for (p, (&o, &w)) in pattern.iter_mut().zip(old[..8].iter().zip(&new[..8])) {
+            *p = o ^ w;
+        }
         let periodic = (8..n).all(|i| (old[i] ^ new[i]) == pattern[i % 8]);
         if periodic && pattern.iter().any(|&b| b != 0) {
             let count = (n / 8) as u16;
-            let mut out = Vec::with_capacity(11);
             out.push(OP_PATTERN8);
             out.extend_from_slice(&count.to_le_bytes());
             out.extend_from_slice(&pattern);
-            return out;
+            return;
         }
     }
-    let mut out = Vec::new();
     let mut i = 0usize;
     while i < n {
         if old[i] == new[i] {
@@ -113,7 +130,102 @@ pub fn delta_encode(old: &[u8], new: &[u8]) -> Vec<u8> {
             i = j;
         }
     }
-    out
+}
+
+/// Delta-encodes two *uniform* pages directly from their content words —
+/// the zero-copy hot path. Byte-identical to
+/// `delta_encode(&expand_word(old_word), &expand_word(new_word))` without
+/// expanding either page: the XOR image of two uniform pages is the
+/// words' XOR repeated, which is exactly one pattern op (or one zero-run
+/// op when the words are equal).
+pub fn delta_encode_words_into(old_word: u64, new_word: u64, out: &mut Vec<u8>) {
+    out.clear();
+    let x = old_word ^ new_word;
+    if x == 0 {
+        // Equal pages: the zero-run loop emits a single full-page run.
+        out.push(OP_ZERO_RUN);
+        out.extend_from_slice(&(PAGE_SIZE as u16).to_le_bytes());
+    } else {
+        out.push(OP_PATTERN8);
+        out.extend_from_slice(&((PAGE_SIZE / 8) as u16).to_le_bytes());
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+/// Applies a delta stream to a *uniform* page given only its content
+/// word — the zero-copy destination hot path. Returns the new content
+/// word exactly when `delta_decode(&expand_word(old_word), delta)`
+/// succeeds *and* decodes to a uniform page (the same condition
+/// [`TransferCache::apply_frame`] enforces); `None` otherwise. Total on
+/// arbitrary bytes, allocates nothing.
+///
+/// Works by tracking, per byte-offset class modulo 8, the XOR byte each
+/// op assigns: the decoded page is uniform iff every class gets a single
+/// consistent value, and then the new word is `old ^ pattern`.
+pub fn delta_apply_word(old_word: u64, delta: &[u8]) -> Option<u64> {
+    let n = PAGE_SIZE as usize;
+    let mut xb: [Option<u8>; 8] = [None; 8];
+    let mut uniform = true;
+    fn set(xb: &mut [Option<u8>; 8], uniform: &mut bool, class: usize, v: u8) {
+        match xb[class] {
+            None => xb[class] = Some(v),
+            Some(u) if u == v => {}
+            Some(_) => *uniform = false,
+        }
+    }
+    let mut pos = 0usize;
+    let mut d = 0usize;
+    while d < delta.len() {
+        let op = delta[d];
+        let len_bytes = delta.get(d + 1..d + 3)?;
+        let len = u16::from_le_bytes([len_bytes[0], len_bytes[1]]) as usize;
+        d += 3;
+        let start = pos;
+        let end = start.checked_add(len)?;
+        if end > n {
+            return None;
+        }
+        match op {
+            OP_ZERO_RUN => {
+                for k in 0..len.min(8) {
+                    set(&mut xb, &mut uniform, (start + k) % 8, 0);
+                }
+                pos = end;
+            }
+            OP_LITERAL => {
+                let lits = delta.get(d..d + len)?;
+                d += len;
+                for (k, &b) in lits.iter().enumerate() {
+                    set(&mut xb, &mut uniform, (start + k) % 8, b);
+                }
+                pos = end;
+            }
+            OP_PATTERN8 => {
+                // `len` counts 8-byte repetitions here.
+                let pattern = delta.get(d..d + 8)?;
+                d += 8;
+                let bytes = len.checked_mul(8)?;
+                let end = start.checked_add(bytes)?;
+                if end > n {
+                    return None;
+                }
+                for k in 0..bytes.min(8) {
+                    set(&mut xb, &mut uniform, (start + k) % 8, pattern[k % 8]);
+                }
+                pos = end;
+            }
+            _ => return None,
+        }
+    }
+    if pos != n || !uniform {
+        return None;
+    }
+    let ow = old_word.to_le_bytes();
+    let mut w = [0u8; 8];
+    for (c, b) in w.iter_mut().enumerate() {
+        *b = ow[c] ^ xb[c].unwrap_or(0);
+    }
+    Some(u64::from_le_bytes(w))
 }
 
 /// Applies a [`delta_encode`] stream to `old`, returning the
@@ -484,6 +596,88 @@ impl TransferCache {
             }
         }
     }
+
+    /// Batch counterpart of [`TransferCache::encode_page`]: encodes a
+    /// whole extent of pages straight into `ring` under **one** lock
+    /// acquisition, with digests precomputed by the caller (fanned over
+    /// the worker pool). Returns the accounted wire bytes of the batch.
+    ///
+    /// Classification, journalling and LRU mutation order are identical
+    /// to calling `encode_page` per page — `WireStats`, cache counters
+    /// and chaos-replay rollback behaviour match byte for byte. The one
+    /// shortcut is deliberate and lossless: the simulator's pages are
+    /// uniform, so a re-dirtied page's delta is the ≤11-byte word-level
+    /// stream, which always beats a raw page — the legacy size check can
+    /// never pick `Raw` there.
+    ///
+    /// `digests[i]` must equal `digest_words(&[words[i]])`; it is only
+    /// consulted for non-zero words, matching `encode_page`.
+    pub fn encode_batch_into(
+        &self,
+        vm: u32,
+        gfns: &[Gfn],
+        words: &[u64],
+        digests: &[Digest128],
+        ring: &mut FrameRing,
+    ) -> u64 {
+        debug_assert_eq!(gfns.len(), words.len());
+        debug_assert_eq!(words.len(), digests.len());
+        let mut c = self.lock();
+        let mut wire_bytes = 0u64;
+        for ((&g, &word), &digest) in gfns.iter().zip(words).zip(digests) {
+            let gfn = g.0;
+            let key = (vm, gfn);
+            if word == 0 {
+                let prev = c.sent.insert(key, 0);
+                c.journal_sent.push((key, prev));
+                wire_bytes += ring.push_zero(gfn);
+                continue;
+            }
+            debug_assert_eq!(digest, digest_words(&[word]));
+            c.dup_lookups += 1;
+            if c.dedup.contains_key(&digest.as_u128()) {
+                c.dup_hits += 1;
+                c.tick += 1;
+                let tick = c.tick;
+                if let Some(e) = c.dedup.get_mut(&digest.as_u128()) {
+                    e.touched = tick;
+                }
+                let prev = c.sent.insert(key, word);
+                c.journal_sent.push((key, prev));
+                wire_bytes += ring.push_dup(gfn, digest);
+                continue;
+            }
+            match c.sent.get(&key).copied() {
+                Some(old) if old != word => {
+                    wire_bytes += ring.push_delta_words(gfn, old, word);
+                }
+                _ => {
+                    wire_bytes += ring.push_raw(gfn, word);
+                }
+            }
+            c.insert_dedup(digest.as_u128(), word);
+            c.journal_dedup.push(digest.as_u128());
+            let prev = c.sent.insert(key, word);
+            c.journal_sent.push((key, prev));
+        }
+        wire_bytes
+    }
+
+    /// Applies a borrowed serialized frame on the destination side — the
+    /// zero-copy counterpart of [`TransferCache::apply_frame`], using the
+    /// word-level delta apply so the steady state never expands a page.
+    /// Same contract: `None` flags an integrity violation.
+    pub fn apply_view(&self, view: &FrameView<'_>, dst_current: u64) -> Option<u64> {
+        match view.kind {
+            FrameKind::Raw => view.raw_word(),
+            FrameKind::Zero => Some(0),
+            FrameKind::Dup => {
+                let digest = view.dup_digest()?;
+                self.lock().dedup.get(&digest.as_u128()).map(|e| e.word)
+            }
+            FrameKind::Delta => delta_apply_word(dst_current, view.payload),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -544,6 +738,91 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn word_level_encode_matches_expanded_encode() {
+        // The zero-copy fast path must emit byte-identical streams to the
+        // page-expanding encoder for every pair of uniform pages.
+        let mut rng = SimRng::new(0x0e17_c0de);
+        let mut fast = Vec::new();
+        for case in 0..500 {
+            let old = rng.next_u64();
+            let new = if case % 7 == 0 { old } else { rng.next_u64() };
+            delta_encode_words_into(old, new, &mut fast);
+            assert_eq!(
+                fast,
+                delta_encode(&expand_word(old), &expand_word(new)),
+                "case {case}: old={old:#x} new={new:#x}"
+            );
+        }
+        // Scratch reuse never regrows after the first call.
+        let cap = fast.capacity();
+        for i in 0..64u64 {
+            delta_encode_words_into(i, i ^ 0xff, &mut fast);
+        }
+        assert_eq!(fast.capacity(), cap);
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_reuses_scratch() {
+        let mut rng = SimRng::new(0xe4c0);
+        let mut scratch = Vec::new();
+        for _ in 0..100 {
+            let old = expand_word(rng.next_u64());
+            let mut new = old.clone();
+            for _ in 0..rng.gen_range(96) {
+                let at = rng.gen_range(PAGE_SIZE) as usize;
+                new[at] ^= (rng.gen_range(255) + 1) as u8;
+            }
+            delta_encode_into(&old, &new, &mut scratch);
+            assert_eq!(scratch, delta_encode(&old, &new));
+        }
+    }
+
+    #[test]
+    fn word_level_apply_matches_expanded_apply() {
+        // delta_apply_word must agree with decode-then-uniform-check on
+        // real deltas, garbage streams, and mismatched bases alike.
+        let mut rng = SimRng::new(0xa117);
+        let legacy = |old_word: u64, delta: &[u8]| -> Option<u64> {
+            let old = expand_word(old_word);
+            let page = delta_decode(&old, delta)?;
+            let word = u64::from_le_bytes(page[..8].try_into().ok()?);
+            if page == expand_word(word) {
+                Some(word)
+            } else {
+                None
+            }
+        };
+        for case in 0..400 {
+            let base = rng.next_u64();
+            let delta: Vec<u8> = match case % 4 {
+                0 => delta_encode(&expand_word(base), &expand_word(rng.next_u64())),
+                1 => {
+                    // A non-uniform mutation: decodes but fails uniformity.
+                    let mut new = expand_word(base);
+                    let at = rng.gen_range(PAGE_SIZE) as usize;
+                    new[at] ^= 1 + rng.gen_range(255) as u8;
+                    delta_encode(&expand_word(base), &new)
+                }
+                2 => {
+                    let len = rng.gen_range(48) as usize;
+                    (0..len).map(|_| rng.gen_range(256) as u8).collect()
+                }
+                _ => {
+                    // Valid delta applied against the wrong base word.
+                    delta_encode(&expand_word(rng.next_u64()), &expand_word(rng.next_u64()))
+                }
+            };
+            assert_eq!(
+                delta_apply_word(base, &delta),
+                legacy(base, &delta),
+                "case {case}"
+            );
+        }
+        assert_eq!(delta_apply_word(7, &[]), None);
+        assert_eq!(delta_apply_word(7, &[OP_ZERO_RUN]), None);
     }
 
     #[test]
@@ -771,5 +1050,87 @@ mod tests {
             "clone sees content committed through the original"
         );
         b.commit_round();
+    }
+
+    /// Drives the same random multi-round, multi-VM workload (with
+    /// rollbacks and a tight eviction cap) through the per-page
+    /// `encode_page` path and the batched ring path, asserting
+    /// frame-for-frame, byte-for-byte, counter-for-counter equality —
+    /// the identity the zero-copy engine path rests on.
+    #[test]
+    fn batch_encode_matches_per_page_path_exactly() {
+        use crate::framing::FrameRing;
+
+        let mut rng = SimRng::new(0xba7c);
+        for &cap in &[DEFAULT_CACHE_CAPACITY, 5] {
+            let legacy = TransferCache::with_capacity(cap);
+            let ring_cache = TransferCache::with_capacity(cap);
+            let mut ring = FrameRing::new();
+            for round in 0..24u64 {
+                let vm = (round % 3) as u32;
+                let n = 1 + rng.gen_range(40) as usize;
+                let gfns: Vec<Gfn> = (0..n).map(|_| Gfn(rng.gen_range(32))).collect();
+                let words: Vec<u64> = (0..n)
+                    .map(|_| match rng.gen_range(4) {
+                        0 => 0,
+                        1 => 0x5a5a, // recurring content → dup hits
+                        _ => rng.next_u64() | 1,
+                    })
+                    .collect();
+                let digests: Vec<Digest128> = words.iter().map(|&w| digest_words(&[w])).collect();
+                let drop_round = rng.gen_range(5) == 0;
+
+                legacy.begin_round();
+                let mut legacy_frames = Vec::new();
+                let mut legacy_bytes = 0u64;
+                for (&g, &w) in gfns.iter().zip(&words) {
+                    let f = legacy.encode_page(vm, g.0, w);
+                    legacy_bytes += f.wire_bytes();
+                    legacy_frames.push(f);
+                }
+
+                ring.restart();
+                ring.begin();
+                ring_cache.begin_round();
+                let ring_bytes =
+                    ring_cache.encode_batch_into(vm, &gfns, &words, &digests, &mut ring);
+
+                assert_eq!(ring_bytes, legacy_bytes, "round {round} wire accounting");
+                assert_eq!(ring.frame_count() as usize, legacy_frames.len());
+                for (i, (view, legacy_frame)) in ring.iter().zip(legacy_frames.iter()).enumerate() {
+                    assert_eq!(view.gfn, gfns[i].0);
+                    assert_eq!(
+                        &view.to_frame().unwrap(),
+                        legacy_frame,
+                        "round {round} frame {i}"
+                    );
+                    // Apply parity, including deliberately wrong bases.
+                    let dst = words[i] ^ u64::from(i as u32);
+                    assert_eq!(
+                        ring_cache.apply_view(&view, dst),
+                        legacy.apply_frame(legacy_frame, dst),
+                        "round {round} frame {i} apply"
+                    );
+                }
+
+                if drop_round {
+                    legacy.rollback_round();
+                    ring_cache.rollback_round();
+                    ring.rollback();
+                    assert_eq!(ring.frame_count(), 0, "round batch fully rolled back");
+                } else {
+                    legacy.commit_round();
+                    ring_cache.commit_round();
+                    ring.commit();
+                }
+                let (a, b) = (legacy.stats(), ring_cache.stats());
+                assert_eq!(
+                    (a.occupancy, a.evictions, a.dup_hits, a.dup_lookups),
+                    (b.occupancy, b.evictions, b.dup_hits, b.dup_lookups),
+                    "round {round} cache counters"
+                );
+                assert_eq!(legacy.sent_len(), ring_cache.sent_len());
+            }
+        }
     }
 }

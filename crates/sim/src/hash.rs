@@ -62,6 +62,55 @@ pub fn digest_words(words: &[u64]) -> Digest128 {
     Digest128 { hi: a, lo: b }
 }
 
+/// Fingerprints a whole extent of one-word pages in a single pass:
+/// `out[i]` equals `digest_words(&[words[i]])` for every `i`, but the
+/// constants load once and the loop never re-enters the slice kernel, so
+/// the migration gather digests an extent per call instead of a page per
+/// call. Reuses `out`'s capacity — zero allocations once warmed.
+pub fn digest_pages_into(words: &[u64], out: &mut Vec<Digest128>) {
+    out.clear();
+    out.reserve(words.len());
+    for &w in words {
+        let a = (FNV_OFFSET_A ^ w).wrapping_mul(FNV_PRIME_A);
+        let b = (FNV_OFFSET_B ^ w.rotate_left(23)).wrapping_mul(FNV_PRIME_B);
+        out.push(Digest128 { hi: a, lo: b });
+    }
+}
+
+/// [`digest_pages_into`] fanned word-parallel over a worker pool: the
+/// output is resized to `words.len()` and disjoint chunks are filled on
+/// pool workers. Results are byte-identical to the serial pass for any
+/// worker count. Small batches (or a serial pool) run inline — same
+/// threshold reasoning as the migration gather paths.
+pub fn digest_pages_with_pool(
+    words: &[u64],
+    out: &mut Vec<Digest128>,
+    pool: &crate::WorkerPool,
+    par_threshold: usize,
+) {
+    if pool.workers() <= 1 || words.len() < par_threshold.max(1) {
+        digest_pages_into(words, out);
+        return;
+    }
+    out.clear();
+    out.resize(words.len(), Digest128 { hi: 0, lo: 0 });
+    let chunk = words.len().div_ceil(pool.workers() * 4).max(1);
+    let tasks: Vec<_> = out
+        .chunks_mut(chunk)
+        .zip(words.chunks(chunk))
+        .map(|(o, w)| {
+            move || {
+                for (d, &word) in o.iter_mut().zip(w) {
+                    let a = (FNV_OFFSET_A ^ word).wrapping_mul(FNV_PRIME_A);
+                    let b = (FNV_OFFSET_B ^ word.rotate_left(23)).wrapping_mul(FNV_PRIME_B);
+                    *d = Digest128 { hi: a, lo: b };
+                }
+            }
+        })
+        .collect();
+    pool.run(tasks);
+}
+
 /// Digests raw page bytes. Whole 8-byte words go through the
 /// word-at-a-time kernel; a trailing partial word (len % 8) is
 /// zero-padded, with the true length folded in so `[1]` and `[1, 0]`
@@ -136,6 +185,49 @@ mod tests {
     fn byte_tail_is_length_aware() {
         assert_ne!(digest_bytes(&[1]), digest_bytes(&[1, 0]));
         assert_ne!(digest_bytes(&[]), digest_bytes(&[0]));
+    }
+
+    #[test]
+    fn batched_digests_match_per_page_calls() {
+        let mut rng = SimRng::new(0x0ba7_c4ed);
+        let words: Vec<u64> = (0..4096).map(|_| rng.next_u64()).collect();
+        let mut out = Vec::new();
+        digest_pages_into(&words, &mut out);
+        assert_eq!(out.len(), words.len());
+        for (i, &w) in words.iter().enumerate() {
+            assert_eq!(out[i], digest_words(&[w]), "page {i}");
+        }
+    }
+
+    #[test]
+    fn pooled_digests_are_worker_count_invariant() {
+        let mut rng = SimRng::new(0x9001);
+        let words: Vec<u64> = (0..10_000).map(|_| rng.next_u64()).collect();
+        let mut serial = Vec::new();
+        digest_pages_into(&words, &mut serial);
+        for workers in [1, 2, 3, 7] {
+            let pool = crate::WorkerPool::new(workers);
+            let mut out = Vec::new();
+            digest_pages_with_pool(&words, &mut out, &pool, 64);
+            assert_eq!(out, serial, "workers={workers}");
+        }
+        // Below the threshold the pooled call must fall back inline.
+        let pool = crate::WorkerPool::new(4);
+        let mut out = Vec::new();
+        digest_pages_with_pool(&words[..16], &mut out, &pool, 64);
+        assert_eq!(out, serial[..16]);
+    }
+
+    #[test]
+    fn batched_digest_reuses_capacity() {
+        let words = vec![7u64; 512];
+        let mut out = Vec::new();
+        digest_pages_into(&words, &mut out);
+        let cap = out.capacity();
+        for _ in 0..8 {
+            digest_pages_into(&words, &mut out);
+        }
+        assert_eq!(out.capacity(), cap, "steady-state calls must not regrow");
     }
 
     #[test]

@@ -122,6 +122,58 @@ impl P2m {
         Ok(out)
     }
 
+    /// Translates a batch like [`P2m::translate_many`] but hands the
+    /// caller physically-contiguous `(base MFN, page count)` runs instead
+    /// of one MFN per page, and allocates nothing. Consecutive GFNs that
+    /// land on consecutive machine frames coalesce into one visit, so the
+    /// zero-copy gather path turns each run into a single RAM slice
+    /// borrow. Translation errors are identical to the per-page path;
+    /// runs visited before the failing GFN have already been delivered.
+    pub fn translate_runs(
+        &self,
+        gfns: &[Gfn],
+        visit: &mut dyn FnMut(Mfn, u64),
+    ) -> Result<(), P2mError> {
+        let mut iter = self.entries.iter().peekable();
+        let mut cur: Option<(u64, Extent)> = None;
+        let mut prev = 0u64;
+        let mut run: Option<(Mfn, u64)> = None;
+        for &g in gfns {
+            let m = if g.0 < prev {
+                // Out-of-order input: point query, same as translate_many.
+                self.translate(g)?
+            } else {
+                prev = g.0;
+                while let Some(&(&base, &e)) = iter.peek() {
+                    if base <= g.0 {
+                        cur = Some((base, e));
+                        iter.next();
+                    } else {
+                        break;
+                    }
+                }
+                match cur {
+                    Some((base, e)) if g.0 >= base && g.0 < base + e.pages() => {
+                        e.base + (g.0 - base)
+                    }
+                    _ => return Err(P2mError::NotMapped { gfn: g }),
+                }
+            };
+            match run {
+                Some((b, n)) if b.0 + n == m.0 => run = Some((b, n + 1)),
+                Some((b, n)) => {
+                    visit(b, n);
+                    run = Some((m, 1));
+                }
+                None => run = Some((m, 1)),
+            }
+        }
+        if let Some((b, n)) = run {
+            visit(b, n);
+        }
+        Ok(())
+    }
+
     /// Returns all mappings sorted by GFN — the input to PRAM construction.
     pub fn mappings(&self) -> Vec<(Gfn, Extent)> {
         self.entries.iter().map(|(&g, &e)| (Gfn(g), e)).collect()
@@ -253,6 +305,38 @@ mod tests {
         assert!(p.translate_many(&[Gfn(0), Gfn(700)]).is_err());
         assert!(p.translate_many(&[Gfn(1536)]).is_err());
         assert_eq!(p.translate_many(&[]).unwrap(), Vec::<Mfn>::new());
+    }
+
+    #[test]
+    fn translate_runs_coalesces_and_matches_translate_many() {
+        let mut p = P2m::new();
+        p.map(Gfn(0), ext(2048, 9)).unwrap(); // gfn 0..512 -> mfn 2048..
+        p.map(Gfn(512), ext(8192, 9)).unwrap(); // gfn 512..1024 -> mfn 8192..
+        let gfns: Vec<Gfn> = (0..700).map(Gfn).collect();
+        let mut runs = Vec::new();
+        p.translate_runs(&gfns, &mut |m, n| runs.push((m, n)))
+            .unwrap();
+        // Two physically-contiguous runs, one visit each.
+        assert_eq!(runs, vec![(Mfn(2048), 512), (Mfn(8192), 188)]);
+        // Flattened runs equal the per-page translation, also for sparse
+        // and out-of-order inputs.
+        for gfns in [
+            (0u64..700).collect::<Vec<_>>(),
+            vec![5, 6, 7, 100, 513, 514, 512],
+            vec![1023, 0, 511, 512],
+        ] {
+            let gfns: Vec<Gfn> = gfns.into_iter().map(Gfn).collect();
+            let mut flat = Vec::new();
+            p.translate_runs(&gfns, &mut |m, n| {
+                flat.extend((0..n).map(|i| m + i));
+            })
+            .unwrap();
+            assert_eq!(flat, p.translate_many(&gfns).unwrap());
+        }
+        // Unmapped GFNs fail like translate_many.
+        assert!(p
+            .translate_runs(&[Gfn(0), Gfn(2000)], &mut |_, _| {})
+            .is_err());
     }
 
     #[test]

@@ -13,7 +13,9 @@ use hypertp_core::{
     VmConfig, WarmCheckpointer,
 };
 use hypertp_machine::{Machine, MachineSpec};
-use hypertp_migrate::{MigrationConfig, MigrationTp};
+use hypertp_migrate::{
+    run_dest, run_source, MigrationConfig, MigrationTp, UdsServerTransport, UdsTransport, WireMode,
+};
 use hypertp_sim::SimClock;
 
 /// A parsed command line.
@@ -153,6 +155,11 @@ pub fn help() -> String {
                   [--no-early-restore]  run InPlaceTP and print the breakdown\n\
        migrate    [--machine m1|m2] [--mem GB] [--dirty-rate P/S] [--to HV]\n\
                                         run MigrationTP and print the report\n\
+       proxy dest --socket PATH [--machine m1|m2] [--to HV]\n\
+       proxy source --socket PATH [--machine m1|m2] [--mem GB] [--dirty-rate P/S]\n\
+                                        the §4.2 migration proxy pair: run `dest`\n\
+                                        in one process, `source` in another, over\n\
+                                        a Unix-domain socket\n\
        cluster    [--compat PCT] [--group N] [--hosts N] [--shards S]\n\
                                         plan+execute a rolling upgrade; --hosts\n\
                                         derives a synthetic fleet, --shards runs\n\
@@ -175,6 +182,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
         "decide" => run_decide(cmd),
         "transplant" => run_transplant(cmd),
         "migrate" => run_migrate(cmd),
+        "proxy" => run_proxy(cmd),
         "cluster" => run_cluster(cmd),
         "campaign" => run_campaign_cmd(cmd),
         "recover" => run_recover(cmd),
@@ -329,6 +337,86 @@ fn run_migrate(cmd: &Command) -> Result<String, CliError> {
         r.downtime.as_millis_f64(),
         r.uisr_bytes
     ))
+}
+
+/// `proxy dest` / `proxy source`: the two halves of the §4.2 migration
+/// proxy pair over a Unix-domain socket. Start the destination first (it
+/// blocks for the connection); the source retries its dial for ~5 s, so
+/// either order works in practice.
+fn run_proxy(cmd: &Command) -> Result<String, CliError> {
+    let role = cmd
+        .positional
+        .first()
+        .ok_or(CliError::MissingOption("<source|dest>"))?;
+    let socket = cmd
+        .options
+        .get("socket")
+        .ok_or(CliError::MissingOption("--socket"))?;
+    let spec = opt_spec(cmd, "machine")?;
+    let registry = crate::default_registry();
+    match role.as_str() {
+        "dest" => {
+            let to = opt_hv(cmd, "to", HypervisorKind::Kvm)?;
+            let mut machine = Machine::with_clock(spec, SimClock::new());
+            let mut hv = registry
+                .create(to, &mut machine)
+                .map_err(|e| CliError::Failed(e.to_string()))?;
+            let mut transport =
+                UdsServerTransport::bind(socket).map_err(|e| CliError::Failed(e.to_string()))?;
+            let r = run_dest(&mut machine, hv.as_mut(), &mut transport)
+                .map_err(|e| CliError::Failed(e.to_string()))?;
+            let mut out = format!(
+                "proxy dest ({to}): received {} — {} rounds, {} frames, {:.2} MiB wire, \
+                 checksum {:016x}\n",
+                r.vm_name,
+                r.rounds,
+                r.frames,
+                r.wire_bytes as f64 / (1u64 << 20) as f64,
+                r.checksum
+            );
+            for w in &r.warnings {
+                out.push_str(&format!("  compatibility: {w}\n"));
+            }
+            Ok(out)
+        }
+        "source" => {
+            let mem = opt_u64(cmd, "mem", 1)?;
+            let rate = opt_f64(cmd, "dirty-rate", 10.0)?;
+            let mut machine = Machine::with_clock(spec, SimClock::new());
+            let mut hv = registry
+                .create(HypervisorKind::Xen, &mut machine)
+                .map_err(|e| CliError::Failed(e.to_string()))?;
+            let id = hv
+                .create_vm(&mut machine, &VmConfig::small("vm0").with_memory_gb(mem))
+                .map_err(|e| CliError::Failed(e.to_string()))?;
+            let tp = MigrationTp::new().with_config(MigrationConfig {
+                wire_mode: WireMode::ContentAware,
+                dirty_rate_pages_per_sec: rate,
+                ..MigrationConfig::default()
+            });
+            let mut transport =
+                UdsTransport::connect(socket).map_err(|e| CliError::Failed(e.to_string()))?;
+            let r = run_source(&tp, &mut machine, hv.as_mut(), id, &mut transport)
+                .map_err(|e| CliError::Failed(e.to_string()))?;
+            Ok(format!(
+                "proxy source (Xen): sent {} GiB VM, dirty rate {rate} pages/s\n  {} rounds, \
+                 {:.2} MiB sent ({} frames applied remotely), total {:.2}s, downtime {:.2} ms, \
+                 UISR {} B, checksum {:016x} (verified)\n",
+                mem,
+                r.rounds,
+                r.bytes_sent as f64 / (1u64 << 20) as f64,
+                r.dst_frames,
+                r.total.as_secs_f64(),
+                r.downtime.as_millis_f64(),
+                r.uisr_bytes,
+                r.dst_checksum
+            ))
+        }
+        other => Err(CliError::BadValue {
+            option: "role".to_string(),
+            value: other.to_string(),
+        }),
+    }
 }
 
 fn run_cluster(cmd: &Command) -> Result<String, CliError> {
@@ -617,6 +705,16 @@ mod tests {
     }
 
     #[test]
+    fn proxy_requires_role_and_socket() {
+        let r = run(&parse(&argv("proxy")).unwrap());
+        assert_eq!(r, Err(CliError::MissingOption("<source|dest>")));
+        let r = run(&parse(&argv("proxy source")).unwrap());
+        assert_eq!(r, Err(CliError::MissingOption("--socket")));
+        let r = run(&parse(&argv("proxy upside-down --socket /tmp/s")).unwrap());
+        assert!(matches!(r, Err(CliError::BadValue { .. })));
+    }
+
+    #[test]
     fn recover_bad_bound_rejected() {
         let r = run(&parse(&argv("recover --bound many")).unwrap());
         assert!(matches!(r, Err(CliError::BadValue { .. })));
@@ -630,6 +728,7 @@ mod tests {
             "decide",
             "transplant",
             "migrate",
+            "proxy",
             "cluster",
             "campaign",
             "recover",
