@@ -111,6 +111,25 @@ REHYPE_SMOKE_OUT="${gate_dir}/rehype.json" \
 cargo run -q --release --offline -p hypertp-bench --bin perf_gate -- \
   rehype BENCH_rehype.json "${gate_dir}/rehype.json"
 
+echo "== slo gate (violation cut + makespan + budget floors) =="
+# slo_smoke drains the 150-VM diurnal fleet twice (traffic-blind SPDF vs
+# SLO-aware admission, identical physics); the fresh artifact must meet
+# the committed BENCH_slo.json floors: violation cut >= floor, makespan
+# ratio under the ceiling, no VM exhausting its error budget, and the
+# deterministic / sharded / zero-traffic identity fields all true.
+SLO_SMOKE_OUT="${gate_dir}/slo.json" \
+  cargo run -q --release --offline -p hypertp-bench --bin slo_smoke
+cargo run -q --release --offline -p hypertp-bench --bin perf_gate -- \
+  slo BENCH_slo.json "${gate_dir}/slo.json"
+
+echo "== hypertpctl fleet smoke (--slo-aware flag) =="
+# The operator-facing path to SLO-aware admission: same fleet twice, the
+# flag must switch the admission policy shown in the output.
+cargo run -q --release --offline --bin hypertpctl -- fleet --vms 3 \
+  | grep -q "fifo admission"
+cargo run -q --release --offline --bin hypertpctl -- fleet --vms 3 --slo-aware \
+  | grep -q "slo admission"
+
 echo "== examples (keep them compiling *and* running) =="
 for example in quickstart migration_vs_inplace datacenter_upgrade vulnerability_response; do
   echo "-- example: ${example} --"

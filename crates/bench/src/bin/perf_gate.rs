@@ -9,6 +9,7 @@
 //! perf_gate inplace  <committed BENCH_inplace.json>  <inplace_smoke run 1> [...]
 //! perf_gate campaign <committed BENCH_campaign.json> <campaign_smoke run 1> [...]
 //! perf_gate rehype   <committed BENCH_rehype.json>   <rehype_smoke run 1> [...]
+//! perf_gate slo      <committed BENCH_slo.json>      <slo_smoke run 1> [...]
 //! perf_gate <committed BENCH_wire.json> <perf_smoke run...>   # legacy = wire
 //! ```
 //!
@@ -86,6 +87,23 @@
 //!    cold salvage-translate ablation at some crash phase), or
 //! 3. `loss.max_lag_pages` is not strictly below `loss.bound_pages`
 //!    (the checkpointer's provable state-loss bound was violated).
+//!
+//! **slo**: CI runs `slo_smoke` (the 150-VM diurnal-fleet scheduler
+//! comparison) and hands the fresh artifact(s) here with the committed
+//! `BENCH_slo.json`. A run fails when:
+//!
+//! 1. any `identical`-suffixed field is not `"true"` — this covers the
+//!    deterministic rerun, the shard×worker report identity, and the
+//!    engine-level zero-traffic passthrough (an SLO attachment whose
+//!    curve carries no bandwidth must not perturb the data path),
+//! 2. `slo_vs_blind.violation_cut_pct` falls below the committed
+//!    `violation_cut_floor_pct` (SLO-aware admission stopped beating the
+//!    traffic-blind SPDF baseline),
+//! 3. `slo_vs_blind.makespan_ratio` exceeds the committed
+//!    `makespan_ratio_ceiling` (the violation cut started costing total
+//!    campaign time), or
+//! 4. `budget.aware_max_burn` exceeds 1.0 (some VM under the aware
+//!    schedule burned its entire declared error budget).
 //!
 //! The gate deliberately ignores wall-clock fields: CI machines are too
 //! noisy for absolute-time floors, but correctness, compression, and
@@ -477,11 +495,80 @@ fn gate_rehype(committed: &str, runs: &[String]) -> Vec<String> {
     violations
 }
 
+fn gate_slo(committed: &str, runs: &[String]) -> Vec<String> {
+    let mut violations = Vec::new();
+    let base = match load(committed) {
+        Ok(j) => j,
+        Err(e) => return vec![e],
+    };
+    let Some(floor) = base.get("violation_cut_floor_pct").and_then(Json::as_f64) else {
+        return vec![format!("{committed}: missing violation_cut_floor_pct")];
+    };
+    let Some(ceiling) = base.get("makespan_ratio_ceiling").and_then(Json::as_f64) else {
+        return vec![format!("{committed}: missing makespan_ratio_ceiling")];
+    };
+
+    for path in runs {
+        let run = match load(path) {
+            Ok(j) => j,
+            Err(e) => {
+                violations.push(e);
+                continue;
+            }
+        };
+        let before = violations.len();
+        let n = check_identity(path, &run, &mut violations);
+
+        let cut = get_f64(
+            path,
+            &run,
+            "slo_vs_blind.violation_cut_pct",
+            &mut violations,
+        );
+        if let Some(cut) = cut {
+            if cut < floor {
+                violations.push(format!(
+                    "{path}: SLO-violation cut {cut:.1}% below committed floor {floor:.1}% \
+                     — aware admission stopped beating blind SPDF"
+                ));
+            }
+        }
+        let ratio = get_f64(path, &run, "slo_vs_blind.makespan_ratio", &mut violations);
+        if let Some(ratio) = ratio {
+            if ratio > ceiling {
+                violations.push(format!(
+                    "{path}: makespan ratio {ratio:.4} above committed ceiling {ceiling:.2} \
+                     — the violation cut costs campaign time"
+                ));
+            }
+        }
+        let burn = get_f64(path, &run, "budget.aware_max_burn", &mut violations);
+        if let Some(burn) = burn {
+            if burn > 1.0 {
+                violations.push(format!(
+                    "{path}: aware max error-budget burn {burn:.2} exceeds 1.0 — some VM \
+                     exhausted its budget under the aware schedule"
+                ));
+            }
+        }
+        if violations.len() == before {
+            println!(
+                "perf_gate: {path}: {n} identity fields ok, violation cut {:.1}% >= floor \
+                 {floor:.1}%, makespan ratio {:.4} <= {ceiling:.2}, max burn {:.2} <= 1.0",
+                cut.unwrap_or(f64::NAN),
+                ratio.unwrap_or(f64::NAN),
+                burn.unwrap_or(f64::NAN),
+            );
+        }
+    }
+    violations
+}
+
 fn run() -> Result<(), Vec<String>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || {
         vec![
-            "usage: perf_gate [wire|adaptive|inplace|campaign|rehype] <committed artifact> <fresh run...>"
+            "usage: perf_gate [wire|adaptive|inplace|campaign|rehype|slo] <committed artifact> <fresh run...>"
                 .to_string(),
         ]
     };
@@ -491,6 +578,7 @@ fn run() -> Result<(), Vec<String>> {
         Some("inplace") => ("inplace", &args[1..]),
         Some("campaign") => ("campaign", &args[1..]),
         Some("rehype") => ("rehype", &args[1..]),
+        Some("slo") => ("slo", &args[1..]),
         // Legacy positional form: first arg is the committed wire artifact.
         Some(_) => ("wire", &args[..]),
         None => return Err(usage()),
@@ -503,6 +591,7 @@ fn run() -> Result<(), Vec<String>> {
         "inplace" => gate_inplace(&rest[0], &rest[1..]),
         "campaign" => gate_campaign(&rest[0], &rest[1..]),
         "rehype" => gate_rehype(&rest[0], &rest[1..]),
+        "slo" => gate_slo(&rest[0], &rest[1..]),
         _ => gate_adaptive(&rest[0], &rest[1..]),
     };
     if violations.is_empty() {

@@ -30,7 +30,7 @@ use hypertp_core::{
     crash_gate, host_failure_gate, warm_recovery_latency, CheckpointConfig, HostGate,
     HypervisorKind,
 };
-use hypertp_migrate::{FleetOrder, Link, WireMode};
+use hypertp_migrate::{FleetOrder, Link, LinkContention, SloVm, TrafficCurve, WireMode};
 use hypertp_sim::cost::{BootTarget, MachinePerf};
 use hypertp_sim::fault::{FaultPlan, InjectionPoint, RecoveryAction};
 use hypertp_sim::pool::WorkerPool;
@@ -92,6 +92,35 @@ pub struct ExecConfig {
     /// figure from BENCH_inplace.json). 1.0 = everything re-translated,
     /// which degenerates exactly to the full-translate accounting.
     pub inplace_dirty_fraction: f64,
+    /// Opt-in SLO accounting over the campaign's migrations. `None`
+    /// (the default) keeps every report byte-identical to the
+    /// SLO-unaware executor. `Some` derives each serving VM's diurnal
+    /// traffic curve (a pure function of the configured seed and the VM
+    /// index — see [`hypertp_workloads::derive_curve`]), stretches
+    /// migration estimates by the workload's share of the fabric at
+    /// admission time, and accounts per-VM violation-seconds and
+    /// error-budget burn in [`ExecReport`]. Group times stay relative
+    /// to the group's start, so sharded execution remains
+    /// byte-identical for every shard/worker count.
+    pub slo: Option<SloExecConfig>,
+}
+
+/// Parameters of the executor's opt-in SLO accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloExecConfig {
+    /// Seed of the per-VM diurnal curve derivation.
+    pub seed: u64,
+    /// Per-VM violation-seconds allowance over the campaign.
+    pub error_budget: SimDuration,
+}
+
+impl Default for SloExecConfig {
+    fn default() -> Self {
+        SloExecConfig {
+            seed: 0x510_ca3e,
+            error_budget: SimDuration::from_secs(216),
+        }
+    }
 }
 
 impl Default for ExecConfig {
@@ -107,6 +136,7 @@ impl Default for ExecConfig {
             fleet_order: FleetOrder::Fifo,
             incremental_translate: false,
             inplace_dirty_fraction: 1.0,
+            slo: None,
         }
     }
 }
@@ -184,6 +214,16 @@ pub struct ExecReport {
     /// Streaming aggregate (seconds) of per-group migration-phase drain
     /// times.
     pub group_drain: Streaming,
+    /// Migrating VMs that carried an SLO (served measurable traffic)
+    /// under [`ExecConfig::slo`]. Zero when SLO accounting is off.
+    pub slo_vms: usize,
+    /// Total SLO violation time across those VMs: seconds during which a
+    /// migration's bandwidth steal pushed a VM's offered load above its
+    /// degraded capacity.
+    pub slo_violation: SimDuration,
+    /// Worst per-VM error-budget burn (1.0 = a VM spent its entire
+    /// daily violation allowance on this campaign).
+    pub slo_max_budget_burn: f64,
 }
 
 impl ExecReport {
@@ -205,6 +245,7 @@ impl ExecReport {
         format!(
             "migrations={} upgrades={} total_ns={} migration_ns={} inplace_ns={} \
              retries={} excluded={} crashes={} wire_sent={} wire_saved={} mean_ready_ns={} \
+             slo_vms={} slo_violation_ns={} slo_burn={:?} \
              vm_ready{{{}}} drain{{{}}} hist{{{}}}",
             self.migrations,
             self.inplace_upgrades,
@@ -217,6 +258,9 @@ impl ExecReport {
             self.wire_bytes_sent,
             self.wire_bytes_saved,
             self.mean_vm_ready.as_nanos(),
+            self.slo_vms,
+            self.slo_violation.as_nanos(),
+            self.slo_max_budget_burn,
             self.vm_ready.render(),
             self.group_drain.render(),
             self.vm_ready_hist.render(),
@@ -252,6 +296,43 @@ fn migration_estimate(
         raw + raw_dirty,
         bytes + dirty_bytes,
     )
+}
+
+/// The serving VM's SLO attachment under the opt-in accounting: `None`
+/// for classes with no measurable QPS. The traffic curve is a pure
+/// function of `(slo.seed, vm index)` — cheap to re-derive, nothing to
+/// share across shards.
+fn vm_slo<V: ClusterView + ?Sized>(view: &V, slo: &SloExecConfig, vm: usize) -> Option<SloVm> {
+    let info = view.vm(vm);
+    if info.peak_qps <= 0.0 {
+        return None;
+    }
+    Some(SloVm {
+        traffic: hypertp_workloads::derive_curve(
+            slo.seed,
+            vm as u64,
+            info.peak_qps,
+            TrafficCurve::DAY,
+        ),
+        degraded_capacity: (1.0 - info.migration_degradation).clamp(0.0, 1.0),
+        error_budget: slo.error_budget,
+    })
+}
+
+/// Stretches a migration estimate by the workload's share of the fabric
+/// at admission time: the orchestration overhead is load-independent,
+/// but the transfer only gets the link share [`LinkContention`] leaves
+/// it, so its time divides by that share.
+fn contention_stretch(cfg: &ExecConfig, estimate: SimDuration, workload_bps: f64) -> SimDuration {
+    if workload_bps <= 0.0 {
+        return estimate;
+    }
+    let share = LinkContention::new(workload_bps).share(&cfg.link);
+    if share >= 1.0 {
+        return estimate;
+    }
+    let transfer = estimate.saturating_sub(cfg.per_migration_overhead);
+    cfg.per_migration_overhead + SimDuration::from_secs_f64(transfer.as_secs_f64() / share)
 }
 
 /// Time of one in-place host upgrade carrying `vm_count` 4 GiB VMs on a
@@ -377,6 +458,66 @@ struct GroupOutcome {
     crash_recoveries: usize,
     vm_ready: Streaming,
     vm_ready_hist: Histogram,
+    slo_vms: usize,
+    slo_violation: SimDuration,
+    slo_burn_max: f64,
+}
+
+/// Admits the next migration from `queue` at instant `now` (relative to
+/// the group's start): picks the VM, accounts its bytes and — under
+/// [`ExecConfig::slo`] — its contention-stretched duration and SLO
+/// outcome, and returns `(duration, vm)` for the event queue.
+///
+/// Order: [`FleetOrder::SloAware`] re-prices every waiting VM at this
+/// instant and admits the least predicted SLO harm (ties fall to the
+/// shorter migration, then the lower VM index — deterministic); every
+/// other order takes the queue front (FIFO/SPDF pre-ordering happened at
+/// queue build time).
+fn admit_next<V: ClusterView + ?Sized>(
+    view: &V,
+    cfg: &ExecConfig,
+    memo: &mut ExecMemo,
+    out: &mut GroupOutcome,
+    queue: &mut std::collections::VecDeque<usize>,
+    now: SimTime,
+    sharers: u32,
+) -> Option<(SimDuration, usize)> {
+    let start = now.duration_since(SimTime::ZERO);
+    let pos = if cfg.fleet_order == FleetOrder::SloAware {
+        let mut best: Option<(SimDuration, SimDuration, usize, usize)> = None;
+        for (pos, &vm) in queue.iter().enumerate() {
+            let (time, _, _) = memo.migration(view, cfg, vm, sharers);
+            let (time, harm) = match cfg.slo.and_then(|s| vm_slo(view, &s, vm)) {
+                Some(slo) => {
+                    let t = contention_stretch(cfg, time, slo.traffic.bps_at(start));
+                    (t, slo.outcome(start, t, SimDuration::ZERO).violation)
+                }
+                None => (time, SimDuration::ZERO),
+            };
+            if best.is_none_or(|(h, t, v, _)| (harm, time, vm) < (h, t, v)) {
+                best = Some((harm, time, vm, pos));
+            }
+        }
+        best?.3
+    } else {
+        0
+    };
+    let vm = queue.remove(pos)?;
+    let (time, raw, wire) = memo.migration(view, cfg, vm, sharers);
+    out.raw_bytes += raw;
+    out.wire_bytes += wire;
+    let time = match cfg.slo.and_then(|s| vm_slo(view, &s, vm)) {
+        Some(slo) => {
+            let stretched = contention_stretch(cfg, time, slo.traffic.bps_at(start));
+            let o = slo.outcome(start, stretched, SimDuration::ZERO);
+            out.slo_vms += 1;
+            out.slo_violation += o.violation;
+            out.slo_burn_max = out.slo_burn_max.max(o.budget_burn);
+            stretched
+        }
+        None => time,
+    };
+    Some((time, vm))
 }
 
 /// Simulates one group: drain its migrations through the slot pool, then
@@ -407,6 +548,9 @@ fn run_group<V: ClusterView + ?Sized>(
         crash_recoveries: 0,
         vm_ready: Streaming::new(),
         vm_ready_hist: Histogram::new(READY_HIST_LO, READY_HIST_HI, READY_HIST_BUCKETS),
+        slo_vms: 0,
+        slo_violation: SimDuration::ZERO,
+        slo_burn_max: 0.0,
     };
 
     // Phase 1: drain the group's migrations through the slot pool. All
@@ -437,11 +581,8 @@ fn run_group<V: ClusterView + ?Sized>(
     let mut now = SimTime::ZERO;
     let mut in_flight = 0usize;
     while in_flight < slots {
-        match queue.pop_front() {
-            Some(vm) => {
-                let (time, raw, wire) = memo.migration(view, cfg, vm, sharers);
-                out.wire_bytes += wire;
-                out.raw_bytes += raw;
+        match admit_next(view, cfg, memo, &mut out, &mut queue, now, sharers) {
+            Some((time, vm)) => {
                 events.schedule(now + time, vm);
                 in_flight += 1;
             }
@@ -454,10 +595,7 @@ fn run_group<V: ClusterView + ?Sized>(
         out.ready_acc += offset;
         out.vm_ready.push(offset.as_secs_f64());
         out.vm_ready_hist.record(offset.as_secs_f64());
-        if let Some(vm) = queue.pop_front() {
-            let (time, raw, wire) = memo.migration(view, cfg, vm, sharers);
-            out.wire_bytes += wire;
-            out.raw_bytes += raw;
+        if let Some((time, vm)) = admit_next(view, cfg, memo, &mut out, &mut queue, now, sharers) {
             events.schedule(now + time, vm);
         }
     }
@@ -562,6 +700,9 @@ fn fold_outcomes(outcomes: impl Iterator<Item = GroupOutcome>) -> ExecReport {
         vm_ready: Streaming::new(),
         vm_ready_hist: Histogram::new(READY_HIST_LO, READY_HIST_HI, READY_HIST_BUCKETS),
         group_drain: Streaming::new(),
+        slo_vms: 0,
+        slo_violation: SimDuration::ZERO,
+        slo_max_budget_burn: 0.0,
     };
     let mut raw_bytes = 0u64;
     let mut ready_acc = SimDuration::ZERO;
@@ -580,6 +721,9 @@ fn fold_outcomes(outcomes: impl Iterator<Item = GroupOutcome>) -> ExecReport {
         report.vm_ready.merge(&g.vm_ready);
         report.vm_ready_hist.merge(&g.vm_ready_hist);
         report.group_drain.push(g.drain.as_secs_f64());
+        report.slo_vms += g.slo_vms;
+        report.slo_violation += g.slo_violation;
+        report.slo_max_budget_burn = report.slo_max_budget_burn.max(g.slo_burn_max);
     }
     report.wire_bytes_saved = raw_bytes.saturating_sub(report.wire_bytes_sent);
     report.mean_vm_ready = if report.migrations == 0 {
@@ -1133,6 +1277,108 @@ mod tests {
         );
         assert_eq!(again.total, inc.total);
         assert_eq!(again.inplace_time, inc.inplace_time);
+    }
+
+    #[test]
+    fn slo_accounting_defaults_off_and_reports_zero() {
+        let c = Cluster::paper_testbed(0, 42);
+        let plan = plan_upgrade(&c, 2).unwrap();
+        let r = execute(&c, &plan, &ExecConfig::default());
+        assert_eq!(r.slo_vms, 0);
+        assert_eq!(r.slo_violation, SimDuration::ZERO);
+        assert_eq!(r.slo_max_budget_burn, 0.0);
+        assert!(r.render().contains("slo_vms=0 slo_violation_ns=0"));
+    }
+
+    #[test]
+    fn slo_accounting_stretches_migrations_and_counts_violations() {
+        // The paper testbed migrates video-stream VMs (4 kQPS peak); with
+        // SLO accounting on, their traffic steals fabric share at
+        // admission time, so the migration phase must lengthen and the
+        // serving VMs must be accounted.
+        let c = Cluster::paper_testbed(0, 42);
+        let plan = plan_upgrade(&c, 2).unwrap();
+        let off = execute(&c, &plan, &ExecConfig::default());
+        let cfg = ExecConfig {
+            slo: Some(SloExecConfig::default()),
+            ..ExecConfig::default()
+        };
+        let on = execute(&c, &plan, &cfg);
+        assert_eq!(on.migrations, off.migrations);
+        assert!(on.slo_vms > 0, "video-stream VMs carry SLOs");
+        assert!(
+            on.migration_time >= off.migration_time,
+            "contention can only slow the fabric"
+        );
+        assert!(on.slo_max_budget_burn >= 0.0);
+        // Deterministic rerun.
+        let again = execute(&c, &plan, &cfg);
+        assert_eq!(on.render(), again.render());
+    }
+
+    #[test]
+    fn slo_aware_order_cuts_violation_seconds() {
+        // Blind FIFO admission migrates VMs whenever their turn comes;
+        // SLO-aware admission re-prices the queue at each slot and
+        // prefers VMs in their quiet windows. Same physics (slo armed in
+        // both), so the comparison is fair. A gigabit fabric stretches
+        // group drains enough that window placement matters; greedy
+        // least-harm admission must not lose to blind order by more
+        // than scheduling noise on any fabric.
+        let c = Cluster::paper_testbed(0, 42);
+        let plan = plan_upgrade(&c, 2).unwrap();
+        let slo = Some(SloExecConfig::default());
+        let run = |order| {
+            execute(
+                &c,
+                &plan,
+                &ExecConfig {
+                    slo,
+                    fleet_order: order,
+                    link: hypertp_migrate::Link::gigabit(),
+                    ..ExecConfig::default()
+                },
+            )
+        };
+        let blind = run(FleetOrder::Fifo);
+        let aware = run(FleetOrder::SloAware);
+        assert_eq!(blind.migrations, aware.migrations);
+        assert_eq!(blind.slo_vms, aware.slo_vms);
+        assert!(
+            aware.slo_violation.as_secs_f64() <= blind.slo_violation.as_secs_f64() * 1.01,
+            "aware {:?} !<= blind {:?}",
+            aware.slo_violation,
+            blind.slo_violation
+        );
+    }
+
+    #[test]
+    fn slo_aware_sharded_report_stays_byte_identical() {
+        let c = Cluster::paper_testbed(0, 42);
+        let plan = plan_upgrade(&c, 2).unwrap();
+        let cfg = ExecConfig {
+            slo: Some(SloExecConfig::default()),
+            fleet_order: FleetOrder::SloAware,
+            ..ExecConfig::default()
+        };
+        let baseline = execute(&c, &plan, &cfg);
+        for shards in [1usize, 3, 8] {
+            for workers in [1usize, 4] {
+                let r = execute_sharded_with(
+                    &c,
+                    &plan,
+                    &cfg,
+                    &FaultPlan::disarmed(),
+                    shards,
+                    &WorkerPool::new(workers),
+                );
+                assert_eq!(
+                    r.render(),
+                    baseline.render(),
+                    "shards={shards} workers={workers}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod planner;
 pub use campaign::{run_campaign, run_campaign_with, CampaignConfig, CampaignReport, WaveReport};
 pub use exec::{
     execute, execute_sharded, execute_sharded_with, execute_with_faults, ExecConfig, ExecReport,
+    SloExecConfig,
 };
 pub use model::{Cluster, ClusterView, ClusterVm, HostState, SyntheticCluster, VmView};
 pub use planner::{plan_upgrade, plan_upgrade_excluding, Action, Plan};

@@ -148,6 +148,13 @@ pub struct VmView {
     pub inplace_compatible: bool,
     /// The host the VM lives on before the plan runs.
     pub home: usize,
+    /// Peak request rate of the VM's workload class, queries/second
+    /// (zero for latency-metric and batch classes). Anchors the
+    /// executor's opt-in SLO accounting.
+    pub peak_qps: f64,
+    /// Fractional capacity lost while a pre-copy stream degrades the
+    /// guest ([`WorkloadProfile::migration_degradation`]).
+    pub migration_degradation: f64,
 }
 
 /// Read-only cluster access for the planner and executor.
@@ -210,6 +217,8 @@ impl ClusterView for Cluster {
             dirty_rate_pages_per_sec: v.profile.dirty_rate_pages_per_sec,
             inplace_compatible: v.config.inplace_compatible,
             home: v.host,
+            peak_qps: v.profile.peak_qps(),
+            migration_degradation: v.profile.migration_degradation,
         }
     }
 
@@ -254,6 +263,18 @@ fn mix(seed: u64, i: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Per-VM dirty-rate spread of the synthetic fleet: each VM draws one of
+/// these multipliers (seeded, deterministic) around its workload class's
+/// calibrated rate, so dirty rates vary per VM while staying anchored to
+/// the class. The set is deliberately small and discrete — the executor
+/// memoizes migration estimates per `(memory, dirty-rate, sharers)` key,
+/// and `classes × 4` distinct rates keep that memo a handful of entries
+/// fleet-wide instead of one per VM.
+const DIRTY_MULTIPLIERS: [f64; 4] = [0.5, 0.8, 1.0, 1.6];
+
+/// Salt decorrelating the dirty-rate draw from the compat coin flip.
+const DIRTY_SALT: u64 = 0xd1a7_0b5e_ed5a_17ed;
+
 impl SyntheticCluster {
     /// Sets the VM count per host (default 10).
     pub fn with_vms_per_host(mut self, n: usize) -> Self {
@@ -272,24 +293,19 @@ impl SyntheticCluster {
         self.seed
     }
 
-    /// The dirty rate of a VM's workload class, by slot — same 30/30/40
+    /// The workload profile of a VM's slot — same 30/30/40
     /// video/cpu/idle mix as the paper testbed.
-    fn dirty_rate_for_slot(slot: usize) -> f64 {
-        match slot % 10 {
-            0..=2 => WorkloadProfile::video_stream().dirty_rate_pages_per_sec,
-            3..=5 => WorkloadProfile::cpu_mem().dirty_rate_pages_per_sec,
-            _ => WorkloadProfile::idle().dirty_rate_pages_per_sec,
-        }
-    }
-
-    /// The workload profile of a VM's slot (used by
-    /// [`SyntheticCluster::materialize`]).
     fn profile_for_slot(slot: usize) -> WorkloadProfile {
         match slot % 10 {
             0..=2 => WorkloadProfile::video_stream(),
             3..=5 => WorkloadProfile::cpu_mem(),
             _ => WorkloadProfile::idle(),
         }
+    }
+
+    /// The VM's seeded dirty-rate multiplier (see [`DIRTY_MULTIPLIERS`]).
+    fn dirty_multiplier(&self, vm: usize) -> f64 {
+        DIRTY_MULTIPLIERS[(mix(self.seed ^ DIRTY_SALT, vm as u64) % 4) as usize]
     }
 
     fn is_compat(&self, vm: usize) -> bool {
@@ -313,10 +329,15 @@ impl SyntheticCluster {
                 let config = VmConfig::small(format!("vm-{host}-{slot}"))
                     .with_memory_gb(4)
                     .with_inplace_compatible(self.is_compat(i));
+                // The materialized profile carries the same seeded per-VM
+                // dirty rate the lazy view derives, so both sides of the
+                // equivalence tests see identical VMs.
+                let mut profile = Self::profile_for_slot(slot);
+                profile.dirty_rate_pages_per_sec *= self.dirty_multiplier(i);
                 ClusterVm {
                     name: config.name.clone(),
                     config,
-                    profile: Self::profile_for_slot(slot),
+                    profile,
                     host,
                 }
             })
@@ -348,11 +369,14 @@ impl ClusterView for SyntheticCluster {
 
     fn vm(&self, vm: usize) -> VmView {
         debug_assert!(vm < self.vm_count());
+        let profile = Self::profile_for_slot(vm % self.vms_per_host);
         VmView {
             memory_gb: 4,
-            dirty_rate_pages_per_sec: Self::dirty_rate_for_slot(vm % self.vms_per_host),
+            dirty_rate_pages_per_sec: profile.dirty_rate_pages_per_sec * self.dirty_multiplier(vm),
             inplace_compatible: self.is_compat(vm),
             home: vm / self.vms_per_host,
+            peak_qps: profile.peak_qps(),
+            migration_degradation: profile.migration_degradation,
         }
     }
 
@@ -426,6 +450,54 @@ mod tests {
             assert_eq!(syn.vm(v), mat.vm(v), "vm {v}");
             assert_eq!(syn.vm_name(v), mat.vm_name(v));
         }
+    }
+
+    #[test]
+    fn synthetic_dirty_rates_spread_per_vm_but_stay_class_anchored() {
+        let syn = Cluster::synthetic(50, 0xd1ff);
+        let mat = syn.materialize();
+        let mut distinct: Vec<u64> = Vec::new();
+        for v in 0..syn.vm_count() {
+            let view = syn.vm(v);
+            // Materialize-identity: the lazy view and the Vec-backed
+            // cluster derive the same per-VM dirty rate.
+            assert_eq!(
+                view.dirty_rate_pages_per_sec,
+                mat.vm(v).dirty_rate_pages_per_sec,
+                "vm {v}"
+            );
+            // Class-anchored: the rate is the slot profile's rate scaled
+            // by one of the discrete multipliers.
+            let base = SyntheticCluster::profile_for_slot(v % 10).dirty_rate_pages_per_sec;
+            assert!(
+                DIRTY_MULTIPLIERS
+                    .iter()
+                    .any(|m| (view.dirty_rate_pages_per_sec - base * m).abs() < 1e-9),
+                "vm {v}: rate {} not a multiplier of class base {base}",
+                view.dirty_rate_pages_per_sec
+            );
+            distinct.push(view.dirty_rate_pages_per_sec.to_bits());
+        }
+        distinct.sort_unstable();
+        distinct.dedup();
+        // Spread exists (more rates than classes) but the executor memo
+        // stays bounded (at most classes × multipliers keys).
+        assert!(distinct.len() > 3, "only {} distinct rates", distinct.len());
+        assert!(
+            distinct.len() <= 3 * DIRTY_MULTIPLIERS.len(),
+            "{} distinct rates would bloat the exec memo",
+            distinct.len()
+        );
+        // Same class, different VMs: slots 0 and 10 are both video-stream
+        // on this seed spread — scan for at least one differing pair.
+        let video_rates: Vec<f64> = (0..syn.vm_count())
+            .filter(|v| v % 10 <= 2)
+            .map(|v| syn.vm(v).dirty_rate_pages_per_sec)
+            .collect();
+        assert!(
+            video_rates.iter().any(|&r| r != video_rates[0]),
+            "per-VM spread missing within the video class"
+        );
     }
 
     #[test]

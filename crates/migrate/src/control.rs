@@ -29,6 +29,29 @@
 //! The controller is **inactive by default**: with `downtime_budget: None`
 //! and `auto_converge: false` every decision collapses to the static
 //! configuration, keeping the pinned §5.2 timing tests byte-identical.
+//!
+//! The SLO-aware layer (PR 9) adds the *user-visible* harm vocabulary on
+//! top of the hardware-side one:
+//!
+//! * [`LinkContention`] models workload traffic sharing the migration
+//!   NIC: the pre-copy stream only gets what the guests leave over (with
+//!   a TCP-fairness floor), so transfers stretch — and because the
+//!   engine feeds the stretched transfers straight into
+//!   [`PrecopyController::observe_round`], the throughput/drain
+//!   estimators and the budget→pages conversion degrade honestly under
+//!   contention instead of assuming an idle link.
+//! * [`TrafficCurve`] is the scheduler's view of one VM's deterministic
+//!   diurnal load; [`SloVm`] couples it to the VM's degraded capacity
+//!   and error budget, and prices a migration window in
+//!   *violation-seconds* ([`SloVm::outcome`]).
+//! * [`FleetOrder::SloAware`] admits by predicted harm: at every free
+//!   slot the waiting VM whose migration would violate least *right
+//!   now* goes first, which pushes hot-traffic VMs toward their
+//!   low-QPS windows as the fleet drains.
+//!
+//! Everything here is opt-in: a [`FleetVm`] without an [`SloVm`] carries
+//! no traffic, contends with nothing and accounts nothing, so default
+//! fleets stay byte-identical.
 
 use hypertp_core::VmId;
 use hypertp_machine::PAGE_SIZE;
@@ -292,6 +315,249 @@ impl PrecopyController {
     }
 }
 
+/// Shared-NIC contention: workload traffic and the pre-copy stream split
+/// one link. The stream gets the *leftover* bandwidth — line rate minus
+/// the guests' traffic — but never less than
+/// [`LinkContention::min_migration_share`] of the link (TCP fairness: a
+/// bulk stream is never starved outright). `workload_bps: 0.0` (the
+/// default) reproduces the uncontended link bit-for-bit, so every pinned
+/// §5.2 timing test is untouched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkContention {
+    /// Workload traffic sharing the NIC with this migration, bytes/second.
+    pub workload_bps: f64,
+    /// Floor fraction of the effective link the pre-copy stream always
+    /// keeps, however hot the workload runs.
+    pub min_migration_share: f64,
+}
+
+impl LinkContention {
+    /// No workload traffic: the uncontended link, byte-identical.
+    pub const NONE: LinkContention = LinkContention {
+        workload_bps: 0.0,
+        min_migration_share: 0.25,
+    };
+
+    /// Contention from `workload_bps` bytes/second of guest traffic.
+    pub fn new(workload_bps: f64) -> Self {
+        LinkContention {
+            workload_bps,
+            ..LinkContention::NONE
+        }
+    }
+
+    /// Fraction of the effective link left to the pre-copy stream
+    /// (1.0 when uncontended, floored at `min_migration_share`).
+    pub fn share(&self, link: &Link) -> f64 {
+        if self.workload_bps <= 0.0 {
+            return 1.0;
+        }
+        let line_bps = link.gbps * link.efficiency * 1e9 / 8.0;
+        if line_bps <= 0.0 {
+            return 1.0;
+        }
+        ((line_bps - self.workload_bps) / line_bps)
+            .max(self.min_migration_share.clamp(0.01, 1.0))
+            .min(1.0)
+    }
+
+    /// The link as the migration experiences it: efficiency scaled by the
+    /// migration's bandwidth share. Returns the link unchanged when
+    /// uncontended (same bits, not just the same value).
+    pub fn contended(&self, link: &Link) -> Link {
+        let share = self.share(link);
+        if share >= 1.0 {
+            *link
+        } else {
+            Link {
+                efficiency: link.efficiency * share,
+                ..*link
+            }
+        }
+    }
+}
+
+impl Default for LinkContention {
+    fn default() -> Self {
+        LinkContention::NONE
+    }
+}
+
+/// One VM's deterministic diurnal load as the fleet scheduler sees it: a
+/// raised-cosine hump of `period` (a simulated day) peaking at
+/// `peak_offset`, scaled between `trough_fraction · peak_qps` and
+/// `peak_qps`. `sharpness` raises the hump to a power, narrowing the
+/// peak (real diurnal mixes spend most of the day off-peak). Pure
+/// arithmetic on the query clock — no RNG, no global state — so every
+/// evaluation is deterministic and worker-count invariant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficCurve {
+    /// Peak load, queries/second.
+    pub peak_qps: f64,
+    /// Trough load as a fraction of peak (0 = dead at night, 1 = flat).
+    pub trough_fraction: f64,
+    /// When in the period the peak occurs.
+    pub peak_offset: SimDuration,
+    /// Length of the diurnal cycle (24 h for a real day).
+    pub period: SimDuration,
+    /// Cosine-hump exponent; 1 = plain cosine, larger = narrower peak.
+    pub sharpness: u32,
+    /// Wire bytes each query puts on the shared NIC (couples QPS to
+    /// [`LinkContention::workload_bps`]).
+    pub bytes_per_query: f64,
+}
+
+impl TrafficCurve {
+    /// A 24-hour simulated day.
+    pub const DAY: SimDuration = SimDuration::from_secs(86_400);
+
+    /// A flat (traffic-free) curve: utilization 0 everywhere.
+    pub const IDLE: TrafficCurve = TrafficCurve {
+        peak_qps: 0.0,
+        trough_fraction: 0.0,
+        peak_offset: SimDuration::ZERO,
+        period: TrafficCurve::DAY,
+        sharpness: 1,
+        bytes_per_query: 0.0,
+    };
+
+    /// Utilization (0..=1, fraction of peak) at `t` from the curve's
+    /// epoch; wraps modulo the period.
+    pub fn utilization_at(&self, t: SimDuration) -> f64 {
+        if self.peak_qps <= 0.0 {
+            return 0.0;
+        }
+        let p = self.period.as_nanos();
+        if p == 0 {
+            return 1.0;
+        }
+        let off = self.peak_offset.as_nanos() % p;
+        let x = (t.as_nanos() % p + p - off) % p;
+        let frac = x as f64 / p as f64;
+        let hump = 0.5 + 0.5 * (core::f64::consts::TAU * frac).cos();
+        let hump = hump.powi(self.sharpness.max(1) as i32);
+        let tf = self.trough_fraction.clamp(0.0, 1.0);
+        tf + (1.0 - tf) * hump
+    }
+
+    /// Load at `t`, queries/second.
+    pub fn qps_at(&self, t: SimDuration) -> f64 {
+        self.peak_qps * self.utilization_at(t)
+    }
+
+    /// NIC bytes/second the workload puts on the shared link at `t`.
+    pub fn bps_at(&self, t: SimDuration) -> f64 {
+        self.qps_at(t) * self.bytes_per_query
+    }
+
+    /// Start offset (within one period, stepped at `step`) of the
+    /// `window`-long interval with the lowest mean utilization — the
+    /// VM's predicted low-QPS window. Deterministic first-minimum rule.
+    pub fn min_window_start(&self, window: SimDuration, step: SimDuration) -> SimDuration {
+        let p = self.period.as_nanos();
+        let s = step.as_nanos().max(1);
+        let mut best = (f64::INFINITY, SimDuration::ZERO);
+        let mut t = 0u64;
+        while t < p.max(1) {
+            let start = SimDuration::from_nanos(t);
+            let mid = start + SimDuration::from_nanos(window.as_nanos() / 2);
+            let u = (self.utilization_at(start)
+                + self.utilization_at(mid)
+                + self.utilization_at(start + window))
+                / 3.0;
+            if u < best.0 {
+                best = (u, start);
+            }
+            t += s;
+        }
+        best.1
+    }
+}
+
+/// Result of pricing one VM's migration window against its SLO.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VmSloOutcome {
+    /// Seconds of the migration during which the VM could not meet its
+    /// SLO: pre-copy seconds where offered load exceeded the degraded
+    /// capacity, plus the blackout whenever the VM was serving at all.
+    pub violation: SimDuration,
+    /// `violation` as a fraction of the VM's error budget (>1 = budget
+    /// blown by this migration alone).
+    pub budget_burn: f64,
+    /// Mean utilization over the pre-copy window (scheduling telemetry:
+    /// low means the scheduler found a quiet window).
+    pub mean_utilization: f64,
+}
+
+/// Per-VM SLO attachment of a [`FleetVm`]: the VM's traffic curve plus
+/// the two numbers that turn a migration window into harm. Derived from
+/// a workload profile by `hypertp-workloads`' `SloSpec`/`TrafficModel`;
+/// this crate only consumes the distilled form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloVm {
+    /// The VM's diurnal load.
+    pub traffic: TrafficCurve,
+    /// Fraction of peak capacity still available while a pre-copy stream
+    /// degrades the guest (1 − migration degradation, tightened further
+    /// by a strict p99 target). Offered load above this violates.
+    pub degraded_capacity: f64,
+    /// Violation-seconds allowance per day (the SLO's error budget).
+    pub error_budget: SimDuration,
+}
+
+impl SloVm {
+    /// True when migrating at `t` would violate the SLO: the offered
+    /// load exceeds what the degraded guest can serve.
+    pub fn violates_at(&self, t: SimDuration) -> bool {
+        self.traffic.utilization_at(t) > self.degraded_capacity.clamp(0.0, 1.0)
+    }
+
+    /// Prices a migration scheduled at `start` with the given pre-copy
+    /// and blackout durations: per-second sampling of the pre-copy
+    /// window (deterministic — pure curve arithmetic, fractional tail
+    /// weighted), blackout counted in full whenever the VM had traffic.
+    pub fn outcome(
+        &self,
+        start: SimDuration,
+        precopy: SimDuration,
+        downtime: SimDuration,
+    ) -> VmSloOutcome {
+        let total = precopy.as_secs_f64();
+        let whole = total.floor() as u64;
+        let frac = total - whole as f64;
+        let mut violated = 0.0f64;
+        let mut util_sum = 0.0f64;
+        for k in 0..whole {
+            let t = start + SimDuration::from_secs(k);
+            util_sum += self.traffic.utilization_at(t);
+            if self.violates_at(t) {
+                violated += 1.0;
+            }
+        }
+        if frac > 0.0 {
+            let t = start + SimDuration::from_secs(whole);
+            util_sum += self.traffic.utilization_at(t) * frac;
+            if self.violates_at(t) {
+                violated += frac;
+            }
+        }
+        // Blackout: the VM serves nothing, so any offered load violates.
+        if self.traffic.qps_at(start + precopy) > 1e-9 {
+            violated += downtime.as_secs_f64();
+        }
+        let denom = whole as f64 + frac;
+        VmSloOutcome {
+            violation: SimDuration::from_secs_f64(violated),
+            budget_burn: violated / self.error_budget.as_secs_f64().max(1e-9),
+            mean_utilization: if denom > 0.0 {
+                util_sum / denom
+            } else {
+                self.traffic.utilization_at(start)
+            },
+        }
+    }
+}
+
 /// Admission/ordering policy of a fleet migration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FleetOrder {
@@ -316,6 +582,19 @@ pub enum FleetOrder {
     /// [`crate::engine::FleetReport::admission_predictions`] for
     /// predicted-vs-actual telemetry.
     Repredict,
+    /// Least-predicted-harm-first: at every free slot the scheduler
+    /// re-prices each waiting VM's migration *at the slot's current
+    /// time* — contended pre-copy prediction ([`LinkContention`] from
+    /// the VM's own traffic) fed through [`SloVm::outcome`] — and admits
+    /// the one whose predicted SLO violation-seconds are smallest
+    /// (predicted stop-and-copy, then input index, break ties). VMs in
+    /// their low-QPS window cost nothing and drain first; hot-traffic
+    /// VMs are pushed back and picked up when the fleet drain reaches
+    /// their quiet window. VMs without an [`SloVm`] attachment are
+    /// harmless by definition and admit ahead of any violating VM, in
+    /// SPDF order. Work-conserving: a slot never idles waiting for a
+    /// window, so the makespan stays within a whisker of SPDF.
+    SloAware,
 }
 
 impl FleetOrder {
@@ -325,6 +604,7 @@ impl FleetOrder {
             FleetOrder::Fifo => "fifo",
             FleetOrder::ShortestPredictedFirst => "spdf",
             FleetOrder::Repredict => "repredict",
+            FleetOrder::SloAware => "slo",
         }
     }
 }
@@ -356,14 +636,21 @@ impl Default for FleetPolicy {
 }
 
 /// One fleet member: the VM plus an optional per-VM dirty-rate override
-/// (pages/second) for heterogeneous fleets; `None` uses the engine
-/// config's global rate.
+/// (pages/second) for heterogeneous fleets (`None` uses the engine
+/// config's global rate) and an optional SLO attachment. A VM with an
+/// [`SloVm`] contends its own traffic against its pre-copy stream on the
+/// shared NIC and has its violation-seconds accounted in the fleet
+/// report, under *every* order — the physics applies whether or not the
+/// scheduler looks at it.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FleetVm {
     /// The VM to migrate.
     pub id: VmId,
     /// Per-VM dirty rate override.
     pub dirty_rate: Option<f64>,
+    /// Traffic curve + SLO of the VM (`None` = no traffic, no
+    /// contention, no accounting — the legacy behaviour).
+    pub slo: Option<SloVm>,
 }
 
 impl FleetVm {
@@ -372,6 +659,7 @@ impl FleetVm {
         FleetVm {
             id,
             dirty_rate: None,
+            slo: None,
         }
     }
 
@@ -380,7 +668,14 @@ impl FleetVm {
         FleetVm {
             id,
             dirty_rate: Some(rate),
+            slo: None,
         }
+    }
+
+    /// Builder-style: attach a traffic curve + SLO.
+    pub fn with_slo(mut self, slo: SloVm) -> Self {
+        self.slo = Some(slo);
+        self
     }
 }
 
@@ -407,6 +702,10 @@ pub struct PredictInput<'a> {
     pub compression_hint: f64,
     /// Fixed stop-and-copy cost (activation + UISR + latency).
     pub stop_fixed: SimDuration,
+    /// Workload traffic contending for the link
+    /// ([`LinkContention::NONE`] reproduces the uncontended model
+    /// bit-for-bit).
+    pub contention: LinkContention,
 }
 
 /// Output of [`predict_migration`].
@@ -431,6 +730,7 @@ pub struct MigrationPrediction {
 /// actual telemetry — a cheap model, not a promise.
 pub fn predict_migration(input: &PredictInput<'_>) -> MigrationPrediction {
     let cfg = input.config;
+    let link = input.contention.contended(&cfg.link);
     let page_bytes = |pages: u64| -> u64 {
         match cfg.wire_mode {
             WireMode::Raw => pages * PAGE_SIZE,
@@ -445,7 +745,7 @@ pub fn predict_migration(input: &PredictInput<'_>) -> MigrationPrediction {
     let mut precopy = SimDuration::ZERO;
     let mut rounds = 0u32;
     let stop_pages = loop {
-        let duration = cfg.link.transfer(page_bytes(to_send), input.sharers)
+        let duration = link.transfer(page_bytes(to_send), input.sharers)
             + input.perf.cpu(input.ghz_s_per_page * to_send as f64)
             + SimDuration::from_secs_f64(input.round_overhead_s);
         precopy += duration;
@@ -456,7 +756,7 @@ pub fn predict_migration(input: &PredictInput<'_>) -> MigrationPrediction {
         }
         to_send = dirtied;
     };
-    let stop_copy = cfg.link.transfer(page_bytes(stop_pages), input.sharers) + input.stop_fixed;
+    let stop_copy = link.transfer(page_bytes(stop_pages), input.sharers) + input.stop_fixed;
     MigrationPrediction {
         rounds,
         precopy,
@@ -642,6 +942,7 @@ mod tests {
             round_overhead_s: 0.05,
             compression_hint: 1.0,
             stop_fixed: SimDuration::from_millis(5),
+            contention: LinkContention::NONE,
         };
         let idle = predict_migration(&mk(1.0));
         assert_eq!(idle.rounds, 1, "idle VM stops after the full copy");
@@ -677,6 +978,7 @@ mod tests {
                 round_overhead_s: 0.05,
                 compression_hint: 1.0,
                 stop_fixed: SimDuration::from_millis(5),
+                contention: LinkContention::NONE,
             })
         };
         let small = mk(65_536, 1.0);
@@ -695,5 +997,122 @@ mod tests {
         assert_eq!(p.compression_hint, 1.0);
         assert_eq!(FleetOrder::Fifo.name(), "fifo");
         assert_eq!(FleetOrder::ShortestPredictedFirst.name(), "spdf");
+        assert_eq!(FleetOrder::SloAware.name(), "slo");
+    }
+
+    #[test]
+    fn uncontended_link_is_bit_identical() {
+        let link = Link::gigabit();
+        let c = LinkContention::NONE;
+        let out = c.contended(&link);
+        assert_eq!(out.gbps.to_bits(), link.gbps.to_bits());
+        assert_eq!(out.efficiency.to_bits(), link.efficiency.to_bits());
+        assert_eq!(out.latency, link.latency);
+        assert_eq!(c.share(&link), 1.0);
+        // Negative traffic is treated as none.
+        let neg = LinkContention::new(-5.0).contended(&link);
+        assert_eq!(neg.efficiency.to_bits(), link.efficiency.to_bits());
+    }
+
+    #[test]
+    fn contention_scales_and_floors_the_link() {
+        let link = Link::gigabit(); // 0.93 × 1 Gbps ≈ 116 MB/s effective
+        let line = link.gbps * link.efficiency * 1e9 / 8.0;
+        // Half the line busy: the stream keeps the other half.
+        let half = LinkContention::new(line / 2.0);
+        assert!((half.share(&link) - 0.5).abs() < 1e-12);
+        let t_idle = link.transfer(1 << 30, 1);
+        let t_half = half.contended(&link).transfer(1 << 30, 1);
+        let ratio = t_half.as_secs_f64() / t_idle.as_secs_f64();
+        assert!((1.9..2.1).contains(&ratio), "ratio = {ratio}");
+        // Saturated workload: the fairness floor keeps 25%.
+        let hog = LinkContention::new(line * 10.0);
+        assert_eq!(hog.share(&link), 0.25);
+    }
+
+    #[test]
+    fn contended_prediction_is_slower_and_monotone() {
+        let cfg = MigrationConfig::default();
+        let mk = |bps: f64| {
+            predict_migration(&PredictInput {
+                pages: 262_144,
+                dirty_rate: 1.0,
+                config: &cfg,
+                sharers: 1,
+                perf: perf(),
+                ghz_s_per_page: 1.0e-6,
+                round_overhead_s: 0.05,
+                compression_hint: 1.0,
+                stop_fixed: SimDuration::from_millis(5),
+                contention: LinkContention::new(bps),
+            })
+        };
+        let idle = mk(0.0);
+        let busy = mk(50e6);
+        let hot = mk(100e6);
+        assert!(idle.precopy < busy.precopy);
+        assert!(busy.precopy < hot.precopy);
+    }
+
+    #[test]
+    fn traffic_curve_peaks_and_troughs_where_told() {
+        let c = TrafficCurve {
+            peak_qps: 1000.0,
+            trough_fraction: 0.1,
+            peak_offset: SimDuration::from_secs(6 * 3600),
+            period: TrafficCurve::DAY,
+            sharpness: 1,
+            bytes_per_query: 100.0,
+        };
+        let at = |h: u64| c.utilization_at(SimDuration::from_secs(h * 3600));
+        assert!((at(6) - 1.0).abs() < 1e-9, "peak at its offset");
+        assert!((at(18) - 0.1).abs() < 1e-9, "trough half a day later");
+        assert!((c.qps_at(SimDuration::from_secs(6 * 3600)) - 1000.0).abs() < 1e-9);
+        assert!((c.bps_at(SimDuration::from_secs(6 * 3600)) - 100_000.0).abs() < 1e-6);
+        // Wraps modulo the period.
+        assert!((at(6 + 24) - 1.0).abs() < 1e-9);
+        // Sharpening narrows the peak but keeps its height.
+        let sharp = TrafficCurve { sharpness: 3, ..c };
+        assert!((sharp.utilization_at(SimDuration::from_secs(6 * 3600)) - 1.0).abs() < 1e-9);
+        assert!(
+            sharp.utilization_at(SimDuration::from_secs(9 * 3600))
+                < c.utilization_at(SimDuration::from_secs(9 * 3600))
+        );
+        // The min window lands in the trough.
+        let w = c.min_window_start(SimDuration::from_secs(600), SimDuration::from_secs(900));
+        let hours = w.as_secs_f64() / 3600.0;
+        assert!((16.0..20.0).contains(&hours), "min window at {hours}h");
+        assert_eq!(TrafficCurve::IDLE.utilization_at(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn slo_outcome_prices_hot_windows_not_quiet_ones() {
+        let slo = SloVm {
+            traffic: TrafficCurve {
+                peak_qps: 1000.0,
+                trough_fraction: 0.05,
+                peak_offset: SimDuration::ZERO,
+                period: TrafficCurve::DAY,
+                sharpness: 1,
+                bytes_per_query: 100.0,
+            },
+            degraded_capacity: 0.6,
+            error_budget: SimDuration::from_secs(120),
+        };
+        let precopy = SimDuration::from_secs(100);
+        let dt = SimDuration::from_millis(500);
+        // At the peak the whole pre-copy violates, plus the blackout.
+        let hot = slo.outcome(SimDuration::ZERO, precopy, dt);
+        assert!((hot.violation.as_secs_f64() - 100.5).abs() < 1e-6);
+        assert!((hot.budget_burn - 100.5 / 120.0).abs() < 1e-6);
+        assert!(hot.mean_utilization > 0.99);
+        // In the trough nothing violates but the blackout (traffic > 0).
+        let quiet = slo.outcome(SimDuration::from_secs(12 * 3600), precopy, dt);
+        assert!((quiet.violation.as_secs_f64() - 0.5).abs() < 1e-6);
+        assert!(quiet.mean_utilization < 0.1);
+        // Zero-length pre-copy still reports a defined utilization.
+        let point = slo.outcome(SimDuration::ZERO, SimDuration::ZERO, SimDuration::ZERO);
+        assert!((point.mean_utilization - 1.0).abs() < 1e-9);
+        assert_eq!(point.violation, SimDuration::ZERO);
     }
 }

@@ -9,8 +9,8 @@ use hypertp_sim::hash::{digest_pages_with_pool, Digest128};
 use hypertp_sim::{CostModel, Ewma, SimDuration, SimTime, WorkerPool};
 
 use crate::control::{
-    predict_migration, ControlConfig, FleetOrder, FleetPolicy, FleetVm, MigrationPrediction,
-    PrecopyController, PredictInput, UISR_BYTES_ALLOWANCE,
+    predict_migration, ControlConfig, FleetOrder, FleetPolicy, FleetVm, LinkContention,
+    MigrationPrediction, PrecopyController, PredictInput, VmSloOutcome, UISR_BYTES_ALLOWANCE,
 };
 use crate::framing::FrameRing;
 use crate::network::{Link, WireFrame, WireStats};
@@ -1251,6 +1251,14 @@ pub struct FleetReport {
     pub policy: FleetPolicy,
     /// Admission order chosen by the scheduler (indices into the input).
     pub admission: Vec<usize>,
+    /// Per-VM pre-copy start instants (from fleet start), in input order
+    /// — the schedule the SLO accounting prices.
+    pub starts: Vec<SimDuration>,
+    /// Per-VM SLO outcomes, in input order: `Some` for every
+    /// [`FleetVm`] that carried an [`crate::SloVm`] attachment (priced
+    /// against its actual schedule — start, contended pre-copy, real
+    /// downtime), `None` for traffic-free VMs.
+    pub slo: Vec<Option<VmSloOutcome>>,
     /// Instant (from fleet start) the last VM became ready.
     pub makespan: SimDuration,
 }
@@ -1316,6 +1324,31 @@ impl FleetReport {
         }
         errs.iter().map(|e| e.abs()).sum::<f64>() / errs.len() as f64
     }
+
+    /// Total SLO violation-seconds across the fleet (zero when no VM
+    /// carried an SLO).
+    pub fn total_violation(&self) -> SimDuration {
+        self.slo
+            .iter()
+            .flatten()
+            .map(|o| o.violation)
+            .sum::<SimDuration>()
+    }
+
+    /// Worst per-VM error-budget burn (fraction of the daily budget one
+    /// migration consumed; 0.0 when no VM carried an SLO).
+    pub fn max_budget_burn(&self) -> f64 {
+        self.slo
+            .iter()
+            .flatten()
+            .map(|o| o.budget_burn)
+            .fold(0.0, f64::max)
+    }
+
+    /// Number of fleet members that carried an SLO attachment.
+    pub fn slo_vm_count(&self) -> usize {
+        self.slo.iter().flatten().count()
+    }
 }
 
 /// Migrates a fleet of VMs under a [`FleetPolicy`]: convergence-aware
@@ -1328,7 +1361,14 @@ impl FleetReport {
 /// * **Ordering**: [`FleetOrder::Fifo`] admits in input order;
 ///   [`FleetOrder::ShortestPredictedFirst`] admits by predicted
 ///   stop-and-copy time ([`predict_migration`]), so small/idle VMs clear
-///   the (sequential) receiver before the heavyweights park on it.
+///   the (sequential) receiver before the heavyweights park on it;
+///   [`FleetOrder::SloAware`] admits by predicted SLO harm at the slot's
+///   current time, steering hot-traffic VMs toward their low-QPS windows.
+/// * **SLO physics**: a [`FleetVm`] carrying an [`crate::SloVm`]
+///   contends its traffic against its pre-copy stream
+///   ([`LinkContention`]) and has its violation-seconds and error-budget
+///   burn accounted in [`FleetReport::slo`] — under *every* order, so
+///   SLO-blind baselines feel the same contention they ignore.
 /// * **Receive side**: sequential when the destination is Xen (each
 ///   stop-and-copy queues behind the previous one, §5.2.2), parallel for
 ///   kvmtool — as in [`migrate_many`].
@@ -1377,6 +1417,7 @@ pub fn migrate_fleet(
             round_overhead_s: tp.cost.migrate_round_overhead_s,
             compression_hint: policy.compression_hint,
             stop_fixed,
+            contention: LinkContention::NONE,
         }));
     }
 
@@ -1416,6 +1457,7 @@ pub fn migrate_fleet(
                     round_overhead_s: tp.cost.migrate_round_overhead_s,
                     compression_hint: compression.get_or(policy.compression_hint),
                     stop_fixed,
+                    contention: LinkContention::NONE,
                 });
                 let better = match &best {
                     None => true,
@@ -1452,6 +1494,73 @@ pub fn migrate_fleet(
                     compression.observe(last.compression_est);
                 }
             }
+            phases[i] = Some((vm.id, phase, start));
+        }
+    } else if policy.order == FleetOrder::SloAware {
+        // Least-predicted-harm admission: at each free slot, re-price
+        // every waiting VM's migration *at the slot's current time* —
+        // the pre-copy prediction contended by the VM's own traffic,
+        // priced in violation-seconds by its SLO — and admit the
+        // cheapest (predicted stop-and-copy, then input index, break
+        // ties: harmless VMs drain in SPDF order). Hot-traffic VMs are
+        // pushed back and picked up when the advancing fleet clock
+        // reaches their low-QPS window. Work-conserving: a slot never
+        // idles waiting for a window.
+        let mut remaining: Vec<usize> = (0..n).collect();
+        admission.clear();
+        while !remaining.is_empty() {
+            let now = slot_free
+                .iter()
+                .copied()
+                .min()
+                .expect("slots >= 1 when vms is non-empty");
+            let mut best: Option<(SimDuration, SimDuration, usize, MigrationPrediction)> = None;
+            for &i in &remaining {
+                let (pages, base_rate, stop_fixed) = pred_inputs[i];
+                let contention = match vms[i].slo {
+                    Some(s) => LinkContention::new(s.traffic.bps_at(now)),
+                    None => LinkContention::NONE,
+                };
+                let pred = predict_migration(&PredictInput {
+                    pages,
+                    dirty_rate: base_rate,
+                    config: &tp.config,
+                    sharers,
+                    perf,
+                    ghz_s_per_page: tp.cost.migrate_ghz_s_per_page,
+                    round_overhead_s: tp.cost.migrate_round_overhead_s,
+                    compression_hint: policy.compression_hint,
+                    stop_fixed,
+                    contention,
+                });
+                let harm = match vms[i].slo {
+                    Some(s) => s.outcome(now, pred.precopy, pred.stop_copy).violation,
+                    None => SimDuration::ZERO,
+                };
+                let better = match &best {
+                    None => true,
+                    Some((h, stop, idx, _)) => (harm, pred.stop_copy, i) < (*h, *stop, *idx),
+                };
+                if better {
+                    best = Some((harm, pred.stop_copy, i, pred));
+                }
+            }
+            let (_, _, i, pred) = best.expect("remaining is non-empty");
+            admission_predictions[i] = pred;
+            remaining.retain(|&j| j != i);
+            admission.push(i);
+            let vm = vms[i];
+            let (phase, start) = run_fleet_phase(
+                tp,
+                src_machine,
+                src_hv,
+                vm,
+                dst_machine,
+                dst_hv,
+                sharers,
+                &mut slot_free,
+            )?;
+            debug_assert_eq!(start, now, "admission priced at the slot it got");
             phases[i] = Some((vm.id, phase, start));
         }
     } else {
@@ -1510,20 +1619,57 @@ pub fn migrate_fleet(
         dst_hv.resume_vm(phase.dst_id)?;
         src_hv.destroy_vm(src_machine, *id)?;
     }
+    let reports: Vec<MigrationReport> =
+        out.into_iter().map(|r| r.expect("all scheduled")).collect();
+    // Price every SLO-carrying VM's migration against the schedule it
+    // actually got: its start, its (contention-stretched) pre-copy and
+    // the real downtime including receiver queuing. The accounting runs
+    // under every order — the baseline schedulers are *blind* to the
+    // harm, not exempt from it.
+    let starts: Vec<SimDuration> = phases
+        .iter()
+        .map(|p| p.as_ref().expect("all scheduled").2)
+        .collect();
+    let slo: Vec<Option<VmSloOutcome>> = (0..n)
+        .map(|i| {
+            vms[i].slo.map(|s| {
+                let (_, phase, start) = phases[i].as_ref().expect("all scheduled");
+                s.outcome(*start, phase.precopy, reports[i].downtime)
+            })
+        })
+        .collect();
     Ok(FleetReport {
-        reports: out.into_iter().map(|r| r.expect("all scheduled")).collect(),
+        reports,
         predictions,
         admission_predictions,
         policy,
         admission,
+        starts,
+        slo,
         makespan,
     })
 }
 
 /// Runs one fleet member's data phase on the earliest-free slot and
 /// advances that slot's clock. Shared by the static (FIFO/SPDF) and
-/// feedback ([`FleetOrder::Repredict`]) admission loops so both schedule
-/// identically given the same admission order.
+/// feedback ([`FleetOrder::Repredict`], [`FleetOrder::SloAware`])
+/// admission loops so all schedule identically given the same admission
+/// order.
+///
+/// **Tie-breaking rule**: among equally-early free slots the
+/// *lowest-indexed* slot wins — the key is the `(free_time, slot_index)`
+/// pair, so the choice is a total order independent of iteration
+/// quirks. Identical predicted durations therefore produce identical
+/// slot assignments on every run and under every `HYPERTP_WORKERS`
+/// setting (the schedule is simulated time; worker count only changes
+/// wall-clock). Regression-tested by
+/// `equal_duration_fleet_schedule_is_deterministic`.
+///
+/// A [`FleetVm`] carrying an [`crate::SloVm`] contends its own traffic
+/// (sampled at the slot's start instant) against the pre-copy stream:
+/// the engine runs the data phase over the contention-scaled link, so
+/// round transfers stretch and the controller's estimators observe the
+/// stretched reality.
 #[allow(clippy::too_many_arguments)]
 fn run_fleet_phase(
     tp: &MigrationTp,
@@ -1538,10 +1684,20 @@ fn run_fleet_phase(
     let slot = slot_free
         .iter()
         .enumerate()
-        .min_by_key(|&(_, &t)| t)
+        .min_by_key(|&(s, &t)| (t, s))
         .map(|(s, _)| s)
         .expect("slots >= 1 when vms is non-empty");
     let start = slot_free[slot];
+    let workload_bps = vm.slo.map(|s| s.traffic.bps_at(start)).unwrap_or(0.0);
+    let contended_tp;
+    let tp = if workload_bps > 0.0 {
+        let mut config = tp.config;
+        config.link = LinkContention::new(workload_bps).contended(&config.link);
+        contended_tp = tp.clone().with_config(config);
+        &contended_tp
+    } else {
+        tp
+    };
     let phase = tp.migrate_data(
         src_machine,
         src_hv,
@@ -2332,6 +2488,8 @@ mod tests {
             admission_predictions: Vec::new(),
             policy: FleetPolicy::default(),
             admission: Vec::new(),
+            starts: Vec::new(),
+            slo: Vec::new(),
             makespan: SimDuration::ZERO,
         };
         assert_eq!(empty.mean_downtime(), SimDuration::ZERO);
@@ -2339,6 +2497,178 @@ mod tests {
         assert_eq!(empty.total_bytes(), 0);
         assert!(empty.precopy_error_pct().is_empty());
         assert_eq!(empty.mean_abs_precopy_error_pct(), 0.0);
+        assert_eq!(empty.total_violation(), SimDuration::ZERO);
+        assert_eq!(empty.max_budget_burn(), 0.0);
+        assert_eq!(empty.slo_vm_count(), 0);
         assert!(empty.mean_abs_precopy_error_pct().is_finite());
+    }
+
+    #[test]
+    fn equal_duration_fleet_schedule_is_deterministic() {
+        // Four byte-identical VMs over two slots: every admission sees
+        // *tied* earliest-free slots (equal predicted and actual
+        // durations), so the first-index tie-break is the only thing
+        // keeping the schedule stable. The expected pattern — VM k on
+        // slot k mod 2, starts paired up — must hold for every worker
+        // count (the schedule is simulated time; workers are wall-clock
+        // only).
+        let run = |pool: WorkerPool| {
+            let (mut src_m, mut dst_m) = pair();
+            let mut src = SimpleHv::new(HypervisorKind::Xen);
+            let mut dst = SimpleHv::new(HypervisorKind::Kvm);
+            let ids: Vec<VmId> = (0..4)
+                .map(|i| {
+                    src.create_vm(&mut src_m, &VmConfig::small(format!("vm{i}")))
+                        .unwrap()
+                })
+                .collect();
+            let tp = MigrationTp::new().with_pool(pool);
+            let vms: Vec<FleetVm> = ids.iter().map(|&id| FleetVm::new(id)).collect();
+            migrate_fleet(
+                &tp,
+                &mut src_m,
+                &mut src,
+                &vms,
+                &mut dst_m,
+                &mut dst,
+                FleetPolicy {
+                    order: FleetOrder::Fifo,
+                    max_concurrent: 2,
+                    compression_hint: 1.0,
+                },
+            )
+            .unwrap()
+        };
+        let serial = run(WorkerPool::serial());
+        let pooled = run(WorkerPool::new(4));
+        assert_eq!(serial.starts, pooled.starts, "worker-count invariant");
+        assert_eq!(serial.admission, pooled.admission);
+        // First-index rule: VMs 0 and 1 start together at t=0 (slots 0
+        // and 1 in that order), VMs 2 and 3 start together afterwards.
+        assert_eq!(serial.starts[0], SimDuration::ZERO);
+        assert_eq!(serial.starts[1], SimDuration::ZERO);
+        assert_eq!(serial.starts[2], serial.starts[3]);
+        assert!(serial.starts[2] > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn slo_attachment_contends_the_link_and_accounts() {
+        // A VM migrated at its traffic peak fights its own users for the
+        // NIC: the pre-copy must stretch versus the same VM migrated
+        // with no traffic attached, and the report must price the harm.
+        let curve = crate::control::TrafficCurve {
+            peak_qps: 4000.0,
+            trough_fraction: 0.05,
+            peak_offset: SimDuration::ZERO, // peak at fleet start
+            period: crate::control::TrafficCurve::DAY,
+            sharpness: 1,
+            bytes_per_query: 20_000.0, // 80 MB/s at peak on a ~116 MB/s link
+        };
+        let slo = crate::control::SloVm {
+            traffic: curve,
+            degraded_capacity: 0.65,
+            error_budget: SimDuration::from_secs(120),
+        };
+        let run = |with_slo: bool| {
+            let (mut src_m, mut dst_m) = pair();
+            let mut src = SimpleHv::new(HypervisorKind::Xen);
+            let mut dst = SimpleHv::new(HypervisorKind::Kvm);
+            let id = src.create_vm(&mut src_m, &VmConfig::small("vm0")).unwrap();
+            let tp = MigrationTp::new();
+            let mut vm = FleetVm::new(id);
+            if with_slo {
+                vm = vm.with_slo(slo);
+            }
+            migrate_fleet(
+                &tp,
+                &mut src_m,
+                &mut src,
+                &[vm],
+                &mut dst_m,
+                &mut dst,
+                FleetPolicy::default(),
+            )
+            .unwrap()
+        };
+        let quiet = run(false);
+        let contended = run(true);
+        let q = quiet.actual_precopy(0).as_secs_f64();
+        let c = contended.actual_precopy(0).as_secs_f64();
+        assert!(c > q * 2.0, "peak traffic stretches pre-copy: {q} -> {c}");
+        assert!(quiet.slo[0].is_none());
+        let outcome = contended.slo[0].expect("SLO priced");
+        // The whole (stretched) pre-copy ran at peak: every second
+        // violates, plus the blackout.
+        assert!(outcome.violation.as_secs_f64() >= c * 0.95);
+        assert!(outcome.budget_burn > 0.0);
+        assert_eq!(contended.slo_vm_count(), 1);
+        assert!(contended.total_violation() >= outcome.violation);
+    }
+
+    #[test]
+    fn slo_aware_order_defers_hot_vms_to_quiet_windows() {
+        // vm0 peaks at fleet start, vm1 and vm2 are in their trough.
+        // SloAware must admit the quiet VMs first and the hot VM last;
+        // the accounting must show the hot VM's harm no worse than FIFO
+        // (which migrates it straight into its peak).
+        let day = crate::control::TrafficCurve::DAY;
+        let mk_slo = |peak_offset: SimDuration| crate::control::SloVm {
+            traffic: crate::control::TrafficCurve {
+                peak_qps: 4000.0,
+                trough_fraction: 0.05,
+                peak_offset,
+                period: day,
+                sharpness: 1,
+                bytes_per_query: 20_000.0,
+            },
+            degraded_capacity: 0.65,
+            error_budget: SimDuration::from_secs(120),
+        };
+        let run = |order: FleetOrder| {
+            let (mut src_m, mut dst_m) = pair();
+            let mut src = SimpleHv::new(HypervisorKind::Xen);
+            let mut dst = SimpleHv::new(HypervisorKind::Kvm);
+            let ids: Vec<VmId> = (0..3)
+                .map(|i| {
+                    src.create_vm(&mut src_m, &VmConfig::small(format!("vm{i}")))
+                        .unwrap()
+                })
+                .collect();
+            let tp = MigrationTp::new();
+            let vms = vec![
+                FleetVm::new(ids[0]).with_slo(mk_slo(SimDuration::ZERO)),
+                FleetVm::new(ids[1]).with_slo(mk_slo(SimDuration::from_secs(43_200))),
+                FleetVm::new(ids[2]).with_slo(mk_slo(SimDuration::from_secs(43_200))),
+            ];
+            migrate_fleet(
+                &tp,
+                &mut src_m,
+                &mut src,
+                &vms,
+                &mut dst_m,
+                &mut dst,
+                FleetPolicy {
+                    order,
+                    max_concurrent: 1,
+                    compression_hint: 1.0,
+                },
+            )
+            .unwrap()
+        };
+        let aware = run(FleetOrder::SloAware);
+        assert_eq!(
+            aware.admission,
+            vec![1, 2, 0],
+            "quiet VMs drain first, the hot VM is deferred"
+        );
+        let fifo = run(FleetOrder::Fifo);
+        assert!(
+            aware.total_violation() <= fifo.total_violation(),
+            "deferring the hot VM never costs more harm: {:?} vs {:?}",
+            aware.total_violation(),
+            fifo.total_violation()
+        );
+        // The deferred hot VM starts after both quiet VMs finished.
+        assert!(aware.starts[0] >= aware.starts[1].max(aware.starts[2]));
     }
 }

@@ -20,13 +20,17 @@
 //! Modules: [`profiles`] (per-workload parameters), [`timeline`]
 //! (QPS/latency series for Figs. 11–12), [`spec`] (Table 5),
 //! [`darknet`] (Table 6), [`runner`] (drives a real transplant/migration
-//! on the simulated machines and assembles the series).
+//! on the simulated machines and assembles the series), [`slo`] (per-VM
+//! SLO specs and the deterministic diurnal traffic mix feeding the
+//! SLO-aware fleet scheduler).
 
 pub mod darknet;
 pub mod profiles;
 pub mod runner;
+pub mod slo;
 pub mod spec;
 pub mod timeline;
 
 pub use profiles::WorkloadProfile;
+pub use slo::{derive_curve, SloSpec, TrafficModel, VmTraffic};
 pub use timeline::{latency_series, qps_series, Disruption};

@@ -45,6 +45,17 @@ impl WorkloadProfile {
         }
     }
 
+    /// Peak request rate this workload class serves, queries/second —
+    /// the anchor of the diurnal traffic model. Throughput-metric
+    /// classes serve their Xen baseline at peak; latency-metric and
+    /// batch classes serve no externally measurable QPS.
+    pub fn peak_qps(&self) -> f64 {
+        match self.metric {
+            MetricKind::Throughput => self.baseline_xen,
+            MetricKind::Latency => 0.0,
+        }
+    }
+
     /// Redis + redis-benchmark (Fig. 11): ≈28 kQPS on Xen, ≈37% faster on
     /// KVM for this configuration (§5.3).
     pub fn redis() -> Self {

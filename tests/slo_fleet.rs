@@ -1,0 +1,359 @@
+//! Seeded property tests for SLO-aware fleet scheduling (PR 9).
+//!
+//! 200 seeded cases across four properties:
+//!
+//! 1. **Destination identity (50 cases)** — with *zero-bandwidth*
+//!    traffic curves (`bytes_per_query = 0`), an SLO attachment changes
+//!    admission order but no physics: destination guest contents and
+//!    per-VM raw bytes are byte-identical between a plain FIFO fleet and
+//!    an SLO-aware fleet. (Bandwidth-carrying curves legitimately change
+//!    round timing through link contention, which is why the identity
+//!    property pins the curves to zero wire cost.)
+//! 2. **Pool invariance (50 cases)** — the same SLO-aware fleets produce
+//!    identical schedules, reports, and SLO outcomes whether migrations
+//!    run on the serial pool or an 8-worker pool (what `HYPERTP_WORKERS`
+//!    selects at runtime).
+//! 3. **Budget safety (90 cases)** — an SLO-aware migration whose
+//!    traffic contends its own pre-copy stream still lands at or under
+//!    `stretched floor + budget + stretched quantum`, where the stretch
+//!    bound is the contention share floor (the link never degrades below
+//!    25%).
+//! 4. **Degeneracy (10 cases)** — the empty fleet returns an empty
+//!    report under `SloAware`, and all-idle fleets (flat zero curves)
+//!    admit in FIFO order with zero violation-seconds and zero budget
+//!    burn: no traffic, no signal, no reordering.
+
+use hypertp::prelude::*;
+use hypertp_migrate::{
+    migrate_fleet, FleetOrder, FleetPolicy, FleetReport, FleetVm, Link, SloVm, TrafficCurve,
+};
+use hypertp_sim::{SimRng, WorkerPool};
+
+fn pair() -> (Machine, Machine) {
+    let clock = SimClock::new();
+    let mut spec = MachineSpec::m1();
+    spec.ram_gb = 8;
+    (
+        Machine::with_clock(spec.clone(), clock.clone()),
+        Machine::with_clock(spec, clock),
+    )
+}
+
+/// A seeded diurnal curve; `bytes_per_query = 0` makes it scheduling
+/// signal only (no contention, no physics change).
+fn seeded_curve(rng: &mut SimRng, bytes_per_query: f64) -> TrafficCurve {
+    TrafficCurve {
+        peak_qps: 500.0 + rng.gen_range(4_500) as f64,
+        trough_fraction: 0.05 + 0.2 * rng.gen_f64(),
+        peak_offset: SimDuration::from_secs(rng.gen_range(600)),
+        period: SimDuration::from_secs(600),
+        sharpness: 2 + rng.gen_range(2) as u32,
+        bytes_per_query,
+    }
+}
+
+fn seeded_slo(rng: &mut SimRng, bytes_per_query: f64) -> SloVm {
+    SloVm {
+        traffic: seeded_curve(rng, bytes_per_query),
+        degraded_capacity: 0.3 + 0.5 * rng.gen_f64(),
+        error_budget: SimDuration::from_secs(30 + rng.gen_range(90)),
+    }
+}
+
+/// Builds an `n`-VM fleet with seeded contents and dirty rates, runs it,
+/// and returns the report plus destination probe words per VM.
+fn fleet_run(
+    case: u64,
+    n: usize,
+    rates: &[f64],
+    slos: &[Option<SloVm>],
+    order: FleetOrder,
+    pool: WorkerPool,
+) -> (FleetReport, Vec<Vec<u64>>) {
+    let (mut src_m, mut dst_m) = pair();
+    let mut src = XenHypervisor::new(&mut src_m);
+    let mut dst = KvmHypervisor::new(&mut dst_m);
+    let vms: Vec<FleetVm> = (0..n)
+        .map(|i| {
+            let id = src
+                .create_vm(&mut src_m, &VmConfig::small(format!("slo{case}-{i}")))
+                .unwrap();
+            for k in 0..24u64 {
+                src.write_guest(
+                    &mut src_m,
+                    id,
+                    Gfn(k * 53 + i as u64),
+                    k ^ (case << 16) ^ i as u64,
+                )
+                .unwrap();
+            }
+            let mut vm = FleetVm::with_dirty_rate(id, rates[i]);
+            if let Some(slo) = slos[i] {
+                vm = vm.with_slo(slo);
+            }
+            vm
+        })
+        .collect();
+    let tp = MigrationTp::new().with_pool(pool);
+    let fleet = migrate_fleet(
+        &tp,
+        &mut src_m,
+        &mut src,
+        &vms,
+        &mut dst_m,
+        &mut dst,
+        FleetPolicy {
+            order,
+            max_concurrent: 1,
+            compression_hint: 1.0,
+        },
+    )
+    .unwrap();
+    let probes = (0..n)
+        .map(|i| {
+            let id = dst.find_vm(&format!("slo{case}-{i}")).expect("VM arrived");
+            (0..24u64)
+                .map(|k| dst.read_guest(&dst_m, id, Gfn(k * 53 + i as u64)).unwrap())
+                .collect()
+        })
+        .collect();
+    (fleet, probes)
+}
+
+#[test]
+fn property_zero_bandwidth_slo_never_changes_destinations() {
+    let mut rng = SimRng::new(0x510_0001);
+    for case in 0..50u64 {
+        let n = 2 + rng.gen_range(2) as usize; // 2..=3 VMs
+        let rates: Vec<f64> = (0..n).map(|_| 50.0 + rng.gen_range(2_500) as f64).collect();
+        // Zero-bandwidth curves: scheduling signal without physics.
+        let slos: Vec<Option<SloVm>> = (0..n)
+            .map(|_| (rng.gen_range(4) != 0).then(|| seeded_slo(&mut rng, 0.0)))
+            .collect();
+        let none: Vec<Option<SloVm>> = vec![None; n];
+        let (fifo, probes_fifo) = fleet_run(
+            case,
+            n,
+            &rates,
+            &none,
+            FleetOrder::Fifo,
+            WorkerPool::serial(),
+        );
+        let (aware, probes_aware) = fleet_run(
+            case,
+            n,
+            &rates,
+            &slos,
+            FleetOrder::SloAware,
+            WorkerPool::serial(),
+        );
+        assert_eq!(
+            probes_fifo, probes_aware,
+            "case {case}: admission order changed destination contents"
+        );
+        // Raw mode, zero-bandwidth curves: each VM's wire bytes are
+        // order-independent.
+        for (a, b) in fifo.reports.iter().zip(&aware.reports) {
+            assert_eq!(
+                a.vm_name, b.vm_name,
+                "case {case}: report order is input order"
+            );
+            assert_eq!(
+                a.bytes_sent, b.bytes_sent,
+                "case {case}: {} bytes drifted",
+                a.vm_name
+            );
+            assert_eq!(
+                a.downtime, b.downtime,
+                "case {case}: {} downtime drifted",
+                a.vm_name
+            );
+        }
+        assert_eq!(
+            aware.slo_vm_count(),
+            slos.iter().flatten().count(),
+            "case {case}: every attachment accounted"
+        );
+    }
+}
+
+#[test]
+fn property_slo_schedule_is_worker_pool_invariant() {
+    // The pool width is what `HYPERTP_WORKERS` selects at runtime; the
+    // schedule and every report field must not depend on it.
+    let mut rng = SimRng::new(0x510_0002);
+    for case in 0..50u64 {
+        let n = 2 + rng.gen_range(2) as usize;
+        let rates: Vec<f64> = (0..n).map(|_| 50.0 + rng.gen_range(2_500) as f64).collect();
+        // Bandwidth-carrying curves: the contended path must be just as
+        // deterministic as the idle one.
+        let slos: Vec<Option<SloVm>> = (0..n)
+            .map(|_| (rng.gen_range(3) != 0).then(|| seeded_slo(&mut rng, 20_000.0)))
+            .collect();
+        let (serial, probes_serial) = fleet_run(
+            case | 0x100,
+            n,
+            &rates,
+            &slos,
+            FleetOrder::SloAware,
+            WorkerPool::serial(),
+        );
+        let (pooled, probes_pooled) = fleet_run(
+            case | 0x100,
+            n,
+            &rates,
+            &slos,
+            FleetOrder::SloAware,
+            WorkerPool::new(8),
+        );
+        assert_eq!(serial.admission, pooled.admission, "case {case}");
+        assert_eq!(serial.makespan, pooled.makespan, "case {case}");
+        assert_eq!(probes_serial, probes_pooled, "case {case}");
+        assert_eq!(
+            serial.total_violation(),
+            pooled.total_violation(),
+            "case {case}"
+        );
+        assert_eq!(
+            serial.max_budget_burn(),
+            pooled.max_budget_burn(),
+            "case {case}"
+        );
+        for (a, b) in serial.reports.iter().zip(&pooled.reports) {
+            assert_eq!(a.vm_name, b.vm_name);
+            assert_eq!(a.rounds, b.rounds);
+            assert_eq!(a.downtime, b.downtime);
+            assert_eq!(a.total, b.total);
+            assert_eq!(a.bytes_sent, b.bytes_sent);
+        }
+    }
+}
+
+#[test]
+fn property_slo_aware_migrations_respect_the_downtime_budget() {
+    // The incompressible floor: a rate-0, traffic-free migration pauses
+    // with an empty stop set.
+    let zero: Vec<Option<SloVm>> = vec![None];
+    let (base, _) = fleet_run(
+        0x999,
+        1,
+        &[0.0],
+        &zero,
+        FleetOrder::SloAware,
+        WorkerPool::serial(),
+    );
+    let floor = base.reports[0].downtime;
+    // Contention never degrades the migration share below 25%, so fixed
+    // costs and the one-quantum slack stretch by at most 4x.
+    let quantum = Link::gigabit().transfer(2 * 4112, 1);
+    let stretch = |d: SimDuration| SimDuration::from_secs_f64(d.as_secs_f64() * 4.0);
+    let bound = |budget: SimDuration| stretch(floor) + budget + stretch(quantum);
+
+    let mut rng = SimRng::new(0x510_0003);
+    for case in 0..90u64 {
+        let rate = 100.0 + rng.gen_range(3_900) as f64;
+        let budget = SimDuration::from_millis(5 + rng.gen_range(196));
+        // Every case carries real traffic: the budget must hold *under
+        // contention*, where the observed link is slower than nominal.
+        let slos = [Some(seeded_slo(&mut rng, 25_000.0))];
+        let (mut src_m, mut dst_m) = pair();
+        let mut src = XenHypervisor::new(&mut src_m);
+        let mut dst = KvmHypervisor::new(&mut dst_m);
+        let id = src
+            .create_vm(&mut src_m, &VmConfig::small(format!("budget{case}")))
+            .unwrap();
+        for k in 0..24u64 {
+            src.write_guest(&mut src_m, id, Gfn(k * 53), k ^ case)
+                .unwrap();
+        }
+        let vms = vec![FleetVm::with_dirty_rate(id, rate).with_slo(slos[0].unwrap())];
+        let cfg = MigrationConfig {
+            downtime_budget: Some(budget),
+            ..MigrationConfig::default()
+        };
+        let tp = MigrationTp::new().with_config(cfg);
+        let fleet = migrate_fleet(
+            &tp,
+            &mut src_m,
+            &mut src,
+            &vms,
+            &mut dst_m,
+            &mut dst,
+            FleetPolicy {
+                order: FleetOrder::SloAware,
+                max_concurrent: 1,
+                compression_hint: 1.0,
+            },
+        )
+        .unwrap();
+        let r = &fleet.reports[0];
+        assert!(
+            r.downtime <= bound(budget),
+            "case {case} (rate {rate}, budget {budget:?}): downtime {:?} exceeds \
+             stretched floor {floor:?} + budget + quantum",
+            r.downtime,
+        );
+    }
+}
+
+#[test]
+fn slo_fleet_degenerates_cleanly() {
+    // Case 1-2: the empty fleet under SloAware, serial and pooled.
+    for pool in [WorkerPool::serial(), WorkerPool::new(4)] {
+        let (mut src_m, mut dst_m) = pair();
+        let mut src = XenHypervisor::new(&mut src_m);
+        let mut dst = KvmHypervisor::new(&mut dst_m);
+        let tp = MigrationTp::new().with_pool(pool);
+        let fleet = migrate_fleet(
+            &tp,
+            &mut src_m,
+            &mut src,
+            &[],
+            &mut dst_m,
+            &mut dst,
+            FleetPolicy {
+                order: FleetOrder::SloAware,
+                max_concurrent: 2,
+                compression_hint: 1.0,
+            },
+        )
+        .unwrap();
+        assert!(fleet.reports.is_empty());
+        assert!(fleet.admission.is_empty());
+        assert_eq!(fleet.makespan, SimDuration::ZERO);
+        assert_eq!(fleet.total_violation(), SimDuration::ZERO);
+        assert_eq!(fleet.max_budget_burn(), 0.0);
+    }
+
+    // Cases 3-10: all-idle fleets — every VM carries an SLO whose curve
+    // is flat zero (`TrafficCurve::IDLE`). No traffic means no harm
+    // signal and identical predictions (uniform VMs), so SLO-aware
+    // admission degenerates to the deterministic first-index (FIFO)
+    // order, with zero violation and zero burn.
+    let idle = SloVm {
+        traffic: TrafficCurve::IDLE,
+        degraded_capacity: 0.5,
+        error_budget: SimDuration::from_secs(60),
+    };
+    for case in 0..8u64 {
+        let n = 3;
+        let rates = vec![400.0; n];
+        let slos = vec![Some(idle); n];
+        let (fleet, _) = fleet_run(
+            case | 0x200,
+            n,
+            &rates,
+            &slos,
+            FleetOrder::SloAware,
+            WorkerPool::serial(),
+        );
+        assert_eq!(
+            fleet.admission,
+            (0..n).collect::<Vec<_>>(),
+            "case {case}: all-idle uniform fleet must admit in FIFO order"
+        );
+        assert_eq!(fleet.total_violation(), SimDuration::ZERO, "case {case}");
+        assert_eq!(fleet.max_budget_burn(), 0.0, "case {case}");
+        assert_eq!(fleet.slo_vm_count(), n, "case {case}");
+    }
+}
