@@ -122,6 +122,30 @@ SLO_SMOKE_OUT="${gate_dir}/slo.json" \
 cargo run -q --release --offline -p hypertp-bench --bin perf_gate -- \
   slo BENCH_slo.json "${gate_dir}/slo.json"
 
+echo "== exposure gate (exposure cut + replan speedup floors) =="
+# exposure_smoke replays one seeded year of disclosures over a 1k-host
+# fleet twice (surface-aware vs surface-blind planning, same calibrated
+# exposure metric); the fresh artifact must meet the committed
+# BENCH_exposure.json floors: integrated-exposure cut >= floor,
+# incremental re-plan beating the per-event cost-table rebuild, and the
+# deterministic / sharded / feed-off / empty-feed identity fields all
+# true.
+EXPOSURE_SMOKE_OUT="${gate_dir}/exposure.json" \
+  cargo run -q --release --offline -p hypertp-bench --bin exposure_smoke
+cargo run -q --release --offline -p hypertp-bench --bin perf_gate -- \
+  exposure BENCH_exposure.json "${gate_dir}/exposure.json"
+
+echo "== hypertpctl feed smoke (surface-aware vs blind planning) =="
+# The operator-facing feed replay: the --blind flag must switch the
+# planning mode shown in the output, and both runs must report the
+# integrated-exposure summary line.
+cargo run -q --release --offline --bin hypertpctl -- feed --hosts 30 --days 90 \
+  | grep -q "surface-aware planning"
+cargo run -q --release --offline --bin hypertpctl -- feed --hosts 30 --days 90 --blind \
+  | grep -q "surface-blind planning"
+cargo run -q --release --offline --bin hypertpctl -- feed --hosts 30 --days 90 \
+  | grep -q "integrated exposure"
+
 echo "== hypertpctl fleet smoke (--slo-aware flag) =="
 # The operator-facing path to SLO-aware admission: same fleet twice, the
 # flag must switch the admission policy shown in the output.

@@ -10,6 +10,7 @@
 //! perf_gate campaign <committed BENCH_campaign.json> <campaign_smoke run 1> [...]
 //! perf_gate rehype   <committed BENCH_rehype.json>   <rehype_smoke run 1> [...]
 //! perf_gate slo      <committed BENCH_slo.json>      <slo_smoke run 1> [...]
+//! perf_gate exposure <committed BENCH_exposure.json> <exposure_smoke run 1> [...]
 //! perf_gate <committed BENCH_wire.json> <perf_smoke run...>   # legacy = wire
 //! ```
 //!
@@ -104,6 +105,21 @@
 //!    campaign time), or
 //! 4. `budget.aware_max_burn` exceeds 1.0 (some VM under the aware
 //!    schedule burned its entire declared error budget).
+//!
+//! **exposure**: CI runs `exposure_smoke` (the 1k-host year-long
+//! vulnerability-feed replay) and hands the fresh artifact(s) here with
+//! the committed `BENCH_exposure.json`. A run fails when:
+//!
+//! 1. any `identical`-suffixed field is not `"true"` — this covers the
+//!    deterministic rerun, the shard×worker replay identity, the
+//!    feed-off executor-render identity (a report with no exposure
+//!    attachment must keep the pre-feed byte format), and the empty-feed
+//!    no-op,
+//! 2. `aware_vs_blind.exposure_cut_pct` falls below the committed
+//!    `exposure_cut_floor_pct` (surface-aware planning stopped beating
+//!    the surface-blind baseline on integrated exposure), or
+//! 3. `replan.speedup` falls below the committed `replan_speedup_floor`
+//!    (the cached cost table stopped beating a per-disclosure rebuild).
 //!
 //! The gate deliberately ignores wall-clock fields: CI machines are too
 //! noisy for absolute-time floors, but correctness, compression, and
@@ -564,11 +580,71 @@ fn gate_slo(committed: &str, runs: &[String]) -> Vec<String> {
     violations
 }
 
+fn gate_exposure(committed: &str, runs: &[String]) -> Vec<String> {
+    let mut violations = Vec::new();
+    let base = match load(committed) {
+        Ok(j) => j,
+        Err(e) => return vec![e],
+    };
+    let Some(floor) = base.get("exposure_cut_floor_pct").and_then(Json::as_f64) else {
+        return vec![format!("{committed}: missing exposure_cut_floor_pct")];
+    };
+    let Some(speedup_floor) = base.get("replan_speedup_floor").and_then(Json::as_f64) else {
+        return vec![format!("{committed}: missing replan_speedup_floor")];
+    };
+
+    for path in runs {
+        let run = match load(path) {
+            Ok(j) => j,
+            Err(e) => {
+                violations.push(e);
+                continue;
+            }
+        };
+        let before = violations.len();
+        let n = check_identity(path, &run, &mut violations);
+
+        let cut = get_f64(
+            path,
+            &run,
+            "aware_vs_blind.exposure_cut_pct",
+            &mut violations,
+        );
+        if let Some(cut) = cut {
+            if cut < floor {
+                violations.push(format!(
+                    "{path}: integrated-exposure cut {cut:.1}% below committed floor \
+                     {floor:.1}% — surface-aware planning stopped beating the blind baseline"
+                ));
+            }
+        }
+        let speedup = get_f64(path, &run, "replan.speedup", &mut violations);
+        if let Some(speedup) = speedup {
+            if speedup < speedup_floor {
+                violations.push(format!(
+                    "{path}: incremental re-plan speedup {speedup:.1}x below committed floor \
+                     {speedup_floor:.1}x — the cached cost table stopped paying off"
+                ));
+            }
+        }
+        if violations.len() == before {
+            println!(
+                "perf_gate: {path}: {n} identity fields ok, exposure cut {:.1}% >= floor \
+                 {floor:.1}%, replan speedup {:.1}x >= floor {speedup_floor:.1}x",
+                cut.unwrap_or(f64::NAN),
+                speedup.unwrap_or(f64::NAN),
+            );
+        }
+    }
+    violations
+}
+
 fn run() -> Result<(), Vec<String>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || {
         vec![
-            "usage: perf_gate [wire|adaptive|inplace|campaign|rehype|slo] <committed artifact> <fresh run...>"
+            "usage: perf_gate [wire|adaptive|inplace|campaign|rehype|slo|exposure] \
+             <committed artifact> <fresh run...>"
                 .to_string(),
         ]
     };
@@ -579,6 +655,7 @@ fn run() -> Result<(), Vec<String>> {
         Some("campaign") => ("campaign", &args[1..]),
         Some("rehype") => ("rehype", &args[1..]),
         Some("slo") => ("slo", &args[1..]),
+        Some("exposure") => ("exposure", &args[1..]),
         // Legacy positional form: first arg is the committed wire artifact.
         Some(_) => ("wire", &args[..]),
         None => return Err(usage()),
@@ -592,6 +669,7 @@ fn run() -> Result<(), Vec<String>> {
         "campaign" => gate_campaign(&rest[0], &rest[1..]),
         "rehype" => gate_rehype(&rest[0], &rest[1..]),
         "slo" => gate_slo(&rest[0], &rest[1..]),
+        "exposure" => gate_exposure(&rest[0], &rest[1..]),
         _ => gate_adaptive(&rest[0], &rest[1..]),
     };
     if violations.is_empty() {

@@ -231,20 +231,29 @@ impl CampaignReport {
     /// Exposure eliminated: the whole window for every protected host;
     /// hosts excluded from the out-wave sat on the vulnerable hypervisor
     /// throughout, so their share of the window is *not* avoided.
+    ///
+    /// The complement of [`residual_exposure`] by construction —
+    /// `avoided + residual == window` exactly — so both figures derive
+    /// from the same [`crate::exposure::ExposureIntegrator`] accrual and
+    /// can never drift from the executor's or the feed planner's
+    /// accounting.
+    ///
+    /// [`residual_exposure`]: CampaignReport::residual_exposure
     pub fn exposure_avoided(&self) -> SimDuration {
-        if self.hosts_total == 0 || self.excluded_hosts.is_empty() {
-            return self.window;
-        }
-        let covered =
-            (self.hosts_total - self.excluded_hosts.len()) as f64 / self.hosts_total as f64;
-        SimDuration::from_secs_f64(self.window.as_secs_f64() * covered)
+        self.window.saturating_sub(self.residual_exposure())
     }
 
-    /// Residual exposure: the window share of the excluded hosts.
+    /// Residual exposure: the window share of the excluded hosts,
+    /// accrued through the workspace's single
+    /// [`crate::exposure::ExposureIntegrator`] (each excluded host's
+    /// fleet share is a deferred VM at unit criticality).
     pub fn residual_exposure(&self) -> SimDuration {
-        SimDuration::from_secs_f64(
-            self.window.as_secs_f64() - self.exposure_avoided().as_secs_f64(),
-        )
+        if self.hosts_total == 0 || self.excluded_hosts.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let mut integ = crate::exposure::ExposureIntegrator::new(1.0, self.window);
+        integ.deferred(self.excluded_hosts.len() as f64 / self.hosts_total as f64);
+        SimDuration::from_secs_f64(integ.integral())
     }
 
     /// Ratio of worst service disruption to window covered — the
@@ -836,6 +845,43 @@ mod tests {
         // must reproduce the single-queue walk exactly.
         assert_eq!(run(1), run(4));
         assert_eq!(run(1), run(3));
+    }
+
+    #[test]
+    fn exposure_accessors_partition_the_window_exactly() {
+        // Satellite of the single-integrator refactor: avoided and
+        // residual exposure are two views of one accrual, so they must
+        // partition the window exactly — on a clean (feed-free) campaign
+        // and on one with excluded hosts alike.
+        let mut nova = fleet(2);
+        nova.boot(&VmConfig::small("a")).unwrap();
+        let clean = run_campaign(&mut nova, &xen_critical(), &[]).unwrap();
+        assert_eq!(clean.residual_exposure(), SimDuration::ZERO);
+        assert_eq!(
+            clean.exposure_avoided() + clean.residual_exposure(),
+            clean.window
+        );
+
+        let mut nova = fleet(2);
+        nova.boot(&VmConfig::small("a")).unwrap();
+        nova.boot(&VmConfig::small("b")).unwrap();
+        nova.boot(&VmConfig::small("c")).unwrap();
+        let faults = FaultPlan::new(0xc1a0_0002);
+        faults.arm_calls(InjectionPoint::HostFailure, &[2, 3, 4]);
+        let excluded = run_campaign_with(
+            &mut nova,
+            &xen_critical(),
+            &[],
+            &faults,
+            &CampaignConfig::default(),
+        )
+        .unwrap();
+        assert!(!excluded.excluded_hosts.is_empty());
+        assert!(excluded.residual_exposure() > SimDuration::ZERO);
+        assert_eq!(
+            excluded.exposure_avoided() + excluded.residual_exposure(),
+            excluded.window
+        );
     }
 
     #[test]

@@ -103,6 +103,37 @@ pub struct ExecConfig {
     /// to the group's start, so sharded execution remains
     /// byte-identical for every shard/worker count.
     pub slo: Option<SloExecConfig>,
+    /// Opt-in vulnerability-window accounting. `None` (the default)
+    /// keeps every report byte-identical to the exposure-unaware
+    /// executor. `Some` treats the campaign as the remediation of one
+    /// disclosure: every VM's exposure — criticality × time until its
+    /// group finished, capped at the patch window — accrues through the
+    /// workspace's single [`crate::exposure::ExposureIntegrator`] into
+    /// [`ExecReport::exposure_vm_secs`] and a bounded per-group time
+    /// series ([`ExecReport::exposure`],
+    /// [`ExecReport::exposure_hist`]).
+    pub exposure: Option<ExposureExecConfig>,
+}
+
+/// Parameters of the executor's opt-in exposure accounting: the
+/// disclosure the campaign remediates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExposureExecConfig {
+    /// Surface-calibrated criticality of the disclosure (weighted CVSS /
+    /// 10, see [`hypertp_vulndb::SurfaceWeights::criticality`]).
+    pub criticality: f64,
+    /// Patch window: exposure stops accruing after this long whether or
+    /// not the fleet remediated.
+    pub window: SimDuration,
+}
+
+impl Default for ExposureExecConfig {
+    fn default() -> Self {
+        ExposureExecConfig {
+            criticality: 1.0,
+            window: SimDuration::from_secs(30 * 24 * 3600),
+        }
+    }
 }
 
 /// Parameters of the executor's opt-in SLO accounting.
@@ -137,6 +168,7 @@ impl Default for ExecConfig {
             incremental_translate: false,
             inplace_dirty_fraction: 1.0,
             slo: None,
+            exposure: None,
         }
     }
 }
@@ -224,6 +256,23 @@ pub struct ExecReport {
     /// Worst per-VM error-budget burn (1.0 = a VM spent its entire
     /// daily violation allowance on this campaign).
     pub slo_max_budget_burn: f64,
+    /// VMs whose vulnerability exposure was accounted under
+    /// [`ExecConfig::exposure`] (remediated + excluded). Zero when the
+    /// accounting is off.
+    pub exposure_vms: usize,
+    /// Integrated exposure of the campaign:
+    /// Σ VMs × criticality × min(remediation time, window), in
+    /// VM·criticality·seconds.
+    pub exposure_vm_secs: f64,
+    /// Per-group time series of the per-VM exposure accrued when that
+    /// group finished (criticality·seconds), in campaign order — the
+    /// vulnerability-window metric as a first-class bounded aggregate.
+    pub exposure: Streaming,
+    /// The same per-group samples as exposed fraction of the patch
+    /// window, bucketed on `[0, 1)` (see [`EXPOSURE_HIST_BUCKETS`]).
+    ///
+    /// [`EXPOSURE_HIST_BUCKETS`]: crate::exposure::EXPOSURE_HIST_BUCKETS
+    pub exposure_hist: Histogram,
 }
 
 impl ExecReport {
@@ -242,7 +291,7 @@ impl ExecReport {
     /// report iff their renders match. Floats use `{:?}` (shortest
     /// round-trip), so even last-ulp divergence shows.
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "migrations={} upgrades={} total_ns={} migration_ns={} inplace_ns={} \
              retries={} excluded={} crashes={} wire_sent={} wire_saved={} mean_ready_ns={} \
              slo_vms={} slo_violation_ns={} slo_burn={:?} \
@@ -264,7 +313,20 @@ impl ExecReport {
             self.vm_ready.render(),
             self.group_drain.render(),
             self.vm_ready_hist.render(),
-        )
+        );
+        // Exposure accounting is opt-in: reports that never accrued a VM
+        // render exactly as before the metric existed, which is what the
+        // feed-free byte-identity tests pin.
+        if self.exposure_vms > 0 {
+            out.push_str(&format!(
+                " exposure_vms={} exposure_vm_secs={:?} exposure{{{}}} exposure_hist{{{}}}",
+                self.exposure_vms,
+                self.exposure_vm_secs,
+                self.exposure.render(),
+                self.exposure_hist.render(),
+            ));
+        }
+        out
     }
 }
 
@@ -273,7 +335,7 @@ impl ExecReport {
 /// flows on the fabric. Under [`WireMode::ContentAware`] the page bytes
 /// shrink by the configured compression ratio before hitting the link.
 /// Pure in its arguments — safe to memoize per VM class.
-fn migration_estimate(
+pub(crate) fn migration_estimate(
     cfg: &ExecConfig,
     memory_gb: u64,
     dirty_rate: f64,
@@ -342,7 +404,7 @@ fn contention_stretch(cfg: &ExecConfig, estimate: SimDuration, workload_bps: f64
 /// term becomes the dirty-delta re-translation at the configured residual
 /// dirty fraction; the warm snapshot itself overlaps the group's
 /// migration drain and never shows up in the blackout.
-fn inplace_time(
+pub(crate) fn inplace_time(
     perf: &MachinePerf,
     cost: &CostModel,
     cfg: &ExecConfig,
@@ -461,6 +523,11 @@ struct GroupOutcome {
     slo_vms: usize,
     slo_violation: SimDuration,
     slo_burn_max: f64,
+    /// VMs the group actually remediated (migrated, or carried through an
+    /// in-place upgrade / crash recovery).
+    vms_done: u64,
+    /// VMs stranded on hosts the group dropped from the plan.
+    vms_excluded: u64,
 }
 
 /// Admits the next migration from `queue` at instant `now` (relative to
@@ -551,6 +618,8 @@ fn run_group<V: ClusterView + ?Sized>(
         slo_vms: 0,
         slo_violation: SimDuration::ZERO,
         slo_burn_max: 0.0,
+        vms_done: 0,
+        vms_excluded: 0,
     };
 
     // Phase 1: drain the group's migrations through the slot pool. All
@@ -593,6 +662,7 @@ fn run_group<V: ClusterView + ?Sized>(
         now = t;
         let offset = now.duration_since(SimTime::ZERO);
         out.ready_acc += offset;
+        out.vms_done += 1;
         out.vm_ready.push(offset.as_secs_f64());
         out.vm_ready_hist.record(offset.as_secs_f64());
         if let Some((time, vm)) = admit_next(view, cfg, memo, &mut out, &mut queue, now, sharers) {
@@ -615,6 +685,7 @@ fn run_group<V: ClusterView + ?Sized>(
             None => {
                 host_time += attempt_cost;
                 out.upgrades += 1;
+                out.vms_done += *vm_count as u64;
             }
             Some(faults) => {
                 let site = format!("exec upgrade h{host}");
@@ -644,6 +715,7 @@ fn run_group<V: ClusterView + ?Sized>(
                     );
                     host_time += recovery;
                     out.upgrades += 1;
+                    out.vms_done += *vm_count as u64;
                     out.crash_recoveries += 1;
                     faults.record_recovery(
                         InjectionPoint::HypervisorCrash,
@@ -661,6 +733,7 @@ fn run_group<V: ClusterView + ?Sized>(
                         match host_failure_gate(faults, &site, failures, cfg.max_host_retries) {
                             HostGate::Proceed => {
                                 out.upgrades += 1;
+                                out.vms_done += *vm_count as u64;
                                 break;
                             }
                             HostGate::Retry => {
@@ -669,6 +742,7 @@ fn run_group<V: ClusterView + ?Sized>(
                             }
                             HostGate::Exclude => {
                                 out.hosts_excluded += 1;
+                                out.vms_excluded += *vm_count as u64;
                                 break;
                             }
                         }
@@ -683,8 +757,11 @@ fn run_group<V: ClusterView + ?Sized>(
 }
 
 /// Folds per-group outcomes — in group order — into the report the
-/// sequential walk produces.
-fn fold_outcomes(outcomes: impl Iterator<Item = GroupOutcome>) -> ExecReport {
+/// sequential walk produces. Under [`ExecConfig::exposure`] the fold also
+/// runs the campaign's exposure integrator: a group's VMs stop being
+/// exposed when the group finishes on the campaign clock (the running
+/// `total`), VMs on excluded hosts stay exposed for the whole window.
+fn fold_outcomes(cfg: &ExecConfig, outcomes: impl Iterator<Item = GroupOutcome>) -> ExecReport {
     let mut report = ExecReport {
         migrations: 0,
         inplace_upgrades: 0,
@@ -703,9 +780,16 @@ fn fold_outcomes(outcomes: impl Iterator<Item = GroupOutcome>) -> ExecReport {
         slo_vms: 0,
         slo_violation: SimDuration::ZERO,
         slo_max_budget_burn: 0.0,
+        exposure_vms: 0,
+        exposure_vm_secs: 0.0,
+        exposure: Streaming::new(),
+        exposure_hist: Histogram::new(0.0, 1.0, crate::exposure::EXPOSURE_HIST_BUCKETS),
     };
     let mut raw_bytes = 0u64;
     let mut ready_acc = SimDuration::ZERO;
+    let mut integ = cfg
+        .exposure
+        .map(|e| crate::exposure::ExposureIntegrator::new(e.criticality, e.window));
     for g in outcomes {
         report.migrations += g.migrations;
         report.inplace_upgrades += g.upgrades;
@@ -724,6 +808,23 @@ fn fold_outcomes(outcomes: impl Iterator<Item = GroupOutcome>) -> ExecReport {
         report.slo_vms += g.slo_vms;
         report.slo_violation += g.slo_violation;
         report.slo_max_budget_burn = report.slo_max_budget_burn.max(g.slo_burn_max);
+        if let Some(integ) = integ.as_mut() {
+            if g.vms_done > 0 {
+                let per_vm = integ.remediated(g.vms_done as f64, report.total);
+                report.exposure.push(per_vm);
+                report.exposure_hist.record(integ.fraction(per_vm));
+                report.exposure_vms += g.vms_done as usize;
+            }
+            if g.vms_excluded > 0 {
+                let per_vm = integ.deferred(g.vms_excluded as f64);
+                report.exposure.push(per_vm);
+                report.exposure_hist.record(integ.fraction(per_vm));
+                report.exposure_vms += g.vms_excluded as usize;
+            }
+        }
+    }
+    if let Some(integ) = integ {
+        report.exposure_vm_secs = integ.integral();
     }
     report.wire_bytes_saved = raw_bytes.saturating_sub(report.wire_bytes_sent);
     report.mean_vm_ready = if report.migrations == 0 {
@@ -811,17 +912,20 @@ pub fn execute_sharded_with<V: ClusterView + ?Sized>(
     let uniform_perf = view.uniform_spec().map(|s| s.perf());
     if faults.armed() {
         let mut memo = ExecMemo::new();
-        return fold_outcomes(plan.groups.iter().map(|g| {
-            run_group(
-                view,
-                cfg,
-                &cost,
-                g,
-                Some(faults),
-                &mut memo,
-                uniform_perf.as_ref(),
-            )
-        }));
+        return fold_outcomes(
+            cfg,
+            plan.groups.iter().map(|g| {
+                run_group(
+                    view,
+                    cfg,
+                    &cost,
+                    g,
+                    Some(faults),
+                    &mut memo,
+                    uniform_perf.as_ref(),
+                )
+            }),
+        );
     }
     let batch = pool.map_chunks(plan.groups.len(), shards.max(1), |range| {
         let mut memo = ExecMemo::new();
@@ -839,7 +943,7 @@ pub fn execute_sharded_with<V: ClusterView + ?Sized>(
             })
             .collect::<Vec<GroupOutcome>>()
     });
-    fold_outcomes(batch.results.into_iter().flatten())
+    fold_outcomes(cfg, batch.results.into_iter().flatten())
 }
 
 #[cfg(test)]
@@ -1379,6 +1483,87 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn exposure_accounting_defaults_off_and_renders_identically() {
+        // The metric is opt-in: with no feed attached the report — and
+        // its byte-stable render — must be indistinguishable from an
+        // executor that has never heard of exposure.
+        let c = Cluster::paper_testbed(40, 42);
+        let plan = plan_upgrade(&c, 2).unwrap();
+        let r = execute(&c, &plan, &ExecConfig::default());
+        assert_eq!(r.exposure_vms, 0);
+        assert_eq!(r.exposure_vm_secs, 0.0);
+        assert_eq!(r.exposure.count, 0);
+        assert!(!r.render().contains("exposure"));
+    }
+
+    #[test]
+    fn exposure_accounting_integrates_per_group_and_stays_sharded_identical() {
+        let c = Cluster::paper_testbed(40, 42);
+        let plan = plan_upgrade(&c, 2).unwrap();
+        let cfg = ExecConfig {
+            exposure: Some(ExposureExecConfig {
+                criticality: 0.8,
+                window: SimDuration::from_secs(7 * 24 * 3600),
+            }),
+            ..ExecConfig::default()
+        };
+        let r = execute(&c, &plan, &cfg);
+        // Every planned VM is accounted at least once (a VM that migrates
+        // onto a host whose own in-place slot comes later rides two
+        // remediation events), the series carries one sample per group,
+        // and the integral is bounded by crit × window × accounted VMs.
+        assert!(r.exposure_vms >= c.vm_count());
+        assert_eq!(r.exposure.count, plan.groups.len() as u64);
+        assert!(r.exposure_vm_secs > 0.0);
+        let cap = 0.8 * (7 * 24 * 3600) as f64 * r.exposure_vms as f64;
+        assert!(r.exposure_vm_secs < cap);
+        assert!(r.render().contains("exposure_vms="));
+        // Later groups finish later on the campaign clock, so the last
+        // group's per-VM sample is the campaign total at its criticality.
+        assert!(r.exposure.min <= r.exposure.max);
+        assert!((r.exposure.max - 0.8 * r.total.as_secs_f64()).abs() < 1e-6);
+        for shards in [2usize, 5, 11] {
+            for workers in [1usize, 4] {
+                let s = execute_sharded_with(
+                    &c,
+                    &plan,
+                    &cfg,
+                    &FaultPlan::disarmed(),
+                    shards,
+                    &WorkerPool::new(workers),
+                );
+                assert_eq!(s.render(), r.render(), "shards={shards} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn excluded_hosts_accrue_the_full_window() {
+        // A host dropped from the plan strands its VMs on the vulnerable
+        // hypervisor: each must accrue criticality × the whole window.
+        let c = Cluster::paper_testbed(100, 42);
+        let plan = plan_upgrade(&c, 2).unwrap();
+        let window = SimDuration::from_secs(7 * 24 * 3600);
+        let cfg = ExecConfig {
+            max_host_retries: 0,
+            exposure: Some(ExposureExecConfig {
+                criticality: 1.0,
+                window,
+            }),
+            ..ExecConfig::default()
+        };
+        let faults = FaultPlan::new(0xe4_05);
+        faults.arm(InjectionPoint::HostFailure, 1.0, 1);
+        let r = execute_with_faults(&c, &plan, &cfg, &faults);
+        assert_eq!(r.hosts_excluded, 1);
+        // The excluded host's VMs dominate the integral: their share is
+        // window seconds each, dwarfing the seconds-scale campaign.
+        let full_window_vms = (r.exposure_vm_secs / window.as_secs_f64()).round() as usize;
+        assert!(full_window_vms >= 1, "integral {:?}", r.exposure_vm_secs);
+        assert!(r.render().contains("exposure_vms="));
     }
 
     #[test]

@@ -1,0 +1,642 @@
+//! Exposure-minimizing campaign planning over a live vulnerability feed.
+//!
+//! The paper's objective is shrinking the vulnerability window; this
+//! module makes that the *optimized* quantity. Given a fleet (any
+//! [`ClusterView`]) and a stream of [`FeedEvent`]s, the planner chooses —
+//! per host, per disclosure — between an in-place upgrade, live
+//! migration, and explicit deferral, minimizing **integrated exposure**
+//!
+//! ```text
+//! ∫ affected-VM-count × surface-criticality dt
+//! ```
+//!
+//! under the per-VM downtime budget. All exposure accounting in the
+//! workspace flows through one [`ExposureIntegrator`] — the campaign
+//! report's `exposure_avoided`/`residual_exposure`, the executor's
+//! exposure time series, and this planner all accrue through it, so the
+//! numbers can never drift apart.
+//!
+//! # The schedule
+//!
+//! Remediating a host at completion time `C` accrues
+//! `vms × criticality × min(C, window)` exposure; deferring accrues the
+//! full window. With every host of an event sharing the disclosure's
+//! criticality, minimizing the sum is the classic weighted-completion-
+//! time problem, and Smith's rule — remediate in ascending
+//! cost-per-exposed-VM order — is optimal on the serialized fluid model
+//! used here. The surface-blind baseline runs the identical machinery
+//! with uniform weights and host-index order, so the committed
+//! exposure-reduction floor measures planning, not physics.
+//!
+//! # Incremental re-planning
+//!
+//! Host remediation costs depend on the fleet, not the disclosure, so
+//! [`ExposurePlanner`] evaluates them once — sharded over a
+//! [`WorkerPool`] with per-class memoization, exactly like the executor —
+//! and each feed event re-plans against the cached table. Re-planning a
+//! 10k-host fleet is then a sort, not a cost-model sweep.
+
+use std::collections::HashMap;
+
+use hypertp_sim::cost::MachinePerf;
+use hypertp_sim::pool::WorkerPool;
+use hypertp_sim::stats::{Histogram, Streaming};
+use hypertp_sim::{CostModel, SimDuration};
+use hypertp_vulndb::feed::{FeedEvent, SurfaceWeights};
+use hypertp_vulndb::Severity;
+
+use crate::exec::{inplace_time, migration_estimate, ExecConfig};
+use crate::model::ClusterView;
+
+/// The single integrator behind every exposure figure in the workspace.
+///
+/// One disclosure's exposure is accrued VM by VM: a VM remediated at
+/// campaign time `t` was exposed for `min(t, window)`; a VM never
+/// remediated (deferred, or stranded on an excluded host) was exposed for
+/// the whole window. Each accrual is weighted by the disclosure's
+/// criticality, so the integral is the planner's objective
+/// ∫ affected-VMs × criticality dt evaluated exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExposureIntegrator {
+    criticality: f64,
+    window_secs: f64,
+    integral: f64,
+    vms: f64,
+}
+
+impl ExposureIntegrator {
+    /// An integrator for one disclosure of the given criticality and
+    /// patch window.
+    pub fn new(criticality: f64, window: SimDuration) -> ExposureIntegrator {
+        ExposureIntegrator {
+            criticality,
+            window_secs: window.as_secs_f64(),
+            integral: 0.0,
+            vms: 0.0,
+        }
+    }
+
+    /// Accrues `vms` VMs remediated at campaign instant `at`; returns the
+    /// per-VM exposure-seconds accrued (`criticality × min(at, window)`).
+    pub fn remediated(&mut self, vms: f64, at: SimDuration) -> f64 {
+        let per_vm = self.criticality * at.as_secs_f64().min(self.window_secs);
+        self.integral += vms * per_vm;
+        self.vms += vms;
+        per_vm
+    }
+
+    /// Accrues `vms` VMs that sit out the whole window; returns the
+    /// per-VM exposure-seconds (`criticality × window`).
+    pub fn deferred(&mut self, vms: f64) -> f64 {
+        let per_vm = self.criticality * self.window_secs;
+        self.integral += vms * per_vm;
+        self.vms += vms;
+        per_vm
+    }
+
+    /// The integral so far, in VM·criticality·seconds.
+    pub fn integral(&self) -> f64 {
+        self.integral
+    }
+
+    /// VMs accrued so far.
+    pub fn vms(&self) -> f64 {
+        self.vms
+    }
+
+    /// The window this integrator caps exposure at, in seconds.
+    pub fn window_secs(&self) -> f64 {
+        self.window_secs
+    }
+
+    /// A remediated VM's exposed fraction of the window (for bounded
+    /// histograms); 0 when the window is empty.
+    pub fn fraction(&self, per_vm_secs: f64) -> f64 {
+        if self.window_secs <= 0.0 || self.criticality <= 0.0 {
+            return 0.0;
+        }
+        per_vm_secs / (self.criticality * self.window_secs)
+    }
+}
+
+/// The planner's per-host verdict for one disclosure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostAction {
+    /// Micro-reboot the host in place (InPlaceTP).
+    InPlace,
+    /// Evacuate the host's VMs by live migration (MigrationTP).
+    Migrate,
+    /// Leave the host on the vulnerable hypervisor until the patch: the
+    /// disclosure sits below the (weighted) transplant threshold, or no
+    /// remediation path fits the downtime budget.
+    Defer,
+}
+
+/// The remediation economics of one host, independent of any disclosure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostCost {
+    /// Resident VMs.
+    pub vms: u64,
+    /// Every resident VM is InPlaceTP-compatible.
+    pub inplace_ok: bool,
+    /// In-place path: host blackout, which is also every resident VM's
+    /// downtime. Zero when `!inplace_ok`.
+    pub inplace_cost: SimDuration,
+    /// Migration path: total serialized evacuation time of the host.
+    pub migrate_cost: SimDuration,
+    /// Migration path: worst per-VM stop-and-copy blackout (the final
+    /// dirty-round retransfer).
+    pub migrate_blackout: SimDuration,
+}
+
+/// Planner configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExposureConfig {
+    /// Cost-model knobs shared with the executor (link, overheads,
+    /// target, wire mode).
+    pub exec: ExecConfig,
+    /// Hosts remediated concurrently (the fluid-model drain rate; the
+    /// rolling-upgrade group width plays this role in the executor).
+    pub concurrent_hosts: usize,
+    /// Per-VM downtime allowance: a host whose cheapest remediation path
+    /// would blacken a VM longer than this is explicitly deferred.
+    pub downtime_budget: SimDuration,
+    /// Surface-criticality calibration (uniform = the raw-CVSS policy).
+    pub weights: SurfaceWeights,
+    /// `true` plans by weighted severity and Smith-rule order; `false` is
+    /// the surface-blind baseline (raw severity, host-index order). Both
+    /// report exposure in the same calibrated metric.
+    pub surface_aware: bool,
+}
+
+impl Default for ExposureConfig {
+    fn default() -> Self {
+        ExposureConfig {
+            exec: ExecConfig::default(),
+            concurrent_hosts: 8,
+            downtime_budget: SimDuration::from_secs(300),
+            weights: SurfaceWeights::uniform(),
+            surface_aware: true,
+        }
+    }
+}
+
+/// One disclosure's plan: per-host actions, the remediation order, and
+/// the schedule's integrated exposure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventPlan {
+    /// Disclosure id.
+    pub id: String,
+    /// Calibrated criticality (weighted score / 10) of the disclosure.
+    pub criticality: f64,
+    /// Patch window.
+    pub window: SimDuration,
+    /// Per-host verdicts, indexed by host.
+    pub actions: Vec<HostAction>,
+    /// Whether the event was remediated at all (false ⇒ every action is
+    /// [`HostAction::Defer`]: the patch cycle covers it).
+    pub remediated: bool,
+    /// Remediated only because surface weighting escalated a flaw raw
+    /// CVSS leaves below threshold.
+    pub escalated: bool,
+    /// Integrated exposure of this schedule, VM·criticality·seconds.
+    pub exposure_vm_secs: f64,
+    /// Wall-clock length of the remediation drain.
+    pub makespan: SimDuration,
+    /// VMs remediated / left exposed for the window.
+    pub remediated_vms: u64,
+    /// VMs on deferred hosts.
+    pub deferred_vms: u64,
+}
+
+impl EventPlan {
+    /// Hosts per action.
+    pub fn count(&self, action: HostAction) -> usize {
+        self.actions.iter().filter(|&&a| a == action).count()
+    }
+}
+
+/// Bounded-memory summary of a whole feed replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedReport {
+    /// Disclosures replayed.
+    pub events: usize,
+    /// Disclosures that triggered remediation.
+    pub remediated_events: usize,
+    /// Remediations only the surface weighting triggered.
+    pub escalated_events: usize,
+    /// Integrated exposure over the whole feed, VM·criticality·days.
+    pub exposure_vm_days: f64,
+    /// Sum of remediation makespans (the disruption price paid).
+    pub disruption: SimDuration,
+    /// VM remediations performed / VM-windows deferred, summed over
+    /// events.
+    pub remediated_vms: u64,
+    /// VMs left exposed for a full window, summed over events.
+    pub deferred_vms: u64,
+    /// Per-event integrated exposure (VM·criticality·days).
+    pub per_event: Streaming,
+    /// Per-event mean exposed fraction of the window, bucketed on
+    /// `[0, 1)`.
+    pub per_event_hist: Histogram,
+}
+
+/// Buckets of [`FeedReport::per_event_hist`]: 20 × 5% bins of the window.
+pub const EXPOSURE_HIST_BUCKETS: usize = 20;
+
+impl FeedReport {
+    fn new() -> FeedReport {
+        FeedReport {
+            events: 0,
+            remediated_events: 0,
+            escalated_events: 0,
+            exposure_vm_days: 0.0,
+            disruption: SimDuration::ZERO,
+            remediated_vms: 0,
+            deferred_vms: 0,
+            per_event: Streaming::new(),
+            per_event_hist: Histogram::new(0.0, 1.0, EXPOSURE_HIST_BUCKETS),
+        }
+    }
+
+    /// Canonical byte-stable rendering: two replays produced the same
+    /// report iff their renders match.
+    pub fn render(&self) -> String {
+        format!(
+            "events={} remediated={} escalated={} exposure_vm_days={:?} disruption_ns={} \
+             remediated_vms={} deferred_vms={} per_event{{{}}} hist{{{}}}",
+            self.events,
+            self.remediated_events,
+            self.escalated_events,
+            self.exposure_vm_days,
+            self.disruption.as_nanos(),
+            self.remediated_vms,
+            self.deferred_vms,
+            self.per_event.render(),
+            self.per_event_hist.render(),
+        )
+    }
+}
+
+/// Shard-local memo for host-cost evaluation: migration keyed per VM
+/// class, in-place per VM count (uniform-spec fleets only) — the same
+/// collapse the executor's memo performs.
+struct CostMemo {
+    migration: HashMap<(u64, u64), (SimDuration, SimDuration)>,
+    inplace: HashMap<usize, SimDuration>,
+}
+
+fn host_cost<V: ClusterView + ?Sized>(
+    view: &V,
+    cfg: &ExposureConfig,
+    host: usize,
+    vms: &[usize],
+    cost_model: &CostModel,
+    uniform_perf: Option<&MachinePerf>,
+    memo: &mut CostMemo,
+) -> HostCost {
+    let mut inplace_ok = !vms.is_empty();
+    let mut migrate_cost = SimDuration::ZERO;
+    let mut migrate_blackout = SimDuration::ZERO;
+    for &vm in vms {
+        let info = view.vm(vm);
+        inplace_ok &= info.inplace_compatible;
+        let key = (info.memory_gb, info.dirty_rate_pages_per_sec.to_bits());
+        let (time, blackout) = match memo.migration.get(&key) {
+            Some(&v) => v,
+            None => {
+                let (time, _, _) =
+                    migration_estimate(&cfg.exec, info.memory_gb, info.dirty_rate_pages_per_sec, 1);
+                // The per-VM blackout is the stop-and-copy: the dirty
+                // pages written during the pre-copy round must be re-sent
+                // with the VM paused (§3's downtime accounting).
+                let copy = cfg.exec.link.transfer(info.memory_gb << 30, 1);
+                let dirty = (info.dirty_rate_pages_per_sec * copy.as_secs_f64() * 4096.0) as u64;
+                let blackout = cfg.exec.link.transfer(dirty, 1);
+                memo.migration.insert(key, (time, blackout));
+                (time, blackout)
+            }
+        };
+        migrate_cost += time;
+        migrate_blackout = migrate_blackout.max(blackout);
+    }
+    let inplace_cost = if inplace_ok {
+        match uniform_perf {
+            Some(perf) => match memo.inplace.get(&vms.len()) {
+                Some(&d) => d,
+                None => {
+                    let d = inplace_time(perf, cost_model, &cfg.exec, vms.len(), cfg.exec.target);
+                    memo.inplace.insert(vms.len(), d);
+                    d
+                }
+            },
+            None => inplace_time(
+                &view.host_spec(host).perf(),
+                cost_model,
+                &cfg.exec,
+                vms.len(),
+                cfg.exec.target,
+            ),
+        }
+    } else {
+        SimDuration::ZERO
+    };
+    HostCost {
+        vms: vms.len() as u64,
+        inplace_ok,
+        inplace_cost,
+        migrate_cost,
+        migrate_blackout,
+    }
+}
+
+/// The incremental exposure planner: host costs are evaluated once (the
+/// expensive, fleet-dependent part), each feed event re-plans against the
+/// cached table (a sort and a prefix walk).
+pub struct ExposurePlanner<'a, V: ClusterView + ?Sized> {
+    view: &'a V,
+    cfg: ExposureConfig,
+    costs: Vec<HostCost>,
+}
+
+impl<'a, V: ClusterView + ?Sized> ExposurePlanner<'a, V> {
+    /// Builds the planner serially.
+    pub fn new(view: &'a V, cfg: ExposureConfig) -> ExposurePlanner<'a, V> {
+        ExposurePlanner::with_pool(view, cfg, 1, &WorkerPool::serial())
+    }
+
+    /// Builds the planner with host-cost evaluation fanned over `shards`
+    /// contiguous host ranges on `pool`. The cost table — and therefore
+    /// every plan and report — is byte-identical for every
+    /// `(shards, workers)` combination: each host's cost is a pure
+    /// function of the view and config.
+    pub fn with_pool(
+        view: &'a V,
+        cfg: ExposureConfig,
+        shards: usize,
+        pool: &WorkerPool,
+    ) -> ExposurePlanner<'a, V> {
+        let hosts = view.host_count();
+        let mut by_host: Vec<Vec<usize>> = vec![Vec::new(); hosts];
+        for vm in 0..view.vm_count() {
+            by_host[view.vm(vm).home].push(vm);
+        }
+        let cost_model = CostModel::paper_calibrated();
+        let uniform_perf = view.uniform_spec().map(|s| s.perf());
+        let batch = pool.map_chunks(hosts, shards.max(1), |range| {
+            let mut memo = CostMemo {
+                migration: HashMap::new(),
+                inplace: HashMap::new(),
+            };
+            range
+                .map(|h| {
+                    host_cost(
+                        view,
+                        &cfg,
+                        h,
+                        &by_host[h],
+                        &cost_model,
+                        uniform_perf.as_ref(),
+                        &mut memo,
+                    )
+                })
+                .collect::<Vec<HostCost>>()
+        });
+        let costs: Vec<HostCost> = batch.results.into_iter().flatten().collect();
+        ExposurePlanner { view, cfg, costs }
+    }
+
+    /// The cached per-host cost table.
+    pub fn costs(&self) -> &[HostCost] {
+        &self.costs
+    }
+
+    /// The view this planner serves.
+    pub fn view(&self) -> &V {
+        self.view
+    }
+
+    /// Plans one disclosure. Pure in `(self, event)` — re-planning on the
+    /// next event needs no recomputation, only this call.
+    pub fn plan_event(&self, ev: &FeedEvent) -> EventPlan {
+        let cfg = &self.cfg;
+        let criticality = cfg.weights.criticality(&ev.vuln.cvss, ev.surface);
+        let window = ev.window();
+        let raw_critical = ev.vuln.severity() == Severity::Critical;
+        // The aware planner escalates flaws whose weighted score crosses
+        // the critical band; it never demotes a raw critical (deferring a
+        // remediable critical could only add exposure).
+        let weighted_critical =
+            cfg.weights.effective_severity(&ev.vuln.cvss, ev.surface) == Severity::Critical;
+        let remediated = if cfg.surface_aware {
+            raw_critical || weighted_critical
+        } else {
+            raw_critical
+        };
+        let mut integ = ExposureIntegrator::new(criticality, window);
+        let mut actions = vec![HostAction::Defer; self.costs.len()];
+        let mut active: Vec<(usize, SimDuration)> = Vec::new();
+        if remediated {
+            for (h, c) in self.costs.iter().enumerate() {
+                if c.vms == 0 {
+                    continue;
+                }
+                let inplace_fits = c.inplace_ok && c.inplace_cost <= cfg.downtime_budget;
+                let migrate_fits = c.migrate_blackout <= cfg.downtime_budget;
+                let action = match (inplace_fits, migrate_fits) {
+                    (true, true) => {
+                        if c.inplace_cost <= c.migrate_cost {
+                            HostAction::InPlace
+                        } else {
+                            HostAction::Migrate
+                        }
+                    }
+                    (true, false) => HostAction::InPlace,
+                    (false, true) => HostAction::Migrate,
+                    (false, false) => HostAction::Defer,
+                };
+                actions[h] = action;
+                match action {
+                    HostAction::InPlace => active.push((h, c.inplace_cost)),
+                    HostAction::Migrate => active.push((h, c.migrate_cost)),
+                    HostAction::Defer => {}
+                }
+            }
+            if cfg.surface_aware {
+                // Smith's rule: ascending cost per exposed VM minimizes
+                // Σ weight × completion on the fluid drain. Ties fall to
+                // the host index, so the schedule is deterministic.
+                active.sort_by(|a, b| {
+                    let ka = a.1.as_secs_f64() / self.costs[a.0].vms as f64;
+                    let kb = b.1.as_secs_f64() / self.costs[b.0].vms as f64;
+                    ka.partial_cmp(&kb)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
+                });
+            }
+        }
+        let rate = cfg.concurrent_hosts.max(1) as f64;
+        let mut running = SimDuration::ZERO;
+        let mut remediated_vms = 0u64;
+        for &(h, c) in &active {
+            running += SimDuration::from_secs_f64(c.as_secs_f64() / rate);
+            integ.remediated(self.costs[h].vms as f64, running);
+            remediated_vms += self.costs[h].vms;
+        }
+        let mut deferred_vms = 0u64;
+        for (h, c) in self.costs.iter().enumerate() {
+            if actions[h] == HostAction::Defer && c.vms > 0 {
+                integ.deferred(c.vms as f64);
+                deferred_vms += c.vms;
+            }
+        }
+        EventPlan {
+            id: ev.vuln.id.clone(),
+            criticality,
+            window,
+            actions,
+            remediated,
+            escalated: remediated && !raw_critical,
+            exposure_vm_secs: integ.integral(),
+            makespan: running,
+            remediated_vms,
+            deferred_vms,
+        }
+    }
+
+    /// Replays a whole feed incrementally: one cached cost table, one
+    /// [`plan_event`] per disclosure.
+    ///
+    /// [`plan_event`]: ExposurePlanner::plan_event
+    pub fn replay(&self, events: &[FeedEvent]) -> FeedReport {
+        let mut report = FeedReport::new();
+        for ev in events {
+            let plan = self.plan_event(ev);
+            report.events += 1;
+            if plan.remediated {
+                report.remediated_events += 1;
+            }
+            if plan.escalated {
+                report.escalated_events += 1;
+            }
+            let days = plan.exposure_vm_secs / 86_400.0;
+            report.exposure_vm_days += days;
+            report.disruption += plan.makespan;
+            report.remediated_vms += plan.remediated_vms;
+            report.deferred_vms += plan.deferred_vms;
+            report.per_event.push(days);
+            let total_vms = plan.remediated_vms + plan.deferred_vms;
+            let denom = plan.criticality * plan.window.as_secs_f64() * total_vms as f64;
+            if denom > 0.0 {
+                report.per_event_hist.record(plan.exposure_vm_secs / denom);
+            }
+        }
+        report
+    }
+}
+
+/// Replays `events` against `view` in one call: builds the planner
+/// (sharded host-cost evaluation) and runs the incremental replay.
+pub fn replay_feed<V: ClusterView + ?Sized>(
+    view: &V,
+    events: &[FeedEvent],
+    cfg: &ExposureConfig,
+    shards: usize,
+    pool: &WorkerPool,
+) -> FeedReport {
+    ExposurePlanner::with_pool(view, *cfg, shards, pool).replay(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Cluster;
+    use hypertp_vulndb::{dataset::dataset, VulnFeed};
+
+    fn year_feed(seed: u64) -> Vec<FeedEvent> {
+        VulnFeed::new(seed).replay(SimDuration::from_secs(365 * 86_400))
+    }
+
+    #[test]
+    fn integrator_caps_at_the_window_and_sums() {
+        let w = SimDuration::from_secs(100);
+        let mut i = ExposureIntegrator::new(0.5, w);
+        assert_eq!(i.remediated(2.0, SimDuration::from_secs(10)), 5.0);
+        assert_eq!(i.remediated(1.0, SimDuration::from_secs(1000)), 50.0);
+        assert_eq!(i.deferred(1.0), 50.0);
+        assert_eq!(i.integral(), 2.0 * 5.0 + 50.0 + 50.0);
+        assert_eq!(i.vms(), 4.0);
+        assert_eq!(i.fraction(5.0), 0.1);
+    }
+
+    #[test]
+    fn aware_replay_never_exceeds_blind_and_is_deterministic() {
+        let view = Cluster::synthetic(60, 0xfeed).with_compat_percent(70);
+        let events = year_feed(0xfeed);
+        let weights = SurfaceWeights::calibrated(&dataset());
+        let aware_cfg = ExposureConfig {
+            weights,
+            surface_aware: true,
+            ..ExposureConfig::default()
+        };
+        let blind_cfg = ExposureConfig {
+            surface_aware: false,
+            ..aware_cfg
+        };
+        let pool = WorkerPool::serial();
+        let aware = replay_feed(&view, &events, &aware_cfg, 1, &pool);
+        let blind = replay_feed(&view, &events, &blind_cfg, 1, &pool);
+        assert!(aware.exposure_vm_days <= blind.exposure_vm_days);
+        assert!(aware.remediated_events >= blind.remediated_events);
+        assert_eq!(blind.escalated_events, 0);
+        let again = replay_feed(&view, &events, &aware_cfg, 1, &pool);
+        assert_eq!(aware.render(), again.render());
+    }
+
+    #[test]
+    fn replay_is_shard_and_worker_invariant() {
+        let view = Cluster::synthetic(40, 7).with_compat_percent(80);
+        let events = year_feed(7);
+        let cfg = ExposureConfig {
+            weights: SurfaceWeights::calibrated(&dataset()),
+            ..ExposureConfig::default()
+        };
+        let base = replay_feed(&view, &events, &cfg, 1, &WorkerPool::serial()).render();
+        for (shards, workers) in [(3, 2), (8, 4), (40, 1)] {
+            let r = replay_feed(&view, &events, &cfg, shards, &WorkerPool::new(workers));
+            assert_eq!(base, r.render(), "shards={shards} workers={workers}");
+        }
+    }
+
+    #[test]
+    fn tight_budget_defers_everything() {
+        let view = Cluster::synthetic(10, 3);
+        let events = year_feed(3);
+        let cfg = ExposureConfig {
+            downtime_budget: SimDuration::ZERO,
+            ..ExposureConfig::default()
+        };
+        let planner = ExposurePlanner::new(&view, cfg);
+        for ev in &events {
+            let plan = planner.plan_event(ev);
+            assert!(plan.actions.iter().all(|&a| a == HostAction::Defer));
+            assert_eq!(plan.makespan, SimDuration::ZERO);
+            assert_eq!(plan.remediated_vms, 0);
+        }
+    }
+
+    #[test]
+    fn empty_feed_is_a_no_op() {
+        let view = Cluster::synthetic(10, 3);
+        let r = replay_feed(
+            &view,
+            &[],
+            &ExposureConfig::default(),
+            1,
+            &WorkerPool::serial(),
+        );
+        assert_eq!(r.events, 0);
+        assert_eq!(r.exposure_vm_days, 0.0);
+        assert_eq!(r.disruption, SimDuration::ZERO);
+    }
+}

@@ -18,9 +18,15 @@
 //! * [`campaign`] — the full Fig. 1(b) vulnerability-window campaign:
 //!   policy decision, fleet transplant to the refuge hypervisor, window
 //!   elapse, transplant home after the patch.
+//! * [`exposure`] — the exposure-minimizing planner over a live
+//!   vulnerability feed: per-host InPlace/Migrate/Defer choices that
+//!   minimize integrated exposure ∫ affected-VMs × criticality dt, and
+//!   the single [`exposure::ExposureIntegrator`] every exposure figure
+//!   in the workspace accrues through.
 
 pub mod campaign;
 pub mod exec;
+pub mod exposure;
 pub mod model;
 pub mod openstack;
 pub mod planner;
@@ -28,7 +34,11 @@ pub mod planner;
 pub use campaign::{run_campaign, run_campaign_with, CampaignConfig, CampaignReport, WaveReport};
 pub use exec::{
     execute, execute_sharded, execute_sharded_with, execute_with_faults, ExecConfig, ExecReport,
-    SloExecConfig,
+    ExposureExecConfig, SloExecConfig,
+};
+pub use exposure::{
+    replay_feed, EventPlan, ExposureConfig, ExposureIntegrator, ExposurePlanner, FeedReport,
+    HostAction, HostCost,
 };
 pub use model::{Cluster, ClusterView, ClusterVm, HostState, SyntheticCluster, VmView};
 pub use planner::{plan_upgrade, plan_upgrade_excluding, Action, Plan};

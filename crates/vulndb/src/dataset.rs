@@ -106,6 +106,9 @@ pub const TABLE1_COUNTS: [(u16, u32, u32, u32, u32, u32, u32); 7] = [
 
 /// A critical vector (score 7.2): local escape with complete impact.
 const CRIT_VECTOR: &str = "AV:L/AC:L/Au:N/C:C/I:C/A:C";
+/// A borderline-high vector (score 6.9, just below the 7.0 critical
+/// cutoff): a complete-impact local escape gated on a race.
+const HIGH_VECTOR: &str = "AV:L/AC:M/Au:N/C:C/I:C/A:C";
 /// A medium vector (score 4.9): local DoS.
 const MED_VECTOR: &str = "AV:L/AC:L/Au:N/C:N/I:N/A:C";
 
@@ -123,6 +126,25 @@ fn crit() -> CvssV2 {
 
 fn med() -> CvssV2 {
     CvssV2::parse(MED_VECTOR).expect("valid vector")
+}
+
+/// The canonical critical vector (score 7.2), parsed — the scorer the
+/// synthesized records and the [`crate::feed`] stream share.
+pub fn critical_cvss() -> CvssV2 {
+    crit()
+}
+
+/// The canonical medium vector (score 4.9), parsed.
+pub fn medium_cvss() -> CvssV2 {
+    med()
+}
+
+/// The canonical borderline-high vector (score 6.9, one band notch below
+/// critical), parsed — the [`crate::feed`] stream's contested middle:
+/// surface weighting decides which side of the critical cutoff these
+/// land on.
+pub fn high_cvss() -> CvssV2 {
+    CvssV2::parse(HIGH_VECTOR).expect("valid vector")
 }
 
 /// Xen critical component mix (§2.1: PV 38.4%, resource 28.2%, hardware

@@ -18,12 +18,17 @@
 //!   and the §2.2 vulnerability-window statistics.
 //! * [`policy`] — given a disclosed vulnerability and a hypervisor pool,
 //!   decides whether (and where) to transplant.
+//! * [`feed`] — a seeded deterministic disclosure stream over simulated
+//!   time, classified by [`feed::AttackSurface`] with CVSS-calibrated
+//!   surface-criticality weights.
 
 pub mod analysis;
 pub mod cvss;
 pub mod dataset;
+pub mod feed;
 pub mod policy;
 
 pub use cvss::{CvssV2, Severity};
 pub use dataset::{Component, HypervisorId, Vulnerability};
-pub use policy::{decide, Decision};
+pub use feed::{AttackSurface, FeedEvent, SurfaceWeights, VulnFeed};
+pub use policy::{decide, decide_with_surface, Decision};

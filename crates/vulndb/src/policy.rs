@@ -8,6 +8,7 @@
 
 use crate::cvss::Severity;
 use crate::dataset::{HypervisorId, Vulnerability};
+use crate::feed::{AttackSurface, SurfaceWeights};
 
 /// The policy's verdict.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,16 +33,50 @@ pub enum Decision {
 /// Decides the response to `disclosed` given the `current` hypervisor, the
 /// candidate `pool`, and every other unpatched vulnerability still open
 /// (`open_flaws`).
+///
+/// Severity is judged through [`SurfaceWeights::uniform`] — every attack
+/// surface weighs alike, which reduces exactly to the paper's raw-CVSS
+/// policy. [`decide_with_surface`] is the same decision procedure under
+/// calibrated weights.
 pub fn decide(
     disclosed: &Vulnerability,
     current: HypervisorId,
     pool: &[HypervisorId],
     open_flaws: &[&Vulnerability],
 ) -> Decision {
+    decide_with_surface(
+        disclosed,
+        current,
+        pool,
+        open_flaws,
+        &SurfaceWeights::uniform(),
+    )
+}
+
+/// [`decide`] with an explicit surface-criticality weighting: each flaw's
+/// CVSS base score is scaled by the weight of its
+/// [`AttackSurface`] classification before the severity bands apply, both
+/// for the disclosed flaw's transplant threshold and for judging whether
+/// an open flaw blocks a candidate. Under
+/// [`SurfaceWeights::uniform`] (equal criticality everywhere) every
+/// verdict is identical to the unweighted policy — pinned by the
+/// regression tests below — while calibrated weights escalate borderline
+/// flaws on historically hot surfaces (e.g. hypercall handlers) and relax
+/// those on cool ones.
+pub fn decide_with_surface(
+    disclosed: &Vulnerability,
+    current: HypervisorId,
+    pool: &[HypervisorId],
+    open_flaws: &[&Vulnerability],
+    weights: &SurfaceWeights,
+) -> Decision {
+    let effective = |v: &Vulnerability| -> Severity {
+        weights.effective_severity(&v.cvss, AttackSurface::of(v.component))
+    };
     if !disclosed.affects(current) {
         return Decision::NotAffected;
     }
-    if disclosed.severity() != Severity::Critical {
+    if effective(disclosed) != Severity::Critical {
         return Decision::BelowThreshold;
     }
     // A candidate is safe if neither the disclosed flaw nor any open flaw
@@ -55,7 +90,7 @@ pub fn decide(
         }
         if open_flaws
             .iter()
-            .any(|f| f.severity() == Severity::Critical && f.affects(candidate))
+            .any(|f| effective(f) == Severity::Critical && f.affects(candidate))
         {
             continue;
         }
@@ -185,6 +220,86 @@ mod tests {
             decide(&v, HypervisorId::Xen, &[HypervisorId::Xen], &[]),
             Decision::NoSafeTarget
         );
+    }
+
+    #[test]
+    fn uniform_weights_pin_every_unweighted_verdict() {
+        // Equal criticality on every surface must reproduce the raw-CVSS
+        // policy verdict for the whole dataset, from either hypervisor,
+        // with and without open flaws — `decide` and `decide_with_surface`
+        // are the same procedure when no surface outweighs another.
+        let ds = dataset();
+        let uniform = crate::feed::SurfaceWeights::uniform();
+        let open: Vec<&Vulnerability> = ds.iter().take(5).collect();
+        for current in [HypervisorId::Xen, HypervisorId::Kvm] {
+            for v in &ds {
+                assert_eq!(
+                    decide(v, current, &pool(), &[]),
+                    decide_with_surface(v, current, &pool(), &[], &uniform),
+                    "{} from {current:?}",
+                    v.id
+                );
+                assert_eq!(
+                    decide(v, current, &pool(), &open),
+                    decide_with_surface(v, current, &pool(), &open, &uniform),
+                    "{} from {current:?} with open flaws",
+                    v.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn calibrated_weights_escalate_hot_surface_mediums() {
+        // Calibrate over a history where hypercall flaws score 10.0 and
+        // device-emulation flaws 4.9: the hypercall surface weighs well
+        // above 1. A 6.8 hypercall flaw — BelowThreshold on raw CVSS —
+        // then crosses the critical band and transplants.
+        let mk = |component, vector: &str| Vulnerability {
+            id: "H".into(),
+            year: 2020,
+            affects: vec![HypervisorId::Xen],
+            component,
+            cvss: CvssV2::parse(vector).unwrap(),
+            window_days: None,
+            description: String::new(),
+        };
+        let history = vec![
+            mk(Component::PvInterface, "AV:N/AC:L/Au:N/C:C/I:C/A:C"),
+            mk(Component::PvInterface, "AV:N/AC:L/Au:N/C:C/I:C/A:C"),
+            mk(Component::Qemu, "AV:L/AC:L/Au:N/C:N/I:N/A:C"),
+            mk(Component::Qemu, "AV:L/AC:L/Au:N/C:N/I:N/A:C"),
+        ];
+        let weights = crate::feed::SurfaceWeights::calibrated(&history);
+        assert!(weights.weight(crate::feed::AttackSurface::Hypercall) > 1.25);
+        let borderline = mk(Component::PvInterface, "AV:N/AC:M/Au:N/C:P/I:P/A:P");
+        assert_eq!(
+            decide(&borderline, HypervisorId::Xen, &pool(), &[]),
+            Decision::BelowThreshold,
+            "raw CVSS {:.1} sits below the critical band",
+            borderline.cvss.base_score()
+        );
+        assert!(matches!(
+            decide_with_surface(&borderline, HypervisorId::Xen, &pool(), &[], &weights),
+            Decision::Transplant { .. }
+        ));
+        // The same weighting can relax an open flaw's blockade: a
+        // borderline-critical open flaw on the candidate blocks under
+        // uniform weights only if its surface stays hot.
+        let cool = mk(Component::Qemu, "AV:N/AC:M/Au:N/C:P/I:P/A:P");
+        let mut cool_on_kvm = cool.clone();
+        cool_on_kvm.affects = vec![HypervisorId::Kvm];
+        let disclosed = mk(Component::PvInterface, "AV:L/AC:L/Au:N/C:C/I:C/A:C");
+        assert!(matches!(
+            decide_with_surface(
+                &disclosed,
+                HypervisorId::Xen,
+                &pool(),
+                &[&cool_on_kvm],
+                &weights
+            ),
+            Decision::Transplant { .. }
+        ));
     }
 
     #[test]

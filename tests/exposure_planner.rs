@@ -1,0 +1,251 @@
+//! Seeded property tests for the exposure-minimizing feed planner
+//! (PR 10).
+//!
+//! 200 seeded cases across four properties:
+//!
+//! 1. **Off-path byte identity (50 cases)** — with no feed attached
+//!    (`ExecConfig.exposure = None`, the default), the executor's report
+//!    renders without any exposure section, byte-identically across
+//!    shard × worker combinations — today's reports are untouched. An
+//!    attached exposure integrator only *appends* to the render: the
+//!    prefix stays the exact off-path byte string. Replaying an empty
+//!    feed accrues nothing.
+//! 2. **Shard/worker invariance (50 cases)** — the same fleet and feed
+//!    produce byte-identical `FeedReport`s (and exposure-attached
+//!    `ExecReport`s) for every shard count and worker count probed.
+//! 3. **Budget safety (50 cases)** — no planned action ever imposes
+//!    more per-VM downtime than the configured budget: an `InPlace`
+//!    host's blackout and a `Migrate` host's stop-and-copy both fit, and
+//!    a zero budget defers the whole fleet.
+//! 4. **Aware never loses (50 cases)** — surface-aware planning's
+//!    integrated exposure never exceeds the surface-blind baseline's on
+//!    the same fleet, feed, and calibrated metric.
+
+use hypertp_cluster::exec::{execute_sharded_with, ExecConfig, ExposureExecConfig};
+use hypertp_cluster::exposure::{replay_feed, ExposureConfig, ExposurePlanner, HostAction};
+use hypertp_cluster::{plan_upgrade, Cluster};
+use hypertp_sim::fault::FaultPlan;
+use hypertp_sim::{SimDuration, SimRng, WorkerPool};
+use hypertp_vulndb::dataset::dataset;
+use hypertp_vulndb::feed::SurfaceWeights;
+use hypertp_vulndb::VulnFeed;
+
+fn seeded_fleet(rng: &mut SimRng) -> hypertp_cluster::SyntheticCluster {
+    let hosts = 5 + rng.gen_range(25) as usize;
+    let compat = rng.gen_range(101) as u32;
+    Cluster::synthetic(hosts, rng.gen_range(u64::MAX)).with_compat_percent(compat)
+}
+
+fn seeded_feed(rng: &mut SimRng) -> Vec<hypertp_vulndb::feed::FeedEvent> {
+    let days = 30 + rng.gen_range(336);
+    VulnFeed::new(rng.gen_range(u64::MAX))
+        .with_events_per_year(12 + rng.gen_range(50) as u32)
+        .replay(SimDuration::from_secs(days * 86_400))
+}
+
+#[test]
+fn property_no_feed_keeps_reports_byte_identical() {
+    let mut rng = SimRng::new(0xe1_0001);
+    for case in 0..50u64 {
+        let view = seeded_fleet(&mut rng);
+        let group = 2 + rng.gen_range(6) as usize;
+        // Drain all of `rng`'s per-case draws before the plannability
+        // branch so skipped cases keep the stream aligned.
+        let shards = 1 + rng.gen_range(8) as usize;
+        let workers = 1 + rng.gen_range(4) as usize;
+        let exposure = ExposureExecConfig {
+            criticality: 0.1 + 0.9 * rng.gen_f64(),
+            window: SimDuration::from_secs(86_400 * (1 + rng.gen_range(90))),
+        };
+        // Tight fleets (low compat, small groups) can lack migration
+        // headroom; planning is not the property under test, so such
+        // cases only exercise the empty-feed branch below.
+        let Ok(plan) = plan_upgrade(&view, group) else {
+            let empty = replay_feed(
+                &view,
+                &[],
+                &ExposureConfig::default(),
+                1,
+                &WorkerPool::serial(),
+            );
+            assert_eq!(empty.events, 0, "case {case}");
+            continue;
+        };
+        let off = ExecConfig::default();
+        let base = execute_sharded_with(
+            &view,
+            &plan,
+            &off,
+            &FaultPlan::disarmed(),
+            1,
+            &WorkerPool::serial(),
+        );
+        let render = base.render();
+        assert!(
+            !render.contains("exposure"),
+            "case {case}: off-path report grew an exposure section"
+        );
+        let again = execute_sharded_with(
+            &view,
+            &plan,
+            &off,
+            &FaultPlan::disarmed(),
+            shards,
+            &WorkerPool::new(workers),
+        );
+        assert_eq!(
+            render,
+            again.render(),
+            "case {case}: off-path render drifted at shards={shards} workers={workers}"
+        );
+        // Attaching an integrator only appends: the off-path bytes are a
+        // strict prefix of the attached render.
+        let on = ExecConfig {
+            exposure: Some(exposure),
+            ..ExecConfig::default()
+        };
+        let attached = execute_sharded_with(
+            &view,
+            &plan,
+            &on,
+            &FaultPlan::disarmed(),
+            1,
+            &WorkerPool::serial(),
+        );
+        assert!(
+            attached.render().starts_with(&render),
+            "case {case}: exposure attachment rewrote the base report"
+        );
+        assert!(
+            attached.render().contains("exposure_vms="),
+            "case {case}: attached run must report the series"
+        );
+        // An empty feed is a no-op for the planner.
+        let empty = replay_feed(
+            &view,
+            &[],
+            &ExposureConfig::default(),
+            1,
+            &WorkerPool::serial(),
+        );
+        assert_eq!(empty.events, 0, "case {case}");
+        assert_eq!(empty.exposure_vm_days, 0.0, "case {case}");
+        assert_eq!(empty.disruption, SimDuration::ZERO, "case {case}");
+    }
+}
+
+#[test]
+fn property_replay_is_shard_and_worker_invariant() {
+    let mut rng = SimRng::new(0xe1_0002);
+    let weights = SurfaceWeights::calibrated(&dataset());
+    for case in 0..50u64 {
+        let view = seeded_fleet(&mut rng);
+        let events = seeded_feed(&mut rng);
+        let cfg = ExposureConfig {
+            weights,
+            concurrent_hosts: 1 + rng.gen_range(16) as usize,
+            downtime_budget: SimDuration::from_secs_f64(600.0 * rng.gen_f64()),
+            ..ExposureConfig::default()
+        };
+        let base = replay_feed(&view, &events, &cfg, 1, &WorkerPool::serial()).render();
+        let shards = 1 + rng.gen_range(10) as usize;
+        let workers = 1 + rng.gen_range(4) as usize;
+        let probe = replay_feed(&view, &events, &cfg, shards, &WorkerPool::new(workers));
+        assert_eq!(
+            base,
+            probe.render(),
+            "case {case}: feed replay drifted at shards={shards} workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn property_planned_actions_respect_the_downtime_budget() {
+    let mut rng = SimRng::new(0xe1_0003);
+    let weights = SurfaceWeights::calibrated(&dataset());
+    for case in 0..50u64 {
+        let view = seeded_fleet(&mut rng);
+        let events = seeded_feed(&mut rng);
+        let budget = SimDuration::from_secs_f64(0.5 + 900.0 * rng.gen_f64());
+        let cfg = ExposureConfig {
+            weights,
+            downtime_budget: budget,
+            ..ExposureConfig::default()
+        };
+        let planner = ExposurePlanner::new(&view, cfg);
+        for ev in &events {
+            let plan = planner.plan_event(ev);
+            for (host, action) in plan.actions.iter().enumerate() {
+                let cost = &planner.costs()[host];
+                match action {
+                    HostAction::InPlace => assert!(
+                        cost.inplace_cost <= budget,
+                        "case {case} {}: host {host} in-place blackout {:?} over budget {budget:?}",
+                        ev.vuln.id,
+                        cost.inplace_cost,
+                    ),
+                    HostAction::Migrate => assert!(
+                        cost.migrate_blackout <= budget,
+                        "case {case} {}: host {host} stop-and-copy {:?} over budget {budget:?}",
+                        ev.vuln.id,
+                        cost.migrate_blackout,
+                    ),
+                    HostAction::Defer => {}
+                }
+            }
+        }
+        // A zero budget admits nothing anywhere.
+        let strict = ExposurePlanner::new(
+            &view,
+            ExposureConfig {
+                downtime_budget: SimDuration::ZERO,
+                ..cfg
+            },
+        );
+        if let Some(ev) = events.first() {
+            let plan = strict.plan_event(ev);
+            assert!(
+                plan.actions.iter().all(|&a| a == HostAction::Defer),
+                "case {case}: zero budget must defer the whole fleet"
+            );
+        }
+    }
+}
+
+#[test]
+fn property_aware_never_exceeds_blind_exposure() {
+    let mut rng = SimRng::new(0xe1_0004);
+    let weights = SurfaceWeights::calibrated(&dataset());
+    for case in 0..50u64 {
+        let view = seeded_fleet(&mut rng);
+        let events = seeded_feed(&mut rng);
+        let aware_cfg = ExposureConfig {
+            weights,
+            concurrent_hosts: 1 + rng.gen_range(16) as usize,
+            downtime_budget: SimDuration::from_secs_f64(900.0 * rng.gen_f64()),
+            surface_aware: true,
+            ..ExposureConfig::default()
+        };
+        let blind_cfg = ExposureConfig {
+            surface_aware: false,
+            ..aware_cfg
+        };
+        let pool = WorkerPool::serial();
+        let aware = replay_feed(&view, &events, &aware_cfg, 1, &pool);
+        let blind = replay_feed(&view, &events, &blind_cfg, 1, &pool);
+        assert!(
+            aware.exposure_vm_days <= blind.exposure_vm_days,
+            "case {case}: aware {} VM-days exceeds blind {}",
+            aware.exposure_vm_days,
+            blind.exposure_vm_days
+        );
+        assert!(
+            aware.remediated_events >= blind.remediated_events,
+            "case {case}: aware may only escalate, never demote"
+        );
+        assert_eq!(
+            blind.escalated_events, 0,
+            "case {case}: blind planning cannot escalate"
+        );
+    }
+}
